@@ -1,0 +1,191 @@
+//! im2col + GEMM convolution — the stand-in for cuDNN's "matrix-multiply
+//! based convolution" rows of Fig. 5.
+//!
+//! The input is lowered into a `B·∏out × C·∏r` matrix (one row per output
+//! position, one column per (input channel, kernel element) pair, zeros
+//! where the receptive field covers padding), the kernels into a
+//! `C·∏r × C'` matrix, and a single large product produces all outputs.
+//! Uses the same block-panel GEMM engine as the Winograd path, so the
+//! comparison isolates the *algorithm* (lowering + one big GEMM vs
+//! transform + many small GEMMs), not the kernel quality.
+
+use wino_sched::Executor;
+use wino_simd::S;
+use wino_tensor::{BlockedImage, BlockedKernels, BlockedMatrices};
+
+use crate::MAX_RANK;
+
+#[inline]
+fn decompose(mut flat: usize, dims: &[usize], out: &mut [usize]) {
+    for i in (0..dims.len()).rev() {
+        out[i] = flat % dims[i];
+        flat /= dims[i];
+    }
+}
+
+/// Pick a column block: the largest divisor of `cols` that is a multiple
+/// of 16 and at most 128.
+fn pick_cb(cols: usize) -> usize {
+    let mut best = 16;
+    let mut cb = 16;
+    while cb <= 128.min(cols) {
+        if cols % cb == 0 {
+            best = cb;
+        }
+        cb += 16;
+    }
+    best
+}
+
+/// im2col + GEMM convolution with zero padding, stride 1.
+pub fn im2col_conv(
+    input: &BlockedImage,
+    kernels: &BlockedKernels,
+    padding: &[usize],
+    output: &mut BlockedImage,
+    exec: &dyn Executor,
+) {
+    let rank = input.dims.len();
+    assert!(rank <= MAX_RANK);
+    assert_eq!(kernels.in_channels, input.channels);
+    assert_eq!(kernels.out_channels, output.channels);
+    let out_dims = output.dims.clone();
+    for d in 0..rank {
+        assert_eq!(out_dims[d], input.dims[d] + 2 * padding[d] - kernels.dims[d] + 1);
+    }
+
+    let c_in = input.channels;
+    let cp = output.channels;
+    let ker_vol: usize = kernels.dims.iter().product();
+    let out_vol: usize = out_dims.iter().product();
+    let rows = input.batch * out_vol;
+    let inner = c_in * ker_vol; // lowered columns
+
+    let n_blk = 8usize;
+    let cb = pick_cb(inner);
+    let cpb = pick_cb(cp);
+
+    // Lower the input. Column index = c·ker_vol + k (so `inner` is a
+    // multiple of 16 because C is).
+    let mut a = BlockedMatrices::new(1, rows, inner, n_blk, cb);
+    {
+        let in_dims = &input.dims;
+        let mut in_stride = [1usize; MAX_RANK];
+        for d in (0..rank.saturating_sub(1)).rev() {
+            in_stride[d] = in_stride[d + 1] * in_dims[d + 1];
+        }
+        let in_spatial: usize = in_dims.iter().product();
+        let in_cg = c_in / S;
+        let mut oc = [0usize; MAX_RANK];
+        let mut kc = [0usize; MAX_RANK];
+        for b in 0..input.batch {
+            for o in 0..out_vol {
+                decompose(o, &out_dims, &mut oc[..rank]);
+                let row = b * out_vol + o;
+                for k in 0..ker_vol {
+                    decompose(k, &kernels.dims, &mut kc[..rank]);
+                    let mut inside = true;
+                    let mut off = 0isize;
+                    for d in 0..rank {
+                        let x = (oc[d] + kc[d]) as isize - padding[d] as isize;
+                        if x < 0 || x >= in_dims[d] as isize {
+                            inside = false;
+                            break;
+                        }
+                        off += x * in_stride[d] as isize;
+                    }
+                    if !inside {
+                        continue; // matrix is zero-initialised
+                    }
+                    let spatial = off as usize;
+                    for c in 0..c_in {
+                        let v = input.as_slice()
+                            [((b * in_cg + c / S) * in_spatial + spatial) * S + c % S];
+                        a.set(0, row, c * ker_vol + k, v);
+                    }
+                }
+            }
+        }
+    }
+
+    // Lower the kernels: rows follow the same (c, k) order.
+    let mut w = BlockedMatrices::new(1, inner, cp, cb, cpb);
+    for co in 0..cp {
+        for c in 0..c_in {
+            for k in 0..ker_vol {
+                let v = kernels.as_slice()[kernels.vec_offset_flat(c, co / S, k) + co % S];
+                w.set(0, c * ker_vol + k, co, v);
+            }
+        }
+    }
+
+    // One big GEMM.
+    let mut x = BlockedMatrices::new(1, rows, cp, n_blk, cpb);
+    wino_gemm::batched_gemm_parallel(&a, &w, &mut x, exec);
+
+    // Scatter back into the blocked output image.
+    let out_cg = cp / S;
+    for b in 0..input.batch {
+        for o in 0..out_vol {
+            let row = b * out_vol + o;
+            for co in 0..cp {
+                let v = x.get(0, row, co);
+                output.as_mut_slice()[((b * out_cg + co / S) * out_vol + o) * S + co % S] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::direct_f64;
+    use wino_sched::SerialExecutor;
+    use wino_tensor::{SimpleImage, SimpleKernels};
+
+    fn check(batch: usize, c: usize, cp: usize, dims: &[usize], kd: &[usize], pad: &[usize]) {
+        let si = SimpleImage::from_fn(batch, c, dims, |b, c, xy| {
+            ((b * 31 + c * 7 + xy.iter().sum::<usize>() * 3) % 13) as f32 * 0.1 - 0.5
+        });
+        let sk = SimpleKernels::from_fn(cp, c, kd, |co, ci, xy| {
+            ((co * 5 + ci * 11 + xy.iter().sum::<usize>()) % 7) as f32 * 0.3 - 0.9
+        });
+        let want = direct_f64(&si, &sk, pad);
+        let bi = BlockedImage::from_simple(&si).unwrap();
+        let bk = BlockedKernels::from_simple(&sk).unwrap();
+        let mut out = BlockedImage::zeros(batch, cp, &want.dims).unwrap();
+        im2col_conv(&bi, &bk, pad, &mut out, &SerialExecutor);
+        let got = out.to_simple();
+        for i in 0..got.data.len() {
+            assert!(
+                (got.data[i] - want.data[i]).abs() <= 1e-3 * want.data[i].abs().max(1.0),
+                "elem {i}: {} vs {}",
+                got.data[i],
+                want.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_2d() {
+        check(2, 16, 32, &[6, 6], &[3, 3], &[1, 1]);
+    }
+
+    #[test]
+    fn matches_reference_3d() {
+        check(1, 16, 16, &[4, 5, 5], &[3, 3, 3], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn no_padding_and_odd_sizes() {
+        check(1, 16, 16, &[7, 9], &[3, 2], &[0, 0]);
+    }
+
+    #[test]
+    fn cb_picker() {
+        assert_eq!(pick_cb(144), 48);
+        assert_eq!(pick_cb(16), 16);
+        assert_eq!(pick_cb(256), 128);
+        assert_eq!(pick_cb(32), 32);
+    }
+}

@@ -1,0 +1,141 @@
+//! Ground-truth direct convolution with extended-precision accumulation.
+//!
+//! The paper estimates ground truth "using a direct convolution algorithm
+//! that uses long doubles" (§5.3). Rust has no `long double`; we accumulate
+//! in `f64`, whose 53-bit significand exceeds f32's 24 bits by a factor of
+//! 2²⁹ — more than enough head-room to treat the result as exact when
+//! measuring f32 errors in the 1e-8…1e0 range of Table 3 (substitution
+//! documented in DESIGN.md).
+
+use wino_tensor::{unflatten, SimpleImage, SimpleKernels};
+
+/// Direct N-D cross-correlation (the ConvNet "convolution" of Eqn. 6),
+/// accumulating every output in `f64`, rounding once at the end.
+pub fn direct_f64(img: &SimpleImage, ker: &SimpleKernels, padding: &[usize]) -> SimpleImage {
+    assert_eq!(img.channels, ker.in_channels, "channel mismatch");
+    assert_eq!(img.dims.len(), ker.dims.len(), "rank mismatch");
+    assert_eq!(img.dims.len(), padding.len(), "rank mismatch");
+    let rank = img.dims.len();
+    let out_dims: Vec<usize> = (0..rank)
+        .map(|d| img.dims[d] + 2 * padding[d] - ker.dims[d] + 1)
+        .collect();
+    let mut out = SimpleImage::zeros(img.batch, ker.out_channels, &out_dims);
+    let out_vol: usize = out_dims.iter().product();
+    let ker_vol: usize = ker.dims.iter().product();
+
+    // Precompute kernel coordinate offsets once.
+    let kcoords: Vec<Vec<usize>> = (0..ker_vol).map(|k| unflatten(k, &ker.dims)).collect();
+
+    for b in 0..img.batch {
+        for co in 0..ker.out_channels {
+            for o in 0..out_vol {
+                let ocoords = unflatten(o, &out_dims);
+                let mut acc = 0.0f64;
+                for ci in 0..img.channels {
+                    let kbase = ker.kernel(co, ci);
+                    for (k, kc) in kcoords.iter().enumerate() {
+                        let mut coords = [0isize; 8];
+                        let mut inside = true;
+                        for d in 0..rank {
+                            let x = (ocoords[d] + kc[d]) as isize - padding[d] as isize;
+                            if x < 0 || x >= img.dims[d] as isize {
+                                inside = false;
+                                break;
+                            }
+                            coords[d] = x;
+                        }
+                        if inside {
+                            let mut flat = 0usize;
+                            for d in 0..rank {
+                                flat = flat * img.dims[d] + coords[d] as usize;
+                            }
+                            acc += img.channel(b, ci)[flat] as f64 * kbase[k] as f64;
+                        }
+                    }
+                }
+                out.data[(b * ker.out_channels + co) * out_vol + o] = acc as f32;
+            }
+        }
+    }
+    out
+}
+
+/// Max and mean absolute element error between two equally shaped images
+/// (the Table 3 statistics).
+pub fn element_errors(got: &SimpleImage, truth: &SimpleImage) -> (f64, f64) {
+    assert_eq!(got.dims, truth.dims);
+    assert_eq!(got.data.len(), truth.data.len());
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    for (g, t) in got.data.iter().zip(&truth.data) {
+        let e = (*g as f64 - *t as f64).abs();
+        max = max.max(e);
+        sum += e;
+    }
+    (max, sum / got.data.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        // 1×1 kernel = per-channel scaling and summation.
+        let img = SimpleImage::from_fn(1, 2, &[4, 4], |_, c, xy| (c * 16 + xy[0] * 4 + xy[1]) as f32);
+        let mut ker = SimpleKernels::zeros(2, 2, &[1, 1]);
+        ker.set(0, 0, &[0, 0], 1.0); // out0 = in0
+        ker.set(1, 1, &[0, 0], 2.0); // out1 = 2·in1
+        let out = direct_f64(&img, &ker, &[0, 0]);
+        assert_eq!(out.get(0, 0, &[1, 2]), img.get(0, 0, &[1, 2]));
+        assert_eq!(out.get(0, 1, &[3, 3]), 2.0 * img.get(0, 1, &[3, 3]));
+    }
+
+    #[test]
+    fn hand_computed_3x3() {
+        // Single channel, all-ones 3×3 kernel: each output is the sum of
+        // the 3×3 neighbourhood (with zero padding at the borders).
+        let img = SimpleImage::from_fn(1, 1, &[3, 3], |_, _, xy| (xy[0] * 3 + xy[1]) as f32);
+        let ker = SimpleKernels::from_fn(1, 1, &[3, 3], |_, _, _| 1.0);
+        let out = direct_f64(&img, &ker, &[1, 1]);
+        assert_eq!(out.dims, vec![3, 3]);
+        // Centre output = sum of all 9 pixels = 0+1+..+8 = 36.
+        assert_eq!(out.get(0, 0, &[1, 1]), 36.0);
+        // Corner (0,0) sees pixels (0,0),(0,1),(1,0),(1,1) = 0+1+3+4 = 8.
+        assert_eq!(out.get(0, 0, &[0, 0]), 8.0);
+    }
+
+    #[test]
+    fn correlation_not_flipped_convolution() {
+        // An asymmetric kernel distinguishes correlation from convolution.
+        let img = SimpleImage::from_fn(1, 1, &[1, 4], |_, _, xy| xy[1] as f32);
+        let mut ker = SimpleKernels::zeros(1, 1, &[1, 2]);
+        ker.set(0, 0, &[0, 0], 1.0);
+        ker.set(0, 0, &[0, 1], 10.0);
+        let out = direct_f64(&img, &ker, &[0, 0]);
+        // y[o] = x[o] + 10·x[o+1]  (correlation semantics)
+        assert_eq!(out.get(0, 0, &[0, 0]), 0.0 + 10.0);
+        assert_eq!(out.get(0, 0, &[0, 1]), 1.0 + 20.0);
+        assert_eq!(out.get(0, 0, &[0, 2]), 2.0 + 30.0);
+    }
+
+    #[test]
+    fn errors_metric() {
+        let a = SimpleImage::from_fn(1, 1, &[2, 2], |_, _, xy| (xy[0] * 2 + xy[1]) as f32);
+        let mut b = a.clone();
+        b.data[0] += 0.5;
+        b.data[3] -= 0.25;
+        let (max, avg) = element_errors(&b, &a);
+        assert_eq!(max, 0.5);
+        assert!((avg - 0.1875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_d_case() {
+        let img = SimpleImage::from_fn(1, 1, &[2, 2, 2], |_, _, _| 1.0);
+        let ker = SimpleKernels::from_fn(1, 1, &[2, 2, 2], |_, _, _| 1.0);
+        let out = direct_f64(&img, &ker, &[0, 0, 0]);
+        assert_eq!(out.dims, vec![1, 1, 1]);
+        assert_eq!(out.get(0, 0, &[0, 0, 0]), 8.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! End-to-end layer benchmarks (Fig. 5's statistical companion) on two
+//! representative scaled layers: VGG 3.2 (2-D) and C3D C3b (3-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wino_baseline::direct_conv;
+use wino_bench::layer_data;
+use wino_conv::{ConvOptions, Scratch, WinogradLayer};
+use wino_sched::SerialExecutor;
+use wino_tensor::BlockedImage;
+use wino_workloads::scaled_catalog;
+
+fn bench_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_layer");
+    group.sample_size(10);
+    for label in ["VGG 3.2", "C3D C3b"] {
+        let layer = scaled_catalog().into_iter().find(|l| l.id() == label).unwrap();
+        let (input, kernels) = layer_data(&layer, 9);
+        let m = vec![4usize; layer.rank()];
+
+        let plan = WinogradLayer::new(layer.shape.clone(), &m, ConvOptions::default()).unwrap();
+        let mut scratch = Scratch::new(&plan, 1);
+        let mut out = plan.new_output().unwrap();
+        group.bench_with_input(BenchmarkId::new("winograd_f4", label), &(), |b, _| {
+            b.iter(|| plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor))
+        });
+
+        let tk = plan.prepare_kernels(&kernels, &mut scratch, &SerialExecutor);
+        group.bench_with_input(BenchmarkId::new("winograd_f4_fx", label), &(), |b, _| {
+            b.iter(|| plan.forward_fx(&input, &tk, &mut out, &mut scratch, &SerialExecutor))
+        });
+
+        let mut dout = BlockedImage::zeros(
+            layer.shape.batch,
+            layer.shape.out_channels,
+            &layer.shape.out_dims(),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("direct", label), &(), |b, _| {
+            b.iter(|| {
+                direct_conv(&input, &kernels, &layer.shape.padding, &mut dout, &SerialExecutor)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

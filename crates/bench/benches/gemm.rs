@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the batched GEMM engines (Fig. 6's
+//! statistical companion): JIT vs monomorphised vs generic on
+//! paper-relevant `V̂` shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wino_gemm::{batched_gemm, batched_gemm_generic};
+use wino_jit::JitKernelPair;
+use wino_tensor::BlockedMatrices;
+
+fn setup(
+    t: usize,
+    rows: usize,
+    cb: usize,
+    cpb: usize,
+    nb: usize,
+) -> (BlockedMatrices, BlockedMatrices, BlockedMatrices) {
+    let mut u = BlockedMatrices::new(t, rows, cb, nb, cb);
+    let mut v = BlockedMatrices::new(t, cb, cpb, cb, cpb);
+    let x = BlockedMatrices::new(t, rows, cpb, nb, cpb);
+    for (i, f) in u.as_mut_slice().iter_mut().enumerate() {
+        *f = (i % 13) as f32 * 0.1 - 0.6;
+    }
+    for (i, f) in v.as_mut_slice().iter_mut().enumerate() {
+        *f = (i % 7) as f32 * 0.1 - 0.3;
+    }
+    (u, v, x)
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_gemm");
+    group.sample_size(10);
+    let (t, rows, nb) = (4usize, 1024usize, 8usize);
+    for &(cb, cpb) in &[(32usize, 32usize), (64, 64), (128, 128)] {
+        let flops = 2 * t * rows * cb * cpb;
+        group.throughput(Throughput::Elements(flops as u64));
+        let (u, v, mut x) = setup(t, rows, cb, cpb, nb);
+        group.bench_with_input(BenchmarkId::new("mono", format!("{cb}x{cpb}")), &(), |b, _| {
+            b.iter(|| batched_gemm(&u, &v, &mut x))
+        });
+        group.bench_with_input(BenchmarkId::new("generic", format!("{cb}x{cpb}")), &(), |b, _| {
+            b.iter(|| batched_gemm_generic(&u, &v, &mut x))
+        });
+        if wino_simd::cpu_has_avx512f() {
+            let pair = JitKernelPair::compile(nb, cb, cpb).unwrap();
+            group.bench_with_input(BenchmarkId::new("jit", format!("{cb}x{cpb}")), &(), |b, _| {
+                b.iter(|| wino_jit::jit_batched_gemm(&u, &v, &mut x, &pair))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Transform-codelet throughput: vectorised `Bᵀ`/`Aᵀ` tile transforms per
+//! second, with and without the Fig. 2 pairing optimisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wino_conv::vecprog::transform_all_dims;
+use wino_simd::S;
+use wino_transforms::{FmrPlan, MatrixProgram, PairNode, PairedProgram};
+
+fn unpaired(p: &PairedProgram, dense: &wino_transforms::F32Matrix) -> PairedProgram {
+    let mp = MatrixProgram::compile(dense);
+    PairedProgram {
+        n_out: p.n_out,
+        n_in: p.n_in,
+        nodes: mp
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| PairNode::Direct { out: i, row: r.clone() })
+            .collect(),
+    }
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_transform");
+    group.sample_size(20);
+    for (m, r) in [(2usize, 3usize), (4, 3), (6, 3)] {
+        let plan = FmrPlan::new(m, r);
+        let alpha = plan.alpha();
+        let vol = alpha * alpha;
+        group.throughput(Throughput::Elements((vol * S) as u64));
+        let input: Vec<f32> = (0..vol * S).map(|i| (i % 97) as f32 * 0.01).collect();
+
+        group.bench_with_input(BenchmarkId::new("bt_paired", format!("F({m},{r})")), &(), |b, _| {
+            let mut buf_a = input.clone();
+            let mut buf_b = vec![0.0f32; vol * S];
+            b.iter(|| {
+                buf_a.copy_from_slice(&input);
+                let mut dims = [alpha, alpha];
+                transform_all_dims(&[&plan.bt, &plan.bt], &mut buf_a, &mut buf_b, &mut dims)
+            })
+        });
+
+        let bt_dense = plan.transform.bt.to_f32();
+        let bt_unpaired = unpaired(&plan.bt, &bt_dense);
+        group.bench_with_input(
+            BenchmarkId::new("bt_unpaired", format!("F({m},{r})")),
+            &(),
+            |b, _| {
+                let mut buf_a = input.clone();
+                let mut buf_b = vec![0.0f32; vol * S];
+                b.iter(|| {
+                    buf_a.copy_from_slice(&input);
+                    let mut dims = [alpha, alpha];
+                    transform_all_dims(
+                        &[&bt_unpaired, &bt_unpaired],
+                        &mut buf_a,
+                        &mut buf_b,
+                        &mut dims,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

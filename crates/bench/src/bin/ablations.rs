@@ -1,0 +1,171 @@
+//! Ablation harness for the individual optimisation claims the paper
+//! makes outside its numbered figures:
+//!
+//! * `streaming-stores` — non-temporal vs regular stores in the transform
+//!   stages (§4.2.1 / conclusions: "~25 % on the transform stages").
+//! * `fused-scatter`    — operation ⑥ inside the GEMM vs a separate copy
+//!   pass (§4.3.1: ">20 % overall").
+//! * `blocking-model`   — Eq. 11 compute-to-memory ratios vs measured
+//!   throughput across `(C_blk, C'_blk)` (§4.3.2).
+//! * `scheduling`       — static GCD partition + spin barrier vs rayon
+//!   work stealing vs serial (§4.5).
+//! * `budden-net`       — throughput (MVox/s) on the Budden et al. 4×4
+//!   sample network (§5.1), Winograd vs direct.
+//!
+//! ```text
+//! cargo run -p wino-bench --release --bin ablations -- <subcommand> [--threads N] [--reps N]
+//! ```
+
+use wino_bench::{layer_data, make_executor, run_direct, run_winograd, Args};
+use wino_conv::{stage1, ConvOptions, Scratch, WinogradLayer};
+use wino_gemm::{batched_gemm, candidate_shapes, BlockShape};
+use wino_sched::{Executor, RayonExecutor, SerialExecutor, StaticExecutor};
+use wino_tensor::BlockedMatrices;
+use wino_workloads::{budden_sample_net, mvox_per_sec, scaled_catalog, time_best, Layer};
+
+fn pick_layer(label: &str) -> Layer {
+    scaled_catalog()
+        .into_iter()
+        .find(|l| l.id() == label)
+        .expect("layer in scaled catalogue")
+}
+
+fn streaming_stores(exec: &dyn Executor, reps: usize) {
+    println!("layer,streaming,transform_ms,full_ms");
+    for label in ["VGG 3.2", "C3D C3b"] {
+        let layer = pick_layer(label);
+        for streaming in [true, false] {
+            let opts = ConvOptions { streaming_stores: streaming, ..Default::default() };
+            let plan = WinogradLayer::new(layer.shape.clone(), vec![4; layer.rank()].as_slice(), opts)
+                .unwrap();
+            let (input, kernels) = layer_data(&layer, 1);
+            let mut scratch = Scratch::new(&plan, exec.threads());
+            let t_transform = time_best(reps, || {
+                stage1::transform_inputs(&plan, &input, &mut scratch, exec);
+            });
+            let mut output = plan.new_output().unwrap();
+            let t_full = time_best(reps, || {
+                plan.forward(&input, &kernels, &mut output, &mut scratch, exec);
+            });
+            println!(
+                "{label},{streaming},{:.3},{:.3}",
+                t_transform.best_ms, t_full.best_ms
+            );
+        }
+    }
+}
+
+fn fused_scatter(exec: &dyn Executor, reps: usize) {
+    println!("layer,fused,full_ms");
+    for label in ["VGG 3.2", "VGG 4.2", "C3D C3b"] {
+        let layer = pick_layer(label);
+        for fused in [true, false] {
+            let opts = ConvOptions { fused_scatter: fused, ..Default::default() };
+            let m = vec![4; layer.rank()];
+            let meas = run_winograd(&layer, &m, false, opts, exec, reps).unwrap();
+            println!("{label},{fused},{:.3}", meas.timing.best_ms);
+        }
+    }
+}
+
+fn blocking_model(reps: usize) {
+    // Serial on purpose: the model is per-core.
+    println!("n_blk,c_blk,cp_blk,eq11_ratio_beta1,gflops");
+    let (t, rows, c, cp) = (8usize, 1024usize, 512usize, 512usize);
+    let mut shapes: Vec<BlockShape> = candidate_shapes(c, cp, rows)
+        .into_iter()
+        .filter(|s| s.n_blk == 8)
+        .collect();
+    shapes.sort_by(|a, b| {
+        a.compute_to_memory_ratio(true)
+            .partial_cmp(&b.compute_to_memory_ratio(true))
+            .unwrap()
+    });
+    shapes.dedup_by_key(|s| (s.c_blk, s.cp_blk));
+    for s in shapes {
+        let mut u = BlockedMatrices::new(t, rows, c, s.n_blk, s.c_blk);
+        let mut v = BlockedMatrices::new(t, c, cp, s.c_blk, s.cp_blk);
+        let mut x = BlockedMatrices::new(t, rows, cp, s.n_blk, s.cp_blk);
+        for (i, f) in u.as_mut_slice().iter_mut().enumerate() {
+            *f = (i % 31) as f32 * 0.01;
+        }
+        for (i, f) in v.as_mut_slice().iter_mut().enumerate() {
+            *f = (i % 17) as f32 * 0.01;
+        }
+        let timing = time_best(reps, || batched_gemm(&u, &v, &mut x));
+        let gflops = 2.0 * (t * rows * c * cp) as f64 / (timing.best_ms * 1e-3) / 1e9;
+        println!(
+            "{},{},{},{:.2},{:.2}",
+            s.n_blk,
+            s.c_blk,
+            s.cp_blk,
+            s.compute_to_memory_ratio(true),
+            gflops
+        );
+    }
+}
+
+fn scheduling(threads: usize, reps: usize) {
+    println!("layer,executor,threads,full_ms");
+    let layer = pick_layer("VGG 3.2");
+    let m = vec![4usize; 2];
+    let execs: Vec<(Box<dyn Executor>, &str)> = vec![
+        (Box::new(SerialExecutor), "serial"),
+        (Box::new(StaticExecutor::new(threads)), "static"),
+        (Box::new(RayonExecutor), "rayon"),
+    ];
+    for (exec, name) in &execs {
+        let meas =
+            run_winograd(&layer, &m, false, ConvOptions::default(), exec.as_ref(), reps).unwrap();
+        println!("{},{name},{},{:.3}", layer.id(), exec.threads(), meas.timing.best_ms);
+    }
+}
+
+fn budden_net(exec: &dyn Executor, reps: usize, image: usize) {
+    println!("layer,impl,best_ms,mvox_per_s");
+    for layer in budden_sample_net(image) {
+        // 4×4 kernels: F(3×3, 4×4) gives α = 6 tiles.
+        let meas = run_winograd(&layer, &[3, 3], false, ConvOptions::default(), exec, reps)
+            .expect("4x4 kernels plan");
+        println!(
+            "{},winograd F(3x3;4x4),{:.3},{:.1}",
+            layer.id(),
+            meas.timing.best_ms,
+            mvox_per_sec(&layer.shape, meas.timing.best_ms)
+        );
+        let d = run_direct(&layer, exec, reps);
+        println!(
+            "{},direct,{:.3},{:.1}",
+            layer.id(),
+            d.timing.best_ms,
+            mvox_per_sec(&layer.shape, d.timing.best_ms)
+        );
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let reps = args.usize_or("--reps", 3);
+    let exec = make_executor(&args);
+    let sub = args.positional().first().map(|s| s.to_string()).unwrap_or_default();
+    match sub.as_str() {
+        "streaming-stores" => streaming_stores(exec.as_ref(), reps),
+        "fused-scatter" => fused_scatter(exec.as_ref(), reps),
+        "blocking-model" => blocking_model(reps),
+        "scheduling" => {
+            let threads = args.usize_or(
+                "--threads",
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            );
+            scheduling(threads.max(2), reps)
+        }
+        "budden-net" => budden_net(exec.as_ref(), reps, args.usize_or("--image", 256)),
+        other => {
+            eprintln!(
+                "unknown subcommand {other:?}; expected one of: streaming-stores, \
+                 fused-scatter, blocking-model, scheduling, budden-net"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Shared plumbing for the benchmark binaries that regenerate the paper's
+//! tables and figures (see EXPERIMENTS.md for the index).
+
+use wino_baseline::{direct_conv, im2col_conv};
+use wino_conv::{ConvOptions, Scratch, WinogradLayer};
+use wino_sched::Executor;
+use wino_tensor::{BlockedImage, BlockedKernels, ConvShape};
+use wino_workloads::{effective_gflops, time_best, uniform_input, xavier_kernels, Layer, Timing};
+
+/// One measured row of a Fig. 5-style report.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub layer: String,
+    pub implementation: String,
+    pub timing: Timing,
+    pub gflops: f64,
+}
+
+impl Measurement {
+    pub fn csv_header() -> &'static str {
+        "layer,impl,best_ms,mean_ms,effective_gflops"
+    }
+
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{:.3},{:.3},{:.2}",
+            self.layer, self.implementation, self.timing.best_ms, self.timing.mean_ms, self.gflops
+        )
+    }
+}
+
+fn measurement(layer: &Layer, name: String, shape: &ConvShape, timing: Timing) -> Measurement {
+    Measurement {
+        layer: layer.id(),
+        implementation: name,
+        gflops: effective_gflops(shape, timing.best_ms),
+        timing,
+    }
+}
+
+/// Deterministic blocked input/kernels for a layer.
+pub fn layer_data(layer: &Layer, seed: u64) -> (BlockedImage, BlockedKernels) {
+    let img = uniform_input(&layer.shape, seed);
+    let ker = xavier_kernels(&layer.shape, seed ^ 0xabcd);
+    (
+        BlockedImage::from_simple(&img).expect("catalogue layers are blockable"),
+        BlockedKernels::from_simple(&ker).expect("catalogue kernels are blockable"),
+    )
+}
+
+/// Time our Winograd implementation for one tile choice. Returns `None`
+/// if the plan is rejected (e.g. tile too large for the layer).
+pub fn run_winograd(
+    layer: &Layer,
+    m: &[usize],
+    fx: bool,
+    opts: ConvOptions,
+    exec: &dyn Executor,
+    reps: usize,
+) -> Option<Measurement> {
+    let plan = WinogradLayer::new(layer.shape.clone(), m, opts).ok()?;
+    let (input, kernels) = layer_data(layer, 42);
+    let mut output = plan.new_output().ok()?;
+    let mut scratch = Scratch::new(&plan, exec.threads());
+    let m_str: Vec<String> = m.iter().map(|x| x.to_string()).collect();
+    let name = if fx {
+        format!("winograd-fx F({})", m_str.join("x"))
+    } else {
+        format!("winograd F({})", m_str.join("x"))
+    };
+    let timing = if fx {
+        let tk = plan.prepare_kernels(&kernels, &mut scratch, exec);
+        time_best(reps, || {
+            plan.forward_fx(&input, &tk, &mut output, &mut scratch, exec);
+        })
+    } else {
+        time_best(reps, || {
+            plan.forward(&input, &kernels, &mut output, &mut scratch, exec);
+        })
+    };
+    std::hint::black_box(output.as_slice().first());
+    Some(measurement(layer, name, &layer.shape, timing))
+}
+
+/// Time the vectorised direct-convolution baseline.
+pub fn run_direct(layer: &Layer, exec: &dyn Executor, reps: usize) -> Measurement {
+    let (input, kernels) = layer_data(layer, 42);
+    let mut output =
+        BlockedImage::zeros(layer.shape.batch, layer.shape.out_channels, &layer.shape.out_dims())
+            .unwrap();
+    let timing = time_best(reps, || {
+        direct_conv(&input, &kernels, &layer.shape.padding, &mut output, exec);
+    });
+    std::hint::black_box(output.as_slice().first());
+    measurement(layer, "direct".into(), &layer.shape, timing)
+}
+
+/// Time the im2col + GEMM baseline.
+pub fn run_im2col(layer: &Layer, exec: &dyn Executor, reps: usize) -> Measurement {
+    let (input, kernels) = layer_data(layer, 42);
+    let mut output =
+        BlockedImage::zeros(layer.shape.batch, layer.shape.out_channels, &layer.shape.out_dims())
+            .unwrap();
+    let timing = time_best(reps, || {
+        im2col_conv(&input, &kernels, &layer.shape.padding, &mut output, exec);
+    });
+    std::hint::black_box(output.as_slice().first());
+    measurement(layer, "im2col-gemm".into(), &layer.shape, timing)
+}
+
+/// Time the FFT baseline (operates on interchange tensors).
+pub fn run_fft(layer: &Layer, exec: &dyn Executor, reps: usize) -> Measurement {
+    let img = uniform_input(&layer.shape, 42);
+    let ker = xavier_kernels(&layer.shape, 42 ^ 0xabcd);
+    let timing = time_best(reps, || {
+        let out = wino_fft::fft_conv(&img, &ker, &layer.shape.padding, exec);
+        std::hint::black_box(out.data.first().copied());
+    });
+    measurement(layer, "fft".into(), &layer.shape, timing)
+}
+
+/// Minimal flag parser: `--key value` pairs plus bare flags.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    pub fn from_env() -> Args {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    pub fn usize_or(&self, name: &str, default: usize) -> usize {
+        self.value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn positional(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in self.raw.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if let Some(stripped) = a.strip_prefix("--") {
+                // Known value-taking flags consume the next token.
+                if ["threads", "reps", "net", "image"].contains(&stripped) {
+                    skip = true;
+                }
+                let _ = i;
+                continue;
+            }
+            out.push(a.as_str());
+        }
+        out
+    }
+}
+
+/// Build the requested executor (`--threads N`, default: available
+/// parallelism; `1` gives the serial executor).
+pub fn make_executor(args: &Args) -> Box<dyn Executor> {
+    let threads = args.usize_or(
+        "--threads",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    if threads <= 1 {
+        Box::new(wino_sched::SerialExecutor)
+    } else {
+        Box::new(wino_sched::StaticExecutor::new(threads))
+    }
+}

@@ -1,0 +1,46 @@
+//! # wino-conv
+//!
+//! The paper's primary contribution: **N-dimensional, Winograd-based
+//! convolution with arbitrary kernel and tile sizes, optimised for
+//! manycore CPUs** (Jia, Zlateski, Durand, Li — PPoPP 2018).
+//!
+//! A convolution `F(m₁×…×m_n, r₁×…×r_n)` runs in three statically
+//! scheduled stages (Fig. 1):
+//!
+//! 1. **Transform** ([`stage1`]): input tiles (overlap-add, §3.1–3.2) and
+//!    kernels are transformed by vectorised codelets operating on `S = 16`
+//!    channels at a time, and scattered — with non-temporal streaming
+//!    stores — into block-panel matrices (Table 1 layouts).
+//! 2. **Multiply** ([`stage2`]): `T` tall-skinny matrix products
+//!    `X_t = U_t·V_t` via the register-blocked micro-kernels of
+//!    `wino-gemm`, with the final reduction block scattering results
+//!    directly into a tile-major layout (operation ⑥).
+//! 3. **Inverse transform** ([`stage3`]): `Aᵀ` codelets produce the output
+//!    image — applied *after* the channel summation (Eqn. 7/8), which is
+//!    where the arithmetic savings come from.
+//!
+//! ```
+//! use wino_tensor::{SimpleImage, SimpleKernels};
+//!
+//! // 16-channel 2-D layer, 3×3 kernels, "same" padding, F(2×2, 3×3).
+//! let img = SimpleImage::from_fn(1, 16, &[8, 8], |_, c, xy| (c + xy[0] * xy[1]) as f32 * 0.01);
+//! let ker = SimpleKernels::from_fn(16, 16, &[3, 3], |co, ci, _| ((co + ci) % 5) as f32 * 0.1);
+//! let out = wino_conv::convolve_simple(&img, &ker, &[1, 1], &[2, 2]).unwrap();
+//! assert_eq!(out.dims, vec![8, 8]);
+//! ```
+
+pub mod conv;
+pub mod layout;
+pub mod net;
+pub mod plan;
+pub mod select;
+pub mod training;
+pub mod stage1;
+pub mod stage2;
+pub mod stage3;
+pub mod vecprog;
+
+pub use conv::{convolve_simple, TransformedKernels};
+pub use layout::TileMajor;
+pub use net::{Activation, LayerSpec, NetLayer, Network};
+pub use plan::{ConvOptions, PlanError, Scratch, Stage2Backend, WinogradLayer, MAX_RANK};

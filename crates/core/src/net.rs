@@ -1,0 +1,335 @@
+//! Multi-layer network execution with shared auxiliary memory (§4.4).
+//!
+//! "While the size of the auxiliary buffer can be a couple of times larger
+//! than the memory required for storing the computed images, the same
+//! memory buffer can be reused for the computation of each layer." —
+//! [`Network`] realises that: it plans a sequence of convolutional layers
+//! (each with its own `F(m, r)`), allocates **one** [`Scratch`] sized to
+//! the maximum requirement, and runs the whole net through it. Layer
+//! outputs stay in the blocked layout, so no reshuffling happens between
+//! layers (§4.1).
+
+use wino_sched::Executor;
+use wino_tensor::{BlockedImage, BlockedKernels, BlockedMatrices, ConvShape};
+
+use crate::conv::TransformedKernels;
+use crate::plan::{ConvOptions, PlanError, Scratch, WinogradLayer};
+
+/// Pointwise activation applied between layers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Activation {
+    #[default]
+    None,
+    Relu,
+}
+
+impl Activation {
+    fn apply(self, img: &mut BlockedImage) {
+        if self == Activation::Relu {
+            for v in img.as_mut_slice() {
+                *v = v.max(0.0);
+            }
+        }
+    }
+}
+
+/// One planned layer of a [`Network`].
+pub struct NetLayer {
+    pub plan: WinogradLayer,
+    pub activation: Activation,
+}
+
+/// A sequential stack of Winograd convolution layers sharing one scratch
+/// allocation.
+pub struct Network {
+    layers: Vec<NetLayer>,
+    /// One scratch sized to the maximum over all layers (re-created only
+    /// when a layer's geometry requires different buffer shapes — the
+    /// paper's single-arena reuse, expressed with typed buffers).
+    scratch: Scratch,
+}
+
+impl Network {
+    /// Plan a network from `(out_channels, kernel_dims, padding, m,
+    /// activation)` layer specs applied successively to an input of shape
+    /// `(batch, in_channels, image_dims)`.
+    pub fn new(
+        batch: usize,
+        in_channels: usize,
+        image_dims: &[usize],
+        specs: &[LayerSpec],
+        opts: ConvOptions,
+        threads: usize,
+    ) -> Result<Network, PlanError> {
+        assert!(!specs.is_empty(), "network needs at least one layer");
+        let mut layers = Vec::with_capacity(specs.len());
+        let mut c = in_channels;
+        let mut dims = image_dims.to_vec();
+        for spec in specs {
+            let shape = ConvShape::new(batch, c, spec.out_channels, &dims, &spec.kernel, &spec.padding)?;
+            let plan = WinogradLayer::new(shape.clone(), &spec.m, opts)?;
+            c = spec.out_channels;
+            dims = shape.out_dims();
+            layers.push(NetLayer { plan, activation: spec.activation });
+        }
+
+        // One scratch seeded with the largest layer's requirement.
+        let scratch = Self::max_scratch(&layers, threads);
+        Ok(Network { layers, scratch })
+    }
+
+    fn max_scratch(layers: &[NetLayer], threads: usize) -> Scratch {
+        // Build per-layer scratches lazily and keep the largest of each
+        // component. Simpler and still exact: find the layer maximising
+        // each component size, then allocate a scratch that fits all.
+        let mut best = Scratch::new(&layers[0].plan, threads);
+        for l in &layers[1..] {
+            let s = Scratch::new(&l.plan, threads);
+            if s.bytes() > best.bytes() {
+                best = s;
+            }
+        }
+        // The per-component shapes differ between layers, so Scratch is
+        // re-created per layer in `forward` when shapes mismatch; `best`
+        // seeds the reuse. (The paper's artifact does the same: one arena,
+        // per-layer views.)
+        best
+    }
+
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn layers(&self) -> &[NetLayer] {
+        &self.layers
+    }
+
+    /// Auxiliary bytes currently held.
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.bytes()
+    }
+
+    /// Memoise all kernel transforms for inference (§4.2 "Inference
+    /// only"); pass the result to [`Self::forward_fx`].
+    pub fn prepare_kernels(
+        &mut self,
+        kernels: &[BlockedKernels],
+        exec: &dyn Executor,
+    ) -> Result<Vec<TransformedKernels>, PlanError> {
+        assert_eq!(kernels.len(), self.layers.len());
+        let layers = std::mem::take(&mut self.layers);
+        let mut out = Vec::with_capacity(kernels.len());
+        for (l, k) in layers.iter().zip(kernels) {
+            self.ensure_scratch(l, exec.threads());
+            out.push(l.plan.prepare_kernels(k, &mut self.scratch, exec));
+        }
+        self.layers = layers;
+        Ok(out)
+    }
+
+    fn ensure_scratch(&mut self, layer: &NetLayer, threads: usize) {
+        let p = &layer.plan;
+        let need_u = |m: &BlockedMatrices, t, rows, cols, rb, cb| -> bool {
+            m.t_count() == t && m.rows() == rows && m.cols() == cols && m.rb() == rb && m.cb() == cb
+        };
+        let b = p.block;
+        let ok = need_u(&self.scratch.u, p.t_vol(), p.rows(), p.shape.in_channels, b.n_blk, b.c_blk)
+            && need_u(&self.scratch.v, p.t_vol(), p.shape.in_channels, p.shape.out_channels, b.c_blk, b.cp_blk)
+            && self.scratch.y.n_tiles() == p.n_tiles()
+            && self.scratch.y.batch() == p.shape.batch
+            && self.scratch.y.channel_groups() == p.shape.out_channels / wino_simd::S
+            && self.scratch.y.t_vol() == p.t_vol()
+            && self.scratch.thread_slots() >= threads;
+        if !ok {
+            self.scratch = Scratch::new(p, threads);
+        }
+    }
+
+    /// Run the network (training mode: kernels transformed every call).
+    /// Returns the final activation.
+    pub fn forward(
+        &mut self,
+        input: &BlockedImage,
+        kernels: &[BlockedKernels],
+        exec: &dyn Executor,
+    ) -> BlockedImage {
+        assert_eq!(kernels.len(), self.layers.len());
+        self.run(input, exec, |layer, inp, out, scratch, exec, i| {
+            layer.plan.forward(inp, &kernels[i], out, scratch, exec);
+        })
+    }
+
+    /// Run the network in inference mode with memoised kernel transforms.
+    pub fn forward_fx(
+        &mut self,
+        input: &BlockedImage,
+        kernels: &[TransformedKernels],
+        exec: &dyn Executor,
+    ) -> BlockedImage {
+        assert_eq!(kernels.len(), self.layers.len());
+        self.run(input, exec, |layer, inp, out, scratch, exec, i| {
+            layer.plan.forward_fx(inp, &kernels[i], out, scratch, exec);
+        })
+    }
+
+    fn run(
+        &mut self,
+        input: &BlockedImage,
+        exec: &dyn Executor,
+        mut step: impl FnMut(&NetLayer, &BlockedImage, &mut BlockedImage, &mut Scratch, &dyn Executor, usize),
+    ) -> BlockedImage {
+        // Move the layer list out so `self.scratch` can be borrowed
+        // mutably while iterating; restored before returning.
+        let layers = std::mem::take(&mut self.layers);
+        let mut current: Option<BlockedImage> = None;
+        for (i, layer) in layers.iter().enumerate() {
+            self.ensure_scratch(layer, exec.threads());
+            let mut out = layer.plan.new_output().expect("planned shapes are valid");
+            {
+                let inp = current.as_ref().unwrap_or(input);
+                step(layer, inp, &mut out, &mut self.scratch, exec, i);
+            }
+            layer.activation.apply(&mut out);
+            current = Some(out);
+        }
+        self.layers = layers;
+        current.expect("at least one layer")
+    }
+}
+
+/// Specification of one network layer.
+#[derive(Clone, Debug)]
+pub struct LayerSpec {
+    pub out_channels: usize,
+    pub kernel: Vec<usize>,
+    pub padding: Vec<usize>,
+    /// Winograd output-tile size per dimension.
+    pub m: Vec<usize>,
+    pub activation: Activation,
+}
+
+impl LayerSpec {
+    /// A "same"-padded layer with cubic kernels and tiles.
+    pub fn same(out_channels: usize, rank: usize, r: usize, m: usize) -> LayerSpec {
+        LayerSpec {
+            out_channels,
+            kernel: vec![r; rank],
+            padding: vec![r / 2; rank],
+            m: vec![m; rank],
+            activation: Activation::Relu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_sched::SerialExecutor;
+    use wino_tensor::{SimpleImage, SimpleKernels};
+
+    fn kernels_for(net: &Network, seed: usize) -> Vec<BlockedKernels> {
+        net.layers()
+            .iter()
+            .map(|l| {
+                let s = &l.plan.shape;
+                let k = SimpleKernels::from_fn(s.out_channels, s.in_channels, &s.kernel_dims, |co, ci, xy| {
+                    ((co * 7 + ci * 3 + xy.iter().sum::<usize>() + seed) % 13) as f32 * 0.05 - 0.3
+                });
+                BlockedKernels::from_simple(&k).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_layer_net_matches_manual_chaining() {
+        let specs = vec![LayerSpec::same(32, 2, 3, 2), LayerSpec::same(16, 2, 3, 2)];
+        let mut net =
+            Network::new(1, 16, &[12, 12], &specs, ConvOptions::default(), 1).unwrap();
+        assert_eq!(net.num_layers(), 2);
+        let img = SimpleImage::from_fn(1, 16, &[12, 12], |_, c, xy| {
+            ((c + xy[0] * 3 + xy[1]) % 11) as f32 * 0.1 - 0.5
+        });
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 0);
+        let out = net.forward(&input, &kernels, &SerialExecutor);
+
+        // Manual chaining with fresh plans and scratches.
+        let s1 = ConvShape::new(1, 16, 32, &[12, 12], &[3, 3], &[1, 1]).unwrap();
+        let p1 = WinogradLayer::new(s1.clone(), &[2, 2], ConvOptions::default()).unwrap();
+        let s2 = ConvShape::new(1, 32, 16, &[12, 12], &[3, 3], &[1, 1]).unwrap();
+        let p2 = WinogradLayer::new(s2, &[2, 2], ConvOptions::default()).unwrap();
+        let mut sc1 = Scratch::new(&p1, 1);
+        let mut sc2 = Scratch::new(&p2, 1);
+        let mut a1 = p1.new_output().unwrap();
+        p1.forward(&input, &kernels[0], &mut a1, &mut sc1, &SerialExecutor);
+        for v in a1.as_mut_slice() {
+            *v = v.max(0.0);
+        }
+        let mut a2 = p2.new_output().unwrap();
+        p2.forward(&a1, &kernels[1], &mut a2, &mut sc2, &SerialExecutor);
+        for v in a2.as_mut_slice() {
+            *v = v.max(0.0);
+        }
+        assert_eq!(out.as_slice(), a2.as_slice());
+    }
+
+    #[test]
+    fn fx_mode_matches_training_mode() {
+        let specs = vec![LayerSpec::same(16, 2, 3, 4), LayerSpec::same(16, 2, 3, 4)];
+        let mut net = Network::new(1, 16, &[14, 14], &specs, ConvOptions::default(), 1).unwrap();
+        let img = SimpleImage::from_fn(1, 16, &[14, 14], |_, c, xy| (c + xy[0] + xy[1]) as f32 * 0.02);
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 5);
+        let train = net.forward(&input, &kernels, &SerialExecutor);
+        let tks = net.prepare_kernels(&kernels, &SerialExecutor).unwrap();
+        let fx = net.forward_fx(&input, &tks, &SerialExecutor);
+        assert_eq!(train.as_slice(), fx.as_slice());
+    }
+
+    #[test]
+    fn valid_padding_shrinks_through_layers() {
+        let specs = vec![
+            LayerSpec {
+                out_channels: 16,
+                kernel: vec![3, 3],
+                padding: vec![0, 0],
+                m: vec![2, 2],
+                activation: Activation::None,
+            };
+            3
+        ];
+        let mut net = Network::new(1, 16, &[16, 16], &specs, ConvOptions::default(), 1).unwrap();
+        let img = SimpleImage::from_fn(1, 16, &[16, 16], |_, c, xy| (c + xy[0]) as f32 * 0.01);
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 9);
+        let out = net.forward(&input, &kernels, &SerialExecutor);
+        assert_eq!(out.dims, vec![10, 10]); // 16 -> 14 -> 12 -> 10
+    }
+
+    #[test]
+    fn wider_executor_than_planned_regrows_scratch() {
+        // Regression: Network planned with 1 thread must still run on a
+        // 4-slot executor (scratch thread slots regrow on demand).
+        let specs = vec![LayerSpec::same(16, 2, 3, 2)];
+        let mut net = Network::new(1, 16, &[10, 10], &specs, ConvOptions::default(), 1).unwrap();
+        let img = SimpleImage::from_fn(1, 16, &[10, 10], |_, c, xy| (c + xy[0]) as f32 * 0.02);
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 4);
+        let serial = net.forward(&input, &kernels, &SerialExecutor);
+        let pool = wino_sched::StaticExecutor::new(4);
+        let parallel = net.forward(&input, &kernels, &pool);
+        assert_eq!(serial.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn repeated_forwards_are_deterministic() {
+        let specs = vec![LayerSpec::same(16, 2, 3, 2)];
+        let mut net = Network::new(2, 16, &[10, 10], &specs, ConvOptions::default(), 1).unwrap();
+        let img = SimpleImage::from_fn(2, 16, &[10, 10], |b, c, xy| (b + c + xy[1]) as f32 * 0.03);
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 2);
+        let a = net.forward(&input, &kernels, &SerialExecutor);
+        let b = net.forward(&input, &kernels, &SerialExecutor);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,452 @@
+//! Layer plans and scratch buffers.
+//!
+//! A [`WinogradLayer`] fixes everything known at "instantiation time" in
+//! the paper's C++ artifact: the layer shape, the `F(m, r)` transform
+//! programs per dimension, and the stage-2 blocking parameters. A
+//! [`Scratch`] is the paper's auxiliary buffer (§4.4 "Memory overhead"):
+//! it holds `I` (transformed inputs), `W` (transformed kernels), `I'_tmp`
+//! and tile-major `I'`, and is reused across layers.
+
+use std::cell::UnsafeCell;
+
+use wino_gemm::{default_shape, BlockShape};
+use wino_simd::{AlignedVec, S};
+use wino_tensor::{BlockedMatrices, ConvShape, ShapeError, TileGrid};
+use wino_transforms::{FmrPlan, PointSchedule};
+
+use crate::layout::TileMajor;
+
+/// Maximum supported spatial rank (the stages use fixed-size index
+/// buffers; 6 covers any practical ConvNet with room to spare).
+pub const MAX_RANK: usize = 6;
+
+/// Which engine executes stage 2's micro-kernels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Stage2Backend {
+    /// Const-generic monomorphised Rust kernels (`wino-gemm`). Default.
+    #[default]
+    Mono,
+    /// Run-time generated machine code (`wino-jit`) — the paper's JIT,
+    /// including the in-kernel streaming scatter. Requires AVX-512F at
+    /// runtime; planning fails with [`PlanError::Jit`] otherwise.
+    Jit,
+}
+
+/// Tuning and ablation switches.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvOptions {
+    /// Use non-temporal streaming stores in the transform stages
+    /// (§4.2.1; the paper credits them with ~25 % on those stages).
+    pub streaming_stores: bool,
+    /// Scatter stage-2 results to the tile-major layout inside the GEMM
+    /// micro-kernel (operation ⑥; >20 % overall in the paper) instead of a
+    /// separate copy pass.
+    pub fused_scatter: bool,
+    /// Explicit blocking parameters; `None` uses the Eq. 11 model default
+    /// (or wisdom, via the higher-level API).
+    pub block: Option<BlockShape>,
+    /// Interpolation-point schedule for the transform generation (the
+    /// Table 3 conditioning ablation).
+    pub points: PointSchedule,
+    /// Stage-2 kernel engine.
+    pub stage2: Stage2Backend,
+}
+
+impl Default for ConvOptions {
+    fn default() -> Self {
+        ConvOptions {
+            streaming_stores: true,
+            fused_scatter: true,
+            block: None,
+            points: PointSchedule::default(),
+            stage2: Stage2Backend::default(),
+        }
+    }
+}
+
+/// Errors from plan construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    Shape(ShapeError),
+    /// Rank exceeds [`MAX_RANK`].
+    RankTooHigh { rank: usize },
+    /// Requested tile size is numerically or structurally unusable.
+    BadTileSize { dim: usize, m: usize },
+    /// Blocking parameters incompatible with the channel counts.
+    BadBlocking { reason: String },
+    /// JIT stage-2 backend requested but unavailable (no AVX-512F, or
+    /// code emission failed).
+    Jit { reason: String },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Shape(e) => write!(f, "{e}"),
+            PlanError::RankTooHigh { rank } => {
+                write!(f, "rank {rank} exceeds supported maximum {MAX_RANK}")
+            }
+            PlanError::BadTileSize { dim, m } => {
+                write!(f, "output tile size m={m} for dimension {dim} is unusable")
+            }
+            PlanError::BadBlocking { reason } => write!(f, "bad blocking: {reason}"),
+            PlanError::Jit { reason } => write!(f, "jit backend unavailable: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<ShapeError> for PlanError {
+    fn from(e: ShapeError) -> Self {
+        PlanError::Shape(e)
+    }
+}
+
+/// Pre-compiled machine-code kernels for the JIT stage-2 backend: the
+/// β = 0/1 block kernels for intermediate reduction blocks and the
+/// streaming-scatter kernels (full-height and tail panels) for the final
+/// one.
+pub(crate) struct JitStage2 {
+    pub block0: Option<wino_jit::JitKernel>,
+    pub block1: Option<wino_jit::JitKernel>,
+    pub scatter_full: Option<wino_jit::JitKernel>,
+    pub scatter_tail: Option<wino_jit::JitKernel>,
+    /// Rows of the final, partially filled panel (0 = all panels full).
+    pub tail: usize,
+}
+
+impl std::fmt::Debug for JitStage2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JitStage2 {{ tail: {} }}", self.tail)
+    }
+}
+
+/// A fully planned N-D Winograd convolution for one layer shape and one
+/// choice of `F(m, r)`.
+#[derive(Debug)]
+pub struct WinogradLayer {
+    pub shape: ConvShape,
+    pub grid: TileGrid,
+    /// Per-dimension transform plans `F(m_d, r_d)`.
+    pub plans: Vec<FmrPlan>,
+    /// Stage-2 blocking `(n_blk, C_blk, C'_blk)`.
+    pub block: BlockShape,
+    pub opts: ConvOptions,
+    pub(crate) jit: Option<JitStage2>,
+}
+
+impl WinogradLayer {
+    /// Plan `F(m₁×…×m_n, r₁×…×r_n)` for the given layer.
+    pub fn new(shape: ConvShape, m: &[usize], opts: ConvOptions) -> Result<WinogradLayer, PlanError> {
+        let rank = shape.rank();
+        if rank > MAX_RANK {
+            return Err(PlanError::RankTooHigh { rank });
+        }
+        if shape.in_channels % S != 0 {
+            return Err(ShapeError::ChannelsNotVectorMultiple { channels: shape.in_channels }.into());
+        }
+        if shape.out_channels % S != 0 {
+            return Err(
+                ShapeError::ChannelsNotVectorMultiple { channels: shape.out_channels }.into()
+            );
+        }
+        let grid = TileGrid::new(&shape, m)?;
+        let mut plans = Vec::with_capacity(rank);
+        for d in 0..rank {
+            if m[d] == 0 || m[d] + shape.kernel_dims[d] - 1 > wino_transforms::points::MAX_FINITE_POINTS + 1 {
+                return Err(PlanError::BadTileSize { dim: d, m: m[d] });
+            }
+            plans.push(FmrPlan::with_schedule(m[d], shape.kernel_dims[d], opts.points));
+        }
+        let rows = grid.total_tiles() * shape.batch;
+        let block = match opts.block {
+            Some(b) => {
+                if shape.in_channels % b.c_blk != 0 {
+                    return Err(PlanError::BadBlocking {
+                        reason: format!("C={} not divisible by C_blk={}", shape.in_channels, b.c_blk),
+                    });
+                }
+                if shape.out_channels % b.cp_blk != 0 {
+                    return Err(PlanError::BadBlocking {
+                        reason: format!(
+                            "C'={} not divisible by C'_blk={}",
+                            shape.out_channels, b.cp_blk
+                        ),
+                    });
+                }
+                if b.n_blk == 0 || b.n_blk > wino_gemm::MAX_N_BLK {
+                    return Err(PlanError::BadBlocking {
+                        reason: format!("n_blk={} out of range", b.n_blk),
+                    });
+                }
+                if b.c_blk % S != 0 || b.cp_blk % S != 0 {
+                    return Err(PlanError::BadBlocking {
+                        reason: "C_blk and C'_blk must be multiples of 16".into(),
+                    });
+                }
+                b
+            }
+            None => default_shape(shape.in_channels, shape.out_channels, rows),
+        };
+        let jit = match opts.stage2 {
+            Stage2Backend::Mono => None,
+            Stage2Backend::Jit => Some(Self::build_jit(&shape, &grid, block, rows, opts)?),
+        };
+        Ok(WinogradLayer { shape, grid, plans, block, opts, jit })
+    }
+
+    /// Compile the stage-2 machine-code kernels (the paper generates them
+    /// "on demand, … compiled to a shared library, and loaded" — here they
+    /// are emitted straight into executable pages at plan time).
+    fn build_jit(
+        shape: &ConvShape,
+        grid: &TileGrid,
+        block: BlockShape,
+        rows: usize,
+        opts: ConvOptions,
+    ) -> Result<JitStage2, PlanError> {
+        use wino_jit::{JitKernel, JitOutput};
+        let jit_err = |e: wino_jit::JitError| PlanError::Jit { reason: e.to_string() };
+        let k_blocks = shape.in_channels / block.c_blk;
+        let tail = rows % block.n_blk;
+        let t_vol = grid.tile_volume();
+        let n_tiles: usize = grid.counts.iter().product();
+        // Tile-major group stride (floats): see `TileMajor::group_stride`.
+        let group_stride = n_tiles * t_vol * S;
+        let (nb, cb, cpb) = (block.n_blk, block.c_blk, block.cp_blk);
+
+        let need_block0 = !opts.fused_scatter || k_blocks > 1;
+        let need_block1 = k_blocks > 1 && (!opts.fused_scatter || k_blocks > 2);
+        let scatter_beta = k_blocks > 1;
+        let block0 = if need_block0 {
+            Some(JitKernel::compile(nb, cb, cpb, false).map_err(jit_err)?)
+        } else {
+            None
+        };
+        let block1 = if need_block1 {
+            Some(JitKernel::compile(nb, cb, cpb, true).map_err(jit_err)?)
+        } else {
+            None
+        };
+        let (scatter_full, scatter_tail) = if opts.fused_scatter {
+            let full = JitKernel::compile_with_output(
+                nb,
+                cb,
+                cpb,
+                scatter_beta,
+                JitOutput::Scatter { group_stride },
+            )
+            .map_err(jit_err)?;
+            let tail_kernel = if tail != 0 {
+                Some(
+                    JitKernel::compile_with_output(
+                        tail,
+                        cb,
+                        cpb,
+                        scatter_beta,
+                        JitOutput::Scatter { group_stride },
+                    )
+                    .map_err(jit_err)?,
+                )
+            } else {
+                None
+            };
+            (Some(full), tail_kernel)
+        } else {
+            (None, None)
+        };
+        Ok(JitStage2 { block0, block1, scatter_full, scatter_tail, tail })
+    }
+
+    /// Number of spatial dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Tile volume `T = ∏(m_d + r_d − 1)` — the number of batched matrix
+    /// multiplications in stage 2.
+    pub fn t_vol(&self) -> usize {
+        self.grid.tile_volume()
+    }
+
+    /// Tiles per image `N`.
+    pub fn n_tiles(&self) -> usize {
+        self.grid.total_tiles()
+    }
+
+    /// Panel rows of the transformed matrices: `N·B`.
+    pub fn rows(&self) -> usize {
+        self.n_tiles() * self.shape.batch
+    }
+
+    /// Allocate the output image for this layer.
+    pub fn new_output(&self) -> Result<wino_tensor::BlockedImage, ShapeError> {
+        wino_tensor::BlockedImage::zeros(self.shape.batch, self.shape.out_channels, &self.shape.out_dims())
+    }
+
+    /// FLOPs the equivalent direct convolution would perform (the
+    /// normaliser for effective-GFLOP/s reporting, as in Fig. 5).
+    pub fn direct_flops(&self) -> u128 {
+        self.shape.direct_flops()
+    }
+}
+
+/// Per-thread ping-pong tile buffers (each `T·S` floats).
+pub(crate) struct ThreadBuf {
+    pub a: AlignedVec,
+    pub b: AlignedVec,
+}
+
+/// The paper's auxiliary memory: transformed inputs `I` (`u`), transformed
+/// kernels `W` (`v`), blocked intermediate `I'_tmp` (`x`), tile-major
+/// transformed outputs `I'` (`y`), plus per-thread codelet buffers.
+///
+/// Reused across invocations (and across layers of the same plan); sized
+/// once at construction.
+pub struct Scratch {
+    pub u: BlockedMatrices,
+    pub v: BlockedMatrices,
+    pub x: BlockedMatrices,
+    pub y: TileMajor,
+    bufs: Vec<UnsafeCell<ThreadBuf>>,
+}
+
+// SAFETY: each executor thread slot accesses only its own `bufs[slot]`
+// (guaranteed by the Executor contract), and the matrices are written at
+// disjoint offsets per task.
+unsafe impl Sync for Scratch {}
+
+impl Scratch {
+    /// Allocate scratch for `layer`, usable with executors of up to
+    /// `threads` thread slots.
+    pub fn new(layer: &WinogradLayer, threads: usize) -> Scratch {
+        let t = layer.t_vol();
+        let rows = layer.rows();
+        let (c, cp) = (layer.shape.in_channels, layer.shape.out_channels);
+        let b = layer.block;
+        let u = BlockedMatrices::new(t, rows, c, b.n_blk, b.c_blk);
+        let v = BlockedMatrices::new(t, c, cp, b.c_blk, b.cp_blk);
+        let x = BlockedMatrices::new(t, rows, cp, b.n_blk, b.cp_blk);
+        let y = TileMajor::new(layer.shape.batch, cp, layer.n_tiles(), t);
+        let bufs = (0..threads.max(1))
+            .map(|_| {
+                UnsafeCell::new(ThreadBuf {
+                    a: AlignedVec::zeroed(t * S),
+                    b: AlignedVec::zeroed(t * S),
+                })
+            })
+            .collect();
+        Scratch { u, v, x, y, bufs }
+    }
+
+    /// Total auxiliary bytes (the paper's memory-overhead number).
+    pub fn bytes(&self) -> usize {
+        self.u.bytes() + self.v.bytes() + self.x.bytes() + self.y.bytes()
+    }
+
+    pub(crate) fn thread_slots(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Exclusive access to thread `slot`'s ping-pong buffers.
+    ///
+    /// # Safety
+    /// At most one task may hold a given slot's buffers at a time (the
+    /// Executor slot contract).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn thread_buf(&self, slot: usize) -> &mut ThreadBuf {
+        &mut *self.bufs[slot].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape2d() -> ConvShape {
+        ConvShape::new(2, 32, 32, &[12, 12], &[3, 3], &[1, 1]).unwrap()
+    }
+
+    #[test]
+    fn plan_basics() {
+        let layer = WinogradLayer::new(shape2d(), &[4, 4], ConvOptions::default()).unwrap();
+        assert_eq!(layer.rank(), 2);
+        assert_eq!(layer.t_vol(), 36);
+        assert_eq!(layer.grid.counts, vec![3, 3]);
+        assert_eq!(layer.rows(), 2 * 9);
+        assert_eq!(layer.shape.out_dims(), vec![12, 12]);
+        // Blocking legality.
+        assert_eq!(32 % layer.block.c_blk, 0);
+        assert_eq!(32 % layer.block.cp_blk, 0);
+    }
+
+    #[test]
+    fn plan_rejects_bad_channels() {
+        let s = ConvShape::new(1, 24, 32, &[8, 8], &[3, 3], &[0, 0]).unwrap();
+        assert!(matches!(
+            WinogradLayer::new(s, &[2, 2], ConvOptions::default()),
+            Err(PlanError::Shape(ShapeError::ChannelsNotVectorMultiple { .. }))
+        ));
+    }
+
+    #[test]
+    fn plan_rejects_bad_blocking() {
+        let opts = ConvOptions {
+            block: Some(BlockShape { n_blk: 8, c_blk: 48, cp_blk: 16 }),
+            ..Default::default()
+        };
+        assert!(matches!(
+            WinogradLayer::new(shape2d(), &[2, 2], opts),
+            Err(PlanError::BadBlocking { .. })
+        ));
+        let opts = ConvOptions {
+            block: Some(BlockShape { n_blk: 40, c_blk: 16, cp_blk: 16 }),
+            ..Default::default()
+        };
+        assert!(matches!(
+            WinogradLayer::new(shape2d(), &[2, 2], opts),
+            Err(PlanError::BadBlocking { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_rejects_huge_tiles() {
+        assert!(matches!(
+            WinogradLayer::new(shape2d(), &[40, 4], ConvOptions::default()),
+            Err(PlanError::BadTileSize { dim: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn scratch_sizes() {
+        let layer = WinogradLayer::new(shape2d(), &[4, 4], ConvOptions::default()).unwrap();
+        let scratch = Scratch::new(&layer, 4);
+        assert_eq!(scratch.u.t_count(), 36);
+        assert_eq!(scratch.u.rows(), 18);
+        assert_eq!(scratch.u.cols(), 32);
+        assert_eq!(scratch.v.rows(), 32);
+        assert_eq!(scratch.v.cols(), 32);
+        assert_eq!(scratch.y.n_tiles(), 9);
+        assert_eq!(scratch.thread_slots(), 4);
+        assert!(scratch.bytes() > 0);
+    }
+
+    #[test]
+    fn three_d_plan() {
+        let s = ConvShape::new(1, 16, 16, &[6, 8, 8], &[3, 3, 3], &[1, 1, 1]).unwrap();
+        let layer = WinogradLayer::new(s, &[2, 4, 4], ConvOptions::default()).unwrap();
+        assert_eq!(layer.t_vol(), 4 * 6 * 6);
+        assert_eq!(layer.grid.counts, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn asymmetric_tiles_and_kernels() {
+        // F(6×8, 3×3)-style and arbitrary kernel 4×2.
+        let s = ConvShape::new(1, 16, 16, &[20, 20], &[4, 2], &[0, 0]).unwrap();
+        let layer = WinogradLayer::new(s, &[3, 5], ConvOptions::default()).unwrap();
+        assert_eq!(layer.plans[0].alpha(), 6);
+        assert_eq!(layer.plans[1].alpha(), 6);
+        assert_eq!(layer.grid.out_dims, vec![17, 19]);
+    }
+}

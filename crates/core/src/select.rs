@@ -1,0 +1,157 @@
+//! Automatic `F(m, r)` tile-size selection.
+//!
+//! §5.1 shows that the best tile size depends on the layer: large `m`
+//! saves multiplications but pads the output grid (ceil-division
+//! overhang) and grows the transform cost quadratically. The paper picks
+//! `m` per layer empirically (the Fig. 5 sweep); this module packages
+//! that workflow: enumerate candidate tile vectors, time a real forward
+//! pass for each, return the fastest plan. Numerical limits from Table 3
+//! (f32: `m ≤ 6` per dimension for training, `m ≤ 8` for inference) bound
+//! the search space.
+
+use wino_sched::Executor;
+use wino_tensor::{BlockedImage, BlockedKernels, ConvShape};
+
+use crate::plan::{ConvOptions, PlanError, Scratch, WinogradLayer};
+
+/// What the selected plan will be used for — bounds the largest tile per
+/// Table 3's accuracy limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Purpose {
+    /// Errors must stay training-safe (≲1e-2): `m ≤ 6`.
+    Training,
+    /// Inference tolerates an order of magnitude more: `m ≤ 8`.
+    Inference,
+}
+
+impl Purpose {
+    fn max_m(self) -> usize {
+        match self {
+            Purpose::Training => 6,
+            Purpose::Inference => 8,
+        }
+    }
+}
+
+/// Candidate tile vectors for a layer: uniform tiles `2..=max_m` per
+/// dimension, clipped so no dimension's tile exceeds its output extent
+/// (larger would be pure padding).
+pub fn candidate_tiles(shape: &ConvShape, purpose: Purpose) -> Vec<Vec<usize>> {
+    let out = shape.out_dims();
+    let rank = shape.rank();
+    let mut cands = Vec::new();
+    for m in 2..=purpose.max_m() {
+        let tile: Vec<usize> = (0..rank).map(|d| m.min(out[d])).collect();
+        if !cands.contains(&tile) {
+            cands.push(tile);
+        }
+    }
+    cands
+}
+
+/// Result of a tile-size search.
+pub struct Selection {
+    pub plan: WinogradLayer,
+    pub m: Vec<usize>,
+    pub best_ms: f64,
+    /// All timed candidates `(m, ms)`, fastest first.
+    pub trials: Vec<(Vec<usize>, f64)>,
+}
+
+/// Empirically select the fastest `F(m, r)` for a layer by timing one
+/// warm-up plus `reps` forward passes per candidate on synthetic data.
+///
+/// Returns `PlanError` only if *no* candidate is plannable.
+pub fn select_tile(
+    shape: &ConvShape,
+    opts: ConvOptions,
+    purpose: Purpose,
+    exec: &dyn Executor,
+    reps: usize,
+) -> Result<Selection, PlanError> {
+    let mut input = BlockedImage::zeros(shape.batch, shape.in_channels, &shape.image_dims)?;
+    for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i * 2654435761) >> 22 & 0xff) as f32 / 1275.0 - 0.1;
+    }
+    let mut kernels =
+        BlockedKernels::zeros(shape.in_channels, shape.out_channels, &shape.kernel_dims)?;
+    for (i, v) in kernels.as_mut_slice().iter_mut().enumerate() {
+        *v = ((i * 0x9E3779B9) >> 22 & 0xff) as f32 / 2550.0 - 0.05;
+    }
+
+    let mut trials: Vec<(Vec<usize>, f64)> = Vec::new();
+    let mut last_err = None;
+    for m in candidate_tiles(shape, purpose) {
+        let plan = match WinogradLayer::new(shape.clone(), &m, opts) {
+            Ok(p) => p,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
+        let mut scratch = Scratch::new(&plan, exec.threads());
+        let mut out = plan.new_output()?;
+        plan.forward(&input, &kernels, &mut out, &mut scratch, exec); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t0 = std::time::Instant::now();
+            plan.forward(&input, &kernels, &mut out, &mut scratch, exec);
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        std::hint::black_box(out.as_slice().first());
+        trials.push((m, best));
+    }
+    trials.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    match trials.first().cloned() {
+        Some((m, best_ms)) => {
+            let plan = WinogradLayer::new(shape.clone(), &m, opts)?;
+            Ok(Selection { plan, m, best_ms, trials })
+        }
+        None => Err(last_err.unwrap_or(PlanError::BadTileSize { dim: 0, m: 0 })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_sched::SerialExecutor;
+
+    #[test]
+    fn candidates_respect_purpose_and_extent() {
+        let s = ConvShape::new(1, 16, 16, &[20, 20], &[3, 3], &[1, 1]).unwrap();
+        let train = candidate_tiles(&s, Purpose::Training);
+        assert!(train.iter().all(|m| m.iter().all(|&x| x <= 6)));
+        assert_eq!(train.len(), 5); // m = 2..=6
+        let infer = candidate_tiles(&s, Purpose::Inference);
+        assert_eq!(infer.len(), 7); // m = 2..=8
+
+        // Tiny output: tiles clipped to the output extent, deduplicated.
+        let tiny = ConvShape::new(1, 16, 16, &[5, 5], &[3, 3], &[0, 0]).unwrap();
+        let c = candidate_tiles(&tiny, Purpose::Inference);
+        assert!(c.iter().all(|m| m.iter().all(|&x| x <= 3)));
+        assert_eq!(c.len(), 2); // [2,2] and [3,3]
+    }
+
+    #[test]
+    fn selection_returns_fastest_plannable_tile() {
+        let s = ConvShape::new(1, 16, 16, &[14, 14], &[3, 3], &[1, 1]).unwrap();
+        let sel =
+            select_tile(&s, ConvOptions::default(), Purpose::Training, &SerialExecutor, 1).unwrap();
+        assert_eq!(sel.m.len(), 2);
+        assert!(sel.best_ms > 0.0);
+        assert!(!sel.trials.is_empty());
+        // Trials are sorted fastest-first and the plan matches the winner.
+        for w in sel.trials.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(sel.plan.grid.m, sel.m);
+    }
+
+    #[test]
+    fn selection_works_for_3d() {
+        let s = ConvShape::new(1, 16, 16, &[6, 8, 8], &[3, 3, 3], &[1, 1, 1]).unwrap();
+        let sel =
+            select_tile(&s, ConvOptions::default(), Purpose::Training, &SerialExecutor, 1).unwrap();
+        assert_eq!(sel.m.len(), 3);
+    }
+}

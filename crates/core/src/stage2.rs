@@ -1,0 +1,303 @@
+//! Stage 2 — batched matrix multiplication with fused scatter (§4.3,
+//! operations ⑤⑥).
+//!
+//! `T` products `X_t = U_t · V_t` over the task grid
+//! `T × (C'/C'_blk) × (NB/n_blk)` (row panels least significant so each
+//! thread reuses its L2-resident `V̂`, §4.5). On the final reduction block
+//! the result bypasses `X̂` and is scattered by the micro-kernel itself —
+//! with non-temporal streaming stores — into the tile-major layout
+//! [`crate::layout::TileMajor`] that stage 3 reads contiguously. The paper
+//! measured >20 % end-to-end gain from this fusion; setting
+//! [`crate::ConvOptions::fused_scatter`] to `false` reverts to
+//! plain GEMM + a separate copy pass (the ablation baseline).
+
+use wino_gemm::{microkernel, MicroArgs, Output};
+use wino_sched::Executor;
+use wino_simd::{F32x16, S};
+
+use crate::plan::{Scratch, WinogradLayer};
+
+struct MutPtr(*mut f32);
+// SAFETY: tasks write disjoint panels / tiles.
+unsafe impl Sync for MutPtr {}
+unsafe impl Send for MutPtr {}
+impl MutPtr {
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Operation ⑤(+⑥): multiply transformed inputs by transformed kernels.
+/// Reads `scratch.u` / `scratch.v`, produces the tile-major `scratch.y`
+/// (via fused scatter, or via `scratch.x` plus a copy pass when the fusion
+/// is disabled).
+pub fn multiply(layer: &WinogradLayer, scratch: &mut Scratch, exec: &dyn Executor) {
+    let v = std::mem::replace(
+        &mut scratch.v,
+        wino_tensor::BlockedMatrices::new(1, 1, 16, 1, 16),
+    );
+    multiply_with(layer, scratch, &v, exec);
+    scratch.v = v;
+}
+
+/// As [`multiply`], but against externally stored kernel transforms — the
+/// inference-only "FX" mode (§4.2 "Inference only"): `V` is memoised once
+/// per network and `scratch.v` is never touched.
+pub fn multiply_with(
+    layer: &WinogradLayer,
+    scratch: &mut Scratch,
+    v_ext: &wino_tensor::BlockedMatrices,
+    exec: &dyn Executor,
+) {
+    assert_eq!(v_ext.t_count(), layer.t_vol(), "kernel transforms for a different tile size");
+    assert_eq!(v_ext.rows(), layer.shape.in_channels);
+    assert_eq!(v_ext.cols(), layer.shape.out_channels);
+    assert_eq!(v_ext.rb(), layer.block.c_blk, "kernel transforms use a different C_blk");
+    assert_eq!(v_ext.cb(), layer.block.cp_blk, "kernel transforms use a different C'_blk");
+    let t_vol = layer.t_vol();
+    let n_tiles = layer.n_tiles();
+    let rows = layer.rows();
+    let n_blk = layer.block.n_blk;
+    let row_blocks = scratch.u.row_blocks();
+    let col_blocks = v_ext.col_blocks();
+    let k_blocks = layer.shape.in_channels / layer.block.c_blk;
+    let (c_blk, cp_blk) = (layer.block.c_blk, layer.block.cp_blk);
+    let fused = layer.opts.fused_scatter;
+
+    let dims = [t_vol, col_blocks, row_blocks];
+    let x_ptr = MutPtr(scratch.x.as_mut_ptr());
+    let y_ptr = MutPtr(scratch.y.as_mut_ptr());
+    let group_stride = scratch.y.group_stride();
+    let u = &scratch.u;
+    let v = v_ext;
+    let x_meta = &scratch.x;
+    let y_meta = &scratch.y;
+
+    exec.run_grid(&dims, &|_slot, flat| {
+        let i = flat % row_blocks;
+        let j = (flat / row_blocks) % col_blocks;
+        let t = flat / (row_blocks * col_blocks);
+
+        // Per-row scatter destinations for the fused final block.
+        let mut row_ptrs = [std::ptr::null_mut::<f32>(); wino_gemm::MAX_N_BLK];
+        if fused {
+            let og0 = (j * cp_blk) / S;
+            for jj in 0..n_blk {
+                let n_prime = i * n_blk + jj;
+                if n_prime < rows {
+                    let (b, n) = (n_prime / n_tiles, n_prime % n_tiles);
+                    // SAFETY: offset within y by construction.
+                    row_ptrs[jj] =
+                        unsafe { y_ptr.get().add(y_meta.vec_offset(b, og0, n, t)) };
+                }
+            }
+        }
+
+        // The paper's JIT backend: dispatch to pre-compiled machine code.
+        if let Some(jk) = &layer.jit {
+            let is_tail_panel = jk.tail != 0 && i + 1 == row_blocks;
+            for k in 0..k_blocks {
+                let is_last_k = k + 1 == k_blocks;
+                // SAFETY: identical pointer contract as the mono path
+                // below; scatter row_ptrs[..n_blk or ..tail] are non-null
+                // by construction (padding rows only exist in the tail
+                // panel, which uses the tail kernel).
+                unsafe {
+                    let u_ptr = u.as_ptr().add(u.block_offset(i, k, t));
+                    let v_p = v.as_ptr().add(v.block_offset(k, j, t));
+                    let x_p = x_ptr.get().add(x_meta.block_offset(i, j, t));
+                    if fused && is_last_k {
+                        let kern = if is_tail_panel {
+                            jk.scatter_tail.as_ref().expect("tail kernel compiled")
+                        } else {
+                            jk.scatter_full.as_ref().expect("scatter kernel compiled")
+                        };
+                        kern.call_scatter(u_ptr, v_p, x_p, row_ptrs.as_ptr());
+                    } else if k == 0 {
+                        jk.block0.as_ref().expect("block0 compiled").call(u_ptr, v_p, x_p);
+                    } else {
+                        jk.block1.as_ref().expect("block1 compiled").call(u_ptr, v_p, x_p);
+                    }
+                }
+            }
+            return;
+        }
+
+        let last_i = row_blocks - 1;
+        for k in 0..k_blocks {
+            let is_last_k = k + 1 == k_blocks;
+            let next = if i < last_i {
+                (
+                    u.as_ptr().wrapping_add(u.block_offset(i + 1, k, t)),
+                    x_ptr.get().wrapping_add(x_meta.block_offset(i + 1, j, t)) as *const f32,
+                )
+            } else {
+                (std::ptr::null(), std::ptr::null())
+            };
+            let output = if fused && is_last_k {
+                Output::Scatter { row_ptrs: row_ptrs.as_ptr(), group_stride }
+            } else {
+                Output::Block
+            };
+            let args = MicroArgs {
+                u: unsafe { u.as_ptr().add(u.block_offset(i, k, t)) },
+                v: unsafe { v.as_ptr().add(v.block_offset(k, j, t)) },
+                x: unsafe { x_ptr.get().add(x_meta.block_offset(i, j, t)) },
+                c_blk,
+                cp_blk,
+                beta: k > 0,
+                next_u: next.0,
+                next_x: next.1,
+                output,
+            };
+            // SAFETY: panel (t, j, i) is owned by this task; pointers are
+            // in bounds; scatter targets are 64-byte aligned (all offsets
+            // are multiples of S) and disjoint from u/v/x.
+            unsafe { microkernel(n_blk, &args) };
+        }
+    });
+
+    if !fused {
+        scatter_pass(layer, scratch, exec);
+    }
+}
+
+/// The unfused alternative to operation ⑥: copy `scratch.x` into the
+/// tile-major `scratch.y` in a separate parallel pass.
+fn scatter_pass(layer: &WinogradLayer, scratch: &mut Scratch, exec: &dyn Executor) {
+    let t_vol = layer.t_vol();
+    let n_tiles = layer.n_tiles();
+    let (n_blk, cp_blk) = (layer.block.n_blk, layer.block.cp_blk);
+    let col_blocks = scratch.x.col_blocks();
+    let t_stride = n_blk * cp_blk;
+    let streaming = layer.opts.streaming_stores;
+
+    let dims = [layer.shape.batch, layer.shape.out_channels / S, n_tiles];
+    let y_ptr = MutPtr(scratch.y.as_mut_ptr());
+    let x = &scratch.x;
+    let y_meta = &scratch.y;
+
+    exec.run_grid(&dims, &|_slot, flat| {
+        let n = flat % n_tiles;
+        let og = (flat / n_tiles) % dims[1];
+        let b = flat / (n_tiles * dims[1]);
+        let n_prime = b * n_tiles + n;
+        let (rb_i, r_in) = (n_prime / n_blk, n_prime % n_blk);
+        let col = og * S;
+        let (cb_i, c_in) = (col / cp_blk, col % cp_blk);
+        let src_base = ((rb_i * col_blocks + cb_i) * t_vol) * t_stride + r_in * cp_blk + c_in;
+        let dst_base = y_meta.vec_offset(b, og, n, 0);
+        // SAFETY: disjoint (b, og, n) per task; offsets in bounds.
+        unsafe {
+            let src = x.as_ptr();
+            let dst = y_ptr.get();
+            for t in 0..t_vol {
+                let v = F32x16::load(src.add(src_base + t * t_stride));
+                if streaming {
+                    v.store_nt(dst.add(dst_base + t * S));
+                } else {
+                    v.store(dst.add(dst_base + t * S));
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ConvOptions, WinogradLayer};
+    use wino_sched::{SerialExecutor, StaticExecutor};
+    use wino_tensor::ConvShape;
+
+    fn make(fused: bool, c: usize, cp: usize) -> (WinogradLayer, Scratch) {
+        let s = ConvShape::new(2, c, cp, &[10, 10], &[3, 3], &[1, 1]).unwrap();
+        let opts = ConvOptions { fused_scatter: fused, ..Default::default() };
+        let layer = WinogradLayer::new(s, &[4, 4], opts).unwrap();
+        let scratch = Scratch::new(&layer, 4);
+        (layer, scratch)
+    }
+
+    fn fill_uv(scratch: &mut Scratch) {
+        for (i, f) in scratch.u.as_mut_slice().iter_mut().enumerate() {
+            *f = ((i.wrapping_mul(2654435761) >> 18) & 0x3f) as f32 / 32.0 - 1.0;
+        }
+        for (i, f) in scratch.v.as_mut_slice().iter_mut().enumerate() {
+            *f = ((i.wrapping_mul(0x9E3779B9) >> 18) & 0x3f) as f32 / 32.0 - 1.0;
+        }
+    }
+
+    /// Oracle: y(b, c', n, t) = Σ_c U_t[n', c] · V_t[c, c'].
+    fn oracle(layer: &WinogradLayer, scratch: &Scratch, b: usize, cp: usize, n: usize, t: usize) -> f32 {
+        let n_prime = b * layer.n_tiles() + n;
+        let mut acc = 0.0f64;
+        for c in 0..layer.shape.in_channels {
+            acc += scratch.u.get(t, n_prime, c) as f64 * scratch.v.get(t, c, cp) as f64;
+        }
+        acc as f32
+    }
+
+    fn check_y(layer: &WinogradLayer, scratch: &Scratch) {
+        for b in 0..layer.shape.batch {
+            for cp in [0, 15, 17, layer.shape.out_channels - 1] {
+                for n in [0, layer.n_tiles() - 1] {
+                    for t in [0, layer.t_vol() / 2, layer.t_vol() - 1] {
+                        let got = scratch.y.tile(b, cp / S, n)[t * S + cp % S];
+                        let want = oracle(layer, scratch, b, cp, n, t);
+                        assert!(
+                            (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                            "b={b} c'={cp} n={n} t={t}: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scatter_produces_correct_y() {
+        let (layer, mut scratch) = make(true, 32, 32);
+        fill_uv(&mut scratch);
+        multiply(&layer, &mut scratch, &SerialExecutor);
+        check_y(&layer, &scratch);
+    }
+
+    #[test]
+    fn unfused_matches_fused() {
+        let (layer_f, mut sf) = make(true, 32, 48);
+        let (layer_u, mut su) = make(false, 32, 48);
+        fill_uv(&mut sf);
+        fill_uv(&mut su);
+        assert_eq!(sf.u.as_slice(), su.u.as_slice());
+        multiply(&layer_f, &mut sf, &SerialExecutor);
+        multiply(&layer_u, &mut su, &SerialExecutor);
+        assert_eq!(sf.y.as_slice(), su.y.as_slice());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (layer, mut s1) = make(true, 32, 32);
+        let (_, mut s2) = make(true, 32, 32);
+        fill_uv(&mut s1);
+        fill_uv(&mut s2);
+        multiply(&layer, &mut s1, &SerialExecutor);
+        let pool = StaticExecutor::new(4);
+        multiply(&layer, &mut s2, &pool);
+        assert_eq!(s1.y.as_slice(), s2.y.as_slice());
+    }
+
+    #[test]
+    fn multi_k_block_reduction() {
+        // Force C > C_blk so beta-accumulation + fused scatter interact.
+        let s = ConvShape::new(1, 64, 32, &[6, 6], &[3, 3], &[1, 1]).unwrap();
+        let opts = ConvOptions {
+            block: Some(wino_gemm::BlockShape { n_blk: 5, c_blk: 32, cp_blk: 16 }),
+            ..Default::default()
+        };
+        let layer = WinogradLayer::new(s, &[2, 2], opts).unwrap();
+        let mut scratch = Scratch::new(&layer, 1);
+        fill_uv(&mut scratch);
+        multiply(&layer, &mut scratch, &SerialExecutor);
+        check_y(&layer, &scratch);
+    }
+}

@@ -1,0 +1,212 @@
+//! Stage 3 — inverse transformation (§4.4).
+//!
+//! Over the grid `B × C'/S × N`, each task reads one tile's `T` transform
+//! vectors — a single contiguous `T·S`-float chunk thanks to stage 2's
+//! tile-major scatter — applies `Aᵀ` along every dimension (a contracting
+//! transform `α_d → m_d`), and writes the `∏m_d` output vectors into the
+//! blocked output image, clipping the ceil-division overhang of boundary
+//! tiles.
+//!
+//! Note the key algebraic property (Eqn. 7/8): `Aᵀ` is applied *after* the
+//! channel reduction of stage 2 — `BNC'/S` inverse transforms total,
+//! independent of `C`.
+
+use wino_sched::Executor;
+use wino_simd::{F32x16, S};
+use wino_tensor::BlockedImage;
+
+use crate::plan::{Scratch, WinogradLayer, MAX_RANK};
+use crate::stage1::decompose;
+
+struct MutPtr(*mut f32);
+// SAFETY: tasks write disjoint output tiles.
+unsafe impl Sync for MutPtr {}
+unsafe impl Send for MutPtr {}
+impl MutPtr {
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Apply the inverse transforms and write the output image.
+pub fn inverse_transform(
+    layer: &WinogradLayer,
+    scratch: &mut Scratch,
+    output: &mut BlockedImage,
+    exec: &dyn Executor,
+) {
+    assert!(scratch.thread_slots() >= exec.threads(), "scratch has too few thread slots");
+    let out_dims = layer.shape.out_dims();
+    assert_eq!(output.batch, layer.shape.batch);
+    assert_eq!(output.channels, layer.shape.out_channels);
+    assert_eq!(output.dims, out_dims);
+
+    let rank = layer.rank();
+    let t_vol = layer.t_vol();
+    let n_tiles = layer.n_tiles();
+    let streaming = layer.opts.streaming_stores;
+
+    // Output spatial strides (row-major).
+    let mut ostride = [1usize; MAX_RANK];
+    for d in (0..rank.saturating_sub(1)).rev() {
+        ostride[d] = ostride[d + 1] * out_dims[d + 1];
+    }
+
+    let dims = [layer.shape.batch, layer.shape.out_channels / S, n_tiles];
+    let out_ptr = MutPtr(output.as_mut_ptr());
+    let out_channel_groups = layer.shape.out_channels / S;
+    let out_vol: usize = out_dims.iter().product();
+    let scratch_ref: &Scratch = scratch;
+    let progs: Vec<&wino_transforms::PairedProgram> = layer.plans.iter().map(|p| &p.at).collect();
+
+    exec.run_grid(&dims, &|slot, flat| {
+        let n = flat % n_tiles;
+        let og = (flat / n_tiles) % out_channel_groups;
+        let b = flat / (n_tiles * out_channel_groups);
+
+        // SAFETY: slot exclusivity per the Executor contract.
+        let tb = unsafe { scratch_ref.thread_buf(slot) };
+        // Contiguous gather (§4.4: "fast memory access and as few TLB
+        // misses as possible").
+        tb.a.as_mut_slice()[..t_vol * S].copy_from_slice(scratch_ref.y.tile(b, og, n));
+
+        let mut tdims = [0usize; MAX_RANK];
+        tdims[..rank].copy_from_slice(&layer.grid.tile_dims);
+        let in_a = crate::vecprog::transform_all_dims(
+            &progs,
+            tb.a.as_mut_slice(),
+            tb.b.as_mut_slice(),
+            &mut tdims[..rank],
+        );
+        let result = if in_a { tb.a.as_ptr() } else { tb.b.as_ptr() };
+
+        // Write the m-tile into the output image, clipped to the real
+        // output extent.
+        let mut tile_coords = [0usize; MAX_RANK];
+        decompose(n, &layer.grid.counts, &mut tile_coords[..rank]);
+        let mut out_origin = [0usize; MAX_RANK];
+        let mut extent = [0usize; MAX_RANK];
+        for d in 0..rank {
+            out_origin[d] = tile_coords[d] * layer.grid.m[d];
+            extent[d] = layer.grid.m[d].min(out_dims[d] - out_origin[d]);
+        }
+        let base_vec = (b * out_channel_groups + og) * out_vol * S;
+
+        let m_last = layer.grid.m[rank - 1];
+        let ext_last = extent[rank - 1];
+        let outer_vol: usize = extent[..rank - 1].iter().product();
+        let m_outer = &layer.grid.m[..rank - 1];
+        let mut oc = [0usize; MAX_RANK];
+        // SAFETY: disjoint output tiles per task; offsets bounded by the
+        // extent clipping above.
+        unsafe {
+            let dst = out_ptr.get().add(base_vec);
+            for outer in 0..outer_vol {
+                decompose(outer, &extent[..rank - 1], &mut oc[..rank.max(1) - 1]);
+                let mut spatial = 0usize;
+                let mut src_row = 0usize;
+                for d in 0..rank - 1 {
+                    spatial += (out_origin[d] + oc[d]) * ostride[d];
+                    src_row = src_row * m_outer[d].max(1) + oc[d];
+                }
+                let src_base = src_row * m_last;
+                let spatial_w = spatial + out_origin[rank - 1];
+                for k in 0..ext_last {
+                    let v = F32x16::load(result.add((src_base + k) * S));
+                    let o = (spatial_w + k) * S;
+                    if streaming {
+                        v.store_nt(dst.add(o));
+                    } else {
+                        v.store(dst.add(o));
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ConvOptions, WinogradLayer};
+    use wino_sched::{SerialExecutor, StaticExecutor};
+    use wino_tensor::ConvShape;
+
+    /// Fill y with a recognisable pattern and check the inverse transform
+    /// against a dense Aᵀ·(tile)·A oracle.
+    fn run_case(m: &[usize], img: &[usize], pad: usize) {
+        let s = ConvShape::new(2, 16, 16, img, &[3; 2], &[pad; 2]).unwrap();
+        let layer = WinogradLayer::new(s, m, ConvOptions::default()).unwrap();
+        let mut scratch = Scratch::new(&layer, 2);
+        for (i, f) in scratch.y.as_mut_slice().iter_mut().enumerate() {
+            *f = ((i.wrapping_mul(2654435761) >> 20) & 0x1f) as f32 / 16.0 - 1.0;
+        }
+        let mut out = layer.new_output().unwrap();
+        inverse_transform(&layer, &mut scratch, &mut out, &SerialExecutor);
+
+        let at0 = layer.plans[0].transform.at.to_f32();
+        let at1 = layer.plans[1].transform.at.to_f32();
+        let td = &layer.grid.tile_dims;
+        let out_dims = layer.shape.out_dims();
+        for b in 0..2 {
+            for c in [0usize, 7, 15] {
+                for n in 0..layer.n_tiles() {
+                    let tc = layer.grid.tile_coords(n);
+                    let origin = layer.grid.output_origin(&tc);
+                    let ext = layer.grid.output_extent(&tc);
+                    let tile = scratch.y.tile(b, c / 16, n);
+                    for i in 0..ext[0] {
+                        for j in 0..ext[1] {
+                            let mut want = 0.0f64;
+                            for ti in 0..td[0] {
+                                for tj in 0..td[1] {
+                                    want += at0.at(i, ti) as f64
+                                        * at1.at(j, tj) as f64
+                                        * tile[(ti * td[1] + tj) * 16 + c % 16] as f64;
+                                }
+                            }
+                            let got = out.get(b, c, &[origin[0] + i, origin[1] + j]);
+                            assert!(
+                                (got as f64 - want).abs() <= 1e-3 * want.abs().max(1.0),
+                                "m={m:?} img={img:?} b={b} c={c} n={n} ({i},{j}): {got} vs {want}"
+                            );
+                        }
+                    }
+                    let _ = out_dims.len();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_tiling() {
+        run_case(&[4, 4], &[10, 10], 1); // out 10, tiles 3x3 with overhang? 10/4 -> 3 tiles, overhang
+    }
+
+    #[test]
+    fn divisible_tiling() {
+        run_case(&[2, 2], &[9, 9], 0); // out 7 -> ceil(7/2)=4 tiles, overhang 1
+        run_case(&[2, 2], &[10, 10], 1); // out 10 -> 5 tiles exact
+    }
+
+    #[test]
+    fn asymmetric_m() {
+        run_case(&[2, 4], &[8, 12], 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let s = ConvShape::new(2, 16, 32, &[10, 10], &[3, 3], &[1, 1]).unwrap();
+        let layer = WinogradLayer::new(s, &[4, 4], ConvOptions::default()).unwrap();
+        let mut scratch = Scratch::new(&layer, 4);
+        for (i, f) in scratch.y.as_mut_slice().iter_mut().enumerate() {
+            *f = (i % 97) as f32 * 0.01;
+        }
+        let mut o1 = layer.new_output().unwrap();
+        let mut o2 = layer.new_output().unwrap();
+        inverse_transform(&layer, &mut scratch, &mut o1, &SerialExecutor);
+        let pool = StaticExecutor::new(4);
+        inverse_transform(&layer, &mut scratch, &mut o2, &pool);
+        assert_eq!(o1.as_slice(), o2.as_slice());
+    }
+}

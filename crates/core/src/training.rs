@@ -1,0 +1,188 @@
+//! Training-mode gradients through the Winograd engine.
+//!
+//! The paper benchmarks the *training configuration* (kernels transformed
+//! every invocation, batch > 1) but, like most convolution-kernel papers,
+//! only times the forward pass. Completing the training story costs
+//! nothing extra algorithmically, because both gradients *are*
+//! convolutions:
+//!
+//! * **data gradient** — `∂L/∂input` is the correlation of `∂L/∂output`
+//!   with the *spatially flipped, channel-transposed* kernels under
+//!   "full" padding `r − 1 − p`; it runs through the very same
+//!   N-dimensional Winograd pipeline (this is also how frameworks
+//!   implement `conv_backward_data`);
+//! * **filter gradient** — `∂L/∂W` is a batch-reduced correlation of the
+//!   input with `∂L/∂output`; provided here as a direct reference
+//!   implementation (its matrix shapes — tiny spatial extent, huge
+//!   reduction — do not fit the tall-skinny Winograd profile).
+
+use wino_tensor::{ConvShape, SimpleImage, SimpleKernels};
+
+use crate::conv::convolve_simple;
+use crate::plan::PlanError;
+
+/// Spatially flip a kernel bank along every dimension and swap its
+/// input/output channel roles: the kernel bank of the data-gradient
+/// convolution.
+pub fn flip_transpose_kernels(k: &SimpleKernels) -> SimpleKernels {
+    let mut out = SimpleKernels::zeros(k.in_channels, k.out_channels, &k.dims);
+    let vol = k.spatial_volume();
+    for co in 0..k.out_channels {
+        for ci in 0..k.in_channels {
+            for s in 0..vol {
+                let coords = wino_tensor::unflatten(s, &k.dims);
+                let flipped: Vec<usize> =
+                    coords.iter().zip(&k.dims).map(|(&c, &d)| d - 1 - c).collect();
+                let v = k.get(co, ci, &coords);
+                out.set(ci, co, &flipped, v);
+            }
+        }
+    }
+    out
+}
+
+/// `∂L/∂input` for a stride-1 convolution layer, computed with the
+/// Winograd engine (`m` is the output-tile size of the *gradient*
+/// convolution). `grad_output` must have the layer's output shape.
+pub fn backward_data(
+    shape: &ConvShape,
+    grad_output: &SimpleImage,
+    kernels: &SimpleKernels,
+    m: &[usize],
+) -> Result<SimpleImage, PlanError> {
+    assert_eq!(grad_output.dims, shape.out_dims(), "grad_output has wrong shape");
+    assert_eq!(grad_output.channels, shape.out_channels);
+    assert_eq!(kernels.out_channels, shape.out_channels);
+    assert_eq!(kernels.in_channels, shape.in_channels);
+    let full_pad: Vec<usize> = (0..shape.rank())
+        .map(|d| shape.kernel_dims[d] - 1 - shape.padding[d])
+        .collect();
+    let flipped = flip_transpose_kernels(kernels);
+    convolve_simple(grad_output, &flipped, &full_pad, m)
+}
+
+/// `∂L/∂W` for a stride-1 convolution layer (direct reference
+/// implementation, `f64` accumulation).
+pub fn backward_filter(
+    shape: &ConvShape,
+    input: &SimpleImage,
+    grad_output: &SimpleImage,
+) -> SimpleKernels {
+    assert_eq!(input.dims, shape.image_dims);
+    assert_eq!(grad_output.dims, shape.out_dims());
+    let rank = shape.rank();
+    let mut gw = SimpleKernels::zeros(shape.out_channels, shape.in_channels, &shape.kernel_dims);
+    let out_dims = shape.out_dims();
+    let out_vol: usize = out_dims.iter().product();
+    let ker_vol: usize = shape.kernel_dims.iter().product();
+    for co in 0..shape.out_channels {
+        for ci in 0..shape.in_channels {
+            for k in 0..ker_vol {
+                let kc = wino_tensor::unflatten(k, &shape.kernel_dims);
+                let mut acc = 0.0f64;
+                for b in 0..shape.batch {
+                    for o in 0..out_vol {
+                        let oc = wino_tensor::unflatten(o, &out_dims);
+                        let coords: Vec<isize> = (0..rank)
+                            .map(|d| (oc[d] + kc[d]) as isize - shape.padding[d] as isize)
+                            .collect();
+                        let x = input.get_padded(b, ci, &coords);
+                        if x != 0.0 {
+                            acc += x as f64 * grad_output.get(b, co, &oc) as f64;
+                        }
+                    }
+                }
+                gw.set(co, ci, &kc, acc as f32);
+            }
+        }
+    }
+    gw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot_img(a: &SimpleImage, b: &SimpleImage) -> f64 {
+        a.data.iter().zip(&b.data).map(|(&x, &y)| x as f64 * y as f64).sum()
+    }
+
+    fn dot_ker(a: &SimpleKernels, b: &SimpleKernels) -> f64 {
+        a.data.iter().zip(&b.data).map(|(&x, &y)| x as f64 * y as f64).sum()
+    }
+
+    fn setup(pad: usize) -> (ConvShape, SimpleImage, SimpleKernels, SimpleImage) {
+        let shape = ConvShape::new(1, 16, 16, &[10, 10], &[3, 3], &[pad, pad]).unwrap();
+        let x = SimpleImage::from_fn(1, 16, &[10, 10], |_, c, xy| {
+            ((c * 7 + xy[0] * 3 + xy[1]) % 11) as f32 * 0.1 - 0.5
+        });
+        let w = SimpleKernels::from_fn(16, 16, &[3, 3], |co, ci, xy| {
+            ((co + ci * 5 + xy[0] + xy[1] * 2) % 7) as f32 * 0.2 - 0.6
+        });
+        let out_dims = shape.out_dims();
+        let gy = SimpleImage::from_fn(1, 16, &out_dims, |_, c, xy| {
+            ((c * 3 + xy[0] + xy[1] * 5) % 13) as f32 * 0.07 - 0.4
+        });
+        (shape, x, w, gy)
+    }
+
+    #[test]
+    fn flip_transpose_involution() {
+        let (_, _, w, _) = setup(1);
+        let ft = flip_transpose_kernels(&w);
+        assert_eq!(ft.out_channels, w.in_channels);
+        assert_eq!(ft.in_channels, w.out_channels);
+        assert_eq!(flip_transpose_kernels(&ft), w);
+    }
+
+    /// The adjoint (dot-product) test: ⟨conv(x, w), gy⟩ = ⟨x, convᵀ(gy, w)⟩
+    /// for the bilinear forward map — the canonical correctness check for
+    /// a backward pass.
+    #[test]
+    fn backward_data_is_the_adjoint_of_forward() {
+        for pad in [0usize, 1] {
+            let (shape, x, w, gy) = setup(pad);
+            let y = convolve_simple(&x, &w, &shape.padding, &[2, 2]).unwrap();
+            let gx = backward_data(&shape, &gy, &w, &[2, 2]).unwrap();
+            assert_eq!(gx.dims, shape.image_dims);
+            let lhs = dot_img(&y, &gy);
+            let rhs = dot_img(&x, &gx);
+            assert!(
+                (lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0),
+                "pad={pad}: ⟨y,gy⟩={lhs} vs ⟨x,gx⟩={rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_filter_is_the_adjoint_in_w() {
+        let (shape, x, w, gy) = setup(1);
+        let y = convolve_simple(&x, &w, &shape.padding, &[4, 4]).unwrap();
+        let gw = backward_filter(&shape, &x, &gy);
+        let lhs = dot_img(&y, &gy);
+        let rhs = dot_ker(&w, &gw);
+        assert!(
+            (lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0),
+            "⟨y,gy⟩={lhs} vs ⟨w,gw⟩={rhs}"
+        );
+    }
+
+    #[test]
+    fn backward_data_3d() {
+        let shape = ConvShape::new(1, 16, 16, &[4, 6, 6], &[3, 3, 3], &[1, 1, 1]).unwrap();
+        let x = SimpleImage::from_fn(1, 16, &[4, 6, 6], |_, c, xyz| {
+            ((c + xyz.iter().sum::<usize>()) % 9) as f32 * 0.1
+        });
+        let w = SimpleKernels::from_fn(16, 16, &[3, 3, 3], |co, ci, xyz| {
+            ((co * 2 + ci + xyz.iter().sum::<usize>()) % 5) as f32 * 0.2 - 0.4
+        });
+        let gy = SimpleImage::from_fn(1, 16, &shape.out_dims(), |_, c, xyz| {
+            ((c * 3 + xyz.iter().sum::<usize>() * 2) % 7) as f32 * 0.1 - 0.3
+        });
+        let y = convolve_simple(&x, &w, &shape.padding, &[2, 2, 2]).unwrap();
+        let gx = backward_data(&shape, &gy, &w, &[2, 2, 2]).unwrap();
+        let lhs = dot_img(&y, &gy);
+        let rhs = dot_img(&x, &gx);
+        assert!((lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,265 @@
+//! S-wide execution of transform codelet programs (§4.2.1).
+//!
+//! The paper's codelets operate on "S tiles at a time … tiles from S
+//! adjacent channels". In our representation a tile of vectors is a
+//! buffer of `∏ dims` elements, each element being `S = 16` consecutive
+//! floats (one vector register). [`transform_dim`] applies a compiled
+//! [`PairedProgram`] (the minimal-operation form of `Bᵀ`, `G` or `Aᵀ`)
+//! along one dimension of such a tile; applying it along every dimension
+//! in turn realises the tensor–matrix mode-n products of Eqn. 8.
+
+use wino_simd::{F32x16, S};
+use wino_transforms::{PairNode, PairedProgram, Term};
+
+/// Dot product of a term list against a strided line of vectors.
+///
+/// # Safety
+/// For every term `t`, `input + (base + t.src·stride)·S` must be valid for
+/// 16 reads.
+#[inline(always)]
+unsafe fn dot_line(terms: &[Term], input: *const f32, base: usize, stride: usize) -> F32x16 {
+    let mut acc = F32x16::zero();
+    for t in terms {
+        let v = F32x16::load(input.add((base + t.src * stride) * S));
+        acc = F32x16::splat(t.coeff).mul_add(v, acc);
+    }
+    acc
+}
+
+/// Apply `prog` along dimension `d` of the vector-tile `input` with shape
+/// `in_dims` (vector elements, row-major). The output tile has the same
+/// shape except `out_dims[d] = prog.n_out`.
+///
+/// `input` and `output` must not alias (ping-pong between two scratch
+/// buffers; the caller owns them).
+pub fn transform_dim(
+    prog: &PairedProgram,
+    input: &[f32],
+    in_dims: &[usize],
+    d: usize,
+    output: &mut [f32],
+) {
+    debug_assert_eq!(in_dims[d], prog.n_in, "dimension {d} extent != program input size");
+    let in_vol: usize = in_dims.iter().product();
+    debug_assert!(input.len() >= in_vol * S);
+    let mut out_dims_v: [usize; 8] = [0; 8];
+    debug_assert!(in_dims.len() <= 8);
+    out_dims_v[..in_dims.len()].copy_from_slice(in_dims);
+    out_dims_v[d] = prog.n_out;
+    let out_dims = &out_dims_v[..in_dims.len()];
+    let out_vol: usize = out_dims.iter().product();
+    debug_assert!(output.len() >= out_vol * S);
+
+    // Strides along d (in vector elements).
+    let in_stride: usize = in_dims[d + 1..].iter().product();
+    let out_stride: usize = out_dims[d + 1..].iter().product();
+    // Lines: outer = dims before d, inner = dims after d.
+    let outer: usize = in_dims[..d].iter().product();
+    let inner: usize = in_stride;
+
+    let in_ptr = input.as_ptr();
+    let out_ptr = output.as_mut_ptr();
+    for o in 0..outer {
+        let in_base_o = o * in_dims[d] * in_stride;
+        let out_base_o = o * prog.n_out * out_stride;
+        for i in 0..inner {
+            let in_base = in_base_o + i;
+            let out_base = out_base_o + i;
+            for node in &prog.nodes {
+                // SAFETY: all indices are within the tile volumes computed
+                // above; buffers were length-checked.
+                unsafe {
+                    match node {
+                        PairNode::Direct { out, row } => {
+                            let v = dot_line(&row.terms, in_ptr, in_base, in_stride);
+                            v.store(out_ptr.add((out_base + out * out_stride) * S));
+                        }
+                        PairNode::Pair { out_plus, out_minus, u_terms, v_terms } => {
+                            let u = dot_line(u_terms, in_ptr, in_base, in_stride);
+                            let v = dot_line(v_terms, in_ptr, in_base, in_stride);
+                            (u + v).store(out_ptr.add((out_base + out_plus * out_stride) * S));
+                            (u - v).store(out_ptr.add((out_base + out_minus * out_stride) * S));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Apply per-dimension programs `progs[d]` along every dimension of the
+/// tile in `buf_a` (shape `dims`, which is updated in place to the output
+/// shape). Uses `buf_b` as the ping-pong partner; returns `true` if the
+/// final result is in `buf_a`, `false` if in `buf_b`.
+pub fn transform_all_dims(
+    progs: &[&PairedProgram],
+    buf_a: &mut [f32],
+    buf_b: &mut [f32],
+    dims: &mut [usize],
+) -> bool {
+    let n = dims.len();
+    assert_eq!(progs.len(), n);
+    let mut in_a = true;
+    for d in 0..n {
+        if in_a {
+            transform_dim(progs[d], buf_a, dims, d, buf_b);
+        } else {
+            transform_dim(progs[d], buf_b, dims, d, buf_a);
+        }
+        dims[d] = progs[d].n_out;
+        in_a = !in_a;
+    }
+    in_a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_transforms::{FmrPlan, MatrixProgram};
+
+    /// Scalar oracle: dense matrix applied along dimension d, one lane at
+    /// a time.
+    fn dense_transform_dim(
+        mat: &wino_transforms::F32Matrix,
+        input: &[f32],
+        in_dims: &[usize],
+        d: usize,
+    ) -> (Vec<f32>, Vec<usize>) {
+        let mut out_dims = in_dims.to_vec();
+        out_dims[d] = mat.rows;
+        let out_vol: usize = out_dims.iter().product();
+        let mut out = vec![0.0f32; out_vol * S];
+        let in_stride: usize = in_dims[d + 1..].iter().product();
+        let out_stride: usize = out_dims[d + 1..].iter().product();
+        let outer: usize = in_dims[..d].iter().product();
+        for o in 0..outer {
+            for i in 0..in_stride {
+                for row in 0..mat.rows {
+                    for lane in 0..S {
+                        let mut acc = 0.0f32;
+                        for col in 0..mat.cols {
+                            let idx = (o * in_dims[d] + col) * in_stride + i;
+                            acc += mat.at(row, col) * input[idx * S + lane];
+                        }
+                        let oidx = (o * mat.rows + row) * out_stride + i;
+                        out[oidx * S + lane] = acc;
+                    }
+                }
+            }
+        }
+        (out, out_dims)
+    }
+
+    fn filled(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.01).collect()
+    }
+
+    fn close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert!(
+                (a[i] - b[i]).abs() <= 1e-4 * b[i].abs().max(1.0),
+                "elem {i}: {} vs {}",
+                a[i],
+                b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn matches_dense_oracle_2d() {
+        let plan = FmrPlan::new(2, 3); // alpha = 4
+        let dims = [4usize, 4];
+        let input = filled(16 * S);
+        for d in 0..2 {
+            let mut out = vec![0.0f32; 16 * S];
+            transform_dim(&plan.bt, &input, &dims, d, &mut out);
+            let (want, out_dims) = dense_transform_dim(&plan.transform.bt.to_f32(), &input, &dims, d);
+            assert_eq!(out_dims, dims.to_vec());
+            close(&out[..want.len()], &want);
+        }
+    }
+
+    #[test]
+    fn matches_dense_oracle_3d_nonsquare() {
+        // G: r -> alpha (expanding transform) along each dim of a 3-D tile.
+        let plan = FmrPlan::new(4, 3); // alpha = 6, r = 3
+        let dims = [3usize, 3, 3];
+        let input = filled(27 * S);
+        for d in 0..3 {
+            let mut out_dims = dims.to_vec();
+            out_dims[d] = 6;
+            let out_vol: usize = out_dims.iter().product();
+            let mut out = vec![0.0f32; out_vol * S];
+            transform_dim(&plan.g, &input, &dims, d, &mut out);
+            let (want, wdims) = dense_transform_dim(&plan.transform.g.to_f32(), &input, &dims, d);
+            assert_eq!(wdims, out_dims);
+            close(&out, &want);
+        }
+    }
+
+    #[test]
+    fn contracting_transform() {
+        // Aᵀ: alpha -> m.
+        let plan = FmrPlan::new(2, 3);
+        let dims = [4usize, 4];
+        let input = filled(16 * S);
+        let mut out = vec![0.0f32; 2 * 4 * S];
+        transform_dim(&plan.at, &input, &dims, 0, &mut out);
+        let (want, _) = dense_transform_dim(&plan.transform.at.to_f32(), &input, &dims, 0);
+        close(&out, &want);
+    }
+
+    #[test]
+    fn all_dims_pipeline_equals_sequential_dense() {
+        let plan = FmrPlan::new(2, 3);
+        let mut dims = vec![4usize, 4];
+        let input = filled(16 * S);
+        let mut a = input.clone();
+        let mut b = vec![0.0f32; 16 * S];
+        let in_a = transform_all_dims(&[&plan.bt, &plan.bt], &mut a, &mut b, &mut dims);
+        let result = if in_a { &a } else { &b };
+
+        let dense_bt = plan.transform.bt.to_f32();
+        let (tmp, tdims) = dense_transform_dim(&dense_bt, &input, &[4, 4], 0);
+        let (want, _) = dense_transform_dim(&dense_bt, &tmp, &tdims, 1);
+        close(&result[..want.len()], &want);
+        assert_eq!(dims, vec![4, 4]);
+    }
+
+    #[test]
+    fn one_dimensional_tile() {
+        let plan = FmrPlan::new(3, 2); // alpha = 4
+        let dims = [4usize];
+        let input = filled(4 * S);
+        let mut out = vec![0.0f32; 3 * S];
+        transform_dim(&plan.at, &input, &dims, 0, &mut out);
+        let (want, _) = dense_transform_dim(&plan.transform.at.to_f32(), &input, &dims, 0);
+        close(&out, &want);
+    }
+
+    #[test]
+    fn unpaired_program_agrees_with_paired() {
+        // Cross-check the Fig. 2 pairing optimisation in the vector domain:
+        // build an all-Direct program from the same matrix and compare.
+        let plan = FmrPlan::new(6, 3);
+        let mp = MatrixProgram::compile(&plan.transform.bt.to_f32());
+        let unpaired = PairedProgram {
+            n_out: mp.n_out,
+            n_in: mp.n_in,
+            nodes: mp
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| PairNode::Direct { out: i, row: r.clone() })
+                .collect(),
+        };
+        let dims = [8usize];
+        let input = filled(8 * S);
+        let mut out1 = vec![0.0f32; 8 * S];
+        let mut out2 = vec![0.0f32; 8 * S];
+        transform_dim(&plan.bt, &input, &dims, 0, &mut out1);
+        transform_dim(&unpaired, &input, &dims, 0, &mut out2);
+        close(&out1, &out2);
+    }
+}

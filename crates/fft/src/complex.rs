@@ -1,0 +1,101 @@
+//! Minimal single-precision complex arithmetic for the FFT substrate.
+
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A complex number in `f32`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct C32 {
+    pub re: f32,
+    pub im: f32,
+}
+
+impl C32 {
+    pub const ZERO: C32 = C32 { re: 0.0, im: 0.0 };
+    pub const ONE: C32 = C32 { re: 1.0, im: 0.0 };
+
+    #[inline]
+    pub fn new(re: f32, im: f32) -> C32 {
+        C32 { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f32) -> C32 {
+        C32 { re: theta.cos(), im: theta.sin() }
+    }
+
+    #[inline]
+    pub fn conj(self) -> C32 {
+        C32 { re: self.re, im: -self.im }
+    }
+
+    #[inline]
+    pub fn scale(self, s: f32) -> C32 {
+        C32 { re: self.re * s, im: self.im * s }
+    }
+
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl Add for C32 {
+    type Output = C32;
+    #[inline]
+    fn add(self, o: C32) -> C32 {
+        C32 { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl AddAssign for C32 {
+    #[inline]
+    fn add_assign(&mut self, o: C32) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for C32 {
+    type Output = C32;
+    #[inline]
+    fn sub(self, o: C32) -> C32 {
+        C32 { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for C32 {
+    type Output = C32;
+    #[inline]
+    fn mul(self, o: C32) -> C32 {
+        C32 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = C32::new(1.0, 2.0);
+        let b = C32::new(3.0, -1.0);
+        assert_eq!(a + b, C32::new(4.0, 1.0));
+        assert_eq!(a - b, C32::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, C32::new(5.0, 5.0));
+        assert_eq!(a.conj(), C32::new(1.0, -2.0));
+        assert_eq!(a.scale(2.0), C32::new(2.0, 4.0));
+        assert_eq!(a.norm_sqr(), 5.0);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = C32::cis(std::f32::consts::FRAC_PI_2);
+        assert!((z.re).abs() < 1e-6);
+        assert!((z.im - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,174 @@
+//! Iterative radix-2 Cooley–Tukey FFT with precomputed twiddle tables.
+
+use crate::complex::C32;
+
+/// A planned 1-D FFT of power-of-two length.
+#[derive(Clone, Debug)]
+pub struct Fft1d {
+    n: usize,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+    /// Forward twiddles, one table per butterfly stage (concatenated).
+    twiddles: Vec<C32>,
+}
+
+impl Fft1d {
+    /// Plan an FFT of length `n` (must be a power of two ≥ 1).
+    pub fn new(n: usize) -> Fft1d {
+        assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+        let bits = n.trailing_zeros();
+        let rev: Vec<u32> = (0..n as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        // Stage m = 2,4,…,n: twiddles w_m^j for j in 0..m/2.
+        let mut twiddles = Vec::new();
+        let mut m = 2;
+        while m <= n {
+            for j in 0..m / 2 {
+                let theta = -2.0 * std::f32::consts::PI * j as f32 / m as f32;
+                twiddles.push(C32::cis(theta));
+            }
+            m <<= 1;
+        }
+        Fft1d { n, rev, twiddles }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn transform(&self, data: &mut [C32], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n);
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut m = 2;
+        let mut toff = 0;
+        while m <= n {
+            let half = m / 2;
+            for start in (0..n).step_by(m) {
+                for j in 0..half {
+                    let w = if inverse { self.twiddles[toff + j].conj() } else { self.twiddles[toff + j] };
+                    let a = data[start + j];
+                    let b = data[start + j + half] * w;
+                    data[start + j] = a + b;
+                    data[start + j + half] = a - b;
+                }
+            }
+            toff += half;
+            m <<= 1;
+        }
+    }
+
+    /// In-place forward DFT.
+    pub fn forward(&self, data: &mut [C32]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse DFT (includes the 1/n normalisation).
+    pub fn inverse(&self, data: &mut [C32]) {
+        self.transform(data, true);
+        let s = 1.0 / self.n as f32;
+        for x in data.iter_mut() {
+            *x = x.scale(s);
+        }
+    }
+}
+
+/// Smallest power of two ≥ `n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[C32]) -> Vec<C32> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = C32::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let theta = -2.0 * std::f32::consts::PI * (k * j) as f32 / n as f32;
+                    acc += v * C32::cis(theta);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn signal(n: usize) -> Vec<C32> {
+        (0..n)
+            .map(|i| C32::new(((i * 7 % 13) as f32 - 6.0) * 0.3, ((i * 5 % 11) as f32 - 5.0) * 0.2))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let x = signal(n);
+            let mut got = x.clone();
+            Fft1d::new(n).forward(&mut got);
+            let want = naive_dft(&x);
+            for k in 0..n {
+                let d = got[k] - want[k];
+                assert!(
+                    d.norm_sqr().sqrt() <= 1e-3 * want[k].norm_sqr().sqrt().max(1.0),
+                    "n={n} bin {k}: {:?} vs {:?}",
+                    got[k],
+                    want[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for n in [2usize, 8, 32, 128, 1024] {
+            let x = signal(n);
+            let mut y = x.clone();
+            let plan = Fft1d::new(n);
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            for i in 0..n {
+                let d = y[i] - x[i];
+                assert!(d.norm_sqr().sqrt() < 1e-4, "n={n} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let mut x = vec![C32::ZERO; 8];
+        x[0] = C32::ONE;
+        Fft1d::new(8).forward(&mut x);
+        for k in 0..8 {
+            assert!((x[k].re - 1.0).abs() < 1e-6 && x[k].im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        let _ = Fft1d::new(12);
+    }
+
+    #[test]
+    fn next_pow2_works() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(8), 8);
+        assert_eq!(next_pow2(100), 128);
+    }
+}

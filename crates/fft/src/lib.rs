@@ -1,0 +1,17 @@
+//! # wino-fft
+//!
+//! FFT substrate and FFT-based convolution baseline (the cuDNN-FFT
+//! comparator of Fig. 5): complex arithmetic ([`complex::C32`]), planned
+//! radix-2 1-D FFTs ([`fft1d::Fft1d`]), separable N-D transforms
+//! ([`ndfft::FftNd`]) and the frequency-domain convolution layer
+//! ([`conv::fft_conv`]).
+
+pub mod complex;
+pub mod conv;
+pub mod fft1d;
+pub mod ndfft;
+
+pub use complex::C32;
+pub use conv::fft_conv;
+pub use fft1d::{next_pow2, Fft1d};
+pub use ndfft::FftNd;

@@ -1,0 +1,221 @@
+//! Stage-2 style batched matrix multiplication (§4.3).
+//!
+//! `T` independent products `X_t = U_t · V_t` on block-panel
+//! [`BlockedMatrices`], using the paper's loop order: for each `V̂`
+//! sub-matrix `(k, j)`, sweep all row panels `i` so `V̂` stays in L2, with
+//! `β = 0` on the first `k` block and `β = 1` afterwards. Panels of the
+//! *next* `i` iteration are prefetched to L2 by the micro-kernel while it
+//! stores.
+
+use wino_sched::Executor;
+use wino_tensor::BlockedMatrices;
+
+use crate::micro::{microkernel, MicroArgs, Output};
+
+/// Validate that `(u, v, x)` form a legal batched product.
+fn check_shapes(u: &BlockedMatrices, v: &BlockedMatrices, x: &BlockedMatrices) {
+    assert_eq!(u.t_count(), v.t_count(), "t mismatch");
+    assert_eq!(u.t_count(), x.t_count(), "t mismatch");
+    assert_eq!(u.cols(), v.rows(), "inner dimension mismatch");
+    assert_eq!(u.rows(), x.rows(), "row mismatch");
+    assert_eq!(v.cols(), x.cols(), "column mismatch");
+    assert_eq!(u.cb(), v.rb(), "U col-block must equal V row-block (C_blk)");
+    assert_eq!(u.rb(), x.rb(), "U and X row-blocks must match (n_blk)");
+    assert_eq!(v.cb(), x.cb(), "V and X col-blocks must match (C'_blk)");
+    assert_eq!(v.rows() % v.rb(), 0, "C must be divisible by C_blk");
+}
+
+/// One (t, j, i) task: the full reduction over `k` for one `X̂` panel.
+///
+/// # Safety
+/// The `(t, i, j)` triples of concurrent calls must be distinct (each task
+/// owns its `X̂` block exclusively).
+unsafe fn panel_task(
+    u: &BlockedMatrices,
+    v: &BlockedMatrices,
+    x_ptr: *mut f32,
+    x_meta: &BlockedMatrices,
+    t: usize,
+    j: usize,
+    i: usize,
+) {
+    let n_blk = u.rb();
+    let k_blocks = v.rows() / v.rb();
+    let last_i = u.row_blocks() - 1;
+    for k in 0..k_blocks {
+        let next = if i < last_i {
+            (
+                u.as_ptr().wrapping_add(u.block_offset(i + 1, k, t)),
+                x_ptr.wrapping_add(x_meta.block_offset(i + 1, j, t)) as *const f32,
+            )
+        } else {
+            (std::ptr::null(), std::ptr::null())
+        };
+        let args = MicroArgs {
+            u: u.as_ptr().add(u.block_offset(i, k, t)),
+            v: v.as_ptr().add(v.block_offset(k, j, t)),
+            x: x_ptr.add(x_meta.block_offset(i, j, t)),
+            c_blk: u.cb(),
+            cp_blk: v.cb(),
+            beta: k > 0,
+            next_u: next.0,
+            next_x: next.1,
+            output: Output::Block,
+        };
+        microkernel(n_blk, &args);
+    }
+}
+
+/// Serial batched product `X_t = U_t · V_t` for all `t`.
+pub fn batched_gemm(u: &BlockedMatrices, v: &BlockedMatrices, x: &mut BlockedMatrices) {
+    check_shapes(u, v, x);
+    let x_ptr = x.as_mut_ptr();
+    for t in 0..u.t_count() {
+        for j in 0..v.col_blocks() {
+            for i in 0..u.row_blocks() {
+                // SAFETY: serial execution — exclusive access to each panel.
+                unsafe { panel_task(u, v, x_ptr, x, t, j, i) };
+            }
+        }
+    }
+}
+
+struct SendPtr(*mut f32);
+// SAFETY: raw pointer shared across the pool; disjointness of writes is
+// guaranteed by the task grid (each (t, j, i) owns one X̂ panel).
+unsafe impl Sync for SendPtr {}
+unsafe impl Send for SendPtr {}
+
+impl SendPtr {
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Parallel batched product over the paper's stage-2 task grid
+/// `T × (C'/C'_blk) × (NB/n_blk)` — row panels least significant so a
+/// thread keeps multiplying against the same `V̂` (§4.5).
+pub fn batched_gemm_parallel(
+    u: &BlockedMatrices,
+    v: &BlockedMatrices,
+    x: &mut BlockedMatrices,
+    exec: &dyn Executor,
+) {
+    check_shapes(u, v, x);
+    let dims = [u.t_count(), v.col_blocks(), u.row_blocks()];
+    let x_ptr = SendPtr(x.as_mut_ptr());
+    let x_meta: &BlockedMatrices = x;
+    exec.run_grid(&dims, &|_slot, flat| {
+        let i = flat % dims[2];
+        let j = (flat / dims[2]) % dims[1];
+        let t = flat / (dims[1] * dims[2]);
+        // SAFETY: the grid enumerates each (t, j, i) exactly once.
+        unsafe { panel_task(u, v, x_ptr.get(), x_meta, t, j, i) };
+    });
+}
+
+/// Dense row-major reference product for one `t` (test oracle).
+pub fn dense_reference(
+    u_dense: &[f32],
+    v_dense: &[f32],
+    rows: usize,
+    inner: usize,
+    cols: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for k in 0..inner {
+            let a = u_dense[r * inner + k];
+            for c in 0..cols {
+                out[r * cols + c] += a * v_dense[k * cols + c];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_sched::{SerialExecutor, StaticExecutor};
+
+    fn fill(m: &mut BlockedMatrices, seed: usize) {
+        for t in 0..m.t_count() {
+            for r in 0..m.rows() {
+                for c in 0..m.cols() {
+                    let h = (t * 7919 + r * 131 + c * 17 + seed).wrapping_mul(2654435761);
+                    m.set(t, r, c, ((h >> 16) % 1000) as f32 / 500.0 - 1.0);
+                }
+            }
+        }
+    }
+
+    fn check_case(t: usize, rows: usize, c: usize, cp: usize, nb: usize, cb: usize, cpb: usize) {
+        let mut u = BlockedMatrices::new(t, rows, c, nb, cb);
+        let mut v = BlockedMatrices::new(t, c, cp, cb, cpb);
+        let mut x = BlockedMatrices::new(t, rows, cp, nb, cpb);
+        fill(&mut u, 1);
+        fill(&mut v, 2);
+        batched_gemm(&u, &v, &mut x);
+        for tt in 0..t {
+            let want = dense_reference(&u.to_dense(tt), &v.to_dense(tt), rows, c, cp);
+            let got = x.to_dense(tt);
+            for i in 0..rows * cp {
+                assert!(
+                    (got[i] - want[i]).abs() <= 1e-3 * want[i].abs().max(1.0),
+                    "t={tt} elem {i}: {} vs {}",
+                    got[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_blocking() {
+        check_case(2, 24, 32, 32, 8, 16, 16);
+    }
+
+    #[test]
+    fn padded_rows() {
+        // rows = 21 with n_blk = 8 → 3 panels, last one 5 real rows.
+        check_case(1, 21, 32, 48, 8, 32, 16);
+    }
+
+    #[test]
+    fn multiple_k_blocks_accumulate() {
+        check_case(1, 16, 128, 32, 8, 32, 32);
+    }
+
+    #[test]
+    fn paper_sized_blocks() {
+        check_case(1, 32, 128, 128, 8, 128, 128);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (t, rows, c, cp, nb, cb, cpb) = (4, 40, 64, 64, 7, 32, 32);
+        let mut u = BlockedMatrices::new(t, rows, c, nb, cb);
+        let mut v = BlockedMatrices::new(t, c, cp, cb, cpb);
+        fill(&mut u, 3);
+        fill(&mut v, 4);
+        let mut x_serial = BlockedMatrices::new(t, rows, cp, nb, cpb);
+        let mut x_par = BlockedMatrices::new(t, rows, cp, nb, cpb);
+        let mut x_static = BlockedMatrices::new(t, rows, cp, nb, cpb);
+        batched_gemm(&u, &v, &mut x_serial);
+        batched_gemm_parallel(&u, &v, &mut x_par, &SerialExecutor);
+        let pool = StaticExecutor::new(4);
+        batched_gemm_parallel(&u, &v, &mut x_static, &pool);
+        assert_eq!(x_serial.as_slice(), x_par.as_slice());
+        assert_eq!(x_serial.as_slice(), x_static.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn shape_mismatch_panics() {
+        let u = BlockedMatrices::new(1, 8, 32, 8, 16);
+        let v = BlockedMatrices::new(1, 48, 16, 16, 16);
+        let mut x = BlockedMatrices::new(1, 8, 16, 8, 16);
+        batched_gemm(&u, &v, &mut x);
+    }
+}

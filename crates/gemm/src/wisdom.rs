@@ -1,0 +1,138 @@
+//! The FFTW-style wisdom store (§4.3.2).
+//!
+//! Empirically determined blocking parameters are remembered per problem
+//! shape so the (relatively slow) search runs once per layer shape and
+//! machine. The on-disk format is a trivially greppable text file:
+//!
+//! ```text
+//! # wino-gemm wisdom v1
+//! r784_c256_cp256_t36_th64 = 14 128 128
+//! ```
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::model::BlockShape;
+
+/// Thread-safe wisdom map: problem key → best blocking.
+#[derive(Debug, Default)]
+pub struct Wisdom {
+    map: Mutex<HashMap<String, BlockShape>>,
+}
+
+impl Wisdom {
+    pub fn new() -> Wisdom {
+        Wisdom::default()
+    }
+
+    /// Canonical key for a batched-GEMM problem: `rows × c → cp`, `t`
+    /// matrices, `threads` threads.
+    pub fn key(rows: usize, c: usize, cp: usize, t: usize, threads: usize) -> String {
+        format!("r{rows}_c{c}_cp{cp}_t{t}_th{threads}")
+    }
+
+    pub fn get(&self, key: &str) -> Option<BlockShape> {
+        self.map.lock().unwrap().get(key).copied()
+    }
+
+    pub fn insert(&self, key: String, shape: BlockShape) {
+        self.map.lock().unwrap().insert(key, shape);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Load wisdom from a text file. Unknown or malformed lines are
+    /// ignored (forward compatibility), comments start with `#`.
+    pub fn load(path: &Path) -> io::Result<Wisdom> {
+        let file = std::fs::File::open(path)?;
+        let reader = io::BufReader::new(file);
+        let w = Wisdom::new();
+        for line in reader.lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, rest)) = line.split_once('=') else { continue };
+            let nums: Vec<usize> =
+                rest.split_whitespace().filter_map(|s| s.parse().ok()).collect();
+            if nums.len() == 3 {
+                w.insert(
+                    key.trim().to_string(),
+                    BlockShape { n_blk: nums[0], c_blk: nums[1], cp_blk: nums[2] },
+                );
+            }
+        }
+        Ok(w)
+    }
+
+    /// Persist to a text file (sorted keys, stable diffs).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let map = self.map.lock().unwrap();
+        let mut keys: Vec<&String> = map.keys().collect();
+        keys.sort();
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "# wino-gemm wisdom v1")?;
+        for k in keys {
+            let s = map[k];
+            writeln!(f, "{k} = {} {} {}", s.n_blk, s.c_blk, s.cp_blk)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join(format!("wino-wisdom-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.txt");
+
+        let w = Wisdom::new();
+        w.insert(Wisdom::key(784, 256, 256, 36, 64), BlockShape { n_blk: 14, c_blk: 128, cp_blk: 128 });
+        w.insert(Wisdom::key(100, 64, 64, 16, 4), BlockShape { n_blk: 8, c_blk: 64, cp_blk: 64 });
+        w.save(&path).unwrap();
+
+        let loaded = Wisdom::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded.get(&Wisdom::key(784, 256, 256, 36, 64)),
+            Some(BlockShape { n_blk: 14, c_blk: 128, cp_blk: 128 })
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("wino-wisdom-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.txt");
+        std::fs::write(&path, "# comment\n\ngarbage\nkey = 1 2\nok = 8 64 64\n").unwrap();
+        let w = Wisdom::load(&path).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.get("ok"), Some(BlockShape { n_blk: 8, c_blk: 64, cp_blk: 64 }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(Wisdom::load(Path::new("/nonexistent/wisdom.txt")).is_err());
+    }
+
+    #[test]
+    fn keys_distinguish_problems() {
+        assert_ne!(Wisdom::key(1, 2, 3, 4, 5), Wisdom::key(1, 2, 3, 4, 6));
+        assert_ne!(Wisdom::key(10, 2, 3, 4, 5), Wisdom::key(1, 2, 3, 4, 5));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based testing of the batched GEMM engines: for arbitrary
+//! legal shapes, the specialised engine, the generic engine and the dense
+//! reference must agree; padded rows must never leak into results.
+
+use proptest::prelude::*;
+use wino_gemm::{batched_gemm, batched_gemm_generic, dense_reference};
+use wino_tensor::BlockedMatrices;
+
+fn fill(m: &mut BlockedMatrices, seed: u64) {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+    for t in 0..m.t_count() {
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                m.set(t, r, c, ((s >> 40) as f32 / (1u64 << 23) as f32) - 1.0);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn specialised_equals_generic_equals_dense(
+        t in 1usize..4,
+        rows in 1usize..50,
+        kq in 1usize..4,     // C = 16·kq
+        cq in 1usize..4,     // C' = 16·cq
+        n_blk in 1usize..=30,
+        seed in 0u64..1000,
+    ) {
+        let c = kq * 16;
+        let cp = cq * 16;
+        // Pick legal blockings dividing the channel counts.
+        let cb = 16 * (1 + seed as usize % kq);
+        let cb = (1..=kq).map(|x| x * 16).filter(|b| c % b == 0).last().unwrap_or(16).min(cb.max(16));
+        let cb = if c % cb == 0 { cb } else { 16 };
+        let cpb = 16;
+
+        let mut u = BlockedMatrices::new(t, rows, c, n_blk, cb);
+        let mut v = BlockedMatrices::new(t, c, cp, cb, cpb);
+        fill(&mut u, seed);
+        fill(&mut v, seed ^ 0xABCD);
+
+        let mut x_spec = BlockedMatrices::new(t, rows, cp, n_blk, cpb);
+        let mut x_gen = BlockedMatrices::new(t, rows, cp, n_blk, cpb);
+        batched_gemm(&u, &v, &mut x_spec);
+        batched_gemm_generic(&u, &v, &mut x_gen);
+
+        for tt in 0..t {
+            let want = dense_reference(&u.to_dense(tt), &v.to_dense(tt), rows, c, cp);
+            let got_s = x_spec.to_dense(tt);
+            let got_g = x_gen.to_dense(tt);
+            for i in 0..want.len() {
+                prop_assert!(
+                    (got_s[i] - want[i]).abs() <= 1e-3 * want[i].abs().max(1.0),
+                    "specialised t={} elem {}: {} vs {}", tt, i, got_s[i], want[i]
+                );
+                prop_assert!(
+                    (got_g[i] - want[i]).abs() <= 1e-3 * want[i].abs().max(1.0),
+                    "generic t={} elem {}: {} vs {}", tt, i, got_g[i], want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq11_model_is_scale_invariant(
+        cb_q in 2usize..32,
+        cpb_q in 2usize..32,
+    ) {
+        // Doubling both blocks doubles the Eq. 11 ratio (homogeneity of
+        // degree 1) — a structural property of the model.
+        use wino_gemm::BlockShape;
+        let s1 = BlockShape { n_blk: 8, c_blk: cb_q * 16, cp_blk: cpb_q * 16 };
+        let s2 = BlockShape { n_blk: 8, c_blk: cb_q * 32, cp_blk: cpb_q * 32 };
+        let r1 = s1.compute_to_memory_ratio(true);
+        let r2 = s2.compute_to_memory_ratio(true);
+        prop_assert!((r2 / r1 - 2.0).abs() < 1e-9, "{} vs {}", r1, r2);
+        // And β = 0 always has a (weakly) higher ratio than β = 1.
+        prop_assert!(s1.compute_to_memory_ratio(false) >= r1);
+    }
+}

@@ -1,0 +1,288 @@
+//! AVX2 (VEX-encoded) micro-kernel generation — the paper's §6 claim
+//! made concrete: "The current implementation is AVX512 specific. It can
+//! be easily extended to support the AVX2 instruction set, by providing
+//! specific matrix multiplication routines; the rest of the code can be
+//! fully reused."
+//!
+//! The data layout is unchanged (16-lane rows), so each logical row is a
+//! pair of `ymm` halves. AVX2 has no embedded broadcast, so the scalar
+//! `Û[j,k]` is broadcast into a register first (`vbroadcastss`), then two
+//! register-form FMAs accumulate the halves. With 16 architectural `ymm`
+//! registers the register budget is `2·n_blk + 3` (two `V̂` halves + one
+//! broadcast), limiting `n_blk ≤ 6` — the AVX2 analogue of the paper's
+//! `n_blk ≤ 30` bound on AVX-512.
+
+use crate::encode::Gpr;
+use crate::exec::ExecBuffer;
+use crate::kernel::JitError;
+
+/// Maximum register rows on AVX2: 16 ymm = 2·n_blk halves + 2 V̂ halves
+/// + 1 broadcast.
+pub const MAX_N_BLK_AVX2: usize = 6;
+
+/// Minimal VEX (3-byte form) emitter for the AVX2 kernel's repertoire.
+#[derive(Default)]
+struct VexAsm {
+    code: Vec<u8>,
+}
+
+impl VexAsm {
+    /// Emit `C4 [R̄ X̄ B̄ m-mmmm] [W v̄v̄v̄v̄ L pp] opcode modrm disp32?`.
+    fn vex(&mut self, map: u8, pp: u8, opcode: u8, reg: u8, vvvv: u8, rm_reg: Option<u8>, mem: Option<(Gpr, i32)>) {
+        debug_assert!(reg < 16 && vvvv < 16);
+        let (xbar, bbar, rm) = match (rm_reg, mem) {
+            (Some(r), None) => (1u8, (!(r >> 3)) & 1, r & 7),
+            (None, Some((base, _))) => {
+                let b = base as u8;
+                debug_assert!(b & 7 != 4);
+                (1u8, (!(b >> 3)) & 1, b & 7)
+            }
+            _ => unreachable!("exactly one of rm_reg/mem"),
+        };
+        let rbar = (!(reg >> 3)) & 1;
+        self.code.push(0xC4);
+        self.code.push((rbar << 7) | (xbar << 6) | (bbar << 5) | map);
+        // W = 0, L = 1 (256-bit), vvvv inverted.
+        self.code.push((((!vvvv) & 0xF) << 3) | 0b100 | pp);
+        self.code.push(opcode);
+        match (rm_reg, mem) {
+            (Some(_), None) => self.code.push(0b11_000_000 | ((reg & 7) << 3) | rm),
+            (None, Some((_, disp))) => {
+                self.code.push(0b10_000_000 | ((reg & 7) << 3) | rm);
+                self.code.extend_from_slice(&disp.to_le_bytes());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// `vmovups ymm, [base + disp]`.
+    fn load(&mut self, ymm: u8, base: Gpr, disp: i32) {
+        self.vex(0b00001, 0b00, 0x10, ymm, 0, None, Some((base, disp)));
+    }
+
+    /// `vmovups [base + disp], ymm`.
+    fn store(&mut self, base: Gpr, disp: i32, ymm: u8) {
+        self.vex(0b00001, 0b00, 0x11, ymm, 0, None, Some((base, disp)));
+    }
+
+    /// `vbroadcastss ymm, dword [base + disp]` (AVX2: 0F38 18).
+    fn bcast(&mut self, ymm: u8, base: Gpr, disp: i32) {
+        self.vex(0b00010, 0b01, 0x18, ymm, 0, None, Some((base, disp)));
+    }
+
+    /// `vfmadd231ps ymm1, ymm2, ymm3` — `ymm1 += ymm2 · ymm3`.
+    fn fma(&mut self, dst: u8, a: u8, b: u8) {
+        self.vex(0b00010, 0b01, 0xB8, dst, a, Some(b), None);
+    }
+
+    /// `vxorps ymm, ymm, ymm`.
+    fn zero(&mut self, ymm: u8) {
+        self.vex(0b00001, 0b00, 0x57, ymm, ymm, Some(ymm), None);
+    }
+
+    /// `vzeroupper` (avoid AVX↔SSE transition stalls in the caller).
+    fn vzeroupper(&mut self) {
+        self.code.extend_from_slice(&[0xC5, 0xF8, 0x77]);
+    }
+
+    fn ret(&mut self) {
+        self.code.push(0xC3);
+    }
+}
+
+/// A compiled AVX2 block-output micro-kernel (`X̂ = β·X̂ + Û·V̂`), same
+/// calling contract as the AVX-512 [`crate::JitKernel`] in block mode.
+pub struct Avx2Kernel {
+    buf: ExecBuffer,
+    n_blk: usize,
+    c_blk: usize,
+    cp_blk: usize,
+    beta: bool,
+    code_bytes: usize,
+}
+
+impl Avx2Kernel {
+    /// Emit and map the kernel. Requires AVX2+FMA at runtime.
+    pub fn compile(n_blk: usize, c_blk: usize, cp_blk: usize, beta: bool) -> Result<Avx2Kernel, JitError> {
+        if !wino_simd::cpu_has_avx2_fma() {
+            return Err(JitError::Avx512Unavailable); // reported as ISA-unavailable
+        }
+        if n_blk == 0 || n_blk > MAX_N_BLK_AVX2 {
+            return Err(JitError::BadParams(format!(
+                "n_blk = {n_blk} out of 1..={MAX_N_BLK_AVX2} for AVX2"
+            )));
+        }
+        if cp_blk == 0 || cp_blk % 16 != 0 {
+            return Err(JitError::BadParams(format!("cp_blk = {cp_blk} not a multiple of 16")));
+        }
+        if c_blk == 0 {
+            return Err(JitError::BadParams("c_blk = 0".into()));
+        }
+
+        // Register map: acc j-lo = ymm(2j), acc j-hi = ymm(2j+1),
+        // V̂ halves = ymm12/ymm13, broadcast = ymm14.
+        let (v_lo, v_hi, bc) = (12u8, 13u8, 14u8);
+        let mut a = VexAsm::default();
+        let qn = cp_blk / 16;
+        for q in 0..qn {
+            let xq = (q * 16 * 4) as i32;
+            let vq = (q * 16 * 4) as i32;
+            for j in 0..n_blk {
+                let (lo, hi) = ((2 * j) as u8, (2 * j + 1) as u8);
+                if beta {
+                    a.load(lo, Gpr::Rdx, xq + (j * cp_blk * 4) as i32);
+                    a.load(hi, Gpr::Rdx, xq + (j * cp_blk * 4 + 32) as i32);
+                } else {
+                    a.zero(lo);
+                    a.zero(hi);
+                }
+            }
+            for k in 0..c_blk {
+                a.load(v_lo, Gpr::Rsi, vq + (k * cp_blk * 4) as i32);
+                a.load(v_hi, Gpr::Rsi, vq + (k * cp_blk * 4 + 32) as i32);
+                for j in 0..n_blk {
+                    a.bcast(bc, Gpr::Rdi, ((j * c_blk + k) * 4) as i32);
+                    a.fma((2 * j) as u8, bc, v_lo);
+                    a.fma((2 * j + 1) as u8, bc, v_hi);
+                }
+            }
+            for j in 0..n_blk {
+                a.store(Gpr::Rdx, xq + (j * cp_blk * 4) as i32, (2 * j) as u8);
+                a.store(Gpr::Rdx, xq + (j * cp_blk * 4 + 32) as i32, (2 * j + 1) as u8);
+            }
+        }
+        a.vzeroupper();
+        a.ret();
+        let code_bytes = a.code.len();
+        let buf = ExecBuffer::from_code(&a.code).map_err(JitError::Os)?;
+        Ok(Avx2Kernel { buf, n_blk, c_blk, cp_blk, beta, code_bytes })
+    }
+
+    pub fn n_blk(&self) -> usize {
+        self.n_blk
+    }
+
+    pub fn code_bytes(&self) -> usize {
+        self.code_bytes
+    }
+
+    /// Invoke the kernel (same contract as [`crate::JitKernel::call`]).
+    ///
+    /// # Safety
+    /// See [`crate::JitKernel::call`].
+    #[inline]
+    pub unsafe fn call(&self, u: *const f32, v: *const f32, x: *mut f32) {
+        let f: extern "sysv64" fn(*const f32, *const f32, *mut f32) =
+            std::mem::transmute(self.buf.entry());
+        f(u, v, x);
+    }
+}
+
+impl std::fmt::Debug for Avx2Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Avx2Kernel(n_blk={}, c_blk={}, cp_blk={}, beta={}, {}B)",
+            self.n_blk, self.c_blk, self.cp_blk, self.beta, self.code_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_gemm::microkernel_reference;
+    use wino_simd::AlignedVec;
+
+    fn have_avx2() -> bool {
+        if wino_simd::cpu_has_avx2_fma() {
+            true
+        } else {
+            eprintln!("skipping AVX2 JIT test: no AVX2+FMA");
+            false
+        }
+    }
+
+    fn filled(n: usize, seed: u32) -> AlignedVec {
+        let mut v = AlignedVec::zeroed(n);
+        let mut s = seed.wrapping_mul(0x85EBCA6B).wrapping_add(3);
+        for x in v.iter_mut() {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            *x = ((s >> 9) as f32 / (1 << 23) as f32) - 1.0;
+        }
+        v
+    }
+
+    fn check(n_blk: usize, c_blk: usize, cp_blk: usize, beta: bool) {
+        let u = filled(n_blk * c_blk, 1);
+        let v = filled(c_blk * cp_blk, 2);
+        let x0 = filled(n_blk * cp_blk, 3);
+        let mut x_jit = x0.clone();
+        let mut x_ref: Vec<f32> = x0.as_slice().to_vec();
+        let kern = Avx2Kernel::compile(n_blk, c_blk, cp_blk, beta).unwrap();
+        unsafe { kern.call(u.as_ptr(), v.as_ptr(), x_jit.as_mut_ptr()) };
+        microkernel_reference(n_blk, &u, &v, &mut x_ref, c_blk, cp_blk, beta);
+        for i in 0..n_blk * cp_blk {
+            assert!(
+                (x_jit[i] - x_ref[i]).abs() <= 1e-4 * x_ref[i].abs().max(1.0),
+                "n_blk={n_blk} c_blk={c_blk} cp_blk={cp_blk} beta={beta} elem {i}: {} vs {}",
+                x_jit[i],
+                x_ref[i]
+            );
+        }
+    }
+
+    #[test]
+    fn all_avx2_n_blk_values_match_reference() {
+        if !have_avx2() {
+            return;
+        }
+        for n_blk in 1..=MAX_N_BLK_AVX2 {
+            check(n_blk, 32, 32, false);
+            check(n_blk, 32, 32, true);
+        }
+    }
+
+    #[test]
+    fn avx2_paper_sized_blocks() {
+        if !have_avx2() {
+            return;
+        }
+        check(6, 128, 128, false);
+        check(6, 128, 128, true);
+        check(4, 64, 48, true);
+        check(1, 1, 16, false);
+        check(3, 7, 32, true);
+    }
+
+    #[test]
+    fn avx2_rejects_oversized_n_blk() {
+        if !have_avx2() {
+            return;
+        }
+        assert!(matches!(
+            Avx2Kernel::compile(7, 16, 16, false),
+            Err(JitError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn avx2_agrees_with_avx512_jit() {
+        if !have_avx2() || !wino_simd::cpu_has_avx512f() {
+            return;
+        }
+        let (n_blk, c_blk, cp_blk) = (5usize, 24usize, 48usize);
+        let u = filled(n_blk * c_blk, 7);
+        let v = filled(c_blk * cp_blk, 8);
+        let mut x_a2 = AlignedVec::zeroed(n_blk * cp_blk);
+        let mut x_a5 = AlignedVec::zeroed(n_blk * cp_blk);
+        let k2 = Avx2Kernel::compile(n_blk, c_blk, cp_blk, false).unwrap();
+        let k5 = crate::JitKernel::compile(n_blk, c_blk, cp_blk, false).unwrap();
+        unsafe {
+            k2.call(u.as_ptr(), v.as_ptr(), x_a2.as_mut_ptr());
+            k5.call(u.as_ptr(), v.as_ptr(), x_a5.as_mut_ptr());
+        }
+        // Identical FMA order → bitwise identical results.
+        assert_eq!(x_a2.as_slice(), x_a5.as_slice());
+    }
+}

@@ -1,0 +1,109 @@
+//! Executable memory for runtime-generated code.
+//!
+//! The paper's artifact JIT-compiles assembly into a shared library and
+//! loads it; the minimal in-process equivalent is an anonymous `mmap`
+//! that is filled while writable and then flipped to read+execute
+//! (W^X discipline — the page is never writable and executable at once).
+
+use std::io;
+
+/// A page-aligned, read+execute mapping containing generated code.
+pub struct ExecBuffer {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (RX) after construction.
+unsafe impl Send for ExecBuffer {}
+unsafe impl Sync for ExecBuffer {}
+
+impl ExecBuffer {
+    /// Copy `code` into fresh executable memory.
+    pub fn from_code(code: &[u8]) -> io::Result<ExecBuffer> {
+        assert!(!code.is_empty(), "empty code buffer");
+        let page = 4096usize;
+        let len = (code.len() + page - 1) / page * page;
+        // SAFETY: anonymous private mapping; we check the result.
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: mapping is len bytes, code fits.
+        unsafe {
+            std::ptr::copy_nonoverlapping(code.as_ptr(), ptr as *mut u8, code.len());
+        }
+        // SAFETY: flip to RX; on failure unmap and report.
+        let rc = unsafe { libc::mprotect(ptr, len, libc::PROT_READ | libc::PROT_EXEC) };
+        if rc != 0 {
+            let err = io::Error::last_os_error();
+            // SAFETY: we own the mapping.
+            unsafe { libc::munmap(ptr, len) };
+            return Err(err);
+        }
+        Ok(ExecBuffer { ptr: ptr as *mut u8, len })
+    }
+
+    /// Entry point of the generated code.
+    pub fn entry(&self) -> *const u8 {
+        self.ptr
+    }
+
+    /// Bytes mapped (page-rounded).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for ExecBuffer {
+    fn drop(&mut self) {
+        // SAFETY: mapping created in from_code with this length.
+        unsafe { libc::munmap(self.ptr as *mut libc::c_void, self.len) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn executes_trivial_function() {
+        // mov eax, 42; ret
+        let code = [0xb8, 0x2a, 0x00, 0x00, 0x00, 0xc3];
+        let buf = ExecBuffer::from_code(&code).unwrap();
+        let f: extern "sysv64" fn() -> i32 = unsafe { std::mem::transmute(buf.entry()) };
+        assert_eq!(f(), 42);
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn executes_argument_passing() {
+        // lea eax, [rdi + rsi]; ret  => 8d 04 37 c3
+        let code = [0x8d, 0x04, 0x37, 0xc3];
+        let buf = ExecBuffer::from_code(&code).unwrap();
+        let f: extern "sysv64" fn(i32, i32) -> i32 = unsafe { std::mem::transmute(buf.entry()) };
+        assert_eq!(f(20, 22), 42);
+        assert_eq!(f(-1, 1), 0);
+    }
+
+    #[test]
+    fn page_rounding() {
+        let buf = ExecBuffer::from_code(&[0xc3]).unwrap();
+        assert_eq!(buf.len() % 4096, 0);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.entry() as usize % 4096, 0);
+    }
+}

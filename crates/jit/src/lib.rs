@@ -1,0 +1,26 @@
+//! # wino-jit
+//!
+//! The paper's runtime code generator (§4.3.1), for real: an x86-64
+//! encoder ([`encode`]) emits fully unrolled AVX-512 micro-kernels —
+//! broadcast FMAs, look-ahead vector loads, interleaved prefetch — into
+//! executable pages ([`exec`]), one function per
+//! `(n_blk, C_blk, C'_blk, β)` ([`kernel`]).
+//!
+//! This reproduces the *mechanism* of the paper's JIT (generate assembly
+//! per block shape at instantiation time, load, call), where `wino-gemm`
+//! reproduces its *effect* via const-generic monomorphisation. The two
+//! are differentially tested against each other and benchmarked side by
+//! side in the Fig. 6 harness.
+//!
+//! Requires AVX-512F at runtime (checked; compilation returns
+//! [`kernel::JitError::Avx512Unavailable`] otherwise) and Linux `mmap`
+//! (the `libc` dependency — see DESIGN.md's dependency justification).
+
+pub mod avx2;
+pub mod encode;
+pub mod exec;
+pub mod kernel;
+
+pub use avx2::{Avx2Kernel, MAX_N_BLK_AVX2};
+pub use exec::ExecBuffer;
+pub use kernel::{jit_batched_gemm, JitError, JitKernel, JitKernelPair, JitOutput};

@@ -1,0 +1,175 @@
+//! Execution backends: the paper's static scheduler, plus rayon (dynamic
+//! work stealing) and serial executors used as comparison points in the
+//! §4.5 scheduling ablation.
+
+use crate::{GridPartition, ThreadPool};
+
+/// Runs D-dimensional grids of equal tasks. Implementations must invoke
+/// the task closure exactly once for every flat task index.
+pub trait Executor: Sync {
+    /// Run `task(slot, flat_index)` for every cell of the grid `dims`.
+    ///
+    /// `slot` identifies the executing thread: it is in `0..self.threads()`
+    /// and no two concurrently running tasks share a slot — callers may use
+    /// it to index per-thread scratch without locks. `task` must be safe to
+    /// call concurrently from multiple threads on distinct indices.
+    fn run_grid(&self, dims: &[usize], task: &(dyn Fn(usize, usize) + Sync));
+
+    /// Number of thread slots this executor uses (1 for serial).
+    fn threads(&self) -> usize;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Single-threaded executor: iterates the grid in row-major order.
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn run_grid(&self, dims: &[usize], task: &(dyn Fn(usize, usize) + Sync)) {
+        let total: usize = dims.iter().product();
+        for i in 0..total {
+            task(0, i);
+        }
+        wino_simd::sfence();
+    }
+
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+}
+
+/// The paper's scheduler: recursive-GCD static partition executed by the
+/// persistent fork–join pool with the custom spin barrier.
+pub struct StaticExecutor {
+    pool: ThreadPool,
+}
+
+impl StaticExecutor {
+    pub fn new(threads: usize) -> StaticExecutor {
+        StaticExecutor { pool: ThreadPool::new(threads) }
+    }
+
+    pub fn with_available_parallelism() -> StaticExecutor {
+        StaticExecutor { pool: ThreadPool::with_available_parallelism() }
+    }
+}
+
+impl Executor for StaticExecutor {
+    fn run_grid(&self, dims: &[usize], task: &(dyn Fn(usize, usize) + Sync)) {
+        let partition = GridPartition::new(dims, self.pool.n_threads());
+        self.pool.run(|tid| {
+            partition.boxes[tid].for_each_flat(dims, |idx| task(tid, idx));
+        });
+    }
+
+    fn threads(&self) -> usize {
+        self.pool.n_threads()
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Dynamic work-stealing executor built on rayon — the comparison point
+/// for the §4.5 ablation ("static scheduling vs dynamic").
+pub struct RayonExecutor;
+
+impl Executor for RayonExecutor {
+    fn run_grid(&self, dims: &[usize], task: &(dyn Fn(usize, usize) + Sync)) {
+        use rayon::prelude::*;
+        let total: usize = dims.iter().product();
+        (0..total).into_par_iter().for_each(|i| {
+            // Inside the pool `current_thread_index` is always Some; the
+            // fallback covers tasks that rayon runs on the caller thread.
+            let slot = rayon::current_thread_index().unwrap_or(0);
+            task(slot, i);
+        });
+        wino_simd::sfence();
+    }
+
+    fn threads(&self) -> usize {
+        // Slot ids come from rayon's global pool; reserve one extra slot
+        // for the caller-thread fallback above.
+        rayon::current_num_threads() + 1
+    }
+
+    fn name(&self) -> &'static str {
+        "rayon"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn check_covers(e: &dyn Executor, dims: &[usize]) {
+        let total: usize = dims.iter().product();
+        let hits: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        let max_slot = AtomicUsize::new(0);
+        e.run_grid(dims, &|slot, i| {
+            assert!(slot < e.threads(), "slot {slot} out of range");
+            max_slot.fetch_max(slot, Ordering::Relaxed);
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} run {} times", h.load(Ordering::Relaxed));
+        }
+    }
+
+    #[test]
+    fn serial_covers() {
+        check_covers(&SerialExecutor, &[3, 4, 5]);
+    }
+
+    #[test]
+    fn static_covers() {
+        let e = StaticExecutor::new(4);
+        check_covers(&e, &[8, 4, 7]);
+        check_covers(&e, &[5]);
+        check_covers(&e, &[3, 3, 3]);
+    }
+
+    #[test]
+    fn rayon_covers() {
+        check_covers(&RayonExecutor, &[6, 6]);
+    }
+
+    #[test]
+    fn static_reuses_pool_across_grids() {
+        let e = StaticExecutor::new(3);
+        for _ in 0..20 {
+            check_covers(&e, &[4, 9]);
+        }
+    }
+
+    #[test]
+    fn static_slot_is_stable_within_task_box() {
+        // The static executor runs each thread's whole box under one slot.
+        let e = StaticExecutor::new(2);
+        let slots = std::sync::Mutex::new(vec![usize::MAX; 16]);
+        e.run_grid(&[16], &|slot, i| {
+            slots.lock().unwrap()[i] = slot;
+        });
+        let slots = slots.into_inner().unwrap();
+        // Two contiguous halves, one per thread.
+        assert!(slots[..8].iter().all(|&s| s == slots[0]));
+        assert!(slots[8..].iter().all(|&s| s == slots[8]));
+    }
+
+    #[test]
+    fn names_and_threads() {
+        assert_eq!(SerialExecutor.threads(), 1);
+        assert_eq!(SerialExecutor.name(), "serial");
+        let e = StaticExecutor::new(2);
+        assert_eq!(e.threads(), 2);
+        assert_eq!(e.name(), "static");
+        assert_eq!(RayonExecutor.name(), "rayon");
+    }
+}

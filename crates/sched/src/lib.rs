@@ -1,0 +1,18 @@
+//! # wino-sched
+//!
+//! The parallel-execution substrate (paper §4.5): static scheduling through
+//! recursive-GCD grid partitioning ([`GridPartition`]), a custom busy-wait
+//! [`SpinBarrier`] built from atomics, a persistent fork–join
+//! [`ThreadPool`], and pluggable [`Executor`] backends (static / rayon /
+//! serial) so the scheduling ablation can swap strategies without touching
+//! the convolution code.
+
+pub mod backend;
+pub mod barrier;
+pub mod grid;
+pub mod pool;
+
+pub use backend::{Executor, RayonExecutor, SerialExecutor, StaticExecutor};
+pub use barrier::SpinBarrier;
+pub use grid::{GridPartition, TaskBox};
+pub use pool::ThreadPool;

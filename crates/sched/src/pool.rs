@@ -1,0 +1,225 @@
+//! Persistent fork–join thread pool with statically pre-assigned work
+//! (§4.5).
+//!
+//! The pool holds `n − 1` worker threads plus the calling thread. Each
+//! parallel region is exactly one fork–join: the main thread publishes a
+//! job, everyone crosses the start [`SpinBarrier`], runs its statically
+//! assigned share, flushes streaming stores, and crosses the end barrier.
+//! No work stealing, no queues — per the paper, load balance comes from the
+//! static [`crate::GridPartition`], and synchronisation cost is two spins.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::barrier::SpinBarrier;
+
+/// Type-erased job pointer: a borrowed `Fn(usize)` whose lifetime is
+/// guaranteed by the fork–join protocol (the publisher cannot return from
+/// `run` until every worker has crossed the end barrier).
+type JobPtr = *const (dyn Fn(usize) + Sync);
+
+struct Shared {
+    start: SpinBarrier,
+    end: SpinBarrier,
+    job: UnsafeCell<Option<JobPtr>>,
+    shutdown: AtomicBool,
+}
+
+// SAFETY: `job` is only written by the main thread strictly before the
+// start barrier and only read by workers strictly after it; the barrier's
+// release/acquire pair orders those accesses.
+unsafe impl Sync for Shared {}
+unsafe impl Send for Shared {}
+
+/// A fixed-size fork–join pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool of `n_threads` total participants (including the
+    /// calling thread), so `n_threads - 1` OS threads are spawned.
+    ///
+    /// # Panics
+    /// Panics if `n_threads == 0`.
+    pub fn new(n_threads: usize) -> ThreadPool {
+        assert!(n_threads > 0);
+        let shared = Arc::new(Shared {
+            start: SpinBarrier::new(n_threads),
+            end: SpinBarrier::new(n_threads),
+            job: UnsafeCell::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..n_threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wino-worker-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        ThreadPool { shared, workers, n_threads }
+    }
+
+    /// Pool with one participant per available hardware thread.
+    pub fn with_available_parallelism() -> ThreadPool {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ThreadPool::new(n)
+    }
+
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// One fork–join: run `f(tid)` on every thread (tid `0..n_threads`,
+    /// the calling thread is tid 0), returning after all have finished.
+    /// Streaming stores issued inside `f` are globally visible on return.
+    pub fn run<F: Fn(usize) + Sync>(&self, f: F) {
+        if self.n_threads == 1 {
+            f(0);
+            wino_simd::sfence();
+            return;
+        }
+        let ptr: *const (dyn Fn(usize) + Sync + '_) = &f;
+        // SAFETY: only the main thread writes `job`, and only outside a
+        // fork–join region (workers are parked at the start barrier).
+        // Erasing the lifetime is sound because we join at `end.wait()`
+        // below before `f` can drop.
+        let ptr: JobPtr =
+            unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), JobPtr>(ptr) };
+        unsafe {
+            *self.shared.job.get() = Some(ptr);
+        }
+        self.shared.start.wait();
+        f(0);
+        wino_simd::sfence();
+        self.shared.end.wait();
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize) {
+    loop {
+        shared.start.wait();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY: the start barrier ordered this read after the main
+        // thread's write; the job pointer is valid until the end barrier.
+        let job = unsafe { (*shared.job.get()).expect("job published before barrier") };
+        // SAFETY: dereferencing the type-erased borrow; validity as above.
+        unsafe { (*job)(tid) };
+        // Make this worker's streaming stores visible before the join.
+        wino_simd::sfence();
+        shared.end.wait();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if self.n_threads > 1 {
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.start.wait();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.run(|tid| {
+            assert_eq!(tid, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn every_tid_runs_exactly_once_per_forkjoin() {
+        let pool = ThreadPool::new(4);
+        for _ in 0..50 {
+            let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(|tid| {
+                hits[tid].fetch_add(1, Ordering::Relaxed);
+            });
+            for (tid, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "tid {tid}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_visible_after_run() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 1024];
+        {
+            let chunks: Vec<_> = data.chunks_mut(256).collect();
+            // Hand each thread a disjoint chunk through a lock-free cell.
+            let cell = std::sync::Mutex::new(chunks);
+            pool.run(|tid| {
+                let chunk = {
+                    let mut guard = cell.lock().unwrap();
+                    guard.pop()
+                };
+                if let Some(chunk) = chunk {
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = tid * 1000 + i;
+                    }
+                }
+            });
+        }
+        // All four chunks written (values nonzero except index 0 of some).
+        assert!(data[1] != 0 && data[257] != 0 && data[513] != 0 && data[769] != 0);
+    }
+
+    #[test]
+    fn sequential_runs_do_not_deadlock() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 600);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        for _ in 0..10 {
+            let pool = ThreadPool::new(4);
+            pool.run(|_| {});
+            drop(pool); // must not hang or leak
+        }
+    }
+
+    #[test]
+    fn nested_data_parallel_work() {
+        let pool = ThreadPool::new(4);
+        let acc = AtomicUsize::new(0);
+        pool.run(|tid| {
+            // Simulate per-thread statically assigned iteration.
+            let mut local = 0;
+            for i in 0..1000 {
+                if i % 4 == tid {
+                    local += i;
+                }
+            }
+            acc.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), (0..1000).sum::<usize>());
+    }
+}

@@ -1,0 +1,169 @@
+//! 64-byte aligned `f32` buffers.
+//!
+//! Every array in the paper's data layout (§4.1) is 64-byte aligned "so as
+//! to facilitate the consecutive and aligned memory operations" — and the
+//! streaming stores *require* it. `Vec<f32>` only guarantees 4-byte
+//! alignment, so hot buffers use this type instead.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+
+use crate::CACHE_LINE;
+
+/// A fixed-length, zero-initialised, 64-byte aligned buffer of `f32`.
+///
+/// Unlike `Vec`, the length is fixed at construction (the paper's buffers
+/// are sized once per plan and reused across layers); this keeps the type
+/// trivially `Send + Sync` and free of growth bookkeeping.
+pub struct AlignedVec {
+    ptr: *mut f32,
+    len: usize,
+}
+
+// SAFETY: `AlignedVec` owns its allocation exclusively; sharing &AlignedVec
+// only permits reads.
+unsafe impl Send for AlignedVec {}
+unsafe impl Sync for AlignedVec {}
+
+impl AlignedVec {
+    /// Allocate `len` floats, zero-filled and 64-byte aligned.
+    pub fn zeroed(len: usize) -> AlignedVec {
+        if len == 0 {
+            return AlignedVec { ptr: std::ptr::NonNull::<f32>::dangling().as_ptr(), len: 0 };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size here.
+        let ptr = unsafe { alloc_zeroed(layout) } as *mut f32;
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        AlignedVec { ptr, len }
+    }
+
+    /// Allocate and fill from a slice.
+    pub fn from_slice(data: &[f32]) -> AlignedVec {
+        let mut v = Self::zeroed(data.len());
+        v.as_mut_slice().copy_from_slice(data);
+        v
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<f32>(), CACHE_LINE)
+            .expect("buffer too large")
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn as_ptr(&self) -> *const f32 {
+        self.ptr
+    }
+
+    pub fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.ptr
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: `ptr` is valid for `len` floats for the lifetime of self.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as above, plus &mut self guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    /// Reset all elements to zero.
+    pub fn fill_zero(&mut self) {
+        self.as_mut_slice().fill(0.0);
+    }
+}
+
+impl Drop for AlignedVec {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated with the identical layout in `zeroed`.
+            unsafe { dealloc(self.ptr as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
+
+impl Clone for AlignedVec {
+    fn clone(&self) -> Self {
+        AlignedVec::from_slice(self.as_slice())
+    }
+}
+
+impl Deref for AlignedVec {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedVec {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+impl std::fmt::Debug for AlignedVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedVec(len={})", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_aligned_and_zero() {
+        for len in [1, 15, 16, 17, 1024, 100_000] {
+            let v = AlignedVec::zeroed(len);
+            assert_eq!(v.len(), len);
+            assert_eq!(v.as_ptr() as usize % 64, 0, "len {len} not 64-byte aligned");
+            assert!(v.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let v = AlignedVec::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f32]);
+    }
+
+    #[test]
+    fn from_slice_and_clone() {
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let v = AlignedVec::from_slice(&data);
+        assert_eq!(v.as_slice(), &data[..]);
+        let w = v.clone();
+        assert_eq!(w.as_slice(), v.as_slice());
+        assert_ne!(w.as_ptr(), v.as_ptr());
+    }
+
+    #[test]
+    fn deref_mut_and_fill() {
+        let mut v = AlignedVec::zeroed(32);
+        v[3] = 7.0;
+        v[31] = -1.0;
+        assert_eq!(v[3], 7.0);
+        v.fill_zero();
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn many_allocations_dont_leak_or_crash() {
+        for _ in 0..1000 {
+            let v = AlignedVec::zeroed(4096);
+            std::hint::black_box(&v);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! AVX2+FMA backend: each 16-lane vector is a pair of 256-bit halves. This
+//! is the "easily extended to AVX2" configuration sketched in the paper's
+//! conclusion — the data layout stays identical (S = 16), only the register
+//! tiling changes.
+
+#![allow(unused_unsafe)]
+
+use std::arch::x86_64::*;
+
+pub(crate) const NAME: &str = "avx2";
+
+/// 16 packed `f32` lanes backed by two `__m256`.
+#[derive(Clone, Copy)]
+pub struct F32x16(__m256, __m256);
+
+impl F32x16 {
+    /// All-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        unsafe { F32x16(_mm256_setzero_ps(), _mm256_setzero_ps()) }
+    }
+
+    /// Broadcast `x` to all lanes.
+    #[inline(always)]
+    pub fn splat(x: f32) -> Self {
+        unsafe {
+            let v = _mm256_set1_ps(x);
+            F32x16(v, v)
+        }
+    }
+
+    /// Unaligned load of 16 floats.
+    ///
+    /// # Safety
+    /// `p` must be valid for reading 64 bytes.
+    #[inline(always)]
+    pub unsafe fn load(p: *const f32) -> Self {
+        F32x16(_mm256_loadu_ps(p), _mm256_loadu_ps(p.add(8)))
+    }
+
+    /// Unaligned store of 16 floats.
+    ///
+    /// # Safety
+    /// `p` must be valid for writing 64 bytes.
+    #[inline(always)]
+    pub unsafe fn store(self, p: *mut f32) {
+        _mm256_storeu_ps(p, self.0);
+        _mm256_storeu_ps(p.add(8), self.1);
+    }
+
+    /// Non-temporal (streaming) store.
+    ///
+    /// # Safety
+    /// `p` must be valid for writing 64 bytes and 64-byte aligned (32-byte
+    /// would suffice for AVX, but the layout contract is 64).
+    #[inline(always)]
+    pub unsafe fn store_nt(self, p: *mut f32) {
+        debug_assert_eq!(p as usize % 64, 0, "streaming store requires 64-byte alignment");
+        _mm256_stream_ps(p, self.0);
+        _mm256_stream_ps(p.add(8), self.1);
+    }
+
+    #[inline(always)]
+    pub(crate) fn add_v(a: Self, b: Self) -> Self {
+        unsafe { F32x16(_mm256_add_ps(a.0, b.0), _mm256_add_ps(a.1, b.1)) }
+    }
+
+    #[inline(always)]
+    pub(crate) fn sub_v(a: Self, b: Self) -> Self {
+        unsafe { F32x16(_mm256_sub_ps(a.0, b.0), _mm256_sub_ps(a.1, b.1)) }
+    }
+
+    #[inline(always)]
+    pub(crate) fn mul_v(a: Self, b: Self) -> Self {
+        unsafe { F32x16(_mm256_mul_ps(a.0, b.0), _mm256_mul_ps(a.1, b.1)) }
+    }
+
+    /// Fused multiply-add: `self * b + c` in one rounding per lane.
+    #[inline(always)]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        unsafe {
+            F32x16(
+                _mm256_fmadd_ps(self.0, b.0, c.0),
+                _mm256_fmadd_ps(self.1, b.1, c.1),
+            )
+        }
+    }
+
+    /// Copy lanes out into an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; 16] {
+        let mut out = [0.0f32; 16];
+        unsafe {
+            _mm256_storeu_ps(out.as_mut_ptr(), self.0);
+            _mm256_storeu_ps(out.as_mut_ptr().add(8), self.1);
+        }
+        out
+    }
+}

@@ -1,0 +1,88 @@
+//! AVX-512F backend: one 512-bit register per vector — the paper's native
+//! configuration (KNL, §2.1).
+
+#![allow(unused_unsafe)]
+
+use std::arch::x86_64::*;
+
+pub(crate) const NAME: &str = "avx512";
+
+/// 16 packed `f32` lanes backed by one `__m512`.
+#[derive(Clone, Copy)]
+#[repr(transparent)]
+pub struct F32x16(__m512);
+
+impl F32x16 {
+    /// All-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        // SAFETY: avx512f statically enabled for this module to compile.
+        unsafe { F32x16(_mm512_setzero_ps()) }
+    }
+
+    /// Broadcast `x` to all lanes.
+    #[inline(always)]
+    pub fn splat(x: f32) -> Self {
+        unsafe { F32x16(_mm512_set1_ps(x)) }
+    }
+
+    /// Unaligned load of 16 floats.
+    ///
+    /// # Safety
+    /// `p` must be valid for reading 64 bytes.
+    #[inline(always)]
+    pub unsafe fn load(p: *const f32) -> Self {
+        F32x16(_mm512_loadu_ps(p))
+    }
+
+    /// Unaligned store of 16 floats.
+    ///
+    /// # Safety
+    /// `p` must be valid for writing 64 bytes.
+    #[inline(always)]
+    pub unsafe fn store(self, p: *mut f32) {
+        _mm512_storeu_ps(p, self.0);
+    }
+
+    /// Non-temporal (streaming) store: writes bypass the cache hierarchy.
+    /// Use for data not needed until a later stage (§4.2.1/§4.3.1); pair
+    /// with [`crate::sfence`] before cross-thread visibility is required.
+    ///
+    /// # Safety
+    /// `p` must be valid for writing 64 bytes and 64-byte aligned.
+    #[inline(always)]
+    pub unsafe fn store_nt(self, p: *mut f32) {
+        debug_assert_eq!(p as usize % 64, 0, "streaming store requires 64-byte alignment");
+        _mm512_stream_ps(p, self.0);
+    }
+
+    #[inline(always)]
+    pub(crate) fn add_v(a: Self, b: Self) -> Self {
+        unsafe { F32x16(_mm512_add_ps(a.0, b.0)) }
+    }
+
+    #[inline(always)]
+    pub(crate) fn sub_v(a: Self, b: Self) -> Self {
+        unsafe { F32x16(_mm512_sub_ps(a.0, b.0)) }
+    }
+
+    #[inline(always)]
+    pub(crate) fn mul_v(a: Self, b: Self) -> Self {
+        unsafe { F32x16(_mm512_mul_ps(a.0, b.0)) }
+    }
+
+    /// Fused multiply-add: `self * b + c` in one rounding.
+    #[inline(always)]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        unsafe { F32x16(_mm512_fmadd_ps(self.0, b.0, c.0)) }
+    }
+
+    /// Copy lanes out into an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; 16] {
+        let mut out = [0.0f32; 16];
+        // SAFETY: destination is 64 writable bytes.
+        unsafe { _mm512_storeu_ps(out.as_mut_ptr(), self.0) };
+        out
+    }
+}

@@ -1,0 +1,335 @@
+//! The paper's channel-blocked layouts (Table 1, rows "Input images",
+//! "Kernels", "Output images").
+//!
+//! * Images: `I[b][c/S][d][h][w][c mod S]` — an array of size
+//!   `B × C/S × D × H × W × S`.
+//! * Kernels: `W[c][c'/S][r_d][r_h][r_w][c' mod S]` — size
+//!   `C × C'/S × r_D × r_H × r_W × S`.
+//!
+//! The innermost `S = 16` stride means that reading "the same pixel of S
+//! adjacent channels" — the unit of work of every transform codelet — is a
+//! single aligned 64-byte vector load. Because the output of one layer is
+//! the input of the next in the *same* layout, no reshuffling happens
+//! between layers (§4.1).
+
+use wino_simd::{AlignedVec, S};
+
+use crate::{flat_index, volume, ShapeError, SimpleImage, SimpleKernels};
+
+/// A batch of images in blocked layout `[B][C/S][spatial…][S]`.
+#[derive(Clone, Debug)]
+pub struct BlockedImage {
+    pub batch: usize,
+    pub channels: usize,
+    pub dims: Vec<usize>,
+    data: AlignedVec,
+}
+
+impl BlockedImage {
+    /// Zero-filled blocked image batch. `channels` must be a multiple of
+    /// `S` (asserted by the paper for all modern ConvNets).
+    pub fn zeros(batch: usize, channels: usize, dims: &[usize]) -> Result<Self, ShapeError> {
+        if channels == 0 || channels % S != 0 {
+            return Err(ShapeError::ChannelsNotVectorMultiple { channels });
+        }
+        if batch == 0 || dims.iter().any(|&d| d == 0) {
+            return Err(ShapeError::ZeroDim);
+        }
+        Ok(BlockedImage {
+            batch,
+            channels,
+            dims: dims.to_vec(),
+            data: AlignedVec::zeroed(batch * channels * volume(dims)),
+        })
+    }
+
+    #[inline]
+    pub fn channel_groups(&self) -> usize {
+        self.channels / S
+    }
+
+    #[inline]
+    pub fn spatial_volume(&self) -> usize {
+        volume(&self.dims)
+    }
+
+    /// Flat offset of the S-vector holding channels
+    /// `[cg*S, cg*S + S)` at spatial position `coords` of batch item `b`.
+    #[inline]
+    pub fn vec_offset(&self, b: usize, cg: usize, coords: &[usize]) -> usize {
+        debug_assert!(b < self.batch && cg < self.channel_groups());
+        ((b * self.channel_groups() + cg) * self.spatial_volume() + flat_index(coords, &self.dims))
+            * S
+    }
+
+    /// As [`Self::vec_offset`] but with a pre-flattened spatial index.
+    #[inline]
+    pub fn vec_offset_flat(&self, b: usize, cg: usize, spatial: usize) -> usize {
+        debug_assert!(b < self.batch && cg < self.channel_groups());
+        debug_assert!(spatial < self.spatial_volume());
+        ((b * self.channel_groups() + cg) * self.spatial_volume() + spatial) * S
+    }
+
+    #[inline]
+    pub fn get(&self, b: usize, c: usize, coords: &[usize]) -> f32 {
+        self.data[self.vec_offset(b, c / S, coords) + c % S]
+    }
+
+    #[inline]
+    pub fn set(&mut self, b: usize, c: usize, coords: &[usize], v: f32) {
+        let o = self.vec_offset(b, c / S, coords) + c % S;
+        self.data[o] = v;
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn as_ptr(&self) -> *const f32 {
+        self.data.as_ptr()
+    }
+
+    pub fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.data.as_mut_ptr()
+    }
+
+    pub fn fill_zero(&mut self) {
+        self.data.fill_zero();
+    }
+
+    /// Convert from the interchange layout.
+    pub fn from_simple(img: &SimpleImage) -> Result<Self, ShapeError> {
+        let mut out = Self::zeros(img.batch, img.channels, &img.dims)?;
+        let vol = out.spatial_volume();
+        for b in 0..img.batch {
+            for c in 0..img.channels {
+                let src = img.channel(b, c);
+                let (cg, cl) = (c / S, c % S);
+                for s in 0..vol {
+                    let o = out.vec_offset_flat(b, cg, s) + cl;
+                    out.data[o] = src[s];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convert to the interchange layout.
+    pub fn to_simple(&self) -> SimpleImage {
+        let mut img = SimpleImage::zeros(self.batch, self.channels, &self.dims);
+        let vol = self.spatial_volume();
+        for b in 0..self.batch {
+            for c in 0..self.channels {
+                let (cg, cl) = (c / S, c % S);
+                for s in 0..vol {
+                    let v = self.data[self.vec_offset_flat(b, cg, s) + cl];
+                    img.data[(b * self.channels + c) * vol + s] = v;
+                }
+            }
+        }
+        img
+    }
+}
+
+/// A kernel bank in blocked layout `[C][C'/S][kernel spatial…][S]` —
+/// input channel major, the S-vector runs over *output* channels.
+#[derive(Clone, Debug)]
+pub struct BlockedKernels {
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub dims: Vec<usize>,
+    data: AlignedVec,
+}
+
+impl BlockedKernels {
+    pub fn zeros(
+        in_channels: usize,
+        out_channels: usize,
+        dims: &[usize],
+    ) -> Result<Self, ShapeError> {
+        if out_channels == 0 || out_channels % S != 0 {
+            return Err(ShapeError::ChannelsNotVectorMultiple { channels: out_channels });
+        }
+        if in_channels == 0 || dims.iter().any(|&d| d == 0) {
+            return Err(ShapeError::ZeroDim);
+        }
+        Ok(BlockedKernels {
+            in_channels,
+            out_channels,
+            dims: dims.to_vec(),
+            data: AlignedVec::zeroed(in_channels * out_channels * volume(dims)),
+        })
+    }
+
+    #[inline]
+    pub fn out_channel_groups(&self) -> usize {
+        self.out_channels / S
+    }
+
+    #[inline]
+    pub fn spatial_volume(&self) -> usize {
+        volume(&self.dims)
+    }
+
+    /// Flat offset of the S-vector holding output channels
+    /// `[og*S, og*S + S)` of input channel `c` at kernel position `coords`.
+    #[inline]
+    pub fn vec_offset(&self, c: usize, og: usize, coords: &[usize]) -> usize {
+        debug_assert!(c < self.in_channels && og < self.out_channel_groups());
+        ((c * self.out_channel_groups() + og) * self.spatial_volume()
+            + flat_index(coords, &self.dims))
+            * S
+    }
+
+    /// As [`Self::vec_offset`] with a pre-flattened kernel position.
+    #[inline]
+    pub fn vec_offset_flat(&self, c: usize, og: usize, spatial: usize) -> usize {
+        debug_assert!(c < self.in_channels && og < self.out_channel_groups());
+        debug_assert!(spatial < self.spatial_volume());
+        ((c * self.out_channel_groups() + og) * self.spatial_volume() + spatial) * S
+    }
+
+    #[inline]
+    pub fn get(&self, c_out: usize, c_in: usize, coords: &[usize]) -> f32 {
+        self.data[self.vec_offset(c_in, c_out / S, coords) + c_out % S]
+    }
+
+    #[inline]
+    pub fn set(&mut self, c_out: usize, c_in: usize, coords: &[usize], v: f32) {
+        let o = self.vec_offset(c_in, c_out / S, coords) + c_out % S;
+        self.data[o] = v;
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn as_ptr(&self) -> *const f32 {
+        self.data.as_ptr()
+    }
+
+    pub fn from_simple(k: &SimpleKernels) -> Result<Self, ShapeError> {
+        let mut out = Self::zeros(k.in_channels, k.out_channels, &k.dims)?;
+        let vol = out.spatial_volume();
+        for co in 0..k.out_channels {
+            for ci in 0..k.in_channels {
+                let src = k.kernel(co, ci);
+                let (og, ol) = (co / S, co % S);
+                for s in 0..vol {
+                    let o = out.vec_offset_flat(ci, og, s) + ol;
+                    out.data[o] = src[s];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn to_simple(&self) -> SimpleKernels {
+        let mut k = SimpleKernels::zeros(self.out_channels, self.in_channels, &self.dims);
+        let vol = self.spatial_volume();
+        for co in 0..self.out_channels {
+            for ci in 0..self.in_channels {
+                let (og, ol) = (co / S, co % S);
+                for s in 0..vol {
+                    let v = self.data[self.vec_offset_flat(ci, og, s) + ol];
+                    k.data[(co * self.in_channels + ci) * vol + s] = v;
+                }
+            }
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_must_be_vector_multiple() {
+        assert!(matches!(
+            BlockedImage::zeros(1, 17, &[4, 4]),
+            Err(ShapeError::ChannelsNotVectorMultiple { channels: 17 })
+        ));
+        assert!(BlockedImage::zeros(1, 32, &[4, 4]).is_ok());
+        assert!(matches!(
+            BlockedKernels::zeros(16, 8, &[3, 3]),
+            Err(ShapeError::ChannelsNotVectorMultiple { channels: 8 })
+        ));
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(matches!(BlockedImage::zeros(0, 16, &[4]), Err(ShapeError::ZeroDim)));
+        assert!(matches!(BlockedImage::zeros(1, 16, &[0, 4]), Err(ShapeError::ZeroDim)));
+    }
+
+    #[test]
+    fn image_simple_roundtrip() {
+        let img = SimpleImage::from_fn(2, 32, &[3, 4], |b, c, xy| {
+            (b * 1000 + c * 10) as f32 + (xy[0] * 4 + xy[1]) as f32 * 0.1
+        });
+        let blocked = BlockedImage::from_simple(&img).unwrap();
+        assert_eq!(blocked.to_simple(), img);
+        // Spot-check the blocked indexing agrees with element accessors.
+        assert_eq!(blocked.get(1, 17, &[2, 3]), img.get(1, 17, &[2, 3]));
+    }
+
+    #[test]
+    fn kernel_simple_roundtrip() {
+        let k = SimpleKernels::from_fn(32, 5, &[3, 3], |co, ci, xy| {
+            (co * 100 + ci * 10 + xy[0] * 3 + xy[1]) as f32
+        });
+        let blocked = BlockedKernels::from_simple(&k).unwrap();
+        assert_eq!(blocked.to_simple(), k);
+        assert_eq!(blocked.get(31, 4, &[1, 2]), k.get(31, 4, &[1, 2]));
+    }
+
+    #[test]
+    fn innermost_dim_is_channel_vector() {
+        // Verify the Table-1 property: channels c and c+1 within the same
+        // group are adjacent floats in memory.
+        let mut img = BlockedImage::zeros(1, 32, &[2, 2]).unwrap();
+        img.set(0, 4, &[1, 1], 1.0);
+        img.set(0, 5, &[1, 1], 2.0);
+        let base = img.vec_offset(0, 0, &[1, 1]);
+        assert_eq!(img.as_slice()[base + 4], 1.0);
+        assert_eq!(img.as_slice()[base + 5], 2.0);
+    }
+
+    #[test]
+    fn vec_offsets_are_vector_aligned() {
+        let img = BlockedImage::zeros(2, 48, &[5, 7]).unwrap();
+        for b in 0..2 {
+            for cg in 0..3 {
+                for s in 0..35 {
+                    assert_eq!(img.vec_offset_flat(b, cg, s) % S, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_image_is_64_byte_aligned() {
+        let img = BlockedImage::zeros(1, 16, &[8]).unwrap();
+        assert_eq!(img.as_ptr() as usize % 64, 0);
+        let k = BlockedKernels::zeros(16, 16, &[3]).unwrap();
+        assert_eq!(k.as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn three_d_roundtrip() {
+        let img = SimpleImage::from_fn(1, 16, &[2, 3, 4], |_, c, xyz| {
+            c as f32 + (xyz[0] * 12 + xyz[1] * 4 + xyz[2]) as f32 * 0.01
+        });
+        let blocked = BlockedImage::from_simple(&img).unwrap();
+        assert_eq!(blocked.to_simple(), img);
+    }
+}

@@ -1,0 +1,275 @@
+//! The transformed-data layout (Table 1, rows "Transformed inputs/kernels/
+//! outputs"): `T` logical matrices stored block-panel interleaved.
+//!
+//! A [`BlockedMatrices`] with parameters `(t, rows, cols, rb, cb)` stores
+//! element `(t, row, col)` at
+//!
+//! ```text
+//! M[row/rb][col/cb][t][row mod rb][col mod cb]
+//! ```
+//!
+//! Two properties make this the right layout for the paper's pipeline:
+//!
+//! 1. **Stage 2 (GEMM)**: every `rb × cb` sub-matrix of every one of the `T`
+//!    matrices is one contiguous chunk, so the JIT micro-kernel streams
+//!    through it with aligned vector loads and unit stride.
+//! 2. **Stages 1/3 (transforms)**: for a fixed (row, col-group) the `T`
+//!    values live `rb·cb` floats apart inside a single `T·rb·cb`-float
+//!    region — the paper's "scattering range" that keeps TLB misses low.
+//!
+//! Rows are padded up to a multiple of `rb` (the paper pads the last
+//! sub-matrix of U when `NB` is not divisible by `n_blk`); padded rows read
+//! as zeros and multiply harmlessly.
+
+use wino_simd::{AlignedVec, S};
+
+use crate::div_ceil;
+
+/// `T` matrices of `rows × cols` in block-panel layout (see module docs).
+#[derive(Clone, Debug)]
+pub struct BlockedMatrices {
+    t_count: usize,
+    rows: usize,
+    cols: usize,
+    rb: usize,
+    cb: usize,
+    row_blocks: usize,
+    col_blocks: usize,
+    data: AlignedVec,
+}
+
+impl BlockedMatrices {
+    /// Allocate (zero-filled). `cols` must be divisible by `cb`, and `cb`
+    /// by the vector width `S` so that column groups are vector-aligned.
+    pub fn new(t_count: usize, rows: usize, cols: usize, rb: usize, cb: usize) -> Self {
+        assert!(rb > 0 && cb > 0 && t_count > 0 && rows > 0 && cols > 0);
+        assert_eq!(cols % cb, 0, "cols ({cols}) must be divisible by cb ({cb})");
+        assert_eq!(cb % S, 0, "cb ({cb}) must be divisible by the vector width {S}");
+        let row_blocks = div_ceil(rows, rb);
+        let col_blocks = cols / cb;
+        let len = row_blocks * col_blocks * t_count * rb * cb;
+        BlockedMatrices {
+            t_count,
+            rows,
+            cols,
+            rb,
+            cb,
+            row_blocks,
+            col_blocks,
+            data: AlignedVec::zeroed(len),
+        }
+    }
+
+    pub fn t_count(&self) -> usize {
+        self.t_count
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rows including the padding up to a multiple of `rb`.
+    pub fn padded_rows(&self) -> usize {
+        self.row_blocks * self.rb
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn rb(&self) -> usize {
+        self.rb
+    }
+
+    pub fn cb(&self) -> usize {
+        self.cb
+    }
+
+    pub fn row_blocks(&self) -> usize {
+        self.row_blocks
+    }
+
+    pub fn col_blocks(&self) -> usize {
+        self.col_blocks
+    }
+
+    /// Bytes of backing storage (for the paper's memory-overhead accounting).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Flat offset of the first element of block `(rb_i, cb_i)` of matrix
+    /// `t`. The block is `rb·cb` contiguous floats from there.
+    #[inline]
+    pub fn block_offset(&self, rb_i: usize, cb_i: usize, t: usize) -> usize {
+        debug_assert!(rb_i < self.row_blocks && cb_i < self.col_blocks && t < self.t_count);
+        (((rb_i * self.col_blocks + cb_i) * self.t_count) + t) * self.rb * self.cb
+    }
+
+    /// Distance (in floats) between the same block position of matrices
+    /// `t` and `t + 1` — the stage-1/3 scatter stride.
+    #[inline]
+    pub fn t_stride(&self) -> usize {
+        self.rb * self.cb
+    }
+
+    #[inline]
+    pub fn element_offset(&self, t: usize, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.block_offset(row / self.rb, col / self.cb, t)
+            + (row % self.rb) * self.cb
+            + (col % self.cb)
+    }
+
+    #[inline]
+    pub fn get(&self, t: usize, row: usize, col: usize) -> f32 {
+        self.data[self.element_offset(t, row, col)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, t: usize, row: usize, col: usize, v: f32) {
+        let o = self.element_offset(t, row, col);
+        self.data[o] = v;
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn as_ptr(&self) -> *const f32 {
+        self.data.as_ptr()
+    }
+
+    pub fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.data.as_mut_ptr()
+    }
+
+    /// Contiguous `rb × cb` block (row-major within the block).
+    pub fn block(&self, rb_i: usize, cb_i: usize, t: usize) -> &[f32] {
+        let o = self.block_offset(rb_i, cb_i, t);
+        &self.data[o..o + self.rb * self.cb]
+    }
+
+    pub fn fill_zero(&mut self) {
+        self.data.fill_zero();
+    }
+
+    /// Extract matrix `t` as a dense row-major `rows × cols` matrix
+    /// (test/debug helper; padded rows are dropped).
+    pub fn to_dense(&self, t: usize) -> Vec<f32> {
+        let mut out = vec![0.0; self.rows * self.cols];
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                out[row * self.cols + col] = self.get(t, row, col);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_elements() {
+        let mut m = BlockedMatrices::new(4, 10, 32, 3, 16);
+        assert_eq!(m.padded_rows(), 12);
+        for t in 0..4 {
+            for r in 0..10 {
+                for c in 0..32 {
+                    m.set(t, r, c, (t * 1000 + r * 32 + c) as f32);
+                }
+            }
+        }
+        for t in 0..4 {
+            for r in 0..10 {
+                for c in 0..32 {
+                    assert_eq!(m.get(t, r, c), (t * 1000 + r * 32 + c) as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_contiguous_row_major() {
+        let mut m = BlockedMatrices::new(2, 6, 32, 3, 16);
+        // Fill block (1, 1) of t=1 through set() and read it back as a slice.
+        for r in 3..6 {
+            for c in 16..32 {
+                m.set(1, r, c, (r * 100 + c) as f32);
+            }
+        }
+        let b = m.block(1, 1, 1);
+        assert_eq!(b.len(), 48);
+        for (i, &v) in b.iter().enumerate() {
+            let (r, c) = (3 + i / 16, 16 + i % 16);
+            assert_eq!(v, (r * 100 + c) as f32, "block element {i}");
+        }
+    }
+
+    #[test]
+    fn t_stride_is_block_size() {
+        let m = BlockedMatrices::new(3, 8, 16, 4, 16);
+        assert_eq!(m.t_stride(), 64);
+        assert_eq!(m.block_offset(0, 0, 1) - m.block_offset(0, 0, 0), 64);
+        assert_eq!(m.block_offset(1, 0, 0), 3 * 64);
+    }
+
+    #[test]
+    fn vector_groups_are_aligned() {
+        // Offsets of S-wide column groups must be multiples of S so that
+        // (on a 64-byte-aligned base) they are aligned vector lanes.
+        let m = BlockedMatrices::new(5, 33, 64, 7, 32);
+        for t in 0..5 {
+            for row in 0..33 {
+                for cg in 0..(64 / 16) {
+                    assert_eq!(m.element_offset(t, row, cg * 16) % 16, 0);
+                }
+            }
+        }
+        assert_eq!(m.as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn padded_rows_read_zero() {
+        let m = BlockedMatrices::new(1, 5, 16, 4, 16);
+        assert_eq!(m.padded_rows(), 8);
+        // Raw padding area is zero-initialised.
+        let o = m.block_offset(1, 0, 0) + 1 * 16; // row 5 (first padded)
+        assert!(m.as_slice()[o..o + 16].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn to_dense_matches_gets() {
+        let mut m = BlockedMatrices::new(2, 7, 16, 3, 16);
+        for r in 0..7 {
+            for c in 0..16 {
+                m.set(1, r, c, (r * 16 + c) as f32 * 0.5);
+            }
+        }
+        let d = m.to_dense(1);
+        for r in 0..7 {
+            for c in 0..16 {
+                assert_eq!(d[r * 16 + c], (r * 16 + c) as f32 * 0.5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by cb")]
+    fn cols_must_divide() {
+        let _ = BlockedMatrices::new(1, 4, 30, 2, 16);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let m = BlockedMatrices::new(36, 100, 64, 8, 32);
+        // ceil(100/8)=13 row blocks, 2 col blocks, 36 t, 8*32 block.
+        assert_eq!(m.bytes(), 13 * 2 * 36 * 8 * 32 * 4);
+    }
+}

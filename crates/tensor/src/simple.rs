@@ -1,0 +1,204 @@
+//! Plain row-major tensors — the interchange format.
+
+use crate::{flat_index, volume};
+
+/// A batch of multi-channel N-D images in row-major `[B][C][spatial…]`
+/// order (NCHW / NCDHW). The easy-to-reason-about format used by reference
+/// implementations, conversions and tests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimpleImage {
+    pub batch: usize,
+    pub channels: usize,
+    pub dims: Vec<usize>,
+    pub data: Vec<f32>,
+}
+
+impl SimpleImage {
+    /// Zero-filled image batch.
+    pub fn zeros(batch: usize, channels: usize, dims: &[usize]) -> Self {
+        SimpleImage {
+            batch,
+            channels,
+            dims: dims.to_vec(),
+            data: vec![0.0; batch * channels * volume(dims)],
+        }
+    }
+
+    /// Build from a generator `f(b, c, spatial_coords)`.
+    pub fn from_fn(
+        batch: usize,
+        channels: usize,
+        dims: &[usize],
+        mut f: impl FnMut(usize, usize, &[usize]) -> f32,
+    ) -> Self {
+        let mut img = Self::zeros(batch, channels, dims);
+        let vol = volume(dims);
+        for b in 0..batch {
+            for c in 0..channels {
+                for i in 0..vol {
+                    let coords = crate::unflatten(i, dims);
+                    let v = f(b, c, &coords);
+                    img.data[(b * channels + c) * vol + i] = v;
+                }
+            }
+        }
+        img
+    }
+
+    #[inline]
+    pub fn spatial_volume(&self) -> usize {
+        volume(&self.dims)
+    }
+
+    #[inline]
+    pub fn offset(&self, b: usize, c: usize, coords: &[usize]) -> usize {
+        debug_assert!(b < self.batch && c < self.channels);
+        (b * self.channels + c) * self.spatial_volume() + flat_index(coords, &self.dims)
+    }
+
+    #[inline]
+    pub fn get(&self, b: usize, c: usize, coords: &[usize]) -> f32 {
+        self.data[self.offset(b, c, coords)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, b: usize, c: usize, coords: &[usize], v: f32) {
+        let o = self.offset(b, c, coords);
+        self.data[o] = v;
+    }
+
+    /// Value at `coords` where coordinates may lie outside the image
+    /// (returns 0.0 — implicit zero padding).
+    pub fn get_padded(&self, b: usize, c: usize, coords: &[isize]) -> f32 {
+        for (&x, &d) in coords.iter().zip(&self.dims) {
+            if x < 0 || x as usize >= d {
+                return 0.0;
+            }
+        }
+        let ucoords: Vec<usize> = coords.iter().map(|&x| x as usize).collect();
+        self.get(b, c, &ucoords)
+    }
+
+    /// One flat channel slice `[spatial…]`.
+    pub fn channel(&self, b: usize, c: usize) -> &[f32] {
+        let vol = self.spatial_volume();
+        let start = (b * self.channels + c) * vol;
+        &self.data[start..start + vol]
+    }
+}
+
+/// A kernel bank in row-major `[C'][C][kernel spatial…]` order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimpleKernels {
+    pub out_channels: usize,
+    pub in_channels: usize,
+    pub dims: Vec<usize>,
+    pub data: Vec<f32>,
+}
+
+impl SimpleKernels {
+    pub fn zeros(out_channels: usize, in_channels: usize, dims: &[usize]) -> Self {
+        SimpleKernels {
+            out_channels,
+            in_channels,
+            dims: dims.to_vec(),
+            data: vec![0.0; out_channels * in_channels * volume(dims)],
+        }
+    }
+
+    /// Build from a generator `f(c_out, c_in, spatial_coords)`.
+    pub fn from_fn(
+        out_channels: usize,
+        in_channels: usize,
+        dims: &[usize],
+        mut f: impl FnMut(usize, usize, &[usize]) -> f32,
+    ) -> Self {
+        let mut k = Self::zeros(out_channels, in_channels, dims);
+        let vol = volume(dims);
+        for co in 0..out_channels {
+            for ci in 0..in_channels {
+                for i in 0..vol {
+                    let coords = crate::unflatten(i, dims);
+                    k.data[(co * in_channels + ci) * vol + i] = f(co, ci, &coords);
+                }
+            }
+        }
+        k
+    }
+
+    #[inline]
+    pub fn spatial_volume(&self) -> usize {
+        volume(&self.dims)
+    }
+
+    #[inline]
+    pub fn offset(&self, c_out: usize, c_in: usize, coords: &[usize]) -> usize {
+        debug_assert!(c_out < self.out_channels && c_in < self.in_channels);
+        (c_out * self.in_channels + c_in) * self.spatial_volume() + flat_index(coords, &self.dims)
+    }
+
+    #[inline]
+    pub fn get(&self, c_out: usize, c_in: usize, coords: &[usize]) -> f32 {
+        self.data[self.offset(c_out, c_in, coords)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, c_out: usize, c_in: usize, coords: &[usize], v: f32) {
+        let o = self.offset(c_out, c_in, coords);
+        self.data[o] = v;
+    }
+
+    /// One flat kernel `[spatial…]` for a (c_out, c_in) pair.
+    pub fn kernel(&self, c_out: usize, c_in: usize) -> &[f32] {
+        let vol = self.spatial_volume();
+        let start = (c_out * self.in_channels + c_in) * vol;
+        &self.data[start..start + vol]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_get_set_roundtrip() {
+        let mut img = SimpleImage::zeros(2, 3, &[4, 5]);
+        img.set(1, 2, &[3, 4], 9.0);
+        assert_eq!(img.get(1, 2, &[3, 4]), 9.0);
+        assert_eq!(img.get(0, 0, &[0, 0]), 0.0);
+        assert_eq!(img.data.len(), 2 * 3 * 20);
+    }
+
+    #[test]
+    fn image_from_fn() {
+        let img = SimpleImage::from_fn(1, 2, &[3, 3], |b, c, xy| {
+            (b + 10 * c) as f32 + 0.1 * (xy[0] * 3 + xy[1]) as f32
+        });
+        assert_eq!(img.get(0, 1, &[2, 1]), 10.0 + 0.7);
+    }
+
+    #[test]
+    fn padded_reads_are_zero_outside() {
+        let img = SimpleImage::from_fn(1, 1, &[2, 2], |_, _, _| 1.0);
+        assert_eq!(img.get_padded(0, 0, &[-1, 0]), 0.0);
+        assert_eq!(img.get_padded(0, 0, &[0, 2]), 0.0);
+        assert_eq!(img.get_padded(0, 0, &[1, 1]), 1.0);
+    }
+
+    #[test]
+    fn kernels_roundtrip() {
+        let mut k = SimpleKernels::zeros(4, 2, &[3, 3, 3]);
+        k.set(3, 1, &[2, 2, 2], -1.5);
+        assert_eq!(k.get(3, 1, &[2, 2, 2]), -1.5);
+        assert_eq!(k.kernel(3, 1)[26], -1.5);
+        assert_eq!(k.data.len(), 4 * 2 * 27);
+    }
+
+    #[test]
+    fn channel_slice_is_contiguous() {
+        let img = SimpleImage::from_fn(2, 2, &[2, 2], |b, c, xy| {
+            (b * 100 + c * 10 + xy[0] * 2 + xy[1]) as f32
+        });
+        assert_eq!(img.channel(1, 1), &[110.0, 111.0, 112.0, 113.0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Interpolation-point schedules for the Cook–Toom construction.
+//!
+//! The numerical accuracy of a Winograd transform depends heavily on the
+//! choice of interpolation points (§5.3 of the paper, and Vincent et al.
+//! 2017). We follow the schedule used by Wincnn — the tool the paper used to
+//! generate its matrices — which interleaves small integers and their
+//! reciprocals, symmetric around zero:
+//!
+//! `0, 1, -1, 2, -2, 1/2, -1/2, 3, -3, 1/3, -1/3, 4, -4, 1/4, -1/4, …`
+
+use crate::rational::Rational;
+
+/// Returns the first `n` interpolation points of the default schedule.
+///
+/// All points are distinct; the (implicit) final point of every Cook–Toom
+/// construction is the point at infinity and is *not* part of this list.
+///
+/// # Panics
+/// Panics if `n` exceeds [`MAX_FINITE_POINTS`].
+pub fn default_points(n: usize) -> Vec<Rational> {
+    assert!(
+        n <= MAX_FINITE_POINTS,
+        "requested {n} interpolation points; only {MAX_FINITE_POINTS} are supported \
+         (F(m, r) with m + r - 1 <= {})",
+        MAX_FINITE_POINTS + 1
+    );
+    let mut pts = Vec::with_capacity(n);
+    pts.push(Rational::ZERO);
+    // Groups of (k, -k, 1/k, -1/k) for k = 1, 2, 3, …; 1/1 duplicates 1 so
+    // the k = 1 group only contributes ±1.
+    let mut k: i128 = 1;
+    while pts.len() < n {
+        let candidates: &[Rational] = &[
+            Rational::from_int(k),
+            Rational::from_int(-k),
+            Rational::new(1, k),
+            Rational::new(-1, k),
+        ];
+        for &c in candidates {
+            if pts.len() == n {
+                break;
+            }
+            if !pts.contains(&c) {
+                pts.push(c);
+            }
+        }
+        k += 1;
+    }
+    pts.truncate(n);
+    pts
+}
+
+/// Upper bound on the number of finite interpolation points. Larger tile
+/// sizes are numerically useless in f32 (Table 3: F(8²,3²) already reaches
+/// O(1) max error), so this bound is far beyond any practical configuration.
+pub const MAX_FINITE_POINTS: usize = 24;
+
+/// Integer-only schedule `0, 1, -1, 2, -2, 3, -3, …` — the naive choice of
+/// early Winograd generators. Much worse conditioned than
+/// [`default_points`] for large tiles (the `Bᵀ` entry magnitudes grow
+/// ~6-10× faster); provided for the accuracy ablation that reconciles our
+/// Table 3 error magnitudes with the paper's.
+pub fn integer_points(n: usize) -> Vec<Rational> {
+    assert!(n <= MAX_FINITE_POINTS, "requested {n} points, max {MAX_FINITE_POINTS}");
+    let mut pts = vec![Rational::ZERO];
+    let mut k: i128 = 1;
+    while pts.len() < n {
+        pts.push(Rational::from_int(k));
+        if pts.len() < n {
+            pts.push(Rational::from_int(-k));
+        }
+        k += 1;
+    }
+    pts.truncate(n);
+    pts
+}
+
+/// Which interpolation-point schedule a transform is generated with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PointSchedule {
+    /// Interleaved integers and reciprocals (Wincnn-style; well
+    /// conditioned). The default.
+    #[default]
+    Mixed,
+    /// Integers only (poorly conditioned; paper-era generators).
+    Integer,
+}
+
+impl PointSchedule {
+    /// The first `n` points of this schedule.
+    pub fn points(self, n: usize) -> Vec<Rational> {
+        match self {
+            PointSchedule::Mixed => default_points(n),
+            PointSchedule::Integer => integer_points(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matches_wincnn_schedule() {
+        let p = default_points(9);
+        let expect: Vec<Rational> = vec![
+            Rational::from_int(0),
+            Rational::from_int(1),
+            Rational::from_int(-1),
+            Rational::from_int(2),
+            Rational::from_int(-2),
+            Rational::new(1, 2),
+            Rational::new(-1, 2),
+            Rational::from_int(3),
+            Rational::from_int(-3),
+        ];
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn points_are_distinct() {
+        let p = default_points(MAX_FINITE_POINTS);
+        for i in 0..p.len() {
+            for j in (i + 1)..p.len() {
+                assert_ne!(p[i], p[j], "duplicate point at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn shorter_prefixes_are_prefixes() {
+        let long = default_points(12);
+        for n in 0..12 {
+            assert_eq!(default_points(n), long[..n]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interpolation points")]
+    fn too_many_points_panics() {
+        let _ = default_points(MAX_FINITE_POINTS + 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! The benchmarked convolutional layers of Table 2: VGG (detection, 2-D),
+//! FusionNet (segmentation, 2-D, batch 1), C3D (spatiotemporal 3-D) and
+//! 3D U-Net (volumetric segmentation, 3-D, batch 1).
+//!
+//! Every layer is available at the paper's full size and in a *scaled*
+//! variant (smaller batch / spatial extent, identical structure) so the
+//! whole Fig. 5 sweep runs in minutes on a laptop-class machine; the
+//! scaled variant preserves the properties the algorithms care about
+//! (many more tiles than panel rows, tall-skinny stage-2 matrices).
+
+use wino_tensor::ConvShape;
+
+/// Which network a layer belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Network {
+    Vgg,
+    FusionNet,
+    C3d,
+    UNet3d,
+}
+
+impl Network {
+    pub fn name(self) -> &'static str {
+        match self {
+            Network::Vgg => "VGG",
+            Network::FusionNet => "FusionNet",
+            Network::C3d => "C3D",
+            Network::UNet3d => "3DUNet",
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    pub network: Network,
+    /// The paper's layer label ("1.2", "C3b", …).
+    pub label: &'static str,
+    pub shape: ConvShape,
+}
+
+impl Layer {
+    /// `"VGG 3.2"`-style display id.
+    pub fn id(&self) -> String {
+        format!("{} {}", self.network.name(), self.label)
+    }
+
+    /// Spatial rank (2 or 3 in the catalogue).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+}
+
+fn layer(
+    network: Network,
+    label: &'static str,
+    b: usize,
+    c: usize,
+    cp: usize,
+    img: &[usize],
+    pad: &[usize],
+    ker: &[usize],
+) -> Layer {
+    Layer {
+        network,
+        label,
+        shape: ConvShape::new(b, c, cp, img, ker, pad).expect("catalogue layer must be valid"),
+    }
+}
+
+/// The full Table 2 catalogue at paper-reported sizes.
+pub fn full_catalog() -> Vec<Layer> {
+    use Network::*;
+    vec![
+        layer(Vgg, "1.2", 64, 64, 64, &[224, 224], &[1, 1], &[3, 3]),
+        layer(Vgg, "2.2", 64, 128, 128, &[112, 112], &[1, 1], &[3, 3]),
+        layer(Vgg, "3.2", 64, 256, 256, &[56, 56], &[1, 1], &[3, 3]),
+        layer(Vgg, "4.2", 64, 512, 512, &[28, 28], &[1, 1], &[3, 3]),
+        layer(Vgg, "5.2", 64, 512, 512, &[14, 14], &[1, 1], &[3, 3]),
+        layer(FusionNet, "1.2", 1, 64, 64, &[640, 640], &[0, 0], &[3, 3]),
+        layer(FusionNet, "2.2", 1, 128, 128, &[320, 320], &[0, 0], &[3, 3]),
+        layer(FusionNet, "3.2", 1, 256, 256, &[160, 160], &[0, 0], &[3, 3]),
+        layer(FusionNet, "4.2", 1, 512, 512, &[80, 80], &[0, 0], &[3, 3]),
+        layer(FusionNet, "5.2", 1, 1024, 1024, &[40, 40], &[0, 0], &[3, 3]),
+        layer(C3d, "C2a", 32, 64, 128, &[16, 56, 56], &[1, 1, 1], &[3, 3, 3]),
+        layer(C3d, "C3b", 32, 256, 256, &[8, 28, 28], &[1, 1, 1], &[3, 3, 3]),
+        layer(C3d, "C4b", 32, 512, 512, &[4, 14, 14], &[1, 1, 1], &[3, 3, 3]),
+        layer(UNet3d, "1.2", 1, 32, 64, &[114, 130, 130], &[0, 0, 0], &[3, 3, 3]),
+        layer(UNet3d, "2.2", 1, 64, 128, &[54, 62, 62], &[0, 0, 0], &[3, 3, 3]),
+        layer(UNet3d, "3.2", 1, 128, 256, &[26, 30, 30], &[0, 0, 0], &[3, 3, 3]),
+    ]
+}
+
+/// The same catalogue scaled to laptop size: batch capped at 2, channels
+/// capped at 64, spatial extents quartered (minimum 14 per dimension) —
+/// structure, padding and kernels identical.
+pub fn scaled_catalog() -> Vec<Layer> {
+    full_catalog()
+        .into_iter()
+        .map(|l| {
+            let s = &l.shape;
+            let img: Vec<usize> = s.image_dims.iter().map(|&d| (d / 4).max(14)).collect();
+            Layer {
+                network: l.network,
+                label: l.label,
+                shape: ConvShape::new(
+                    s.batch.min(2),
+                    s.in_channels.min(64),
+                    s.out_channels.min(64),
+                    &img,
+                    &s.kernel_dims,
+                    &s.padding,
+                )
+                .expect("scaled layer must be valid"),
+            }
+        })
+        .collect()
+}
+
+/// The sample network from Budden et al. \[15\] used in §5.1's throughput
+/// comparison: 3 layers of 32 channels with the "unusual" 4×4 kernels.
+pub fn budden_sample_net(image: usize) -> Vec<Layer> {
+    use Network::*;
+    (0..3)
+        .map(|i| {
+            let label = ["b1", "b2", "b3"][i];
+            layer(Vgg, label, 1, 32, 32, &[image, image], &[0, 0], &[4, 4])
+        })
+        .collect()
+}
+
+/// Default `F(m, r)` tile-size sweep for a layer of the given rank —
+/// mirrors the per-layer columns of Fig. 5.
+pub fn tile_sweep(rank: usize) -> Vec<Vec<usize>> {
+    match rank {
+        2 => vec![vec![2, 2], vec![3, 3], vec![4, 4], vec![5, 5], vec![6, 6]],
+        3 => vec![vec![2, 2, 2], vec![3, 3, 3], vec![4, 4, 4]],
+        _ => vec![vec![2; rank], vec![4; rank]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_catalog_matches_table2() {
+        let cat = full_catalog();
+        assert_eq!(cat.len(), 16);
+        let vgg32 = cat.iter().find(|l| l.id() == "VGG 3.2").unwrap();
+        assert_eq!(vgg32.shape.batch, 64);
+        assert_eq!(vgg32.shape.in_channels, 256);
+        assert_eq!(vgg32.shape.image_dims, vec![56, 56]);
+        let c3b = cat.iter().find(|l| l.id() == "C3D C3b").unwrap();
+        assert_eq!(c3b.shape.image_dims, vec![8, 28, 28]);
+        assert_eq!(c3b.shape.kernel_dims, vec![3, 3, 3]);
+        let fn52 = cat.iter().find(|l| l.id() == "FusionNet 5.2").unwrap();
+        assert_eq!(fn52.shape.batch, 1);
+        assert_eq!(fn52.shape.in_channels, 1024);
+        assert_eq!(fn52.shape.padding, vec![0, 0]);
+    }
+
+    #[test]
+    fn all_layers_have_vector_multiple_channels() {
+        for l in full_catalog().iter().chain(scaled_catalog().iter()) {
+            assert_eq!(l.shape.in_channels % 16, 0, "{}", l.id());
+            assert_eq!(l.shape.out_channels % 16, 0, "{}", l.id());
+        }
+    }
+
+    #[test]
+    fn scaled_catalog_preserves_structure() {
+        let full = full_catalog();
+        let scaled = scaled_catalog();
+        assert_eq!(full.len(), scaled.len());
+        for (f, s) in full.iter().zip(&scaled) {
+            assert_eq!(f.id(), s.id());
+            assert_eq!(f.shape.kernel_dims, s.shape.kernel_dims);
+            assert_eq!(f.shape.padding, s.shape.padding);
+            assert!(s.shape.batch <= 2);
+            assert!(s.shape.in_channels <= 64);
+            // Scaled layers are still valid conv shapes with many tiles.
+            assert!(s.shape.out_dims().iter().all(|&d| d >= 12));
+        }
+    }
+
+    #[test]
+    fn budden_net_shape() {
+        let net = budden_sample_net(64);
+        assert_eq!(net.len(), 3);
+        for l in &net {
+            assert_eq!(l.shape.kernel_dims, vec![4, 4]);
+            assert_eq!(l.shape.in_channels, 32);
+        }
+    }
+
+    #[test]
+    fn tile_sweep_ranks() {
+        assert!(tile_sweep(2).iter().all(|m| m.len() == 2));
+        assert!(tile_sweep(3).iter().all(|m| m.len() == 3));
+        assert!(!tile_sweep(2).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic data generators for the evaluation (§5.3).
+//!
+//! * Inputs: uniform `[-0.1, 0.1]` — the paper's image distribution.
+//! * Kernels, training mode: Xavier/Glorot initialisation
+//!   (uniform `±√(6 / (fan_in + fan_out))`).
+//! * Kernels, inference mode: pseudo-pretrained — Xavier-shaped draws with
+//!   a deterministic per-layer seed (the substitution for the downloaded
+//!   VGG/C3D Caffe weights; see DESIGN.md).
+//!
+//! All generators are seeded so every experiment is reproducible bit for
+//! bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wino_tensor::{ConvShape, SimpleImage, SimpleKernels};
+
+/// Uniform `[-0.1, 0.1]` input batch (the paper's input distribution).
+pub fn uniform_input(shape: &ConvShape, seed: u64) -> SimpleImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut img = SimpleImage::zeros(shape.batch, shape.in_channels, &shape.image_dims);
+    for v in img.data.iter_mut() {
+        *v = rng.gen_range(-0.1f32..0.1f32);
+    }
+    img
+}
+
+/// Xavier-initialised kernels (training-mode distribution).
+pub fn xavier_kernels(shape: &ConvShape, seed: u64) -> SimpleKernels {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ker_vol: usize = shape.kernel_dims.iter().product();
+    let fan_in = shape.in_channels * ker_vol;
+    let fan_out = shape.out_channels * ker_vol;
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    let mut k = SimpleKernels::zeros(shape.out_channels, shape.in_channels, &shape.kernel_dims);
+    for v in k.data.iter_mut() {
+        *v = rng.gen_range(-bound..bound);
+    }
+    k
+}
+
+/// Pseudo-pretrained kernels for inference-error measurements: Xavier
+/// magnitudes with a sparsity/decay profile loosely matching trained
+/// filters (a few large weights, many small ones).
+pub fn pretrained_kernels(shape: &ConvShape, seed: u64) -> SimpleKernels {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57ab_1e5e_ed00_d1ce);
+    let ker_vol: usize = shape.kernel_dims.iter().product();
+    let fan_in = shape.in_channels * ker_vol;
+    let fan_out = shape.out_channels * ker_vol;
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    let mut k = SimpleKernels::zeros(shape.out_channels, shape.in_channels, &shape.kernel_dims);
+    for v in k.data.iter_mut() {
+        // Heavy-tailed-ish: square a uniform to concentrate mass near 0,
+        // keep the sign — trained filters are mostly small with a few
+        // strong weights.
+        let u: f32 = rng.gen_range(-1.0f32..1.0f32);
+        *v = u * u.abs() * bound * 2.0;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ConvShape {
+        ConvShape::new(2, 32, 48, &[12, 12], &[3, 3], &[1, 1]).unwrap()
+    }
+
+    #[test]
+    fn inputs_are_in_range_and_deterministic() {
+        let a = uniform_input(&shape(), 7);
+        let b = uniform_input(&shape(), 7);
+        let c = uniform_input(&shape(), 8);
+        assert_eq!(a.data, b.data);
+        assert_ne!(a.data, c.data);
+        assert!(a.data.iter().all(|&v| (-0.1..0.1).contains(&v)));
+        // Not degenerate.
+        let mean: f32 = a.data.iter().sum::<f32>() / a.data.len() as f32;
+        assert!(mean.abs() < 0.01);
+    }
+
+    #[test]
+    fn xavier_bound_matches_formula() {
+        let s = shape();
+        let k = xavier_kernels(&s, 1);
+        let bound = (6.0f64 / ((32 * 9 + 48 * 9) as f64)).sqrt() as f32;
+        assert!(k.data.iter().all(|&v| v.abs() <= bound));
+        let max = k.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(max > bound * 0.9, "draws should fill the range");
+    }
+
+    #[test]
+    fn pretrained_is_heavier_tailed_than_xavier() {
+        let s = shape();
+        let x = xavier_kernels(&s, 1);
+        let p = pretrained_kernels(&s, 1);
+        let small = |d: &[f32], thr: f32| d.iter().filter(|v| v.abs() < thr).count();
+        let bound = (6.0f64 / ((32 * 9 + 48 * 9) as f64)).sqrt() as f32;
+        // Squaring concentrates more mass near zero.
+        assert!(small(&p.data, bound * 0.25) > small(&x.data, bound * 0.25));
+    }
+
+    #[test]
+    fn kernels_deterministic_per_seed() {
+        let s = shape();
+        assert_eq!(xavier_kernels(&s, 3).data, xavier_kernels(&s, 3).data);
+        assert_ne!(xavier_kernels(&s, 3).data, xavier_kernels(&s, 4).data);
+        assert_ne!(xavier_kernels(&s, 3).data, pretrained_kernels(&s, 3).data);
+    }
+}

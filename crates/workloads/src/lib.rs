@@ -1,0 +1,13 @@
+//! # wino-workloads
+//!
+//! The evaluation's data side: the Table 2 layer catalogue
+//! ([`catalog`]), deterministic input/kernel generators matching §5.3's
+//! distributions ([`generate`]), and reporting metrics ([`metrics`]).
+
+pub mod catalog;
+pub mod generate;
+pub mod metrics;
+
+pub use catalog::{budden_sample_net, full_catalog, scaled_catalog, tile_sweep, Layer, Network};
+pub use generate::{pretrained_kernels, uniform_input, xavier_kernels};
+pub use metrics::{effective_gflops, mvox_per_sec, time_best, Timing};

@@ -1,0 +1,74 @@
+//! Reporting metrics: timing summaries, effective GFLOP/s, MVox/s (the
+//! Budden et al. comparison unit), and the Table 3 error statistics.
+
+use std::time::Instant;
+
+use wino_tensor::ConvShape;
+
+/// Best / mean milliseconds over a set of repetitions.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    pub best_ms: f64,
+    pub mean_ms: f64,
+    pub reps: usize,
+}
+
+/// Time `f` with one warm-up call plus `reps` measured calls.
+pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> Timing {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    let mut sum = 0.0;
+    let reps = reps.max(1);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        best = best.min(dt);
+        sum += dt;
+    }
+    Timing { best_ms: best, mean_ms: sum / reps as f64, reps }
+}
+
+/// Effective GFLOP/s: direct-method FLOPs divided by wall time (the Fig. 5
+/// normaliser — algorithms that *do less work* score above the machine
+/// peak, which is the point of Winograd).
+pub fn effective_gflops(shape: &ConvShape, ms: f64) -> f64 {
+    shape.direct_flops() as f64 / (ms * 1e-3) / 1e9
+}
+
+/// Output mega-voxels per second (the throughput unit of the Budden et
+/// al. comparison in §5.1).
+pub fn mvox_per_sec(shape: &ConvShape, ms: f64) -> f64 {
+    let out_vox: f64 =
+        shape.batch as f64 * shape.out_dims().iter().map(|&d| d as f64).product::<f64>();
+    out_vox / (ms * 1e-3) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_counts_reps() {
+        let mut calls = 0;
+        let t = time_best(3, || calls += 1);
+        assert_eq!(calls, 4); // warm-up + 3
+        assert_eq!(t.reps, 3);
+        assert!(t.best_ms <= t.mean_ms + 1e-9);
+    }
+
+    #[test]
+    fn gflops_formula() {
+        let s = ConvShape::new(1, 16, 16, &[10, 10], &[3, 3], &[1, 1]).unwrap();
+        // direct flops = 2*16*16*100*9 = 460800; at 1 ms -> 0.4608 GFLOP/s.
+        let g = effective_gflops(&s, 1.0);
+        assert!((g - 0.4608).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mvox_formula() {
+        let s = ConvShape::new(2, 16, 16, &[100, 100], &[3, 3], &[1, 1]).unwrap();
+        // out vox = 2*100*100 = 20_000; at 1 ms → 20 MVox/s.
+        assert!((mvox_per_sec(&s, 1.0) - 20.0).abs() < 1e-9);
+    }
+}

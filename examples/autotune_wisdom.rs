@@ -1,0 +1,61 @@
+//! Empirical blocking-parameter selection with a persistent wisdom file —
+//! the FFTW-style workflow of §4.3.2.
+//!
+//! ```text
+//! cargo run --release --example autotune_wisdom
+//! ```
+
+use wino_conv::{ConvOptions, Scratch, WinogradLayer};
+use wino_gemm::{autotune_with_wisdom, default_shape, TuneConfig, Wisdom};
+use wino_sched::SerialExecutor;
+use wino_tensor::{BlockedImage, BlockedKernels, ConvShape};
+use wino_workloads::{time_best, uniform_input, xavier_kernels};
+
+fn main() {
+    let shape = ConvShape::new(2, 64, 64, &[28, 28], &[3, 3], &[1, 1]).unwrap();
+    let m = [4usize, 4];
+
+    // The stage-2 problem this layer produces: T matrices of (N·B) × C.
+    let probe = WinogradLayer::new(shape.clone(), &m, ConvOptions::default()).unwrap();
+    let (t, rows, c, cp) = (probe.t_vol(), probe.rows(), 64, 64);
+    println!("stage-2 problem: {t} matrices of {rows}x{c} · {c}x{cp}");
+
+    let model = default_shape(c, cp, rows);
+    println!(
+        "Eq. 11 model default: n_blk={} C_blk={} C'_blk={} (ratio {:.1} flops/float)",
+        model.n_blk,
+        model.c_blk,
+        model.cp_blk,
+        model.compute_to_memory_ratio(true)
+    );
+
+    // Empirical search, cached in a wisdom file.
+    let wisdom_path = std::env::temp_dir().join("wino-example-wisdom.txt");
+    let wisdom = Wisdom::load(&wisdom_path).unwrap_or_else(|_| Wisdom::new());
+    let cfg = TuneConfig { reps: 2, max_candidates: 8 };
+    let t0 = std::time::Instant::now();
+    let tuned = autotune_with_wisdom(&wisdom, t, rows, c, cp, &SerialExecutor, cfg);
+    println!(
+        "autotuned in {:.2} s (cached for next time in {}): n_blk={} C_blk={} C'_blk={}",
+        t0.elapsed().as_secs_f64(),
+        wisdom_path.display(),
+        tuned.n_blk,
+        tuned.c_blk,
+        tuned.cp_blk
+    );
+    wisdom.save(&wisdom_path).expect("save wisdom");
+
+    // Use the tuned blocking in a real convolution plan and compare.
+    let input = BlockedImage::from_simple(&uniform_input(&shape, 3)).unwrap();
+    let kernels = BlockedKernels::from_simple(&xavier_kernels(&shape, 4)).unwrap();
+    for (name, block) in [("model default", model), ("autotuned", tuned)] {
+        let opts = ConvOptions { block: Some(block), ..Default::default() };
+        let plan = WinogradLayer::new(shape.clone(), &m, opts).unwrap();
+        let mut scratch = Scratch::new(&plan, 1);
+        let mut out = plan.new_output().unwrap();
+        let timing = time_best(3, || {
+            plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor)
+        });
+        println!("forward with {name:>14} blocking: {:.3} ms", timing.best_ms);
+    }
+}

@@ -1,0 +1,84 @@
+//! Benchmark one VGG layer (scaled) across implementations and `F(m, r)`
+//! choices — a miniature of the paper's Fig. 5 workflow, including the
+//! inference-only "FX" mode with memoised kernel transforms.
+//!
+//! ```text
+//! cargo run --release --example vgg_layer [-- --threads N]
+//! ```
+
+use wino_baseline::{direct_conv, im2col_conv};
+use wino_conv::{ConvOptions, Scratch, WinogradLayer};
+use wino_sched::{Executor, SerialExecutor, StaticExecutor};
+use wino_tensor::BlockedImage;
+use wino_workloads::{effective_gflops, scaled_catalog, time_best, uniform_input, xavier_kernels};
+
+fn main() {
+    let threads: usize = std::env::args()
+        .skip_while(|a| a != "--threads")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let exec: Box<dyn Executor> = if threads <= 1 {
+        Box::new(SerialExecutor)
+    } else {
+        Box::new(StaticExecutor::new(threads))
+    };
+
+    let layer = scaled_catalog().into_iter().find(|l| l.id() == "VGG 3.2").unwrap();
+    println!(
+        "layer {}: B={} C={} C'={} image {:?} (scaled variant of Table 2)",
+        layer.id(),
+        layer.shape.batch,
+        layer.shape.in_channels,
+        layer.shape.out_channels,
+        layer.shape.image_dims
+    );
+    let input = BlockedImage::from_simple(&uniform_input(&layer.shape, 1)).unwrap();
+    let kernels =
+        wino_tensor::BlockedKernels::from_simple(&xavier_kernels(&layer.shape, 2)).unwrap();
+
+    println!("{:<24} {:>10} {:>14}", "implementation", "best ms", "eff. GFLOP/s");
+
+    // Direct baseline.
+    let mut out = BlockedImage::zeros(
+        layer.shape.batch,
+        layer.shape.out_channels,
+        &layer.shape.out_dims(),
+    )
+    .unwrap();
+    let t = time_best(3, || {
+        direct_conv(&input, &kernels, &layer.shape.padding, &mut out, exec.as_ref())
+    });
+    println!("{:<24} {:>10.3} {:>14.1}", "direct", t.best_ms, effective_gflops(&layer.shape, t.best_ms));
+
+    let t = time_best(3, || {
+        im2col_conv(&input, &kernels, &layer.shape.padding, &mut out, exec.as_ref())
+    });
+    println!("{:<24} {:>10.3} {:>14.1}", "im2col-gemm", t.best_ms, effective_gflops(&layer.shape, t.best_ms));
+
+    // Winograd across tile sizes, plus FX.
+    for m in [[2usize, 2], [4, 4], [6, 6]] {
+        let plan = WinogradLayer::new(layer.shape.clone(), &m, ConvOptions::default()).unwrap();
+        let mut scratch = Scratch::new(&plan, exec.threads());
+        let mut wout = plan.new_output().unwrap();
+        let t = time_best(3, || {
+            plan.forward(&input, &kernels, &mut wout, &mut scratch, exec.as_ref())
+        });
+        println!(
+            "{:<24} {:>10.3} {:>14.1}",
+            format!("winograd F({}x{},3x3)", m[0], m[1]),
+            t.best_ms,
+            effective_gflops(&layer.shape, t.best_ms)
+        );
+        let tk = plan.prepare_kernels(&kernels, &mut scratch, exec.as_ref());
+        let t = time_best(3, || {
+            plan.forward_fx(&input, &tk, &mut wout, &mut scratch, exec.as_ref())
+        });
+        println!(
+            "{:<24} {:>10.3} {:>14.1}",
+            format!("winograd-fx F({}x{})", m[0], m[1]),
+            t.best_ms,
+            effective_gflops(&layer.shape, t.best_ms)
+        );
+    }
+}

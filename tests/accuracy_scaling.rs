@@ -1,0 +1,150 @@
+//! Integration tests for the evaluation-side claims: Table 3's error
+//! monotonicity, the FLOP accounting used in Fig. 5 reporting, the
+//! point-schedule conditioning ablation, and wisdom-guided planning.
+
+use winograd_nd_repro::baseline::{direct_f64, element_errors};
+use winograd_nd_repro::conv::{ConvOptions, Scratch, WinogradLayer};
+use winograd_nd_repro::sched::SerialExecutor;
+use winograd_nd_repro::tensor::{BlockedImage, BlockedKernels, ConvShape};
+use winograd_nd_repro::transforms::PointSchedule;
+use winograd_nd_repro::workloads::{
+    effective_gflops, full_catalog, scaled_catalog, uniform_input, xavier_kernels,
+};
+
+fn winograd_error(shape: &ConvShape, m: &[usize], points: PointSchedule) -> (f64, f64) {
+    let img = uniform_input(shape, 99);
+    let ker = xavier_kernels(shape, 100);
+    let truth = direct_f64(&img, &ker, &shape.padding);
+    let opts = ConvOptions { points, ..Default::default() };
+    let plan = WinogradLayer::new(shape.clone(), m, opts).unwrap();
+    let input = BlockedImage::from_simple(&img).unwrap();
+    let kernels = BlockedKernels::from_simple(&ker).unwrap();
+    let mut out = plan.new_output().unwrap();
+    let mut scratch = Scratch::new(&plan, 1);
+    plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor);
+    element_errors(&out.to_simple(), &truth)
+}
+
+#[test]
+fn table3_error_grows_monotonically_with_tile_size() {
+    // The central Table 3 law: larger m → strictly larger error, under
+    // both point schedules.
+    let shape = ConvShape::new(1, 32, 32, &[20, 20], &[3, 3], &[1, 1]).unwrap();
+    for schedule in [PointSchedule::Mixed, PointSchedule::Integer] {
+        let mut last = 0.0f64;
+        for m in [2usize, 4, 6, 8] {
+            let (max_err, avg_err) = winograd_error(&shape, &[m, m], schedule);
+            assert!(
+                max_err > last,
+                "{schedule:?}: error must grow with m (m={m}: {max_err} vs prev {last})"
+            );
+            assert!(avg_err < max_err);
+            last = max_err;
+        }
+    }
+}
+
+#[test]
+fn fractional_points_beat_integer_points_for_large_tiles() {
+    // The conditioning ablation that reconciles our Table 3 with the
+    // paper's: integer-only interpolation points are far worse for m ≥ 6.
+    let shape = ConvShape::new(1, 32, 32, &[20, 20], &[3, 3], &[1, 1]).unwrap();
+    let (mixed, _) = winograd_error(&shape, &[6, 6], PointSchedule::Mixed);
+    let (integer, _) = winograd_error(&shape, &[6, 6], PointSchedule::Integer);
+    assert!(
+        integer > mixed * 10.0,
+        "integer points should be ≥10× worse at F(6²): {integer} vs {mixed}"
+    );
+}
+
+#[test]
+fn f2_is_more_accurate_than_direct_f32() {
+    // Table 3's counter-intuitive row: F(2) beats plain f32 direct
+    // convolution (fewer roundings on the summation path).
+    let shape = ConvShape::new(1, 64, 32, &[16, 16], &[3, 3], &[1, 1]).unwrap();
+    let img = uniform_input(&shape, 5);
+    let ker = xavier_kernels(&shape, 6);
+    let truth = direct_f64(&img, &ker, &shape.padding);
+
+    let (wino_max, _) = winograd_error(&shape, &[2, 2], PointSchedule::Mixed);
+
+    let input = BlockedImage::from_simple(&img).unwrap();
+    let kernels = BlockedKernels::from_simple(&ker).unwrap();
+    let mut dout = BlockedImage::zeros(1, 32, &shape.out_dims()).unwrap();
+    winograd_nd_repro::baseline::direct_conv(
+        &input,
+        &kernels,
+        &shape.padding,
+        &mut dout,
+        &SerialExecutor,
+    );
+    let (direct_max, _) = element_errors(&dout.to_simple(), &truth);
+    assert!(
+        wino_max < direct_max,
+        "F(2²) should beat direct f32: {wino_max} vs {direct_max}"
+    );
+}
+
+#[test]
+fn catalog_flop_accounting_matches_paper_table2() {
+    // Spot-check the direct-FLOP normaliser against hand-computed Table 2
+    // values (the basis of every effective-GFLOP/s number we report).
+    let cat = full_catalog();
+    let vgg12 = &cat.iter().find(|l| l.id() == "VGG 1.2").unwrap().shape;
+    // 2 · B·C·C'·H·W·r² = 2·64·64·64·224²·9
+    assert_eq!(vgg12.direct_flops(), 2 * 64 * 64 * 64 * 224 * 224 * 9);
+    let c2a = &cat.iter().find(|l| l.id() == "C3D C2a").unwrap().shape;
+    assert_eq!(
+        c2a.direct_flops(),
+        2 * 32 * 64 * 128 * (16 * 56 * 56) * 27
+    );
+    // effective_gflops inverts correctly.
+    let g = effective_gflops(vgg12, 1000.0);
+    assert!((g - vgg12.direct_flops() as f64 / 1e9).abs() < 1e-6);
+}
+
+#[test]
+fn every_scaled_layer_plans_and_runs() {
+    // Smoke the whole Table 2 catalogue end to end with small tiles.
+    for layer in scaled_catalog() {
+        let m = vec![2usize; layer.rank()];
+        let plan = WinogradLayer::new(layer.shape.clone(), &m, ConvOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", layer.id()));
+        // Only run the small ones end-to-end (time budget); planning +
+        // scratch sizing is the per-layer risk.
+        let elems: usize = layer.shape.image_dims.iter().product();
+        if elems * layer.shape.batch * layer.shape.in_channels <= 64 * 24 * 24 * 2 {
+            let img = uniform_input(&layer.shape, 3);
+            let ker = xavier_kernels(&layer.shape, 4);
+            let input = BlockedImage::from_simple(&img).unwrap();
+            let kernels = BlockedKernels::from_simple(&ker).unwrap();
+            let mut out = plan.new_output().unwrap();
+            let mut scratch = Scratch::new(&plan, 1);
+            plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor);
+            let truth = direct_f64(&img, &ker, &layer.shape.padding);
+            let (max_err, _) = element_errors(&out.to_simple(), &truth);
+            assert!(max_err < 1e-3, "{}: max err {max_err}", layer.id());
+        }
+    }
+}
+
+#[test]
+fn tile_selection_picks_a_valid_plan() {
+    use winograd_nd_repro::conv::select::{select_tile, Purpose};
+    let shape = ConvShape::new(1, 16, 16, &[18, 18], &[3, 3], &[1, 1]).unwrap();
+    let sel = select_tile(&shape, ConvOptions::default(), Purpose::Training, &SerialExecutor, 1)
+        .unwrap();
+    assert!(sel.m.iter().all(|&m| (2..=6).contains(&m)));
+    assert_eq!(sel.trials.len(), 5);
+    // The selected plan actually convolves correctly.
+    let img = uniform_input(&shape, 8);
+    let ker = xavier_kernels(&shape, 9);
+    let input = BlockedImage::from_simple(&img).unwrap();
+    let kernels = BlockedKernels::from_simple(&ker).unwrap();
+    let mut out = sel.plan.new_output().unwrap();
+    let mut scratch = Scratch::new(&sel.plan, 1);
+    sel.plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor);
+    let truth = direct_f64(&img, &ker, &shape.padding);
+    let (max_err, _) = element_errors(&out.to_simple(), &truth);
+    assert!(max_err < 1e-3);
+}

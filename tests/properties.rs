@@ -1,0 +1,134 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * Winograd convolution ≈ extended-precision direct convolution for
+//!   *arbitrary* layer shapes, kernel sizes, tile sizes and paddings;
+//! * the static grid partitioner covers every task exactly once for
+//!   arbitrary grids and thread counts;
+//! * the Cook–Toom identity holds exactly over the rationals for random
+//!   inputs;
+//! * blocked-layout conversions round-trip.
+
+use proptest::prelude::*;
+use winograd_nd_repro::baseline::{direct_f64, element_errors};
+use winograd_nd_repro::conv::convolve_simple;
+use winograd_nd_repro::sched::GridPartition;
+use winograd_nd_repro::tensor::{BlockedImage, BlockedKernels, SimpleImage, SimpleKernels};
+use winograd_nd_repro::transforms::{direct_correlation, Rational, Transform1D};
+
+fn arb_rational() -> impl Strategy<Value = Rational> {
+    (-20i128..=20, 1i128..=6).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn winograd_matches_reference_2d(
+        batch in 1usize..3,
+        cg in 1usize..3,          // channels = 16·cg
+        og in 1usize..3,
+        h in 6usize..16,
+        w in 6usize..16,
+        rh in 1usize..5,
+        rw in 1usize..5,
+        mh in 1usize..5,
+        mw in 1usize..5,
+        ph in 0usize..2,
+        pw in 0usize..2,
+        seed in 0u32..1000,
+    ) {
+        let (c, cp) = (cg * 16, og * 16);
+        prop_assume!(h + 2 * ph >= rh && w + 2 * pw >= rw);
+        let img = SimpleImage::from_fn(batch, c, &[h, w], |b, ch, xy| {
+            let u = (b * 131 + ch * 17 + xy[0] * 7 + xy[1] * 3 + seed as usize) % 211;
+            u as f32 / 211.0 * 0.2 - 0.1
+        });
+        let ker = SimpleKernels::from_fn(cp, c, &[rh, rw], |co, ci, xy| {
+            let u = (co * 19 + ci * 5 + xy[0] * 3 + xy[1] + seed as usize) % 97;
+            u as f32 / 97.0 * 0.4 - 0.2
+        });
+        let got = convolve_simple(&img, &ker, &[ph, pw], &[mh, mw]).unwrap();
+        let want = direct_f64(&img, &ker, &[ph, pw]);
+        let (max_err, _) = element_errors(&got, &want);
+        // Scale-aware bound: values are O(1) sums of ≤ c·r² terms of O(0.02).
+        prop_assert!(max_err < 2e-3, "max err {max_err} for F(({mh},{mw}),({rh},{rw})) C={c}");
+    }
+
+    #[test]
+    fn winograd_matches_reference_3d(
+        d in 4usize..8,
+        h in 4usize..9,
+        m in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u32..100,
+    ) {
+        let img = SimpleImage::from_fn(1, 16, &[d, h, h], |_, ch, xyz| {
+            ((ch * 3 + xyz[0] * 5 + xyz[1] * 2 + xyz[2] + seed as usize) % 37) as f32 * 0.005
+        });
+        let ker = SimpleKernels::from_fn(16, 16, &[3, 3, 3], |co, ci, xyz| {
+            ((co + ci * 2 + xyz[0] + xyz[1] + xyz[2] + seed as usize) % 23) as f32 * 0.02 - 0.2
+        });
+        prop_assume!(d + 2 * pad >= 3 && h + 2 * pad >= 3);
+        let got = convolve_simple(&img, &ker, &[pad, pad, pad], &[m, m, m]).unwrap();
+        let want = direct_f64(&img, &ker, &[pad, pad, pad]);
+        let (max_err, _) = element_errors(&got, &want);
+        prop_assert!(max_err < 1e-3, "max err {max_err} for m={m} pad={pad}");
+    }
+
+    #[test]
+    fn grid_partition_exactly_covers(
+        dims in proptest::collection::vec(1usize..9, 1..5),
+        threads in 1usize..17,
+    ) {
+        let p = GridPartition::new(&dims, threads);
+        prop_assert_eq!(p.boxes.len(), threads);
+        let total: usize = dims.iter().product();
+        let mut seen = vec![0u32; total];
+        for b in &p.boxes {
+            b.for_each_flat(&dims, |i| seen[i] += 1);
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1), "dims {:?} threads {}", dims, threads);
+    }
+
+    #[test]
+    fn cook_toom_identity_is_exact(
+        m in 1usize..7,
+        r in 1usize..6,
+        d_raw in proptest::collection::vec(arb_rational(), 12),
+        g_raw in proptest::collection::vec(arb_rational(), 6),
+    ) {
+        let t = Transform1D::generate(m, r);
+        let d = &d_raw[..t.alpha];
+        let g = &g_raw[..r];
+        let got = t.apply_exact(d, g);
+        let want = direct_correlation(d, g, m);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn blocked_image_roundtrip(
+        batch in 1usize..3,
+        cg in 1usize..4,
+        dims in proptest::collection::vec(1usize..7, 1..4),
+        seed in 0u32..1000,
+    ) {
+        let img = SimpleImage::from_fn(batch, cg * 16, &dims, |b, c, xy| {
+            (b * 1009 + c * 31 + xy.iter().sum::<usize>() + seed as usize) as f32 * 0.01
+        });
+        let blocked = BlockedImage::from_simple(&img).unwrap();
+        prop_assert_eq!(blocked.to_simple(), img);
+    }
+
+    #[test]
+    fn blocked_kernel_roundtrip(
+        cin in 1usize..20,
+        og in 1usize..3,
+        kd in proptest::collection::vec(1usize..5, 1..4),
+    ) {
+        let k = SimpleKernels::from_fn(og * 16, cin, &kd, |co, ci, xy| {
+            (co * 101 + ci * 13 + xy.iter().sum::<usize>()) as f32 * 0.1
+        });
+        let blocked = BlockedKernels::from_simple(&k).unwrap();
+        prop_assert_eq!(blocked.to_simple(), k);
+    }
+}
