@@ -9,6 +9,9 @@
 //! A register block of `WBLK` (8) adjacent outputs amortises each kernel
 //! vector load across 8 FMAs.
 
+// Index-based loops are the idiom throughout: most walk several
+// arrays with derived offsets, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 use wino_sched::Executor;
 use wino_simd::{F32x16, S};
 use wino_tensor::{BlockedImage, BlockedKernels};
@@ -44,7 +47,7 @@ pub fn direct_conv(
     padding: &[usize],
     output: &mut BlockedImage,
     exec: &dyn Executor,
-) {
+) -> Result<(), wino_sched::PoolError> {
     let rank = input.dims.len();
     assert!(rank <= MAX_RANK);
     assert_eq!(kernels.in_channels, input.channels);
@@ -165,7 +168,7 @@ pub fn direct_conv(
                 w0 += wn;
             }
         }
-    });
+    })
 }
 
 #[cfg(test)]
@@ -203,7 +206,7 @@ mod tests {
         let bi = BlockedImage::from_simple(&si).unwrap();
         let bk = BlockedKernels::from_simple(&sk).unwrap();
         let mut out = BlockedImage::zeros(batch, cp, &want.dims).unwrap();
-        direct_conv(&bi, &bk, pad, &mut out, &SerialExecutor);
+        direct_conv(&bi, &bk, pad, &mut out, &SerialExecutor).unwrap();
         let got = out.to_simple();
         for i in 0..got.data.len() {
             assert!(
@@ -252,9 +255,9 @@ mod tests {
         let bk = BlockedKernels::from_simple(&sk).unwrap();
         let mut o1 = BlockedImage::zeros(2, 32, &[8, 8]).unwrap();
         let mut o2 = BlockedImage::zeros(2, 32, &[8, 8]).unwrap();
-        direct_conv(&bi, &bk, &[1, 1], &mut o1, &SerialExecutor);
+        direct_conv(&bi, &bk, &[1, 1], &mut o1, &SerialExecutor).unwrap();
         let pool = StaticExecutor::new(4);
-        direct_conv(&bi, &bk, &[1, 1], &mut o2, &pool);
+        direct_conv(&bi, &bk, &[1, 1], &mut o2, &pool).unwrap();
         assert_eq!(o1.as_slice(), o2.as_slice());
     }
 }

@@ -29,7 +29,7 @@ fn pick_cb(cols: usize) -> usize {
     let mut best = 16;
     let mut cb = 16;
     while cb <= 128.min(cols) {
-        if cols % cb == 0 {
+        if cols.is_multiple_of(cb) {
             best = cb;
         }
         cb += 16;
@@ -44,7 +44,7 @@ pub fn im2col_conv(
     padding: &[usize],
     output: &mut BlockedImage,
     exec: &dyn Executor,
-) {
+) -> Result<(), wino_sched::PoolError> {
     let rank = input.dims.len();
     assert!(rank <= MAX_RANK);
     assert_eq!(kernels.in_channels, input.channels);
@@ -121,7 +121,7 @@ pub fn im2col_conv(
 
     // One big GEMM.
     let mut x = BlockedMatrices::new(1, rows, cp, n_blk, cpb);
-    wino_gemm::batched_gemm_parallel(&a, &w, &mut x, exec);
+    wino_gemm::batched_gemm_parallel(&a, &w, &mut x, exec)?;
 
     // Scatter back into the blocked output image.
     let out_cg = cp / S;
@@ -134,6 +134,7 @@ pub fn im2col_conv(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -154,7 +155,7 @@ mod tests {
         let bi = BlockedImage::from_simple(&si).unwrap();
         let bk = BlockedKernels::from_simple(&sk).unwrap();
         let mut out = BlockedImage::zeros(batch, cp, &want.dims).unwrap();
-        im2col_conv(&bi, &bk, pad, &mut out, &SerialExecutor);
+        im2col_conv(&bi, &bk, pad, &mut out, &SerialExecutor).unwrap();
         let got = out.to_simple();
         for i in 0..got.data.len() {
             assert!(

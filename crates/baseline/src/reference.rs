@@ -7,6 +7,9 @@
 //! measuring f32 errors in the 1e-8…1e0 range of Table 3 (substitution
 //! documented in DESIGN.md).
 
+// Index-based loops are the idiom throughout: most walk several
+// arrays with derived offsets, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 use wino_tensor::{unflatten, SimpleImage, SimpleKernels};
 
 /// Direct N-D cross-correlation (the ConvNet "convolution" of Eqn. 6),

@@ -1,41 +1,58 @@
 //! Fork–join synchronisation cost (§4.5): the custom spin barrier and
-//! static pool against `std::sync::Barrier` and rayon's fork–join, on an
+//! static pool against `std::sync::Barrier` and dynamic fork–join, on an
 //! empty task — the pure synchronisation overhead the paper's custom
 //! primitive is designed to minimise.
+//!
+//! Plain `harness = false` benchmark: no registry dependencies. Run with
+//! `cargo bench --bench barrier`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wino_sched::{Executor, SpinBarrier, StaticExecutor, ThreadPool};
+use wino_sched::{DynamicExecutor, Executor, SpinBarrier, StaticExecutor, ThreadPool};
 
 const THREADS: usize = 4;
+const ROUNDS: usize = 20_000;
 
-fn bench_barrier(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fork_join");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn time_per_round<F: FnMut()>(rounds: usize, mut f: F) -> f64 {
+    let t0 = std::time::Instant::now();
+    for _ in 0..rounds {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / rounds as f64
+}
+
+fn main() {
+    println!("bench,threads,ns_per_round");
 
     // Single-thread barrier crossing: the raw primitive's fast path.
     let solo = SpinBarrier::new(1);
-    group.bench_function("spin_barrier_uncontended", |b| b.iter(|| solo.wait()));
+    let ns = time_per_round(ROUNDS, || {
+        solo.wait();
+    });
+    println!("spin_barrier_uncontended,1,{ns:.1}");
 
     let pool = ThreadPool::new(THREADS);
-    group.bench_function(BenchmarkId::new("static_pool_forkjoin", THREADS), |b| {
-        b.iter(|| pool.run(|_tid| std::hint::black_box(())))
+    let ns = time_per_round(ROUNDS, || {
+        pool.run(|_tid| std::hint::black_box(())).expect("pool fork-join failed");
     });
+    println!("static_pool_forkjoin,{THREADS},{ns:.1}");
 
     let exec = StaticExecutor::new(THREADS);
-    group.bench_function(BenchmarkId::new("static_grid_64_tasks", THREADS), |b| {
-        b.iter(|| {
-            exec.run_grid(&[64], &|_, i| {
+    let ns = time_per_round(ROUNDS, || {
+        exec.run_grid(&[64], &|_, i| {
+            std::hint::black_box(i);
+        })
+        .expect("static grid failed");
+    });
+    println!("static_grid_64_tasks,{THREADS},{ns:.1}");
+
+    let dyn_exec = DynamicExecutor::new(THREADS);
+    let ns = time_per_round(ROUNDS / 10, || {
+        dyn_exec
+            .run_grid(&[64], &|_, i| {
                 std::hint::black_box(i);
             })
-        })
+            .expect("dynamic grid failed");
     });
-
-    group.bench_function(BenchmarkId::new("rayon_forkjoin_64_tasks", THREADS), |b| {
-        use rayon::prelude::*;
-        b.iter(|| (0..64usize).into_par_iter().for_each(|i| { std::hint::black_box(i); }))
-    });
+    println!("dynamic_grid_64_tasks,{THREADS},{ns:.1}");
 
     // Drop the spin pools before benchmarking the blocking std barrier:
     // their busy-wait workers would starve it on oversubscribed machines.
@@ -43,56 +60,43 @@ fn bench_barrier(c: &mut Criterion) {
     drop(exec);
 
     // Library-primitive comparison, two participants (main + 1 worker).
-    // The worker performs *exactly* `iters` rounds (communicated up
+    // The worker performs *exactly* `ROUNDS` rounds (communicated up
     // front), so there is no shutdown handshake to race on — a blocking
     // barrier paired with a free-running worker loop can deadlock when
     // the worker observes the stop flag between rounds while the main
     // thread is already committed to one more wait.
-    group.bench_function("std_barrier_round_2", |b| {
-        b.iter_custom(|iters| {
-            let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
-            let worker = {
-                let barrier = barrier.clone();
-                std::thread::spawn(move || {
-                    for _ in 0..iters {
-                        barrier.wait();
-                    }
-                })
-            };
-            let t0 = std::time::Instant::now();
-            for _ in 0..iters {
-                barrier.wait();
-            }
-            let dt = t0.elapsed();
-            worker.join().unwrap();
-            dt
-        })
-    });
+    {
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let worker = {
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                }
+            })
+        };
+        let ns = time_per_round(ROUNDS, || {
+            barrier.wait();
+        });
+        worker.join().unwrap();
+        println!("std_barrier_round,2,{ns:.1}");
+    }
 
     // The custom spin barrier in the same two-participant shape.
-    group.bench_function("spin_barrier_round_2", |b| {
-        b.iter_custom(|iters| {
-            let barrier = std::sync::Arc::new(SpinBarrier::new(2));
-            let worker = {
-                let barrier = barrier.clone();
-                std::thread::spawn(move || {
-                    for _ in 0..iters {
-                        barrier.wait();
-                    }
-                })
-            };
-            let t0 = std::time::Instant::now();
-            for _ in 0..iters {
-                barrier.wait();
-            }
-            let dt = t0.elapsed();
-            worker.join().unwrap();
-            dt
-        })
-    });
-
-    group.finish();
+    {
+        let barrier = std::sync::Arc::new(SpinBarrier::new(2));
+        let worker = {
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                }
+            })
+        };
+        let ns = time_per_round(ROUNDS, || {
+            barrier.wait();
+        });
+        worker.join().unwrap();
+        println!("spin_barrier_round,2,{ns:.1}");
+    }
 }
-
-criterion_group!(benches, bench_barrier);
-criterion_main!(benches);

@@ -1,17 +1,20 @@
 //! End-to-end layer benchmarks (Fig. 5's statistical companion) on two
 //! representative scaled layers: VGG 3.2 (2-D) and C3D C3b (3-D).
+//!
+//! Plain `harness = false` benchmark: no registry dependencies, timing via
+//! `wino_workloads::time_best`. Run with `cargo bench --bench conv_layers`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wino_baseline::direct_conv;
 use wino_bench::layer_data;
 use wino_conv::{ConvOptions, Scratch, WinogradLayer};
 use wino_sched::SerialExecutor;
 use wino_tensor::BlockedImage;
-use wino_workloads::scaled_catalog;
+use wino_workloads::{scaled_catalog, time_best};
 
-fn bench_layers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("conv_layer");
-    group.sample_size(10);
+const REPS: usize = 5;
+
+fn main() {
+    println!("bench,layer,best_ms,mean_ms");
     for label in ["VGG 3.2", "C3D C3b"] {
         let layer = scaled_catalog().into_iter().find(|l| l.id() == label).unwrap();
         let (input, kernels) = layer_data(&layer, 9);
@@ -20,14 +23,20 @@ fn bench_layers(c: &mut Criterion) {
         let plan = WinogradLayer::new(layer.shape.clone(), &m, ConvOptions::default()).unwrap();
         let mut scratch = Scratch::new(&plan, 1);
         let mut out = plan.new_output().unwrap();
-        group.bench_with_input(BenchmarkId::new("winograd_f4", label), &(), |b, _| {
-            b.iter(|| plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor))
+        let t = time_best(REPS, || {
+            plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor)
+                .expect("bench forward failed");
         });
+        println!("winograd_f4,{label},{:.3},{:.3}", t.best_ms, t.mean_ms);
 
-        let tk = plan.prepare_kernels(&kernels, &mut scratch, &SerialExecutor);
-        group.bench_with_input(BenchmarkId::new("winograd_f4_fx", label), &(), |b, _| {
-            b.iter(|| plan.forward_fx(&input, &tk, &mut out, &mut scratch, &SerialExecutor))
+        let tk = plan
+            .prepare_kernels(&kernels, &mut scratch, &SerialExecutor)
+            .expect("bench prepare_kernels failed");
+        let t = time_best(REPS, || {
+            plan.forward_fx(&input, &tk, &mut out, &mut scratch, &SerialExecutor)
+                .expect("bench forward_fx failed");
         });
+        println!("winograd_f4_fx,{label},{:.3},{:.3}", t.best_ms, t.mean_ms);
 
         let mut dout = BlockedImage::zeros(
             layer.shape.batch,
@@ -35,14 +44,11 @@ fn bench_layers(c: &mut Criterion) {
             &layer.shape.out_dims(),
         )
         .unwrap();
-        group.bench_with_input(BenchmarkId::new("direct", label), &(), |b, _| {
-            b.iter(|| {
-                direct_conv(&input, &kernels, &layer.shape.padding, &mut dout, &SerialExecutor)
-            })
+        let t = time_best(REPS, || {
+            direct_conv(&input, &kernels, &layer.shape.padding, &mut dout, &SerialExecutor)
+                .expect("bench direct_conv failed");
         });
+        println!("direct,{label},{:.3},{:.3}", t.best_ms, t.mean_ms);
+        std::hint::black_box((out.as_slice().first(), dout.as_slice().first()));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_layers);
-criterion_main!(benches);

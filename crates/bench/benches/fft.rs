@@ -1,30 +1,30 @@
 //! FFT substrate benchmarks: 1-D/3-D transform throughput (sanity check
 //! that the FFT baseline's cost in Fig. 5 comes from the algorithm, not a
 //! pathological implementation).
+//!
+//! Plain `harness = false` benchmark: no registry dependencies, timing via
+//! `wino_workloads::time_best`. Run with `cargo bench --bench fft`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use wino_fft::{C32, Fft1d, FftNd};
+use wino_workloads::time_best;
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft");
-    group.sample_size(20);
+const REPS: usize = 20;
+
+fn main() {
+    println!("bench,n,best_ms,melem_per_s");
     for n in [256usize, 1024, 4096] {
-        group.throughput(Throughput::Elements(n as u64));
         let plan = Fft1d::new(n);
         let mut data: Vec<C32> =
             (0..n).map(|i| C32::new((i % 17) as f32, (i % 5) as f32)).collect();
-        group.bench_with_input(BenchmarkId::new("fft1d", n), &(), |b, _| {
-            b.iter(|| plan.forward(&mut data))
-        });
+        let t = time_best(REPS, || plan.forward(&mut data));
+        println!("fft1d,{n},{:.4},{:.1}", t.best_ms, n as f64 / t.best_ms / 1e3);
+        std::hint::black_box(data.first());
     }
     let dims = [16usize, 32, 32];
     let plan = FftNd::new(&dims);
     let vol = plan.volume();
-    group.throughput(Throughput::Elements(vol as u64));
     let mut data: Vec<C32> = (0..vol).map(|i| C32::new((i % 13) as f32, 0.0)).collect();
-    group.bench_function("fft3d_16x32x32", |b| b.iter(|| plan.forward(&mut data)));
-    group.finish();
+    let t = time_best(REPS, || plan.forward(&mut data));
+    println!("fft3d_16x32x32,{vol},{:.4},{:.1}", t.best_ms, vol as f64 / t.best_ms / 1e3);
+    std::hint::black_box(data.first());
 }
-
-criterion_group!(benches, bench_fft);
-criterion_main!(benches);

@@ -1,11 +1,16 @@
-//! Criterion micro-benchmarks for the batched GEMM engines (Fig. 6's
-//! statistical companion): JIT vs monomorphised vs generic on
-//! paper-relevant `V̂` shapes.
+//! Micro-benchmarks for the batched GEMM engines (Fig. 6's statistical
+//! companion): JIT vs monomorphised vs generic on paper-relevant `V̂`
+//! shapes.
+//!
+//! Plain `harness = false` benchmark: no registry dependencies, timing via
+//! `wino_workloads::time_best`. Run with `cargo bench --bench gemm`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use wino_gemm::{batched_gemm, batched_gemm_generic};
 use wino_jit::JitKernelPair;
 use wino_tensor::BlockedMatrices;
+use wino_workloads::time_best;
+
+const REPS: usize = 5;
 
 fn setup(
     t: usize,
@@ -26,29 +31,21 @@ fn setup(
     (u, v, x)
 }
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("batched_gemm");
-    group.sample_size(10);
+fn main() {
+    println!("engine,shape,best_ms,gflops");
     let (t, rows, nb) = (4usize, 1024usize, 8usize);
     for &(cb, cpb) in &[(32usize, 32usize), (64, 64), (128, 128)] {
-        let flops = 2 * t * rows * cb * cpb;
-        group.throughput(Throughput::Elements(flops as u64));
+        let flops = (2 * t * rows * cb * cpb) as f64;
         let (u, v, mut x) = setup(t, rows, cb, cpb, nb);
-        group.bench_with_input(BenchmarkId::new("mono", format!("{cb}x{cpb}")), &(), |b, _| {
-            b.iter(|| batched_gemm(&u, &v, &mut x))
-        });
-        group.bench_with_input(BenchmarkId::new("generic", format!("{cb}x{cpb}")), &(), |b, _| {
-            b.iter(|| batched_gemm_generic(&u, &v, &mut x))
-        });
+        let tm = time_best(REPS, || batched_gemm(&u, &v, &mut x));
+        println!("mono,{cb}x{cpb},{:.3},{:.1}", tm.best_ms, flops / tm.best_ms / 1e6);
+        let tg = time_best(REPS, || batched_gemm_generic(&u, &v, &mut x));
+        println!("generic,{cb}x{cpb},{:.3},{:.1}", tg.best_ms, flops / tg.best_ms / 1e6);
         if wino_simd::cpu_has_avx512f() {
             let pair = JitKernelPair::compile(nb, cb, cpb).unwrap();
-            group.bench_with_input(BenchmarkId::new("jit", format!("{cb}x{cpb}")), &(), |b, _| {
-                b.iter(|| wino_jit::jit_batched_gemm(&u, &v, &mut x, &pair))
-            });
+            let tj = time_best(REPS, || wino_jit::jit_batched_gemm(&u, &v, &mut x, &pair));
+            println!("jit,{cb}x{cpb},{:.3},{:.1}", tj.best_ms, flops / tj.best_ms / 1e6);
         }
+        std::hint::black_box(x.as_mut_slice().first());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gemm);
-criterion_main!(benches);

@@ -1,10 +1,16 @@
 //! Transform-codelet throughput: vectorised `Bᵀ`/`Aᵀ` tile transforms per
 //! second, with and without the Fig. 2 pairing optimisation.
+//!
+//! Plain `harness = false` benchmark: no registry dependencies, timing via
+//! `wino_workloads::time_best`. Run with `cargo bench --bench transforms`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use wino_conv::vecprog::transform_all_dims;
 use wino_simd::S;
 use wino_transforms::{FmrPlan, MatrixProgram, PairNode, PairedProgram};
+use wino_workloads::time_best;
+
+const REPS: usize = 20;
+const TILES_PER_REP: usize = 2_000;
 
 fn unpaired(p: &PairedProgram, dense: &wino_transforms::F32Matrix) -> PairedProgram {
     let mp = MatrixProgram::compile(dense);
@@ -20,49 +26,36 @@ fn unpaired(p: &PairedProgram, dense: &wino_transforms::F32Matrix) -> PairedProg
     }
 }
 
-fn bench_transforms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tile_transform");
-    group.sample_size(20);
+fn main() {
+    println!("bench,fmr,best_ms,melem_per_s");
     for (m, r) in [(2usize, 3usize), (4, 3), (6, 3)] {
         let plan = FmrPlan::new(m, r);
         let alpha = plan.alpha();
         let vol = alpha * alpha;
-        group.throughput(Throughput::Elements((vol * S) as u64));
         let input: Vec<f32> = (0..vol * S).map(|i| (i % 97) as f32 * 0.01).collect();
+        let elems = (vol * S * TILES_PER_REP) as f64;
 
-        group.bench_with_input(BenchmarkId::new("bt_paired", format!("F({m},{r})")), &(), |b, _| {
-            let mut buf_a = input.clone();
-            let mut buf_b = vec![0.0f32; vol * S];
-            b.iter(|| {
+        let mut buf_a = input.clone();
+        let mut buf_b = vec![0.0f32; vol * S];
+        let t = time_best(REPS, || {
+            for _ in 0..TILES_PER_REP {
                 buf_a.copy_from_slice(&input);
                 let mut dims = [alpha, alpha];
-                transform_all_dims(&[&plan.bt, &plan.bt], &mut buf_a, &mut buf_b, &mut dims)
-            })
+                transform_all_dims(&[&plan.bt, &plan.bt], &mut buf_a, &mut buf_b, &mut dims);
+            }
         });
+        println!("bt_paired,F({m}.{r}),{:.3},{:.1}", t.best_ms, elems / t.best_ms / 1e3);
 
         let bt_dense = plan.transform.bt.to_f32();
         let bt_unpaired = unpaired(&plan.bt, &bt_dense);
-        group.bench_with_input(
-            BenchmarkId::new("bt_unpaired", format!("F({m},{r})")),
-            &(),
-            |b, _| {
-                let mut buf_a = input.clone();
-                let mut buf_b = vec![0.0f32; vol * S];
-                b.iter(|| {
-                    buf_a.copy_from_slice(&input);
-                    let mut dims = [alpha, alpha];
-                    transform_all_dims(
-                        &[&bt_unpaired, &bt_unpaired],
-                        &mut buf_a,
-                        &mut buf_b,
-                        &mut dims,
-                    )
-                })
-            },
-        );
+        let t = time_best(REPS, || {
+            for _ in 0..TILES_PER_REP {
+                buf_a.copy_from_slice(&input);
+                let mut dims = [alpha, alpha];
+                transform_all_dims(&[&bt_unpaired, &bt_unpaired], &mut buf_a, &mut buf_b, &mut dims);
+            }
+        });
+        println!("bt_unpaired,F({m}.{r}),{:.3},{:.1}", t.best_ms, elems / t.best_ms / 1e3);
+        std::hint::black_box(buf_b.first());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_transforms);
-criterion_main!(benches);

@@ -19,7 +19,7 @@
 use wino_bench::{layer_data, make_executor, run_direct, run_winograd, Args};
 use wino_conv::{stage1, ConvOptions, Scratch, WinogradLayer};
 use wino_gemm::{batched_gemm, candidate_shapes, BlockShape};
-use wino_sched::{Executor, RayonExecutor, SerialExecutor, StaticExecutor};
+use wino_sched::{DynamicExecutor, Executor, SerialExecutor, StaticExecutor};
 use wino_tensor::BlockedMatrices;
 use wino_workloads::{budden_sample_net, mvox_per_sec, scaled_catalog, time_best, Layer};
 
@@ -41,11 +41,13 @@ fn streaming_stores(exec: &dyn Executor, reps: usize) {
             let (input, kernels) = layer_data(&layer, 1);
             let mut scratch = Scratch::new(&plan, exec.threads());
             let t_transform = time_best(reps, || {
-                stage1::transform_inputs(&plan, &input, &mut scratch, exec);
+                stage1::transform_inputs(&plan, &input, &mut scratch, exec)
+                    .expect("stage-1 transform failed");
             });
             let mut output = plan.new_output().unwrap();
             let t_full = time_best(reps, || {
-                plan.forward(&input, &kernels, &mut output, &mut scratch, exec);
+                plan.forward(&input, &kernels, &mut output, &mut scratch, exec)
+                    .expect("forward failed");
             });
             println!(
                 "{label},{streaming},{:.3},{:.3}",
@@ -112,7 +114,7 @@ fn scheduling(threads: usize, reps: usize) {
     let execs: Vec<(Box<dyn Executor>, &str)> = vec![
         (Box::new(SerialExecutor), "serial"),
         (Box::new(StaticExecutor::new(threads)), "static"),
-        (Box::new(RayonExecutor), "rayon"),
+        (Box::new(DynamicExecutor::new(threads)), "dynamic"),
     ];
     for (exec, name) in &execs {
         let meas =

@@ -41,7 +41,7 @@ fn winograd_out(
     let kernels = BlockedKernels::from_simple(ker).unwrap();
     let mut out = layer.new_output().unwrap();
     let mut scratch = Scratch::new(&layer, exec.threads());
-    layer.forward(&input, &kernels, &mut out, &mut scratch, exec);
+    layer.forward(&input, &kernels, &mut out, &mut scratch, exec).expect("table3 forward failed");
     out.to_simple()
 }
 
@@ -49,7 +49,7 @@ fn direct_out(shape: &ConvShape, img: &SimpleImage, ker: &SimpleKernels, exec: &
     let input = BlockedImage::from_simple(img).unwrap();
     let kernels = BlockedKernels::from_simple(ker).unwrap();
     let mut out = BlockedImage::zeros(shape.batch, shape.out_channels, &shape.out_dims()).unwrap();
-    direct_conv(&input, &kernels, &shape.padding, &mut out, exec);
+    direct_conv(&input, &kernels, &shape.padding, &mut out, exec).expect("table3 direct_conv failed");
     out.to_simple()
 }
 

@@ -69,13 +69,15 @@ pub fn run_winograd(
         format!("winograd F({})", m_str.join("x"))
     };
     let timing = if fx {
-        let tk = plan.prepare_kernels(&kernels, &mut scratch, exec);
+        let tk = plan.prepare_kernels(&kernels, &mut scratch, exec).ok()?;
         time_best(reps, || {
-            plan.forward_fx(&input, &tk, &mut output, &mut scratch, exec);
+            plan.forward_fx(&input, &tk, &mut output, &mut scratch, exec)
+                .expect("benchmark forward failed");
         })
     } else {
         time_best(reps, || {
-            plan.forward(&input, &kernels, &mut output, &mut scratch, exec);
+            plan.forward(&input, &kernels, &mut output, &mut scratch, exec)
+                .expect("benchmark forward failed");
         })
     };
     std::hint::black_box(output.as_slice().first());
@@ -89,7 +91,8 @@ pub fn run_direct(layer: &Layer, exec: &dyn Executor, reps: usize) -> Measuremen
         BlockedImage::zeros(layer.shape.batch, layer.shape.out_channels, &layer.shape.out_dims())
             .unwrap();
     let timing = time_best(reps, || {
-        direct_conv(&input, &kernels, &layer.shape.padding, &mut output, exec);
+        direct_conv(&input, &kernels, &layer.shape.padding, &mut output, exec)
+            .expect("benchmark direct_conv failed");
     });
     std::hint::black_box(output.as_slice().first());
     measurement(layer, "direct".into(), &layer.shape, timing)
@@ -102,7 +105,8 @@ pub fn run_im2col(layer: &Layer, exec: &dyn Executor, reps: usize) -> Measuremen
         BlockedImage::zeros(layer.shape.batch, layer.shape.out_channels, &layer.shape.out_dims())
             .unwrap();
     let timing = time_best(reps, || {
-        im2col_conv(&input, &kernels, &layer.shape.padding, &mut output, exec);
+        im2col_conv(&input, &kernels, &layer.shape.padding, &mut output, exec)
+            .expect("benchmark im2col_conv failed");
     });
     std::hint::black_box(output.as_slice().first());
     measurement(layer, "im2col-gemm".into(), &layer.shape, timing)
@@ -113,7 +117,8 @@ pub fn run_fft(layer: &Layer, exec: &dyn Executor, reps: usize) -> Measurement {
     let img = uniform_input(&layer.shape, 42);
     let ker = xavier_kernels(&layer.shape, 42 ^ 0xabcd);
     let timing = time_best(reps, || {
-        let out = wino_fft::fft_conv(&img, &ker, &layer.shape.padding, exec);
+        let out = wino_fft::fft_conv(&img, &ker, &layer.shape.padding, exec)
+            .expect("benchmark fft_conv failed");
         std::hint::black_box(out.data.first().copied());
     });
     measurement(layer, "fft".into(), &layer.shape, timing)

@@ -1,0 +1,214 @@
+//! The unified error type of the execution layer.
+//!
+//! Planning, shape validation, parallel execution and numeric guarding
+//! each have their own typed error ([`PlanError`], [`ShapeError`],
+//! [`PoolError`], [`NumericError`]); [`WinoError`] unifies them so
+//! `run_layer` / `run_net` (and everything underneath) can thread one
+//! `Result` end-to-end instead of panicking inside worker threads.
+
+use wino_sched::PoolError;
+use wino_tensor::ShapeError;
+
+use crate::plan::PlanError;
+
+/// A non-finite value (NaN or ±Inf) detected by the numeric guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumericError {
+    /// Which buffer tripped the guard (e.g. `"output"`).
+    pub stage: &'static str,
+    /// Flat index of the first non-finite element.
+    pub index: usize,
+}
+
+impl std::fmt::Display for NumericError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "non-finite value in {} at flat index {}", self.stage, self.index)
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+/// Scan a buffer for non-finite values; `Err` carries the first offender.
+pub fn check_finite(stage: &'static str, data: &[f32]) -> Result<(), NumericError> {
+    match data.iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(index) => Err(NumericError { stage, index }),
+    }
+}
+
+/// Any failure of the convolution engine, from planning to execution.
+#[derive(Debug)]
+pub enum WinoError {
+    /// Plan construction failed.
+    Plan(PlanError),
+    /// Buffers passed to an execution entry point do not match the plan.
+    Shape(ShapeError),
+    /// The parallel substrate failed: a worker panicked mid-layer, a
+    /// barrier watchdog fired, or the pool was already dead.
+    Pool(PoolError),
+    /// The numeric guard found NaN/Inf in a transformed output.
+    Numeric(NumericError),
+    /// Kernel list length does not match the network's layer count.
+    LayerCount { expected: usize, got: usize },
+    /// The requested operation is not available for this plan (e.g.
+    /// memoised kernel transforms for an im2col-planned layer).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for WinoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WinoError::Plan(e) => write!(f, "planning failed: {e}"),
+            WinoError::Shape(e) => write!(f, "shape error: {e}"),
+            WinoError::Pool(e) => write!(f, "parallel execution failed: {e}"),
+            WinoError::Numeric(e) => write!(f, "numeric guard: {e}"),
+            WinoError::LayerCount { expected, got } => {
+                write!(f, "network has {expected} layers but {got} kernel banks were supplied")
+            }
+            WinoError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WinoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WinoError::Plan(e) => Some(e),
+            WinoError::Shape(e) => Some(e),
+            WinoError::Pool(e) => Some(e),
+            WinoError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for WinoError {
+    fn from(e: PlanError) -> Self {
+        WinoError::Plan(e)
+    }
+}
+
+impl From<ShapeError> for WinoError {
+    fn from(e: ShapeError) -> Self {
+        WinoError::Shape(e)
+    }
+}
+
+impl From<PoolError> for WinoError {
+    fn from(e: PoolError) -> Self {
+        WinoError::Pool(e)
+    }
+}
+
+impl From<NumericError> for WinoError {
+    fn from(e: NumericError) -> Self {
+        WinoError::Numeric(e)
+    }
+}
+
+/// `Err(Shape(Mismatch))` unless `got == expected`.
+pub(crate) fn ensure_eq(what: &'static str, expected: usize, got: usize) -> Result<(), WinoError> {
+    if got == expected {
+        Ok(())
+    } else {
+        Err(ShapeError::Mismatch { what, expected, got }.into())
+    }
+}
+
+/// `Err(Shape(Mismatch))` unless `got >= expected`.
+pub(crate) fn ensure_at_least(
+    what: &'static str,
+    expected: usize,
+    got: usize,
+) -> Result<(), WinoError> {
+    if got >= expected {
+        Ok(())
+    } else {
+        Err(ShapeError::Mismatch { what, expected, got }.into())
+    }
+}
+
+/// `Err(Shape(Mismatch))` unless the dimension lists agree (rank checked
+/// first, then each extent).
+pub(crate) fn ensure_dims_eq(
+    what: &'static str,
+    expected: &[usize],
+    got: &[usize],
+) -> Result<(), WinoError> {
+    if expected.len() != got.len() {
+        return Err(ShapeError::RankMismatch { expected: expected.len(), got: got.len() }.into());
+    }
+    for (&e, &g) in expected.iter().zip(got) {
+        if e != g {
+            return Err(ShapeError::Mismatch { what, expected: e, got: g }.into());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_finite_reports_first_offender() {
+        assert!(check_finite("output", &[1.0, 2.0, -3.0]).is_ok());
+        let e = check_finite("output", &[1.0, f32::NAN, f32::INFINITY]).unwrap_err();
+        assert_eq!(e.index, 1);
+        assert_eq!(e.stage, "output");
+        let e = check_finite("u", &[f32::NEG_INFINITY]).unwrap_err();
+        assert_eq!(e.index, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = WinoError::Numeric(NumericError { stage: "output", index: 7 });
+        assert!(e.to_string().contains("output"));
+        assert!(e.to_string().contains('7'));
+        let e = WinoError::LayerCount { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3'));
+        let e = WinoError::Plan(PlanError::RankTooHigh { rank: 9 });
+        assert!(e.to_string().contains("planning failed"));
+    }
+
+    #[test]
+    fn source_chain_reaches_inner_errors() {
+        use std::error::Error;
+        let e = WinoError::Pool(PoolError::Unusable);
+        assert!(e.source().is_some());
+        let e = WinoError::Unsupported("x");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: WinoError = PlanError::RankTooHigh { rank: 7 }.into();
+        assert!(matches!(e, WinoError::Plan(_)));
+        let e: WinoError = ShapeError::ZeroDim.into();
+        assert!(matches!(e, WinoError::Shape(_)));
+        let e: WinoError = PoolError::Unusable.into();
+        assert!(matches!(e, WinoError::Pool(_)));
+        let e: WinoError = NumericError { stage: "y", index: 0 }.into();
+        assert!(matches!(e, WinoError::Numeric(_)));
+    }
+
+    #[test]
+    fn ensure_helpers() {
+        assert!(ensure_eq("batch", 2, 2).is_ok());
+        assert!(matches!(
+            ensure_eq("batch", 2, 3),
+            Err(WinoError::Shape(ShapeError::Mismatch { what: "batch", expected: 2, got: 3 }))
+        ));
+        assert!(ensure_at_least("slots", 2, 4).is_ok());
+        assert!(ensure_at_least("slots", 4, 2).is_err());
+        assert!(ensure_dims_eq("dim", &[3, 4], &[3, 4]).is_ok());
+        assert!(matches!(
+            ensure_dims_eq("dim", &[3, 4], &[3, 5]),
+            Err(WinoError::Shape(ShapeError::Mismatch { .. }))
+        ));
+        assert!(matches!(
+            ensure_dims_eq("dim", &[3, 4], &[3]),
+            Err(WinoError::Shape(ShapeError::RankMismatch { .. }))
+        ));
+    }
+}

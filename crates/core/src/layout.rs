@@ -20,7 +20,7 @@ pub struct TileMajor {
 
 impl TileMajor {
     pub fn new(batch: usize, out_channels: usize, n_tiles: usize, t_vol: usize) -> TileMajor {
-        assert!(out_channels % S == 0);
+        assert!(out_channels.is_multiple_of(S));
         let channel_groups = out_channels / S;
         TileMajor {
             batch,

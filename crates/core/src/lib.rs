@@ -30,6 +30,7 @@
 //! ```
 
 pub mod conv;
+pub mod error;
 pub mod layout;
 pub mod net;
 pub mod plan;
@@ -41,6 +42,11 @@ pub mod stage3;
 pub mod vecprog;
 
 pub use conv::{convolve_simple, TransformedKernels};
+pub use error::{check_finite, NumericError, WinoError};
 pub use layout::TileMajor;
-pub use net::{Activation, LayerSpec, NetLayer, Network};
+pub use net::{
+    Activation, ExecutionReport, FallbackReason, LayerBackend, LayerPlan, LayerSpec, NetLayer,
+    Network,
+};
 pub use plan::{ConvOptions, PlanError, Scratch, Stage2Backend, WinogradLayer, MAX_RANK};
+pub use select::{candidate_tiles, plan_with_fallback, select_tile, FallbackPolicy, Purpose, Selection};

@@ -8,12 +8,23 @@
 //! the maximum requirement, and runs the whole net through it. Layer
 //! outputs stay in the blocked layout, so no reshuffling happens between
 //! layers (§4.1).
+//!
+//! The module also owns the *execution-time* half of the
+//! graceful-degradation chain (`Jit → Mono → im2col`,
+//! [`crate::FallbackPolicy`]): a layer whose Winograd plan cannot be built
+//! is planned as an im2col layer instead ([`LayerPlan::Im2col`]), and a
+//! layer whose output trips the numeric guard is re-executed through
+//! `wino-baseline`'s im2col convolution. Every [`Network::run_layer`] /
+//! [`Network::run_net`] call reports which backend actually ran and why
+//! via [`ExecutionReport`].
 
 use wino_sched::Executor;
 use wino_tensor::{BlockedImage, BlockedKernels, BlockedMatrices, ConvShape};
 
 use crate::conv::TransformedKernels;
-use crate::plan::{ConvOptions, PlanError, Scratch, WinogradLayer};
+use crate::error::{check_finite, NumericError, WinoError};
+use crate::plan::{ConvOptions, PlanError, Scratch, Stage2Backend, WinogradLayer};
+use crate::select::{plan_with_fallback, FallbackPolicy};
 
 /// Pointwise activation applied between layers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -33,26 +44,105 @@ impl Activation {
     }
 }
 
-/// One planned layer of a [`Network`].
-pub struct NetLayer {
-    pub plan: WinogradLayer,
-    pub activation: Activation,
+/// How a layer is planned to execute. One value exists per network
+/// layer, so the size skew between the variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
+pub enum LayerPlan {
+    /// The paper's three-stage Winograd pipeline.
+    Winograd(WinogradLayer),
+    /// The `wino-baseline` im2col convolution — the end of the
+    /// degradation chain, planned when no Winograd plan exists and the
+    /// policy allows absorbing that.
+    Im2col { shape: ConvShape },
 }
 
-/// A sequential stack of Winograd convolution layers sharing one scratch
+impl LayerPlan {
+    /// The layer geometry, whichever backend executes it.
+    pub fn shape(&self) -> &ConvShape {
+        match self {
+            LayerPlan::Winograd(p) => &p.shape,
+            LayerPlan::Im2col { shape } => shape,
+        }
+    }
+
+    /// The Winograd plan, if this layer has one.
+    pub fn winograd(&self) -> Option<&WinogradLayer> {
+        match self {
+            LayerPlan::Winograd(p) => Some(p),
+            LayerPlan::Im2col { .. } => None,
+        }
+    }
+}
+
+/// Which implementation computed a layer's output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerBackend {
+    WinogradJit,
+    WinogradMono,
+    Im2col,
+}
+
+/// Why a layer ran on something other than what was asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The JIT stage-2 backend could not be built; the layer uses the
+    /// monomorphised backend instead.
+    JitUnavailable(PlanError),
+    /// No Winograd plan exists for this layer; it runs via im2col.
+    PlanFailed(PlanError),
+    /// The Winograd output contained NaN/Inf; the layer was re-executed
+    /// via im2col.
+    NumericGuard(NumericError),
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::JitUnavailable(e) => write!(f, "jit unavailable ({e}); using mono"),
+            FallbackReason::PlanFailed(e) => write!(f, "no winograd plan ({e}); using im2col"),
+            FallbackReason::NumericGuard(e) => write!(f, "numeric guard tripped ({e}); using im2col"),
+        }
+    }
+}
+
+/// What actually happened when one layer executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Layer index within the network.
+    pub layer: usize,
+    /// The backend that produced the returned output.
+    pub backend: LayerBackend,
+    /// The degradation applied, if any (plan-time or execution-time).
+    pub fallback: Option<FallbackReason>,
+}
+
+/// One planned layer of a [`Network`].
+pub struct NetLayer {
+    pub plan: LayerPlan,
+    pub activation: Activation,
+    /// Downgrade recorded at plan time (`Jit → Mono` or
+    /// `plan failure → im2col`); echoed into every [`ExecutionReport`].
+    pub planned_fallback: Option<FallbackReason>,
+}
+
+/// A sequential stack of convolution layers sharing one scratch
 /// allocation.
 pub struct Network {
     layers: Vec<NetLayer>,
-    /// One scratch sized to the maximum over all layers (re-created only
-    /// when a layer's geometry requires different buffer shapes — the
-    /// paper's single-arena reuse, expressed with typed buffers).
-    scratch: Scratch,
+    /// One scratch sized to the maximum over all Winograd layers
+    /// (re-created only when a layer's geometry requires different buffer
+    /// shapes — the paper's single-arena reuse, expressed with typed
+    /// buffers). `None` when every layer is planned as im2col.
+    scratch: Option<Scratch>,
 }
 
 impl Network {
     /// Plan a network from `(out_channels, kernel_dims, padding, m,
     /// activation)` layer specs applied successively to an input of shape
     /// `(batch, in_channels, image_dims)`.
+    ///
+    /// Strict planning: any plan failure is returned as an error. Use
+    /// [`Network::with_policy`] to absorb failures into fallbacks.
     pub fn new(
         batch: usize,
         in_channels: usize,
@@ -61,38 +151,77 @@ impl Network {
         opts: ConvOptions,
         threads: usize,
     ) -> Result<Network, PlanError> {
+        Self::with_policy(
+            batch,
+            in_channels,
+            image_dims,
+            specs,
+            opts,
+            threads,
+            &FallbackPolicy::strict(),
+        )
+    }
+
+    /// Plan a network, degrading per `policy` instead of failing where the
+    /// policy allows it: a JIT plan failure retries with
+    /// [`Stage2Backend::Mono`], and a layer with no Winograd plan at all
+    /// is planned as an im2col layer. Downgrades are recorded on the
+    /// [`NetLayer`] and surface in every [`ExecutionReport`].
+    ///
+    /// Geometry errors ([`PlanError::Shape`]) always fail: no backend can
+    /// execute an ill-formed layer.
+    pub fn with_policy(
+        batch: usize,
+        in_channels: usize,
+        image_dims: &[usize],
+        specs: &[LayerSpec],
+        opts: ConvOptions,
+        threads: usize,
+        policy: &FallbackPolicy,
+    ) -> Result<Network, PlanError> {
         assert!(!specs.is_empty(), "network needs at least one layer");
         let mut layers = Vec::with_capacity(specs.len());
         let mut c = in_channels;
         let mut dims = image_dims.to_vec();
         for spec in specs {
-            let shape = ConvShape::new(batch, c, spec.out_channels, &dims, &spec.kernel, &spec.padding)?;
-            let plan = WinogradLayer::new(shape.clone(), &spec.m, opts)?;
+            let shape =
+                ConvShape::new(batch, c, spec.out_channels, &dims, &spec.kernel, &spec.padding)?;
             c = spec.out_channels;
             dims = shape.out_dims();
-            layers.push(NetLayer { plan, activation: spec.activation });
+            let (plan, planned_fallback) = match plan_with_fallback(&shape, &spec.m, opts, policy) {
+                Ok((p, None)) => (LayerPlan::Winograd(p), None),
+                Ok((p, Some(e))) => {
+                    (LayerPlan::Winograd(p), Some(FallbackReason::JitUnavailable(e)))
+                }
+                Err(e @ PlanError::Shape(_)) => return Err(e),
+                Err(e) if policy.im2col_on_plan_failure => {
+                    (LayerPlan::Im2col { shape }, Some(FallbackReason::PlanFailed(e)))
+                }
+                Err(e) => return Err(e),
+            };
+            layers.push(NetLayer { plan, activation: spec.activation, planned_fallback });
         }
 
-        // One scratch seeded with the largest layer's requirement.
+        // One scratch seeded with the largest Winograd layer's requirement.
         let scratch = Self::max_scratch(&layers, threads);
         Ok(Network { layers, scratch })
     }
 
-    fn max_scratch(layers: &[NetLayer], threads: usize) -> Scratch {
-        // Build per-layer scratches lazily and keep the largest of each
-        // component. Simpler and still exact: find the layer maximising
-        // each component size, then allocate a scratch that fits all.
-        let mut best = Scratch::new(&layers[0].plan, threads);
-        for l in &layers[1..] {
-            let s = Scratch::new(&l.plan, threads);
-            if s.bytes() > best.bytes() {
-                best = s;
+    fn max_scratch(layers: &[NetLayer], threads: usize) -> Option<Scratch> {
+        // Build per-layer scratches and keep the largest. The
+        // per-component shapes differ between layers, so Scratch is
+        // re-created per layer during execution when shapes mismatch; the
+        // winner seeds the reuse. (The paper's artifact does the same: one
+        // arena, per-layer views.)
+        let mut best: Option<Scratch> = None;
+        for l in layers {
+            if let LayerPlan::Winograd(p) = &l.plan {
+                let s = Scratch::new(p, threads);
+                if best.as_ref().is_none_or(|b| s.bytes() > b.bytes()) {
+                    best = Some(s);
+                }
             }
         }
-        // The per-component shapes differ between layers, so Scratch is
-        // re-created per layer in `forward` when shapes mismatch; `best`
-        // seeds the reuse. (The paper's artifact does the same: one arena,
-        // per-layer views.)
         best
     }
 
@@ -106,57 +235,116 @@ impl Network {
 
     /// Auxiliary bytes currently held.
     pub fn scratch_bytes(&self) -> usize {
-        self.scratch.bytes()
+        self.scratch.as_ref().map_or(0, |s| s.bytes())
     }
 
     /// Memoise all kernel transforms for inference (§4.2 "Inference
-    /// only"); pass the result to [`Self::forward_fx`].
+    /// only"); pass the result to [`Self::forward_fx`]. Layers planned as
+    /// im2col have no kernel transform and make this an
+    /// [`WinoError::Unsupported`] error.
     pub fn prepare_kernels(
         &mut self,
         kernels: &[BlockedKernels],
         exec: &dyn Executor,
-    ) -> Result<Vec<TransformedKernels>, PlanError> {
-        assert_eq!(kernels.len(), self.layers.len());
-        let layers = std::mem::take(&mut self.layers);
-        let mut out = Vec::with_capacity(kernels.len());
-        for (l, k) in layers.iter().zip(kernels) {
-            self.ensure_scratch(l, exec.threads());
-            out.push(l.plan.prepare_kernels(k, &mut self.scratch, exec));
+    ) -> Result<Vec<TransformedKernels>, WinoError> {
+        if kernels.len() != self.layers.len() {
+            return Err(WinoError::LayerCount { expected: self.layers.len(), got: kernels.len() });
         }
-        self.layers = layers;
+        let mut out = Vec::with_capacity(kernels.len());
+        for (layer, kernel) in self.layers.iter().zip(kernels) {
+            let Some(plan) = layer.plan.winograd() else {
+                return Err(WinoError::Unsupported(
+                    "kernel transforms for an im2col-planned layer",
+                ));
+            };
+            Self::ensure_scratch(&mut self.scratch, plan, exec.threads());
+            let sc = self.scratch.as_mut().expect("scratch ensured above");
+            out.push(plan.prepare_kernels(kernel, sc, exec)?);
+        }
         Ok(out)
     }
 
-    fn ensure_scratch(&mut self, layer: &NetLayer, threads: usize) {
-        let p = &layer.plan;
+    fn ensure_scratch(scratch: &mut Option<Scratch>, p: &WinogradLayer, threads: usize) {
         let need_u = |m: &BlockedMatrices, t, rows, cols, rb, cb| -> bool {
             m.t_count() == t && m.rows() == rows && m.cols() == cols && m.rb() == rb && m.cb() == cb
         };
         let b = p.block;
-        let ok = need_u(&self.scratch.u, p.t_vol(), p.rows(), p.shape.in_channels, b.n_blk, b.c_blk)
-            && need_u(&self.scratch.v, p.t_vol(), p.shape.in_channels, p.shape.out_channels, b.c_blk, b.cp_blk)
-            && self.scratch.y.n_tiles() == p.n_tiles()
-            && self.scratch.y.batch() == p.shape.batch
-            && self.scratch.y.channel_groups() == p.shape.out_channels / wino_simd::S
-            && self.scratch.y.t_vol() == p.t_vol()
-            && self.scratch.thread_slots() >= threads;
+        let ok = scratch.as_ref().is_some_and(|sc| {
+            need_u(&sc.u, p.t_vol(), p.rows(), p.shape.in_channels, b.n_blk, b.c_blk)
+                && need_u(
+                    &sc.v,
+                    p.t_vol(),
+                    p.shape.in_channels,
+                    p.shape.out_channels,
+                    b.c_blk,
+                    b.cp_blk,
+                )
+                && sc.y.n_tiles() == p.n_tiles()
+                && sc.y.batch() == p.shape.batch
+                && sc.y.channel_groups() == p.shape.out_channels / wino_simd::S
+                && sc.y.t_vol() == p.t_vol()
+                && sc.thread_slots() >= threads
+        });
         if !ok {
-            self.scratch = Scratch::new(p, threads);
+            *scratch = Some(Scratch::new(p, threads));
         }
     }
 
-    /// Run the network (training mode: kernels transformed every call).
-    /// Returns the final activation.
+    /// Execute one layer: Winograd forward plus the policy's
+    /// execution-time degradations (numeric guard, im2col re-execution).
+    ///
+    /// Pool errors ([`WinoError::Pool`]) are **not** absorbed by im2col —
+    /// a panicked worker or tripped watchdog means the executor itself is
+    /// suspect, so they always propagate.
+    pub fn run_layer(
+        &mut self,
+        index: usize,
+        input: &BlockedImage,
+        kernels: &BlockedKernels,
+        exec: &dyn Executor,
+        policy: &FallbackPolicy,
+    ) -> Result<(BlockedImage, ExecutionReport), WinoError> {
+        let layer = self
+            .layers
+            .get(index)
+            .ok_or(WinoError::Unsupported("layer index out of range"))?;
+        Self::exec_layer(&mut self.scratch, layer, index, input, kernels, exec, policy)
+    }
+
+    /// Run the whole network (training mode: kernels transformed every
+    /// call), returning the final activation plus one [`ExecutionReport`]
+    /// per layer.
+    pub fn run_net(
+        &mut self,
+        input: &BlockedImage,
+        kernels: &[BlockedKernels],
+        exec: &dyn Executor,
+        policy: &FallbackPolicy,
+    ) -> Result<(BlockedImage, Vec<ExecutionReport>), WinoError> {
+        if kernels.len() != self.layers.len() {
+            return Err(WinoError::LayerCount { expected: self.layers.len(), got: kernels.len() });
+        }
+        let mut reports = Vec::with_capacity(self.layers.len());
+        let mut current: Option<BlockedImage> = None;
+        for (i, (layer, kernel)) in self.layers.iter().zip(kernels).enumerate() {
+            let inp = current.as_ref().unwrap_or(input);
+            let (out, report) =
+                Self::exec_layer(&mut self.scratch, layer, i, inp, kernel, exec, policy)?;
+            reports.push(report);
+            current = Some(out);
+        }
+        Ok((current.expect("at least one layer"), reports))
+    }
+
+    /// Run the network strictly (training mode; no degradation, no
+    /// numeric guard). Returns the final activation.
     pub fn forward(
         &mut self,
         input: &BlockedImage,
         kernels: &[BlockedKernels],
         exec: &dyn Executor,
-    ) -> BlockedImage {
-        assert_eq!(kernels.len(), self.layers.len());
-        self.run(input, exec, |layer, inp, out, scratch, exec, i| {
-            layer.plan.forward(inp, &kernels[i], out, scratch, exec);
-        })
+    ) -> Result<BlockedImage, WinoError> {
+        self.run_net(input, kernels, exec, &FallbackPolicy::strict()).map(|(out, _)| out)
     }
 
     /// Run the network in inference mode with memoised kernel transforms.
@@ -165,35 +353,84 @@ impl Network {
         input: &BlockedImage,
         kernels: &[TransformedKernels],
         exec: &dyn Executor,
-    ) -> BlockedImage {
-        assert_eq!(kernels.len(), self.layers.len());
-        self.run(input, exec, |layer, inp, out, scratch, exec, i| {
-            layer.plan.forward_fx(inp, &kernels[i], out, scratch, exec);
-        })
-    }
-
-    fn run(
-        &mut self,
-        input: &BlockedImage,
-        exec: &dyn Executor,
-        mut step: impl FnMut(&NetLayer, &BlockedImage, &mut BlockedImage, &mut Scratch, &dyn Executor, usize),
-    ) -> BlockedImage {
-        // Move the layer list out so `self.scratch` can be borrowed
-        // mutably while iterating; restored before returning.
-        let layers = std::mem::take(&mut self.layers);
+    ) -> Result<BlockedImage, WinoError> {
+        if kernels.len() != self.layers.len() {
+            return Err(WinoError::LayerCount { expected: self.layers.len(), got: kernels.len() });
+        }
         let mut current: Option<BlockedImage> = None;
-        for (i, layer) in layers.iter().enumerate() {
-            self.ensure_scratch(layer, exec.threads());
-            let mut out = layer.plan.new_output().expect("planned shapes are valid");
+        for (layer, kernel) in self.layers.iter().zip(kernels) {
+            let Some(plan) = layer.plan.winograd() else {
+                return Err(WinoError::Unsupported(
+                    "memoised kernel transforms for an im2col-planned layer",
+                ));
+            };
+            Self::ensure_scratch(&mut self.scratch, plan, exec.threads());
+            let sc = self.scratch.as_mut().expect("scratch ensured above");
+            let mut out = plan.new_output()?;
             {
                 let inp = current.as_ref().unwrap_or(input);
-                step(layer, inp, &mut out, &mut self.scratch, exec, i);
+                plan.forward_fx(inp, kernel, &mut out, sc, exec)?;
             }
             layer.activation.apply(&mut out);
             current = Some(out);
         }
-        self.layers = layers;
-        current.expect("at least one layer")
+        Ok(current.expect("at least one layer"))
+    }
+
+    fn exec_layer(
+        scratch: &mut Option<Scratch>,
+        layer: &NetLayer,
+        index: usize,
+        input: &BlockedImage,
+        kernels: &BlockedKernels,
+        exec: &dyn Executor,
+        policy: &FallbackPolicy,
+    ) -> Result<(BlockedImage, ExecutionReport), WinoError> {
+        let mut report =
+            ExecutionReport { layer: index, backend: LayerBackend::Im2col, fallback: layer.planned_fallback };
+        let mut out = match &layer.plan {
+            LayerPlan::Winograd(plan) => {
+                report.backend = match plan.opts.stage2 {
+                    Stage2Backend::Jit => LayerBackend::WinogradJit,
+                    Stage2Backend::Mono => LayerBackend::WinogradMono,
+                };
+                Self::ensure_scratch(scratch, plan, exec.threads());
+                let sc = scratch.as_mut().expect("scratch ensured above");
+                let mut out = plan.new_output()?;
+                plan.forward(input, kernels, &mut out, sc, exec)?;
+                // The guard must run BEFORE the activation: ReLU computes
+                // `f32::max(x, 0.0)`, which maps NaN to 0.0 and would hide
+                // the corruption.
+                let guard = if policy.check_numerics {
+                    check_finite("output", out.as_slice())
+                } else {
+                    Ok(())
+                };
+                match guard {
+                    Ok(()) => out,
+                    Err(e) if policy.im2col_on_numeric => {
+                        report.backend = LayerBackend::Im2col;
+                        report.fallback = Some(FallbackReason::NumericGuard(e));
+                        Self::im2col_layer(&plan.shape, input, kernels, exec)?
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            LayerPlan::Im2col { shape } => Self::im2col_layer(shape, input, kernels, exec)?,
+        };
+        layer.activation.apply(&mut out);
+        Ok((out, report))
+    }
+
+    fn im2col_layer(
+        shape: &ConvShape,
+        input: &BlockedImage,
+        kernels: &BlockedKernels,
+        exec: &dyn Executor,
+    ) -> Result<BlockedImage, WinoError> {
+        let mut out = BlockedImage::zeros(shape.batch, shape.out_channels, &shape.out_dims())?;
+        wino_baseline::im2col_conv(input, kernels, &shape.padding, &mut out, exec)?;
+        Ok(out)
     }
 }
 
@@ -231,7 +468,7 @@ mod tests {
         net.layers()
             .iter()
             .map(|l| {
-                let s = &l.plan.shape;
+                let s = l.plan.shape();
                 let k = SimpleKernels::from_fn(s.out_channels, s.in_channels, &s.kernel_dims, |co, ci, xy| {
                     ((co * 7 + ci * 3 + xy.iter().sum::<usize>() + seed) % 13) as f32 * 0.05 - 0.3
                 });
@@ -251,7 +488,7 @@ mod tests {
         });
         let input = BlockedImage::from_simple(&img).unwrap();
         let kernels = kernels_for(&net, 0);
-        let out = net.forward(&input, &kernels, &SerialExecutor);
+        let out = net.forward(&input, &kernels, &SerialExecutor).unwrap();
 
         // Manual chaining with fresh plans and scratches.
         let s1 = ConvShape::new(1, 16, 32, &[12, 12], &[3, 3], &[1, 1]).unwrap();
@@ -261,12 +498,12 @@ mod tests {
         let mut sc1 = Scratch::new(&p1, 1);
         let mut sc2 = Scratch::new(&p2, 1);
         let mut a1 = p1.new_output().unwrap();
-        p1.forward(&input, &kernels[0], &mut a1, &mut sc1, &SerialExecutor);
+        p1.forward(&input, &kernels[0], &mut a1, &mut sc1, &SerialExecutor).unwrap();
         for v in a1.as_mut_slice() {
             *v = v.max(0.0);
         }
         let mut a2 = p2.new_output().unwrap();
-        p2.forward(&a1, &kernels[1], &mut a2, &mut sc2, &SerialExecutor);
+        p2.forward(&a1, &kernels[1], &mut a2, &mut sc2, &SerialExecutor).unwrap();
         for v in a2.as_mut_slice() {
             *v = v.max(0.0);
         }
@@ -280,9 +517,9 @@ mod tests {
         let img = SimpleImage::from_fn(1, 16, &[14, 14], |_, c, xy| (c + xy[0] + xy[1]) as f32 * 0.02);
         let input = BlockedImage::from_simple(&img).unwrap();
         let kernels = kernels_for(&net, 5);
-        let train = net.forward(&input, &kernels, &SerialExecutor);
+        let train = net.forward(&input, &kernels, &SerialExecutor).unwrap();
         let tks = net.prepare_kernels(&kernels, &SerialExecutor).unwrap();
-        let fx = net.forward_fx(&input, &tks, &SerialExecutor);
+        let fx = net.forward_fx(&input, &tks, &SerialExecutor).unwrap();
         assert_eq!(train.as_slice(), fx.as_slice());
     }
 
@@ -302,7 +539,7 @@ mod tests {
         let img = SimpleImage::from_fn(1, 16, &[16, 16], |_, c, xy| (c + xy[0]) as f32 * 0.01);
         let input = BlockedImage::from_simple(&img).unwrap();
         let kernels = kernels_for(&net, 9);
-        let out = net.forward(&input, &kernels, &SerialExecutor);
+        let out = net.forward(&input, &kernels, &SerialExecutor).unwrap();
         assert_eq!(out.dims, vec![10, 10]); // 16 -> 14 -> 12 -> 10
     }
 
@@ -315,9 +552,9 @@ mod tests {
         let img = SimpleImage::from_fn(1, 16, &[10, 10], |_, c, xy| (c + xy[0]) as f32 * 0.02);
         let input = BlockedImage::from_simple(&img).unwrap();
         let kernels = kernels_for(&net, 4);
-        let serial = net.forward(&input, &kernels, &SerialExecutor);
+        let serial = net.forward(&input, &kernels, &SerialExecutor).unwrap();
         let pool = wino_sched::StaticExecutor::new(4);
-        let parallel = net.forward(&input, &kernels, &pool);
+        let parallel = net.forward(&input, &kernels, &pool).unwrap();
         assert_eq!(serial.as_slice(), parallel.as_slice());
     }
 
@@ -328,8 +565,136 @@ mod tests {
         let img = SimpleImage::from_fn(2, 16, &[10, 10], |b, c, xy| (b + c + xy[1]) as f32 * 0.03);
         let input = BlockedImage::from_simple(&img).unwrap();
         let kernels = kernels_for(&net, 2);
-        let a = net.forward(&input, &kernels, &SerialExecutor);
-        let b = net.forward(&input, &kernels, &SerialExecutor);
+        let a = net.forward(&input, &kernels, &SerialExecutor).unwrap();
+        let b = net.forward(&input, &kernels, &SerialExecutor).unwrap();
         assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn layer_count_mismatch_is_typed() {
+        let specs = vec![LayerSpec::same(16, 2, 3, 2)];
+        let mut net = Network::new(1, 16, &[10, 10], &specs, ConvOptions::default(), 1).unwrap();
+        let img = SimpleImage::from_fn(1, 16, &[10, 10], |_, c, xy| (c + xy[0]) as f32 * 0.02);
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let err = net.forward(&input, &[], &SerialExecutor).unwrap_err();
+        assert!(matches!(err, WinoError::LayerCount { expected: 1, got: 0 }));
+        let err = net.run_net(&input, &[], &SerialExecutor, &FallbackPolicy::default()).unwrap_err();
+        assert!(matches!(err, WinoError::LayerCount { expected: 1, got: 0 }));
+    }
+
+    #[test]
+    fn clean_net_reports_winograd_backend() {
+        let specs = vec![LayerSpec::same(16, 2, 3, 2), LayerSpec::same(16, 2, 3, 2)];
+        let mut net =
+            Network::with_policy(1, 16, &[10, 10], &specs, ConvOptions::default(), 1, &FallbackPolicy::default())
+                .unwrap();
+        let img = SimpleImage::from_fn(1, 16, &[10, 10], |_, c, xy| (c + xy[1]) as f32 * 0.02);
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 3);
+        let (_, reports) =
+            net.run_net(&input, &kernels, &SerialExecutor, &FallbackPolicy::default()).unwrap();
+        assert_eq!(reports.len(), 2);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.layer, i);
+            assert_eq!(r.backend, LayerBackend::WinogradMono);
+            assert!(r.fallback.is_none());
+        }
+    }
+
+    #[test]
+    fn unplannable_layer_degrades_to_im2col() {
+        // m = 40 on a 10×10 output is BadTileSize: strict planning fails…
+        let specs = vec![LayerSpec {
+            out_channels: 16,
+            kernel: vec![3, 3],
+            padding: vec![1, 1],
+            m: vec![40, 40],
+            activation: Activation::Relu,
+        }];
+        assert!(matches!(
+            Network::new(1, 16, &[10, 10], &specs, ConvOptions::default(), 1),
+            Err(PlanError::BadTileSize { .. })
+        ));
+
+        // …while the permissive policy plans the layer as im2col and the
+        // result matches a well-planned Winograd net within 1e-4.
+        let mut net = Network::with_policy(
+            1,
+            16,
+            &[10, 10],
+            &specs,
+            ConvOptions::default(),
+            1,
+            &FallbackPolicy::default(),
+        )
+        .unwrap();
+        assert!(net.layers()[0].plan.winograd().is_none());
+        assert!(matches!(
+            net.layers()[0].planned_fallback,
+            Some(FallbackReason::PlanFailed(PlanError::BadTileSize { .. }))
+        ));
+        assert_eq!(net.scratch_bytes(), 0); // no Winograd layer, no scratch
+
+        let img = SimpleImage::from_fn(1, 16, &[10, 10], |_, c, xy| {
+            ((c + xy[0] * 2 + xy[1]) % 9) as f32 * 0.07 - 0.3
+        });
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 6);
+        let (out, reports) =
+            net.run_net(&input, &kernels, &SerialExecutor, &FallbackPolicy::default()).unwrap();
+        assert_eq!(reports[0].backend, LayerBackend::Im2col);
+        assert!(matches!(reports[0].fallback, Some(FallbackReason::PlanFailed(_))));
+
+        let good = vec![LayerSpec { m: vec![2, 2], ..specs[0].clone() }];
+        let mut wino = Network::new(1, 16, &[10, 10], &good, ConvOptions::default(), 1).unwrap();
+        let reference = wino.forward(&input, &kernels, &SerialExecutor).unwrap();
+        assert_eq!(out.as_slice().len(), reference.as_slice().len());
+        for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "im2col fallback diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn im2col_layer_rejects_kernel_memoisation() {
+        let specs = vec![LayerSpec {
+            out_channels: 16,
+            kernel: vec![3, 3],
+            padding: vec![1, 1],
+            m: vec![40, 40],
+            activation: Activation::None,
+        }];
+        let mut net = Network::with_policy(
+            1,
+            16,
+            &[10, 10],
+            &specs,
+            ConvOptions::default(),
+            1,
+            &FallbackPolicy::default(),
+        )
+        .unwrap();
+        let kernels = kernels_for(&net, 1);
+        assert!(matches!(
+            net.prepare_kernels(&kernels, &SerialExecutor),
+            Err(WinoError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn run_layer_executes_one_layer() {
+        let specs = vec![LayerSpec::same(16, 2, 3, 2), LayerSpec::same(16, 2, 3, 2)];
+        let mut net = Network::new(1, 16, &[10, 10], &specs, ConvOptions::default(), 1).unwrap();
+        let img = SimpleImage::from_fn(1, 16, &[10, 10], |_, c, xy| (c + xy[0]) as f32 * 0.02);
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 8);
+        let policy = FallbackPolicy::default();
+        let (a1, r1) = net.run_layer(0, &input, &kernels[0], &SerialExecutor, &policy).unwrap();
+        let (a2, r2) = net.run_layer(1, &a1, &kernels[1], &SerialExecutor, &policy).unwrap();
+        assert_eq!(r1.layer, 0);
+        assert_eq!(r2.layer, 1);
+        let full = net.forward(&input, &kernels, &SerialExecutor).unwrap();
+        assert_eq!(a2.as_slice(), full.as_slice());
+        // Out-of-range index is a typed error, not a panic.
+        assert!(net.run_layer(9, &input, &kernels[0], &SerialExecutor, &policy).is_err());
     }
 }

@@ -7,6 +7,9 @@
 //! it holds `I` (transformed inputs), `W` (transformed kernels), `I'_tmp`
 //! and tile-major `I'`, and is reused across layers.
 
+// Index-based loops are the idiom throughout: most walk several
+// arrays with derived offsets, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 use std::cell::UnsafeCell;
 
 use wino_gemm::{default_shape, BlockShape};
@@ -65,7 +68,12 @@ impl Default for ConvOptions {
 }
 
 /// Errors from plan construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy` by design: fallback decisions record the original error in an
+/// [`crate::net::ExecutionReport`] while also propagating it, so the type
+/// must be freely duplicable. The `reason` fields are static reason codes,
+/// not formatted strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanError {
     Shape(ShapeError),
     /// Rank exceeds [`MAX_RANK`].
@@ -73,10 +81,10 @@ pub enum PlanError {
     /// Requested tile size is numerically or structurally unusable.
     BadTileSize { dim: usize, m: usize },
     /// Blocking parameters incompatible with the channel counts.
-    BadBlocking { reason: String },
+    BadBlocking { reason: &'static str },
     /// JIT stage-2 backend requested but unavailable (no AVX-512F, or
     /// code emission failed).
-    Jit { reason: String },
+    Jit { reason: &'static str },
 }
 
 impl std::fmt::Display for PlanError {
@@ -143,10 +151,10 @@ impl WinogradLayer {
         if rank > MAX_RANK {
             return Err(PlanError::RankTooHigh { rank });
         }
-        if shape.in_channels % S != 0 {
+        if !shape.in_channels.is_multiple_of(S) {
             return Err(ShapeError::ChannelsNotVectorMultiple { channels: shape.in_channels }.into());
         }
-        if shape.out_channels % S != 0 {
+        if !shape.out_channels.is_multiple_of(S) {
             return Err(
                 ShapeError::ChannelsNotVectorMultiple { channels: shape.out_channels }.into()
             );
@@ -162,27 +170,22 @@ impl WinogradLayer {
         let rows = grid.total_tiles() * shape.batch;
         let block = match opts.block {
             Some(b) => {
-                if shape.in_channels % b.c_blk != 0 {
+                if !shape.in_channels.is_multiple_of(b.c_blk) {
                     return Err(PlanError::BadBlocking {
-                        reason: format!("C={} not divisible by C_blk={}", shape.in_channels, b.c_blk),
+                        reason: "C not divisible by C_blk",
                     });
                 }
-                if shape.out_channels % b.cp_blk != 0 {
+                if !shape.out_channels.is_multiple_of(b.cp_blk) {
                     return Err(PlanError::BadBlocking {
-                        reason: format!(
-                            "C'={} not divisible by C'_blk={}",
-                            shape.out_channels, b.cp_blk
-                        ),
+                        reason: "C' not divisible by C'_blk",
                     });
                 }
                 if b.n_blk == 0 || b.n_blk > wino_gemm::MAX_N_BLK {
-                    return Err(PlanError::BadBlocking {
-                        reason: format!("n_blk={} out of range", b.n_blk),
-                    });
+                    return Err(PlanError::BadBlocking { reason: "n_blk out of range" });
                 }
                 if b.c_blk % S != 0 || b.cp_blk % S != 0 {
                     return Err(PlanError::BadBlocking {
-                        reason: "C_blk and C'_blk must be multiples of 16".into(),
+                        reason: "C_blk and C'_blk must be multiples of 16",
                     });
                 }
                 b
@@ -206,8 +209,14 @@ impl WinogradLayer {
         rows: usize,
         opts: ConvOptions,
     ) -> Result<JitStage2, PlanError> {
-        use wino_jit::{JitKernel, JitOutput};
-        let jit_err = |e: wino_jit::JitError| PlanError::Jit { reason: e.to_string() };
+        use wino_jit::{JitError, JitKernel, JitOutput};
+        let jit_err = |e: JitError| PlanError::Jit {
+            reason: match e {
+                JitError::Avx512Unavailable => "AVX-512F not available on this CPU",
+                JitError::BadParams(reason) => reason,
+                JitError::Os(_) => "executable mapping failed",
+            },
+        };
         let k_blocks = shape.in_channels / block.c_blk;
         let tail = rows % block.n_blk;
         let t_vol = grid.tile_volume();

@@ -1,4 +1,4 @@
-//! Automatic `F(m, r)` tile-size selection.
+//! Automatic `F(m, r)` tile-size selection and plan-time fallback.
 //!
 //! §5.1 shows that the best tile size depends on the layer: large `m`
 //! saves multiplications but pads the output grid (ceil-division
@@ -8,11 +8,87 @@
 //! pass for each, return the fastest plan. Numerical limits from Table 3
 //! (f32: `m ≤ 6` per dimension for training, `m ≤ 8` for inference) bound
 //! the search space.
+//!
+//! The module also hosts the *plan-time* half of the graceful-degradation
+//! chain (`Jit → Mono → im2col`): [`FallbackPolicy`] says which downgrades
+//! are allowed and [`plan_with_fallback`] applies the first link — retrying
+//! a failed JIT plan with the monomorphised stage-2 backend. The remaining
+//! links (im2col on plan failure or on a numeric-guard trip) live in
+//! [`crate::net`], which owns layer execution.
 
 use wino_sched::Executor;
 use wino_tensor::{BlockedImage, BlockedKernels, ConvShape};
 
-use crate::plan::{ConvOptions, PlanError, Scratch, WinogradLayer};
+use crate::error::WinoError;
+use crate::plan::{ConvOptions, PlanError, Scratch, Stage2Backend, WinogradLayer};
+
+/// Which degradations the execution layer may apply instead of failing.
+///
+/// The full chain, applied in order: a JIT plan failure retries with the
+/// Mono backend; a plan failure of any backend falls back to im2col; a
+/// numeric-guard trip re-executes the layer with im2col. Disable links to
+/// make the corresponding failure a hard error instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FallbackPolicy {
+    /// On [`PlanError::Jit`], replan with [`Stage2Backend::Mono`].
+    pub jit_to_mono: bool,
+    /// If no Winograd plan exists at all, run the layer via the
+    /// `wino-baseline` im2col convolution.
+    pub im2col_on_plan_failure: bool,
+    /// Scan each layer's output for NaN/Inf after execution.
+    pub check_numerics: bool,
+    /// If the numeric guard trips, re-execute the layer via im2col
+    /// (requires `check_numerics`; without this, a trip is an error).
+    pub im2col_on_numeric: bool,
+}
+
+impl Default for FallbackPolicy {
+    /// Everything enabled: maximum graceful degradation.
+    fn default() -> Self {
+        FallbackPolicy {
+            jit_to_mono: true,
+            im2col_on_plan_failure: true,
+            check_numerics: true,
+            im2col_on_numeric: true,
+        }
+    }
+}
+
+impl FallbackPolicy {
+    /// No degradation: every failure is a hard error (the behaviour of the
+    /// plain [`WinogradLayer::new`] / [`crate::Network::new`] APIs).
+    pub fn strict() -> Self {
+        FallbackPolicy {
+            jit_to_mono: false,
+            im2col_on_plan_failure: false,
+            check_numerics: false,
+            im2col_on_numeric: false,
+        }
+    }
+}
+
+/// Plan a layer, applying the policy's Jit → Mono downgrade.
+///
+/// `Ok((plan, Some(e)))` means the requested JIT backend failed with `e`
+/// and the returned plan uses [`Stage2Backend::Mono`] instead. Failures
+/// the policy does not cover (or a Mono retry that also fails) are
+/// returned as `Err` — the caller decides whether im2col absorbs them.
+pub fn plan_with_fallback(
+    shape: &ConvShape,
+    m: &[usize],
+    opts: ConvOptions,
+    policy: &FallbackPolicy,
+) -> Result<(WinogradLayer, Option<PlanError>), PlanError> {
+    match WinogradLayer::new(shape.clone(), m, opts) {
+        Ok(plan) => Ok((plan, None)),
+        Err(e @ PlanError::Jit { .. }) if policy.jit_to_mono && opts.stage2 == Stage2Backend::Jit => {
+            let mono = ConvOptions { stage2: Stage2Backend::Mono, ..opts };
+            let plan = WinogradLayer::new(shape.clone(), m, mono)?;
+            Ok((plan, Some(e)))
+        }
+        Err(e) => Err(e),
+    }
+}
 
 /// What the selected plan will be used for — bounds the largest tile per
 /// Table 3's accuracy limits.
@@ -61,14 +137,17 @@ pub struct Selection {
 /// Empirically select the fastest `F(m, r)` for a layer by timing one
 /// warm-up plus `reps` forward passes per candidate on synthetic data.
 ///
-/// Returns `PlanError` only if *no* candidate is plannable.
+/// Unplannable candidates are skipped; an execution failure (worker panic,
+/// watchdog timeout) aborts the search, since later timings on a degraded
+/// pool would be meaningless. Returns an error only if *no* candidate is
+/// plannable or execution failed.
 pub fn select_tile(
     shape: &ConvShape,
     opts: ConvOptions,
     purpose: Purpose,
     exec: &dyn Executor,
     reps: usize,
-) -> Result<Selection, PlanError> {
+) -> Result<Selection, WinoError> {
     let mut input = BlockedImage::zeros(shape.batch, shape.in_channels, &shape.image_dims)?;
     for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
         *v = ((i * 2654435761) >> 22 & 0xff) as f32 / 1275.0 - 0.1;
@@ -91,11 +170,11 @@ pub fn select_tile(
         };
         let mut scratch = Scratch::new(&plan, exec.threads());
         let mut out = plan.new_output()?;
-        plan.forward(&input, &kernels, &mut out, &mut scratch, exec); // warm-up
+        plan.forward(&input, &kernels, &mut out, &mut scratch, exec)?; // warm-up
         let mut best = f64::INFINITY;
         for _ in 0..reps.max(1) {
             let t0 = std::time::Instant::now();
-            plan.forward(&input, &kernels, &mut out, &mut scratch, exec);
+            plan.forward(&input, &kernels, &mut out, &mut scratch, exec)?;
             best = best.min(t0.elapsed().as_secs_f64() * 1e3);
         }
         std::hint::black_box(out.as_slice().first());
@@ -107,7 +186,7 @@ pub fn select_tile(
             let plan = WinogradLayer::new(shape.clone(), &m, opts)?;
             Ok(Selection { plan, m, best_ms, trials })
         }
-        None => Err(last_err.unwrap_or(PlanError::BadTileSize { dim: 0, m: 0 })),
+        None => Err(last_err.unwrap_or(PlanError::BadTileSize { dim: 0, m: 0 }).into()),
     }
 }
 
@@ -153,5 +232,54 @@ mod tests {
         let sel =
             select_tile(&s, ConvOptions::default(), Purpose::Training, &SerialExecutor, 1).unwrap();
         assert_eq!(sel.m.len(), 3);
+    }
+
+    #[test]
+    fn policy_defaults_and_strict() {
+        let p = FallbackPolicy::default();
+        assert!(p.jit_to_mono && p.im2col_on_plan_failure && p.check_numerics && p.im2col_on_numeric);
+        let s = FallbackPolicy::strict();
+        assert!(!s.jit_to_mono && !s.im2col_on_plan_failure && !s.check_numerics && !s.im2col_on_numeric);
+    }
+
+    #[test]
+    fn plan_fallback_passes_through_clean_plans() {
+        let s = ConvShape::new(1, 16, 16, &[10, 10], &[3, 3], &[1, 1]).unwrap();
+        let (plan, fb) =
+            plan_with_fallback(&s, &[2, 2], ConvOptions::default(), &FallbackPolicy::default())
+                .unwrap();
+        assert!(fb.is_none());
+        assert_eq!(plan.opts.stage2, Stage2Backend::Mono);
+    }
+
+    #[test]
+    fn plan_fallback_downgrades_jit_to_mono() {
+        if wino_simd::cpu_has_avx512f() {
+            // The JIT plan would succeed here; the downgrade path is
+            // covered on non-AVX-512 hosts and by the net-level tests.
+            return;
+        }
+        let s = ConvShape::new(1, 16, 16, &[10, 10], &[3, 3], &[1, 1]).unwrap();
+        let opts = ConvOptions { stage2: Stage2Backend::Jit, ..Default::default() };
+        let (plan, fb) =
+            plan_with_fallback(&s, &[2, 2], opts, &FallbackPolicy::default()).unwrap();
+        assert_eq!(plan.opts.stage2, Stage2Backend::Mono);
+        assert!(matches!(fb, Some(PlanError::Jit { .. })));
+
+        // Strict policy: the JIT failure surfaces.
+        assert!(matches!(
+            plan_with_fallback(&s, &[2, 2], opts, &FallbackPolicy::strict()),
+            Err(PlanError::Jit { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_fallback_does_not_mask_other_errors() {
+        let s = ConvShape::new(1, 16, 16, &[10, 10], &[3, 3], &[1, 1]).unwrap();
+        // Tile too large: not a JIT failure, must propagate unchanged.
+        assert!(matches!(
+            plan_with_fallback(&s, &[40, 4], ConvOptions::default(), &FallbackPolicy::default()),
+            Err(PlanError::BadTileSize { .. })
+        ));
     }
 }

@@ -18,6 +18,7 @@ use wino_simd::{F32x16, S};
 use wino_tensor::BlockedImage;
 use wino_tensor::BlockedKernels;
 
+use crate::error::{ensure_at_least, ensure_dims_eq, ensure_eq, WinoError};
 use crate::plan::{Scratch, WinogradLayer, MAX_RANK};
 
 /// Decompose a flat row-major index into coordinates (no allocation).
@@ -132,11 +133,11 @@ pub fn transform_inputs(
     input: &BlockedImage,
     scratch: &mut Scratch,
     exec: &dyn Executor,
-) {
-    assert!(scratch.thread_slots() >= exec.threads(), "scratch has too few thread slots");
-    assert_eq!(input.batch, layer.shape.batch);
-    assert_eq!(input.channels, layer.shape.in_channels);
-    assert_eq!(input.dims, layer.shape.image_dims);
+) -> Result<(), WinoError> {
+    ensure_at_least("scratch thread slots", exec.threads(), scratch.thread_slots())?;
+    ensure_eq("input batch", layer.shape.batch, input.batch)?;
+    ensure_eq("input channels", layer.shape.in_channels, input.channels)?;
+    ensure_dims_eq("input extent", &layer.shape.image_dims, &input.dims)?;
 
     let rank = layer.rank();
     let n_tiles = layer.n_tiles();
@@ -197,7 +198,12 @@ pub fn transform_inputs(
         // SAFETY: disjoint (n', cg) ranges per task; offsets in bounds by
         // construction of `u`.
         unsafe { scatter_vectors(result, u_ptr.get(), base, t_stride, t_vol, streaming) };
-    });
+    })?;
+    #[cfg(feature = "fault-inject")]
+    if wino_sched::fault::take_poison_stage(1) {
+        scratch.u.as_mut_slice()[0] = f32::NAN;
+    }
+    Ok(())
 }
 
 /// Operation ③④: transform all kernels into `scratch.v`.
@@ -206,11 +212,11 @@ pub fn transform_kernels(
     kernels: &BlockedKernels,
     scratch: &mut Scratch,
     exec: &dyn Executor,
-) {
-    assert!(scratch.thread_slots() >= exec.threads(), "scratch has too few thread slots");
-    assert_eq!(kernels.in_channels, layer.shape.in_channels);
-    assert_eq!(kernels.out_channels, layer.shape.out_channels);
-    assert_eq!(kernels.dims, layer.shape.kernel_dims);
+) -> Result<(), WinoError> {
+    ensure_at_least("scratch thread slots", exec.threads(), scratch.thread_slots())?;
+    ensure_eq("kernel in-channels", layer.shape.in_channels, kernels.in_channels)?;
+    ensure_eq("kernel out-channels", layer.shape.out_channels, kernels.out_channels)?;
+    ensure_dims_eq("kernel extent", &layer.shape.kernel_dims, &kernels.dims)?;
 
     let rank = layer.rank();
     let t_vol = layer.t_vol();
@@ -253,7 +259,8 @@ pub fn transform_kernels(
         let base = ((rb_i * col_blocks + cb_i) * t_vol) * t_stride + r_in * cp_blk + c_in;
         // SAFETY: disjoint (c, og) ranges per task.
         unsafe { scatter_vectors(result, v_ptr.get(), base, t_stride, t_vol, streaming) };
-    });
+    })?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -312,7 +319,7 @@ mod tests {
             });
             let blocked = BlockedImage::from_simple(&img).unwrap();
             let mut scratch = Scratch::new(&layer, 1);
-            transform_inputs(&layer, &blocked, &mut scratch, &SerialExecutor);
+            transform_inputs(&layer, &blocked, &mut scratch, &SerialExecutor).unwrap();
 
             let td = &layer.grid.tile_dims;
             for n_prime in [0usize, 5, layer.rows() - 1] {
@@ -341,7 +348,7 @@ mod tests {
         });
         let blocked = BlockedKernels::from_simple(&ker).unwrap();
         let mut scratch = Scratch::new(&layer, 1);
-        transform_kernels(&layer, &blocked, &mut scratch, &SerialExecutor);
+        transform_kernels(&layer, &blocked, &mut scratch, &SerialExecutor).unwrap();
 
         let g0 = layer.plans[0].transform.g.to_f32();
         let g1 = layer.plans[1].transform.g.to_f32();
@@ -379,9 +386,9 @@ mod tests {
         let blocked = BlockedImage::from_simple(&img).unwrap();
         let mut s1 = Scratch::new(&layer, 1);
         let mut s2 = Scratch::new(&layer, 4);
-        transform_inputs(&layer, &blocked, &mut s1, &SerialExecutor);
+        transform_inputs(&layer, &blocked, &mut s1, &SerialExecutor).unwrap();
         let pool = StaticExecutor::new(4);
-        transform_inputs(&layer, &blocked, &mut s2, &pool);
+        transform_inputs(&layer, &blocked, &mut s2, &pool).unwrap();
         assert_eq!(s1.u.as_slice(), s2.u.as_slice());
     }
 
@@ -394,7 +401,7 @@ mod tests {
             let opts = ConvOptions { streaming_stores: streaming, ..Default::default() };
             let layer = WinogradLayer::new(shape.clone(), &[2, 2], opts).unwrap();
             let mut s = Scratch::new(&layer, 1);
-            transform_inputs(&layer, &blocked, &mut s, &SerialExecutor);
+            transform_inputs(&layer, &blocked, &mut s, &SerialExecutor).unwrap();
             s
         };
         let a = mk(true);

@@ -11,10 +11,14 @@
 //! [`crate::ConvOptions::fused_scatter`] to `false` reverts to
 //! plain GEMM + a separate copy pass (the ablation baseline).
 
+// Index-based loops are the idiom throughout: most walk several
+// arrays with derived offsets, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 use wino_gemm::{microkernel, MicroArgs, Output};
 use wino_sched::Executor;
 use wino_simd::{F32x16, S};
 
+use crate::error::{ensure_eq, WinoError};
 use crate::plan::{Scratch, WinogradLayer};
 
 struct MutPtr(*mut f32);
@@ -31,13 +35,18 @@ impl MutPtr {
 /// Reads `scratch.u` / `scratch.v`, produces the tile-major `scratch.y`
 /// (via fused scatter, or via `scratch.x` plus a copy pass when the fusion
 /// is disabled).
-pub fn multiply(layer: &WinogradLayer, scratch: &mut Scratch, exec: &dyn Executor) {
+pub fn multiply(
+    layer: &WinogradLayer,
+    scratch: &mut Scratch,
+    exec: &dyn Executor,
+) -> Result<(), WinoError> {
     let v = std::mem::replace(
         &mut scratch.v,
         wino_tensor::BlockedMatrices::new(1, 1, 16, 1, 16),
     );
-    multiply_with(layer, scratch, &v, exec);
+    let result = multiply_with(layer, scratch, &v, exec);
     scratch.v = v;
+    result
 }
 
 /// As [`multiply`], but against externally stored kernel transforms — the
@@ -48,12 +57,12 @@ pub fn multiply_with(
     scratch: &mut Scratch,
     v_ext: &wino_tensor::BlockedMatrices,
     exec: &dyn Executor,
-) {
-    assert_eq!(v_ext.t_count(), layer.t_vol(), "kernel transforms for a different tile size");
-    assert_eq!(v_ext.rows(), layer.shape.in_channels);
-    assert_eq!(v_ext.cols(), layer.shape.out_channels);
-    assert_eq!(v_ext.rb(), layer.block.c_blk, "kernel transforms use a different C_blk");
-    assert_eq!(v_ext.cb(), layer.block.cp_blk, "kernel transforms use a different C'_blk");
+) -> Result<(), WinoError> {
+    ensure_eq("kernel-transform tile count", layer.t_vol(), v_ext.t_count())?;
+    ensure_eq("kernel-transform rows", layer.shape.in_channels, v_ext.rows())?;
+    ensure_eq("kernel-transform cols", layer.shape.out_channels, v_ext.cols())?;
+    ensure_eq("kernel-transform C_blk", layer.block.c_blk, v_ext.rb())?;
+    ensure_eq("kernel-transform C'_blk", layer.block.cp_blk, v_ext.cb())?;
     let t_vol = layer.t_vol();
     let n_tiles = layer.n_tiles();
     let rows = layer.rows();
@@ -155,16 +164,25 @@ pub fn multiply_with(
             // are multiples of S) and disjoint from u/v/x.
             unsafe { microkernel(n_blk, &args) };
         }
-    });
+    })?;
 
     if !fused {
-        scatter_pass(layer, scratch, exec);
+        scatter_pass(layer, scratch, exec)?;
     }
+    #[cfg(feature = "fault-inject")]
+    if wino_sched::fault::take_poison_stage(2) {
+        scratch.y.as_mut_slice()[0] = f32::NAN;
+    }
+    Ok(())
 }
 
 /// The unfused alternative to operation ⑥: copy `scratch.x` into the
 /// tile-major `scratch.y` in a separate parallel pass.
-fn scatter_pass(layer: &WinogradLayer, scratch: &mut Scratch, exec: &dyn Executor) {
+fn scatter_pass(
+    layer: &WinogradLayer,
+    scratch: &mut Scratch,
+    exec: &dyn Executor,
+) -> Result<(), WinoError> {
     let t_vol = layer.t_vol();
     let n_tiles = layer.n_tiles();
     let (n_blk, cp_blk) = (layer.block.n_blk, layer.block.cp_blk);
@@ -200,7 +218,8 @@ fn scatter_pass(layer: &WinogradLayer, scratch: &mut Scratch, exec: &dyn Executo
                 }
             }
         }
-    });
+    })?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -258,7 +277,7 @@ mod tests {
     fn fused_scatter_produces_correct_y() {
         let (layer, mut scratch) = make(true, 32, 32);
         fill_uv(&mut scratch);
-        multiply(&layer, &mut scratch, &SerialExecutor);
+        multiply(&layer, &mut scratch, &SerialExecutor).unwrap();
         check_y(&layer, &scratch);
     }
 
@@ -269,8 +288,8 @@ mod tests {
         fill_uv(&mut sf);
         fill_uv(&mut su);
         assert_eq!(sf.u.as_slice(), su.u.as_slice());
-        multiply(&layer_f, &mut sf, &SerialExecutor);
-        multiply(&layer_u, &mut su, &SerialExecutor);
+        multiply(&layer_f, &mut sf, &SerialExecutor).unwrap();
+        multiply(&layer_u, &mut su, &SerialExecutor).unwrap();
         assert_eq!(sf.y.as_slice(), su.y.as_slice());
     }
 
@@ -280,9 +299,9 @@ mod tests {
         let (_, mut s2) = make(true, 32, 32);
         fill_uv(&mut s1);
         fill_uv(&mut s2);
-        multiply(&layer, &mut s1, &SerialExecutor);
+        multiply(&layer, &mut s1, &SerialExecutor).unwrap();
         let pool = StaticExecutor::new(4);
-        multiply(&layer, &mut s2, &pool);
+        multiply(&layer, &mut s2, &pool).unwrap();
         assert_eq!(s1.y.as_slice(), s2.y.as_slice());
     }
 
@@ -297,7 +316,7 @@ mod tests {
         let layer = WinogradLayer::new(s, &[2, 2], opts).unwrap();
         let mut scratch = Scratch::new(&layer, 1);
         fill_uv(&mut scratch);
-        multiply(&layer, &mut scratch, &SerialExecutor);
+        multiply(&layer, &mut scratch, &SerialExecutor).unwrap();
         check_y(&layer, &scratch);
     }
 }

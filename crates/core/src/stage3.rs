@@ -15,6 +15,7 @@ use wino_sched::Executor;
 use wino_simd::{F32x16, S};
 use wino_tensor::BlockedImage;
 
+use crate::error::{ensure_at_least, ensure_dims_eq, ensure_eq, WinoError};
 use crate::plan::{Scratch, WinogradLayer, MAX_RANK};
 use crate::stage1::decompose;
 
@@ -34,12 +35,12 @@ pub fn inverse_transform(
     scratch: &mut Scratch,
     output: &mut BlockedImage,
     exec: &dyn Executor,
-) {
-    assert!(scratch.thread_slots() >= exec.threads(), "scratch has too few thread slots");
+) -> Result<(), WinoError> {
+    ensure_at_least("scratch thread slots", exec.threads(), scratch.thread_slots())?;
     let out_dims = layer.shape.out_dims();
-    assert_eq!(output.batch, layer.shape.batch);
-    assert_eq!(output.channels, layer.shape.out_channels);
-    assert_eq!(output.dims, out_dims);
+    ensure_eq("output batch", layer.shape.batch, output.batch)?;
+    ensure_eq("output channels", layer.shape.out_channels, output.channels)?;
+    ensure_dims_eq("output extent", &out_dims, &output.dims)?;
 
     let rank = layer.rank();
     let t_vol = layer.t_vol();
@@ -122,7 +123,12 @@ pub fn inverse_transform(
                 }
             }
         }
-    });
+    })?;
+    #[cfg(feature = "fault-inject")]
+    if wino_sched::fault::take_poison_stage(3) {
+        output.as_mut_slice()[0] = f32::NAN;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -142,7 +148,7 @@ mod tests {
             *f = ((i.wrapping_mul(2654435761) >> 20) & 0x1f) as f32 / 16.0 - 1.0;
         }
         let mut out = layer.new_output().unwrap();
-        inverse_transform(&layer, &mut scratch, &mut out, &SerialExecutor);
+        inverse_transform(&layer, &mut scratch, &mut out, &SerialExecutor).unwrap();
 
         let at0 = layer.plans[0].transform.at.to_f32();
         let at1 = layer.plans[1].transform.at.to_f32();
@@ -204,9 +210,9 @@ mod tests {
         }
         let mut o1 = layer.new_output().unwrap();
         let mut o2 = layer.new_output().unwrap();
-        inverse_transform(&layer, &mut scratch, &mut o1, &SerialExecutor);
+        inverse_transform(&layer, &mut scratch, &mut o1, &SerialExecutor).unwrap();
         let pool = StaticExecutor::new(4);
-        inverse_transform(&layer, &mut scratch, &mut o2, &pool);
+        inverse_transform(&layer, &mut scratch, &mut o2, &pool).unwrap();
         assert_eq!(o1.as_slice(), o2.as_slice());
     }
 }

@@ -19,7 +19,7 @@
 use wino_tensor::{ConvShape, SimpleImage, SimpleKernels};
 
 use crate::conv::convolve_simple;
-use crate::plan::PlanError;
+use crate::error::WinoError;
 
 /// Spatially flip a kernel bank along every dimension and swap its
 /// input/output channel roles: the kernel bank of the data-gradient
@@ -49,7 +49,7 @@ pub fn backward_data(
     grad_output: &SimpleImage,
     kernels: &SimpleKernels,
     m: &[usize],
-) -> Result<SimpleImage, PlanError> {
+) -> Result<SimpleImage, WinoError> {
     assert_eq!(grad_output.dims, shape.out_dims(), "grad_output has wrong shape");
     assert_eq!(grad_output.channels, shape.out_channels);
     assert_eq!(kernels.out_channels, shape.out_channels);

@@ -15,6 +15,9 @@
 //! story the paper tells — for small kernels, FFT loses to Winograd on
 //! both operation count and constant factors.
 
+// Index-based loops are the idiom throughout: most walk several
+// arrays with derived offsets, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 use wino_sched::Executor;
 use wino_tensor::{SimpleImage, SimpleKernels};
 
@@ -30,13 +33,14 @@ fn decompose(mut flat: usize, dims: &[usize], out: &mut [usize]) {
 }
 
 /// FFT convolution with zero padding, stride 1 (correlation semantics,
-/// like every other convolution in this workspace).
+/// like every other convolution in this workspace). Fails only if the
+/// parallel substrate fails (worker panic, watchdog timeout).
 pub fn fft_conv(
     input: &SimpleImage,
     kernels: &SimpleKernels,
     padding: &[usize],
     exec: &dyn Executor,
-) -> SimpleImage {
+) -> Result<SimpleImage, wino_sched::PoolError> {
     let rank = input.dims.len();
     assert_eq!(kernels.in_channels, input.channels);
     assert_eq!(kernels.dims.len(), rank);
@@ -121,7 +125,7 @@ pub fn fft_conv(
                 *r = acc[off].re;
             }
             out_rows.lock().unwrap()[co] = row;
-        });
+        })?;
 
         let rows = out_rows.into_inner().unwrap();
         for (co, row) in rows.into_iter().enumerate() {
@@ -129,7 +133,7 @@ pub fn fft_conv(
             out.data[dst..dst + out_vol].copy_from_slice(&row);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -175,7 +179,7 @@ mod tests {
         let ker = SimpleKernels::from_fn(cp, c, kd, |co, ci, xy| {
             ((co * 3 + ci * 7 + xy.iter().sum::<usize>()) % 5) as f32 * 0.5 - 1.0
         });
-        let got = fft_conv(&img, &ker, pad, &SerialExecutor);
+        let got = fft_conv(&img, &ker, pad, &SerialExecutor).unwrap();
         let want = direct(&img, &ker, pad);
         assert_eq!(got.dims, want.dims);
         for i in 0..got.data.len() {
@@ -209,9 +213,9 @@ mod tests {
     fn parallel_executor_matches() {
         let img = SimpleImage::from_fn(1, 4, &[8, 8], |_, c, xy| (c + xy[0] + xy[1]) as f32 * 0.1);
         let ker = SimpleKernels::from_fn(4, 4, &[3, 3], |co, ci, _| (co * 4 + ci) as f32 * 0.05);
-        let a = fft_conv(&img, &ker, &[1, 1], &SerialExecutor);
+        let a = fft_conv(&img, &ker, &[1, 1], &SerialExecutor).unwrap();
         let pool = wino_sched::StaticExecutor::new(3);
-        let b = fft_conv(&img, &ker, &[1, 1], &pool);
+        let b = fft_conv(&img, &ker, &[1, 1], &pool).unwrap();
         assert_eq!(a.data, b.data);
     }
 }

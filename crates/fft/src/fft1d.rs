@@ -1,5 +1,8 @@
 //! Iterative radix-2 Cooley–Tukey FFT with precomputed twiddle tables.
 
+// Index-based loops are the idiom throughout: most walk several
+// arrays with derived offsets, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 use crate::complex::C32;
 
 /// A planned 1-D FFT of power-of-two length.

@@ -100,7 +100,7 @@ pub fn batched_gemm_parallel(
     v: &BlockedMatrices,
     x: &mut BlockedMatrices,
     exec: &dyn Executor,
-) {
+) -> Result<(), wino_sched::PoolError> {
     check_shapes(u, v, x);
     let dims = [u.t_count(), v.col_blocks(), u.row_blocks()];
     let x_ptr = SendPtr(x.as_mut_ptr());
@@ -111,7 +111,7 @@ pub fn batched_gemm_parallel(
         let t = flat / (dims[1] * dims[2]);
         // SAFETY: the grid enumerates each (t, j, i) exactly once.
         unsafe { panel_task(u, v, x_ptr.get(), x_meta, t, j, i) };
-    });
+    })
 }
 
 /// Dense row-major reference product for one `t` (test oracle).
@@ -203,9 +203,9 @@ mod tests {
         let mut x_par = BlockedMatrices::new(t, rows, cp, nb, cpb);
         let mut x_static = BlockedMatrices::new(t, rows, cp, nb, cpb);
         batched_gemm(&u, &v, &mut x_serial);
-        batched_gemm_parallel(&u, &v, &mut x_par, &SerialExecutor);
+        batched_gemm_parallel(&u, &v, &mut x_par, &SerialExecutor).unwrap();
         let pool = StaticExecutor::new(4);
-        batched_gemm_parallel(&u, &v, &mut x_static, &pool);
+        batched_gemm_parallel(&u, &v, &mut x_static, &pool).unwrap();
         assert_eq!(x_serial.as_slice(), x_par.as_slice());
         assert_eq!(x_serial.as_slice(), x_static.as_slice());
     }

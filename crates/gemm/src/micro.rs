@@ -24,6 +24,9 @@
 //! stores directly to per-row destinations (the tile-major `I'` layout),
 //! which the paper credits with >20 % overall speedup.
 
+// Index-based loops are the idiom throughout: most walk several
+// arrays with derived offsets, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 use wino_simd::{prefetch_t0, prefetch_t1, F32x16, S};
 
 /// Maximum register rows: 32 AVX-512 registers minus 2 auxiliaries.
@@ -155,7 +158,7 @@ macro_rules! dispatch_nb {
 ///   aligned (streaming stores), and the scatter targets must not overlap
 ///   `u`/`v`/`x`.
 pub unsafe fn microkernel(n_blk: usize, a: &MicroArgs) {
-    debug_assert!(a.cp_blk % S == 0 && a.cp_blk > 0);
+    debug_assert!(a.cp_blk.is_multiple_of(S) && a.cp_blk > 0);
     debug_assert!(a.c_blk >= 1);
     dispatch_nb!(
         n_blk,

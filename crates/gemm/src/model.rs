@@ -71,11 +71,11 @@ impl BlockShape {
 ///   (relaxed to 16 when the channel count itself is 16);
 /// * `C_blk · C'_blk ≤ 128²`.
 pub fn candidate_shapes(c: usize, cp: usize, rows: usize) -> Vec<BlockShape> {
-    assert!(c % 16 == 0 && cp % 16 == 0, "channels must be multiples of 16");
+    assert!(c.is_multiple_of(16) && cp.is_multiple_of(16), "channels must be multiples of 16");
     let channel_blocks = |n: usize| -> Vec<usize> {
         let lo = if n < 32 { 16 } else { 32 };
         (1..=n)
-            .filter(|&b| n % b == 0 && b % 16 == 0 && b >= lo && b <= 512)
+            .filter(|&b| n.is_multiple_of(b) && b % 16 == 0 && b >= lo && b <= 512)
             .collect()
     };
     let nb_lo = 6.min(rows.max(1));

@@ -58,12 +58,13 @@ pub fn time_shape(
     for (i, f) in v.as_mut_slice().iter_mut().enumerate() {
         *f = ((i * 0x9E3779B9) >> 16 & 0xff) as f32 / 255.0 - 0.5;
     }
-    // Warm-up.
-    batched_gemm_parallel(&u, &v, &mut x, exec);
+    // Warm-up. Timing a degraded pool would be meaningless, so execution
+    // failures abort the tuning run.
+    batched_gemm_parallel(&u, &v, &mut x, exec).expect("tuning GEMM failed");
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let t0 = Instant::now();
-        batched_gemm_parallel(&u, &v, &mut x, exec);
+        batched_gemm_parallel(&u, &v, &mut x, exec).expect("tuning GEMM failed");
         best = best.min(t0.elapsed().as_secs_f64());
     }
     std::hint::black_box(x.as_slice()[0]);

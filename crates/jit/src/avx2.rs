@@ -28,6 +28,7 @@ struct VexAsm {
 
 impl VexAsm {
     /// Emit `C4 [R̄ X̄ B̄ m-mmmm] [W v̄v̄v̄v̄ L pp] opcode modrm disp32?`.
+    #[allow(clippy::too_many_arguments)] // mirrors the encoding fields
     fn vex(&mut self, map: u8, pp: u8, opcode: u8, reg: u8, vvvv: u8, rm_reg: Option<u8>, mem: Option<(Gpr, i32)>) {
         debug_assert!(reg < 16 && vvvv < 16);
         let (xbar, bbar, rm) = match (rm_reg, mem) {
@@ -108,15 +109,13 @@ impl Avx2Kernel {
             return Err(JitError::Avx512Unavailable); // reported as ISA-unavailable
         }
         if n_blk == 0 || n_blk > MAX_N_BLK_AVX2 {
-            return Err(JitError::BadParams(format!(
-                "n_blk = {n_blk} out of 1..={MAX_N_BLK_AVX2} for AVX2"
-            )));
+            return Err(JitError::BadParams("n_blk out of range for AVX2"));
         }
-        if cp_blk == 0 || cp_blk % 16 != 0 {
-            return Err(JitError::BadParams(format!("cp_blk = {cp_blk} not a multiple of 16")));
+        if cp_blk == 0 || !cp_blk.is_multiple_of(16) {
+            return Err(JitError::BadParams("cp_blk not a positive multiple of 16"));
         }
         if c_blk == 0 {
-            return Err(JitError::BadParams("c_blk = 0".into()));
+            return Err(JitError::BadParams("c_blk = 0"));
         }
 
         // Register map: acc j-lo = ymm(2j), acc j-hi = ymm(2j+1),

@@ -72,6 +72,7 @@ impl Asm {
     /// Emit one EVEX instruction with a zmm `reg` operand, optional second
     /// source `vvvv`, and an `rm` operand. `bcast` sets the EVEX.b bit
     /// (embedded 32-bit broadcast for memory operands).
+    #[allow(clippy::too_many_arguments)] // mirrors the encoding fields
     fn evex(&mut self, map: Map, pp: Pp, opcode: u8, reg: u8, vvvv: Option<u8>, rm: Rm, bcast: bool) {
         debug_assert!(reg < 32);
         let (xbar, bbar, modrm_rm, mem) = match rm {

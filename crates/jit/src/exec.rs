@@ -5,7 +5,40 @@
 //! that is filled while writable and then flipped to read+execute
 //! (W^X discipline — the page is never writable and executable at once).
 
+use std::ffi::{c_int, c_void};
 use std::io;
+
+// Minimal raw bindings to the C runtime's mapping calls. Rust's std links
+// against libc on every supported unix target, so declaring the symbols
+// directly avoids an external `libc` crate dependency (this workspace must
+// build with no registry access).
+mod sys {
+    use super::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const PROT_EXEC: c_int = 4;
+    pub const MAP_PRIVATE: c_int = 0x02;
+    #[cfg(target_os = "linux")]
+    pub const MAP_ANONYMOUS: c_int = 0x20;
+    #[cfg(not(target_os = "linux"))]
+    pub const MAP_ANONYMOUS: c_int = 0x1000; // BSD/macOS MAP_ANON
+
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn mprotect(addr: *mut c_void, len: usize, prot: c_int) -> c_int;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
 
 /// A page-aligned, read+execute mapping containing generated code.
 pub struct ExecBuffer {
@@ -22,19 +55,19 @@ impl ExecBuffer {
     pub fn from_code(code: &[u8]) -> io::Result<ExecBuffer> {
         assert!(!code.is_empty(), "empty code buffer");
         let page = 4096usize;
-        let len = (code.len() + page - 1) / page * page;
+        let len = code.len().div_ceil(page) * page;
         // SAFETY: anonymous private mapping; we check the result.
         let ptr = unsafe {
-            libc::mmap(
+            sys::mmap(
                 std::ptr::null_mut(),
                 len,
-                libc::PROT_READ | libc::PROT_WRITE,
-                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_PRIVATE | sys::MAP_ANONYMOUS,
                 -1,
                 0,
             )
         };
-        if ptr == libc::MAP_FAILED {
+        if ptr == sys::MAP_FAILED {
             return Err(io::Error::last_os_error());
         }
         // SAFETY: mapping is len bytes, code fits.
@@ -42,11 +75,11 @@ impl ExecBuffer {
             std::ptr::copy_nonoverlapping(code.as_ptr(), ptr as *mut u8, code.len());
         }
         // SAFETY: flip to RX; on failure unmap and report.
-        let rc = unsafe { libc::mprotect(ptr, len, libc::PROT_READ | libc::PROT_EXEC) };
+        let rc = unsafe { sys::mprotect(ptr, len, sys::PROT_READ | sys::PROT_EXEC) };
         if rc != 0 {
             let err = io::Error::last_os_error();
             // SAFETY: we own the mapping.
-            unsafe { libc::munmap(ptr, len) };
+            unsafe { sys::munmap(ptr, len) };
             return Err(err);
         }
         Ok(ExecBuffer { ptr: ptr as *mut u8, len })
@@ -70,7 +103,7 @@ impl ExecBuffer {
 impl Drop for ExecBuffer {
     fn drop(&mut self) {
         // SAFETY: mapping created in from_code with this length.
-        unsafe { libc::munmap(self.ptr as *mut libc::c_void, self.len) };
+        unsafe { sys::munmap(self.ptr as *mut c_void, self.len) };
     }
 }
 

@@ -1,11 +1,24 @@
-//! Execution backends: the paper's static scheduler, plus rayon (dynamic
-//! work stealing) and serial executors used as comparison points in the
-//! §4.5 scheduling ablation.
+//! Execution backends: the paper's static scheduler, plus a dynamic
+//! work-stealing-style executor and a serial executor used as comparison
+//! points in the §4.5 scheduling ablation.
+//!
+//! All backends share one failure contract: `run_grid` returns
+//! `Err(PoolError::Panicked { .. })` if any task panicked (the panic is
+//! contained, never propagated), and the static backend additionally
+//! surfaces barrier watchdog failures as `PoolError::Barrier`. On `Ok(())`
+//! every flat index was executed exactly once; on `Err` the grid may be
+//! partially executed and the output buffers must be treated as garbage.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::pool::PoolError;
 use crate::{GridPartition, ThreadPool};
 
 /// Runs D-dimensional grids of equal tasks. Implementations must invoke
-/// the task closure exactly once for every flat task index.
+/// the task closure exactly once for every flat task index (when they
+/// return `Ok`).
 pub trait Executor: Sync {
     /// Run `task(slot, flat_index)` for every cell of the grid `dims`.
     ///
@@ -13,7 +26,14 @@ pub trait Executor: Sync {
     /// and no two concurrently running tasks share a slot — callers may use
     /// it to index per-thread scratch without locks. `task` must be safe to
     /// call concurrently from multiple threads on distinct indices.
-    fn run_grid(&self, dims: &[usize], task: &(dyn Fn(usize, usize) + Sync));
+    ///
+    /// Panics inside `task` are contained and reported as
+    /// [`PoolError::Panicked`]; they never unwind through this call.
+    fn run_grid(
+        &self,
+        dims: &[usize],
+        task: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<(), PoolError>;
 
     /// Number of thread slots this executor uses (1 for serial).
     fn threads(&self) -> usize;
@@ -26,12 +46,25 @@ pub trait Executor: Sync {
 pub struct SerialExecutor;
 
 impl Executor for SerialExecutor {
-    fn run_grid(&self, dims: &[usize], task: &(dyn Fn(usize, usize) + Sync)) {
+    fn run_grid(
+        &self,
+        dims: &[usize],
+        task: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<(), PoolError> {
         let total: usize = dims.iter().product();
-        for i in 0..total {
-            task(0, i);
-        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for i in 0..total {
+                task(0, i);
+            }
+        }));
         wino_simd::sfence();
+        match result {
+            Ok(()) => Ok(()),
+            Err(payload) => {
+                let msg = crate::pool::panic_message(payload);
+                Err(PoolError::Panicked { panics: vec![(0, msg)] })
+            }
+        }
     }
 
     fn threads(&self) -> usize {
@@ -54,17 +87,32 @@ impl StaticExecutor {
         StaticExecutor { pool: ThreadPool::new(threads) }
     }
 
+    /// As [`StaticExecutor::new`] with an explicit barrier watchdog
+    /// deadline (see [`ThreadPool::with_deadline`]).
+    pub fn with_deadline(threads: usize, deadline: std::time::Duration) -> StaticExecutor {
+        StaticExecutor { pool: ThreadPool::with_deadline(threads, deadline) }
+    }
+
     pub fn with_available_parallelism() -> StaticExecutor {
         StaticExecutor { pool: ThreadPool::with_available_parallelism() }
+    }
+
+    /// The underlying fork–join pool.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
     }
 }
 
 impl Executor for StaticExecutor {
-    fn run_grid(&self, dims: &[usize], task: &(dyn Fn(usize, usize) + Sync)) {
+    fn run_grid(
+        &self,
+        dims: &[usize],
+        task: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<(), PoolError> {
         let partition = GridPartition::new(dims, self.pool.n_threads());
         self.pool.run(|tid| {
             partition.boxes[tid].for_each_flat(dims, |idx| task(tid, idx));
-        });
+        })
     }
 
     fn threads(&self) -> usize {
@@ -76,31 +124,87 @@ impl Executor for StaticExecutor {
     }
 }
 
-/// Dynamic work-stealing executor built on rayon — the comparison point
-/// for the §4.5 ablation ("static scheduling vs dynamic").
-pub struct RayonExecutor;
+/// Dynamically load-balanced executor — the comparison point for the §4.5
+/// ablation ("static scheduling vs dynamic"). Tasks are claimed in small
+/// chunks from a shared atomic counter by scoped worker threads, the
+/// textbook dynamic-scheduling strategy the paper's static partition is
+/// measured against. (The seed used `rayon` here; this dependency-free
+/// replacement keeps the ablation available in offline builds.)
+pub struct DynamicExecutor {
+    threads: usize,
+}
 
-impl Executor for RayonExecutor {
-    fn run_grid(&self, dims: &[usize], task: &(dyn Fn(usize, usize) + Sync)) {
-        use rayon::prelude::*;
+/// Tasks claimed per counter increment: amortises contention while keeping
+/// the load balancing fine-grained.
+const DYNAMIC_CHUNK: usize = 8;
+
+impl DynamicExecutor {
+    pub fn new(threads: usize) -> DynamicExecutor {
+        assert!(threads > 0);
+        DynamicExecutor { threads }
+    }
+
+    pub fn with_available_parallelism() -> DynamicExecutor {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        DynamicExecutor::new(n)
+    }
+}
+
+impl Default for DynamicExecutor {
+    fn default() -> Self {
+        DynamicExecutor::with_available_parallelism()
+    }
+}
+
+impl Executor for DynamicExecutor {
+    fn run_grid(
+        &self,
+        dims: &[usize],
+        task: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<(), PoolError> {
         let total: usize = dims.iter().product();
-        (0..total).into_par_iter().for_each(|i| {
-            // Inside the pool `current_thread_index` is always Some; the
-            // fallback covers tasks that rayon runs on the caller thread.
-            let slot = rayon::current_thread_index().unwrap_or(0);
-            task(slot, i);
+        let next = AtomicUsize::new(0);
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+
+        let worker = |slot: usize| {
+            let result = catch_unwind(AssertUnwindSafe(|| loop {
+                let lo = next.fetch_add(DYNAMIC_CHUNK, Ordering::Relaxed);
+                if lo >= total {
+                    break;
+                }
+                for i in lo..(lo + DYNAMIC_CHUNK).min(total) {
+                    task(slot, i);
+                }
+            }));
+            if let Err(payload) = result {
+                let msg = crate::pool::panic_message(payload);
+                panics.lock().unwrap_or_else(|e| e.into_inner()).push((slot, msg));
+            }
+            wino_simd::sfence();
+        };
+
+        std::thread::scope(|s| {
+            for slot in 1..self.threads {
+                s.spawn(move || worker(slot));
+            }
+            worker(0);
         });
-        wino_simd::sfence();
+
+        let mut collected = panics.into_inner().unwrap_or_else(|e| e.into_inner());
+        if collected.is_empty() {
+            Ok(())
+        } else {
+            collected.sort_by_key(|(slot, _)| *slot);
+            Err(PoolError::Panicked { panics: collected })
+        }
     }
 
     fn threads(&self) -> usize {
-        // Slot ids come from rayon's global pool; reserve one extra slot
-        // for the caller-thread fallback above.
-        rayon::current_num_threads() + 1
+        self.threads
     }
 
     fn name(&self) -> &'static str {
-        "rayon"
+        "dynamic"
     }
 }
 
@@ -117,7 +221,8 @@ mod tests {
             assert!(slot < e.threads(), "slot {slot} out of range");
             max_slot.fetch_max(slot, Ordering::Relaxed);
             hits[i].fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} run {} times", h.load(Ordering::Relaxed));
         }
@@ -137,8 +242,11 @@ mod tests {
     }
 
     #[test]
-    fn rayon_covers() {
-        check_covers(&RayonExecutor, &[6, 6]);
+    fn dynamic_covers() {
+        let e = DynamicExecutor::new(4);
+        check_covers(&e, &[6, 6]);
+        check_covers(&e, &[1]);
+        check_covers(&e, &[37]); // not a multiple of the claim chunk
     }
 
     #[test]
@@ -156,7 +264,8 @@ mod tests {
         let slots = std::sync::Mutex::new(vec![usize::MAX; 16]);
         e.run_grid(&[16], &|slot, i| {
             slots.lock().unwrap()[i] = slot;
-        });
+        })
+        .unwrap();
         let slots = slots.into_inner().unwrap();
         // Two contiguous halves, one per thread.
         assert!(slots[..8].iter().all(|&s| s == slots[0]));
@@ -170,6 +279,50 @@ mod tests {
         let e = StaticExecutor::new(2);
         assert_eq!(e.threads(), 2);
         assert_eq!(e.name(), "static");
-        assert_eq!(RayonExecutor.name(), "rayon");
+        assert_eq!(DynamicExecutor::new(2).name(), "dynamic");
+    }
+
+    #[test]
+    fn serial_contains_task_panics() {
+        let err = SerialExecutor
+            .run_grid(&[10], &|_, i| {
+                if i == 3 {
+                    panic!("task 3 fails");
+                }
+            })
+            .expect_err("task panicked");
+        match err {
+            PoolError::Panicked { panics } => assert!(panics[0].1.contains("task 3")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_contains_task_panics_and_stays_usable() {
+        let e = StaticExecutor::new(4);
+        let err = e
+            .run_grid(&[64], &|_, i| {
+                if i == 17 {
+                    panic!("grid task 17");
+                }
+            })
+            .expect_err("task panicked");
+        assert!(matches!(err, PoolError::Panicked { .. }));
+        check_covers(&e, &[8, 8]);
+    }
+
+    #[test]
+    fn dynamic_contains_task_panics() {
+        let e = DynamicExecutor::new(3);
+        let err = e
+            .run_grid(&[100], &|_, i| {
+                if i == 50 {
+                    panic!("dynamic task 50");
+                }
+            })
+            .expect_err("task panicked");
+        assert!(matches!(err, PoolError::Panicked { .. }));
+        // The executor is stateless; a fresh grid still covers fully.
+        check_covers(&e, &[100]);
     }
 }

@@ -1,5 +1,5 @@
 //! The custom busy-wait barrier (§4.5, "Efficient fork–join
-//! synchronization").
+//! synchronization") with a watchdog deadline.
 //!
 //! The paper replaces Cilk/OpenMP/pthread barriers with a SPIRAL-style
 //! busy-wait barrier built from C++11 atomics; synchronisation completes in
@@ -7,18 +7,62 @@
 //! equivalent: a sense-reversing central counter barrier using only
 //! `AtomicUsize`.
 //!
-//! One pragmatic extension: after a bounded number of pure spins the waiter
-//! yields to the OS scheduler. On a dedicated manycore machine (the paper's
-//! setting) the yield never triggers; on an oversubscribed box (CI, this
-//! dev machine) it prevents pathological timeslice waits without giving up
-//! the fast path.
+//! Two pragmatic extensions over the paper's dedicated-machine setting:
+//!
+//! 1. After a bounded number of pure spins the waiter yields to the OS
+//!    scheduler. On a dedicated manycore machine the yield never triggers;
+//!    on an oversubscribed box (CI, this dev machine) it prevents
+//!    pathological timeslice waits without giving up the fast path.
+//! 2. **Watchdog deadline** ([`SpinBarrier::wait_deadline`]): a production
+//!    server cannot afford an infinite spin when a participant dies. Once
+//!    the waiter has entered the yield regime it checks a wall-clock
+//!    deadline; on expiry it *poisons* the barrier and returns
+//!    [`BarrierError::Timeout`] carrying how long it waited and how many
+//!    participants had arrived. Every subsequent or concurrent wait on a
+//!    poisoned barrier fails fast with [`BarrierError::Poisoned`] instead
+//!    of spinning on state that can never advance.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Pure spins before falling back to `yield_now` (tuned conservatively:
 /// real barrier crossings complete within tens of spins when cores are
-/// dedicated).
+/// dedicated). Deadline checks also start only after this threshold, so
+/// the fast path performs no clock reads at all.
 const SPINS_BEFORE_YIELD: u32 = 1 << 14;
+
+/// Why a barrier wait failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierError {
+    /// The watchdog deadline expired before all participants arrived.
+    /// The barrier is now poisoned.
+    Timeout {
+        /// How long this waiter busy-waited before giving up.
+        waited: Duration,
+        /// Participants that had arrived in this generation (including
+        /// the reporting waiter) when the watchdog fired.
+        arrived: usize,
+        /// Participants required to release the barrier.
+        expected: usize,
+    },
+    /// The barrier was poisoned by an earlier timeout; waiting on it can
+    /// never succeed.
+    Poisoned,
+}
+
+impl std::fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BarrierError::Timeout { waited, arrived, expected } => write!(
+                f,
+                "barrier timeout after {waited:?}: {arrived} of {expected} participants arrived"
+            ),
+            BarrierError::Poisoned => write!(f, "barrier poisoned by an earlier timeout"),
+        }
+    }
+}
+
+impl std::error::Error for BarrierError {}
 
 /// A reusable busy-wait barrier for a fixed set of participants.
 pub struct SpinBarrier {
@@ -26,6 +70,8 @@ pub struct SpinBarrier {
     count: AtomicUsize,
     /// Completed generations; waiters spin on this.
     generation: AtomicUsize,
+    /// Set once a watchdog fires; all waits fail fast afterwards.
+    poisoned: AtomicBool,
     total: usize,
 }
 
@@ -36,17 +82,57 @@ impl SpinBarrier {
     /// Panics if `total == 0`.
     pub fn new(total: usize) -> SpinBarrier {
         assert!(total > 0, "barrier needs at least one participant");
-        SpinBarrier { count: AtomicUsize::new(0), generation: AtomicUsize::new(0), total }
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            total,
+        }
     }
 
     pub fn participants(&self) -> usize {
         self.total
     }
 
+    /// Whether a watchdog has poisoned this barrier.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Mark the barrier unusable; concurrent and future waiters fail fast
+    /// with [`BarrierError::Poisoned`].
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
     /// Block (busy-wait) until all `total` participants have called
     /// `wait` in this generation. Returns `true` on exactly one
     /// participant per generation (the last to arrive).
+    ///
+    /// This is the paper-faithful unbounded wait; prefer
+    /// [`Self::wait_deadline`] anywhere a participant could be missing.
+    ///
+    /// # Panics
+    /// Panics if the barrier is (or becomes) poisoned — an unbounded wait
+    /// on a poisoned barrier can never complete.
     pub fn wait(&self) -> bool {
+        match self.wait_deadline(None) {
+            Ok(leader) => leader,
+            Err(e) => panic!("SpinBarrier::wait on a poisoned barrier: {e}"),
+        }
+    }
+
+    /// As [`Self::wait`], but with an optional watchdog deadline measured
+    /// from the moment the waiter enters the yield regime (so the
+    /// uncontended fast path never reads the clock).
+    ///
+    /// On expiry the barrier is poisoned and `Timeout { waited, arrived,
+    /// expected }` is returned. If another waiter's watchdog fired first
+    /// (or [`Self::poison`] was called), returns `Poisoned` promptly.
+    pub fn wait_deadline(&self, deadline: Option<Duration>) -> Result<bool, BarrierError> {
+        if self.is_poisoned() {
+            return Err(BarrierError::Poisoned);
+        }
         let gen = self.generation.load(Ordering::Acquire);
         // AcqRel: the RMW chain makes every pre-barrier write of every
         // earlier arriver visible to the last arriver.
@@ -56,17 +142,39 @@ impl SpinBarrier {
             // Release: publishes all pre-barrier writes (transitively, via
             // the RMW chain) to the spinners' Acquire loads below.
             self.generation.store(gen.wrapping_add(1), Ordering::Release);
-            true
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == gen {
-                std::hint::spin_loop();
-                spins += 1;
-                if spins >= SPINS_BEFORE_YIELD {
-                    std::thread::yield_now();
+            return Ok(true);
+        }
+        let mut spins = 0u32;
+        let mut yielding_since: Option<Instant> = None;
+        loop {
+            if self.generation.load(Ordering::Acquire) != gen {
+                return Ok(false);
+            }
+            if self.is_poisoned() {
+                return Err(BarrierError::Poisoned);
+            }
+            std::hint::spin_loop();
+            spins += 1;
+            if spins >= SPINS_BEFORE_YIELD {
+                std::thread::yield_now();
+                if let Some(limit) = deadline {
+                    let t0 = *yielding_since.get_or_insert_with(Instant::now);
+                    let waited = t0.elapsed();
+                    if waited >= limit {
+                        // Final recheck: the release may have raced the
+                        // clock read. Prefer success over a spurious kill.
+                        if self.generation.load(Ordering::Acquire) != gen {
+                            return Ok(false);
+                        }
+                        self.poison();
+                        return Err(BarrierError::Timeout {
+                            waited,
+                            arrived: self.count.load(Ordering::Relaxed),
+                            expected: self.total,
+                        });
+                    }
                 }
             }
-            false
         }
     }
 }
@@ -143,7 +251,7 @@ mod tests {
         // wait() on another.
         const THREADS: usize = 2;
         let barrier = Arc::new(SpinBarrier::new(THREADS));
-        let data = Arc::new(parking_lot_free_cell());
+        let data = Arc::new(racy_cell());
         let b2 = Arc::clone(&barrier);
         let d2 = Arc::clone(&data);
         let h = std::thread::spawn(move || {
@@ -160,7 +268,7 @@ mod tests {
 
     struct RacyCell(std::cell::UnsafeCell<u64>);
     unsafe impl Sync for RacyCell {}
-    fn parking_lot_free_cell() -> RacyCell {
+    fn racy_cell() -> RacyCell {
         RacyCell(std::cell::UnsafeCell::new(0))
     }
 
@@ -168,5 +276,87 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_participants_panics() {
         let _ = SpinBarrier::new(0);
+    }
+
+    // ---- watchdog / poisoning ----
+
+    #[test]
+    fn timeout_reports_arrived_and_expected() {
+        // 3 participants, only 2 ever arrive: the watchdog must fire and
+        // report 2/3.
+        let barrier = Arc::new(SpinBarrier::new(3));
+        let b2 = Arc::clone(&barrier);
+        let other = std::thread::spawn(move || b2.wait_deadline(Some(Duration::from_secs(5))));
+        let err = barrier
+            .wait_deadline(Some(Duration::from_millis(50)))
+            .expect_err("must time out: third participant never arrives");
+        match err {
+            BarrierError::Timeout { waited, arrived, expected } => {
+                assert!(waited >= Duration::from_millis(50), "waited {waited:?}");
+                assert_eq!(arrived, 2);
+                assert_eq!(expected, 3);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // The second waiter observes the poison promptly rather than
+        // spinning out its own (much longer) deadline.
+        let second = other.join().unwrap();
+        assert_eq!(second, Err(BarrierError::Poisoned));
+    }
+
+    #[test]
+    fn poisoned_barrier_fails_fast_on_reuse() {
+        let barrier = SpinBarrier::new(2);
+        barrier.poison();
+        assert!(barrier.is_poisoned());
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            assert_eq!(barrier.wait_deadline(None), Err(BarrierError::Poisoned));
+            assert_eq!(
+                barrier.wait_deadline(Some(Duration::from_secs(10))),
+                Err(BarrierError::Poisoned)
+            );
+        }
+        // Fail-fast: 200 poisoned waits must not busy-wait anything close
+        // to a deadline.
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn timeout_poisons_for_later_waiters() {
+        let barrier = SpinBarrier::new(2);
+        let err = barrier.wait_deadline(Some(Duration::from_millis(20))).unwrap_err();
+        assert!(matches!(err, BarrierError::Timeout { arrived: 1, expected: 2, .. }));
+        assert_eq!(barrier.wait_deadline(None), Err(BarrierError::Poisoned));
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn unbounded_wait_panics_on_poison() {
+        let barrier = SpinBarrier::new(2);
+        barrier.poison();
+        barrier.wait();
+    }
+
+    #[test]
+    fn deadline_wait_succeeds_when_all_arrive() {
+        const THREADS: usize = 4;
+        let barrier = Arc::new(SpinBarrier::new(THREADS));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS - 1 {
+            let b = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    b.wait_deadline(Some(Duration::from_secs(5))).unwrap();
+                }
+            }));
+        }
+        for _ in 0..50 {
+            barrier.wait_deadline(Some(Duration::from_secs(5))).unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!barrier.is_poisoned());
     }
 }

@@ -1,0 +1,162 @@
+//! Deterministic fault injection for the recovery-path tests.
+//!
+//! Compiled only with the `fault-inject` feature; release builds carry no
+//! hooks. The model is a process-global, one-shot *armed fault*: a test
+//! arms exactly one fault, runs the scenario, and the fault disarms itself
+//! when it fires. Three injection points cover every recovery path of the
+//! execution layer:
+//!
+//! * **Panic on tid `k` at fork–join `n`** — exercises the
+//!   `catch_unwind` containment in [`crate::ThreadPool::run`];
+//! * **Barrier stall on tid `k` at fork–join `n`** — the job completes
+//!   but the participant sleeps before the end barrier, exercising the
+//!   [`crate::SpinBarrier`] watchdog and pool poisoning;
+//! * **Poison value in stage `s` output** — consumed by the convolution
+//!   stages (`wino-conv`), which overwrite one transformed value with a
+//!   NaN, exercising the numeric guard and the im2col fallback.
+//!
+//! Because the state is global, tests that inject faults must serialise
+//! themselves (see [`test_lock`]); the workspace's fault tests take that
+//! lock around each scenario.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Which fork–join (pool epoch) a fault targets. Pools count fork–joins
+/// from 0; [`crate::ThreadPool::forkjoins`] reports the next epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum When {
+    /// Fire at the given pool epoch.
+    AtForkJoin(u64),
+    /// Fire at the next fork–join, whatever its epoch.
+    Next,
+}
+
+impl When {
+    fn matches(self, epoch: u64) -> bool {
+        match self {
+            When::AtForkJoin(n) => n == epoch,
+            When::Next => true,
+        }
+    }
+}
+
+#[derive(Default)]
+struct State {
+    panic_at: Option<(usize, When)>,
+    stall_at: Option<(usize, When, Duration)>,
+    poison_stage: Option<u8>,
+}
+
+static STATE: Mutex<State> =
+    Mutex::new(State { panic_at: None, stall_at: None, poison_stage: None });
+
+fn state() -> MutexGuard<'static, State> {
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Serialisation lock for fault tests: the armed fault is process-global,
+/// so concurrently running tests would steal each other's faults.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm: panic on thread `tid` when it executes its job share at `when`.
+pub fn arm_panic(tid: usize, when: When) {
+    state().panic_at = Some((tid, when));
+}
+
+/// Arm: after finishing its job share at `when`, thread `tid` sleeps for
+/// `dur` before reaching the end barrier (a stalled participant).
+pub fn arm_stall(tid: usize, when: When, dur: Duration) {
+    state().stall_at = Some((tid, when, dur));
+}
+
+/// Arm: the convolution stage numbered `stage` (1 = input transform,
+/// 2 = multiply, 3 = inverse transform) overwrites one output value with
+/// NaN on its next execution.
+pub fn arm_poison_stage(stage: u8) {
+    state().poison_stage = Some(stage);
+}
+
+/// Disarm everything (call between scenarios).
+pub fn reset() {
+    *state() = State::default();
+}
+
+/// Pool hook: runs inside the `catch_unwind` envelope, immediately before
+/// the job closure.
+#[doc(hidden)]
+pub fn before_job(tid: usize, epoch: u64) {
+    let fire = {
+        let mut s = state();
+        match s.panic_at {
+            Some((t, when)) if t == tid && when.matches(epoch) => {
+                s.panic_at = None;
+                true
+            }
+            _ => false,
+        }
+    };
+    if fire {
+        panic!("injected fault: panic on tid {tid} at fork-join {epoch}");
+    }
+}
+
+/// Pool hook: runs after the job closure (outside `catch_unwind`), before
+/// the end barrier.
+#[doc(hidden)]
+pub fn after_job(tid: usize, epoch: u64) {
+    let dur = {
+        let mut s = state();
+        match s.stall_at {
+            Some((t, when, d)) if t == tid && when.matches(epoch) => {
+                s.stall_at = None;
+                Some(d)
+            }
+            _ => None,
+        }
+    };
+    if let Some(d) = dur {
+        std::thread::sleep(d);
+    }
+}
+
+/// Stage hook (consumed by `wino-conv`): returns `true` exactly once if a
+/// poison fault is armed for `stage`.
+pub fn take_poison_stage(stage: u8) -> bool {
+    let mut s = state();
+    if s.poison_stage == Some(stage) {
+        s.poison_stage = None;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_are_one_shot() {
+        let _g = test_lock();
+        reset();
+        arm_poison_stage(2);
+        assert!(!take_poison_stage(1), "wrong stage must not consume");
+        assert!(take_poison_stage(2));
+        assert!(!take_poison_stage(2), "fault disarms after firing");
+        reset();
+    }
+
+    #[test]
+    fn when_matching() {
+        assert!(When::Next.matches(0));
+        assert!(When::Next.matches(17));
+        assert!(When::AtForkJoin(3).matches(3));
+        assert!(!When::AtForkJoin(3).matches(4));
+    }
+}

@@ -2,17 +2,30 @@
 //!
 //! The parallel-execution substrate (paper §4.5): static scheduling through
 //! recursive-GCD grid partitioning ([`GridPartition`]), a custom busy-wait
-//! [`SpinBarrier`] built from atomics, a persistent fork–join
-//! [`ThreadPool`], and pluggable [`Executor`] backends (static / rayon /
-//! serial) so the scheduling ablation can swap strategies without touching
-//! the convolution code.
+//! [`SpinBarrier`] built from atomics with an optional watchdog deadline, a
+//! persistent panic-safe fork–join [`ThreadPool`], and pluggable
+//! [`Executor`] backends (static / dynamic / serial) so the scheduling
+//! ablation can swap strategies without touching the convolution code.
+//!
+//! ## Failure model
+//!
+//! Panics inside parallel jobs are contained with `catch_unwind` on every
+//! participant and surfaced as [`PoolError::Panicked`]; the pool remains
+//! usable afterwards. A participant that never reaches a barrier trips the
+//! watchdog ([`BarrierError::Timeout`]), which poisons the barriers and
+//! permanently kills the pool ([`PoolError::Unusable`] thereafter) — but
+//! never hangs the caller, not even in `Drop`. With the `fault-inject`
+//! cargo feature, the [`fault`] module provides deterministic hooks to
+//! exercise each of these paths from tests.
 
 pub mod backend;
 pub mod barrier;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod grid;
 pub mod pool;
 
-pub use backend::{Executor, RayonExecutor, SerialExecutor, StaticExecutor};
-pub use barrier::SpinBarrier;
+pub use backend::{DynamicExecutor, Executor, SerialExecutor, StaticExecutor};
+pub use barrier::{BarrierError, SpinBarrier};
 pub use grid::{GridPartition, TaskBox};
-pub use pool::ThreadPool;
+pub use pool::{PoolError, ThreadPool, DEFAULT_DEADLINE};

@@ -1,5 +1,5 @@
 //! Persistent fork–join thread pool with statically pre-assigned work
-//! (§4.5).
+//! (§4.5), hardened for long-running server use.
 //!
 //! The pool holds `n − 1` worker threads plus the calling thread. Each
 //! parallel region is exactly one fork–join: the main thread publishes a
@@ -7,13 +7,90 @@
 //! assigned share, flushes streaming stores, and crosses the end barrier.
 //! No work stealing, no queues — per the paper, load balance comes from the
 //! static [`crate::GridPartition`], and synchronisation cost is two spins.
+//!
+//! # Failure model
+//!
+//! The paper assumes a dedicated machine and perfect jobs; a production
+//! server gets neither, so every participant (workers *and* tid 0) runs
+//! its job share inside `catch_unwind` and **always crosses the end
+//! barrier**. Panics are collected into a shared slot and surface as
+//! [`PoolError::Panicked`] from [`ThreadPool::run`]; the pool remains
+//! fully usable for subsequent fork–joins. Only a participant that is
+//! truly gone (killed thread, runaway stall) trips the barrier watchdog —
+//! the pool then poisons both barriers so every thread unwinds promptly,
+//! marks itself [`PoolError::Unusable`], and `Drop` detaches instead of
+//! joining threads that may never return.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crate::barrier::SpinBarrier;
+use crate::barrier::{BarrierError, SpinBarrier};
+
+/// Default watchdog deadline for one barrier crossing. The end-barrier
+/// wait subsumes the other participants' entire job share, so this must
+/// comfortably exceed the largest per-thread work item plus scheduling
+/// noise on an oversubscribed machine.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Why a fork–join failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// One or more participants panicked while running the job. Contains
+    /// `(tid, panic message)` per panicking participant, in tid order.
+    /// The pool is still usable.
+    Panicked { panics: Vec<(usize, String)> },
+    /// A barrier watchdog fired: a participant never reached the
+    /// fork–join barrier. The pool is dead afterwards.
+    Barrier(BarrierError),
+    /// The pool was disabled by an earlier barrier failure; no further
+    /// fork–joins will run.
+    Unusable,
+}
+
+impl PoolError {
+    /// The tids reported as panicked (empty for non-panic errors).
+    pub fn panicking_tids(&self) -> Vec<usize> {
+        match self {
+            PoolError::Panicked { panics } => panics.iter().map(|(t, _)| *t).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Panicked { panics } => {
+                write!(f, "{} participant(s) panicked:", panics.len())?;
+                for (tid, msg) in panics {
+                    write!(f, " [tid {tid}: {msg}]")?;
+                }
+                Ok(())
+            }
+            PoolError::Barrier(e) => write!(f, "fork-join barrier failure: {e}"),
+            PoolError::Unusable => write!(f, "thread pool disabled by an earlier barrier failure"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::Barrier(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BarrierError> for PoolError {
+    fn from(e: BarrierError) -> Self {
+        PoolError::Barrier(e)
+    }
+}
 
 /// Type-erased job pointer: a borrowed `Fn(usize)` whose lifetime is
 /// guaranteed by the fork–join protocol (the publisher cannot return from
@@ -25,6 +102,11 @@ struct Shared {
     end: SpinBarrier,
     job: UnsafeCell<Option<JobPtr>>,
     shutdown: AtomicBool,
+    /// Panic payloads collected during the current fork–join, drained by
+    /// tid 0 after the end barrier.
+    panics: Mutex<Vec<(usize, String)>>,
+    /// Completed fork–join count; also the epoch used by fault injection.
+    epoch: AtomicU64,
 }
 
 // SAFETY: `job` is only written by the main thread strictly before the
@@ -33,26 +115,65 @@ struct Shared {
 unsafe impl Sync for Shared {}
 unsafe impl Send for Shared {}
 
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one participant's share of the job with panic containment; records
+/// any panic in the shared slot instead of unwinding into the barrier.
+fn run_job(shared: &Shared, tid: usize, epoch: u64, job: &(dyn Fn(usize) + Sync)) {
+    let _ = epoch; // used only by the fault hooks
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-inject")]
+        crate::fault::before_job(tid, epoch);
+        job(tid);
+    }));
+    if let Err(payload) = result {
+        let mut slot = shared.panics.lock().unwrap_or_else(|e| e.into_inner());
+        slot.push((tid, panic_message(payload)));
+    }
+    #[cfg(feature = "fault-inject")]
+    crate::fault::after_job(tid, epoch);
+}
+
 /// A fixed-size fork–join pool.
 pub struct ThreadPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     n_threads: usize,
+    deadline: Duration,
+    /// Set after a barrier failure: the participant set is broken and no
+    /// further fork–join can complete.
+    dead: AtomicBool,
 }
 
 impl ThreadPool {
     /// Create a pool of `n_threads` total participants (including the
-    /// calling thread), so `n_threads - 1` OS threads are spawned.
+    /// calling thread), so `n_threads - 1` OS threads are spawned, with
+    /// the default watchdog deadline.
     ///
     /// # Panics
     /// Panics if `n_threads == 0`.
     pub fn new(n_threads: usize) -> ThreadPool {
+        ThreadPool::with_deadline(n_threads, DEFAULT_DEADLINE)
+    }
+
+    /// As [`ThreadPool::new`] with an explicit barrier watchdog deadline.
+    pub fn with_deadline(n_threads: usize, deadline: Duration) -> ThreadPool {
         assert!(n_threads > 0);
         let shared = Arc::new(Shared {
             start: SpinBarrier::new(n_threads),
             end: SpinBarrier::new(n_threads),
             job: UnsafeCell::new(None),
             shutdown: AtomicBool::new(false),
+            panics: Mutex::new(Vec::new()),
+            epoch: AtomicU64::new(0),
         });
         let workers = (1..n_threads)
             .map(|tid| {
@@ -63,7 +184,7 @@ impl ThreadPool {
                     .expect("failed to spawn worker")
             })
             .collect();
-        ThreadPool { shared, workers, n_threads }
+        ThreadPool { shared, workers, n_threads, deadline, dead: AtomicBool::new(false) }
     }
 
     /// Pool with one participant per available hardware thread.
@@ -76,56 +197,135 @@ impl ThreadPool {
         self.n_threads
     }
 
+    /// The configured barrier watchdog deadline.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// Fork–joins started so far (the epoch the *next* `run` will use).
+    pub fn forkjoins(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether the pool has been disabled by a barrier failure.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+        // Unwind every parked or spinning participant promptly.
+        self.shared.start.poison();
+        self.shared.end.poison();
+    }
+
     /// One fork–join: run `f(tid)` on every thread (tid `0..n_threads`,
     /// the calling thread is tid 0), returning after all have finished.
     /// Streaming stores issued inside `f` are globally visible on return.
-    pub fn run<F: Fn(usize) + Sync>(&self, f: F) {
+    ///
+    /// A panic inside `f` on any participant is contained: every thread
+    /// still reaches the end barrier, and the panics are reported as
+    /// [`PoolError::Panicked`] — the pool stays usable. A participant that
+    /// never reaches a barrier (killed or stalled thread) trips the
+    /// watchdog within [`Self::deadline`]; the pool is then permanently
+    /// [`PoolError::Unusable`].
+    pub fn run<F: Fn(usize) + Sync>(&self, f: F) -> Result<(), PoolError> {
+        if self.is_dead() {
+            return Err(PoolError::Unusable);
+        }
+        let epoch = self.shared.epoch.fetch_add(1, Ordering::AcqRel);
         if self.n_threads == 1 {
-            f(0);
+            run_job(&self.shared, 0, epoch, &f);
             wino_simd::sfence();
-            return;
+            return self.drain_panics();
         }
         let ptr: *const (dyn Fn(usize) + Sync + '_) = &f;
         // SAFETY: only the main thread writes `job`, and only outside a
         // fork–join region (workers are parked at the start barrier).
-        // Erasing the lifetime is sound because we join at `end.wait()`
-        // below before `f` can drop.
+        // Erasing the lifetime is sound because we do not return before
+        // every worker has crossed the end barrier or the pool is dead —
+        // and a dead pool's workers can no longer dereference the job
+        // (their barriers are poisoned before `run` returns).
         let ptr: JobPtr =
             unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), JobPtr>(ptr) };
         unsafe {
             *self.shared.job.get() = Some(ptr);
         }
-        self.shared.start.wait();
-        f(0);
+        if let Err(e) = self.shared.start.wait_deadline(Some(self.deadline)) {
+            self.mark_dead();
+            return Err(e.into());
+        }
+        run_job(&self.shared, 0, epoch, &f);
         wino_simd::sfence();
-        self.shared.end.wait();
+        if let Err(e) = self.shared.end.wait_deadline(Some(self.deadline)) {
+            self.mark_dead();
+            return Err(e.into());
+        }
+        self.drain_panics()
+    }
+
+    fn drain_panics(&self) -> Result<(), PoolError> {
+        let mut slot = self.shared.panics.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_empty() {
+            Ok(())
+        } else {
+            let mut panics = std::mem::take(&mut *slot);
+            panics.sort_by_key(|(tid, _)| *tid);
+            Err(PoolError::Panicked { panics })
+        }
     }
 }
 
 fn worker_loop(shared: &Shared, tid: usize) {
     loop {
-        shared.start.wait();
+        // Unbounded wait while idle (no watchdog churn between layers);
+        // a poisoned barrier unparks us immediately.
+        if shared.start.wait_deadline(None).is_err() {
+            return;
+        }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
+        let epoch = shared.epoch.load(Ordering::Acquire).wrapping_sub(1);
         // SAFETY: the start barrier ordered this read after the main
         // thread's write; the job pointer is valid until the end barrier.
         let job = unsafe { (*shared.job.get()).expect("job published before barrier") };
         // SAFETY: dereferencing the type-erased borrow; validity as above.
-        unsafe { (*job)(tid) };
+        run_job(shared, tid, epoch, unsafe { &*job });
         // Make this worker's streaming stores visible before the join.
         wino_simd::sfence();
-        shared.end.wait();
+        if shared.end.wait_deadline(None).is_err() {
+            return;
+        }
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        if self.n_threads > 1 {
-            self.shared.shutdown.store(true, Ordering::Release);
-            self.shared.start.wait();
-            for w in self.workers.drain(..) {
-                let _ = w.join();
+        if self.n_threads <= 1 {
+            return;
+        }
+        if self.is_dead() {
+            // Workers have unwound (or are unwinding) through the
+            // poisoned barriers; one may still be stalled inside a job we
+            // cannot interrupt. Detach instead of risking a join that
+            // never returns.
+            self.workers.clear();
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        match self.shared.start.wait_deadline(Some(self.deadline)) {
+            Ok(_) => {
+                for w in self.workers.drain(..) {
+                    let _ = w.join();
+                }
+            }
+            Err(_) => {
+                // A worker died without tripping a run-time watchdog
+                // (e.g. the pool was never used after the fault). The
+                // barrier is now poisoned, so live workers exit on their
+                // own; detach the handles.
+                self.workers.clear();
             }
         }
     }
@@ -143,7 +343,8 @@ mod tests {
         pool.run(|tid| {
             assert_eq!(tid, 0);
             count.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(count.load(Ordering::Relaxed), 1);
     }
 
@@ -154,7 +355,8 @@ mod tests {
             let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
             pool.run(|tid| {
                 hits[tid].fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .unwrap();
             for (tid, h) in hits.iter().enumerate() {
                 assert_eq!(h.load(Ordering::Relaxed), 1, "tid {tid}");
             }
@@ -179,7 +381,8 @@ mod tests {
                         *x = tid * 1000 + i;
                     }
                 }
-            });
+            })
+            .unwrap();
         }
         // All four chunks written (values nonzero except index 0 of some).
         assert!(data[1] != 0 && data[257] != 0 && data[513] != 0 && data[769] != 0);
@@ -192,16 +395,18 @@ mod tests {
         for _ in 0..200 {
             pool.run(|_| {
                 total.fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .unwrap();
         }
         assert_eq!(total.load(Ordering::Relaxed), 600);
+        assert_eq!(pool.forkjoins(), 200);
     }
 
     #[test]
     fn drop_joins_workers() {
         for _ in 0..10 {
             let pool = ThreadPool::new(4);
-            pool.run(|_| {});
+            pool.run(|_| {}).unwrap();
             drop(pool); // must not hang or leak
         }
     }
@@ -219,7 +424,146 @@ mod tests {
                 }
             }
             acc.fetch_add(local, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(acc.load(Ordering::Relaxed), (0..1000).sum::<usize>());
+    }
+
+    // ---- panic containment ----
+
+    #[test]
+    fn single_worker_panic_is_reported_not_hung() {
+        let pool = ThreadPool::new(4);
+        let err = pool
+            .run(|tid| {
+                if tid == 2 {
+                    panic!("boom on {tid}");
+                }
+            })
+            .expect_err("tid 2 panicked");
+        match &err {
+            PoolError::Panicked { panics } => {
+                assert_eq!(panics.len(), 1);
+                assert_eq!(panics[0].0, 2);
+                assert!(panics[0].1.contains("boom on 2"), "message: {}", panics[0].1);
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(err.panicking_tids(), vec![2]);
+        // The pool must still work.
+        let count = AtomicUsize::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panic_on_main_participant_is_contained() {
+        let pool = ThreadPool::new(3);
+        let err = pool
+            .run(|tid| {
+                if tid == 0 {
+                    panic!("main-thread job failure");
+                }
+            })
+            .expect_err("tid 0 panicked");
+        assert_eq!(err.panicking_tids(), vec![0]);
+        pool.run(|_| {}).unwrap();
+    }
+
+    #[test]
+    fn all_participants_panicking_reports_every_tid() {
+        let pool = ThreadPool::new(4);
+        let err = pool.run(|tid| panic!("tid {tid} dies")).expect_err("all panicked");
+        assert_eq!(err.panicking_tids(), vec![0, 1, 2, 3]);
+        pool.run(|_| {}).unwrap();
+    }
+
+    #[test]
+    fn pool_survives_100_alternating_panicking_and_clean_forkjoins() {
+        let pool = ThreadPool::new(4);
+        let clean = AtomicUsize::new(0);
+        for round in 0..100 {
+            if round % 2 == 0 {
+                let err = pool
+                    .run(|tid| {
+                        if tid == round % 4 {
+                            panic!("round {round}");
+                        }
+                    })
+                    .expect_err("one tid panics on even rounds");
+                assert_eq!(err.panicking_tids(), vec![round % 4]);
+            } else {
+                pool.run(|_| {
+                    clean.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            }
+        }
+        assert_eq!(clean.load(Ordering::Relaxed), 50 * 4);
+        assert!(!pool.is_dead());
+    }
+
+    #[test]
+    fn panic_in_single_thread_pool_is_contained() {
+        let pool = ThreadPool::new(1);
+        let err = pool.run(|_| panic!("inline")).expect_err("inline job panicked");
+        assert_eq!(err.panicking_tids(), vec![0]);
+        pool.run(|_| {}).unwrap();
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported() {
+        let pool = ThreadPool::new(2);
+        let err = pool
+            .run(|tid| {
+                if tid == 1 {
+                    std::panic::panic_any(42usize);
+                }
+            })
+            .expect_err("panicked with non-string payload");
+        match err {
+            PoolError::Panicked { panics } => {
+                assert_eq!(panics[0].1, "non-string panic payload");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    // ---- watchdog / drop robustness ----
+
+    #[test]
+    fn dead_pool_fails_fast_and_drop_does_not_hang() {
+        // Simulate a dead participant by poisoning the barriers directly
+        // (the non-fault-injected stand-in for a killed worker).
+        let pool = ThreadPool::with_deadline(4, Duration::from_millis(100));
+        pool.run(|_| {}).unwrap();
+        pool.mark_dead();
+        assert_eq!(pool.run(|_| {}), Err(PoolError::Unusable));
+        assert_eq!(pool.run(|_| {}), Err(PoolError::Unusable));
+        drop(pool); // must detach, not deadlock
+    }
+
+    #[test]
+    fn drop_tolerates_exited_workers() {
+        // Worker threads that already unwound through a poisoned start
+        // barrier must not deadlock Drop's shutdown handshake.
+        let pool = ThreadPool::with_deadline(3, Duration::from_millis(100));
+        pool.shared.start.poison();
+        // Give the workers a moment to observe the poison and exit.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(pool); // start.wait_deadline errors; handles are detached
+    }
+
+    #[test]
+    fn error_display_formats() {
+        let e = PoolError::Panicked { panics: vec![(2, "boom".into())] };
+        let s = e.to_string();
+        assert!(s.contains("tid 2") && s.contains("boom"), "{s}");
+        let e = PoolError::Barrier(BarrierError::Poisoned);
+        assert!(e.to_string().contains("poisoned"));
+        assert!(PoolError::Unusable.to_string().contains("disabled"));
     }
 }

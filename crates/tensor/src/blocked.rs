@@ -12,6 +12,9 @@
 //! the input of the next in the *same* layout, no reshuffling happens
 //! between layers (§4.1).
 
+// Index-based loops are the idiom throughout: most walk several
+// arrays with derived offsets, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 use wino_simd::{AlignedVec, S};
 
 use crate::{flat_index, volume, ShapeError, SimpleImage, SimpleKernels};
@@ -29,10 +32,10 @@ impl BlockedImage {
     /// Zero-filled blocked image batch. `channels` must be a multiple of
     /// `S` (asserted by the paper for all modern ConvNets).
     pub fn zeros(batch: usize, channels: usize, dims: &[usize]) -> Result<Self, ShapeError> {
-        if channels == 0 || channels % S != 0 {
+        if channels == 0 || !channels.is_multiple_of(S) {
             return Err(ShapeError::ChannelsNotVectorMultiple { channels });
         }
-        if batch == 0 || dims.iter().any(|&d| d == 0) {
+        if batch == 0 || dims.contains(&0) {
             return Err(ShapeError::ZeroDim);
         }
         Ok(BlockedImage {
@@ -151,10 +154,10 @@ impl BlockedKernels {
         out_channels: usize,
         dims: &[usize],
     ) -> Result<Self, ShapeError> {
-        if out_channels == 0 || out_channels % S != 0 {
+        if out_channels == 0 || !out_channels.is_multiple_of(S) {
             return Err(ShapeError::ChannelsNotVectorMultiple { channels: out_channels });
         }
-        if in_channels == 0 || dims.iter().any(|&d| d == 0) {
+        if in_channels == 0 || dims.contains(&0) {
             return Err(ShapeError::ZeroDim);
         }
         Ok(BlockedKernels {

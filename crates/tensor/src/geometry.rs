@@ -42,8 +42,8 @@ impl ConvShape {
         if batch == 0
             || in_channels == 0
             || out_channels == 0
-            || image_dims.iter().any(|&d| d == 0)
-            || kernel_dims.iter().any(|&d| d == 0)
+            || image_dims.contains(&0)
+            || kernel_dims.contains(&0)
         {
             return Err(ShapeError::ZeroDim);
         }
@@ -116,7 +116,7 @@ impl TileGrid {
         if m.len() != shape.rank() {
             return Err(ShapeError::RankMismatch { expected: shape.rank(), got: m.len() });
         }
-        if m.iter().any(|&x| x == 0) {
+        if m.contains(&0) {
             return Err(ShapeError::ZeroDim);
         }
         let out_dims = shape.out_dims();

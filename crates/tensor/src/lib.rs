@@ -34,7 +34,7 @@ pub use simple::{SimpleImage, SimpleKernels};
 pub use wino_simd::S;
 
 /// Errors for shape construction and conversion.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShapeError {
     /// Channel count not divisible by the vector width `S`.
     ChannelsNotVectorMultiple { channels: usize },
@@ -44,6 +44,9 @@ pub enum ShapeError {
     KernelTooLarge,
     /// Empty or zero-sized dimension.
     ZeroDim,
+    /// Two connected buffers disagree on one extent (batch, channel count,
+    /// spatial dimension, …) — `what` names the quantity.
+    Mismatch { what: &'static str, expected: usize, got: usize },
 }
 
 impl std::fmt::Display for ShapeError {
@@ -59,6 +62,9 @@ impl std::fmt::Display for ShapeError {
             }
             ShapeError::KernelTooLarge => write!(f, "kernel exceeds padded image extent"),
             ShapeError::ZeroDim => write!(f, "zero-sized dimension"),
+            ShapeError::Mismatch { what, expected, got } => {
+                write!(f, "{what} mismatch: expected {expected}, got {got}")
+            }
         }
     }
 }
@@ -98,7 +104,7 @@ pub fn unflatten(mut idx: usize, dims: &[usize]) -> Vec<usize> {
 /// `ceil(a / b)`.
 #[inline]
 pub fn div_ceil(a: usize, b: usize) -> usize {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 #[cfg(test)]

@@ -240,7 +240,7 @@ mod tests {
         let m = BlockedMatrices::new(1, 5, 16, 4, 16);
         assert_eq!(m.padded_rows(), 8);
         // Raw padding area is zero-initialised.
-        let o = m.block_offset(1, 0, 0) + 1 * 16; // row 5 (first padded)
+        let o = m.block_offset(1, 0, 0) + 16; // row 5 (first padded)
         assert!(m.as_slice()[o..o + 16].iter().all(|&x| x == 0.0));
     }
 

@@ -216,7 +216,7 @@ impl Transform1D {
             let mut pow = Rational::ONE;
             for i in 0..m {
                 at.set(i, j, pow);
-                pow = pow * p;
+                pow *= p;
             }
         }
         at.set(m - 1, alpha - 1, Rational::ONE); // ∞ column
@@ -239,7 +239,7 @@ impl Transform1D {
             let mut pow = weights[i];
             for j in 0..r {
                 g.set(i, j, pow);
-                pow = pow * p;
+                pow *= p;
             }
         }
         g.set(alpha - 1, r - 1, Rational::ONE); // ∞ row

@@ -13,6 +13,9 @@
 //! rows. The result is still straight-line data interpreted by the scalar
 //! executor here or the S-wide vector executor in `wino-conv`.
 
+// Index-based loops are the idiom throughout: most walk several
+// arrays with derived offsets, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 use crate::program::{MatrixProgram, OpCount, RowProgram, Term};
 
 /// One node of a paired program.
@@ -95,6 +98,7 @@ impl PairedProgram {
         let mut nodes = Vec::new();
         loop {
             // Find the best remaining pairing.
+            #[allow(clippy::type_complexity)]
             let mut best: Option<(usize, usize, Vec<Term>, Vec<Term>, usize)> = None;
             for i in 0..n {
                 if used[i] {
@@ -109,7 +113,7 @@ impl PairedProgram {
                             + terms_cost(&p.rows[j].terms).total();
                         let paired = terms_cost(&u).total() + terms_cost(&v).total() + 2;
                         let gain = direct - paired;
-                        if best.as_ref().map_or(true, |b| gain > b.4) {
+                        if best.as_ref().is_none_or(|b| gain > b.4) {
                             best = Some((i, j, u, v, gain));
                         }
                     }

@@ -14,6 +14,9 @@
 //! the S-wide vector interpreter in `wino-conv`, which processes S = 16
 //! channels per operation exactly like the paper's codelets.
 
+// Index-based loops are the idiom throughout: most walk several
+// arrays with derived offsets, where iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 use crate::matgen::F32Matrix;
 
 /// One term of an output row: `coeff * input[src]`.
@@ -104,8 +107,8 @@ impl MatrixProgram {
         output: &mut [f32],
         out_stride: usize,
     ) {
-        debug_assert!(input.len() >= (self.n_in - 1) * in_stride + 1);
-        debug_assert!(output.len() >= (self.n_out - 1) * out_stride + 1);
+        debug_assert!(input.len() > (self.n_in - 1) * in_stride);
+        debug_assert!(output.len() > (self.n_out - 1) * out_stride);
         for (i, row) in self.rows.iter().enumerate() {
             let mut acc = 0.0f32;
             for t in &row.terms {

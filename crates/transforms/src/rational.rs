@@ -164,6 +164,7 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a·b⁻¹ over ℚ
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }

@@ -51,6 +51,7 @@ impl Layer {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one argument per Table 2 column
 fn layer(
     network: Network,
     label: &'static str,

@@ -10,30 +10,29 @@
 //! All generators are seeded so every experiment is reproducible bit for
 //! bit.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wino_rng::Rng;
 use wino_tensor::{ConvShape, SimpleImage, SimpleKernels};
 
 /// Uniform `[-0.1, 0.1]` input batch (the paper's input distribution).
 pub fn uniform_input(shape: &ConvShape, seed: u64) -> SimpleImage {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut img = SimpleImage::zeros(shape.batch, shape.in_channels, &shape.image_dims);
     for v in img.data.iter_mut() {
-        *v = rng.gen_range(-0.1f32..0.1f32);
+        *v = rng.range_f32(-0.1, 0.1);
     }
     img
 }
 
 /// Xavier-initialised kernels (training-mode distribution).
 pub fn xavier_kernels(shape: &ConvShape, seed: u64) -> SimpleKernels {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ker_vol: usize = shape.kernel_dims.iter().product();
     let fan_in = shape.in_channels * ker_vol;
     let fan_out = shape.out_channels * ker_vol;
     let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
     let mut k = SimpleKernels::zeros(shape.out_channels, shape.in_channels, &shape.kernel_dims);
     for v in k.data.iter_mut() {
-        *v = rng.gen_range(-bound..bound);
+        *v = rng.range_f32(-bound, bound);
     }
     k
 }
@@ -42,7 +41,7 @@ pub fn xavier_kernels(shape: &ConvShape, seed: u64) -> SimpleKernels {
 /// magnitudes with a sparsity/decay profile loosely matching trained
 /// filters (a few large weights, many small ones).
 pub fn pretrained_kernels(shape: &ConvShape, seed: u64) -> SimpleKernels {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x57ab_1e5e_ed00_d1ce);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x57ab_1e5e_ed00_d1ce);
     let ker_vol: usize = shape.kernel_dims.iter().product();
     let fan_in = shape.in_channels * ker_vol;
     let fan_out = shape.out_channels * ker_vol;
@@ -52,7 +51,7 @@ pub fn pretrained_kernels(shape: &ConvShape, seed: u64) -> SimpleKernels {
         // Heavy-tailed-ish: square a uniform to concentrate mass near 0,
         // keep the sign — trained filters are mostly small with a few
         // strong weights.
-        let u: f32 = rng.gen_range(-1.0f32..1.0f32);
+        let u: f32 = rng.range_f32(-1.0, 1.0);
         *v = u * u.abs() * bound * 2.0;
     }
     k

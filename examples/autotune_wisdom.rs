@@ -55,6 +55,7 @@ fn main() {
         let mut out = plan.new_output().unwrap();
         let timing = time_best(3, || {
             plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor)
+                .expect("example forward failed");
         });
         println!("forward with {name:>14} blocking: {:.3} ms", timing.best_ms);
     }

@@ -25,6 +25,7 @@ fn main() {
         let mut scratch = Scratch::new(&plan, 1);
         let t = time_best(3, || {
             plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor)
+                .expect("example forward failed");
         });
         println!(
             "  layer {}: tile {:?} (alpha 6), {:.2} ms -> {:.1} MVox/s",

@@ -1,0 +1,73 @@
+//! Graceful degradation in action: a network whose middle layer cannot be
+//! planned as Winograd (tile far larger than the image) still runs under
+//! the default [`FallbackPolicy`], with the downgrade visible in the
+//! per-layer [`ExecutionReport`]s — while the strict policy turns the same
+//! situation into a typed error.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use wino_conv::{Activation, ConvOptions, FallbackPolicy, LayerSpec, Network};
+use wino_sched::StaticExecutor;
+use wino_tensor::{BlockedImage, BlockedKernels, SimpleImage, SimpleKernels};
+
+fn main() {
+    let spec = |m: &[usize]| LayerSpec {
+        out_channels: 16,
+        kernel: vec![3, 3],
+        padding: vec![1, 1],
+        m: m.to_vec(),
+        activation: Activation::Relu,
+    };
+    // Layer 1 is fine; layer 2 asks for F(40×40) on a 12×12 image — no
+    // Winograd plan exists for it.
+    let specs = [spec(&[2, 2]), spec(&[40, 40]), spec(&[2, 2])];
+
+    // Strict planning fails with a typed, printable error.
+    match Network::new(1, 16, &[12, 12], &specs, ConvOptions::default(), 4) {
+        Ok(_) => println!("strict planning unexpectedly succeeded"),
+        Err(e) => println!("strict policy: planning failed: {e}"),
+    }
+
+    // The permissive (default) policy absorbs the failure into im2col.
+    let mut net = Network::with_policy(
+        1,
+        16,
+        &[12, 12],
+        &specs,
+        ConvOptions::default(),
+        4,
+        &FallbackPolicy::default(),
+    )
+    .expect("permissive planning absorbs the bad layer");
+
+    let img = SimpleImage::from_fn(1, 16, &[12, 12], |_, c, xy| {
+        ((c + xy[0] * 3 + xy[1]) % 19) as f32 * 0.05 - 0.4
+    });
+    let input = BlockedImage::from_simple(&img).unwrap();
+    let kernels: Vec<BlockedKernels> = (0..specs.len())
+        .map(|i| {
+            let k = SimpleKernels::from_fn(16, 16, &[3, 3], |co, ci, xy| {
+                ((co * 3 + ci * 7 + xy[0] + xy[1] + i) % 13) as f32 * 0.06 - 0.3
+            });
+            BlockedKernels::from_simple(&k).unwrap()
+        })
+        .collect();
+
+    let exec = StaticExecutor::new(4);
+    let (out, reports) = net
+        .run_net(&input, &kernels, &exec, &FallbackPolicy::default())
+        .expect("degraded execution still succeeds");
+
+    println!("\nper-layer execution reports:");
+    for r in &reports {
+        match &r.fallback {
+            Some(reason) => println!("  layer {}: {:?} (fallback: {reason})", r.layer, r.backend),
+            None => println!("  layer {}: {:?}", r.layer, r.backend),
+        }
+    }
+    println!("\nfinal activation: {:?} × {} channels", out.dims, out.channels);
+    let sum: f32 = out.as_slice().iter().sum();
+    println!("checksum: {sum:.4}");
+}

@@ -36,7 +36,7 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, l)| {
-            let s = &l.plan.shape;
+            let s = l.plan.shape();
             let k = SimpleKernels::from_fn(s.out_channels, s.in_channels, &[3, 3], |co, ci, xy| {
                 ((co * 5 + ci * 3 + xy[0] + xy[1] * 2 + i * 7) % 17) as f32 * 0.02 - 0.15
             });
@@ -44,18 +44,18 @@ fn main() {
         })
         .collect();
 
-    let img = wino_workloads::uniform_input(&net.layers()[0].plan.shape, 77);
+    let img = wino_workloads::uniform_input(net.layers()[0].plan.shape(), 77);
     let input = BlockedImage::from_simple(&img).unwrap();
 
-    let train = net.forward(&input, &kernels, &SerialExecutor);
+    let train = net.forward(&input, &kernels, &SerialExecutor).unwrap();
     let t_train = time_best(3, || {
-        let _ = net.forward(&input, &kernels, &SerialExecutor);
+        net.forward(&input, &kernels, &SerialExecutor).unwrap();
     });
 
     let tks = net.prepare_kernels(&kernels, &SerialExecutor).unwrap();
-    let fx = net.forward_fx(&input, &tks, &SerialExecutor);
+    let fx = net.forward_fx(&input, &tks, &SerialExecutor).unwrap();
     let t_fx = time_best(3, || {
-        let _ = net.forward_fx(&input, &tks, &SerialExecutor);
+        net.forward_fx(&input, &tks, &SerialExecutor).unwrap();
     });
 
     assert_eq!(train.as_slice(), fx.as_slice(), "FX must be bit-identical");

@@ -47,10 +47,10 @@ fn main() {
     let mut a2 = plan2.new_output().unwrap();
 
     let t0 = std::time::Instant::now();
-    plan1.forward(&input, &k1, &mut a1, &mut s1, &SerialExecutor);
+    plan1.forward(&input, &k1, &mut a1, &mut s1, &SerialExecutor).unwrap();
     relu_inplace(&mut a1);
     // a1 feeds plan2 directly — same blocked layout, zero conversion.
-    plan2.forward(&a1, &k2, &mut a2, &mut s2, &SerialExecutor);
+    plan2.forward(&a1, &k2, &mut a2, &mut s2, &SerialExecutor).unwrap();
     relu_inplace(&mut a2);
     let ms = t0.elapsed().as_secs_f64() * 1e3;
 

@@ -48,11 +48,13 @@ fn main() {
     .unwrap();
     let t = time_best(3, || {
         direct_conv(&input, &kernels, &layer.shape.padding, &mut out, exec.as_ref())
+            .expect("direct_conv failed");
     });
     println!("{:<24} {:>10.3} {:>14.1}", "direct", t.best_ms, effective_gflops(&layer.shape, t.best_ms));
 
     let t = time_best(3, || {
         im2col_conv(&input, &kernels, &layer.shape.padding, &mut out, exec.as_ref())
+            .expect("im2col_conv failed");
     });
     println!("{:<24} {:>10.3} {:>14.1}", "im2col-gemm", t.best_ms, effective_gflops(&layer.shape, t.best_ms));
 
@@ -63,6 +65,7 @@ fn main() {
         let mut wout = plan.new_output().unwrap();
         let t = time_best(3, || {
             plan.forward(&input, &kernels, &mut wout, &mut scratch, exec.as_ref())
+                .expect("forward failed");
         });
         println!(
             "{:<24} {:>10.3} {:>14.1}",
@@ -70,9 +73,10 @@ fn main() {
             t.best_ms,
             effective_gflops(&layer.shape, t.best_ms)
         );
-        let tk = plan.prepare_kernels(&kernels, &mut scratch, exec.as_ref());
+        let tk = plan.prepare_kernels(&kernels, &mut scratch, exec.as_ref()).unwrap();
         let t = time_best(3, || {
             plan.forward_fx(&input, &tk, &mut wout, &mut scratch, exec.as_ref())
+                .expect("forward_fx failed");
         });
         println!(
             "{:<24} {:>10.3} {:>14.1}",

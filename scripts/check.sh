@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full local gate: build, test (both feature configurations) and lint,
+# each under a timeout so a hung fork–join can never wedge CI. Run from
+# the repo root: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Generous wall-clock caps: the watchdog-path tests sleep deliberately,
+# but nothing here should come close to these bounds.
+BUILD_TIMEOUT=${BUILD_TIMEOUT:-900}
+TEST_TIMEOUT=${TEST_TIMEOUT:-900}
+
+run() {
+    echo "==> $*"
+    timeout --kill-after=30 "$1" "${@:2}"
+}
+
+run "$BUILD_TIMEOUT" cargo build --workspace --offline --release
+run "$BUILD_TIMEOUT" cargo build --workspace --offline --all-targets
+run "$TEST_TIMEOUT" cargo test --workspace --offline -q
+run "$TEST_TIMEOUT" cargo test --workspace --offline -q --features fault-inject
+run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets -- -D warnings
+run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features fault-inject -- -D warnings
+
+echo "All checks passed."

@@ -20,13 +20,16 @@
 //!   convolutions;
 //! * [`fft`] (`wino-fft`) — FFT substrate and FFT convolution baseline;
 //! * [`workloads`] (`wino-workloads`) — the Table 2 catalogue, data
-//!   generators and metrics.
+//!   generators and metrics;
+//! * [`rng`] (`wino-rng`) — seeded PRNG for data generation and
+//!   property-style tests (no registry access required).
 
 pub use wino_baseline as baseline;
 pub use wino_conv as conv;
 pub use wino_fft as fft;
 pub use wino_gemm as gemm;
 pub use wino_jit as jit;
+pub use wino_rng as rng;
 pub use wino_sched as sched;
 pub use wino_simd as simd;
 pub use wino_tensor as tensor;

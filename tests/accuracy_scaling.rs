@@ -21,7 +21,7 @@ fn winograd_error(shape: &ConvShape, m: &[usize], points: PointSchedule) -> (f64
     let kernels = BlockedKernels::from_simple(&ker).unwrap();
     let mut out = plan.new_output().unwrap();
     let mut scratch = Scratch::new(&plan, 1);
-    plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor);
+    plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor).unwrap();
     element_errors(&out.to_simple(), &truth)
 }
 
@@ -77,7 +77,8 @@ fn f2_is_more_accurate_than_direct_f32() {
         &shape.padding,
         &mut dout,
         &SerialExecutor,
-    );
+    )
+    .unwrap();
     let (direct_max, _) = element_errors(&dout.to_simple(), &truth);
     assert!(
         wino_max < direct_max,
@@ -120,7 +121,7 @@ fn every_scaled_layer_plans_and_runs() {
             let kernels = BlockedKernels::from_simple(&ker).unwrap();
             let mut out = plan.new_output().unwrap();
             let mut scratch = Scratch::new(&plan, 1);
-            plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor);
+            plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor).unwrap();
             let truth = direct_f64(&img, &ker, &layer.shape.padding);
             let (max_err, _) = element_errors(&out.to_simple(), &truth);
             assert!(max_err < 1e-3, "{}: max err {max_err}", layer.id());
@@ -143,7 +144,7 @@ fn tile_selection_picks_a_valid_plan() {
     let kernels = BlockedKernels::from_simple(&ker).unwrap();
     let mut out = sel.plan.new_output().unwrap();
     let mut scratch = Scratch::new(&sel.plan, 1);
-    sel.plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor);
+    sel.plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor).unwrap();
     let truth = direct_f64(&img, &ker, &shape.padding);
     let (max_err, _) = element_errors(&out.to_simple(), &truth);
     assert!(max_err < 1e-3);

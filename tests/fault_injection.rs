@@ -1,0 +1,270 @@
+//! Fault-injection harness: end-to-end exercises of every recovery path
+//! in the execution layer, driven by the `wino_sched::fault` hooks.
+//!
+//! Compile and run with `cargo test --features fault-inject`. Without the
+//! feature the whole file compiles to nothing — release builds carry no
+//! injection hooks.
+//!
+//! The armed fault is process-global, so every test serialises itself via
+//! [`fault::test_lock`] and disarms on entry and exit.
+
+#![cfg(feature = "fault-inject")]
+
+use std::time::{Duration, Instant};
+
+use winograd_nd_repro::conv::{
+    Activation, ConvOptions, ExecutionReport, FallbackPolicy, FallbackReason, LayerBackend,
+    LayerSpec, Network, WinoError,
+};
+use winograd_nd_repro::sched::fault::{self, When};
+use winograd_nd_repro::sched::{BarrierError, PoolError, SerialExecutor, StaticExecutor};
+use winograd_nd_repro::tensor::{BlockedImage, BlockedKernels, SimpleImage, SimpleKernels};
+
+const THREADS: usize = 4;
+
+fn spec(m: &[usize]) -> LayerSpec {
+    LayerSpec {
+        out_channels: 16,
+        kernel: vec![3, 3],
+        padding: vec![1, 1],
+        m: m.to_vec(),
+        activation: Activation::None,
+    }
+}
+
+fn test_net(m: &[usize], policy: &FallbackPolicy) -> Network {
+    Network::with_policy(1, 16, &[8, 8], &[spec(m)], ConvOptions::default(), THREADS, policy)
+        .expect("test layer must plan")
+}
+
+fn test_data() -> (BlockedImage, BlockedKernels) {
+    let img = SimpleImage::from_fn(1, 16, &[8, 8], |_, c, xy| {
+        ((c * 7 + xy[0] * 3 + xy[1]) % 23) as f32 * 0.04 - 0.4
+    });
+    let ker = SimpleKernels::from_fn(16, 16, &[3, 3], |co, ci, xy| {
+        ((co * 5 + ci * 11 + xy[0] + xy[1] * 2) % 17) as f32 * 0.05 - 0.4
+    });
+    (BlockedImage::from_simple(&img).unwrap(), BlockedKernels::from_simple(&ker).unwrap())
+}
+
+/// Ground truth: the same layer run cleanly with the serial executor.
+fn clean_reference(m: &[usize]) -> BlockedImage {
+    let mut net = test_net(m, &FallbackPolicy::strict());
+    let (input, kernels) = test_data();
+    net.forward(&input, &[kernels], &SerialExecutor).expect("clean reference run")
+}
+
+fn assert_close(got: &BlockedImage, want: &BlockedImage, tol: f32, ctx: &str) {
+    let (g, w) = (got.as_slice(), want.as_slice());
+    assert_eq!(g.len(), w.len(), "{ctx}: length mismatch");
+    for (i, (a, b)) in g.iter().zip(w).enumerate() {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{ctx}: elem {i}: {a} vs {b}");
+    }
+}
+
+/// A worker panicking mid-layer surfaces as `WinoError::Pool` with the
+/// faulting tid attributed — and the *same* pool then runs a clean layer,
+/// because panics are contained and every participant still crosses the
+/// end barrier.
+#[test]
+fn worker_panic_is_contained_and_pool_survives() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    let exec = StaticExecutor::new(THREADS);
+    let mut net = test_net(&[2, 2], &FallbackPolicy::default());
+    let (input, kernels) = test_data();
+
+    fault::arm_panic(2, When::Next);
+    let t0 = Instant::now();
+    let err = net
+        .run_layer(0, &input, &kernels, &exec, &FallbackPolicy::default())
+        .expect_err("injected panic must surface");
+    assert!(t0.elapsed() < Duration::from_secs(10), "panic path must not hang");
+    match &err {
+        WinoError::Pool(PoolError::Panicked { panics }) => {
+            assert!(
+                panics.iter().any(|(tid, msg)| *tid == 2 && msg.contains("injected fault")),
+                "panic must be attributed to tid 2: {panics:?}"
+            );
+        }
+        other => panic!("expected Pool(Panicked), got {other:?}"),
+    }
+    assert!(!exec.pool().is_dead(), "a contained panic must not kill the pool");
+
+    // Same pool, clean layer: full recovery, correct numerics.
+    let (out, report) = net
+        .run_layer(0, &input, &kernels, &exec, &FallbackPolicy::default())
+        .expect("pool must be reusable after a contained panic");
+    assert_eq!(report.backend, LayerBackend::WinogradMono);
+    assert_eq!(report.fallback, None);
+    assert_close(&out, &clean_reference(&[2, 2]), 1e-5, "post-panic rerun");
+
+    fault::reset();
+}
+
+/// A participant that never reaches the end barrier trips the watchdog:
+/// the caller gets `BarrierError::Timeout` with arrival accounting well
+/// before the stall resolves, and the pool is dead (poisoned) afterwards.
+#[test]
+fn barrier_stall_trips_watchdog_and_poisons_pool() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    let deadline = Duration::from_millis(200);
+    let exec = StaticExecutor::with_deadline(THREADS, deadline);
+    let mut net = test_net(&[2, 2], &FallbackPolicy::default());
+    let (input, kernels) = test_data();
+
+    fault::arm_stall(1, When::Next, Duration::from_millis(1500));
+    let t0 = Instant::now();
+    let err = net
+        .run_layer(0, &input, &kernels, &exec, &FallbackPolicy::default())
+        .expect_err("stalled participant must trip the watchdog");
+    let waited_for = t0.elapsed();
+    assert!(
+        waited_for < Duration::from_millis(1200),
+        "watchdog must fire before the stall resolves (took {waited_for:?})"
+    );
+    match &err {
+        WinoError::Pool(PoolError::Barrier(BarrierError::Timeout { arrived, expected, .. })) => {
+            assert_eq!(*expected, THREADS, "calling thread is tid 0, workers 1..N");
+            assert!(*arrived < *expected, "the stalled tid must be missing");
+        }
+        other => panic!("expected Pool(Barrier(Timeout)), got {other:?}"),
+    }
+    assert!(exec.pool().is_dead(), "a tripped watchdog must kill the pool");
+
+    // The dead pool refuses further work instead of hanging.
+    let err = net
+        .run_layer(0, &input, &kernels, &exec, &FallbackPolicy::default())
+        .expect_err("dead pool must refuse work");
+    assert!(
+        matches!(err, WinoError::Pool(PoolError::Unusable)),
+        "expected Pool(Unusable), got {err:?}"
+    );
+    // Dropping `exec` at scope end must not hang even with the worker
+    // still asleep — covered implicitly by the test completing.
+    fault::reset();
+}
+
+/// A NaN injected into any of the three Winograd stages trips the numeric
+/// guard; with the default policy the layer transparently re-executes via
+/// im2col, matching the clean result, and the report says why.
+#[test]
+fn poisoned_stage_degrades_to_im2col() {
+    let _guard = fault::test_lock();
+
+    let reference = clean_reference(&[2, 2]);
+    for stage in 1u8..=3 {
+        fault::reset();
+        let exec = StaticExecutor::new(THREADS);
+        let mut net = test_net(&[2, 2], &FallbackPolicy::default());
+        let (input, kernels) = test_data();
+
+        fault::arm_poison_stage(stage);
+        let (out, report) = net
+            .run_layer(0, &input, &kernels, &exec, &FallbackPolicy::default())
+            .unwrap_or_else(|e| panic!("stage {stage} poison must be rescued: {e}"));
+        assert_eq!(report.backend, LayerBackend::Im2col, "stage {stage}");
+        assert!(
+            matches!(report.fallback, Some(FallbackReason::NumericGuard(_))),
+            "stage {stage}: report must carry the guard reason, got {:?}",
+            report.fallback
+        );
+        assert_close(&out, &reference, 1e-4, &format!("stage {stage} im2col rescue"));
+    }
+    fault::reset();
+}
+
+/// With im2col rescue disabled, the same guard trip is a typed error —
+/// never a silent NaN output.
+#[test]
+fn numeric_guard_without_rescue_is_a_typed_error() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    let policy = FallbackPolicy { im2col_on_numeric: false, ..FallbackPolicy::default() };
+    let exec = StaticExecutor::new(THREADS);
+    let mut net = test_net(&[2, 2], &policy);
+    let (input, kernels) = test_data();
+
+    fault::arm_poison_stage(2);
+    let err = net
+        .run_layer(0, &input, &kernels, &exec, &policy)
+        .expect_err("guard trip without rescue must error");
+    assert!(matches!(err, WinoError::Numeric(_)), "expected Numeric, got {err:?}");
+
+    fault::reset();
+}
+
+/// A layer with no valid Winograd plan (tile far larger than the image)
+/// is planned and executed via im2col under the permissive policy, with
+/// the plan failure visible in the report — and the output still matches
+/// the clean Winograd reference.
+#[test]
+fn unplannable_layer_runs_via_im2col_with_visible_reason() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    let exec = StaticExecutor::new(THREADS);
+    let mut net = test_net(&[40, 40], &FallbackPolicy::default());
+    let (input, kernels) = test_data();
+
+    let (out, report) = net
+        .run_layer(0, &input, &kernels, &exec, &FallbackPolicy::default())
+        .expect("im2col-planned layer must run");
+    assert_eq!(report.backend, LayerBackend::Im2col);
+    assert!(
+        matches!(report.fallback, Some(FallbackReason::PlanFailed(_))),
+        "report must carry the plan failure, got {:?}",
+        report.fallback
+    );
+    assert_close(&out, &clean_reference(&[2, 2]), 1e-4, "im2col-planned layer");
+
+    fault::reset();
+}
+
+/// Whole-net degradation reporting: one poisoned layer in a two-layer net
+/// yields per-layer reports with the rescue attributed to the right layer.
+#[test]
+fn run_net_reports_attribute_fallbacks_per_layer() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    let exec = StaticExecutor::new(THREADS);
+    let specs = [spec(&[2, 2]), spec(&[2, 2])];
+    let mut net = Network::with_policy(
+        1,
+        16,
+        &[8, 8],
+        &specs,
+        ConvOptions::default(),
+        THREADS,
+        &FallbackPolicy::default(),
+    )
+    .unwrap();
+    let (input, kernels) = test_data();
+    let kernel_sets = vec![kernels.clone(), kernels];
+
+    // Clean run for reference.
+    let (want, clean_reports) = net
+        .run_net(&input, &kernel_sets, &exec, &FallbackPolicy::default())
+        .expect("clean run");
+    assert!(clean_reports.iter().all(|r: &ExecutionReport| r.fallback.is_none()));
+
+    // Poison fires during layer 0's stage 2; layer 1 must run clean.
+    fault::arm_poison_stage(2);
+    let (got, reports) = net
+        .run_net(&input, &kernel_sets, &exec, &FallbackPolicy::default())
+        .expect("poisoned run must be rescued");
+    assert_eq!(reports.len(), 2);
+    assert_eq!(reports[0].layer, 0);
+    assert_eq!(reports[0].backend, LayerBackend::Im2col);
+    assert!(matches!(reports[0].fallback, Some(FallbackReason::NumericGuard(_))));
+    assert_eq!(reports[1].backend, LayerBackend::WinogradMono);
+    assert_eq!(reports[1].fallback, None);
+    assert_close(&got, &want, 1e-4, "two-layer rescue");
+
+    fault::reset();
+}

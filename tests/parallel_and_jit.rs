@@ -6,7 +6,7 @@
 use winograd_nd_repro::conv::{ConvOptions, Scratch, WinogradLayer};
 use winograd_nd_repro::gemm;
 use winograd_nd_repro::jit::{jit_batched_gemm, JitKernelPair};
-use winograd_nd_repro::sched::{Executor, RayonExecutor, SerialExecutor, StaticExecutor};
+use winograd_nd_repro::sched::{DynamicExecutor, Executor, SerialExecutor, StaticExecutor};
 use winograd_nd_repro::tensor::{BlockedImage, BlockedKernels, BlockedMatrices, ConvShape, SimpleImage, SimpleKernels};
 
 fn setup(shape: &ConvShape) -> (BlockedImage, BlockedKernels) {
@@ -31,7 +31,7 @@ fn all_executors_and_thread_counts_agree() {
     let run = |exec: &dyn Executor| {
         let mut scratch = Scratch::new(&plan, exec.threads());
         let mut out = plan.new_output().unwrap();
-        plan.forward(&input, &kernels, &mut out, &mut scratch, exec);
+        plan.forward(&input, &kernels, &mut out, &mut scratch, exec).unwrap();
         out.as_slice().to_vec()
     };
     let reference = run(&SerialExecutor);
@@ -39,7 +39,7 @@ fn all_executors_and_thread_counts_agree() {
         let exec = StaticExecutor::new(threads);
         assert_eq!(run(&exec), reference, "static executor with {threads} threads");
     }
-    assert_eq!(run(&RayonExecutor), reference, "rayon executor");
+    assert_eq!(run(&DynamicExecutor::new(4)), reference, "dynamic executor");
 }
 
 #[test]
@@ -55,7 +55,7 @@ fn ablation_toggles_preserve_results_in_parallel() {
             let plan = WinogradLayer::new(shape.clone(), &[4, 4], opts).unwrap();
             let mut scratch = Scratch::new(&plan, exec.threads());
             let mut out = plan.new_output().unwrap();
-            plan.forward(&input, &kernels, &mut out, &mut scratch, &exec);
+            plan.forward(&input, &kernels, &mut out, &mut scratch, &exec).unwrap();
             outputs.push(out.as_slice().to_vec());
         }
     }
@@ -80,7 +80,7 @@ fn explicit_blockings_all_compute_the_same_conv() {
             let plan = WinogradLayer::new(shape.clone(), &[4, 4], opts).unwrap();
             let mut scratch = Scratch::new(&plan, 1);
             let mut out = plan.new_output().unwrap();
-            plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor);
+            plan.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor).unwrap();
             match &reference {
                 None => reference = Some(out.as_slice().to_vec()),
                 Some(r) => assert_eq!(
@@ -141,12 +141,12 @@ fn scratch_is_shareable_across_same_shaped_layers() {
     let mut scratch = Scratch::new(&plan, 1);
     let mut o_shared_1 = plan.new_output().unwrap();
     let mut o_shared_2 = plan.new_output().unwrap();
-    plan.forward(&input, &k1, &mut o_shared_1, &mut scratch, &SerialExecutor);
-    plan.forward(&input, &k2, &mut o_shared_2, &mut scratch, &SerialExecutor);
+    plan.forward(&input, &k1, &mut o_shared_1, &mut scratch, &SerialExecutor).unwrap();
+    plan.forward(&input, &k2, &mut o_shared_2, &mut scratch, &SerialExecutor).unwrap();
 
     let mut fresh = Scratch::new(&plan, 1);
     let mut o_fresh_2 = plan.new_output().unwrap();
-    plan.forward(&input, &k2, &mut o_fresh_2, &mut fresh, &SerialExecutor);
+    plan.forward(&input, &k2, &mut o_fresh_2, &mut fresh, &SerialExecutor).unwrap();
     assert_eq!(o_shared_2.as_slice(), o_fresh_2.as_slice());
     assert_ne!(o_shared_1.as_slice(), o_shared_2.as_slice());
 }

@@ -43,18 +43,18 @@ fn check_all(shape: ConvShape, m: &[usize], tol: f64) {
     let bi = BlockedImage::from_simple(&img).unwrap();
     let bk = BlockedKernels::from_simple(&ker).unwrap();
     let mut out = BlockedImage::zeros(shape.batch, shape.out_channels, &truth.dims).unwrap();
-    direct_conv(&bi, &bk, &shape.padding, &mut out, &SerialExecutor);
+    direct_conv(&bi, &bk, &shape.padding, &mut out, &SerialExecutor).unwrap();
     let (e, _) = element_errors(&out.to_simple(), &truth);
     assert!(e < tol, "direct: max err {e}");
 
     // im2col + GEMM.
     let mut out2 = BlockedImage::zeros(shape.batch, shape.out_channels, &truth.dims).unwrap();
-    im2col_conv(&bi, &bk, &shape.padding, &mut out2, &SerialExecutor);
+    im2col_conv(&bi, &bk, &shape.padding, &mut out2, &SerialExecutor).unwrap();
     let (e, _) = element_errors(&out2.to_simple(), &truth);
     assert!(e < tol, "im2col: max err {e}");
 
     // FFT.
-    let fout = fft_conv(&img, &ker, &shape.padding, &SerialExecutor);
+    let fout = fft_conv(&img, &ker, &shape.padding, &SerialExecutor).unwrap();
     let (e, _) = element_errors(&fout, &truth);
     assert!(e < tol * 10.0, "fft: max err {e}");
 }
@@ -133,9 +133,9 @@ fn fx_equals_training_mode_across_shapes() {
         let mut scratch = Scratch::new(&plan, 1);
         let mut out_a = plan.new_output().unwrap();
         let mut out_b = plan.new_output().unwrap();
-        plan.forward(&bi, &bk, &mut out_a, &mut scratch, &SerialExecutor);
-        let tk = plan.prepare_kernels(&bk, &mut scratch, &SerialExecutor);
-        plan.forward_fx(&bi, &tk, &mut out_b, &mut scratch, &SerialExecutor);
+        plan.forward(&bi, &bk, &mut out_a, &mut scratch, &SerialExecutor).unwrap();
+        let tk = plan.prepare_kernels(&bk, &mut scratch, &SerialExecutor).unwrap();
+        plan.forward_fx(&bi, &tk, &mut out_b, &mut scratch, &SerialExecutor).unwrap();
         assert_eq!(out_a.as_slice(), out_b.as_slice(), "dims {dims:?}");
     }
 }
