@@ -411,7 +411,13 @@ impl Network {
                     Err(e) if policy.im2col_on_numeric => {
                         report.backend = LayerBackend::Im2col;
                         report.fallback = Some(FallbackReason::NumericGuard(e));
-                        Self::im2col_layer(&plan.shape, input, kernels, exec)?
+                        let rescued = Self::im2col_layer(&plan.shape, input, kernels, exec)?;
+                        // A second trip proves the corruption is not
+                        // Winograd-specific (e.g. non-finite layer input);
+                        // surface it instead of letting the activation
+                        // below map the NaNs to 0.0.
+                        check_finite("im2col rescue output", rescued.as_slice())?;
+                        rescued
                     }
                     Err(e) => return Err(e.into()),
                 }
@@ -651,6 +657,31 @@ mod tests {
         assert_eq!(out.as_slice().len(), reference.as_slice().len());
         for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
             assert!((a - b).abs() < 1e-4, "im2col fallback diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn non_finite_input_is_an_error_not_a_silent_rescue() {
+        // A NaN in the *layer input* trips the output guard, but the
+        // im2col rescue reproduces it — the second guard trip must
+        // surface as an error instead of ReLU mapping the NaN to 0.0.
+        let specs = vec![LayerSpec::same(16, 2, 3, 2)];
+        let mut net = Network::new(1, 16, &[10, 10], &specs, ConvOptions::default(), 1).unwrap();
+        let img = SimpleImage::from_fn(1, 16, &[10, 10], |_, c, xy| {
+            if c == 3 && xy == [5, 5] {
+                f32::NAN
+            } else {
+                (c + xy[0]) as f32 * 0.02
+            }
+        });
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 4);
+        let err = net
+            .run_net(&input, &kernels, &SerialExecutor, &FallbackPolicy::default())
+            .expect_err("a NaN input must not be silently absorbed");
+        match err {
+            WinoError::Numeric(e) => assert_eq!(e.stage, "im2col rescue output"),
+            other => panic!("expected Numeric, got {other:?}"),
         }
     }
 

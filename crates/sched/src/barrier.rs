@@ -22,7 +22,7 @@
 //!    poisoned barrier fails fast with [`BarrierError::Poisoned`] instead
 //!    of spinning on state that can never advance.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Pure spins before falling back to `yield_now` (tuned conservatively:
@@ -40,7 +40,9 @@ pub enum BarrierError {
         /// How long this waiter busy-waited before giving up.
         waited: Duration,
         /// Participants that had arrived in this generation (including
-        /// the reporting waiter) when the watchdog fired.
+        /// the reporting waiter) when the watchdog fired. Approximate:
+        /// captured just before poisoning, so a concurrent late arriver
+        /// may be missed.
         arrived: usize,
         /// Participants required to release the barrier.
         expected: usize,
@@ -64,14 +66,21 @@ impl std::fmt::Display for BarrierError {
 
 impl std::error::Error for BarrierError {}
 
+/// High bit of [`SpinBarrier::state`]: set once the barrier is poisoned.
+/// Keeping the poison flag in the *same* word as the generation counter
+/// makes poisoning and generation completion mutually exclusive (both are
+/// CAS transitions from the un-poisoned current generation): a watchdog
+/// can never poison a crossing that actually succeeded, and a successful
+/// poison guarantees no participant was released for that generation.
+const POISON: usize = 1 << (usize::BITS - 1);
+
 /// A reusable busy-wait barrier for a fixed set of participants.
 pub struct SpinBarrier {
     /// Threads arrived in the current generation.
     count: AtomicUsize,
-    /// Completed generations; waiters spin on this.
-    generation: AtomicUsize,
-    /// Set once a watchdog fires; all waits fail fast afterwards.
-    poisoned: AtomicBool,
+    /// Completed generations in the low bits (waiters spin on this) plus
+    /// the [`POISON`] flag in the high bit.
+    state: AtomicUsize,
     total: usize,
 }
 
@@ -82,12 +91,7 @@ impl SpinBarrier {
     /// Panics if `total == 0`.
     pub fn new(total: usize) -> SpinBarrier {
         assert!(total > 0, "barrier needs at least one participant");
-        SpinBarrier {
-            count: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
-            poisoned: AtomicBool::new(false),
-            total,
-        }
+        SpinBarrier { count: AtomicUsize::new(0), state: AtomicUsize::new(0), total }
     }
 
     pub fn participants(&self) -> usize {
@@ -96,13 +100,14 @@ impl SpinBarrier {
 
     /// Whether a watchdog has poisoned this barrier.
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::Acquire)
+        self.state.load(Ordering::Acquire) & POISON != 0
     }
 
     /// Mark the barrier unusable; concurrent and future waiters fail fast
-    /// with [`BarrierError::Poisoned`].
+    /// with [`BarrierError::Poisoned`]. Unlike the watchdog's poison-CAS,
+    /// this unconditionally kills the barrier whatever generation it is in.
     pub fn poison(&self) {
-        self.poisoned.store(true, Ordering::Release);
+        self.state.fetch_or(POISON, Ordering::AcqRel);
     }
 
     /// Block (busy-wait) until all `total` participants have called
@@ -130,28 +135,43 @@ impl SpinBarrier {
     /// expected }` is returned. If another waiter's watchdog fired first
     /// (or [`Self::poison`] was called), returns `Poisoned` promptly.
     pub fn wait_deadline(&self, deadline: Option<Duration>) -> Result<bool, BarrierError> {
-        if self.is_poisoned() {
+        let gen = self.state.load(Ordering::Acquire);
+        if gen & POISON != 0 {
             return Err(BarrierError::Poisoned);
         }
-        let gen = self.generation.load(Ordering::Acquire);
         // AcqRel: the RMW chain makes every pre-barrier write of every
         // earlier arriver visible to the last arriver.
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.total {
+            // Reset before releasing: a released spinner may re-enter the
+            // next generation immediately.
             self.count.store(0, Ordering::Relaxed);
-            // Release: publishes all pre-barrier writes (transitively, via
-            // the RMW chain) to the spinners' Acquire loads below.
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
-            return Ok(true);
+            // CAS, not store: a concurrently-successful watchdog poison
+            // must win, in which case this crossing never completes and
+            // every participant (including this one) reports Poisoned.
+            // On success the Release publishes all pre-barrier writes
+            // (transitively, via the RMW chain) to the spinners' Acquire
+            // loads below.
+            let next = gen.wrapping_add(1) & !POISON;
+            return match self.state.compare_exchange(
+                gen,
+                next,
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => Ok(true),
+                Err(_) => Err(BarrierError::Poisoned),
+            };
         }
         let mut spins = 0u32;
         let mut yielding_since: Option<Instant> = None;
         loop {
-            if self.generation.load(Ordering::Acquire) != gen {
-                return Ok(false);
-            }
-            if self.is_poisoned() {
+            let s = self.state.load(Ordering::Acquire);
+            if s & POISON != 0 {
                 return Err(BarrierError::Poisoned);
+            }
+            if s != gen {
+                return Ok(false);
             }
             std::hint::spin_loop();
             spins += 1;
@@ -161,17 +181,29 @@ impl SpinBarrier {
                     let t0 = *yielding_since.get_or_insert_with(Instant::now);
                     let waited = t0.elapsed();
                     if waited >= limit {
-                        // Final recheck: the release may have raced the
-                        // clock read. Prefer success over a spurious kill.
-                        if self.generation.load(Ordering::Acquire) != gen {
-                            return Ok(false);
-                        }
-                        self.poison();
-                        return Err(BarrierError::Timeout {
-                            waited,
-                            arrived: self.count.load(Ordering::Relaxed),
-                            expected: self.total,
-                        });
+                        // Capture the arrival count before poisoning (the
+                        // leader resets it as part of completing); our own
+                        // arrival is a floor on the true value.
+                        let seen = self.count.load(Ordering::Relaxed).max(arrived);
+                        // Poison via CAS from the un-poisoned current
+                        // generation: exactly one of {this poison, the
+                        // leader's completion} can win.
+                        return match self.state.compare_exchange(
+                            gen,
+                            gen | POISON,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => Err(BarrierError::Timeout {
+                                waited,
+                                arrived: seen,
+                                expected: self.total,
+                            }),
+                            // Lost to a concurrent poison: fail fast.
+                            Err(s) if s & POISON != 0 => Err(BarrierError::Poisoned),
+                            // Lost to the leader: the crossing succeeded.
+                            Err(_) => Ok(false),
+                        };
                     }
                 }
             }

@@ -19,14 +19,19 @@
 //! truly gone (killed thread, runaway stall) trips the barrier watchdog —
 //! the pool then poisons both barriers so every thread unwinds promptly,
 //! marks itself [`PoolError::Unusable`], and `Drop` detaches instead of
-//! joining threads that may never return.
+//! joining threads that may never return. Because each job borrows the
+//! caller's closure for the duration of the fork–join, an end-barrier
+//! timeout does not return until every participant has provably exited
+//! its job share; a participant wedged *inside* the closure past a grace
+//! period aborts the process rather than let `run` return while the
+//! borrow is live.
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::barrier::{BarrierError, SpinBarrier};
 
@@ -107,6 +112,12 @@ struct Shared {
     panics: Mutex<Vec<(usize, String)>>,
     /// Completed fork–join count; also the epoch used by fault injection.
     epoch: AtomicU64,
+    /// Participants that have finished their job share this fork–join,
+    /// i.e. can no longer dereference the borrowed job closure. Tid 0
+    /// resets it after each successful end-barrier crossing; on an
+    /// end-barrier timeout it gates `run`'s return (see
+    /// [`ThreadPool::await_job_exit`]).
+    job_done: AtomicUsize,
 }
 
 // SAFETY: `job` is only written by the main thread strictly before the
@@ -134,6 +145,12 @@ fn run_job(shared: &Shared, tid: usize, epoch: u64, job: &(dyn Fn(usize) + Sync)
         crate::fault::before_job(tid, epoch);
         job(tid);
     }));
+    // The closure borrow is dead from here on. Release pairs with the
+    // Acquire in `await_job_exit`, publishing the job's writes and making
+    // it sound for `run` to return (dropping the closure) once every
+    // participant has counted in — even if this thread then stalls before
+    // the end barrier (e.g. in the `after_job` fault hook).
+    shared.job_done.fetch_add(1, Ordering::Release);
     if let Err(payload) = result {
         let mut slot = shared.panics.lock().unwrap_or_else(|e| e.into_inner());
         slot.push((tid, panic_message(payload)));
@@ -174,6 +191,7 @@ impl ThreadPool {
             shutdown: AtomicBool::new(false),
             panics: Mutex::new(Vec::new()),
             epoch: AtomicU64::new(0),
+            job_done: AtomicUsize::new(0),
         });
         let workers = (1..n_threads)
             .map(|tid| {
@@ -228,7 +246,10 @@ impl ThreadPool {
     /// [`PoolError::Panicked`] — the pool stays usable. A participant that
     /// never reaches a barrier (killed or stalled thread) trips the
     /// watchdog within [`Self::deadline`]; the pool is then permanently
-    /// [`PoolError::Unusable`].
+    /// [`PoolError::Unusable`]. In that case the error is not returned
+    /// until every participant has exited `f` (so the borrow of `f` and
+    /// anything it captures is dead); a participant wedged inside `f`
+    /// beyond a grace period aborts the process.
     pub fn run<F: Fn(usize) + Sync>(&self, f: F) -> Result<(), PoolError> {
         if self.is_dead() {
             return Err(PoolError::Unusable);
@@ -236,16 +257,23 @@ impl ThreadPool {
         let epoch = self.shared.epoch.fetch_add(1, Ordering::AcqRel);
         if self.n_threads == 1 {
             run_job(&self.shared, 0, epoch, &f);
+            self.shared.job_done.store(0, Ordering::Relaxed);
             wino_simd::sfence();
             return self.drain_panics();
         }
         let ptr: *const (dyn Fn(usize) + Sync + '_) = &f;
         // SAFETY: only the main thread writes `job`, and only outside a
         // fork–join region (workers are parked at the start barrier).
-        // Erasing the lifetime is sound because we do not return before
-        // every worker has crossed the end barrier or the pool is dead —
-        // and a dead pool's workers can no longer dereference the job
-        // (their barriers are poisoned before `run` returns).
+        // Erasing the lifetime is sound because `run` does not return
+        // while any participant can still dereference the job:
+        // * on the successful path, every worker has crossed the end
+        //   barrier (its job share is long done);
+        // * a start-barrier `Timeout` means the poison-CAS beat the
+        //   generation CAS, so no worker was released into the job at
+        //   all (see `SpinBarrier::wait_deadline`);
+        // * an end-barrier timeout blocks in `await_job_exit` until every
+        //   participant's `job_done` increment proves the borrow dead —
+        //   or aborts the process if one is wedged inside the closure.
         let ptr: JobPtr =
             unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), JobPtr>(ptr) };
         unsafe {
@@ -259,9 +287,38 @@ impl ThreadPool {
         wino_simd::sfence();
         if let Err(e) = self.shared.end.wait_deadline(Some(self.deadline)) {
             self.mark_dead();
+            self.await_job_exit();
             return Err(e.into());
         }
+        // Workers are parked at the start barrier again; reset the exit
+        // count for the next fork–join.
+        self.shared.job_done.store(0, Ordering::Relaxed);
         self.drain_panics()
+    }
+
+    /// Block until every participant has exited the current job closure
+    /// (all crossed the start barrier, so all will run it exactly once).
+    /// Called after an end-barrier timeout: the barriers are already
+    /// poisoned, but a participant that is merely slow — or stalled
+    /// *between* its job share and the end barrier — may still hold the
+    /// type-erased borrow of the caller's closure; returning from `run`
+    /// before it lets go would leave it dereferencing freed memory. A
+    /// participant still inside the closure after a further grace period
+    /// is wedged for good, and aborting is the only sound option left.
+    fn await_job_exit(&self) {
+        let grace = self.deadline.max(Duration::from_secs(1));
+        let t0 = Instant::now();
+        while self.shared.job_done.load(Ordering::Acquire) < self.n_threads {
+            if t0.elapsed() > grace {
+                eprintln!(
+                    "wino-sched: fatal: a participant is still executing its job share \
+                     {grace:?} after the end-barrier watchdog fired; aborting, as \
+                     returning would free buffers the stuck thread still references"
+                );
+                std::process::abort();
+            }
+            std::thread::yield_now();
+        }
     }
 
     fn drain_panics(&self) -> Result<(), PoolError> {
@@ -288,7 +345,9 @@ fn worker_loop(shared: &Shared, tid: usize) {
         }
         let epoch = shared.epoch.load(Ordering::Acquire).wrapping_sub(1);
         // SAFETY: the start barrier ordered this read after the main
-        // thread's write; the job pointer is valid until the end barrier.
+        // thread's write; the job pointer stays valid until this thread's
+        // `job_done` increment inside `run_job` (which is what allows the
+        // publisher to return and drop the closure).
         let job = unsafe { (*shared.job.get()).expect("job published before barrier") };
         // SAFETY: dereferencing the type-erased borrow; validity as above.
         run_job(shared, tid, epoch, unsafe { &*job });
@@ -544,6 +603,35 @@ mod tests {
         assert_eq!(pool.run(|_| {}), Err(PoolError::Unusable));
         assert_eq!(pool.run(|_| {}), Err(PoolError::Unusable));
         drop(pool); // must detach, not deadlock
+    }
+
+    #[test]
+    fn end_barrier_timeout_waits_for_slow_job_before_returning() {
+        // A worker still *inside* its job share when the end-barrier
+        // watchdog fires: `run` must not return (dropping the closure and
+        // the captured buffer) until the worker has exited the closure.
+        let pool = ThreadPool::with_deadline(2, Duration::from_millis(50));
+        let buffer = vec![7u8; 4096];
+        let finished = AtomicUsize::new(0);
+        let t0 = Instant::now();
+        let err = pool
+            .run(|tid| {
+                if tid == 1 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                // Touch the captured buffer right up to the end of the
+                // job — a use-after-free if `run` returned early.
+                assert_eq!(buffer[tid], 7);
+                finished.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect_err("watchdog must fire before the slow worker finishes");
+        assert!(matches!(err, PoolError::Barrier(BarrierError::Timeout { .. })), "{err:?}");
+        // `run` returned only after both participants left the closure…
+        assert_eq!(finished.load(Ordering::SeqCst), 2);
+        assert!(t0.elapsed() >= Duration::from_millis(400), "returned while job ran");
+        // …and the pool is dead (the watchdog did fire).
+        assert!(pool.is_dead());
+        drop(pool);
     }
 
     #[test]
