@@ -1,0 +1,55 @@
+//! Seeded violation fixture for `wino-lint` — NOT compiled into any
+//! crate. Each block below seeds exactly one violation; the decoys at the
+//! bottom must not fire. `crates/analyze/src/lint.rs` asserts the exact
+//! violation count, and `scripts/analyze.sh` checks the binary exits
+//! non-zero on this file.
+
+// seed 1: bare unsafe block (unsafe-needs-safety)
+fn seed_unsafe() {
+    let p: *const u32 = std::ptr::null();
+    let _ = unsafe { *p };
+}
+
+// seed 2: bare unsafe fn (unsafe-needs-safety)
+unsafe fn seed_unsafe_fn() {}
+
+// seed 3: bare Relaxed (relaxed-needs-ordering, when linted as crates/sched)
+fn seed_relaxed(a: &std::sync::atomic::AtomicUsize) {
+    use std::sync::atomic::Ordering;
+    a.store(0, Ordering::Relaxed);
+}
+
+// seed 4: static mut (no-static-mut)
+static mut SEED_GLOBAL: u32 = 0;
+
+// seed 5: transmute outside simd/jit (no-transmute-outside-simd-jit)
+fn seed_transmute() -> f32 {
+    // SAFETY: same size and alignment (annotated so only the transmute rule fires)
+    unsafe { std::mem::transmute::<u32, f32>(0x3f80_0000) }
+}
+
+// seed 6: allow without rationale (allow-needs-rationale)
+
+#[allow(dead_code)]
+fn seed_allow() {}
+
+// ---- decoys: none of these may fire ----
+
+fn decoy_annotated() {
+    let p: *const u32 = std::ptr::null();
+    // SAFETY: annotated unsafe is fine (null deref never executed; decoy only)
+    let _ = unsafe { *p };
+}
+
+fn decoy_strings_and_idents() {
+    let _ = "unsafe { static mut } transmute Ordering::Relaxed";
+    let _ = r#"more unsafe text"#;
+    /* block comment mentioning unsafe and /* nested */ transmute */
+    let unsafe_like_ident = 1; // mentions nothing
+    let _ = unsafe_like_ident;
+}
+
+#[allow(clippy::needless_return)] // decoy: rationale present, must not fire
+fn decoy_allow_with_reason() -> u32 {
+    return 1;
+}

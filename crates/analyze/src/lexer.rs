@@ -1,0 +1,437 @@
+//! A small hand-written Rust lexer — just enough fidelity for the
+//! workspace lint rules in [`crate::rules`].
+//!
+//! The rules only need to distinguish *code* from *trivia*: a `SAFETY:`
+//! requirement must not be satisfied by the word `unsafe` inside a string,
+//! nor missed because the keyword hides behind `r#"…"#` or a nested block
+//! comment. The lexer therefore handles, precisely:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string, raw-string (`r"…"`, `r###"…"###`), byte-string and
+//!   raw-byte-string literals with escapes,
+//! * char literals vs. lifetimes (`'a'` vs `'a`),
+//! * raw identifiers (`r#unsafe` is an identifier, **not** the keyword),
+//! * identifiers/keywords, numbers, and single-char punctuation.
+//!
+//! Everything else in Rust's grammar is irrelevant to the rules and is
+//! passed through as punctuation.
+
+/// Token classes the lint rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// `// …` (including doc `///` and `//!`), text without the newline.
+    LineComment,
+    /// `/* … */`, possibly nested; text includes the delimiters.
+    BlockComment,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// Lifetime: `'a` (no closing quote).
+    Lifetime,
+    /// Identifier or keyword (raw identifiers keep their `r#` prefix).
+    Ident,
+    /// Numeric literal (loose: digits plus trailing alphanumerics).
+    Num,
+    /// A single punctuation byte (`;`, `{`, `#`, `:` …).
+    Punct,
+}
+
+/// One token: kind plus its byte span and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// The single punctuation character (only meaningful for `Punct`).
+    pub fn punct(&self, src: &str) -> char {
+        src[self.start..].chars().next().unwrap_or('\0')
+    }
+}
+
+/// Lex `src` into tokens. Never fails: malformed input degenerates into
+/// punctuation tokens rather than an error, which is the right behaviour
+/// for a linter (the compiler owns syntax errors).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, toks: Vec::new() }.run(src)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self, src_str: &str) -> Vec<Token> {
+        let _ = src_str;
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.src[self.pos];
+            let kind = match c {
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.eat_line_comment();
+                    TokKind::LineComment
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.eat_block_comment();
+                    TokKind::BlockComment
+                }
+                b'"' => {
+                    self.eat_string();
+                    TokKind::Str
+                }
+                b'\'' => self.eat_char_or_lifetime(),
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    // Byte literal `b'x'` / `b'\n'`.
+                    self.pos += 1;
+                    self.eat_char_or_lifetime();
+                    TokKind::Char
+                }
+                b'r' | b'b' | b'c' if self.string_prefix_len().is_some() => {
+                    // A prefix like `r#"`, `br##"`, `b"`, `c"` starts a
+                    // (raw) string; `r#ident` is a raw identifier.
+                    let plen = self.string_prefix_len().unwrap();
+                    let prefix = &self.src[self.pos..self.pos + plen];
+                    if self.src.get(self.pos + plen) == Some(&b'"') {
+                        let is_raw = prefix.contains(&b'r');
+                        let hashes = prefix.iter().filter(|&&b| b == b'#').count();
+                        self.pos += plen + 1; // past prefix and opening quote
+                        if is_raw {
+                            self.eat_raw_string_body(hashes);
+                        } else {
+                            self.eat_string_body();
+                        }
+                        TokKind::Str
+                    } else {
+                        // Raw identifier: consume `r#` + ident chars.
+                        self.pos += plen;
+                        self.eat_ident_body();
+                        TokKind::Ident
+                    }
+                }
+                c if c == b'_' || c.is_ascii_alphabetic() => {
+                    self.eat_ident_body();
+                    TokKind::Ident
+                }
+                c if c.is_ascii_digit() => {
+                    self.eat_number();
+                    TokKind::Num
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue;
+                }
+                c if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                    continue;
+                }
+                _ => {
+                    // Multi-byte UTF-8 or ASCII punctuation: one char.
+                    let ch_len = utf8_len(c);
+                    self.pos += ch_len;
+                    TokKind::Punct
+                }
+            };
+            self.toks.push(Token { kind, start, end: self.pos, line });
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// If the bytes at `pos` look like a string prefix (`r`, `b`, `c`,
+    /// `br`, `cr` plus optional `#`s), the prefix length in bytes.
+    /// Returns `None` when the leading letter cannot start a literal.
+    fn string_prefix_len(&self) -> Option<usize> {
+        let mut i = self.pos;
+        let c0 = self.src.get(i)?;
+        if !matches!(c0, b'r' | b'b' | b'c') {
+            return None;
+        }
+        i += 1;
+        if matches!(self.src.get(i), Some(b'r')) && matches!(c0, b'b' | b'c') {
+            i += 1;
+        }
+        let mut j = i;
+        while matches!(self.src.get(j), Some(b'#')) {
+            j += 1;
+        }
+        match self.src.get(j) {
+            Some(b'"') => Some(j - self.pos),
+            // `r#ident` (raw identifier): prefix is `r#`.
+            Some(c) if (c.is_ascii_alphanumeric() || *c == b'_') && j > i && *c0 == b'r' => {
+                Some(j - self.pos)
+            }
+            Some(b'\'') if i == self.pos + 1 && *c0 == b'b' => None, // b'x' handled as char
+            _ => None,
+        }
+    }
+
+    fn eat_line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn eat_block_comment(&mut self) {
+        self.pos += 2; // `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn eat_string(&mut self) {
+        self.pos += 1; // opening quote
+        self.eat_string_body();
+    }
+
+    fn eat_string_body(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.pos += 2.min(self.src.len() - self.pos),
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Body of a raw string already positioned past the opening quote;
+    /// terminated by `"` followed by `hashes` `#`s. No escapes.
+    fn eat_raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            if self.src[self.pos] == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.src.get(self.pos + 1 + k) != Some(&b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// At a `'`: char literal or lifetime?
+    fn eat_char_or_lifetime(&mut self) -> TokKind {
+        // `'\…'` is always a char; `'x'` is a char; `'ident` (no closing
+        // quote after the ident run) is a lifetime.
+        if self.peek(1) == Some(b'\\') {
+            self.pos += 2; // quote + backslash
+            self.pos += 1; // escaped char (u{…} handled by the loop below)
+            while let Some(c) = self.peek(0) {
+                self.pos += 1;
+                if c == b'\'' {
+                    break;
+                }
+            }
+            return TokKind::Char;
+        }
+        let mut j = self.pos + 1;
+        while j < self.src.len()
+            && (self.src[j].is_ascii_alphanumeric() || self.src[j] == b'_' || self.src[j] >= 0x80)
+        {
+            j += 1;
+        }
+        if self.src.get(j) == Some(&b'\'') && j > self.pos + 1 || {
+            // single non-ident char like '(' … ')'
+            j == self.pos + 1 && self.src.get(self.pos + 2) == Some(&b'\'')
+        } {
+            // Char literal (covers `'a'` and `'('`).
+            if j == self.pos + 1 {
+                self.pos += 3;
+            } else {
+                self.pos = j + 1;
+            }
+            TokKind::Char
+        } else {
+            // Lifetime: consume `'` + ident run.
+            self.pos = j.max(self.pos + 1);
+            TokKind::Lifetime
+        }
+    }
+
+    fn eat_ident_body(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80 {
+                self.pos += utf8_len(c);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat_number(&mut self) {
+        // Loose: digits, `_`, alphanumeric suffixes/radix letters, and a
+        // fractional part when followed by a digit (so `1..2` stays two
+        // tokens plus the range dots).
+        while let Some(c) = self.peek(0) {
+            let frac_dot =
+                c == b'.' && self.peek(1).map(|d| d.is_ascii_digit()).unwrap_or(false);
+            if c.is_ascii_alphanumeric() || c == b'_' || frac_dot {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_vs_keywords_in_strings() {
+        let ks = kinds(r#"let s = "unsafe { }"; unsafe {}"#);
+        let unsafe_idents: Vec<_> =
+            ks.iter().filter(|(k, t)| *k == TokKind::Ident && t == "unsafe").collect();
+        assert_eq!(unsafe_idents.len(), 1, "{ks:?}");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Str && t.contains("unsafe")));
+    }
+
+    #[test]
+    fn unsafe_like_identifiers_are_not_the_keyword() {
+        let ks = kinds("fn unsafe_fn() { not_unsafe(); }");
+        assert!(ks.iter().all(|(_, t)| t != "unsafe"), "{ks:?}");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unsafe_fn"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_keyword() {
+        let ks = kinds("let r#unsafe = 1;");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#unsafe"), "{ks:?}");
+        assert!(!ks.iter().any(|(_, t)| t == "unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ unsafe";
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokKind::BlockComment);
+        assert!(ks[0].1.contains("inner") && ks[0].1.contains("still comment"));
+        assert_eq!(ks[1], (TokKind::Ident, "unsafe".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"a "quoted" unsafe"#; let t = r"plain"; x"####;
+        let ks = kinds(src);
+        let strs: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2, "{ks:?}");
+        assert!(strs[0].1.contains("quoted"));
+        assert_eq!(strs[1].1, "r\"plain\"");
+        assert!(ks.last().unwrap().1 == "x");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r##"let a = b"bytes"; let b = br#"raw bytes"#; y"##;
+        let ks = kinds(src);
+        let strs: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2, "{ks:?}");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let ks = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let e = '\n'; let q = '\''; }");
+        let lifetimes: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2, "{ks:?}");
+        let chars: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 3, "{ks:?}");
+    }
+
+    #[test]
+    fn comment_in_string_is_not_a_comment() {
+        let ks = kinds(r#"let s = "// SAFETY: not a comment";"#);
+        assert!(ks.iter().all(|(k, _)| *k != TokKind::LineComment));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let src = "a\nb\n/* c\nd */\ne";
+        let toks = lex(src);
+        let by_text: Vec<(String, u32)> =
+            toks.iter().map(|t| (t.text(src).to_string(), t.line)).collect();
+        assert_eq!(by_text[0], ("a".to_string(), 1));
+        assert_eq!(by_text[1], ("b".to_string(), 2));
+        assert_eq!(by_text[2].1, 3); // block comment starts on line 3
+        assert_eq!(by_text[3], ("e".to_string(), 5));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let ks = kinds("for i in 0..10 { let f = 1.5; }");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Num && t == "10"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.5"));
+    }
+
+    #[test]
+    fn lexer_is_lossless_over_code_bytes() {
+        // Every non-whitespace byte of a tricky snippet lands in a token.
+        let src = r##"impl X { fn f(&self) -> &'static str { r#"s"# } } // t"##;
+        let toks = lex(src);
+        let covered: usize = toks.iter().map(|t| t.end - t.start).sum();
+        let nonws: usize = src.bytes().filter(|b| !b.is_ascii_whitespace()).count();
+        // Comments/strings include interior spaces, so covered ≥ nonws.
+        assert!(covered >= nonws, "covered {covered} < non-ws {nonws}");
+    }
+}

@@ -1,0 +1,27 @@
+//! `wino-analyze` — repo-native static analysis and concurrency
+//! verification for the Winograd workspace. No external dependencies.
+//!
+//! Two halves:
+//!
+//! * **Linter** ([`lexer`], [`rules`], [`lint`], the `wino-lint` binary):
+//!   a hand-written, comment/string-aware Rust lexer drives a table of
+//!   safety-hygiene rules over every workspace source file — `unsafe`
+//!   requires an adjacent `// SAFETY:`, `Ordering::Relaxed` in the
+//!   synchronisation substrate requires `// ORDERING:`, `static mut` and
+//!   stray `mem::transmute` are forbidden, `#[allow(...)]` requires a
+//!   trailing rationale. Violations are errors (non-zero exit), with
+//!   per-rule allowlists declared in [`rules::RULES`].
+//!
+//! * **Model checker** ([`model`], the `wino-model` binary): a loom-style
+//!   deterministic scheduler that exhaustively (or randomly, seeded)
+//!   enumerates bounded interleavings of the *shipped* barrier and
+//!   job-exit-latch source, instantiated over [`model::ModelAtomics`]
+//!   through the `wino_sched::Atomics` seam. Scenario checks live in
+//!   [`model::scenarios`]; re-injections of the two historical PR-1
+//!   concurrency bugs (proving the checker catches them) live in
+//!   [`model::reinject`].
+
+pub mod lexer;
+pub mod lint;
+pub mod model;
+pub mod rules;

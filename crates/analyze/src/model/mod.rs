@@ -1,0 +1,142 @@
+//! A loom-style deterministic concurrency model checker for the
+//! `wino-sched` synchronisation substrate.
+//!
+//! # How it works
+//!
+//! Scenario code runs on real OS threads, but **cooperatively**: a
+//! controller holds a baton and exactly one virtual thread runs at a
+//! time. Every access through the shim atomic types ([`MAtomicUsize`],
+//! [`MAtomicU32`]) is a *yield point* that hands the baton back, so the
+//! controller chooses the interleaving one step at a time. Enumerating
+//! those choices — exhaustively (bounded DFS with replay) or randomly
+//! (seeded via `wino-rng`) — explores the schedule space of the *same
+//! barrier/latch source code that ships*, instantiated at
+//! `SpinBarrierIn<ModelAtomics>` through the [`wino_sched::Atomics`] seam.
+//!
+//! Time is virtual: [`ModelAtomics::spin`] treats a watchdog deadline of
+//! `n` nanoseconds as a budget of `n` spin steps, so every watchdog path
+//! is explored deterministically and every schedule terminates. A spin
+//! with **no** deadline parks the virtual thread until another thread
+//! performs a write (pure stutter steps are pruned); if every live thread
+//! is parked with no writer left, the controller reports a **deadlock**
+//! for that schedule.
+//!
+//! The model checks *interleavings* under sequential consistency; it does
+//! not model weak-memory reordering (`Relaxed` hygiene is instead
+//! enforced textually by `wino-lint`'s `relaxed-needs-ordering` rule).
+//!
+//! Scenario checks live in [`scenarios`]; re-injected historical bugs
+//! (the PR-1 end-barrier use-after-free and poison/generation race) live
+//! in [`reinject`].
+
+pub mod explore;
+pub mod reinject;
+pub mod scenarios;
+
+pub use explore::{explore, Config, ExecResult, Mode, Outcome, Report, Violation};
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use wino_sched::atomics::{AtomicUsizeOps, Atomics};
+
+/// Shim `AtomicUsize`: every operation is a scheduler yield point, then a
+/// sequentially-consistent access to the underlying word.
+pub struct MAtomicUsize {
+    v: std::sync::atomic::AtomicUsize,
+}
+
+impl AtomicUsizeOps for MAtomicUsize {
+    fn new(v: usize) -> Self {
+        MAtomicUsize { v: std::sync::atomic::AtomicUsize::new(v) }
+    }
+    fn load(&self, _order: Ordering) -> usize {
+        explore::yield_access(false);
+        // ORDERING: SeqCst — the model explores interleavings under
+        // sequential consistency by construction.
+        self.v.load(Ordering::SeqCst)
+    }
+    fn store(&self, v: usize, _order: Ordering) {
+        explore::yield_access(true);
+        self.v.store(v, Ordering::SeqCst)
+    }
+    fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
+        explore::yield_access(true);
+        self.v.fetch_add(v, Ordering::SeqCst)
+    }
+    fn fetch_or(&self, v: usize, _order: Ordering) -> usize {
+        explore::yield_access(true);
+        self.v.fetch_or(v, Ordering::SeqCst)
+    }
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<usize, usize> {
+        explore::yield_access(true);
+        self.v.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+}
+
+/// Shim `AtomicU32` for scenario-local state (flags, sentinel cells) that
+/// should interleave like the substrate's own atomics.
+pub struct MAtomicU32 {
+    v: std::sync::atomic::AtomicU32,
+}
+
+impl MAtomicU32 {
+    pub fn new(v: u32) -> Self {
+        MAtomicU32 { v: std::sync::atomic::AtomicU32::new(v) }
+    }
+    pub fn load(&self) -> u32 {
+        explore::yield_access(false);
+        self.v.load(Ordering::SeqCst)
+    }
+    pub fn store(&self, v: u32) {
+        explore::yield_access(true);
+        self.v.store(v, Ordering::SeqCst)
+    }
+    pub fn fetch_add(&self, v: u32) -> u32 {
+        explore::yield_access(true);
+        self.v.fetch_add(v, Ordering::SeqCst)
+    }
+}
+
+/// Spin state for the model: a virtual-time step counter.
+#[derive(Default)]
+pub struct ModelSpinState {
+    spins: u64,
+}
+
+/// The model environment pluggable into the [`wino_sched::Atomics`] seam.
+///
+/// Deadlines are virtual: `Duration::from_nanos(n)` allows `n` spin steps
+/// before the watchdog fires. A `None` deadline parks the virtual thread
+/// until another thread writes (see module docs).
+pub struct ModelAtomics;
+
+impl Atomics for ModelAtomics {
+    type AtomicUsize = MAtomicUsize;
+    type SpinState = ModelSpinState;
+
+    fn spin(state: &mut ModelSpinState, deadline: Option<Duration>) -> Option<Duration> {
+        match deadline {
+            Some(limit) => {
+                let budget = (limit.as_nanos() as u64).max(1);
+                if state.spins >= budget {
+                    return Some(Duration::from_nanos(state.spins));
+                }
+                state.spins += 1;
+                explore::yield_spin_step();
+                None
+            }
+            None => {
+                state.spins += 1;
+                explore::yield_spin_park();
+                None
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Re-injections of the two concurrency bugs fixed in PR 1, proving the
+//! model checker actually finds them.
+//!
+//! 1. **Poison/generation race** ([`RacyBarrier`]): the pre-fix barrier
+//!    completed a generation with a plain `store` and poisoned with an
+//!    unconditional `fetch_or`. A watchdog that decided to poison could
+//!    interleave with a leader completing the crossing, producing a
+//!    generation where one participant succeeded and another reported
+//!    Timeout — the "mixed outcomes" the CAS-from-current-generation
+//!    design makes impossible.
+//!
+//! 2. **End-barrier use-after-free** ([`leaky_publisher`]): the pre-fix
+//!    pool's publisher returned from `run` on an end-barrier timeout
+//!    without waiting for workers to leave the borrowed job closure,
+//!    freeing memory a straggler could still read. The fix gates the
+//!    error path on [`wino_sched::JobExitLatch::await_all`].
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use wino_sched::atomics::{AtomicUsizeOps, Atomics};
+use wino_sched::{BarrierError, JobExitLatch, SpinBarrierIn};
+
+use super::scenarios::{
+    check_all_or_nothing, job_handoff, wait_outcome, JOB_FREED,
+};
+use super::{explore, Config, MAtomicU32, ModelAtomics, Outcome, Report};
+
+const POISON: usize = 1 << (usize::BITS - 1);
+
+/// The PR-1 barrier, bug included: identical sense-reversing algorithm to
+/// the shipped [`SpinBarrierIn`], except generation completion is a plain
+/// `store` and watchdog poisoning an unconditional `fetch_or` — the two
+/// transitions are not mutually exclusive.
+pub struct RacyBarrier<A: Atomics = ModelAtomics> {
+    count: A::AtomicUsize,
+    state: A::AtomicUsize,
+    total: usize,
+}
+
+impl<A: Atomics> RacyBarrier<A> {
+    pub fn new(total: usize) -> RacyBarrier<A> {
+        assert!(total > 0);
+        RacyBarrier {
+            count: A::AtomicUsize::new(0),
+            state: A::AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    pub fn wait_deadline(&self, deadline: Option<Duration>) -> Result<bool, BarrierError> {
+        let gen = self.state.load(Ordering::Acquire);
+        if gen & POISON != 0 {
+            return Err(BarrierError::Poisoned);
+        }
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            // BUG (PR 1): plain store ignores a watchdog that has already
+            // decided to poison this same generation.
+            self.state.store(gen.wrapping_add(1) & !POISON, Ordering::Release);
+            return Ok(true);
+        }
+        let mut spin = A::SpinState::default();
+        loop {
+            let s = self.state.load(Ordering::Acquire);
+            if s & POISON != 0 {
+                return Err(BarrierError::Poisoned);
+            }
+            if s != gen {
+                return Ok(false);
+            }
+            if let Some(waited) = A::spin(&mut spin, deadline) {
+                let seen = self.count.load(Ordering::Relaxed).max(arrived);
+                // BUG (PR 1): unconditional poison — can fire after the
+                // leader completed the crossing, killing a generation that
+                // succeeded (and poisoning the *next* one).
+                self.state.fetch_or(POISON, Ordering::AcqRel);
+                return Err(BarrierError::Timeout {
+                    waited,
+                    arrived: seen,
+                    expected: self.total,
+                });
+            }
+        }
+    }
+}
+
+/// Scenario: two participants with tight virtual watchdogs on the racy
+/// barrier, checked against the same all-or-nothing invariant the shipped
+/// barrier satisfies. The checker MUST find a mixed-outcome schedule
+/// (leader succeeds, straggler reports Timeout).
+pub fn racy_poison_race(cfg: &Config) -> Report {
+    explore(
+        cfg,
+        || {
+            let b = Arc::new(RacyBarrier::<ModelAtomics>::new(2));
+            [2u64, 4]
+                .into_iter()
+                .map(|budget| {
+                    let b = Arc::clone(&b);
+                    Box::new(move || {
+                        wait_outcome(b.wait_deadline(Some(Duration::from_nanos(budget))))
+                    }) as Box<dyn FnOnce() -> super::scenarios::WaitOutcome + Send>
+                })
+                .collect()
+        },
+        |r| {
+            if r.deadlocked {
+                return Err("deadlock".into());
+            }
+            for (i, o) in r.outcomes.iter().enumerate() {
+                if let Outcome::Panicked(m) = o {
+                    return Err(format!("thread {i} panicked: {m}"));
+                }
+            }
+            let outs: Vec<_> = r.outcomes.iter().filter_map(|o| o.done()).copied().collect();
+            check_all_or_nothing(&outs)
+        },
+    )
+}
+
+/// The PR-1 publisher, bug included: on an end-barrier timeout it frees
+/// the borrowed closure immediately instead of draining the exit latch.
+pub fn leaky_publisher(
+    cell: &MAtomicU32,
+    latch: &JobExitLatch<ModelAtomics>,
+    end: &SpinBarrierIn<ModelAtomics>,
+) -> u32 {
+    latch.record_exit();
+    match end.wait_deadline(Some(Duration::from_nanos(2))) {
+        Ok(_) => {
+            cell.store(JOB_FREED);
+            1
+        }
+        Err(_) => {
+            // BUG (PR 1): no `latch.await_all` — the straggler may still
+            // be inside the closure this store "frees".
+            cell.store(JOB_FREED);
+            2
+        }
+    }
+}
+
+/// Scenario: the hand-off protocol with the leaky publisher. The checker
+/// MUST find a schedule where the worker reads freed closure memory.
+pub fn leaky_handoff(cfg: &Config) -> Report {
+    job_handoff(cfg, leaky_publisher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_race_is_found_exhaustively() {
+        let r = racy_poison_race(&Config::exhaustive(200_000));
+        assert!(
+            !r.ok(),
+            "model checker failed to re-find the PR-1 poison/generation race \
+             ({} executions explored)",
+            r.executions
+        );
+        let v = r.violation.unwrap();
+        assert!(v.message.contains("mixed"), "unexpected violation: {}", v.message);
+    }
+
+    #[test]
+    fn use_after_free_is_found_exhaustively() {
+        let r = leaky_handoff(&Config::exhaustive(20_000));
+        assert!(
+            !r.ok(),
+            "model checker failed to re-find the PR-1 end-barrier use-after-free \
+             ({} executions explored)",
+            r.executions
+        );
+        let v = r.violation.unwrap();
+        assert!(v.message.contains("freed"), "unexpected violation: {}", v.message);
+        assert!(!v.schedule.is_empty());
+    }
+
+    #[test]
+    fn poison_race_is_found_by_random_search_too() {
+        let r = racy_poison_race(&Config::random(0xDEC0DE, 20_000));
+        assert!(!r.ok(), "random search missed the race in {} executions", r.executions);
+    }
+}

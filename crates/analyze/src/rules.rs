@@ -1,0 +1,458 @@
+//! The workspace lint rules: a declarative table ([`RULES`]) of
+//! machine-enforced hygiene invariants for `unsafe` code and atomics,
+//! with per-rule allowlists so exceptions are explicit, justified, and
+//! reviewed in one place.
+//!
+//! New crates inherit every rule automatically (the driver lints
+//! `crates/*/src/**/*.rs`); to add a rule, append an entry here and give
+//! it a `check` function over the lexed token stream (see DESIGN.md
+//! §"Static analysis & concurrency verification").
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Which files a rule applies to, as workspace-relative path prefixes.
+pub enum Scope {
+    /// Every linted file.
+    All,
+    /// Only files under these prefixes.
+    Only(&'static [&'static str]),
+    /// Every linted file except those under these prefixes.
+    Except(&'static [&'static str]),
+}
+
+impl Scope {
+    fn applies(&self, path: &str) -> bool {
+        match self {
+            Scope::All => true,
+            Scope::Only(pre) => pre.iter().any(|p| path.starts_with(p)),
+            Scope::Except(pre) => !pre.iter().any(|p| path.starts_with(p)),
+        }
+    }
+}
+
+/// A justified exception to a rule: the file it covers and why.
+pub struct AllowEntry {
+    pub path: &'static str,
+    pub reason: &'static str,
+}
+
+/// One lint rule.
+pub struct Rule {
+    /// Stable kebab-case id, printed with every violation.
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub scope: Scope,
+    /// Files exempt from this rule, each with a recorded reason.
+    pub allow: &'static [AllowEntry],
+    pub check: fn(&FileCtx) -> Vec<RawViolation>,
+}
+
+/// A violation before path/allowlist resolution: line + message.
+pub struct RawViolation {
+    pub line: u32,
+    pub msg: String,
+}
+
+/// A resolved violation ready for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)
+    }
+}
+
+/// Lexed file handed to rule checks.
+pub struct FileCtx<'a> {
+    pub path: &'a str,
+    pub src: &'a str,
+    pub toks: Vec<Token>,
+}
+
+impl<'a> FileCtx<'a> {
+    pub fn new(path: &'a str, src: &'a str) -> FileCtx<'a> {
+        FileCtx { path, src, toks: lex(src) }
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.toks[i].text(self.src)
+    }
+
+    fn is_comment(&self, i: usize) -> bool {
+        matches!(self.toks[i].kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.toks[i].kind == TokKind::Punct && self.toks[i].punct(self.src) == c
+    }
+
+    fn is_boundary(&self, i: usize) -> bool {
+        self.is_punct(i, ';') || self.is_punct(i, '{') || self.is_punct(i, '}')
+    }
+
+    /// Previous non-comment token index before `i`.
+    fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.is_comment(j))
+    }
+
+    /// Next non-comment token index after `i`.
+    fn next_code(&self, i: usize) -> Option<usize> {
+        (i + 1..self.toks.len()).find(|&j| !self.is_comment(j))
+    }
+
+    /// Whether token `i` carries an adjacent justification comment
+    /// containing any of `markers`.
+    ///
+    /// "Adjacent" means: a comment between the start of the enclosing
+    /// statement (the previous `;`/`{`/`}`) and the token, or a trailing
+    /// comment up to and on the line where the statement ends (the next
+    /// `;`/`{`/`}`). This matches both styles in the workspace:
+    ///
+    /// ```text
+    /// // SAFETY: …
+    /// let x = unsafe { … };
+    ///
+    /// count.store(0, Ordering::Relaxed); // ORDERING: …
+    /// ```
+    pub fn annotated(&self, i: usize, markers: &[&str]) -> bool {
+        let has = |j: usize| {
+            let t = self.text(j);
+            markers.iter().any(|m| t.contains(m))
+        };
+        // Backward to the statement start.
+        for j in (0..i).rev() {
+            if self.is_comment(j) {
+                if has(j) {
+                    return true;
+                }
+            } else if self.is_boundary(j) {
+                break;
+            }
+        }
+        // Forward to the statement end, then trailing comments on that line.
+        let mut end_line: Option<u32> = None;
+        for j in i + 1..self.toks.len() {
+            let t = &self.toks[j];
+            if let Some(line) = end_line {
+                if t.line > line {
+                    break;
+                }
+                if self.is_comment(j) && has(j) {
+                    return true;
+                }
+            } else if self.is_comment(j) {
+                if has(j) {
+                    return true;
+                }
+            } else if self.is_boundary(j) {
+                end_line = Some(t.line);
+            }
+        }
+        false
+    }
+}
+
+// ---- rule checks ----
+
+fn check_unsafe_needs_safety(f: &FileCtx) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    for (i, t) in f.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && f.text(i) == "unsafe"
+            && !f.annotated(i, &["SAFETY:", "# Safety"])
+        {
+            out.push(RawViolation {
+                line: t.line,
+                msg: "`unsafe` without an adjacent `// SAFETY:` comment (or `# Safety` doc \
+                      section) justifying it"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn check_relaxed_needs_ordering(f: &FileCtx) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    for (i, t) in f.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || f.text(i) != "Relaxed" {
+            continue;
+        }
+        // Must be `Ordering::Relaxed` (two `:` puncts then `Ordering`).
+        let Some(c1) = f.prev_code(i) else { continue };
+        let Some(c2) = f.prev_code(c1) else { continue };
+        let Some(c3) = f.prev_code(c2) else { continue };
+        if !(f.is_punct(c1, ':') && f.is_punct(c2, ':') && f.text(c3) == "Ordering") {
+            continue;
+        }
+        if !f.annotated(i, &["ORDERING:"]) {
+            out.push(RawViolation {
+                line: t.line,
+                msg: "`Ordering::Relaxed` without an adjacent `// ORDERING:` comment \
+                      justifying why no synchronisation is needed"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn check_no_static_mut(f: &FileCtx) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    for (i, t) in f.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && f.text(i) == "static" {
+            if let Some(n) = f.next_code(i) {
+                if f.toks[n].kind == TokKind::Ident && f.text(n) == "mut" {
+                    out.push(RawViolation {
+                        line: t.line,
+                        msg: "`static mut` is forbidden: use an atomic, a lock, or \
+                              interior mutability with a safety argument"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_no_transmute(f: &FileCtx) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    for (i, t) in f.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && f.text(i) == "transmute" {
+            out.push(RawViolation {
+                line: t.line,
+                msg: "`mem::transmute` outside `crates/simd`/`crates/jit` — prefer safe \
+                      conversions or pointer casts; if unavoidable, add this file to the \
+                      rule's allowlist with a reason"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn check_allow_needs_rationale(f: &FileCtx) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    for i in 0..f.toks.len() {
+        if !f.is_punct(i, '#') {
+            continue;
+        }
+        // `#[allow(` or `#![allow(`
+        let Some(mut j) = f.next_code(i) else { continue };
+        if f.is_punct(j, '!') {
+            let Some(j2) = f.next_code(j) else { continue };
+            j = j2;
+        }
+        if !f.is_punct(j, '[') {
+            continue;
+        }
+        let Some(k) = f.next_code(j) else { continue };
+        if f.toks[k].kind != TokKind::Ident || f.text(k) != "allow" {
+            continue;
+        }
+        // Find the attribute's closing `]` (bracket depth from `[`).
+        let mut depth = 0i32;
+        let mut close = None;
+        for m in j..f.toks.len() {
+            if f.is_punct(m, '[') {
+                depth += 1;
+            } else if f.is_punct(m, ']') {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(m);
+                    break;
+                }
+            }
+        }
+        let Some(close) = close else { continue };
+        let close_line = f.toks[close].line;
+        // Trailing rationale: a comment on the attribute's closing line,
+        // or a comment line directly above the attribute.
+        let trailing = (close + 1..f.toks.len())
+            .take_while(|&m| f.toks[m].line == close_line)
+            .any(|m| f.is_comment(m));
+        let above = (0..i)
+            .rev()
+            .take_while(|&m| f.toks[m].line + 1 >= f.toks[i].line)
+            .any(|m| f.is_comment(m) && f.toks[m].line + 1 == f.toks[i].line);
+        if !trailing && !above {
+            out.push(RawViolation {
+                line: f.toks[i].line,
+                msg: "`#[allow(…)]` without a rationale comment (same line or the line \
+                      directly above)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// The workspace rule table. Order is the reporting order.
+pub static RULES: &[Rule] = &[
+    Rule {
+        id: "unsafe-needs-safety",
+        summary: "every `unsafe` block/fn/impl carries an adjacent `// SAFETY:` justification",
+        scope: Scope::All,
+        allow: &[],
+        check: check_unsafe_needs_safety,
+    },
+    Rule {
+        id: "relaxed-needs-ordering",
+        summary: "every `Ordering::Relaxed` in the concurrency substrate carries `// ORDERING:`",
+        // The substrate crates where a missing happens-before is a
+        // correctness bug rather than a style preference.
+        scope: Scope::Only(&["crates/sched", "crates/simd"]),
+        allow: &[],
+        check: check_relaxed_needs_ordering,
+    },
+    Rule {
+        id: "no-static-mut",
+        summary: "`static mut` is forbidden workspace-wide",
+        scope: Scope::All,
+        allow: &[],
+        check: check_no_static_mut,
+    },
+    Rule {
+        id: "no-transmute-outside-simd-jit",
+        summary: "`mem::transmute` is confined to the SIMD and JIT crates",
+        scope: Scope::Except(&["crates/simd", "crates/jit"]),
+        allow: &[AllowEntry {
+            path: "crates/sched/src/pool.rs",
+            reason: "erases the job closure's lifetime into the type-erased JobPtr; soundness \
+                     is the fork–join protocol proven by the model checker (no participant \
+                     can dereference the pointer after `run` returns)",
+        }],
+        check: check_no_transmute,
+    },
+    Rule {
+        id: "allow-needs-rationale",
+        summary: "`#[allow(…)]` requires a rationale comment",
+        scope: Scope::All,
+        allow: &[],
+        check: check_allow_needs_rationale,
+    },
+];
+
+/// Run every applicable rule over one file.
+pub fn lint_file(path: &str, src: &str) -> Vec<Violation> {
+    let ctx = FileCtx::new(path, src);
+    let mut out = Vec::new();
+    for rule in RULES {
+        if !rule.scope.applies(path) {
+            continue;
+        }
+        if rule.allow.iter().any(|a| a.path == path) {
+            continue;
+        }
+        for rv in (rule.check)(&ctx) {
+            out.push(Violation { path: path.to_string(), line: rv.line, rule: rule.id, msg: rv.msg });
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        lint_file(path, src).into_iter().map(|v| (v.rule, v.line)).collect()
+    }
+
+    #[test]
+    fn annotated_unsafe_passes() {
+        let src = "fn f() {\n    // SAFETY: index is bounds-checked above\n    let x = unsafe { *p.add(1) };\n}\n";
+        assert_eq!(ids("crates/x/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn bare_unsafe_fails() {
+        let src = "fn f() {\n    let x = unsafe { *p.add(1) };\n}\n";
+        assert_eq!(ids("crates/x/src/lib.rs", src), vec![("unsafe-needs-safety", 2)]);
+    }
+
+    #[test]
+    fn trailing_safety_comment_passes() {
+        let src = "fn f() {\n    let x = unsafe { g() }; // SAFETY: g has no preconditions\n}\n";
+        assert_eq!(ids("crates/x/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn safety_doc_section_passes() {
+        let src = "/// Does things.\n///\n/// # Safety\n/// Caller must own the buffer.\npub unsafe fn f() {}\n";
+        assert_eq!(ids("crates/x/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_ident_is_ignored() {
+        let src = "fn unsafe_fn() { let s = \"unsafe\"; let r = r#\"unsafe {}\"#; }\n";
+        assert_eq!(ids("crates/x/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn safety_in_string_does_not_annotate() {
+        let src = "fn f() {\n    let s = \"// SAFETY: fake\"; let x = unsafe { g() };\n}\n";
+        assert_eq!(ids("crates/x/src/lib.rs", src), vec![("unsafe-needs-safety", 2)]);
+    }
+
+    #[test]
+    fn previous_statement_boundary_blocks_stale_comment() {
+        let src = "fn f() {\n    // SAFETY: for the first one only\n    unsafe { a() };\n    let _ = 1;\n    unsafe { b() };\n}\n";
+        assert_eq!(ids("crates/x/src/lib.rs", src), vec![("unsafe-needs-safety", 5)]);
+    }
+
+    #[test]
+    fn relaxed_rule_only_in_substrate_crates() {
+        let src = "fn f(a: &AtomicUsize) { a.store(0, Ordering::Relaxed); }\n";
+        assert_eq!(ids("crates/sched/src/x.rs", src), vec![("relaxed-needs-ordering", 1)]);
+        assert_eq!(ids("crates/gemm/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn relaxed_with_ordering_comment_passes() {
+        let src = "fn f(a: &AtomicUsize) {\n    // ORDERING: counter is only read after join\n    a.store(0, Ordering::Relaxed);\n}\n";
+        assert_eq!(ids("crates/sched/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn non_ordering_relaxed_ident_is_ignored() {
+        let src = "enum Mode { Relaxed } fn f() { let _ = Mode::Relaxed; }\n";
+        assert_eq!(ids("crates/sched/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn static_mut_forbidden_but_static_lifetime_fine() {
+        let src = "static mut G: u32 = 0;\nfn f(s: &'static mut u32) {}\nstatic OK: u32 = 1;\n";
+        assert_eq!(ids("crates/x/src/lib.rs", src), vec![("no-static-mut", 1)]);
+    }
+
+    #[test]
+    fn transmute_scoped_and_allowlisted() {
+        let src = "fn f() {\n    // SAFETY: same layout\n    let x = unsafe { std::mem::transmute::<u32, f32>(1) };\n}\n";
+        assert_eq!(ids("crates/gemm/src/x.rs", src), vec![("no-transmute-outside-simd-jit", 3)]);
+        assert_eq!(ids("crates/simd/src/x.rs", src), vec![]);
+        assert_eq!(ids("crates/jit/src/x.rs", src), vec![]);
+        // Allowlisted file: suppressed.
+        assert_eq!(ids("crates/sched/src/pool.rs", src), vec![]);
+    }
+
+    #[test]
+    fn allow_without_rationale_fails() {
+        let src = "#[allow(clippy::type_complexity)]\nfn f() {}\n";
+        assert_eq!(ids("crates/x/src/lib.rs", src), vec![("allow-needs-rationale", 1)]);
+    }
+
+    #[test]
+    fn allow_with_trailing_or_above_rationale_passes() {
+        let src = "#[allow(clippy::too_many_arguments)] // mirrors the table columns\nfn f() {}\n// the pairing search state is inherently nested\n#[allow(clippy::type_complexity)]\nfn g() {}\n";
+        assert_eq!(ids("crates/x/src/lib.rs", src), vec![]);
+    }
+}

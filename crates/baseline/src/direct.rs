@@ -24,6 +24,8 @@ const WBLK: usize = 8;
 struct MutPtr(*mut f32);
 // SAFETY: tasks write disjoint output rows.
 unsafe impl Sync for MutPtr {}
+// SAFETY: the pointer targets the caller-owned output buffer, which
+// outlives the fork–join that moves this handle between threads.
 unsafe impl Send for MutPtr {}
 impl MutPtr {
     fn get(&self) -> *mut f32 {

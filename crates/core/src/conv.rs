@@ -323,7 +323,7 @@ mod tests {
         use crate::plan::Stage2Backend;
         // Shapes chosen to cover: single k-block + tail panel, multiple
         // k-blocks, 3-D, and the unfused path.
-        #[allow(clippy::type_complexity)]
+        #[allow(clippy::type_complexity)] // (out dims, tile dims, C, C', fused) case table
         let cases: Vec<(Vec<usize>, Vec<usize>, usize, usize, bool)> = vec![
             (vec![10, 10], vec![4, 4], 32, 32, true),   // tail panel likely
             (vec![10, 10], vec![2, 2], 64, 32, true),   // k_blocks > 1 possible

@@ -46,7 +46,7 @@ impl Activation {
 
 /// How a layer is planned to execute. One value exists per network
 /// layer, so the size skew between the variants is irrelevant.
-#[allow(clippy::large_enum_variant)]
+#[allow(clippy::large_enum_variant)] // one value per layer; Box would only add a pointer chase
 pub enum LayerPlan {
     /// The paper's three-stage Winograd pipeline.
     Winograd(WinogradLayer),

@@ -363,6 +363,10 @@ impl Scratch {
     /// # Safety
     /// At most one task may hold a given slot's buffers at a time (the
     /// Executor slot contract).
+    // Audited (PR 2): clippy::mut_from_ref targets *safe* fns minting
+    // `&mut` from `&`; here the `&mut` derives from an `UnsafeCell` and the
+    // fn is `unsafe` with the exclusivity contract stated above, which is
+    // exactly the sanctioned interior-mutability escape hatch. Keep.
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn thread_buf(&self, slot: usize) -> &mut ThreadBuf {
         &mut *self.bufs[slot].get()

@@ -94,6 +94,8 @@ unsafe fn gather_tile(
 struct MutPtr(*mut f32);
 // SAFETY: tasks write disjoint ranges (each owns its (row, col-group)).
 unsafe impl Sync for MutPtr {}
+// SAFETY: the pointer targets plan-owned scratch that outlives the
+// fork–join moving this handle between threads.
 unsafe impl Send for MutPtr {}
 impl MutPtr {
     fn get(&self) -> *mut f32 {

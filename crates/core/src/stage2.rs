@@ -24,6 +24,8 @@ use crate::plan::{Scratch, WinogradLayer};
 struct MutPtr(*mut f32);
 // SAFETY: tasks write disjoint panels / tiles.
 unsafe impl Sync for MutPtr {}
+// SAFETY: the pointer targets plan-owned scratch that outlives the
+// fork–join moving this handle between threads.
 unsafe impl Send for MutPtr {}
 impl MutPtr {
     fn get(&self) -> *mut f32 {
@@ -148,10 +150,20 @@ pub fn multiply_with(
             } else {
                 Output::Block
             };
+            // SAFETY: block offsets for (t, i, j, k) are in bounds of
+            // their panel allocations by construction of the panel
+            // metadata; panel (t, j, i) is owned by this task.
+            let (u_blk, v_blk, x_blk) = unsafe {
+                (
+                    u.as_ptr().add(u.block_offset(i, k, t)),
+                    v.as_ptr().add(v.block_offset(k, j, t)),
+                    x_ptr.get().add(x_meta.block_offset(i, j, t)),
+                )
+            };
             let args = MicroArgs {
-                u: unsafe { u.as_ptr().add(u.block_offset(i, k, t)) },
-                v: unsafe { v.as_ptr().add(v.block_offset(k, j, t)) },
-                x: unsafe { x_ptr.get().add(x_meta.block_offset(i, j, t)) },
+                u: u_blk,
+                v: v_blk,
+                x: x_blk,
                 c_blk,
                 cp_blk,
                 beta: k > 0,

@@ -22,6 +22,8 @@ use crate::stage1::decompose;
 struct MutPtr(*mut f32);
 // SAFETY: tasks write disjoint output tiles.
 unsafe impl Sync for MutPtr {}
+// SAFETY: the pointer targets the caller-owned output image, which
+// outlives the fork–join moving this handle between threads.
 unsafe impl Send for MutPtr {}
 impl MutPtr {
     fn get(&self) -> *mut f32 {

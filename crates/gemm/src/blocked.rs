@@ -84,6 +84,8 @@ struct SendPtr(*mut f32);
 // SAFETY: raw pointer shared across the pool; disjointness of writes is
 // guaranteed by the task grid (each (t, j, i) owns one X̂ panel).
 unsafe impl Sync for SendPtr {}
+// SAFETY: the pointer targets the caller-owned X̂ buffer, which outlives
+// the fork–join moving this handle between threads.
 unsafe impl Send for SendPtr {}
 
 impl SendPtr {

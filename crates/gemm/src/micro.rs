@@ -74,6 +74,8 @@ pub struct MicroArgs {
 /// Look-ahead distance (in `V̂` rows) for L1 prefetches.
 const PF_DIST: usize = 4;
 
+// SAFETY: callers uphold the pointer-validity contract documented on
+// `microkernel` (the only caller), with `NB` as `n_blk`.
 #[inline(always)]
 unsafe fn kernel_impl<const NB: usize>(a: &MicroArgs) {
     let qn = a.cp_blk / S;
@@ -228,6 +230,7 @@ mod tests {
             next_x: std::ptr::null(),
             output: Output::Block,
         };
+        // SAFETY: all buffers are sized to the block shape above.
         unsafe { microkernel(n_blk, &args) };
         microkernel_reference(n_blk, &u, &v, &mut x_ref, c_blk, cp_blk, beta);
 
@@ -291,6 +294,8 @@ mod tests {
             next_x: next_x.as_ptr(),
             output: Output::Block,
         };
+        // SAFETY: all buffers (including the prefetch-only next panels)
+        // are sized to the block shape above.
         unsafe { microkernel(n_blk, &args) };
         microkernel_reference(n_blk, &u, &v, &mut x_ref, c_blk, cp_blk, false);
         for i in 0..n_blk * cp_blk {
@@ -313,6 +318,7 @@ mod tests {
         // group stride of 64 floats separates the q=0 and q=1 groups.
         let mut arena = AlignedVec::zeroed(4096);
         let base = arena.as_mut_ptr();
+        // SAFETY: offsets stay within the 4096-float arena.
         let row_ptrs: Vec<*mut f32> =
             (0..n_blk).map(|j| unsafe { base.add(j * 256) }).collect();
 
@@ -327,6 +333,8 @@ mod tests {
             next_x: std::ptr::null(),
             output: Output::Scatter { row_ptrs: row_ptrs.as_ptr(), group_stride: 64 },
         };
+        // SAFETY: row pointers land in the arena with room for both
+        // column groups; scatter targets are 64-byte aligned.
         unsafe { microkernel(n_blk, &args) };
         wino_simd::sfence();
         microkernel_reference(n_blk, &u, &v, &mut x_ref, c_blk, cp_blk, false);
@@ -357,9 +365,11 @@ mod tests {
         let mut arena = AlignedVec::zeroed(1024);
         let base = arena.as_mut_ptr();
         // Rows 1 and 3 are padding.
+        // SAFETY: offsets stay within the 1024-float arena.
         let row_ptrs: Vec<*mut f32> = vec![
             unsafe { base.add(0) },
             std::ptr::null_mut(),
+            // SAFETY: offset stays within the 1024-float arena.
             unsafe { base.add(128) },
             std::ptr::null_mut(),
         ];
@@ -374,6 +384,8 @@ mod tests {
             next_x: std::ptr::null(),
             output: Output::Scatter { row_ptrs: row_ptrs.as_ptr(), group_stride: 16 },
         };
+        // SAFETY: non-null row pointers are aligned arena slots with room
+        // for one 16-float group each.
         unsafe { microkernel(n_blk, &args) };
         wino_simd::sfence();
         // Only the two targeted rows were written.
@@ -400,6 +412,8 @@ mod tests {
             next_x: std::ptr::null(),
             output: Output::Block,
         };
+        // SAFETY: buffers sized for 31 rows; the dispatcher must panic
+        // before any of them is read.
         unsafe { microkernel(31, &args) };
     }
 }

@@ -219,6 +219,8 @@ mod tests {
         let mut x_jit = x0.clone();
         let mut x_ref: Vec<f32> = x0.as_slice().to_vec();
         let kern = Avx2Kernel::compile(n_blk, c_blk, cp_blk, beta).unwrap();
+        // SAFETY: buffers are sized to the compiled block shape; AVX2
+        // availability was checked by the caller.
         unsafe { kern.call(u.as_ptr(), v.as_ptr(), x_jit.as_mut_ptr()) };
         microkernel_reference(n_blk, &u, &v, &mut x_ref, c_blk, cp_blk, beta);
         for i in 0..n_blk * cp_blk {
@@ -277,6 +279,8 @@ mod tests {
         let mut x_a5 = AlignedVec::zeroed(n_blk * cp_blk);
         let k2 = Avx2Kernel::compile(n_blk, c_blk, cp_blk, false).unwrap();
         let k5 = crate::JitKernel::compile(n_blk, c_blk, cp_blk, false).unwrap();
+        // SAFETY: buffers are sized to the compiled block shape; both ISA
+        // extensions were verified above.
         unsafe {
             k2.call(u.as_ptr(), v.as_ptr(), x_a2.as_mut_ptr());
             k5.call(u.as_ptr(), v.as_ptr(), x_a5.as_mut_ptr());

@@ -48,6 +48,7 @@ pub struct ExecBuffer {
 
 // SAFETY: the mapping is immutable (RX) after construction.
 unsafe impl Send for ExecBuffer {}
+// SAFETY: shared references only ever read/execute the immutable pages.
 unsafe impl Sync for ExecBuffer {}
 
 impl ExecBuffer {
@@ -117,6 +118,7 @@ mod tests {
         // mov eax, 42; ret
         let code = [0xb8, 0x2a, 0x00, 0x00, 0x00, 0xc3];
         let buf = ExecBuffer::from_code(&code).unwrap();
+        // SAFETY: entry() points at valid sysv64 code matching this type.
         let f: extern "sysv64" fn() -> i32 = unsafe { std::mem::transmute(buf.entry()) };
         assert_eq!(f(), 42);
     }
@@ -127,6 +129,7 @@ mod tests {
         // lea eax, [rdi + rsi]; ret  => 8d 04 37 c3
         let code = [0x8d, 0x04, 0x37, 0xc3];
         let buf = ExecBuffer::from_code(&code).unwrap();
+        // SAFETY: entry() points at valid sysv64 code matching this type.
         let f: extern "sysv64" fn(i32, i32) -> i32 = unsafe { std::mem::transmute(buf.entry()) };
         assert_eq!(f(20, 22), 42);
         assert_eq!(f(-1, 1), 0);

@@ -326,6 +326,8 @@ mod tests {
         let mut x_ref: Vec<f32> = x0.as_slice().to_vec();
 
         let kern = JitKernel::compile(n_blk, c_blk, cp_blk, beta).unwrap();
+        // SAFETY: buffers are sized to the compiled block shape; AVX-512
+        // availability was checked by the caller.
         unsafe { kern.call(u.as_ptr(), v.as_ptr(), x_jit.as_mut_ptr()) };
         microkernel_reference(n_blk, &u, &v, &mut x_ref, c_blk, cp_blk, beta);
         for i in 0..n_blk * cp_blk {
@@ -433,6 +435,7 @@ mod tests {
             let group_stride = 64usize;
             let mut arena = AlignedVec::zeroed(n_blk * 256 + (cp_blk / 16) * group_stride);
             let base = arena.as_mut_ptr();
+            // SAFETY: row offsets stay within the arena sized just above.
             let row_ptrs: Vec<*mut f32> = (0..n_blk).map(|j| unsafe { base.add(j * 256) }).collect();
 
             let kern = JitKernel::compile_with_output(
@@ -443,6 +446,8 @@ mod tests {
                 JitOutput::Scatter { group_stride },
             )
             .unwrap();
+            // SAFETY: buffers match the compiled block shape; row pointers
+            // are aligned arena slots with room for every column group.
             unsafe { kern.call_scatter(u.as_ptr(), v.as_ptr(), x0.as_ptr(), row_ptrs.as_ptr()) };
             wino_simd::sfence();
 
@@ -477,6 +482,7 @@ mod tests {
         let run = |jit: bool| -> Vec<f32> {
             let mut arena = AlignedVec::zeroed(4096);
             let base = arena.as_mut_ptr();
+            // SAFETY: row offsets stay within the 4096-float arena.
             let row_ptrs: Vec<*mut f32> =
                 (0..n_blk).map(|j| unsafe { base.add(j * 512) }).collect();
             if jit {
@@ -488,6 +494,8 @@ mod tests {
                     JitOutput::Scatter { group_stride },
                 )
                 .unwrap();
+                // SAFETY: buffers match the compiled block shape; row
+                // pointers are aligned arena slots.
                 unsafe { kern.call_scatter(u.as_ptr(), v.as_ptr(), x.as_ptr(), row_ptrs.as_ptr()) };
             } else {
                 let args = wino_gemm::MicroArgs {
@@ -504,6 +512,8 @@ mod tests {
                         group_stride,
                     },
                 };
+                // SAFETY: same buffers and contract as the JIT branch; x
+                // is only read (beta = false, scatter output).
                 unsafe { wino_gemm::microkernel(n_blk, &args) };
             }
             wino_simd::sfence();

@@ -1,0 +1,158 @@
+//! The `Atomics` seam: the synchronisation substrate (barrier, job-exit
+//! latch) is written once, generically, against this trait, and
+//! instantiated twice —
+//!
+//! * [`StdAtomics`]: real `std::sync::atomic` types plus a wall-clock
+//!   watchdog. This is what ships; `SpinBarrier` is
+//!   `SpinBarrierIn<StdAtomics>`.
+//! * `ModelAtomics` (in `wino-analyze`): shim atomics that report every
+//!   access to a deterministic scheduler so a loom-style model checker can
+//!   enumerate interleavings of the *same source code* that runs in
+//!   production.
+//!
+//! The seam is deliberately tiny: the ops the barrier/latch actually use,
+//! plus one `spin` hook that owns all time-dependence (backoff, yield,
+//! watchdog deadline). Keeping `Instant`/`yield_now` behind the trait is
+//! what makes the algorithms checkable — virtual time in the model is a
+//! bounded step counter, so every schedule terminates.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// The subset of `std::sync::atomic::AtomicUsize`'s API the scheduling
+/// substrate uses. Implementations must provide genuinely atomic
+/// operations with at least the requested ordering.
+pub trait AtomicUsizeOps: Send + Sync {
+    fn new(v: usize) -> Self;
+    fn load(&self, order: Ordering) -> usize;
+    fn store(&self, v: usize, order: Ordering);
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize;
+    fn fetch_or(&self, v: usize, order: Ordering) -> usize;
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize>;
+}
+
+impl AtomicUsizeOps for std::sync::atomic::AtomicUsize {
+    #[inline]
+    fn new(v: usize) -> Self {
+        std::sync::atomic::AtomicUsize::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> usize {
+        std::sync::atomic::AtomicUsize::load(self, order)
+    }
+    #[inline]
+    fn store(&self, v: usize, order: Ordering) {
+        std::sync::atomic::AtomicUsize::store(self, v, order)
+    }
+    #[inline]
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        std::sync::atomic::AtomicUsize::fetch_add(self, v, order)
+    }
+    #[inline]
+    fn fetch_or(&self, v: usize, order: Ordering) -> usize {
+        std::sync::atomic::AtomicUsize::fetch_or(self, v, order)
+    }
+    #[inline]
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        std::sync::atomic::AtomicUsize::compare_exchange(self, current, new, success, failure)
+    }
+}
+
+/// An execution environment for the busy-wait synchronisation code: atomic
+/// word types plus the one backoff/watchdog hook.
+///
+/// The `deadline` passed to [`Atomics::spin`] is interpreted in the
+/// implementation's own timebase: wall-clock for [`StdAtomics`], *virtual
+/// time* (one nanosecond per spin step) for the model checker's
+/// `ModelAtomics`. Algorithms must treat it as opaque.
+pub trait Atomics: 'static {
+    type AtomicUsize: AtomicUsizeOps;
+    /// Per-wait-loop backoff state; fresh (`Default`) at the start of each
+    /// blocking wait.
+    type SpinState: Default;
+
+    /// One iteration of a busy-wait loop: backoff (spin hint, OS yield, or
+    /// model-scheduler yield point) and watchdog check. Returns
+    /// `Some(waited)` once `deadline` has expired, `None` while the caller
+    /// should keep waiting.
+    fn spin(state: &mut Self::SpinState, deadline: Option<Duration>) -> Option<Duration>;
+}
+
+/// Pure spins before falling back to `yield_now` (tuned conservatively:
+/// real barrier crossings complete within tens of spins when cores are
+/// dedicated). Deadline checks also start only after this threshold, so
+/// the fast path performs no clock reads at all.
+const SPINS_BEFORE_YIELD: u32 = 1 << 14;
+
+/// Backoff state for [`StdAtomics`]: spin counter plus the lazily-started
+/// watchdog clock.
+#[derive(Default)]
+pub struct StdSpinState {
+    spins: u32,
+    yielding_since: Option<Instant>,
+}
+
+/// The production environment: real atomics, `spin_loop`/`yield_now`
+/// backoff, wall-clock watchdog.
+pub struct StdAtomics;
+
+impl Atomics for StdAtomics {
+    type AtomicUsize = std::sync::atomic::AtomicUsize;
+    type SpinState = StdSpinState;
+
+    #[inline]
+    fn spin(state: &mut StdSpinState, deadline: Option<Duration>) -> Option<Duration> {
+        std::hint::spin_loop();
+        state.spins += 1;
+        if state.spins >= SPINS_BEFORE_YIELD {
+            std::thread::yield_now();
+            if let Some(limit) = deadline {
+                let t0 = *state.yielding_since.get_or_insert_with(Instant::now);
+                let waited = t0.elapsed();
+                if waited >= limit {
+                    return Some(waited);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_spin_expires_deadline() {
+        let mut st = StdSpinState::default();
+        let limit = Duration::from_millis(5);
+        let t0 = Instant::now();
+        loop {
+            if let Some(waited) = StdAtomics::spin(&mut st, Some(limit)) {
+                assert!(waited >= limit);
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(30), "watchdog never fired");
+        }
+    }
+
+    #[test]
+    fn std_spin_without_deadline_never_expires_quickly() {
+        let mut st = StdSpinState::default();
+        for _ in 0..(SPINS_BEFORE_YIELD + 64) {
+            assert!(StdAtomics::spin(&mut st, None).is_none());
+        }
+    }
+}

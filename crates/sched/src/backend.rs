@@ -168,6 +168,8 @@ impl Executor for DynamicExecutor {
 
         let worker = |slot: usize| {
             let result = catch_unwind(AssertUnwindSafe(|| loop {
+                // ORDERING: Relaxed — the counter only partitions indices;
+                // task data is published by scope-spawn and joined below.
                 let lo = next.fetch_add(DYNAMIC_CHUNK, Ordering::Relaxed);
                 if lo >= total {
                     break;
@@ -219,11 +221,15 @@ mod tests {
         let max_slot = AtomicUsize::new(0);
         e.run_grid(dims, &|slot, i| {
             assert!(slot < e.threads(), "slot {slot} out of range");
+            // ORDERING: Relaxed — test counter, read only after run_grid
+            // returns (its join is the synchronisation point).
             max_slot.fetch_max(slot, Ordering::Relaxed);
+            // ORDERING: Relaxed — same as above.
             hits[i].fetch_add(1, Ordering::Relaxed);
         })
         .unwrap();
         for (i, h) in hits.iter().enumerate() {
+            // ORDERING: Relaxed — all writers joined inside run_grid.
             assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} run {} times", h.load(Ordering::Relaxed));
         }
     }

@@ -1,4 +1,4 @@
-//! The custom busy-wait barrier (§4.5, "Efficient fork–join
+//! The custom busy-wait barrier (§4.2, §4.5, "Efficient fork–join
 //! synchronization") with a watchdog deadline.
 //!
 //! The paper replaces Cilk/OpenMP/pthread barriers with a SPIRAL-style
@@ -21,15 +21,18 @@
 //!    participants had arrived. Every subsequent or concurrent wait on a
 //!    poisoned barrier fails fast with [`BarrierError::Poisoned`] instead
 //!    of spinning on state that can never advance.
+//!
+//! The barrier is generic over the [`Atomics`] environment so that the
+//! *identical* algorithm that ships ([`SpinBarrier`] =
+//! [`SpinBarrierIn<StdAtomics>`]) is also what `wino-analyze`'s
+//! deterministic model checker explores under every bounded interleaving
+//! (`SpinBarrierIn<ModelAtomics>`). All backoff and time-dependence lives
+//! behind [`Atomics::spin`]; this file contains no clock reads.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
 
-/// Pure spins before falling back to `yield_now` (tuned conservatively:
-/// real barrier crossings complete within tens of spins when cores are
-/// dedicated). Deadline checks also start only after this threshold, so
-/// the fast path performs no clock reads at all.
-const SPINS_BEFORE_YIELD: u32 = 1 << 14;
+use crate::atomics::{AtomicUsizeOps, Atomics, StdAtomics};
 
 /// Why a barrier wait failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +69,7 @@ impl std::fmt::Display for BarrierError {
 
 impl std::error::Error for BarrierError {}
 
-/// High bit of [`SpinBarrier::state`]: set once the barrier is poisoned.
+/// High bit of [`SpinBarrierIn::state`]: set once the barrier is poisoned.
 /// Keeping the poison flag in the *same* word as the generation counter
 /// makes poisoning and generation completion mutually exclusive (both are
 /// CAS transitions from the un-poisoned current generation): a watchdog
@@ -74,24 +77,33 @@ impl std::error::Error for BarrierError {}
 /// poison guarantees no participant was released for that generation.
 const POISON: usize = 1 << (usize::BITS - 1);
 
-/// A reusable busy-wait barrier for a fixed set of participants.
-pub struct SpinBarrier {
+/// A reusable busy-wait barrier for a fixed set of participants, generic
+/// over the [`Atomics`] environment (see the module docs).
+pub struct SpinBarrierIn<A: Atomics = StdAtomics> {
     /// Threads arrived in the current generation.
-    count: AtomicUsize,
+    count: A::AtomicUsize,
     /// Completed generations in the low bits (waiters spin on this) plus
     /// the [`POISON`] flag in the high bit.
-    state: AtomicUsize,
+    state: A::AtomicUsize,
     total: usize,
 }
 
-impl SpinBarrier {
+/// The production barrier: the generic algorithm over real atomics and the
+/// wall-clock watchdog.
+pub type SpinBarrier = SpinBarrierIn<StdAtomics>;
+
+impl<A: Atomics> SpinBarrierIn<A> {
     /// Barrier for `total` participants.
     ///
     /// # Panics
     /// Panics if `total == 0`.
-    pub fn new(total: usize) -> SpinBarrier {
+    pub fn new(total: usize) -> SpinBarrierIn<A> {
         assert!(total > 0, "barrier needs at least one participant");
-        SpinBarrier { count: AtomicUsize::new(0), state: AtomicUsize::new(0), total }
+        SpinBarrierIn {
+            count: A::AtomicUsize::new(0),
+            state: A::AtomicUsize::new(0),
+            total,
+        }
     }
 
     pub fn participants(&self) -> usize {
@@ -139,12 +151,13 @@ impl SpinBarrier {
         if gen & POISON != 0 {
             return Err(BarrierError::Poisoned);
         }
-        // AcqRel: the RMW chain makes every pre-barrier write of every
-        // earlier arriver visible to the last arriver.
+        // ORDERING: AcqRel — the RMW chain makes every pre-barrier write of
+        // every earlier arriver visible to the last arriver.
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.total {
-            // Reset before releasing: a released spinner may re-enter the
-            // next generation immediately.
+            // ORDERING: Relaxed — the reset is published by the Release
+            // generation-CAS below before any spinner can re-enter the
+            // next generation; no one reads `count` racily for ordering.
             self.count.store(0, Ordering::Relaxed);
             // CAS, not store: a concurrently-successful watchdog poison
             // must win, in which case this crossing never completes and
@@ -163,8 +176,7 @@ impl SpinBarrier {
                 Err(_) => Err(BarrierError::Poisoned),
             };
         }
-        let mut spins = 0u32;
-        let mut yielding_since: Option<Instant> = None;
+        let mut spin = A::SpinState::default();
         loop {
             let s = self.state.load(Ordering::Acquire);
             if s & POISON != 0 {
@@ -173,39 +185,32 @@ impl SpinBarrier {
             if s != gen {
                 return Ok(false);
             }
-            std::hint::spin_loop();
-            spins += 1;
-            if spins >= SPINS_BEFORE_YIELD {
-                std::thread::yield_now();
-                if let Some(limit) = deadline {
-                    let t0 = *yielding_since.get_or_insert_with(Instant::now);
-                    let waited = t0.elapsed();
-                    if waited >= limit {
-                        // Capture the arrival count before poisoning (the
-                        // leader resets it as part of completing); our own
-                        // arrival is a floor on the true value.
-                        let seen = self.count.load(Ordering::Relaxed).max(arrived);
-                        // Poison via CAS from the un-poisoned current
-                        // generation: exactly one of {this poison, the
-                        // leader's completion} can win.
-                        return match self.state.compare_exchange(
-                            gen,
-                            gen | POISON,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        ) {
-                            Ok(_) => Err(BarrierError::Timeout {
-                                waited,
-                                arrived: seen,
-                                expected: self.total,
-                            }),
-                            // Lost to a concurrent poison: fail fast.
-                            Err(s) if s & POISON != 0 => Err(BarrierError::Poisoned),
-                            // Lost to the leader: the crossing succeeded.
-                            Err(_) => Ok(false),
-                        };
-                    }
-                }
+            if let Some(waited) = A::spin(&mut spin, deadline) {
+                // Capture the arrival count before poisoning (the leader
+                // resets it as part of completing); our own arrival is a
+                // floor on the true value.
+                // ORDERING: Relaxed — diagnostic snapshot only; the value
+                // is advisory and never used for synchronisation.
+                let seen = self.count.load(Ordering::Relaxed).max(arrived);
+                // Poison via CAS from the un-poisoned current generation:
+                // exactly one of {this poison, the leader's completion}
+                // can win.
+                return match self.state.compare_exchange(
+                    gen,
+                    gen | POISON,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => Err(BarrierError::Timeout {
+                        waited,
+                        arrived: seen,
+                        expected: self.total,
+                    }),
+                    // Lost to a concurrent poison: fail fast.
+                    Err(s) if s & POISON != 0 => Err(BarrierError::Poisoned),
+                    // Lost to the leader: the crossing succeeded.
+                    Err(_) => Ok(false),
+                };
             }
         }
     }
@@ -216,6 +221,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn single_participant_never_blocks() {
@@ -266,6 +272,9 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..ROUNDS {
                     if barrier.wait() {
+                        // ORDERING: Relaxed — test-local counter; the
+                        // final value is read after `join`, which is
+                        // already a synchronisation point.
                         leaders.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -274,6 +283,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // ORDERING: Relaxed — all writers joined above.
         assert_eq!(leaders.load(Ordering::Relaxed), ROUNDS as u64);
     }
 
@@ -287,11 +297,16 @@ mod tests {
         let b2 = Arc::clone(&barrier);
         let d2 = Arc::clone(&data);
         let h = std::thread::spawn(move || {
+            // SAFETY: this store happens strictly before the first barrier
+            // crossing; the reader only loads after crossing the same
+            // barrier, so the accesses never race.
             unsafe { *d2.0.get() = 42 };
             b2.wait();
             b2.wait();
         });
         barrier.wait();
+        // SAFETY: read after the barrier crossing that ordered it with the
+        // writer's pre-barrier store (see above).
         let v = unsafe { *data.0.get() };
         assert_eq!(v, 42);
         barrier.wait();
@@ -299,6 +314,8 @@ mod tests {
     }
 
     struct RacyCell(std::cell::UnsafeCell<u64>);
+    // SAFETY: the test serialises all access through barrier crossings;
+    // `RacyCell` exists precisely to test that ordering.
     unsafe impl Sync for RacyCell {}
     fn racy_cell() -> RacyCell {
         RacyCell(std::cell::UnsafeCell::new(0))

@@ -1,0 +1,122 @@
+//! The job-exit hand-off: the small protocol that makes the pool's
+//! type-erased job borrow sound on the watchdog path.
+//!
+//! Each fork–join publishes a *borrowed* closure to the workers through a
+//! raw pointer ([`crate::ThreadPool::run`]). On the happy path the end
+//! barrier proves every participant is done with it; on an end-barrier
+//! *timeout* the publisher must not return (dropping the closure and
+//! everything it captures) while a slow participant could still be inside
+//! it — PR 1's use-after-free bug was exactly that. The fix is this latch:
+//! every participant counts itself out immediately after leaving the
+//! closure, and the publisher's error path blocks until the count proves
+//! the borrow dead.
+//!
+//! Generic over [`Atomics`] so `wino-analyze`'s model checker can
+//! exhaustively interleave the latch against the end barrier and re-derive
+//! the PR-1 bug when the wait is removed.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use crate::atomics::{AtomicUsizeOps, Atomics, StdAtomics};
+
+/// Counts participants out of a borrowed job closure (see module docs).
+pub struct JobExitLatch<A: Atomics = StdAtomics> {
+    /// Participants that have finished their job share this fork–join,
+    /// i.e. can no longer dereference the borrowed job closure.
+    done: A::AtomicUsize,
+}
+
+impl<A: Atomics> JobExitLatch<A> {
+    pub fn new() -> JobExitLatch<A> {
+        JobExitLatch { done: A::AtomicUsize::new(0) }
+    }
+
+    /// Record that the calling participant has exited the job closure and
+    /// can no longer dereference the borrow.
+    ///
+    /// Release pairs with the Acquire in [`Self::exited`]/[`Self::await_all`],
+    /// publishing the job's writes and making it sound for the publisher
+    /// to drop the closure once every participant has counted in — even if
+    /// this thread then stalls before the end barrier.
+    pub fn record_exit(&self) {
+        self.done.fetch_add(1, Ordering::Release);
+    }
+
+    /// Participants counted out so far.
+    pub fn exited(&self) -> usize {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Reset for the next fork–join. Only sound while no participant is
+    /// between closure entry and its `record_exit` (the pool calls this
+    /// after a successful end-barrier crossing, when workers are parked at
+    /// the start barrier again).
+    pub fn reset(&self) {
+        // ORDERING: Relaxed — the end-barrier crossing that precedes every
+        // reset already ordered all `record_exit` increments before this
+        // store, and the next fork–join's start barrier orders the store
+        // before any new increment.
+        self.done.store(0, Ordering::Relaxed);
+    }
+
+    /// Spin until all `n` participants have recorded their exit, or the
+    /// grace budget expires. `Ok(())` proves the closure borrow is dead;
+    /// `Err(exited)` means a participant is wedged inside the closure and
+    /// reports how many had counted out.
+    pub fn await_all(&self, n: usize, grace: Duration) -> Result<(), usize> {
+        let mut spin = A::SpinState::default();
+        loop {
+            let exited = self.exited();
+            if exited >= n {
+                return Ok(());
+            }
+            if A::spin(&mut spin, Some(grace)).is_some() {
+                return Err(exited);
+            }
+        }
+    }
+}
+
+impl<A: Atomics> Default for JobExitLatch<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_counts_and_resets() {
+        let latch: JobExitLatch = JobExitLatch::new();
+        assert_eq!(latch.exited(), 0);
+        latch.record_exit();
+        latch.record_exit();
+        assert_eq!(latch.exited(), 2);
+        assert_eq!(latch.await_all(2, Duration::from_millis(1)), Ok(()));
+        latch.reset();
+        assert_eq!(latch.exited(), 0);
+    }
+
+    #[test]
+    fn await_all_times_out_when_short() {
+        let latch: JobExitLatch = JobExitLatch::new();
+        latch.record_exit();
+        assert_eq!(latch.await_all(2, Duration::from_millis(5)), Err(1));
+    }
+
+    #[test]
+    fn await_all_observes_concurrent_exits() {
+        let latch: std::sync::Arc<JobExitLatch> = std::sync::Arc::new(JobExitLatch::new());
+        let l2 = std::sync::Arc::clone(&latch);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            l2.record_exit();
+        });
+        latch.record_exit();
+        assert_eq!(latch.await_all(2, Duration::from_secs(10)), Ok(()));
+        h.join().unwrap();
+    }
+}

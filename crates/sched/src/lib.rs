@@ -18,14 +18,18 @@
 //! cargo feature, the [`fault`] module provides deterministic hooks to
 //! exercise each of these paths from tests.
 
+pub mod atomics;
 pub mod backend;
 pub mod barrier;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod grid;
+pub mod handoff;
 pub mod pool;
 
+pub use atomics::{AtomicUsizeOps, Atomics, StdAtomics};
 pub use backend::{DynamicExecutor, Executor, SerialExecutor, StaticExecutor};
-pub use barrier::{BarrierError, SpinBarrier};
+pub use barrier::{BarrierError, SpinBarrier, SpinBarrierIn};
 pub use grid::{GridPartition, TaskBox};
+pub use handoff::JobExitLatch;
 pub use pool::{PoolError, ThreadPool, DEFAULT_DEADLINE};

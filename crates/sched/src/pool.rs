@@ -28,12 +28,13 @@
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::barrier::{BarrierError, SpinBarrier};
+use crate::handoff::JobExitLatch;
 
 /// Default watchdog deadline for one barrier crossing. The end-barrier
 /// wait subsumes the other participants' entire job share, so this must
@@ -112,18 +113,19 @@ struct Shared {
     panics: Mutex<Vec<(usize, String)>>,
     /// Completed fork–join count; also the epoch used by fault injection.
     epoch: AtomicU64,
-    /// Participants that have finished their job share this fork–join,
-    /// i.e. can no longer dereference the borrowed job closure. Tid 0
-    /// resets it after each successful end-barrier crossing; on an
-    /// end-barrier timeout it gates `run`'s return (see
-    /// [`ThreadPool::await_job_exit`]).
-    job_done: AtomicUsize,
+    /// Counts participants out of the borrowed job closure. Tid 0 resets
+    /// it after each successful end-barrier crossing; on an end-barrier
+    /// timeout it gates `run`'s return (see [`ThreadPool::await_job_exit`]
+    /// and the [`crate::handoff`] module docs).
+    job_done: JobExitLatch,
 }
 
 // SAFETY: `job` is only written by the main thread strictly before the
 // start barrier and only read by workers strictly after it; the barrier's
 // release/acquire pair orders those accesses.
 unsafe impl Sync for Shared {}
+// SAFETY: the raw `job` pointer is the only non-Send field; ownership of
+// the pointee stays with `run`, which outlives every worker access.
 unsafe impl Send for Shared {}
 
 pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -145,12 +147,11 @@ fn run_job(shared: &Shared, tid: usize, epoch: u64, job: &(dyn Fn(usize) + Sync)
         crate::fault::before_job(tid, epoch);
         job(tid);
     }));
-    // The closure borrow is dead from here on. Release pairs with the
-    // Acquire in `await_job_exit`, publishing the job's writes and making
-    // it sound for `run` to return (dropping the closure) once every
-    // participant has counted in — even if this thread then stalls before
-    // the end barrier (e.g. in the `after_job` fault hook).
-    shared.job_done.fetch_add(1, Ordering::Release);
+    // The closure borrow is dead from here on: counting out through the
+    // latch is what lets `run` return (dropping the closure) on the
+    // timeout path — even if this thread then stalls before the end
+    // barrier (e.g. in the `after_job` fault hook).
+    shared.job_done.record_exit();
     if let Err(payload) = result {
         let mut slot = shared.panics.lock().unwrap_or_else(|e| e.into_inner());
         slot.push((tid, panic_message(payload)));
@@ -191,7 +192,7 @@ impl ThreadPool {
             shutdown: AtomicBool::new(false),
             panics: Mutex::new(Vec::new()),
             epoch: AtomicU64::new(0),
-            job_done: AtomicUsize::new(0),
+            job_done: JobExitLatch::new(),
         });
         let workers = (1..n_threads)
             .map(|tid| {
@@ -257,7 +258,7 @@ impl ThreadPool {
         let epoch = self.shared.epoch.fetch_add(1, Ordering::AcqRel);
         if self.n_threads == 1 {
             run_job(&self.shared, 0, epoch, &f);
-            self.shared.job_done.store(0, Ordering::Relaxed);
+            self.shared.job_done.reset();
             wino_simd::sfence();
             return self.drain_panics();
         }
@@ -276,6 +277,8 @@ impl ThreadPool {
         //   or aborts the process if one is wedged inside the closure.
         let ptr: JobPtr =
             unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), JobPtr>(ptr) };
+        // SAFETY: exclusive access — workers only read `job` between the
+        // barriers, and they are parked at the start barrier here.
         unsafe {
             *self.shared.job.get() = Some(ptr);
         }
@@ -292,7 +295,7 @@ impl ThreadPool {
         }
         // Workers are parked at the start barrier again; reset the exit
         // count for the next fork–join.
-        self.shared.job_done.store(0, Ordering::Relaxed);
+        self.shared.job_done.reset();
         self.drain_panics()
     }
 
@@ -307,17 +310,13 @@ impl ThreadPool {
     /// is wedged for good, and aborting is the only sound option left.
     fn await_job_exit(&self) {
         let grace = self.deadline.max(Duration::from_secs(1));
-        let t0 = Instant::now();
-        while self.shared.job_done.load(Ordering::Acquire) < self.n_threads {
-            if t0.elapsed() > grace {
-                eprintln!(
-                    "wino-sched: fatal: a participant is still executing its job share \
-                     {grace:?} after the end-barrier watchdog fired; aborting, as \
-                     returning would free buffers the stuck thread still references"
-                );
-                std::process::abort();
-            }
-            std::thread::yield_now();
+        if self.shared.job_done.await_all(self.n_threads, grace).is_err() {
+            eprintln!(
+                "wino-sched: fatal: a participant is still executing its job share \
+                 {grace:?} after the end-barrier watchdog fired; aborting, as \
+                 returning would free buffers the stuck thread still references"
+            );
+            std::process::abort();
         }
     }
 
@@ -394,6 +393,7 @@ impl Drop for ThreadPool {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::time::Instant;
 
     #[test]
     fn single_thread_pool_runs_inline() {
@@ -401,9 +401,11 @@ mod tests {
         let count = AtomicUsize::new(0);
         pool.run(|tid| {
             assert_eq!(tid, 0);
+            // ORDERING: Relaxed — test counter; run()'s fork–join orders it.
             count.fetch_add(1, Ordering::Relaxed);
         })
         .unwrap();
+        // ORDERING: Relaxed — read after run() returned.
         assert_eq!(count.load(Ordering::Relaxed), 1);
     }
 
@@ -413,10 +415,12 @@ mod tests {
         for _ in 0..50 {
             let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
             pool.run(|tid| {
+                // ORDERING: Relaxed — test counter; run()'s fork–join orders it.
                 hits[tid].fetch_add(1, Ordering::Relaxed);
             })
             .unwrap();
             for (tid, h) in hits.iter().enumerate() {
+                // ORDERING: Relaxed — read after run() returned.
                 assert_eq!(h.load(Ordering::Relaxed), 1, "tid {tid}");
             }
         }
@@ -453,10 +457,12 @@ mod tests {
         let total = AtomicUsize::new(0);
         for _ in 0..200 {
             pool.run(|_| {
+                // ORDERING: Relaxed — test counter; run()'s fork–join orders it.
                 total.fetch_add(1, Ordering::Relaxed);
             })
             .unwrap();
         }
+        // ORDERING: Relaxed — read after run() returned.
         assert_eq!(total.load(Ordering::Relaxed), 600);
         assert_eq!(pool.forkjoins(), 200);
     }
@@ -482,9 +488,11 @@ mod tests {
                     local += i;
                 }
             }
+            // ORDERING: Relaxed — test counter; run()'s fork–join orders it.
             acc.fetch_add(local, Ordering::Relaxed);
         })
         .unwrap();
+        // ORDERING: Relaxed — read after run() returned.
         assert_eq!(acc.load(Ordering::Relaxed), (0..1000).sum::<usize>());
     }
 
@@ -512,9 +520,11 @@ mod tests {
         // The pool must still work.
         let count = AtomicUsize::new(0);
         pool.run(|_| {
+            // ORDERING: Relaxed — test counter; run()'s fork–join orders it.
             count.fetch_add(1, Ordering::Relaxed);
         })
         .unwrap();
+        // ORDERING: Relaxed — read after run() returned.
         assert_eq!(count.load(Ordering::Relaxed), 4);
     }
 
@@ -556,11 +566,13 @@ mod tests {
                 assert_eq!(err.panicking_tids(), vec![round % 4]);
             } else {
                 pool.run(|_| {
+                    // ORDERING: Relaxed — test counter; run()'s fork–join orders it.
                     clean.fetch_add(1, Ordering::Relaxed);
                 })
                 .unwrap();
             }
         }
+        // ORDERING: Relaxed — read after run() returned.
         assert_eq!(clean.load(Ordering::Relaxed), 50 * 4);
         assert!(!pool.is_dead());
     }

@@ -23,6 +23,7 @@ pub struct AlignedVec {
 // SAFETY: `AlignedVec` owns its allocation exclusively; sharing &AlignedVec
 // only permits reads.
 unsafe impl Send for AlignedVec {}
+// SAFETY: as above — mutation requires &mut, so shared access is read-only.
 unsafe impl Sync for AlignedVec {}
 
 impl AlignedVec {

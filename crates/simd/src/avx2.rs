@@ -3,6 +3,9 @@
 //! conclusion — the data layout stays identical (S = 16), only the register
 //! tiling changes.
 
+// Rationale: on toolchains where value-only vector intrinsics are safe
+// (target-feature 1.1), the wrapping `unsafe` blocks below are redundant
+// but kept for portability to older rustc versions.
 #![allow(unused_unsafe)]
 
 use std::arch::x86_64::*;
@@ -17,12 +20,15 @@ impl F32x16 {
     /// All-zero vector.
     #[inline(always)]
     pub fn zero() -> Self {
+        // SAFETY: register-only intrinsic, no memory access; this module
+        // only compiles when avx2+fma are statically enabled (lib.rs cfg).
         unsafe { F32x16(_mm256_setzero_ps(), _mm256_setzero_ps()) }
     }
 
     /// Broadcast `x` to all lanes.
     #[inline(always)]
     pub fn splat(x: f32) -> Self {
+        // SAFETY: register-only intrinsic, no memory access (see `zero`).
         unsafe {
             let v = _mm256_set1_ps(x);
             F32x16(v, v)
@@ -62,22 +68,27 @@ impl F32x16 {
 
     #[inline(always)]
     pub(crate) fn add_v(a: Self, b: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access (see `zero`).
         unsafe { F32x16(_mm256_add_ps(a.0, b.0), _mm256_add_ps(a.1, b.1)) }
     }
 
     #[inline(always)]
     pub(crate) fn sub_v(a: Self, b: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access (see `zero`).
         unsafe { F32x16(_mm256_sub_ps(a.0, b.0), _mm256_sub_ps(a.1, b.1)) }
     }
 
     #[inline(always)]
     pub(crate) fn mul_v(a: Self, b: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access (see `zero`).
         unsafe { F32x16(_mm256_mul_ps(a.0, b.0), _mm256_mul_ps(a.1, b.1)) }
     }
 
     /// Fused multiply-add: `self * b + c` in one rounding per lane.
     #[inline(always)]
     pub fn mul_add(self, b: Self, c: Self) -> Self {
+        // SAFETY: register-only intrinsic, no memory access (see `zero`);
+        // FMA availability is checked together with AVX2.
         unsafe {
             F32x16(
                 _mm256_fmadd_ps(self.0, b.0, c.0),
@@ -90,6 +101,7 @@ impl F32x16 {
     #[inline(always)]
     pub fn to_array(self) -> [f32; 16] {
         let mut out = [0.0f32; 16];
+        // SAFETY: `out` is a local [f32; 16] — 64 writable bytes.
         unsafe {
             _mm256_storeu_ps(out.as_mut_ptr(), self.0);
             _mm256_storeu_ps(out.as_mut_ptr().add(8), self.1);

@@ -1,6 +1,9 @@
 //! AVX-512F backend: one 512-bit register per vector — the paper's native
 //! configuration (KNL, §2.1).
 
+// Rationale: on toolchains where value-only vector intrinsics are safe
+// (target-feature 1.1), the wrapping `unsafe` blocks below are redundant
+// but kept for portability to older rustc versions.
 #![allow(unused_unsafe)]
 
 use std::arch::x86_64::*;
@@ -23,6 +26,8 @@ impl F32x16 {
     /// Broadcast `x` to all lanes.
     #[inline(always)]
     pub fn splat(x: f32) -> Self {
+        // SAFETY: register-only intrinsic; avx512f statically enabled for
+        // this module to compile.
         unsafe { F32x16(_mm512_set1_ps(x)) }
     }
 
@@ -58,22 +63,26 @@ impl F32x16 {
 
     #[inline(always)]
     pub(crate) fn add_v(a: Self, b: Self) -> Self {
+        // SAFETY: register-only intrinsic (see `zero`).
         unsafe { F32x16(_mm512_add_ps(a.0, b.0)) }
     }
 
     #[inline(always)]
     pub(crate) fn sub_v(a: Self, b: Self) -> Self {
+        // SAFETY: register-only intrinsic (see `zero`).
         unsafe { F32x16(_mm512_sub_ps(a.0, b.0)) }
     }
 
     #[inline(always)]
     pub(crate) fn mul_v(a: Self, b: Self) -> Self {
+        // SAFETY: register-only intrinsic (see `zero`).
         unsafe { F32x16(_mm512_mul_ps(a.0, b.0)) }
     }
 
     /// Fused multiply-add: `self * b + c` in one rounding.
     #[inline(always)]
     pub fn mul_add(self, b: Self, c: Self) -> Self {
+        // SAFETY: register-only intrinsic (see `zero`).
         unsafe { F32x16(_mm512_fmadd_ps(self.0, b.0, c.0)) }
     }
 

@@ -273,9 +273,11 @@ mod tests {
             *x = i as f32;
         }
         // Deliberately offset by one float (4 bytes) — must still work.
+        // SAFETY: indices 1..17 are in bounds of the 33-float buffer.
         let v = unsafe { F32x16::load(raw.as_ptr().add(1)) };
         assert_eq!(v.to_array()[0], 1.0);
         assert_eq!(v.to_array()[15], 16.0);
+        // SAFETY: indices 17..33 are in bounds of the 33-float buffer.
         unsafe { v.store(raw.as_mut_ptr().add(17)) };
         assert_eq!(raw[17], 1.0);
         assert_eq!(raw[32], 16.0);
@@ -284,6 +286,7 @@ mod tests {
     #[test]
     fn prefetch_is_harmless() {
         let data = [0u8; 128];
+        // SAFETY: prefetch is a hint; it never faults, even on null.
         unsafe {
             prefetch_t0(data.as_ptr());
             prefetch_t1(data.as_ptr().add(64));

@@ -98,7 +98,7 @@ impl PairedProgram {
         let mut nodes = Vec::new();
         loop {
             // Find the best remaining pairing.
-            #[allow(clippy::type_complexity)]
+            #[allow(clippy::type_complexity)] // (row i, row j, shared terms, residual terms, gain)
             let mut best: Option<(usize, usize, Vec<Term>, Vec<Term>, usize)> = None;
             for i in 0..n {
                 if used[i] {

@@ -9,6 +9,7 @@ cd "$(dirname "$0")/.."
 # but nothing here should come close to these bounds.
 BUILD_TIMEOUT=${BUILD_TIMEOUT:-900}
 TEST_TIMEOUT=${TEST_TIMEOUT:-900}
+ANALYZE_TIMEOUT=${ANALYZE_TIMEOUT:-120}
 
 run() {
     echo "==> $*"
@@ -21,5 +22,13 @@ run "$TEST_TIMEOUT" cargo test --workspace --offline -q
 run "$TEST_TIMEOUT" cargo test --workspace --offline -q --features fault-inject
 run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets -- -D warnings
 run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features fault-inject -- -D warnings
+
+# Static analysis gate: the workspace must lint clean (100% SAFETY /
+# ORDERING coverage) and the model checker must clear its interleaving
+# floor on the release binary (well under a minute).
+run "$ANALYZE_TIMEOUT" cargo run --offline --release -q -p wino-analyze --bin wino-lint
+run "$TEST_TIMEOUT" cargo test --offline -q -p wino-analyze
+run "$ANALYZE_TIMEOUT" cargo run --offline --release -q -p wino-analyze --bin wino-model -- \
+    --min-interleavings 10000
 
 echo "All checks passed."
