@@ -96,8 +96,9 @@ pub fn direct_conv(
     let out_spatial_vol: usize = out_dims.iter().product();
     let in_spatial_vol: usize = in_dims.iter().product();
     let in_cg = input.channels / S;
+    let stage_start = wino_probe::now_ns();
 
-    exec.run_grid(&dims, &|_slot, flat| {
+    let result = exec.run_grid(&dims, &|_slot, flat| {
         let mut coords = [0usize; MAX_RANK + 2];
         decompose(flat, &dims, &mut coords[..dims.len()]);
         let (b, og) = (coords[0], coords[1]);
@@ -170,7 +171,9 @@ pub fn direct_conv(
                 w0 += wn;
             }
         }
-    })
+    });
+    crate::record_coord(exec, wino_probe::SpanCategory::DirectKernel, stage_start);
+    result
 }
 
 #[cfg(test)]

@@ -67,6 +67,7 @@ pub fn im2col_conv(
 
     // Lower the input. Column index = c·ker_vol + k (so `inner` is a
     // multiple of 16 because C is).
+    let lower_start = wino_probe::now_ns();
     let mut a = BlockedMatrices::new(1, rows, inner, n_blk, cb);
     {
         let in_dims = &input.dims;
@@ -119,11 +120,18 @@ pub fn im2col_conv(
         }
     }
 
+    crate::record_coord(exec, wino_probe::SpanCategory::Im2colLower, lower_start);
+
     // One big GEMM.
+    let gemm_start = wino_probe::now_ns();
     let mut x = BlockedMatrices::new(1, rows, cp, n_blk, cpb);
     wino_gemm::batched_gemm_parallel(&a, &w, &mut x, exec)?;
+    crate::record_coord(exec, wino_probe::SpanCategory::ElementwiseGemm, gemm_start);
 
-    // Scatter back into the blocked output image.
+    // Scatter back into the blocked output image (accounted to the
+    // lowering category: it is the same data-movement overhead, just on
+    // the way out).
+    let scatter_start = wino_probe::now_ns();
     let out_cg = cp / S;
     for b in 0..input.batch {
         for o in 0..out_vol {
@@ -134,6 +142,7 @@ pub fn im2col_conv(
             }
         }
     }
+    crate::record_coord(exec, wino_probe::SpanCategory::Im2colLower, scatter_start);
     Ok(())
 }
 

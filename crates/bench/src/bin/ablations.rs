@@ -13,10 +13,13 @@
 //!   sample network (§5.1), Winograd vs direct.
 //!
 //! ```text
-//! cargo run -p wino-bench --release --bin ablations -- <subcommand> [--threads N] [--reps N]
+//! cargo run -p wino-bench --release --bin ablations -- <subcommand> [--threads N] [--reps N] [--json]
 //! ```
+//!
+//! `--json` replaces each subcommand's CSV with a JSON array of the same
+//! rows.
 
-use wino_bench::{layer_data, make_executor, run_direct, run_winograd, Args};
+use wino_bench::{layer_data, make_executor, run_direct, run_winograd, Args, Rows};
 use wino_conv::{stage1, ConvOptions, Scratch, WinogradLayer};
 use wino_gemm::{batched_gemm, candidate_shapes, BlockShape};
 use wino_sched::{DynamicExecutor, Executor, SerialExecutor, StaticExecutor};
@@ -30,8 +33,8 @@ fn pick_layer(label: &str) -> Layer {
         .expect("layer in scaled catalogue")
 }
 
-fn streaming_stores(exec: &dyn Executor, reps: usize) {
-    println!("layer,streaming,transform_ms,full_ms");
+fn streaming_stores(exec: &dyn Executor, reps: usize, json: bool) {
+    let mut out = Rows::new(json, &["layer", "streaming", "transform_ms", "full_ms"]);
     for label in ["VGG 3.2", "C3D C3b"] {
         let layer = pick_layer(label);
         for streaming in [true, false] {
@@ -49,30 +52,38 @@ fn streaming_stores(exec: &dyn Executor, reps: usize) {
                 plan.forward(&input, &kernels, &mut output, &mut scratch, exec)
                     .expect("forward failed");
             });
-            println!(
-                "{label},{streaming},{:.3},{:.3}",
-                t_transform.best_ms, t_full.best_ms
-            );
+            out.push(&[
+                label.to_string(),
+                streaming.to_string(),
+                format!("{:.3}", t_transform.best_ms),
+                format!("{:.3}", t_full.best_ms),
+            ]);
         }
     }
+    out.finish();
 }
 
-fn fused_scatter(exec: &dyn Executor, reps: usize) {
-    println!("layer,fused,full_ms");
+fn fused_scatter(exec: &dyn Executor, reps: usize, json: bool) {
+    let mut out = Rows::new(json, &["layer", "fused", "full_ms"]);
     for label in ["VGG 3.2", "VGG 4.2", "C3D C3b"] {
         let layer = pick_layer(label);
         for fused in [true, false] {
             let opts = ConvOptions { fused_scatter: fused, ..Default::default() };
             let m = vec![4; layer.rank()];
             let meas = run_winograd(&layer, &m, false, opts, exec, reps).unwrap();
-            println!("{label},{fused},{:.3}", meas.timing.best_ms);
+            out.push(&[
+                label.to_string(),
+                fused.to_string(),
+                format!("{:.3}", meas.timing.best_ms),
+            ]);
         }
     }
+    out.finish();
 }
 
-fn blocking_model(reps: usize) {
+fn blocking_model(reps: usize, json: bool) {
     // Serial on purpose: the model is per-core.
-    println!("n_blk,c_blk,cp_blk,eq11_ratio_beta1,gflops");
+    let mut out = Rows::new(json, &["n_blk", "c_blk", "cp_blk", "eq11_ratio_beta1", "gflops"]);
     let (t, rows, c, cp) = (8usize, 1024usize, 512usize, 512usize);
     let mut shapes: Vec<BlockShape> = candidate_shapes(c, cp, rows)
         .into_iter()
@@ -96,19 +107,19 @@ fn blocking_model(reps: usize) {
         }
         let timing = time_best(reps, || batched_gemm(&u, &v, &mut x));
         let gflops = 2.0 * (t * rows * c * cp) as f64 / (timing.best_ms * 1e-3) / 1e9;
-        println!(
-            "{},{},{},{:.2},{:.2}",
-            s.n_blk,
-            s.c_blk,
-            s.cp_blk,
-            s.compute_to_memory_ratio(true),
-            gflops
-        );
+        out.push(&[
+            s.n_blk.to_string(),
+            s.c_blk.to_string(),
+            s.cp_blk.to_string(),
+            format!("{:.2}", s.compute_to_memory_ratio(true)),
+            format!("{gflops:.2}"),
+        ]);
     }
+    out.finish();
 }
 
-fn scheduling(threads: usize, reps: usize) {
-    println!("layer,executor,threads,full_ms");
+fn scheduling(threads: usize, reps: usize, json: bool) {
+    let mut out = Rows::new(json, &["layer", "executor", "threads", "full_ms"]);
     let layer = pick_layer("VGG 3.2");
     let m = vec![4usize; 2];
     let execs: Vec<(Box<dyn Executor>, &str)> = vec![
@@ -119,30 +130,37 @@ fn scheduling(threads: usize, reps: usize) {
     for (exec, name) in &execs {
         let meas =
             run_winograd(&layer, &m, false, ConvOptions::default(), exec.as_ref(), reps).unwrap();
-        println!("{},{name},{},{:.3}", layer.id(), exec.threads(), meas.timing.best_ms);
+        out.push(&[
+            layer.id(),
+            (*name).to_string(),
+            exec.threads().to_string(),
+            format!("{:.3}", meas.timing.best_ms),
+        ]);
     }
+    out.finish();
 }
 
-fn budden_net(exec: &dyn Executor, reps: usize, image: usize) {
-    println!("layer,impl,best_ms,mvox_per_s");
+fn budden_net(exec: &dyn Executor, reps: usize, image: usize, json: bool) {
+    let mut out = Rows::new(json, &["layer", "impl", "best_ms", "mvox_per_s"]);
     for layer in budden_sample_net(image) {
         // 4×4 kernels: F(3×3, 4×4) gives α = 6 tiles.
         let meas = run_winograd(&layer, &[3, 3], false, ConvOptions::default(), exec, reps)
             .expect("4x4 kernels plan");
-        println!(
-            "{},winograd F(3x3;4x4),{:.3},{:.1}",
+        out.push(&[
             layer.id(),
-            meas.timing.best_ms,
-            mvox_per_sec(&layer.shape, meas.timing.best_ms)
-        );
+            "winograd F(3x3;4x4)".to_string(),
+            format!("{:.3}", meas.timing.best_ms),
+            format!("{:.1}", mvox_per_sec(&layer.shape, meas.timing.best_ms)),
+        ]);
         let d = run_direct(&layer, exec, reps);
-        println!(
-            "{},direct,{:.3},{:.1}",
+        out.push(&[
             layer.id(),
-            d.timing.best_ms,
-            mvox_per_sec(&layer.shape, d.timing.best_ms)
-        );
+            "direct".to_string(),
+            format!("{:.3}", d.timing.best_ms),
+            format!("{:.1}", mvox_per_sec(&layer.shape, d.timing.best_ms)),
+        ]);
     }
+    out.finish();
 }
 
 fn main() {
@@ -150,18 +168,19 @@ fn main() {
     let reps = args.usize_or("--reps", 3);
     let exec = make_executor(&args);
     let sub = args.positional().first().map(|s| s.to_string()).unwrap_or_default();
+    let json = args.flag("--json");
     match sub.as_str() {
-        "streaming-stores" => streaming_stores(exec.as_ref(), reps),
-        "fused-scatter" => fused_scatter(exec.as_ref(), reps),
-        "blocking-model" => blocking_model(reps),
+        "streaming-stores" => streaming_stores(exec.as_ref(), reps, json),
+        "fused-scatter" => fused_scatter(exec.as_ref(), reps, json),
+        "blocking-model" => blocking_model(reps, json),
         "scheduling" => {
             let threads = args.usize_or(
                 "--threads",
                 std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             );
-            scheduling(threads.max(2), reps)
+            scheduling(threads.max(2), reps, json)
         }
-        "budden-net" => budden_net(exec.as_ref(), reps, args.usize_or("--image", 256)),
+        "budden-net" => budden_net(exec.as_ref(), reps, args.usize_or("--image", 256), json),
         other => {
             eprintln!(
                 "unknown subcommand {other:?}; expected one of: streaming-stores, \

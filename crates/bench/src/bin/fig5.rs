@@ -10,14 +10,19 @@
 //!
 //! ```text
 //! cargo run -p wino-bench --release --bin fig5 -- [--full] [--threads N]
-//!     [--reps N] [--net VGG|FusionNet|C3D|3DUNet] [--fft-all] [--list]
+//!     [--reps N] [--net VGG|FusionNet|C3D|3DUNet] [--fft-all] [--list] [--json]
 //! ```
+//!
+//! `--json` replaces the CSV with a JSON array of the same rows (one
+//! object per row, keyed by column name).
 //!
 //! Defaults to the scaled catalogue (see `wino_workloads::scaled_catalog`);
 //! `--full` uses the paper's exact layer sizes (needs ≥16 GB and a lot of
 //! patience on few cores).
 
-use wino_bench::{make_executor, run_direct, run_fft, run_im2col, run_winograd, Args, Measurement};
+use wino_bench::{
+    make_executor, run_direct, run_fft, run_im2col, run_winograd, Args, Measurement, Rows,
+};
 use wino_conv::ConvOptions;
 use wino_workloads::{full_catalog, scaled_catalog, tile_sweep};
 
@@ -55,7 +60,10 @@ fn main() {
         reps,
         wino_simd::backend_name()
     );
-    println!("{},speedup_vs_best_baseline", Measurement::csv_header());
+    let mut out = Rows::new(
+        args.flag("--json"),
+        &["layer", "impl", "best_ms", "mean_ms", "effective_gflops", "speedup_vs_best_baseline"],
+    );
 
     for layer in &layers {
         if let Some(f) = &net_filter {
@@ -106,7 +114,10 @@ fn main() {
             } else {
                 String::new()
             };
-            println!("{},{}", m.to_csv(), speedup);
+            let mut cells = m.csv_cells();
+            cells.push(speedup);
+            out.push(&cells);
         }
     }
+    out.finish();
 }

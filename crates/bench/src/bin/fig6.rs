@@ -14,12 +14,14 @@
 //! computing n_blk rows … were considered and the fastest one recorded").
 //!
 //! ```text
-//! cargo run -p wino-bench --release --bin fig6 -- [--rows N] [--t N] [--reps N]
+//! cargo run -p wino-bench --release --bin fig6 -- [--rows N] [--t N] [--reps N] [--json]
 //! ```
+//!
+//! `--json` replaces the CSV with a JSON array of the same rows.
 
 use std::time::Instant;
 
-use wino_bench::Args;
+use wino_bench::{Args, Rows};
 use wino_gemm::{batched_gemm, batched_gemm_generic, BlockShape};
 use wino_jit::JitKernelPair;
 use wino_tensor::BlockedMatrices;
@@ -51,7 +53,10 @@ fn main() {
         eprintln!("# warning: no AVX-512F — jit column skipped");
     }
 
-    println!("c_blk,cp_blk,impl,n_blk,gflops,speedup_vs_generic");
+    let mut out = Rows::new(
+        args.flag("--json"),
+        &["c_blk", "cp_blk", "impl", "n_blk", "gflops", "speedup_vs_generic"],
+    );
     let sizes = [16usize, 32, 48, 64, 96, 128];
     let nb_grid = [6usize, 8, 10, 14, 22, 30];
 
@@ -105,7 +110,15 @@ fn main() {
 
             // Generic baseline: n_blk barely matters, measure once at 8.
             let generic = bench(8, "generic");
-            let report_capped = |engine: &str, cap: usize| {
+            out.push(&[
+                cb.to_string(),
+                cpb.to_string(),
+                "generic".to_string(),
+                "8".to_string(),
+                format!("{generic:.2}"),
+                "1.00".to_string(),
+            ]);
+            let mut report_capped = |engine: &str, cap: usize| {
                 let (mut best_g, mut best_nb) = (0.0f64, 0usize);
                 for &nb in nb_grid.iter().filter(|&&nb| nb <= cap) {
                     let g = bench(nb, engine);
@@ -114,20 +127,23 @@ fn main() {
                         best_nb = nb;
                     }
                 }
-                println!(
-                    "{cb},{cpb},{engine},{best_nb},{best_g:.2},{:.2}",
-                    best_g / generic
-                );
+                out.push(&[
+                    cb.to_string(),
+                    cpb.to_string(),
+                    engine.to_string(),
+                    best_nb.to_string(),
+                    format!("{best_g:.2}"),
+                    format!("{:.2}", best_g / generic),
+                ]);
             };
-            let report = |engine: &str| report_capped(engine, usize::MAX);
-            println!("{cb},{cpb},generic,8,{generic:.2},1.00");
-            report("mono");
+            report_capped("mono", usize::MAX);
             if have_jit {
-                report("jit");
+                report_capped("jit", usize::MAX);
             }
             if wino_simd::cpu_has_avx2_fma() {
                 report_capped("jit-avx2", wino_jit::MAX_N_BLK_AVX2);
             }
         }
     }
+    out.finish();
 }

@@ -1,0 +1,165 @@
+//! Perf-report harness: the stage-breakdown evidence behind the paper's
+//! §5 discussion, emitted as a schema-versioned `BENCH_*.json` document
+//! (see `docs/bench-schema.md`).
+//!
+//! For each selected layer, three implementations are timed
+//! (direct, im2col-GEMM, best-Winograd over the tile sweep) and then one
+//! pass of each is re-run under a `ProbedExecutor`; the recorded spans
+//! are folded with the per-stage work models into wall/CPU time,
+//! GFLOP/s, arithmetic intensity and roofline estimates, plus
+//! barrier-imbalance statistics. The machine model is calibrated at
+//! startup with GEMM and bandwidth microbenchmarks.
+//!
+//! Requires the `probe` feature — an uninstrumented build cannot produce
+//! stage rows and says so instead of emitting an invalid report:
+//!
+//! ```text
+//! cargo run -p wino-bench --release --features probe --bin perf -- \
+//!     [--smoke | --all] [--threads N] [--reps N] [--out FILE] [--date YYYY-MM-DD]
+//! cargo run -p wino-bench --bin perf -- --validate FILE
+//! ```
+
+use wino_bench::perf::{
+    calibrate, layer_entry, perf_document, probe_direct, probe_im2col, probe_winograd, today_utc,
+};
+use wino_bench::{make_executor, run_direct, run_im2col, run_winograd, Args, Measurement};
+use wino_conv::ConvOptions;
+use wino_probe::{parse_json, validate_schema, Json, StageReport};
+use wino_sched::Executor;
+use wino_workloads::{scaled_catalog, tile_sweep, Layer};
+
+/// The pinned `--smoke` subset: one 2-D mid-net layer, one batch-1
+/// segmentation layer, one 3-D spatiotemporal layer.
+const SMOKE_LAYERS: [&str; 3] = ["VGG 3.2", "FusionNet 2.2", "C3D C3b"];
+
+fn validate_file(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match parse_json(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_schema(&doc) {
+        Ok(()) => {
+            let n = doc.get("layers").and_then(Json::as_arr).map(<[Json]>::len).unwrap_or(0);
+            println!("{path}: valid (schema_version 1, {n} layer entries)");
+            std::process::exit(0);
+        }
+        Err(errs) => {
+            eprintln!("{path}: INVALID —");
+            for e in &errs {
+                eprintln!("  - {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Best Winograd tile for a layer by measured time over the sweep.
+fn best_winograd(layer: &Layer, exec: &dyn Executor, reps: usize) -> Option<(Vec<usize>, Measurement)> {
+    let mut best: Option<(Vec<usize>, Measurement)> = None;
+    for m in tile_sweep(layer.rank()) {
+        let Some(meas) = run_winograd(layer, &m, false, ConvOptions::default(), exec, reps) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(_, b)| meas.timing.best_ms < b.timing.best_ms) {
+            best = Some((m, meas));
+        }
+    }
+    best
+}
+
+fn main() {
+    let args = Args::from_env();
+    if let Some(path) = args.value("--validate") {
+        validate_file(path);
+    }
+    if !wino_probe::ENABLED {
+        eprintln!(
+            "error: this binary was built without instrumentation, so it cannot \
+             collect stage breakdowns.\nRebuild with: cargo run -p wino-bench \
+             --release --features probe --bin perf"
+        );
+        std::process::exit(2);
+    }
+
+    let reps = args.usize_or("--reps", 3);
+    let exec = make_executor(&args);
+    let all = args.flag("--all");
+    let layers: Vec<Layer> = scaled_catalog()
+        .into_iter()
+        .filter(|l| all || SMOKE_LAYERS.contains(&l.id().as_str()))
+        .collect();
+    assert!(!layers.is_empty(), "layer selection is empty");
+
+    eprintln!("# calibrating machine model ({} threads)…", exec.threads());
+    let machine = calibrate(exec.as_ref());
+    eprintln!(
+        "# peak {:.1} GFLOP/s, bandwidth {:.1} GB/s",
+        machine.peak_gflops, machine.mem_bw_gbps
+    );
+
+    let mut entries: Vec<Json> = Vec::new();
+    let mut push = |meas: &Measurement, report: Option<StageReport>| {
+        let Some(report) = report else {
+            eprintln!("warning: no events folded for {} / {}", meas.layer, meas.implementation);
+            return;
+        };
+        eprintln!(
+            "\n== {} / {} ({:.3} ms best) ==\n{}",
+            meas.layer,
+            meas.implementation,
+            meas.timing.best_ms,
+            report.to_table()
+        );
+        entries.push(layer_entry(meas, &report));
+    };
+
+    for layer in &layers {
+        eprintln!("# {} …", layer.id());
+        let d = run_direct(layer, exec.as_ref(), reps);
+        push(&d, probe_direct(layer, exec.as_ref(), &machine));
+
+        let i = run_im2col(layer, exec.as_ref(), reps);
+        push(&i, probe_im2col(layer, exec.as_ref(), &machine));
+
+        match best_winograd(layer, exec.as_ref(), reps) {
+            Some((m, meas)) => push(
+                &meas,
+                probe_winograd(layer, &m, ConvOptions::default(), exec.as_ref(), &machine),
+            ),
+            None => eprintln!("warning: no Winograd plan accepted for {}", layer.id()),
+        }
+    }
+
+    let date = args.value("--date").map(str::to_string).unwrap_or_else(today_utc);
+    let doc = perf_document("wino-bench perf", &date, &machine, entries);
+
+    // Self-check before writing: an emitted report must round-trip
+    // through the parser and pass its own schema validator.
+    let rendered = doc.render_pretty();
+    let reparsed = parse_json(&rendered).expect("emitted JSON must re-parse");
+    if let Err(errs) = validate_schema(&reparsed) {
+        eprintln!("error: assembled report fails its own schema:");
+        for e in &errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+
+    match args.value("--out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).expect("write report");
+            eprintln!("# wrote {path} ({} layer entries)", doc.get("layers").and_then(Json::as_arr).map(<[Json]>::len).unwrap_or(0));
+        }
+        None => print!("{rendered}"),
+    }
+}

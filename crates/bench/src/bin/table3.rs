@@ -9,11 +9,14 @@
 //! convolution as the control column.
 //!
 //! ```text
-//! cargo run -p wino-bench --release --bin table3 -- [--threads N] [--small]
+//! cargo run -p wino-bench --release --bin table3 -- [--threads N] [--small] [--json]
 //! ```
+//!
+//! `--json` replaces the formatted tables with one JSON array of rows
+//! `{block, case, train_max, train_avg, infer_max, infer_avg}`.
 
 use wino_baseline::{direct_conv, direct_f64, element_errors};
-use wino_bench::{make_executor, Args};
+use wino_bench::{make_executor, Args, Rows};
 use wino_conv::{ConvOptions, Scratch, WinogradLayer};
 use wino_sched::Executor;
 use wino_tensor::{BlockedImage, BlockedKernels, ConvShape, SimpleImage, SimpleKernels};
@@ -53,7 +56,13 @@ fn direct_out(shape: &ConvShape, img: &SimpleImage, ker: &SimpleKernels, exec: &
     out.to_simple()
 }
 
-fn run_block(title: &str, shape: &ConvShape, cases: &[Case], exec: &dyn Executor) {
+fn run_block(
+    title: &str,
+    shape: &ConvShape,
+    cases: &[Case],
+    exec: &dyn Executor,
+    sink: &mut Option<Rows>,
+) {
     eprintln!("# computing ground truth for {title}…");
     let img = uniform_input(shape, 2024);
     let train_ker = xavier_kernels(shape, 7);
@@ -78,6 +87,20 @@ fn run_block(title: &str, shape: &ConvShape, cases: &[Case], exec: &dyn Executor
         rows.push((case.name.clone(), [tmax, tavg, imax, iavg]));
     }
 
+    if let Some(out) = sink {
+        for (name, e) in &rows {
+            out.push(&[
+                title.to_string(),
+                name.clone(),
+                format!("{:.2E}", e[0]),
+                format!("{:.2E}", e[1]),
+                format!("{:.2E}", e[2]),
+                format!("{:.2E}", e[3]),
+            ]);
+        }
+        return;
+    }
+
     println!("\n== {title} ==");
     print!("{:<12}", "");
     for (name, _) in &rows {
@@ -100,6 +123,9 @@ fn main() {
     // representative; --small shrinks further for quick checks.
     let small = args.flag("--small");
     let (img2d, img3d) = if small { (28, [8, 14, 14]) } else { (56, [12, 28, 28]) };
+    let mut sink = args.flag("--json").then(|| {
+        Rows::new(true, &["block", "case", "train_max", "train_avg", "infer_max", "infer_avg"])
+    });
 
     let mk = |name: &str, m: Vec<usize>, points| Case { name: name.into(), m: Some(m), points };
     let direct = || Case { name: "Direct".into(), m: None, points: PointSchedule::Mixed };
@@ -119,6 +145,7 @@ fn main() {
         &shape2d,
         &cases2d,
         exec.as_ref(),
+        &mut sink,
     );
     let mut cases2di = vec![direct()];
     cases2di.extend(tiles2d.iter().map(|(n, m)| mk(n, m.clone(), PointSchedule::Integer)));
@@ -127,6 +154,7 @@ fn main() {
         &shape2d,
         &cases2di,
         exec.as_ref(),
+        &mut sink,
     );
 
     let shape3d = ConvShape::new(1, 64, 64, &img3d, &[3, 3, 3], &[1, 1, 1]).unwrap();
@@ -144,6 +172,7 @@ fn main() {
         &shape3d,
         &cases3d,
         exec.as_ref(),
+        &mut sink,
     );
     let mut cases3di = vec![direct()];
     cases3di.extend(tiles3d.iter().map(|(n, m)| mk(n, m.clone(), PointSchedule::Integer)));
@@ -152,5 +181,9 @@ fn main() {
         &shape3d,
         &cases3di,
         exec.as_ref(),
+        &mut sink,
     );
+    if let Some(out) = sink {
+        out.finish();
+    }
 }

@@ -1,5 +1,32 @@
+//! # wino-bench
+//!
 //! Shared plumbing for the benchmark binaries that regenerate the paper's
-//! tables and figures (see EXPERIMENTS.md for the index).
+//! tables and figures (see `EXPERIMENTS.md` for the index):
+//!
+//! * timed runners ([`run_winograd`], [`run_direct`], [`run_im2col`],
+//!   [`run_fft`]) producing [`Measurement`] rows with the Fig. 5
+//!   direct-FLOPs effective-GFLOP/s normaliser,
+//! * the [`perf`] module: machine calibration, per-stage work models and
+//!   instrumented runs behind the `probe` feature, and the versioned
+//!   `BENCH_*.json` document assembly (`docs/bench-schema.md`),
+//! * a tiny flag parser ([`Args`]) and executor factory
+//!   ([`make_executor`]) shared by every binary.
+//!
+//! ```
+//! use wino_bench::Measurement;
+//! use wino_workloads::Timing;
+//!
+//! let m = Measurement {
+//!     layer: "VGG 3.2".into(),
+//!     implementation: "direct".into(),
+//!     timing: Timing { best_ms: 1.0, mean_ms: 1.5, reps: 3 },
+//!     gflops: 42.0,
+//! };
+//! assert_eq!(Measurement::csv_header(), "layer,impl,best_ms,mean_ms,effective_gflops");
+//! assert_eq!(m.to_csv(), "VGG 3.2,direct,1.000,1.500,42.00");
+//! ```
+
+pub mod perf;
 
 use wino_baseline::{direct_conv, im2col_conv};
 use wino_conv::{ConvOptions, Scratch, WinogradLayer};
@@ -21,11 +48,69 @@ impl Measurement {
         "layer,impl,best_ms,mean_ms,effective_gflops"
     }
 
+    /// The [`Measurement::csv_header`] columns as formatted cells.
+    pub fn csv_cells(&self) -> Vec<String> {
+        vec![
+            self.layer.clone(),
+            self.implementation.clone(),
+            format!("{:.3}", self.timing.best_ms),
+            format!("{:.3}", self.timing.mean_ms),
+            format!("{:.2}", self.gflops),
+        ]
+    }
+
     pub fn to_csv(&self) -> String {
-        format!(
-            "{},{},{:.3},{:.3},{:.2}",
-            self.layer, self.implementation, self.timing.best_ms, self.timing.mean_ms, self.gflops
-        )
+        self.csv_cells().join(",")
+    }
+}
+
+/// Row sink shared by the figure binaries: CSV on stdout by default, or
+/// (with `--json`) a buffered array of objects — one per row, keyed by
+/// column name — printed by [`Rows::finish`]. Cells that parse as
+/// numbers become JSON numbers; empty cells become `null`.
+pub struct Rows {
+    columns: &'static [&'static str],
+    json: bool,
+    buf: Vec<wino_probe::Json>,
+}
+
+impl Rows {
+    pub fn new(json: bool, columns: &'static [&'static str]) -> Rows {
+        if !json {
+            println!("{}", columns.join(","));
+        }
+        Rows { columns, json, buf: Vec::new() }
+    }
+
+    /// Emit one row of preformatted cells (must match the column count).
+    pub fn push(&mut self, values: &[String]) {
+        use wino_probe::Json;
+        assert_eq!(values.len(), self.columns.len(), "row width != column count");
+        if self.json {
+            let fields = self
+                .columns
+                .iter()
+                .zip(values)
+                .map(|(c, v)| {
+                    let cell = if v.is_empty() {
+                        Json::Null
+                    } else {
+                        v.parse::<f64>().map(Json::Num).unwrap_or_else(|_| Json::Str(v.clone()))
+                    };
+                    ((*c).to_string(), cell)
+                })
+                .collect();
+            self.buf.push(Json::Obj(fields));
+        } else {
+            println!("{}", values.join(","));
+        }
+    }
+
+    /// Print the buffered JSON array (no-op in CSV mode).
+    pub fn finish(self) {
+        if self.json {
+            print!("{}", wino_probe::Json::Arr(self.buf).render_pretty());
+        }
     }
 }
 
@@ -160,7 +245,9 @@ impl Args {
             }
             if let Some(stripped) = a.strip_prefix("--") {
                 // Known value-taking flags consume the next token.
-                if ["threads", "reps", "net", "image"].contains(&stripped) {
+                if ["threads", "reps", "net", "image", "out", "date", "rows", "t", "validate"]
+                    .contains(&stripped)
+                {
                     skip = true;
                 }
                 let _ = i;

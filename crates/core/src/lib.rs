@@ -35,11 +35,13 @@ pub mod layout;
 pub mod net;
 pub mod plan;
 pub mod select;
+pub(crate) mod spans;
 pub mod training;
 pub mod stage1;
 pub mod stage2;
 pub mod stage3;
 pub mod vecprog;
+pub mod work;
 
 pub use conv::{convolve_simple, TransformedKernels};
 pub use error::{check_finite, NumericError, WinoError};

@@ -411,7 +411,13 @@ impl Network {
                     Err(e) if policy.im2col_on_numeric => {
                         report.backend = LayerBackend::Im2col;
                         report.fallback = Some(FallbackReason::NumericGuard(e));
+                        let rescue_start = crate::spans::span_start();
                         let rescued = Self::im2col_layer(&plan.shape, input, kernels, exec)?;
+                        crate::spans::record_coord(
+                            exec,
+                            wino_probe::SpanCategory::FallbackRescue,
+                            rescue_start,
+                        );
                         // A second trip proves the corruption is not
                         // Winograd-specific (e.g. non-finite layer input);
                         // surface it instead of letting the activation

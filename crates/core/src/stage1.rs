@@ -158,6 +158,8 @@ pub fn transform_inputs(
     let t_stride = n_blk * c_blk;
     let scratch_ref: &Scratch = scratch;
     let progs: Vec<&wino_transforms::PairedProgram> = layer.plans.iter().map(|p| &p.bt).collect();
+    let probe = exec.probe();
+    let stage_start = crate::spans::span_start();
 
     exec.run_grid(&dims, &|slot, flat| {
         let mut coords = [0usize; MAX_RANK + 2];
@@ -175,10 +177,12 @@ pub fn transform_inputs(
 
         // SAFETY: slot exclusivity per the Executor contract.
         let tb = unsafe { scratch_ref.thread_buf(slot) };
+        let gather_start = crate::spans::span_start();
         // SAFETY: buffers sized T·S at construction; tile fits.
         unsafe {
             gather_tile(input, b, cg, &origin[..rank], &layer.grid.tile_dims, tb.a.as_mut_ptr())
         };
+        crate::spans::record_slot(probe, slot, wino_probe::SpanCategory::TileExtract, gather_start);
 
         let mut tdims = [0usize; MAX_RANK];
         tdims[..rank].copy_from_slice(&layer.grid.tile_dims);
@@ -201,6 +205,7 @@ pub fn transform_inputs(
         // construction of `u`.
         unsafe { scatter_vectors(result, u_ptr.get(), base, t_stride, t_vol, streaming) };
     })?;
+    crate::spans::record_coord(exec, wino_probe::SpanCategory::InputTransform, stage_start);
     #[cfg(feature = "fault-inject")]
     if wino_sched::fault::take_poison_stage(1) {
         scratch.u.as_mut_slice()[0] = f32::NAN;
@@ -232,6 +237,7 @@ pub fn transform_kernels(
     let t_stride = c_blk * cp_blk;
     let scratch_ref: &Scratch = scratch;
     let progs: Vec<&wino_transforms::PairedProgram> = layer.plans.iter().map(|p| &p.g).collect();
+    let stage_start = crate::spans::span_start();
 
     exec.run_grid(&dims, &|slot, flat| {
         let (c, og) = (flat / dims[1], flat % dims[1]);
@@ -262,6 +268,7 @@ pub fn transform_kernels(
         // SAFETY: disjoint (c, og) ranges per task.
         unsafe { scatter_vectors(result, v_ptr.get(), base, t_stride, t_vol, streaming) };
     })?;
+    crate::spans::record_coord(exec, wino_probe::SpanCategory::KernelTransform, stage_start);
     Ok(())
 }
 

@@ -83,6 +83,7 @@ pub fn multiply_with(
     let v = v_ext;
     let x_meta = &scratch.x;
     let y_meta = &scratch.y;
+    let stage_start = crate::spans::span_start();
 
     exec.run_grid(&dims, &|_slot, flat| {
         let i = flat % row_blocks;
@@ -177,10 +178,12 @@ pub fn multiply_with(
             unsafe { microkernel(n_blk, &args) };
         }
     })?;
-
+    // The unfused copy pass is still operation ⑥ — part of this stage's
+    // coordinator span, so fused/unfused ablations compare like for like.
     if !fused {
         scatter_pass(layer, scratch, exec)?;
     }
+    crate::spans::record_coord(exec, wino_probe::SpanCategory::ElementwiseGemm, stage_start);
     #[cfg(feature = "fault-inject")]
     if wino_sched::fault::take_poison_stage(2) {
         scratch.y.as_mut_slice()[0] = f32::NAN;

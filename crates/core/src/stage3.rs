@@ -61,6 +61,7 @@ pub fn inverse_transform(
     let out_vol: usize = out_dims.iter().product();
     let scratch_ref: &Scratch = scratch;
     let progs: Vec<&wino_transforms::PairedProgram> = layer.plans.iter().map(|p| &p.at).collect();
+    let stage_start = crate::spans::span_start();
 
     exec.run_grid(&dims, &|slot, flat| {
         let n = flat % n_tiles;
@@ -126,6 +127,7 @@ pub fn inverse_transform(
             }
         }
     })?;
+    crate::spans::record_coord(exec, wino_probe::SpanCategory::OutputTransform, stage_start);
     #[cfg(feature = "fault-inject")]
     if wino_sched::fault::take_poison_stage(3) {
         output.as_mut_slice()[0] = f32::NAN;

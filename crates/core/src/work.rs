@@ -1,0 +1,189 @@
+//! Per-stage operation and traffic models for the observability layer
+//! (DESIGN.md §8).
+//!
+//! [`WinogradLayer::work_model`] predicts, per pipeline stage, how many
+//! floating-point operations one forward pass performs and how many bytes
+//! it moves under an ideal-cache model (each logical buffer read or
+//! written exactly once). `wino-probe` divides measured wall time into
+//! these to report per-stage GFLOP/s, arithmetic intensity and a roofline
+//! bound.
+//!
+//! ## Formulas
+//!
+//! With `ρ = B·N` panel rows, `T = ∏α_d` the tile volume, and
+//! `O(P)` the scalar op count of a compiled 1-D transform program `P`
+//! ([`wino_transforms::PairedProgram::op_count`], FMA = 2 ops):
+//!
+//! * **input-transform** — `Bᵀ` is square (`α_d → α_d`), applied along
+//!   every dimension of every tile line: `ρ · C · Σ_d (T/α_d) · O(Bᵀ_d)`.
+//! * **kernel-transform** — `G` expands `r_d → α_d` in dimension order,
+//!   so applications along `d` count already-expanded dims before and
+//!   unexpanded dims after: `C·C' · Σ_d (∏_{e<d} α_e · ∏_{e>d} r_e) ·
+//!   O(G_d)`.
+//! * **elementwise-gemm** — `T` products of `(ρ × C) · (C × C')`:
+//!   `2 · T · ρ · C · C'` (logical rows; panel padding does a little
+//!   extra real work that the model deliberately ignores).
+//! * **output-transform** — `Aᵀ` contracts `α_d → m_d` in dimension
+//!   order: `ρ · C' · Σ_d (∏_{e<d} m_e · ∏_{e>d} α_e) · O(Aᵀ_d)`.
+//!
+//! Byte counts move each buffer once at 4 B/f32: the stage's inputs are
+//! read, its outputs written (e.g. elementwise-gemm reads `U` and `V`,
+//! writes `Y`). Real caches re-read evicted panels, so measured intensity
+//! is an upper bound — which is the correct direction for a roofline.
+
+use wino_probe::{SpanCategory, StageWork, WorkModel};
+
+use crate::plan::WinogradLayer;
+
+const F32_BYTES: u128 = 4;
+
+impl WinogradLayer {
+    /// The per-stage operation/traffic model for one forward pass of this
+    /// layer (see the module docs for the formulas).
+    pub fn work_model(&self) -> WorkModel {
+        let rank = self.rank();
+        let rows = self.rows() as u128;
+        let t_vol = self.t_vol() as u128;
+        let c = self.shape.in_channels as u128;
+        let cp = self.shape.out_channels as u128;
+        let batch = self.shape.batch as u128;
+        let alpha = &self.grid.tile_dims;
+        let m = &self.grid.m;
+        let r = &self.shape.kernel_dims;
+        let in_vol: u128 = self.shape.image_dims.iter().map(|&d| d as u128).product();
+        let out_vol: u128 = self.shape.out_dims().iter().map(|&d| d as u128).product();
+        let r_vol: u128 = r.iter().map(|&d| d as u128).product();
+
+        // Σ_d applications·ops for each transform family.
+        let mut bt_ops = 0u128;
+        let mut g_ops = 0u128;
+        let mut at_ops = 0u128;
+        for d in 0..rank {
+            let o_bt = self.plans[d].bt.op_count().total() as u128;
+            let o_g = self.plans[d].g.op_count().total() as u128;
+            let o_at = self.plans[d].at.op_count().total() as u128;
+            bt_ops += (t_vol / alpha[d] as u128) * o_bt;
+            let mut g_apps = 1u128;
+            let mut at_apps = 1u128;
+            for e in 0..rank {
+                if e < d {
+                    g_apps *= alpha[e] as u128;
+                    at_apps *= m[e] as u128;
+                } else if e > d {
+                    g_apps *= r[e] as u128;
+                    at_apps *= alpha[e] as u128;
+                }
+            }
+            g_ops += g_apps * o_g;
+            at_ops += at_apps * o_at;
+        }
+
+        let u_elems = t_vol * rows * c;
+        let v_elems = t_vol * c * cp;
+        let y_elems = t_vol * rows * cp;
+
+        let mut model = WorkModel::new();
+        model.set(
+            SpanCategory::InputTransform,
+            StageWork {
+                flops: rows * c * bt_ops,
+                bytes: (batch * c * in_vol + u_elems) * F32_BYTES,
+            },
+        );
+        model.set(
+            SpanCategory::KernelTransform,
+            StageWork {
+                flops: c * cp * g_ops,
+                bytes: (c * cp * r_vol + v_elems) * F32_BYTES,
+            },
+        );
+        model.set(
+            SpanCategory::ElementwiseGemm,
+            StageWork {
+                flops: 2 * t_vol * rows * c * cp,
+                bytes: (u_elems + v_elems + y_elems) * F32_BYTES,
+            },
+        );
+        model.set(
+            SpanCategory::OutputTransform,
+            StageWork {
+                flops: rows * cp * at_ops,
+                bytes: (y_elems + batch * cp * out_vol) * F32_BYTES,
+            },
+        );
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ConvOptions;
+    use wino_tensor::ConvShape;
+
+    fn layer_2d() -> WinogradLayer {
+        let s = ConvShape::new(2, 32, 32, &[10, 10], &[3, 3], &[1, 1]).unwrap();
+        WinogradLayer::new(s, &[2, 2], ConvOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn gemm_flops_formula() {
+        let l = layer_2d();
+        let w = l.work_model();
+        let gemm = w.get(SpanCategory::ElementwiseGemm).unwrap();
+        // T = 16 tiles of (rows × 32)·(32 × 32): rows = 2 · 25 = 50.
+        assert_eq!(l.t_vol(), 16);
+        assert_eq!(l.rows(), 50);
+        assert_eq!(gemm.flops, 2 * 16 * 50 * 32 * 32);
+    }
+
+    #[test]
+    fn input_transform_counts_bt_applications() {
+        let l = layer_2d();
+        let w = l.work_model();
+        // F(2,3): Bᵀ is 4×4 with 4 adds per line; T/α = 4 lines per dim,
+        // two dims → 32 ops per (tile, channel).
+        let o_bt = l.plans[0].bt.op_count().total() as u128;
+        let expect = l.rows() as u128 * 32 * 2 * (16 / 4) * o_bt;
+        assert_eq!(w.get(SpanCategory::InputTransform).unwrap().flops, expect);
+    }
+
+    #[test]
+    fn gemm_bytes_move_u_v_y_once() {
+        let l = layer_2d();
+        let w = l.work_model().get(SpanCategory::ElementwiseGemm).unwrap();
+        let t = l.t_vol() as u128;
+        let rows = l.rows() as u128;
+        assert_eq!(w.bytes, (t * rows * 32 + t * 32 * 32 + t * rows * 32) * 4);
+    }
+
+    #[test]
+    fn all_stage_categories_modelled() {
+        let w = layer_2d().work_model();
+        for cat in [
+            SpanCategory::InputTransform,
+            SpanCategory::KernelTransform,
+            SpanCategory::ElementwiseGemm,
+            SpanCategory::OutputTransform,
+        ] {
+            let s = w.get(cat).unwrap();
+            assert!(s.flops > 0, "{cat:?} flops");
+            assert!(s.bytes > 0, "{cat:?} bytes");
+        }
+    }
+
+    #[test]
+    fn three_d_model_is_consistent() {
+        let s = ConvShape::new(1, 16, 16, &[6, 8, 8], &[3, 3, 3], &[1, 1, 1]).unwrap();
+        let l = WinogradLayer::new(s, &[2, 2, 2], ConvOptions::default()).unwrap();
+        let w = l.work_model();
+        let gemm = w.get(SpanCategory::ElementwiseGemm).unwrap();
+        assert_eq!(
+            gemm.flops,
+            2 * l.t_vol() as u128 * l.rows() as u128 * 16 * 16
+        );
+        // Winograd total flops must undercut direct flops on this shape…
+        // only for the gemm; transform overhead may push the total over.
+        assert!(w.total_flops() > 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The versioned `BENCH_*.json` schema and its validator.
+//!
+//! The on-disk perf-report format is documented field-by-field in
+//! `docs/bench-schema.md`; this module is the executable half of that
+//! document. The versioning rule: **additive changes** (new optional
+//! fields) keep [`SCHEMA_VERSION`]; any rename, removal, unit change or
+//! semantic change bumps it. Validators accept exactly one version.
+
+use crate::event::SpanCategory;
+use crate::json::Json;
+
+/// Current schema version of emitted perf reports.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Validate a parsed `BENCH_*.json` document. Returns every problem
+/// found (empty = valid).
+pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    let mut err = |m: String| errs.push(m);
+
+    match doc.get("schema_version").and_then(Json::as_f64) {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        Some(v) => err(format!("schema_version {v} != supported {SCHEMA_VERSION}")),
+        None => err("missing numeric schema_version".into()),
+    }
+    for key in ["generated_by", "date"] {
+        if doc.get(key).and_then(Json::as_str).is_none() {
+            err(format!("missing string field '{key}'"));
+        }
+    }
+    match doc.get("machine") {
+        Some(m) => {
+            for key in ["peak_gflops", "mem_bw_gbps", "threads"] {
+                if m.get(key).and_then(Json::as_f64).is_none() {
+                    err(format!("machine.{key} missing or not a number"));
+                }
+            }
+            if m.get("simd").and_then(Json::as_str).is_none() {
+                err("machine.simd missing or not a string".into());
+            }
+        }
+        None => err("missing 'machine' object".into()),
+    }
+
+    match doc.get("layers").and_then(Json::as_arr) {
+        None => err("missing 'layers' array".into()),
+        Some([]) => err("'layers' is empty".into()),
+        Some(layers) => {
+            for (i, layer) in layers.iter().enumerate() {
+                validate_layer(i, layer, &mut errs);
+            }
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+fn validate_layer(i: usize, layer: &Json, errs: &mut Vec<String>) {
+    let ctx = |f: &str| format!("layers[{i}].{f}");
+    for key in ["layer", "impl"] {
+        if layer.get(key).and_then(Json::as_str).is_none() {
+            errs.push(format!("{} missing or not a string", ctx(key)));
+        }
+    }
+    for key in ["best_ms", "mean_ms", "effective_gflops", "reps"] {
+        if layer.get(key).and_then(Json::as_f64).is_none() {
+            errs.push(format!("{} missing or not a number", ctx(key)));
+        }
+    }
+    match layer.get("barrier") {
+        None => errs.push(format!("{} missing", ctx("barrier"))),
+        Some(b) => {
+            for key in ["fork_joins", "max_skew_us", "mean_skew_us", "total_wait_ms"] {
+                if b.get(key).and_then(Json::as_f64).is_none() {
+                    errs.push(format!("{}.{key} missing or not a number", ctx("barrier")));
+                }
+            }
+        }
+    }
+    match layer.get("stages").and_then(Json::as_arr) {
+        None => errs.push(format!("{} missing or not an array", ctx("stages"))),
+        Some(stages) => {
+            let mut with_work = 0usize;
+            for (j, s) in stages.iter().enumerate() {
+                let sctx = format!("layers[{i}].stages[{j}]");
+                match s.get("stage").and_then(Json::as_str) {
+                    Some(name) if SpanCategory::from_name(name).is_some() => {}
+                    Some(name) => errs.push(format!("{sctx}.stage '{name}' is not a known category")),
+                    None => errs.push(format!("{sctx}.stage missing or not a string")),
+                }
+                for key in ["wall_ms", "cpu_ms", "spans"] {
+                    if s.get(key).and_then(Json::as_f64).is_none() {
+                        errs.push(format!("{sctx}.{key} missing or not a number"));
+                    }
+                }
+                // Optional work fields must be numeric when present, and
+                // gflops/arith_intensity travel together.
+                for key in ["gflops", "arith_intensity", "bytes", "roofline_gflops"] {
+                    if let Some(v) = s.get(key) {
+                        if v.as_f64().is_none() {
+                            errs.push(format!("{sctx}.{key} is not a number"));
+                        }
+                    }
+                }
+                if s.get("gflops").is_some() && s.get("arith_intensity").is_some() {
+                    with_work += 1;
+                }
+            }
+            if stages.is_empty() {
+                errs.push(format!("{} is empty (was the probe feature enabled?)", ctx("stages")));
+            } else if with_work == 0 {
+                errs.push(format!(
+                    "{} has no stage with gflops + arith_intensity (work model missing)",
+                    ctx("stages")
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn valid_doc() -> String {
+        r#"{
+          "schema_version": 1,
+          "generated_by": "wino-bench perf",
+          "date": "2026-08-07",
+          "machine": {"peak_gflops": 100.0, "mem_bw_gbps": 20.0, "threads": 4, "simd": "avx2"},
+          "layers": [
+            {
+              "layer": "VGG 3.2", "impl": "winograd F(4x4)",
+              "best_ms": 1.5, "mean_ms": 1.6, "effective_gflops": 120.0, "reps": 3,
+              "stages": [
+                {"stage": "elementwise-gemm", "wall_ms": 0.7, "cpu_ms": 2.1, "spans": 1,
+                 "gflops": 90.0, "arith_intensity": 3.5, "bytes": 1000, "roofline_gflops": 70.0}
+              ],
+              "barrier": {"fork_joins": 4, "max_skew_us": 11.0, "mean_skew_us": 5.0, "total_wait_ms": 0.02}
+            }
+          ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn accepts_valid_document() {
+        let doc = parse(&valid_doc()).unwrap();
+        validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let doc = parse(&valid_doc().replace("\"schema_version\": 1", "\"schema_version\": 2")).unwrap();
+        let errs = validate(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("schema_version")));
+    }
+
+    #[test]
+    fn rejects_unknown_stage_and_missing_fields() {
+        let doc = parse(&valid_doc().replace("elementwise-gemm", "warp-drive")).unwrap();
+        let errs = validate(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not a known category")));
+
+        let doc = parse(&valid_doc().replace("\"barrier\"", "\"barrierz\"")).unwrap();
+        let errs = validate(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("barrier missing")));
+    }
+
+    #[test]
+    fn rejects_empty_layers_and_stages() {
+        let doc = parse(r#"{"schema_version": 1, "generated_by": "x", "date": "d",
+            "machine": {"peak_gflops": 1, "mem_bw_gbps": 1, "threads": 1, "simd": "scalar"},
+            "layers": []}"#)
+        .unwrap();
+        let errs = validate(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("'layers' is empty")));
+    }
+
+    #[test]
+    fn rejects_stage_without_work_fields() {
+        let stripped = valid_doc()
+            .replace("\"gflops\": 90.0, \"arith_intensity\": 3.5, ", "");
+        let doc = parse(&stripped).unwrap();
+        let errs = validate(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("work model missing")));
+    }
+}

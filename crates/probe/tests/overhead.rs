@@ -1,0 +1,43 @@
+//! Overhead guard: the instrumentation API must be fully linkable with
+//! the `enabled` feature off, and must then record nothing at all. The
+//! same test source compiles in both configurations — `scripts/check.sh`
+//! runs the suite with and without `--features probe`.
+
+use wino_probe::{fold, Collector, MachineModel, SpanCategory, WorkModel, COORDINATOR, ENABLED};
+
+#[test]
+fn api_is_linkable_and_respects_feature_flag() {
+    let c = Collector::new(8);
+    assert_eq!(c.slots(), 8);
+
+    // Exercise every entry point an instrumented hot path uses.
+    let t0 = wino_probe::tick();
+    let t1 = wino_probe::now_ns();
+    // SAFETY: single-threaded test — buffer access is exclusive.
+    unsafe {
+        c.record(0, SpanCategory::InputTransform, t0, t1);
+        c.record(7, SpanCategory::TileExtract, t0, t1);
+        c.record(COORDINATOR, SpanCategory::ForkJoin, t0, t1);
+    }
+    // SAFETY: nothing records concurrently.
+    let events = unsafe { c.drain() };
+
+    if ENABLED {
+        assert_eq!(events.len(), 3, "enabled build must keep every span");
+    } else {
+        assert!(events.is_empty(), "disabled build must record zero events");
+        assert_eq!((t0, t1), (0, 0), "disabled clock must be the constant 0");
+        // SAFETY: nothing records concurrently.
+        assert!(unsafe { c.is_empty() });
+    }
+
+    // Folding the (possibly empty) event set must always work: bench
+    // binaries run unconditionally and only their reports differ.
+    let report = fold(&events, &WorkModel::new(), &MachineModel::assumed());
+    if ENABLED {
+        assert_eq!(report.barrier.fork_joins, 1);
+    } else {
+        assert!(report.stages.is_empty());
+        assert_eq!(report.barrier.fork_joins, 0);
+    }
+}

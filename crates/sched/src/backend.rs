@@ -40,6 +40,59 @@ pub trait Executor: Sync {
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// The span collector this executor records into, if instrumented.
+    /// Plain executors are not; wrap one in
+    /// [`crate::ProbedExecutor`] to collect stage spans and fork–join
+    /// timings. Stage code uses this hook to record categorised spans
+    /// without threading a collector through every signature.
+    fn probe(&self) -> Option<&wino_probe::Collector> {
+        None
+    }
+}
+
+impl<E: Executor + ?Sized> Executor for &E {
+    fn run_grid(
+        &self,
+        dims: &[usize],
+        task: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<(), PoolError> {
+        (**self).run_grid(dims, task)
+    }
+
+    fn threads(&self) -> usize {
+        (**self).threads()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn probe(&self) -> Option<&wino_probe::Collector> {
+        (**self).probe()
+    }
+}
+
+impl<E: Executor + ?Sized> Executor for Box<E> {
+    fn run_grid(
+        &self,
+        dims: &[usize],
+        task: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<(), PoolError> {
+        (**self).run_grid(dims, task)
+    }
+
+    fn threads(&self) -> usize {
+        (**self).threads()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn probe(&self) -> Option<&wino_probe::Collector> {
+        (**self).probe()
+    }
 }
 
 /// Single-threaded executor: iterates the grid in row-major order.
@@ -237,6 +290,17 @@ mod tests {
     #[test]
     fn serial_covers() {
         check_covers(&SerialExecutor, &[3, 4, 5]);
+    }
+
+    #[test]
+    fn borrowed_dyn_executor_is_an_executor() {
+        // `&dyn Executor` implements Executor, so borrowed executors can
+        // be wrapped (e.g. by ProbedExecutor) without taking ownership.
+        let e = StaticExecutor::new(2);
+        let borrowed: &dyn Executor = &e;
+        check_covers(&borrowed, &[4, 4]);
+        assert_eq!(borrowed.threads(), 2);
+        assert_eq!(Executor::name(&borrowed), "static");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! watchdog ([`BarrierError::Timeout`]), which poisons the barriers and
 //! permanently kills the pool ([`PoolError::Unusable`] thereafter) — but
 //! never hangs the caller, not even in `Drop`. With the `fault-inject`
-//! cargo feature, the [`fault`] module provides deterministic hooks to
+//! cargo feature, the `fault` module provides deterministic hooks to
 //! exercise each of these paths from tests.
 
 pub mod atomics;
@@ -26,9 +26,11 @@ pub mod fault;
 pub mod grid;
 pub mod handoff;
 pub mod pool;
+pub mod probed;
 
 pub use atomics::{AtomicUsizeOps, Atomics, StdAtomics};
 pub use backend::{DynamicExecutor, Executor, SerialExecutor, StaticExecutor};
+pub use probed::ProbedExecutor;
 pub use barrier::{BarrierError, SpinBarrier, SpinBarrierIn};
 pub use grid::{GridPartition, TaskBox};
 pub use handoff::JobExitLatch;

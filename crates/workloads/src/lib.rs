@@ -3,6 +3,23 @@
 //! The evaluation's data side: the Table 2 layer catalogue
 //! ([`catalog`]), deterministic input/kernel generators matching §5.3's
 //! distributions ([`generate`]), and reporting metrics ([`metrics`]).
+//!
+//! Layers are addressed by their catalogue id (network + layer label):
+//!
+//! ```
+//! use wino_workloads::{effective_gflops, scaled_catalog, tile_sweep};
+//!
+//! let vgg = scaled_catalog().into_iter().find(|l| l.id() == "VGG 3.2").unwrap();
+//! assert_eq!(vgg.rank(), 2);
+//!
+//! // Fig. 5's tile sweep covers F(2²)..F(6²) in 2-D, F(2³)..F(4³) in 3-D.
+//! assert!(tile_sweep(vgg.rank()).contains(&vec![4, 4]));
+//!
+//! // Effective GFLOP/s uses *direct-method* FLOPs regardless of the
+//! // algorithm measured — the paper's Fig. 5 normaliser.
+//! let at_1ms = effective_gflops(&vgg.shape, 1.0);
+//! assert_eq!(at_1ms, vgg.shape.direct_flops() as f64 / 1e-3 / 1e9);
+//! ```
 
 pub mod catalog;
 pub mod generate;

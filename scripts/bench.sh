@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Perf-report driver: build the instrumented harness, run the `perf`
+# binary over the layer catalogue, and validate the emitted JSON against
+# the versioned schema (docs/bench-schema.md). Run from the repo root:
+#
+#   scripts/bench.sh            → BENCH_<date>.json at the repo root
+#                                 (full scaled catalogue × {direct,
+#                                 im2col, best-Winograd})
+#   scripts/bench.sh --smoke    → target/BENCH_smoke.json (three pinned
+#                                 layers, 1 rep — the CI gate)
+#
+# Environment: THREADS (default: all cores), REPS (default 3; smoke: 1),
+# BENCH_TIMEOUT seconds (default 1800).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_TIMEOUT=${BENCH_TIMEOUT:-1800}
+
+MODE=full
+for a in "$@"; do
+    case "$a" in
+        --smoke) MODE=smoke ;;
+        *)
+            echo "usage: scripts/bench.sh [--smoke]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+run() {
+    echo "==> $*"
+    timeout --kill-after=30 "$BENCH_TIMEOUT" "$@"
+}
+
+run cargo build --offline --release -p wino-bench --features probe
+
+args=(--date "$(date -u +%F)")
+[ -n "${THREADS:-}" ] && args+=(--threads "$THREADS")
+
+if [ "$MODE" = smoke ]; then
+    out=target/BENCH_smoke.json
+    args+=(--reps "${REPS:-1}")
+else
+    out="BENCH_$(date -u +%F).json"
+    args+=(--all --reps "${REPS:-3}")
+fi
+
+run target/release/perf "${args[@]}" --out "$out"
+run target/release/perf --validate "$out"
+echo "OK: $out"

@@ -20,8 +20,14 @@ run "$BUILD_TIMEOUT" cargo build --workspace --offline --release
 run "$BUILD_TIMEOUT" cargo build --workspace --offline --all-targets
 run "$TEST_TIMEOUT" cargo test --workspace --offline -q
 run "$TEST_TIMEOUT" cargo test --workspace --offline -q --features fault-inject
+run "$TEST_TIMEOUT" cargo test --workspace --offline -q --features probe
 run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets -- -D warnings
 run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features fault-inject -- -D warnings
+run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features probe -- -D warnings
+
+# Documentation gate: rustdoc must build warning-free (broken intra-doc
+# links are the usual regression).
+RUSTDOCFLAGS="-D warnings" run "$BUILD_TIMEOUT" cargo doc --workspace --offline --no-deps
 
 # Static analysis gate: the workspace must lint clean (100% SAFETY /
 # ORDERING coverage) and the model checker must clear its interleaving
@@ -30,5 +36,9 @@ run "$ANALYZE_TIMEOUT" cargo run --offline --release -q -p wino-analyze --bin wi
 run "$TEST_TIMEOUT" cargo test --offline -q -p wino-analyze
 run "$ANALYZE_TIMEOUT" cargo run --offline --release -q -p wino-analyze --bin wino-model -- \
     --min-interleavings 10000
+
+# Observability gate: an instrumented smoke run must emit a perf report
+# that validates against the versioned schema (docs/bench-schema.md).
+scripts/bench.sh --smoke
 
 echo "All checks passed."
