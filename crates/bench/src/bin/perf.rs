@@ -131,11 +131,25 @@ fn main() {
         let i = run_im2col(layer, exec.as_ref(), reps);
         push(&i, probe_im2col(layer, exec.as_ref(), &machine));
 
+        // The best tile (by default-schedule time) is then measured under
+        // every schedule — the unfused / fused-scatter / pipelined axis
+        // of the tentpole comparison, one report row each.
         match best_winograd(layer, exec.as_ref(), reps) {
-            Some((m, meas)) => push(
-                &meas,
-                probe_winograd(layer, &m, ConvOptions::default(), exec.as_ref(), &machine),
-            ),
+            Some((m, _)) => {
+                for schedule in wino_conv::Schedule::ALL {
+                    let opts = ConvOptions { schedule, ..Default::default() };
+                    match run_winograd(layer, &m, false, opts, exec.as_ref(), reps) {
+                        Some(meas) => {
+                            push(&meas, probe_winograd(layer, &m, opts, exec.as_ref(), &machine));
+                        }
+                        None => eprintln!(
+                            "warning: schedule {} rejected for {}",
+                            schedule.name(),
+                            layer.id()
+                        ),
+                    }
+                }
+            }
             None => eprintln!("warning: no Winograd plan accepted for {}", layer.id()),
         }
     }

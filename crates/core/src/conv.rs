@@ -5,8 +5,8 @@ use wino_sched::Executor;
 use wino_tensor::{BlockedImage, BlockedKernels, BlockedMatrices, ConvShape, SimpleImage, SimpleKernels};
 
 use crate::error::WinoError;
-use crate::plan::{ConvOptions, Scratch, WinogradLayer};
-use crate::{stage1, stage2, stage3};
+use crate::plan::{ConvOptions, Schedule, Scratch, WinogradLayer};
+use crate::{pipeline, stage1, stage2, stage3};
 
 /// Memoised kernel transforms (`W` of Table 1) for inference-only use —
 /// the paper's "FX" columns in Fig. 5. Bound to the layer plan that
@@ -37,6 +37,15 @@ impl WinogradLayer {
         scratch: &mut Scratch,
         exec: &dyn Executor,
     ) -> Result<(), WinoError> {
+        if self.opts.schedule == Schedule::Pipelined {
+            stage1::transform_kernels(self, kernels, scratch, exec)?;
+            // Move `v` out so the pipeline can borrow the rest of the
+            // scratch mutably; restored below.
+            let v = std::mem::replace(&mut scratch.v, BlockedMatrices::new(1, 1, 16, 1, 16));
+            let r = pipeline::forward_pipelined(self, input, &v, output, scratch, exec);
+            scratch.v = v;
+            return r;
+        }
         stage1::transform_inputs(self, input, scratch, exec)?;
         stage1::transform_kernels(self, kernels, scratch, exec)?;
         stage2::multiply(self, scratch, exec)?;
@@ -65,6 +74,9 @@ impl WinogradLayer {
         scratch: &mut Scratch,
         exec: &dyn Executor,
     ) -> Result<(), WinoError> {
+        if self.opts.schedule == Schedule::Pipelined {
+            return pipeline::forward_pipelined(self, input, &kernels.v, output, scratch, exec);
+        }
         stage1::transform_inputs(self, input, scratch, exec)?;
         stage2::multiply_with(self, scratch, &kernels.v, exec)?;
         stage3::inverse_transform(self, scratch, output, exec)
@@ -340,7 +352,8 @@ mod tests {
             let kernels = BlockedKernels::from_simple(&ker).unwrap();
 
             let run = |backend| {
-                let opts = ConvOptions { stage2: backend, fused_scatter: fused, ..Default::default() };
+                let schedule = if fused { Schedule::FusedScatter } else { Schedule::Unfused };
+                let opts = ConvOptions { stage2: backend, schedule, ..Default::default() };
                 let layer = WinogradLayer::new(shape.clone(), &m, opts).unwrap();
                 let mut scratch = Scratch::new(&layer, 1);
                 let mut out = layer.new_output().unwrap();
@@ -399,10 +412,10 @@ mod tests {
         let shape = ConvShape::new(1, 32, 32, &[10, 10], &[3, 3], &[1, 1]).unwrap();
         let mut results = Vec::new();
         for streaming in [true, false] {
-            for fused in [true, false] {
+            for schedule in crate::plan::Schedule::ALL {
                 let opts = ConvOptions {
                     streaming_stores: streaming,
-                    fused_scatter: fused,
+                    schedule,
                     ..Default::default()
                 };
                 let layer = WinogradLayer::new(shape.clone(), &[4, 4], opts).unwrap();

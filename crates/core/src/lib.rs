@@ -33,6 +33,7 @@ pub mod conv;
 pub mod error;
 pub mod layout;
 pub mod net;
+pub(crate) mod pipeline;
 pub mod plan;
 pub mod select;
 pub(crate) mod spans;
@@ -50,5 +51,5 @@ pub use net::{
     Activation, ExecutionReport, FallbackReason, LayerBackend, LayerPlan, LayerSpec, NetLayer,
     Network,
 };
-pub use plan::{ConvOptions, PlanError, Scratch, Stage2Backend, WinogradLayer, MAX_RANK};
+pub use plan::{ConvOptions, PlanError, Schedule, Scratch, Stage2Backend, WinogradLayer, MAX_RANK};
 pub use select::{candidate_tiles, plan_with_fallback, select_tile, FallbackPolicy, Purpose, Selection};

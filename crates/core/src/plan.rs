@@ -35,19 +35,61 @@ pub enum Stage2Backend {
     Jit,
 }
 
+/// How the three pipeline stages are scheduled across fork–joins.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// One fork–join per stage plus a separate ⑥ scatter pass: stage 2
+    /// writes the blocked `I'_tmp`, a fourth fork–join copies it into the
+    /// tile-major layout. The ablation baseline.
+    Unfused,
+    /// One fork–join per stage, with operation ⑥ fused into the last
+    /// reduction block of the stage-2 micro-kernel (>20 % overall in the
+    /// paper). Default.
+    #[default]
+    FusedScatter,
+    /// Stages 1→2→3 executed per L2-resident superblock inside a single
+    /// fork–join: each task transforms, multiplies and inverse-transforms
+    /// its own slice of panel rows while the data is still cache-hot,
+    /// instead of streaming `Î`/`X̂` through DRAM between barriers.
+    Pipelined,
+}
+
+impl Schedule {
+    /// Every schedule, in ablation order.
+    pub const ALL: [Schedule; 3] = [Schedule::Unfused, Schedule::FusedScatter, Schedule::Pipelined];
+
+    /// Stable kebab-case name for reports and CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Unfused => "unfused",
+            Schedule::FusedScatter => "fused-scatter",
+            Schedule::Pipelined => "pipelined",
+        }
+    }
+
+    /// Whether operation ⑥ (the tile-major scatter) runs inside the
+    /// stage-2 micro-kernel rather than as a separate copy pass.
+    pub fn fuses_scatter(self) -> bool {
+        !matches!(self, Schedule::Unfused)
+    }
+}
+
 /// Tuning and ablation switches.
 #[derive(Clone, Copy, Debug)]
 pub struct ConvOptions {
     /// Use non-temporal streaming stores in the transform stages
     /// (§4.2.1; the paper credits them with ~25 % on those stages).
     pub streaming_stores: bool,
-    /// Scatter stage-2 results to the tile-major layout inside the GEMM
-    /// micro-kernel (operation ⑥; >20 % overall in the paper) instead of a
-    /// separate copy pass.
-    pub fused_scatter: bool,
+    /// Stage scheduling: how many fork–joins per layer and where
+    /// operation ⑥ runs. See [`Schedule`].
+    pub schedule: Schedule,
     /// Explicit blocking parameters; `None` uses the Eq. 11 model default
     /// (or wisdom, via the higher-level API).
     pub block: Option<BlockShape>,
+    /// Explicit superblock extent (row blocks per superblock) for the
+    /// pipelined schedule; `None` uses the L2 footprint model
+    /// ([`wino_gemm::SUPERBLOCK_L2_BYTES`]) or a wisdom hint.
+    pub superblock: Option<usize>,
     /// Interpolation-point schedule for the transform generation (the
     /// Table 3 conditioning ablation).
     pub points: PointSchedule,
@@ -59,8 +101,9 @@ impl Default for ConvOptions {
     fn default() -> Self {
         ConvOptions {
             streaming_stores: true,
-            fused_scatter: true,
+            schedule: Schedule::default(),
             block: None,
+            superblock: None,
             points: PointSchedule::default(),
             stage2: Stage2Backend::default(),
         }
@@ -140,6 +183,10 @@ pub struct WinogradLayer {
     pub plans: Vec<FmrPlan>,
     /// Stage-2 blocking `(n_blk, C_blk, C'_blk)`.
     pub block: BlockShape,
+    /// Row blocks per superblock of the pipelined schedule (≥ 1), from
+    /// the L2 footprint model unless overridden via
+    /// [`ConvOptions::superblock`]. Unused by the monolithic schedules.
+    pub superblock: usize,
     pub opts: ConvOptions,
     pub(crate) jit: Option<JitStage2>,
 }
@@ -194,9 +241,35 @@ impl WinogradLayer {
         };
         let jit = match opts.stage2 {
             Stage2Backend::Mono => None,
-            Stage2Backend::Jit => Some(Self::build_jit(&shape, &grid, block, rows, opts)?),
+            Stage2Backend::Jit => {
+                if opts.schedule == Schedule::Pipelined {
+                    // The JIT kernels hard-code the streaming scatter;
+                    // rejecting here lets `plan_with_fallback` degrade to
+                    // the mono backend instead of silently changing the
+                    // store policy mid-pipeline.
+                    return Err(PlanError::Jit {
+                        reason: "pipelined schedule requires the mono stage-2 backend",
+                    });
+                }
+                Some(Self::build_jit(&shape, &grid, block, rows, opts)?)
+            }
         };
-        Ok(WinogradLayer { shape, grid, plans, block, opts, jit })
+        let t_vol = grid.tile_volume();
+        let superblock = match opts.superblock {
+            Some(sb) => {
+                if sb == 0 {
+                    return Err(PlanError::BadBlocking { reason: "superblock must be ≥ 1" });
+                }
+                sb
+            }
+            None => block.superblock_row_blocks(
+                t_vol,
+                shape.in_channels,
+                shape.out_channels,
+                wino_gemm::SUPERBLOCK_L2_BYTES,
+            ),
+        };
+        Ok(WinogradLayer { shape, grid, plans, block, superblock, opts, jit })
     }
 
     /// Compile the stage-2 machine-code kernels (the paper generates them
@@ -225,8 +298,9 @@ impl WinogradLayer {
         let group_stride = n_tiles * t_vol * S;
         let (nb, cb, cpb) = (block.n_blk, block.c_blk, block.cp_blk);
 
-        let need_block0 = !opts.fused_scatter || k_blocks > 1;
-        let need_block1 = k_blocks > 1 && (!opts.fused_scatter || k_blocks > 2);
+        let fused = opts.schedule.fuses_scatter();
+        let need_block0 = !fused || k_blocks > 1;
+        let need_block1 = k_blocks > 1 && (!fused || k_blocks > 2);
         let scatter_beta = k_blocks > 1;
         let block0 = if need_block0 {
             Some(JitKernel::compile(nb, cb, cpb, false).map_err(jit_err)?)
@@ -238,7 +312,7 @@ impl WinogradLayer {
         } else {
             None
         };
-        let (scatter_full, scatter_tail) = if opts.fused_scatter {
+        let (scatter_full, scatter_tail) = if fused {
             let full = JitKernel::compile_with_output(
                 nb,
                 cb,
@@ -287,6 +361,18 @@ impl WinogradLayer {
     /// Panel rows of the transformed matrices: `N·B`.
     pub fn rows(&self) -> usize {
         self.n_tiles() * self.shape.batch
+    }
+
+    /// `n_blk`-row panels per transformed matrix (the unit the pipelined
+    /// schedule groups into superblocks).
+    pub fn row_blocks(&self) -> usize {
+        self.rows().div_ceil(self.block.n_blk)
+    }
+
+    /// Superblocks the pipelined schedule partitions this layer into —
+    /// the task-grid extent of its single fork–join.
+    pub fn num_superblocks(&self) -> usize {
+        self.row_blocks().div_ceil(self.superblock)
     }
 
     /// Allocate the output image for this layer.
@@ -451,6 +537,52 @@ mod tests {
         let layer = WinogradLayer::new(s, &[2, 4, 4], ConvOptions::default()).unwrap();
         assert_eq!(layer.t_vol(), 4 * 6 * 6);
         assert_eq!(layer.grid.counts, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn superblock_geometry_is_planned() {
+        let layer = WinogradLayer::new(shape2d(), &[4, 4], ConvOptions::default()).unwrap();
+        assert!(layer.superblock >= 1);
+        assert!(layer.num_superblocks() >= 1);
+        // Superblocks tile the row blocks exactly.
+        assert!(layer.num_superblocks() * layer.superblock >= layer.row_blocks());
+        assert!((layer.num_superblocks() - 1) * layer.superblock < layer.row_blocks());
+    }
+
+    #[test]
+    fn superblock_override_is_honoured_and_validated() {
+        let opts = ConvOptions { superblock: Some(2), ..Default::default() };
+        let layer = WinogradLayer::new(shape2d(), &[4, 4], opts).unwrap();
+        assert_eq!(layer.superblock, 2);
+        let opts = ConvOptions { superblock: Some(0), ..Default::default() };
+        assert!(matches!(
+            WinogradLayer::new(shape2d(), &[4, 4], opts),
+            Err(PlanError::BadBlocking { .. })
+        ));
+    }
+
+    #[test]
+    fn pipelined_rejects_jit_backend() {
+        let opts = ConvOptions {
+            schedule: Schedule::Pipelined,
+            stage2: Stage2Backend::Jit,
+            ..Default::default()
+        };
+        assert!(matches!(
+            WinogradLayer::new(shape2d(), &[4, 4], opts),
+            Err(PlanError::Jit { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_names_and_fusion() {
+        assert_eq!(Schedule::ALL.len(), 3);
+        assert_eq!(Schedule::default(), Schedule::FusedScatter);
+        assert!(!Schedule::Unfused.fuses_scatter());
+        assert!(Schedule::FusedScatter.fuses_scatter());
+        assert!(Schedule::Pipelined.fuses_scatter());
+        let names: Vec<&str> = Schedule::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["unfused", "fused-scatter", "pipelined"]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use wino_tensor::BlockedImage;
 use wino_tensor::BlockedKernels;
 
 use crate::error::{ensure_at_least, ensure_dims_eq, ensure_eq, WinoError};
-use crate::plan::{Scratch, WinogradLayer, MAX_RANK};
+use crate::plan::{Scratch, ThreadBuf, WinogradLayer, MAX_RANK};
 
 /// Decompose a flat row-major index into coordinates (no allocation).
 #[inline]
@@ -91,14 +91,14 @@ unsafe fn gather_tile(
     }
 }
 
-struct MutPtr(*mut f32);
+pub(crate) struct MutPtr(pub(crate) *mut f32);
 // SAFETY: tasks write disjoint ranges (each owns its (row, col-group)).
 unsafe impl Sync for MutPtr {}
 // SAFETY: the pointer targets plan-owned scratch that outlives the
 // fork–join moving this handle between threads.
 unsafe impl Send for MutPtr {}
 impl MutPtr {
-    fn get(&self) -> *mut f32 {
+    pub(crate) fn get(&self) -> *mut f32 {
         self.0
     }
 }
@@ -129,6 +129,130 @@ unsafe fn scatter_vectors(
     }
 }
 
+/// The per-tile body of operation ①② — gather one tile, `Bᵀ`-transform
+/// it, scatter the `T` vectors into `U` — factored out so the monolithic
+/// stage-1 fork–join and the superblock pipeline share one
+/// implementation.
+pub(crate) struct InputTransformCtx<'a> {
+    layer: &'a WinogradLayer,
+    input: &'a BlockedImage,
+    u: MutPtr,
+    n_tiles: usize,
+    t_vol: usize,
+    n_blk: usize,
+    c_blk: usize,
+    col_blocks: usize,
+    t_stride: usize,
+    progs: Vec<&'a wino_transforms::PairedProgram>,
+    streaming: bool,
+    probe: Option<&'a wino_probe::Collector>,
+}
+
+impl<'a> InputTransformCtx<'a> {
+    /// Build the shared state. `streaming` selects NT stores for the `U`
+    /// scatter (the monolithic schedules want them; the pipeline keeps
+    /// `U` cache-resident and passes `false`).
+    pub(crate) fn new(
+        layer: &'a WinogradLayer,
+        input: &'a BlockedImage,
+        u: *mut f32,
+        streaming: bool,
+        probe: Option<&'a wino_probe::Collector>,
+    ) -> InputTransformCtx<'a> {
+        InputTransformCtx {
+            layer,
+            input,
+            u: MutPtr(u),
+            n_tiles: layer.n_tiles(),
+            t_vol: layer.t_vol(),
+            n_blk: layer.block.n_blk,
+            c_blk: layer.block.c_blk,
+            col_blocks: layer.shape.in_channels / layer.block.c_blk,
+            t_stride: layer.block.n_blk * layer.block.c_blk,
+            progs: layer.plans.iter().map(|p| &p.bt).collect(),
+            streaming,
+            probe,
+        }
+    }
+
+    /// Gather, transform and scatter tile `(b, cg, n)` (`n` is the flat
+    /// tile index within one image).
+    ///
+    /// # Safety
+    /// The caller must hold `tb` exclusively (Executor slot contract) and
+    /// own the `(row n' = b·N + n, column-group cg)` range of `u` — tasks
+    /// of one fork–join must cover disjoint `(n', cg)` pairs.
+    pub(crate) unsafe fn tile(&self, tb: &mut ThreadBuf, slot: usize, b: usize, cg: usize, n: usize) {
+        let rank = self.layer.rank();
+        let grid = &self.layer.grid;
+        let mut tc = [0usize; MAX_RANK];
+        decompose(n, &grid.counts, &mut tc[..rank]);
+        // Input-space origin of the tile (may read the padding region).
+        let mut origin = [0isize; MAX_RANK];
+        for d in 0..rank {
+            origin[d] = (tc[d] * grid.m[d]) as isize - grid.padding[d] as isize;
+        }
+
+        let gather_start = crate::spans::span_start();
+        // SAFETY: buffers sized T·S at construction; tile fits.
+        gather_tile(self.input, b, cg, &origin[..rank], &grid.tile_dims, tb.a.as_mut_ptr());
+        crate::spans::record_slot(
+            self.probe,
+            slot,
+            wino_probe::SpanCategory::TileExtract,
+            gather_start,
+        );
+
+        let mut tdims = [0usize; MAX_RANK];
+        tdims[..rank].copy_from_slice(&grid.tile_dims);
+        let in_a = crate::vecprog::transform_all_dims(
+            &self.progs,
+            tb.a.as_mut_slice(),
+            tb.b.as_mut_slice(),
+            &mut tdims[..rank],
+        );
+        let result = if in_a { tb.a.as_ptr() } else { tb.b.as_ptr() };
+
+        // Scatter into U (Table 1 "Transformed inputs").
+        let n_prime = b * self.n_tiles + n;
+        let (rb_i, r_in) = (n_prime / self.n_blk, n_prime % self.n_blk);
+        let col = cg * S;
+        let (cb_i, c_in) = (col / self.c_blk, col % self.c_blk);
+        let base = ((rb_i * self.col_blocks + cb_i) * self.t_vol) * self.t_stride
+            + r_in * self.c_blk
+            + c_in;
+        // SAFETY: disjoint (n', cg) ranges per the caller's contract;
+        // offsets in bounds by construction of `u`.
+        scatter_vectors(result, self.u.get(), base, self.t_stride, self.t_vol, self.streaming);
+    }
+
+    /// Hint-prefetch tile `(b, cg, n)`'s innermost source row toward L2 —
+    /// called by the pipeline one tile ahead of the gather.
+    pub(crate) fn prefetch_tile(&self, b: usize, cg: usize, n: usize) {
+        let rank = self.layer.rank();
+        let grid = &self.layer.grid;
+        let mut tc = [0usize; MAX_RANK];
+        decompose(n, &grid.counts, &mut tc[..rank]);
+        // First in-bounds point of the tile.
+        let mut pt = [0usize; MAX_RANK];
+        for (d, p) in pt[..rank].iter_mut().enumerate() {
+            let x = (tc[d] * grid.m[d]) as isize - grid.padding[d] as isize;
+            *p = x.clamp(0, self.input.dims[d] as isize - 1) as usize;
+        }
+        let mut spatial = 0usize;
+        for (&dim, &p) in self.input.dims.iter().zip(&pt[..rank]) {
+            spatial = spatial * dim + p;
+        }
+        let off = self.input.vec_offset_flat(b, cg, 0) + spatial * S;
+        let bytes = grid.tile_dims[rank - 1].min(self.input.dims[rank - 1] - pt[rank - 1])
+            * S
+            * std::mem::size_of::<f32>();
+        // SAFETY: the span starts inside the image allocation; prefetch
+        // never faults regardless.
+        unsafe { wino_simd::prefetch_span_t1(self.input.as_ptr().add(off) as *const u8, bytes) };
+    }
+}
+
 /// Operation ①②: transform all input tiles into `scratch.u`.
 pub fn transform_inputs(
     layer: &WinogradLayer,
@@ -142,11 +266,6 @@ pub fn transform_inputs(
     ensure_dims_eq("input extent", &layer.shape.image_dims, &input.dims)?;
 
     let rank = layer.rank();
-    let n_tiles = layer.n_tiles();
-    let t_vol = layer.t_vol();
-    let (n_blk, c_blk) = (layer.block.n_blk, layer.block.c_blk);
-    let col_blocks = layer.shape.in_channels / c_blk;
-    let streaming = layer.opts.streaming_stores;
 
     // Grid: B × C/S × N_D × … × N_W (§4.5).
     let mut dims = Vec::with_capacity(2 + rank);
@@ -154,56 +273,29 @@ pub fn transform_inputs(
     dims.push(layer.shape.in_channels / S);
     dims.extend_from_slice(&layer.grid.counts);
 
-    let u_ptr = MutPtr(scratch.u.as_mut_ptr());
-    let t_stride = n_blk * c_blk;
+    let ctx = InputTransformCtx::new(
+        layer,
+        input,
+        scratch.u.as_mut_ptr(),
+        layer.opts.streaming_stores,
+        exec.probe(),
+    );
     let scratch_ref: &Scratch = scratch;
-    let progs: Vec<&wino_transforms::PairedProgram> = layer.plans.iter().map(|p| &p.bt).collect();
-    let probe = exec.probe();
     let stage_start = crate::spans::span_start();
 
     exec.run_grid(&dims, &|slot, flat| {
         let mut coords = [0usize; MAX_RANK + 2];
         decompose(flat, &dims, &mut coords[..dims.len()]);
         let (b, cg) = (coords[0], coords[1]);
-        let tile_coords = &coords[2..2 + rank];
-
-        // Input-space origin of the tile (may read the padding region).
-        let mut origin = [0isize; MAX_RANK];
         let mut n = 0usize; // flat tile index
         for d in 0..rank {
-            origin[d] = (tile_coords[d] * layer.grid.m[d]) as isize - layer.grid.padding[d] as isize;
-            n = n * layer.grid.counts[d] + tile_coords[d];
+            n = n * layer.grid.counts[d] + coords[2 + d];
         }
-
         // SAFETY: slot exclusivity per the Executor contract.
         let tb = unsafe { scratch_ref.thread_buf(slot) };
-        let gather_start = crate::spans::span_start();
-        // SAFETY: buffers sized T·S at construction; tile fits.
-        unsafe {
-            gather_tile(input, b, cg, &origin[..rank], &layer.grid.tile_dims, tb.a.as_mut_ptr())
-        };
-        crate::spans::record_slot(probe, slot, wino_probe::SpanCategory::TileExtract, gather_start);
-
-        let mut tdims = [0usize; MAX_RANK];
-        tdims[..rank].copy_from_slice(&layer.grid.tile_dims);
-        let in_a = crate::vecprog::transform_all_dims(
-            &progs,
-            tb.a.as_mut_slice(),
-            tb.b.as_mut_slice(),
-            &mut tdims[..rank],
-        );
-        let result = if in_a { tb.a.as_ptr() } else { tb.b.as_ptr() };
-
-        // Scatter into U (Table 1 "Transformed inputs").
-        let n_prime = b * n_tiles + n;
-        let (rb_i, r_in) = (n_prime / n_blk, n_prime % n_blk);
-        let col = cg * S;
-        let (cb_i, c_in) = (col / c_blk, col % c_blk);
-        let base =
-            ((rb_i * col_blocks + cb_i) * t_vol) * t_stride + r_in * c_blk + c_in;
-        // SAFETY: disjoint (n', cg) ranges per task; offsets in bounds by
-        // construction of `u`.
-        unsafe { scatter_vectors(result, u_ptr.get(), base, t_stride, t_vol, streaming) };
+        // SAFETY: the grid enumerates each (b, cg, n) exactly once, so
+        // tasks cover disjoint (n', cg) ranges of `u`.
+        unsafe { ctx.tile(tb, slot, b, cg, n) };
     })?;
     crate::spans::record_coord(exec, wino_probe::SpanCategory::InputTransform, stage_start);
     #[cfg(feature = "fault-inject")]

@@ -7,9 +7,9 @@
 //! the result bypasses `X̂` and is scattered by the micro-kernel itself —
 //! with non-temporal streaming stores — into the tile-major layout
 //! [`crate::layout::TileMajor`] that stage 3 reads contiguously. The paper
-//! measured >20 % end-to-end gain from this fusion; setting
-//! [`crate::ConvOptions::fused_scatter`] to `false` reverts to
-//! plain GEMM + a separate copy pass (the ablation baseline).
+//! measured >20 % end-to-end gain from this fusion; the
+//! [`crate::Schedule::Unfused`] schedule reverts to plain GEMM + a
+//! separate copy pass (the ablation baseline).
 
 // Index-based loops are the idiom throughout: most walk several
 // arrays with derived offsets, where iterator rewrites obscure the math.
@@ -17,19 +17,168 @@
 use wino_gemm::{microkernel, MicroArgs, Output};
 use wino_sched::Executor;
 use wino_simd::{F32x16, S};
+use wino_tensor::BlockedMatrices;
 
 use crate::error::{ensure_eq, WinoError};
+use crate::layout::TileMajor;
 use crate::plan::{Scratch, WinogradLayer};
+use crate::stage1::MutPtr;
 
-struct MutPtr(*mut f32);
-// SAFETY: tasks write disjoint panels / tiles.
-unsafe impl Sync for MutPtr {}
-// SAFETY: the pointer targets plan-owned scratch that outlives the
-// fork–join moving this handle between threads.
-unsafe impl Send for MutPtr {}
-impl MutPtr {
-    fn get(&self) -> *mut f32 {
-        self.0
+/// The per-panel body of operations ⑤⑥ — one `(t, j, i)` panel's full
+/// reduction over the `k` blocks, with the optional fused scatter —
+/// factored out so the monolithic stage-2 fork–join and the superblock
+/// pipeline share one implementation.
+pub(crate) struct Stage2Ctx<'a> {
+    layer: &'a WinogradLayer,
+    u: &'a BlockedMatrices,
+    v: &'a BlockedMatrices,
+    x: MutPtr,
+    y: MutPtr,
+    x_meta: &'a BlockedMatrices,
+    y_meta: &'a TileMajor,
+    group_stride: usize,
+    n_tiles: usize,
+    rows: usize,
+    n_blk: usize,
+    row_blocks: usize,
+    k_blocks: usize,
+    c_blk: usize,
+    cp_blk: usize,
+    fused: bool,
+    /// NT stores for the fused ⑥ scatter. The monolithic schedules tie
+    /// this to [`crate::ConvOptions::streaming_stores`]; the pipeline
+    /// passes `false` so `y` stays cache-resident for its own stage 3.
+    scatter_streaming: bool,
+}
+
+impl<'a> Stage2Ctx<'a> {
+    #[allow(clippy::too_many_arguments)] // one argument per pipeline-shared buffer
+    pub(crate) fn new(
+        layer: &'a WinogradLayer,
+        u: &'a BlockedMatrices,
+        v: &'a BlockedMatrices,
+        x: *mut f32,
+        x_meta: &'a BlockedMatrices,
+        y: *mut f32,
+        y_meta: &'a TileMajor,
+        scatter_streaming: bool,
+    ) -> Stage2Ctx<'a> {
+        Stage2Ctx {
+            layer,
+            u,
+            v,
+            x: MutPtr(x),
+            y: MutPtr(y),
+            x_meta,
+            y_meta,
+            group_stride: y_meta.group_stride(),
+            n_tiles: layer.n_tiles(),
+            rows: layer.rows(),
+            n_blk: layer.block.n_blk,
+            row_blocks: layer.row_blocks(),
+            k_blocks: layer.shape.in_channels / layer.block.c_blk,
+            c_blk: layer.block.c_blk,
+            cp_blk: layer.block.cp_blk,
+            fused: layer.opts.schedule.fuses_scatter(),
+            scatter_streaming,
+        }
+    }
+
+    /// Multiply panel `(t, j, i)`: the full `k`-block reduction, with the
+    /// fused ⑥ scatter on the last block when the schedule fuses.
+    ///
+    /// # Safety
+    /// The caller must own panel `(t, j, i)` of `x` and the corresponding
+    /// tile rows of `y` — tasks of one fork–join must cover disjoint
+    /// `(t, j, i)` triples.
+    pub(crate) unsafe fn panel(&self, t: usize, j: usize, i: usize) {
+        // Per-row scatter destinations for the fused final block.
+        let mut row_ptrs = [std::ptr::null_mut::<f32>(); wino_gemm::MAX_N_BLK];
+        if self.fused {
+            let og0 = (j * self.cp_blk) / S;
+            for jj in 0..self.n_blk {
+                let n_prime = i * self.n_blk + jj;
+                if n_prime < self.rows {
+                    let (b, n) = (n_prime / self.n_tiles, n_prime % self.n_tiles);
+                    // SAFETY: offset within y by construction.
+                    row_ptrs[jj] = self.y.get().add(self.y_meta.vec_offset(b, og0, n, t));
+                }
+            }
+        }
+
+        // The paper's JIT backend: dispatch to pre-compiled machine code.
+        if let Some(jk) = &self.layer.jit {
+            let is_tail_panel = jk.tail != 0 && i + 1 == self.row_blocks;
+            for k in 0..self.k_blocks {
+                let is_last_k = k + 1 == self.k_blocks;
+                // SAFETY: identical pointer contract as the mono path
+                // below; scatter row_ptrs[..n_blk or ..tail] are non-null
+                // by construction (padding rows only exist in the tail
+                // panel, which uses the tail kernel).
+                let u_ptr = self.u.as_ptr().add(self.u.block_offset(i, k, t));
+                let v_p = self.v.as_ptr().add(self.v.block_offset(k, j, t));
+                let x_p = self.x.get().add(self.x_meta.block_offset(i, j, t));
+                if self.fused && is_last_k {
+                    let kern = if is_tail_panel {
+                        jk.scatter_tail.as_ref().expect("tail kernel compiled")
+                    } else {
+                        jk.scatter_full.as_ref().expect("scatter kernel compiled")
+                    };
+                    kern.call_scatter(u_ptr, v_p, x_p, row_ptrs.as_ptr());
+                } else if k == 0 {
+                    jk.block0.as_ref().expect("block0 compiled").call(u_ptr, v_p, x_p);
+                } else {
+                    jk.block1.as_ref().expect("block1 compiled").call(u_ptr, v_p, x_p);
+                }
+            }
+            return;
+        }
+
+        let last_i = self.row_blocks - 1;
+        for k in 0..self.k_blocks {
+            let is_last_k = k + 1 == self.k_blocks;
+            let next = if i < last_i {
+                (
+                    self.u.as_ptr().wrapping_add(self.u.block_offset(i + 1, k, t)),
+                    self.x.get().wrapping_add(self.x_meta.block_offset(i + 1, j, t))
+                        as *const f32,
+                )
+            } else {
+                (std::ptr::null(), std::ptr::null())
+            };
+            let output = if self.fused && is_last_k {
+                Output::Scatter {
+                    row_ptrs: row_ptrs.as_ptr(),
+                    group_stride: self.group_stride,
+                    streaming: self.scatter_streaming,
+                }
+            } else {
+                Output::Block
+            };
+            // SAFETY: block offsets for (t, i, j, k) are in bounds of
+            // their panel allocations by construction of the panel
+            // metadata; panel (t, j, i) is owned by this task.
+            let (u_blk, v_blk, x_blk) = (
+                self.u.as_ptr().add(self.u.block_offset(i, k, t)),
+                self.v.as_ptr().add(self.v.block_offset(k, j, t)),
+                self.x.get().add(self.x_meta.block_offset(i, j, t)),
+            );
+            let args = MicroArgs {
+                u: u_blk,
+                v: v_blk,
+                x: x_blk,
+                c_blk: self.c_blk,
+                cp_blk: self.cp_blk,
+                beta: k > 0,
+                next_u: next.0,
+                next_x: next.1,
+                output,
+            };
+            // SAFETY: panel (t, j, i) is owned by this task; pointers are
+            // in bounds; scatter targets are 64-byte aligned (all offsets
+            // are multiples of S) and disjoint from u/v/x.
+            microkernel(self.n_blk, &args);
+        }
     }
 }
 
@@ -66,117 +215,32 @@ pub fn multiply_with(
     ensure_eq("kernel-transform C_blk", layer.block.c_blk, v_ext.rb())?;
     ensure_eq("kernel-transform C'_blk", layer.block.cp_blk, v_ext.cb())?;
     let t_vol = layer.t_vol();
-    let n_tiles = layer.n_tiles();
-    let rows = layer.rows();
-    let n_blk = layer.block.n_blk;
     let row_blocks = scratch.u.row_blocks();
     let col_blocks = v_ext.col_blocks();
-    let k_blocks = layer.shape.in_channels / layer.block.c_blk;
-    let (c_blk, cp_blk) = (layer.block.c_blk, layer.block.cp_blk);
-    let fused = layer.opts.fused_scatter;
+    let fused = layer.opts.schedule.fuses_scatter();
 
     let dims = [t_vol, col_blocks, row_blocks];
-    let x_ptr = MutPtr(scratch.x.as_mut_ptr());
-    let y_ptr = MutPtr(scratch.y.as_mut_ptr());
-    let group_stride = scratch.y.group_stride();
-    let u = &scratch.u;
-    let v = v_ext;
-    let x_meta = &scratch.x;
-    let y_meta = &scratch.y;
+    let x_ptr = scratch.x.as_mut_ptr();
+    let y_ptr = scratch.y.as_mut_ptr();
+    let ctx = Stage2Ctx::new(
+        layer,
+        &scratch.u,
+        v_ext,
+        x_ptr,
+        &scratch.x,
+        y_ptr,
+        &scratch.y,
+        layer.opts.streaming_stores,
+    );
     let stage_start = crate::spans::span_start();
 
     exec.run_grid(&dims, &|_slot, flat| {
         let i = flat % row_blocks;
         let j = (flat / row_blocks) % col_blocks;
         let t = flat / (row_blocks * col_blocks);
-
-        // Per-row scatter destinations for the fused final block.
-        let mut row_ptrs = [std::ptr::null_mut::<f32>(); wino_gemm::MAX_N_BLK];
-        if fused {
-            let og0 = (j * cp_blk) / S;
-            for jj in 0..n_blk {
-                let n_prime = i * n_blk + jj;
-                if n_prime < rows {
-                    let (b, n) = (n_prime / n_tiles, n_prime % n_tiles);
-                    // SAFETY: offset within y by construction.
-                    row_ptrs[jj] =
-                        unsafe { y_ptr.get().add(y_meta.vec_offset(b, og0, n, t)) };
-                }
-            }
-        }
-
-        // The paper's JIT backend: dispatch to pre-compiled machine code.
-        if let Some(jk) = &layer.jit {
-            let is_tail_panel = jk.tail != 0 && i + 1 == row_blocks;
-            for k in 0..k_blocks {
-                let is_last_k = k + 1 == k_blocks;
-                // SAFETY: identical pointer contract as the mono path
-                // below; scatter row_ptrs[..n_blk or ..tail] are non-null
-                // by construction (padding rows only exist in the tail
-                // panel, which uses the tail kernel).
-                unsafe {
-                    let u_ptr = u.as_ptr().add(u.block_offset(i, k, t));
-                    let v_p = v.as_ptr().add(v.block_offset(k, j, t));
-                    let x_p = x_ptr.get().add(x_meta.block_offset(i, j, t));
-                    if fused && is_last_k {
-                        let kern = if is_tail_panel {
-                            jk.scatter_tail.as_ref().expect("tail kernel compiled")
-                        } else {
-                            jk.scatter_full.as_ref().expect("scatter kernel compiled")
-                        };
-                        kern.call_scatter(u_ptr, v_p, x_p, row_ptrs.as_ptr());
-                    } else if k == 0 {
-                        jk.block0.as_ref().expect("block0 compiled").call(u_ptr, v_p, x_p);
-                    } else {
-                        jk.block1.as_ref().expect("block1 compiled").call(u_ptr, v_p, x_p);
-                    }
-                }
-            }
-            return;
-        }
-
-        let last_i = row_blocks - 1;
-        for k in 0..k_blocks {
-            let is_last_k = k + 1 == k_blocks;
-            let next = if i < last_i {
-                (
-                    u.as_ptr().wrapping_add(u.block_offset(i + 1, k, t)),
-                    x_ptr.get().wrapping_add(x_meta.block_offset(i + 1, j, t)) as *const f32,
-                )
-            } else {
-                (std::ptr::null(), std::ptr::null())
-            };
-            let output = if fused && is_last_k {
-                Output::Scatter { row_ptrs: row_ptrs.as_ptr(), group_stride }
-            } else {
-                Output::Block
-            };
-            // SAFETY: block offsets for (t, i, j, k) are in bounds of
-            // their panel allocations by construction of the panel
-            // metadata; panel (t, j, i) is owned by this task.
-            let (u_blk, v_blk, x_blk) = unsafe {
-                (
-                    u.as_ptr().add(u.block_offset(i, k, t)),
-                    v.as_ptr().add(v.block_offset(k, j, t)),
-                    x_ptr.get().add(x_meta.block_offset(i, j, t)),
-                )
-            };
-            let args = MicroArgs {
-                u: u_blk,
-                v: v_blk,
-                x: x_blk,
-                c_blk,
-                cp_blk,
-                beta: k > 0,
-                next_u: next.0,
-                next_x: next.1,
-                output,
-            };
-            // SAFETY: panel (t, j, i) is owned by this task; pointers are
-            // in bounds; scatter targets are 64-byte aligned (all offsets
-            // are multiples of S) and disjoint from u/v/x.
-            unsafe { microkernel(n_blk, &args) };
-        }
+        // SAFETY: the grid enumerates each (t, j, i) exactly once, so
+        // tasks own disjoint panels.
+        unsafe { ctx.panel(t, j, i) };
     })?;
     // The unfused copy pass is still operation ⑥ — part of this stage's
     // coordinator span, so fused/unfused ablations compare like for like.
@@ -240,13 +304,14 @@ fn scatter_pass(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{ConvOptions, WinogradLayer};
+    use crate::plan::{ConvOptions, Schedule, WinogradLayer};
     use wino_sched::{SerialExecutor, StaticExecutor};
     use wino_tensor::ConvShape;
 
     fn make(fused: bool, c: usize, cp: usize) -> (WinogradLayer, Scratch) {
         let s = ConvShape::new(2, c, cp, &[10, 10], &[3, 3], &[1, 1]).unwrap();
-        let opts = ConvOptions { fused_scatter: fused, ..Default::default() };
+        let schedule = if fused { Schedule::FusedScatter } else { Schedule::Unfused };
+        let opts = ConvOptions { schedule, ..Default::default() };
         let layer = WinogradLayer::new(s, &[4, 4], opts).unwrap();
         let scratch = Scratch::new(&layer, 4);
         (layer, scratch)

@@ -16,18 +16,120 @@ use wino_simd::{F32x16, S};
 use wino_tensor::BlockedImage;
 
 use crate::error::{ensure_at_least, ensure_dims_eq, ensure_eq, WinoError};
-use crate::plan::{Scratch, WinogradLayer, MAX_RANK};
-use crate::stage1::decompose;
+use crate::layout::TileMajor;
+use crate::plan::{Scratch, ThreadBuf, WinogradLayer, MAX_RANK};
+use crate::stage1::{decompose, MutPtr};
 
-struct MutPtr(*mut f32);
-// SAFETY: tasks write disjoint output tiles.
-unsafe impl Sync for MutPtr {}
-// SAFETY: the pointer targets the caller-owned output image, which
-// outlives the fork–join moving this handle between threads.
-unsafe impl Send for MutPtr {}
-impl MutPtr {
-    fn get(&self) -> *mut f32 {
-        self.0
+/// The per-tile body of the inverse transform — gather one tile's `T`
+/// vectors, apply `Aᵀ` along every dimension, write the clipped `m`-tile
+/// to the output image — factored out so the monolithic stage-3
+/// fork–join and the superblock pipeline share one implementation.
+pub(crate) struct Stage3Ctx<'a> {
+    layer: &'a WinogradLayer,
+    y: &'a TileMajor,
+    out: MutPtr,
+    out_dims: Vec<usize>,
+    ostride: [usize; MAX_RANK],
+    out_channel_groups: usize,
+    out_vol: usize,
+    t_vol: usize,
+    progs: Vec<&'a wino_transforms::PairedProgram>,
+    streaming: bool,
+}
+
+impl<'a> Stage3Ctx<'a> {
+    /// Build the shared state. The output write is the pipeline's *final*
+    /// scatter, so `streaming` follows
+    /// [`crate::ConvOptions::streaming_stores`] in every schedule.
+    pub(crate) fn new(
+        layer: &'a WinogradLayer,
+        y: &'a TileMajor,
+        out: *mut f32,
+        streaming: bool,
+    ) -> Stage3Ctx<'a> {
+        let out_dims = layer.shape.out_dims();
+        let rank = layer.rank();
+        let mut ostride = [1usize; MAX_RANK];
+        for d in (0..rank.saturating_sub(1)).rev() {
+            ostride[d] = ostride[d + 1] * out_dims[d + 1];
+        }
+        Stage3Ctx {
+            layer,
+            y,
+            out: MutPtr(out),
+            out_vol: out_dims.iter().product(),
+            out_dims,
+            ostride,
+            out_channel_groups: layer.shape.out_channels / S,
+            t_vol: layer.t_vol(),
+            progs: layer.plans.iter().map(|p| &p.at).collect(),
+            streaming,
+        }
+    }
+
+    /// Inverse-transform tile `(b, og, n)` and write its clipped output.
+    ///
+    /// # Safety
+    /// The caller must hold `tb` exclusively (Executor slot contract) and
+    /// own output tile `(b, og, n)` — tasks of one fork–join must cover
+    /// disjoint `(b, og, n)` triples.
+    pub(crate) unsafe fn tile(&self, tb: &mut ThreadBuf, b: usize, og: usize, n: usize) {
+        let layer = self.layer;
+        let rank = layer.rank();
+        // Contiguous gather (§4.4: "fast memory access and as few TLB
+        // misses as possible").
+        tb.a.as_mut_slice()[..self.t_vol * S].copy_from_slice(self.y.tile(b, og, n));
+
+        let mut tdims = [0usize; MAX_RANK];
+        tdims[..rank].copy_from_slice(&layer.grid.tile_dims);
+        let in_a = crate::vecprog::transform_all_dims(
+            &self.progs,
+            tb.a.as_mut_slice(),
+            tb.b.as_mut_slice(),
+            &mut tdims[..rank],
+        );
+        let result = if in_a { tb.a.as_ptr() } else { tb.b.as_ptr() };
+
+        // Write the m-tile into the output image, clipped to the real
+        // output extent.
+        let mut tile_coords = [0usize; MAX_RANK];
+        decompose(n, &layer.grid.counts, &mut tile_coords[..rank]);
+        let mut out_origin = [0usize; MAX_RANK];
+        let mut extent = [0usize; MAX_RANK];
+        for d in 0..rank {
+            out_origin[d] = tile_coords[d] * layer.grid.m[d];
+            extent[d] = layer.grid.m[d].min(self.out_dims[d] - out_origin[d]);
+        }
+        let base_vec = (b * self.out_channel_groups + og) * self.out_vol * S;
+
+        let m_last = layer.grid.m[rank - 1];
+        let ext_last = extent[rank - 1];
+        let outer_vol: usize = extent[..rank - 1].iter().product();
+        let m_outer = &layer.grid.m[..rank - 1];
+        let mut oc = [0usize; MAX_RANK];
+        // SAFETY: disjoint output tiles per the caller's contract;
+        // offsets bounded by the extent clipping above.
+        let dst = self.out.get().add(base_vec);
+        for outer in 0..outer_vol {
+            decompose(outer, &extent[..rank - 1], &mut oc[..rank.max(1) - 1]);
+            let mut spatial = 0usize;
+            let mut src_row = 0usize;
+            for d in 0..rank - 1 {
+                spatial += (out_origin[d] + oc[d]) * self.ostride[d];
+                src_row = src_row * m_outer[d].max(1) + oc[d];
+            }
+            let src_base = src_row * m_last;
+            let spatial_w = spatial + out_origin[rank - 1];
+            for k in 0..ext_last {
+                let v = F32x16::load(result.add((src_base + k) * S));
+                let o = (spatial_w + k) * S;
+                if self.streaming {
+                    v.store_nt(dst.add(o));
+                } else {
+                    v.store(dst.add(o));
+                }
+            }
+        }
     }
 }
 
@@ -44,88 +146,22 @@ pub fn inverse_transform(
     ensure_eq("output channels", layer.shape.out_channels, output.channels)?;
     ensure_dims_eq("output extent", &out_dims, &output.dims)?;
 
-    let rank = layer.rank();
-    let t_vol = layer.t_vol();
     let n_tiles = layer.n_tiles();
-    let streaming = layer.opts.streaming_stores;
-
-    // Output spatial strides (row-major).
-    let mut ostride = [1usize; MAX_RANK];
-    for d in (0..rank.saturating_sub(1)).rev() {
-        ostride[d] = ostride[d + 1] * out_dims[d + 1];
-    }
-
-    let dims = [layer.shape.batch, layer.shape.out_channels / S, n_tiles];
-    let out_ptr = MutPtr(output.as_mut_ptr());
     let out_channel_groups = layer.shape.out_channels / S;
-    let out_vol: usize = out_dims.iter().product();
+    let dims = [layer.shape.batch, out_channel_groups, n_tiles];
+    let ctx = Stage3Ctx::new(layer, &scratch.y, output.as_mut_ptr(), layer.opts.streaming_stores);
     let scratch_ref: &Scratch = scratch;
-    let progs: Vec<&wino_transforms::PairedProgram> = layer.plans.iter().map(|p| &p.at).collect();
     let stage_start = crate::spans::span_start();
 
     exec.run_grid(&dims, &|slot, flat| {
         let n = flat % n_tiles;
         let og = (flat / n_tiles) % out_channel_groups;
         let b = flat / (n_tiles * out_channel_groups);
-
         // SAFETY: slot exclusivity per the Executor contract.
         let tb = unsafe { scratch_ref.thread_buf(slot) };
-        // Contiguous gather (§4.4: "fast memory access and as few TLB
-        // misses as possible").
-        tb.a.as_mut_slice()[..t_vol * S].copy_from_slice(scratch_ref.y.tile(b, og, n));
-
-        let mut tdims = [0usize; MAX_RANK];
-        tdims[..rank].copy_from_slice(&layer.grid.tile_dims);
-        let in_a = crate::vecprog::transform_all_dims(
-            &progs,
-            tb.a.as_mut_slice(),
-            tb.b.as_mut_slice(),
-            &mut tdims[..rank],
-        );
-        let result = if in_a { tb.a.as_ptr() } else { tb.b.as_ptr() };
-
-        // Write the m-tile into the output image, clipped to the real
-        // output extent.
-        let mut tile_coords = [0usize; MAX_RANK];
-        decompose(n, &layer.grid.counts, &mut tile_coords[..rank]);
-        let mut out_origin = [0usize; MAX_RANK];
-        let mut extent = [0usize; MAX_RANK];
-        for d in 0..rank {
-            out_origin[d] = tile_coords[d] * layer.grid.m[d];
-            extent[d] = layer.grid.m[d].min(out_dims[d] - out_origin[d]);
-        }
-        let base_vec = (b * out_channel_groups + og) * out_vol * S;
-
-        let m_last = layer.grid.m[rank - 1];
-        let ext_last = extent[rank - 1];
-        let outer_vol: usize = extent[..rank - 1].iter().product();
-        let m_outer = &layer.grid.m[..rank - 1];
-        let mut oc = [0usize; MAX_RANK];
-        // SAFETY: disjoint output tiles per task; offsets bounded by the
-        // extent clipping above.
-        unsafe {
-            let dst = out_ptr.get().add(base_vec);
-            for outer in 0..outer_vol {
-                decompose(outer, &extent[..rank - 1], &mut oc[..rank.max(1) - 1]);
-                let mut spatial = 0usize;
-                let mut src_row = 0usize;
-                for d in 0..rank - 1 {
-                    spatial += (out_origin[d] + oc[d]) * ostride[d];
-                    src_row = src_row * m_outer[d].max(1) + oc[d];
-                }
-                let src_base = src_row * m_last;
-                let spatial_w = spatial + out_origin[rank - 1];
-                for k in 0..ext_last {
-                    let v = F32x16::load(result.add((src_base + k) * S));
-                    let o = (spatial_w + k) * S;
-                    if streaming {
-                        v.store_nt(dst.add(o));
-                    } else {
-                        v.store(dst.add(o));
-                    }
-                }
-            }
-        }
+        // SAFETY: the grid enumerates each (b, og, n) exactly once, so
+        // tasks own disjoint output tiles.
+        unsafe { ctx.tile(tb, b, og, n) };
     })?;
     crate::spans::record_coord(exec, wino_probe::SpanCategory::OutputTransform, stage_start);
     #[cfg(feature = "fault-inject")]

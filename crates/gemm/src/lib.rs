@@ -25,6 +25,11 @@ pub mod wisdom;
 pub use blocked::{batched_gemm, batched_gemm_parallel, dense_reference};
 pub use generic::batched_gemm_generic;
 pub use micro::{microkernel, microkernel_reference, MicroArgs, Output, MAX_N_BLK};
-pub use model::{candidate_shapes, default_shape, BlockShape, KNL_MACHINE_RATIO, MAX_V_ELEMS};
-pub use tune::{autotune, autotune_with_wisdom, time_shape, TuneConfig, TuneResult};
+pub use model::{
+    candidate_shapes, default_shape, BlockShape, KNL_MACHINE_RATIO, MAX_V_ELEMS,
+    SUPERBLOCK_L2_BYTES,
+};
+pub use tune::{
+    autotune, autotune_with_wisdom, superblock_with_wisdom, time_shape, TuneConfig, TuneResult,
+};
 pub use wisdom::Wisdom;

@@ -20,9 +20,12 @@
 //! machine-code JIT lives in `wino-jit` and is verified against this).
 //!
 //! The `scatter` variant implements operation ⑥: on the *last* `k`-block
-//! the result bypasses `X̂` and is written with non-temporal streaming
-//! stores directly to per-row destinations (the tile-major `I'` layout),
-//! which the paper credits with >20 % overall speedup.
+//! the result bypasses `X̂` and is written directly to per-row
+//! destinations (the tile-major `I'` layout) — with non-temporal
+//! streaming stores in the monolithic schedules (the paper credits this
+//! with >20 % overall speedup), or with regular stores when the
+//! superblock-pipelined schedule wants the scattered tiles to stay
+//! cache-hot for the immediately following inverse transform.
 
 // Index-based loops are the idiom throughout: most walk several
 // arrays with derived offsets, where iterator rewrites obscure the math.
@@ -37,13 +40,18 @@ pub const MAX_N_BLK: usize = 30;
 pub enum Output {
     /// Store back into the contiguous `X̂` block (intermediate k-blocks).
     Block,
-    /// Scatter rows with streaming stores: row `j` of `X̂` goes to
+    /// Scatter rows: row `j` of `X̂` goes to
     /// `row_ptrs[j] + q·group_stride` for each S-wide column group `q`.
     /// A null `row_ptrs[j]` skips the row (padding rows of the final,
-    /// partially filled `n_blk` panel).
+    /// partially filled `n_blk` panel). With `streaming` the rows are
+    /// written with non-temporal stores (the monolithic ⑥ write, which
+    /// bypasses the caches on its way to `I'`); without it they use
+    /// regular stores so the scattered tiles stay cache-resident for an
+    /// immediately following pipelined stage 3.
     Scatter {
         row_ptrs: *const *mut f32,
         group_stride: usize,
+        streaming: bool,
     },
 }
 
@@ -124,11 +132,15 @@ unsafe fn kernel_impl<const NB: usize>(a: &MicroArgs) {
                     }
                 }
             }
-            Output::Scatter { row_ptrs, group_stride } => {
+            Output::Scatter { row_ptrs, group_stride, streaming } => {
                 for j in 0..NB {
                     let dst = *row_ptrs.add(j);
                     if !dst.is_null() {
-                        acc[j].store_nt(dst.add(q * group_stride));
+                        if streaming {
+                            acc[j].store_nt(dst.add(q * group_stride));
+                        } else {
+                            acc[j].store(dst.add(q * group_stride));
+                        }
                     }
                     if !a.next_u.is_null() {
                         prefetch_t1(a.next_u.add(j * a.c_blk) as *const u8);
@@ -331,23 +343,40 @@ mod tests {
             beta: false,
             next_u: std::ptr::null(),
             next_x: std::ptr::null(),
-            output: Output::Scatter { row_ptrs: row_ptrs.as_ptr(), group_stride: 64 },
+            output: Output::Scatter {
+                row_ptrs: row_ptrs.as_ptr(),
+                group_stride: 64,
+                streaming: true,
+            },
         };
-        // SAFETY: row pointers land in the arena with room for both
-        // column groups; scatter targets are 64-byte aligned.
-        unsafe { microkernel(n_blk, &args) };
-        wino_simd::sfence();
         microkernel_reference(n_blk, &u, &v, &mut x_ref, c_blk, cp_blk, false);
 
-        for j in 0..n_blk {
-            for q in 0..cp_blk / 16 {
-                for lane in 0..16 {
-                    let got = arena[j * 256 + q * 64 + lane];
-                    let want = x_ref[j * cp_blk + q * 16 + lane];
-                    assert!(
-                        (got - want).abs() <= 1e-4 * want.abs().max(1.0),
-                        "row {j} group {q} lane {lane}: {got} vs {want}"
-                    );
+        // Both store flavours must land identical values.
+        for streaming in [true, false] {
+            arena.iter_mut().for_each(|v| *v = 0.0);
+            let args = MicroArgs {
+                output: Output::Scatter {
+                    row_ptrs: row_ptrs.as_ptr(),
+                    group_stride: 64,
+                    streaming,
+                },
+                ..args
+            };
+            // SAFETY: row pointers land in the arena with room for both
+            // column groups; scatter targets are 64-byte aligned.
+            unsafe { microkernel(n_blk, &args) };
+            wino_simd::sfence();
+
+            for j in 0..n_blk {
+                for q in 0..cp_blk / 16 {
+                    for lane in 0..16 {
+                        let got = arena[j * 256 + q * 64 + lane];
+                        let want = x_ref[j * cp_blk + q * 16 + lane];
+                        assert!(
+                            (got - want).abs() <= 1e-4 * want.abs().max(1.0),
+                            "streaming={streaming} row {j} group {q} lane {lane}: {got} vs {want}"
+                        );
+                    }
                 }
             }
         }
@@ -382,7 +411,11 @@ mod tests {
             beta: false,
             next_u: std::ptr::null(),
             next_x: std::ptr::null(),
-            output: Output::Scatter { row_ptrs: row_ptrs.as_ptr(), group_stride: 16 },
+            output: Output::Scatter {
+                row_ptrs: row_ptrs.as_ptr(),
+                group_stride: 16,
+                streaming: true,
+            },
         };
         // SAFETY: non-null row pointers are aligned arena slots with room
         // for one 16-float group each.

@@ -145,6 +145,31 @@ pub fn autotune_with_wisdom(
     result.shape
 }
 
+/// Superblock extent (row blocks per superblock) for the pipelined
+/// schedule: the wisdom hint when this problem was seen before, otherwise
+/// the [`crate::model::SUPERBLOCK_L2_BYTES`] footprint model — whose
+/// answer is recorded alongside the block shape so a saved wisdom file
+/// pins the whole pipeline geometry, not just the GEMM blocking.
+pub fn superblock_with_wisdom(
+    wisdom: &Wisdom,
+    t_count: usize,
+    rows: usize,
+    c: usize,
+    cp: usize,
+    threads: usize,
+    shape: BlockShape,
+) -> usize {
+    let key = Wisdom::key(rows, c, cp, t_count, threads);
+    if let Some(sb) = wisdom.superblock_hint(&key) {
+        return sb;
+    }
+    let sb = shape.superblock_row_blocks(t_count, c, cp, crate::model::SUPERBLOCK_L2_BYTES);
+    // Keep a previously tuned shape if the entry already exists.
+    let shape = wisdom.get(&key).unwrap_or(shape);
+    wisdom.insert_with_superblock(key, shape, sb);
+    sb
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +194,21 @@ mod tests {
         let s2 = autotune_with_wisdom(&w, 2, 32, 32, 32, &SerialExecutor, cfg);
         assert_eq!(s1, s2);
         assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn superblock_hint_is_remembered_and_recorded() {
+        let w = Wisdom::new();
+        let shape = BlockShape { n_blk: 8, c_blk: 32, cp_blk: 32 };
+        // First ask: model answer, recorded as a hint.
+        let sb = superblock_with_wisdom(&w, 8, 100, 32, 32, 4, shape);
+        assert!(sb >= 1);
+        let key = Wisdom::key(100, 32, 32, 8, 4);
+        assert_eq!(w.superblock_hint(&key), Some(sb));
+        // A pre-seeded hint wins over the model.
+        let key2 = Wisdom::key(50, 32, 32, 8, 4);
+        w.insert_with_superblock(key2, shape, 7);
+        assert_eq!(superblock_with_wisdom(&w, 8, 50, 32, 32, 4, shape), 7);
     }
 
     #[test]

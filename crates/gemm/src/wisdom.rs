@@ -7,19 +7,33 @@
 //! ```text
 //! # wino-gemm wisdom v1
 //! r784_c256_cp256_t36_th64 = 14 128 128
+//! r784_c256_cp256_t36_th64 = 14 128 128 4
 //! ```
+//!
+//! The optional fourth number is the tuned *superblock* extent (row
+//! blocks per superblock) of the pipelined schedule; three-number lines
+//! from older wisdom files load fine and fall back to the analytic
+//! footprint model ([`crate::model::BlockShape::superblock_row_blocks`]).
 
 use std::collections::HashMap;
-use std::io::{self, BufRead, Write};
+use std::io::{self, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
 use crate::model::BlockShape;
 
+/// One remembered tuning result: the blocking plus (optionally) the
+/// pipelined superblock extent in row blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    shape: BlockShape,
+    superblock: Option<usize>,
+}
+
 /// Thread-safe wisdom map: problem key → best blocking.
 #[derive(Debug, Default)]
 pub struct Wisdom {
-    map: Mutex<HashMap<String, BlockShape>>,
+    map: Mutex<HashMap<String, Entry>>,
 }
 
 impl Wisdom {
@@ -34,11 +48,25 @@ impl Wisdom {
     }
 
     pub fn get(&self, key: &str) -> Option<BlockShape> {
-        self.map.lock().unwrap().get(key).copied()
+        self.map.lock().unwrap().get(key).map(|e| e.shape)
+    }
+
+    /// Tuned superblock extent (row blocks) for the pipelined schedule,
+    /// if this entry carries one. `None` means "use the analytic model".
+    pub fn superblock_hint(&self, key: &str) -> Option<usize> {
+        self.map.lock().unwrap().get(key).and_then(|e| e.superblock)
     }
 
     pub fn insert(&self, key: String, shape: BlockShape) {
-        self.map.lock().unwrap().insert(key, shape);
+        self.map.lock().unwrap().insert(key, Entry { shape, superblock: None });
+    }
+
+    /// Insert a blocking together with a tuned superblock extent.
+    pub fn insert_with_superblock(&self, key: String, shape: BlockShape, superblock: usize) {
+        self.map
+            .lock()
+            .unwrap()
+            .insert(key, Entry { shape, superblock: Some(superblock) });
     }
 
     pub fn len(&self) -> usize {
@@ -50,13 +78,14 @@ impl Wisdom {
     }
 
     /// Load wisdom from a text file. Unknown or malformed lines are
-    /// ignored (forward compatibility), comments start with `#`.
+    /// ignored (forward compatibility), comments start with `#`; even
+    /// binary garbage only yields an empty store, never an error — the
+    /// caller's analytic-model fallback must always be reachable.
     pub fn load(path: &Path) -> io::Result<Wisdom> {
-        let file = std::fs::File::open(path)?;
-        let reader = io::BufReader::new(file);
+        let bytes = std::fs::read(path)?;
+        let text = String::from_utf8_lossy(&bytes);
         let w = Wisdom::new();
-        for line in reader.lines() {
-            let line = line?;
+        for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -64,10 +93,16 @@ impl Wisdom {
             let Some((key, rest)) = line.split_once('=') else { continue };
             let nums: Vec<usize> =
                 rest.split_whitespace().filter_map(|s| s.parse().ok()).collect();
-            if nums.len() == 3 {
-                w.insert(
+            if nums.len() == 3 || nums.len() == 4 {
+                // A zero superblock would be meaningless — treat it as
+                // absent rather than propagating a degenerate extent.
+                let superblock = nums.get(3).copied().filter(|&sb| sb > 0);
+                w.map.lock().unwrap().insert(
                     key.trim().to_string(),
-                    BlockShape { n_blk: nums[0], c_blk: nums[1], cp_blk: nums[2] },
+                    Entry {
+                        shape: BlockShape { n_blk: nums[0], c_blk: nums[1], cp_blk: nums[2] },
+                        superblock,
+                    },
                 );
             }
         }
@@ -82,8 +117,12 @@ impl Wisdom {
         let mut f = std::fs::File::create(path)?;
         writeln!(f, "# wino-gemm wisdom v1")?;
         for k in keys {
-            let s = map[k];
-            writeln!(f, "{k} = {} {} {}", s.n_blk, s.c_blk, s.cp_blk)?;
+            let e = map[k];
+            let s = e.shape;
+            match e.superblock {
+                Some(sb) => writeln!(f, "{k} = {} {} {} {sb}", s.n_blk, s.c_blk, s.cp_blk)?,
+                None => writeln!(f, "{k} = {} {} {}", s.n_blk, s.c_blk, s.cp_blk)?,
+            }
         }
         Ok(())
     }
@@ -92,6 +131,7 @@ impl Wisdom {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::{default_shape, SUPERBLOCK_L2_BYTES};
 
     #[test]
     fn roundtrip_through_file() {
@@ -114,6 +154,37 @@ mod tests {
     }
 
     #[test]
+    fn superblock_entries_roundtrip() {
+        let dir =
+            std::env::temp_dir().join(format!("wino-wisdom-sb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.txt");
+
+        let w = Wisdom::new();
+        let key_sb = Wisdom::key(784, 256, 256, 36, 64);
+        let key_plain = Wisdom::key(100, 64, 64, 16, 4);
+        w.insert_with_superblock(
+            key_sb.clone(),
+            BlockShape { n_blk: 14, c_blk: 128, cp_blk: 128 },
+            4,
+        );
+        w.insert(key_plain.clone(), BlockShape { n_blk: 8, c_blk: 64, cp_blk: 64 });
+        w.save(&path).unwrap();
+
+        let loaded = Wisdom::load(&path).unwrap();
+        assert_eq!(loaded.superblock_hint(&key_sb), Some(4));
+        assert_eq!(
+            loaded.get(&key_sb),
+            Some(BlockShape { n_blk: 14, c_blk: 128, cp_blk: 128 })
+        );
+        // Plain entries stay hint-free — the planner falls back to the
+        // analytic footprint model.
+        assert_eq!(loaded.superblock_hint(&key_plain), None);
+        assert!(loaded.get(&key_plain).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn malformed_lines_are_skipped() {
         let dir = std::env::temp_dir().join(format!("wino-wisdom-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -122,6 +193,46 @@ mod tests {
         let w = Wisdom::load(&path).unwrap();
         assert_eq!(w.len(), 1);
         assert_eq!(w.get("ok"), Some(BlockShape { n_blk: 8, c_blk: 64, cp_blk: 64 }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_or_truncated_files_load_without_panicking() {
+        let dir =
+            std::env::temp_dir().join(format!("wino-wisdom-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A grab bag of damage: binary noise, truncated mid-line, too
+        // many fields, negative and overflowing numbers, a zero
+        // superblock. None may panic; none may produce a usable entry
+        // except the intact ones.
+        let cases: &[(&str, &[u8])] = &[
+            ("binary", b"\x00\xff\xfe wino \x01\x02 = 8 64"),
+            ("truncated", b"r784_c256_cp256_t36_th64 = 14 12"),
+            ("too_many", b"k = 1 2 3 4 5\n"),
+            ("negative", b"k = -8 64 64\n"),
+            ("overflow", b"k = 99999999999999999999999999 64 64\n"),
+            ("zero_sb", b"k = 8 64 64 0\n"),
+        ];
+        for (name, bytes) in cases {
+            let path = dir.join(format!("{name}.txt"));
+            std::fs::write(&path, bytes).unwrap();
+            let w = Wisdom::load(&path).unwrap();
+            match *name {
+                // A zero superblock hint degrades to "no hint" — the
+                // blocking itself is intact, the planner uses the model.
+                "zero_sb" => {
+                    assert_eq!(w.get("k"), Some(BlockShape { n_blk: 8, c_blk: 64, cp_blk: 64 }));
+                    assert_eq!(w.superblock_hint("k"), None);
+                }
+                _ => assert!(w.is_empty(), "case {name} produced entries"),
+            }
+        }
+
+        // After any of these failures the caller's fallback — the
+        // analytic model — must still produce a legal plan.
+        let shape = default_shape(64, 64, 784);
+        assert!(shape.superblock_row_blocks(36, 64, 64, SUPERBLOCK_L2_BYTES) >= 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

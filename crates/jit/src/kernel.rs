@@ -510,6 +510,7 @@ mod tests {
                     output: wino_gemm::Output::Scatter {
                         row_ptrs: row_ptrs.as_ptr(),
                         group_stride,
+                        streaming: true,
                     },
                 };
                 // SAFETY: same buffers and contract as the JIT branch; x

@@ -19,6 +19,10 @@ pub enum SpanCategory {
     /// Stage 3: `Aᵀ` inverse transform into the output image (also the
     /// im2col baseline's scatter back to the blocked layout).
     OutputTransform,
+    /// The pipelined schedule's fused stage chain: stages 1→2→3 executed
+    /// per L2-resident superblock inside a single fork–join (coordinator
+    /// wall time of that fork–join).
+    SuperblockPipeline,
     /// Per-task gather of one input tile (a sub-span of InputTransform —
     /// worker-thread CPU time, not wall time).
     TileExtract,
@@ -41,11 +45,12 @@ pub enum SpanCategory {
 }
 
 /// All categories, in the order stage reports list them.
-pub const ALL_CATEGORIES: [SpanCategory; 11] = [
+pub const ALL_CATEGORIES: [SpanCategory; 12] = [
     SpanCategory::InputTransform,
     SpanCategory::KernelTransform,
     SpanCategory::ElementwiseGemm,
     SpanCategory::OutputTransform,
+    SpanCategory::SuperblockPipeline,
     SpanCategory::TileExtract,
     SpanCategory::BarrierWait,
     SpanCategory::ForkJoin,
@@ -64,6 +69,7 @@ impl SpanCategory {
             SpanCategory::KernelTransform => "kernel-transform",
             SpanCategory::ElementwiseGemm => "elementwise-gemm",
             SpanCategory::OutputTransform => "output-transform",
+            SpanCategory::SuperblockPipeline => "superblock-pipeline",
             SpanCategory::TileExtract => "tile-extract",
             SpanCategory::BarrierWait => "barrier-wait",
             SpanCategory::ForkJoin => "fork-join",
@@ -123,6 +129,7 @@ mod tests {
     #[test]
     fn stage_classification() {
         assert!(SpanCategory::InputTransform.is_stage());
+        assert!(SpanCategory::SuperblockPipeline.is_stage());
         assert!(SpanCategory::DirectKernel.is_stage());
         assert!(!SpanCategory::ForkJoin.is_stage());
         assert!(!SpanCategory::BarrierWait.is_stage());

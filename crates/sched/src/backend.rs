@@ -216,6 +216,11 @@ impl Executor for DynamicExecutor {
         task: &(dyn Fn(usize, usize) + Sync),
     ) -> Result<(), PoolError> {
         let total: usize = dims.iter().product();
+        // Shrink the claim chunk when the grid is small relative to the
+        // thread count (e.g. the pipelined schedule's per-layer queue of a
+        // handful of superblocks) so every slot still gets work; coarse
+        // chunks would let one thread claim the whole grid.
+        let chunk = DYNAMIC_CHUNK.min(total.div_ceil(self.threads)).max(1);
         let next = AtomicUsize::new(0);
         let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
 
@@ -223,11 +228,11 @@ impl Executor for DynamicExecutor {
             let result = catch_unwind(AssertUnwindSafe(|| loop {
                 // ORDERING: Relaxed — the counter only partitions indices;
                 // task data is published by scope-spawn and joined below.
-                let lo = next.fetch_add(DYNAMIC_CHUNK, Ordering::Relaxed);
+                let lo = next.fetch_add(chunk, Ordering::Relaxed);
                 if lo >= total {
                     break;
                 }
-                for i in lo..(lo + DYNAMIC_CHUNK).min(total) {
+                for i in lo..(lo + chunk).min(total) {
                     task(slot, i);
                 }
             }));
@@ -317,6 +322,10 @@ mod tests {
         check_covers(&e, &[6, 6]);
         check_covers(&e, &[1]);
         check_covers(&e, &[37]); // not a multiple of the claim chunk
+        // Grids smaller than threads × chunk (a superblock queue): the
+        // adaptive chunk must still cover every index exactly once.
+        check_covers(&e, &[3]);
+        check_covers(&e, &[5]);
     }
 
     #[test]

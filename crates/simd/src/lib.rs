@@ -171,6 +171,22 @@ pub unsafe fn prefetch_t1(p: *const u8) {
     let _ = p;
 }
 
+/// Prefetch every cache line of the `bytes`-long span starting at `p`
+/// into L2 (hint T1). Used by the superblock pipeline to pull the next
+/// superblock's input tiles toward the core while the current one is
+/// still being computed.
+///
+/// # Safety
+/// See [`prefetch_t0`]; the span should lie within one real allocation.
+#[inline]
+pub unsafe fn prefetch_span_t1(p: *const u8, bytes: usize) {
+    let mut off = 0;
+    while off < bytes {
+        prefetch_t1(p.add(off));
+        off += CACHE_LINE;
+    }
+}
+
 /// True if the *running* CPU supports AVX-512F (used by `wino-jit` to decide
 /// which encoding to emit, independent of how this crate was compiled).
 pub fn cpu_has_avx512f() -> bool {
@@ -292,6 +308,17 @@ mod tests {
             prefetch_t1(data.as_ptr().add(64));
             // Prefetching invalid addresses must not fault either.
             prefetch_t0(std::ptr::null());
+        }
+    }
+
+    #[test]
+    fn span_prefetch_is_harmless() {
+        let data = [0u8; 4096];
+        // SAFETY: prefetch is a hint; it never faults.
+        unsafe {
+            prefetch_span_t1(data.as_ptr(), data.len());
+            prefetch_span_t1(data.as_ptr(), 0);
+            prefetch_span_t1(data.as_ptr(), 1); // sub-line span → one hint
         }
     }
 

@@ -18,12 +18,23 @@ run() {
 
 run "$BUILD_TIMEOUT" cargo build --workspace --offline --release
 run "$BUILD_TIMEOUT" cargo build --workspace --offline --all-targets
+# Feature matrix: default × probe × fault-inject, plus both together —
+# the instrumented fault paths must hold under every configuration.
 run "$TEST_TIMEOUT" cargo test --workspace --offline -q
 run "$TEST_TIMEOUT" cargo test --workspace --offline -q --features fault-inject
 run "$TEST_TIMEOUT" cargo test --workspace --offline -q --features probe
+run "$TEST_TIMEOUT" cargo test --workspace --offline -q --features probe,fault-inject
 run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets -- -D warnings
 run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features fault-inject -- -D warnings
 run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features probe -- -D warnings
+run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features probe,fault-inject -- -D warnings
+
+# Differential gate: ≥200 random layers through all three stage schedules
+# (unfused / fused-scatter / pipelined) against the f64 oracle. The seed
+# is pinned (0xd1ff2026, the test's default) so CI failures reproduce
+# locally byte-for-byte; the minimal-shrink reporter names the offender.
+run "$TEST_TIMEOUT" env WINO_SWEEP_SEED=3523158054 \
+    cargo test --offline -q --test properties differential_schedule_sweep
 
 # Documentation gate: rustdoc must build warning-free (broken intra-doc
 # links are the usual regression).

@@ -49,9 +49,9 @@ fn ablation_toggles_preserve_results_in_parallel() {
     let exec = StaticExecutor::new(4);
     let mut outputs = Vec::new();
     for streaming in [true, false] {
-        for fused in [true, false] {
+        for schedule in wino_conv::Schedule::ALL {
             let opts =
-                ConvOptions { streaming_stores: streaming, fused_scatter: fused, ..Default::default() };
+                ConvOptions { streaming_stores: streaming, schedule, ..Default::default() };
             let plan = WinogradLayer::new(shape.clone(), &[4, 4], opts).unwrap();
             let mut scratch = Scratch::new(&plan, exec.threads());
             let mut out = plan.new_output().unwrap();

@@ -150,3 +150,232 @@ fn blocked_kernel_roundtrip() {
         assert_eq!(blocked.to_simple(), k, "kd {kd:?} cin={cin}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential schedule sweep: random layers, all three stage schedules
+// (unfused / fused-scatter / pipelined) against the extended-precision
+// direct oracle, with a greedy minimal-shrink report on failure.
+// ---------------------------------------------------------------------------
+
+use winograd_nd_repro::conv::{ConvOptions, Schedule, Scratch, WinogradLayer};
+use winograd_nd_repro::sched::SerialExecutor;
+use winograd_nd_repro::tensor::ConvShape;
+
+/// Pinned default seed for the sweep; override with `WINO_SWEEP_SEED=<u64>`
+/// to explore a different region of the case space.
+const SWEEP_SEED: u64 = 0xd1ff_2026;
+const SWEEP_CASES: usize = 200;
+
+#[derive(Clone, Debug, PartialEq)]
+struct SweepCase {
+    batch: usize,
+    c: usize,
+    cp: usize,
+    dims: Vec<usize>,
+    kd: Vec<usize>,
+    m: Vec<usize>,
+    pad: Vec<usize>,
+    seed: usize,
+}
+
+impl SweepCase {
+    /// Geometry the planner is expected to accept: the padded image
+    /// covers the kernel in every dimension.
+    fn valid(&self) -> bool {
+        self.dims
+            .iter()
+            .zip(&self.kd)
+            .zip(&self.pad)
+            .all(|((&d, &r), &p)| d + 2 * p >= r)
+    }
+}
+
+fn draw_case(rng: &mut Rng) -> SweepCase {
+    let rank = rng.range_usize(1, 3);
+    let hi = if rank == 3 { 7 } else { 12 };
+    SweepCase {
+        batch: rng.range_usize(1, 2),
+        c: rng.range_usize(1, 2) * 16,
+        cp: rng.range_usize(1, 2) * 16,
+        dims: (0..rank).map(|_| rng.range_usize(3, hi)).collect(),
+        kd: (0..rank).map(|_| rng.range_usize(1, 3)).collect(),
+        m: (0..rank).map(|_| rng.range_usize(1, 4)).collect(),
+        pad: (0..rank).map(|_| rng.range_usize(0, 1)).collect(),
+        seed: rng.range_usize(0, 999),
+    }
+}
+
+/// Run one case under every schedule. `None` means it passed; `Some`
+/// carries the failure description.
+fn sweep_failure(case: &SweepCase) -> Option<String> {
+    let img = SimpleImage::from_fn(case.batch, case.c, &case.dims, |b, ch, xy| {
+        let mut h = b.wrapping_mul(131).wrapping_add(ch.wrapping_mul(17)).wrapping_add(case.seed);
+        for &x in xy {
+            h = h.wrapping_mul(31).wrapping_add(x);
+        }
+        (h % 211) as f32 / 211.0 * 0.2 - 0.1
+    });
+    let ker = SimpleKernels::from_fn(case.cp, case.c, &case.kd, |co, ci, xy| {
+        let mut h = co.wrapping_mul(19).wrapping_add(ci.wrapping_mul(5)).wrapping_add(case.seed);
+        for &x in xy {
+            h = h.wrapping_mul(13).wrapping_add(x);
+        }
+        (h % 97) as f32 / 97.0 * 0.4 - 0.2
+    });
+    let shape = match ConvShape::new(case.batch, case.c, case.cp, &case.dims, &case.kd, &case.pad)
+    {
+        Ok(s) => s,
+        Err(e) => return Some(format!("shape rejected: {e:?}")),
+    };
+    let truth = direct_f64(&img, &ker, &case.pad);
+    let bi = match BlockedImage::from_simple(&img) {
+        Ok(b) => b,
+        Err(e) => return Some(format!("blocking rejected: {e:?}")),
+    };
+    let bk = match BlockedKernels::from_simple(&ker) {
+        Ok(b) => b,
+        Err(e) => return Some(format!("kernel blocking rejected: {e:?}")),
+    };
+
+    let mut outputs: Vec<(Schedule, Vec<f32>)> = Vec::new();
+    for schedule in Schedule::ALL {
+        let opts = ConvOptions { schedule, ..Default::default() };
+        let plan = match WinogradLayer::new(shape.clone(), &case.m, opts) {
+            Ok(p) => p,
+            Err(e) => return Some(format!("plan rejected [{}]: {e:?}", schedule.name())),
+        };
+        let mut scratch = Scratch::new(&plan, 1);
+        let mut out = match plan.new_output() {
+            Ok(o) => o,
+            Err(e) => return Some(format!("output alloc [{}]: {e:?}", schedule.name())),
+        };
+        if let Err(e) = plan.forward(&bi, &bk, &mut out, &mut scratch, &SerialExecutor) {
+            return Some(format!("forward failed [{}]: {e:?}", schedule.name()));
+        }
+        let (max_err, _) = element_errors(&out.to_simple(), &truth);
+        // Scale-aware fp32 bound: inputs are O(0.1)·O(0.2) products summed
+        // over ≤ c·∏r terms, and the α ≤ 7 transforms amplify roundoff.
+        if max_err >= 5e-3 {
+            return Some(format!("[{}] max err {max_err} vs oracle", schedule.name()));
+        }
+        outputs.push((schedule, out.as_slice().to_vec()));
+    }
+    for (s, o) in &outputs[1..] {
+        if o != &outputs[0].1 {
+            return Some(format!(
+                "schedule {} diverged bitwise from {}",
+                s.name(),
+                outputs[0].0.name()
+            ));
+        }
+    }
+    None
+}
+
+/// Greedy minimal shrink: repeatedly try the structured reductions below
+/// and keep any that still satisfies `fails`, until a fixpoint.
+fn shrink_case(start: SweepCase, fails: &dyn Fn(&SweepCase) -> bool) -> SweepCase {
+    let mut cur = start;
+    'outer: for _ in 0..1000 {
+        let mut cands: Vec<SweepCase> = Vec::new();
+        if cur.batch > 1 {
+            cands.push(SweepCase { batch: 1, ..cur.clone() });
+        }
+        if cur.c > 16 {
+            cands.push(SweepCase { c: 16, ..cur.clone() });
+        }
+        if cur.cp > 16 {
+            cands.push(SweepCase { cp: 16, ..cur.clone() });
+        }
+        if cur.seed != 0 {
+            cands.push(SweepCase { seed: 0, ..cur.clone() });
+        }
+        for d in 0..cur.dims.len() {
+            if cur.dims[d] > 1 {
+                let mut c = cur.clone();
+                c.dims[d] -= 1;
+                cands.push(c);
+            }
+            if cur.pad[d] > 0 {
+                let mut c = cur.clone();
+                c.pad[d] -= 1;
+                cands.push(c);
+            }
+            if cur.kd[d] > 1 {
+                let mut c = cur.clone();
+                c.kd[d] -= 1;
+                cands.push(c);
+            }
+            if cur.m[d] > 1 {
+                let mut c = cur.clone();
+                c.m[d] -= 1;
+                cands.push(c);
+            }
+        }
+        for cand in cands {
+            if cand.valid() && fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    cur
+}
+
+#[test]
+fn differential_schedule_sweep() {
+    let seed = std::env::var("WINO_SWEEP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SWEEP_SEED);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut cases = 0usize;
+    let mut drawn = 0usize;
+    while cases < SWEEP_CASES {
+        drawn += 1;
+        assert!(drawn < SWEEP_CASES * 20, "case generator rejects too much");
+        let case = draw_case(&mut rng);
+        if !case.valid() {
+            continue;
+        }
+        cases += 1;
+        if let Some(err) = sweep_failure(&case) {
+            let minimal = shrink_case(case.clone(), &|c| sweep_failure(c).is_some());
+            let min_err = sweep_failure(&minimal).unwrap_or_default();
+            panic!(
+                "differential sweep failed (seed {seed:#x}, case {cases}/{SWEEP_CASES})\n\
+                 original: {case:?}\n  -> {err}\n\
+                 minimal:  {minimal:?}\n  -> {min_err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_shrinker_finds_a_minimal_case() {
+    // Self-test on a synthetic predicate: "fails" iff dims[0] ≥ 5 and
+    // c ≥ 32. The shrinker must land exactly on the boundary.
+    let start = SweepCase {
+        batch: 2,
+        c: 32,
+        cp: 32,
+        dims: vec![9, 7],
+        kd: vec![3, 3],
+        m: vec![2, 2],
+        pad: vec![1, 1],
+        seed: 42,
+    };
+    let fails = |c: &SweepCase| c.dims[0] >= 5 && c.c >= 32;
+    assert!(fails(&start));
+    let min = shrink_case(start, &fails);
+    assert_eq!(min.c, 32, "c cannot shrink below the failure threshold");
+    assert_eq!(min.dims[0], 5, "dims[0] must shrink to the boundary");
+    assert_eq!(min.batch, 1);
+    assert_eq!(min.cp, 16);
+    assert_eq!(min.seed, 0);
+    assert_eq!(min.dims[1], 1);
+    assert_eq!(min.kd, vec![1, 1]);
+    assert_eq!(min.m, vec![1, 1]);
+    assert_eq!(min.pad, vec![0, 0]);
+}

@@ -1,0 +1,122 @@
+//! Tile-extraction edge cases: geometries where the overlap-add gather
+//! and the clipped inverse-transform write are most likely to go wrong —
+//! tiles overhanging the border in *every* dimension simultaneously,
+//! 1-wide and 1-deep inputs, and tiles larger than the spatial extent
+//! itself. Every case runs under all three stage schedules (so both the
+//! monolithic and the superblock-pipelined tile paths are exercised) and
+//! is checked against the f64 direct oracle; the schedules must also
+//! agree with each other bitwise.
+
+use winograd_nd_repro::baseline::{direct_f64, element_errors};
+use winograd_nd_repro::conv::{ConvOptions, Schedule, Scratch, WinogradLayer};
+use winograd_nd_repro::sched::{SerialExecutor, StaticExecutor};
+use winograd_nd_repro::tensor::{
+    BlockedImage, BlockedKernels, ConvShape, SimpleImage, SimpleKernels,
+};
+
+fn image(batch: usize, c: usize, dims: &[usize], seed: usize) -> SimpleImage {
+    SimpleImage::from_fn(batch, c, dims, |b, ch, xy| {
+        let mut h = b.wrapping_mul(131).wrapping_add(ch.wrapping_mul(17)).wrapping_add(seed);
+        for &x in xy {
+            h = h.wrapping_mul(31).wrapping_add(x);
+        }
+        (h % 211) as f32 / 211.0 * 0.2 - 0.1
+    })
+}
+
+fn kernels(cp: usize, c: usize, kd: &[usize], seed: usize) -> SimpleKernels {
+    SimpleKernels::from_fn(cp, c, kd, |co, ci, xy| {
+        let mut h = co.wrapping_mul(19).wrapping_add(ci.wrapping_mul(5)).wrapping_add(seed);
+        for &x in xy {
+            h = h.wrapping_mul(13).wrapping_add(x);
+        }
+        (h % 97) as f32 / 97.0 * 0.4 - 0.2
+    })
+}
+
+/// Run `(dims, kd, pad, m)` under every schedule (serial and a 3-thread
+/// pool for the pipelined path) and check against the direct oracle.
+fn check_case(dims: &[usize], kd: &[usize], pad: &[usize], m: &[usize], label: &str) {
+    let (c, cp) = (16, 16);
+    let img = image(1, c, dims, 7);
+    let ker = kernels(cp, c, kd, 11);
+    let truth = direct_f64(&img, &ker, pad);
+    let shape = ConvShape::new(1, c, cp, dims, kd, pad).unwrap();
+    let bi = BlockedImage::from_simple(&img).unwrap();
+    let bk = BlockedKernels::from_simple(&ker).unwrap();
+
+    let mut reference: Option<Vec<f32>> = None;
+    for schedule in Schedule::ALL {
+        let opts = ConvOptions { schedule, ..Default::default() };
+        let plan = WinogradLayer::new(shape.clone(), m, opts)
+            .unwrap_or_else(|e| panic!("{label} [{}]: plan rejected: {e:?}", schedule.name()));
+        let mut scratch = Scratch::new(&plan, 1);
+        let mut out = plan.new_output().unwrap();
+        plan.forward(&bi, &bk, &mut out, &mut scratch, &SerialExecutor).unwrap();
+        let (e, _) = element_errors(&out.to_simple(), &truth);
+        assert!(e < 2e-3, "{label} [{}]: max err {e}", schedule.name());
+        match &reference {
+            None => reference = Some(out.as_slice().to_vec()),
+            Some(r) => assert_eq!(
+                out.as_slice(),
+                &r[..],
+                "{label} [{}]: diverged from first schedule",
+                schedule.name()
+            ),
+        }
+
+        // The parallel pipelined path partitions superblocks across
+        // slots — edge tiles must land identically.
+        if schedule == Schedule::Pipelined {
+            let pool = StaticExecutor::new(3);
+            let mut scratch_p = Scratch::new(&plan, 3);
+            let mut out_p = plan.new_output().unwrap();
+            plan.forward(&bi, &bk, &mut out_p, &mut scratch_p, &pool).unwrap();
+            assert_eq!(
+                out_p.as_slice(),
+                &reference.as_ref().unwrap()[..],
+                "{label}: parallel pipelined diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn overhang_in_every_dimension_simultaneously() {
+    // out = 7×9 with m = 4: ceil(7/4) = 2 and ceil(9/4) = 3 tiles, the
+    // last tile overhanging in both dimensions at once.
+    check_case(&[7, 9], &[3, 3], &[1, 1], &[4, 4], "2-D all-dims overhang");
+    // 3-D: out = 3×5×5, m = 2 → overhang in all three dimensions.
+    check_case(&[3, 5, 5], &[3, 3, 3], &[1, 1, 1], &[2, 2, 2], "3-D all-dims overhang");
+}
+
+#[test]
+fn one_wide_input() {
+    // A 1-wide image: the width dimension holds exactly one point, the
+    // kernel is 1 there, and every gather clamps at both borders.
+    check_case(&[1, 10], &[1, 3], &[0, 1], &[1, 4], "1-wide 2-D");
+    check_case(&[10, 1], &[3, 1], &[1, 0], &[4, 1], "1-tall 2-D");
+}
+
+#[test]
+fn one_deep_3d_input() {
+    // Depth 1 with "same" padding in depth: the depth gather reads one
+    // real plane plus zero fill on both sides.
+    check_case(&[1, 8, 8], &[3, 3, 3], &[1, 1, 1], &[2, 2, 2], "1-deep 3-D");
+}
+
+#[test]
+fn tile_larger_than_spatial_extent() {
+    // out = 3×3 with m = 4: a single tile per dimension, larger than the
+    // whole output; α = 6 exceeds the 5-point image, so the gather's
+    // zero-fill covers the far border too.
+    check_case(&[5, 5], &[3, 3], &[0, 0], &[4, 4], "m > extent 2-D");
+    // 1-D flavour: 4-point output from one F(6,3) tile.
+    check_case(&[6], &[3], &[0], &[6], "m > extent 1-D");
+}
+
+#[test]
+fn single_pixel_output() {
+    // Valid convolution consuming the whole image: out = 1×1.
+    check_case(&[3, 3], &[3, 3], &[0, 0], &[2, 2], "single-pixel output");
+}
