@@ -33,6 +33,14 @@ fn seed_transmute() -> f32 {
 #[allow(dead_code)]
 fn seed_allow() {}
 
+// seed 7: bare MXCSR inline asm (unsafe-needs-safety) — the FP-environment
+// mutation idiom from `crates/simd/src/denormals.rs`, which must never
+// appear without a SAFETY argument (it changes rounding/denormal behaviour
+// for the whole calling thread).
+fn seed_mxcsr(csr: u32) {
+    unsafe { std::arch::asm!("ldmxcsr [{}]", in(reg) &csr) }
+}
+
 // ---- decoys: none of these may fire ----
 
 fn decoy_annotated() {

@@ -160,7 +160,7 @@ mod tests {
         }
         // And the decoys (violating text inside strings/comments/idents)
         // must NOT fire: exactly one violation per seeded site.
-        assert_eq!(vs.len(), 6, "unexpected violation set:\n{}",
+        assert_eq!(vs.len(), 7, "unexpected violation set:\n{}",
             vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n"));
     }
 }

@@ -21,10 +21,14 @@
 
 use wino_bench::perf::{
     calibrate, layer_entry, perf_document, probe_direct, probe_im2col, probe_winograd, today_utc,
+    Accuracy,
 };
-use wino_bench::{make_executor, run_direct, run_im2col, run_winograd, Args, Measurement};
+use wino_bench::{
+    direct_output, im2col_output, layer_truth, make_executor, max_rel_error, run_direct,
+    run_im2col, run_winograd, winograd_output, Args, Measurement,
+};
 use wino_conv::ConvOptions;
-use wino_probe::{parse_json, validate_schema, Json, StageReport};
+use wino_probe::{parse_json, validate_schema, Json, StageReport, SCHEMA_VERSION};
 use wino_sched::Executor;
 use wino_workloads::{scaled_catalog, tile_sweep, Layer};
 
@@ -50,7 +54,7 @@ fn validate_file(path: &str) -> ! {
     match validate_schema(&doc) {
         Ok(()) => {
             let n = doc.get("layers").and_then(Json::as_arr).map(<[Json]>::len).unwrap_or(0);
-            println!("{path}: valid (schema_version 1, {n} layer entries)");
+            println!("{path}: valid (schema_version {SCHEMA_VERSION}, {n} layer entries)");
             std::process::exit(0);
         }
         Err(errs) => {
@@ -108,28 +112,46 @@ fn main() {
     );
 
     let mut entries: Vec<Json> = Vec::new();
-    let mut push = |meas: &Measurement, report: Option<StageReport>| {
+    let mut push = |meas: &Measurement, report: Option<StageReport>, accuracy: Accuracy| {
         let Some(report) = report else {
             eprintln!("warning: no events folded for {} / {}", meas.layer, meas.implementation);
             return;
         };
         eprintln!(
-            "\n== {} / {} ({:.3} ms best) ==\n{}",
+            "\n== {} / {} ({:.3} ms best{}) ==\n{}",
             meas.layer,
             meas.implementation,
             meas.timing.best_ms,
+            accuracy
+                .max_rel_error
+                .map(|e| format!(", max rel err {e:.2e}"))
+                .unwrap_or_default(),
             report.to_table()
         );
-        entries.push(layer_entry(meas, &report));
+        entries.push(layer_entry(meas, &report, accuracy));
     };
 
     for layer in &layers {
         eprintln!("# {} …", layer.id());
+        // The f64 oracle is one direct pass per layer, shared by every
+        // implementation's max_rel_error column.
+        eprintln!("#   computing f64 ground truth…");
+        let truth = layer_truth(layer);
+        let err_of = |out: &wino_tensor::BlockedImage| Some(max_rel_error(out, &truth));
+
         let d = run_direct(layer, exec.as_ref(), reps);
-        push(&d, probe_direct(layer, exec.as_ref(), &machine));
+        let d_acc = Accuracy {
+            max_rel_error: err_of(&direct_output(layer, exec.as_ref())),
+            predicted_bound: None,
+        };
+        push(&d, probe_direct(layer, exec.as_ref(), &machine), d_acc);
 
         let i = run_im2col(layer, exec.as_ref(), reps);
-        push(&i, probe_im2col(layer, exec.as_ref(), &machine));
+        let i_acc = Accuracy {
+            max_rel_error: err_of(&im2col_output(layer, exec.as_ref())),
+            predicted_bound: None,
+        };
+        push(&i, probe_im2col(layer, exec.as_ref(), &machine), i_acc);
 
         // The best tile (by default-schedule time) is then measured under
         // every schedule — the unfused / fused-scatter / pipelined axis
@@ -140,7 +162,17 @@ fn main() {
                     let opts = ConvOptions { schedule, ..Default::default() };
                     match run_winograd(layer, &m, false, opts, exec.as_ref(), reps) {
                         Some(meas) => {
-                            push(&meas, probe_winograd(layer, &m, opts, exec.as_ref(), &machine));
+                            let acc = winograd_output(layer, &m, opts, exec.as_ref())
+                                .map(|(out, bound)| Accuracy {
+                                    max_rel_error: err_of(&out),
+                                    predicted_bound: Some(bound),
+                                })
+                                .unwrap_or_default();
+                            push(
+                                &meas,
+                                probe_winograd(layer, &m, opts, exec.as_ref(), &machine),
+                                acc,
+                            );
                         }
                         None => eprintln!(
                             "warning: schedule {} rejected for {}",

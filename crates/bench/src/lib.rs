@@ -31,7 +31,7 @@ pub mod perf;
 use wino_baseline::{direct_conv, im2col_conv};
 use wino_conv::{ConvOptions, Scratch, WinogradLayer};
 use wino_sched::Executor;
-use wino_tensor::{BlockedImage, BlockedKernels, ConvShape};
+use wino_tensor::{BlockedImage, BlockedKernels, ConvShape, SimpleImage};
 use wino_workloads::{effective_gflops, time_best, uniform_input, xavier_kernels, Layer, Timing};
 
 /// One measured row of a Fig. 5-style report.
@@ -131,6 +131,64 @@ pub fn layer_data(layer: &Layer, seed: u64) -> (BlockedImage, BlockedKernels) {
         BlockedImage::from_simple(&img).expect("catalogue layers are blockable"),
         BlockedKernels::from_simple(&ker).expect("catalogue kernels are blockable"),
     )
+}
+
+/// f64 ground truth for a layer's deterministic bench data (the same
+/// seed-42 input/kernels every `run_*` runner times). One `direct_f64`
+/// pass per layer — compute it once and reuse it across implementations.
+pub fn layer_truth(layer: &Layer) -> SimpleImage {
+    let img = uniform_input(&layer.shape, 42);
+    let ker = xavier_kernels(&layer.shape, 42 ^ 0xabcd);
+    wino_baseline::direct_f64(&img, &ker, &layer.shape.padding)
+}
+
+/// Max relative output error against a [`layer_truth`] oracle:
+/// `max|got − truth| / max(‖truth‖∞, 1)` — the same normalisation the
+/// runtime accuracy sentinels use, so report numbers are directly
+/// comparable to `predicted_bound`.
+pub fn max_rel_error(out: &BlockedImage, truth: &SimpleImage) -> f64 {
+    let (max_abs, _) = wino_baseline::element_errors(&out.to_simple(), truth);
+    let inf = truth.data.iter().fold(0.0f64, |a, &v| a.max((v as f64).abs()));
+    max_abs / inf.max(1.0)
+}
+
+/// One untimed Winograd forward on the bench data, returning the output
+/// plus the plan's a-priori error bound. `None` if the plan is rejected.
+pub fn winograd_output(
+    layer: &Layer,
+    m: &[usize],
+    opts: ConvOptions,
+    exec: &dyn Executor,
+) -> Option<(BlockedImage, f64)> {
+    let plan = WinogradLayer::new(layer.shape.clone(), m, opts).ok()?;
+    let (input, kernels) = layer_data(layer, 42);
+    let mut output = plan.new_output().ok()?;
+    let mut scratch = Scratch::new(&plan, exec.threads());
+    plan.forward(&input, &kernels, &mut output, &mut scratch, exec).ok()?;
+    let bound = plan.predicted_bound();
+    Some((output, bound))
+}
+
+/// One untimed direct-convolution forward on the bench data.
+pub fn direct_output(layer: &Layer, exec: &dyn Executor) -> BlockedImage {
+    let (input, kernels) = layer_data(layer, 42);
+    let mut output =
+        BlockedImage::zeros(layer.shape.batch, layer.shape.out_channels, &layer.shape.out_dims())
+            .unwrap();
+    direct_conv(&input, &kernels, &layer.shape.padding, &mut output, exec)
+        .expect("accuracy direct_conv failed");
+    output
+}
+
+/// One untimed im2col forward on the bench data.
+pub fn im2col_output(layer: &Layer, exec: &dyn Executor) -> BlockedImage {
+    let (input, kernels) = layer_data(layer, 42);
+    let mut output =
+        BlockedImage::zeros(layer.shape.batch, layer.shape.out_channels, &layer.shape.out_dims())
+            .unwrap();
+    im2col_conv(&input, &kernels, &layer.shape.padding, &mut output, exec)
+        .expect("accuracy im2col_conv failed");
+    output
 }
 
 /// Time our Winograd implementation for one tile choice. Returns `None`

@@ -236,20 +236,43 @@ pub fn probe_im2col(layer: &Layer, exec: &dyn Executor, machine: &MachineModel) 
     Some(fold(&events, &im2col_work_model(&layer.shape), machine))
 }
 
+/// Schema-v2 accuracy columns of one report row. Both fields are
+/// optional in the schema; `Accuracy::default()` emits neither (e.g.
+/// when the oracle pass failed).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Accuracy {
+    /// Measured max relative error vs the f64 oracle
+    /// ([`crate::max_rel_error`]).
+    pub max_rel_error: Option<f64>,
+    /// The plan's a-priori bound ([`WinogradLayer::predicted_bound`]);
+    /// only Winograd rows have one.
+    pub predicted_bound: Option<f64>,
+}
+
 /// One `layers[]` element of the perf-report schema: the timed
-/// measurement plus the folded stage breakdown of an instrumented pass.
-pub fn layer_entry(meas: &Measurement, report: &StageReport) -> Json {
-    Json::Obj(vec![
+/// measurement plus the folded stage breakdown of an instrumented pass
+/// and (schema v2) the measured-vs-predicted accuracy columns.
+pub fn layer_entry(meas: &Measurement, report: &StageReport, accuracy: Accuracy) -> Json {
+    let mut fields = vec![
         ("layer".into(), Json::Str(meas.layer.clone())),
         ("impl".into(), Json::Str(meas.implementation.clone())),
         ("best_ms".into(), Json::Num(meas.timing.best_ms)),
         ("mean_ms".into(), Json::Num(meas.timing.mean_ms)),
         ("effective_gflops".into(), Json::Num(meas.gflops)),
         ("reps".into(), Json::Num(meas.timing.reps as f64)),
+    ];
+    if let Some(e) = accuracy.max_rel_error {
+        fields.push(("max_rel_error".into(), Json::Num(e)));
+    }
+    if let Some(b) = accuracy.predicted_bound {
+        fields.push(("predicted_bound".into(), Json::Num(b)));
+    }
+    fields.extend([
         ("total_stage_wall_ms".into(), Json::Num(report.total_wall_ms)),
         ("stages".into(), report.stages_json()),
         ("barrier".into(), report.barrier_json()),
-    ])
+    ]);
+    Json::Obj(fields)
 }
 
 /// Assemble a complete schema-version-[`SCHEMA_VERSION`] document.
@@ -273,6 +296,18 @@ pub fn perf_document(
             ]),
         ),
         ("layers".into(), Json::Arr(layers)),
+        (
+            // Sentinel tallies across the whole run (v2). All zero in a
+            // plain timing run — the timed passes never enable sampling —
+            // but a probed run with sentinels on lands its evidence here.
+            "counters".into(),
+            Json::Obj(
+                wino_probe::Counter::ALL
+                    .iter()
+                    .map(|c| (c.name().to_string(), Json::Num(c.get() as f64)))
+                    .collect(),
+            ),
+        ),
     ])
 }
 

@@ -431,4 +431,71 @@ mod tests {
             assert_eq!(r, &results[0]);
         }
     }
+
+    #[test]
+    fn compensated_reduction_is_no_less_accurate() {
+        // Deep channel reduction (C = 256 ⇒ many k blocks) with the
+        // smallest tile, so the channel-accumulation error dominates the
+        // transform error and the Kahan fold has something to win.
+        let dims = [10usize, 10];
+        let img = test_img(1, 256, &dims);
+        let ker = test_ker(16, 256, &[3, 3]);
+        let shape = ConvShape::new(1, 256, 16, &dims, &[3, 3], &[1, 1]).unwrap();
+        let want = direct_reference(&img, &ker, &[1, 1]);
+
+        let run = |compensated: bool| {
+            let opts = ConvOptions { compensated, ..Default::default() };
+            let layer = WinogradLayer::new(shape.clone(), &[2, 2], opts).unwrap();
+            let input = BlockedImage::from_simple(&img).unwrap();
+            let kernels = BlockedKernels::from_simple(&ker).unwrap();
+            let mut out = layer.new_output().unwrap();
+            let mut scratch = Scratch::new(&layer, 1);
+            layer.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor).unwrap();
+            out.to_simple()
+        };
+        let max_err = |got: &SimpleImage| {
+            got.data
+                .iter()
+                .zip(&want.data)
+                .map(|(&g, &w)| (g - w).abs() / w.abs().max(1.0))
+                .fold(0.0f32, f32::max)
+        };
+        let plain = max_err(&run(false));
+        let comp = max_err(&run(true));
+        assert!(comp <= 1e-4, "compensated err {comp} too large");
+        assert!(
+            comp <= plain,
+            "Kahan reduction lost accuracy: compensated {comp} > plain {plain}"
+        );
+    }
+
+    #[test]
+    fn compensated_agrees_across_schedules_and_executors() {
+        // The compensated fold is order-deterministic, so every schedule
+        // and executor must produce bitwise-identical output.
+        let img = test_img(1, 64, &[10, 10]);
+        let ker = test_ker(32, 64, &[3, 3]);
+        let shape = ConvShape::new(1, 64, 32, &[10, 10], &[3, 3], &[1, 1]).unwrap();
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = BlockedKernels::from_simple(&ker).unwrap();
+        let mut results = Vec::new();
+        for schedule in crate::plan::Schedule::ALL {
+            let opts = ConvOptions { compensated: true, schedule, ..Default::default() };
+            let layer = WinogradLayer::new(shape.clone(), &[4, 4], opts).unwrap();
+            for threads in [1usize, 4] {
+                let mut scratch = Scratch::new(&layer, threads);
+                let mut out = layer.new_output().unwrap();
+                if threads == 1 {
+                    layer.forward(&input, &kernels, &mut out, &mut scratch, &SerialExecutor).unwrap();
+                } else {
+                    let pool = StaticExecutor::new(threads);
+                    layer.forward(&input, &kernels, &mut out, &mut scratch, &pool).unwrap();
+                }
+                results.push(out.to_simple().data);
+            }
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
 }

@@ -10,6 +10,7 @@ use wino_sched::PoolError;
 use wino_tensor::ShapeError;
 
 use crate::plan::PlanError;
+use crate::sentinel::SentinelError;
 
 /// A non-finite value (NaN or ±Inf) detected by the numeric guard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,10 @@ pub enum WinoError {
     Pool(PoolError),
     /// The numeric guard found NaN/Inf in a transformed output.
     Numeric(NumericError),
+    /// An accuracy sentinel found a finite-but-wrong output (relative
+    /// error above the plan's a-priori bound) in a context with no
+    /// degradation ladder to absorb it (e.g. a guarded training step).
+    Sentinel(SentinelError),
     /// Kernel list length does not match the network's layer count.
     LayerCount { expected: usize, got: usize },
     /// The requested operation is not available for this plan (e.g.
@@ -62,6 +67,7 @@ impl std::fmt::Display for WinoError {
             WinoError::Shape(e) => write!(f, "shape error: {e}"),
             WinoError::Pool(e) => write!(f, "parallel execution failed: {e}"),
             WinoError::Numeric(e) => write!(f, "numeric guard: {e}"),
+            WinoError::Sentinel(e) => write!(f, "accuracy sentinel: {e}"),
             WinoError::LayerCount { expected, got } => {
                 write!(f, "network has {expected} layers but {got} kernel banks were supplied")
             }
@@ -77,6 +83,7 @@ impl std::error::Error for WinoError {
             WinoError::Shape(e) => Some(e),
             WinoError::Pool(e) => Some(e),
             WinoError::Numeric(e) => Some(e),
+            WinoError::Sentinel(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +110,12 @@ impl From<PoolError> for WinoError {
 impl From<NumericError> for WinoError {
     fn from(e: NumericError) -> Self {
         WinoError::Numeric(e)
+    }
+}
+
+impl From<SentinelError> for WinoError {
+    fn from(e: SentinelError) -> Self {
+        WinoError::Sentinel(e)
     }
 }
 

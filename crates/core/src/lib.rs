@@ -36,6 +36,7 @@ pub mod net;
 pub(crate) mod pipeline;
 pub mod plan;
 pub mod select;
+pub mod sentinel;
 pub(crate) mod spans;
 pub mod training;
 pub mod stage1;
@@ -51,5 +52,9 @@ pub use net::{
     Activation, ExecutionReport, FallbackReason, LayerBackend, LayerPlan, LayerSpec, NetLayer,
     Network,
 };
-pub use plan::{ConvOptions, PlanError, Schedule, Scratch, Stage2Backend, WinogradLayer, MAX_RANK};
+pub use plan::{
+    AccuracyBudget, ConvOptions, PlanError, Schedule, Scratch, Stage2Backend, WinogradLayer,
+    MAX_RANK,
+};
 pub use select::{candidate_tiles, plan_with_fallback, select_tile, FallbackPolicy, Purpose, Selection};
+pub use sentinel::{sample_units, verify_sample, SentinelConfig, SentinelError};

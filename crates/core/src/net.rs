@@ -25,6 +25,7 @@ use crate::conv::TransformedKernels;
 use crate::error::{check_finite, NumericError, WinoError};
 use crate::plan::{ConvOptions, PlanError, Scratch, Stage2Backend, WinogradLayer};
 use crate::select::{plan_with_fallback, FallbackPolicy};
+use crate::sentinel::{verify_sample, SentinelError};
 
 /// Pointwise activation applied between layers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -79,11 +80,15 @@ impl LayerPlan {
 pub enum LayerBackend {
     WinogradJit,
     WinogradMono,
+    /// Winograd re-run with every tile dimension demoted by 2 after an
+    /// accuracy-sentinel trip (better-conditioned transforms).
+    WinogradDemoted,
     Im2col,
 }
 
 /// Why a layer ran on something other than what was asked for.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// (`PartialEq` only: [`SentinelError`] carries measured f64 errors.)
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FallbackReason {
     /// The JIT stage-2 backend could not be built; the layer uses the
     /// monomorphised backend instead.
@@ -93,6 +98,10 @@ pub enum FallbackReason {
     /// The Winograd output contained NaN/Inf; the layer was re-executed
     /// via im2col.
     NumericGuard(NumericError),
+    /// A sampled output tile exceeded the layer's a-priori error bound;
+    /// the layer was re-executed demoted (or via im2col — see the
+    /// [`ExecutionReport::backend`]).
+    SentinelTrip(SentinelError),
 }
 
 impl std::fmt::Display for FallbackReason {
@@ -101,12 +110,13 @@ impl std::fmt::Display for FallbackReason {
             FallbackReason::JitUnavailable(e) => write!(f, "jit unavailable ({e}); using mono"),
             FallbackReason::PlanFailed(e) => write!(f, "no winograd plan ({e}); using im2col"),
             FallbackReason::NumericGuard(e) => write!(f, "numeric guard tripped ({e}); using im2col"),
+            FallbackReason::SentinelTrip(e) => write!(f, "accuracy {e}; re-executed"),
         }
     }
 }
 
 /// What actually happened when one layer executed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ExecutionReport {
     /// Layer index within the network.
     pub layer: usize,
@@ -388,6 +398,12 @@ impl Network {
     ) -> Result<(BlockedImage, ExecutionReport), WinoError> {
         let mut report =
             ExecutionReport { layer: index, backend: LayerBackend::Im2col, fallback: layer.planned_fallback };
+        // Subnormal operands put x86 cores into microcode assists (50–100×
+        // per affected FMA); flush them for the duration of the layer.
+        // MXCSR is per-thread, so this covers the coordinator's share of
+        // the work — full coverage under a serial executor (see
+        // `wino_simd::denormals` for the model).
+        let _ftz = wino_simd::FlushDenormals::engage();
         let mut out = match &layer.plan {
             LayerPlan::Winograd(plan) => {
                 report.backend = match plan.opts.stage2 {
@@ -407,7 +423,18 @@ impl Network {
                     Ok(())
                 };
                 match guard {
-                    Ok(()) => out,
+                    Ok(()) => {
+                        // Guard passed: the output is finite — now the
+                        // accuracy sentinels check it is also *right*.
+                        match Self::sentinel_check(plan, index, input, kernels, &out, exec, policy)? {
+                            None => out,
+                            Some((replaced, backend, reason)) => {
+                                report.backend = backend;
+                                report.fallback = Some(reason);
+                                replaced
+                            }
+                        }
+                    }
                     Err(e) if policy.im2col_on_numeric => {
                         report.backend = LayerBackend::Im2col;
                         report.fallback = Some(FallbackReason::NumericGuard(e));
@@ -432,6 +459,84 @@ impl Network {
         };
         layer.activation.apply(&mut out);
         Ok((out, report))
+    }
+
+    /// The sentinel half of the execution-time degradation ladder. `None`
+    /// means the output passed (or sampling is off); `Some` carries the
+    /// replacement output plus how it was produced. The ladder: demote
+    /// every tile dimension by 2 and re-run (better-conditioned
+    /// transforms; skipped when `demote_tile` is off or the tile is
+    /// already minimal), re-verify the demoted output, and if it still
+    /// trips, rescue through im2col — whose longer f32 accumulation the
+    /// sentinels do not judge, but whose arithmetic contains no transform
+    /// amplification to corrupt.
+    #[allow(clippy::too_many_arguments)] // mirrors exec_layer's context
+    fn sentinel_check(
+        plan: &WinogradLayer,
+        index: usize,
+        input: &BlockedImage,
+        kernels: &BlockedKernels,
+        out: &BlockedImage,
+        exec: &dyn Executor,
+        policy: &FallbackPolicy,
+    ) -> Result<Option<(BlockedImage, LayerBackend, FallbackReason)>, WinoError> {
+        let cfg = &policy.sentinel;
+        if cfg.samples == 0 {
+            // Disabled: no RNG, no oracle, no counters — provably free.
+            return Ok(None);
+        }
+        let t0 = crate::spans::span_start();
+        let verdict = verify_sample(plan, input, kernels, out, cfg, index);
+        crate::spans::record_coord(exec, wino_probe::SpanCategory::SentinelVerify, t0);
+        let trip = match verdict {
+            Ok(checked) => {
+                wino_probe::Counter::SentinelTilesChecked.add(checked as u64);
+                return Ok(None);
+            }
+            Err(e) => e,
+        };
+        wino_probe::Counter::SentinelTrips.add(1);
+        let reason = FallbackReason::SentinelTrip(trip);
+
+        if cfg.demote_tile {
+            let dm: Vec<usize> = plan
+                .grid
+                .m
+                .iter()
+                .map(|&m| if m <= 2 { m } else { (m - 2).max(2) })
+                .collect();
+            if dm != plan.grid.m {
+                if let Ok(demoted) = WinogradLayer::new(plan.shape.clone(), &dm, plan.opts) {
+                    let mut sc = Scratch::new(&demoted, exec.threads());
+                    let mut out2 = demoted.new_output()?;
+                    demoted.forward(input, kernels, &mut out2, &mut sc, exec)?;
+                    let t0 = crate::spans::span_start();
+                    let verdict = check_finite("demoted output", out2.as_slice())
+                        .map_err(|_| ())
+                        .and_then(|()| {
+                            verify_sample(&demoted, input, kernels, &out2, cfg, index)
+                                .map_err(|_| ())
+                        });
+                    crate::spans::record_coord(
+                        exec,
+                        wino_probe::SpanCategory::SentinelVerify,
+                        t0,
+                    );
+                    if let Ok(checked) = verdict {
+                        wino_probe::Counter::SentinelTilesChecked.add(checked as u64);
+                        wino_probe::Counter::SentinelDemotions.add(1);
+                        return Ok(Some((out2, LayerBackend::WinogradDemoted, reason)));
+                    }
+                }
+            }
+        }
+
+        let t0 = crate::spans::span_start();
+        let rescued = Self::im2col_layer(&plan.shape, input, kernels, exec)?;
+        crate::spans::record_coord(exec, wino_probe::SpanCategory::FallbackRescue, t0);
+        check_finite("im2col rescue output", rescued.as_slice())?;
+        wino_probe::Counter::SentinelRescues.add(1);
+        Ok(Some((rescued, LayerBackend::Im2col, reason)))
     }
 
     fn im2col_layer(

@@ -82,7 +82,17 @@ pub(crate) fn forward_pipelined(
     let ctx1 = InputTransformCtx::new(layer, input, scratch.u.as_mut_ptr(), false, probe);
     let x_ptr = scratch.x.as_mut_ptr();
     let y_ptr = scratch.y.as_mut_ptr();
-    let ctx2 = Stage2Ctx::new(layer, &scratch.u, v, x_ptr, &scratch.x, y_ptr, &scratch.y, false);
+    let ctx2 = Stage2Ctx::new(
+        layer,
+        &scratch.u,
+        v,
+        x_ptr,
+        &scratch.x,
+        y_ptr,
+        &scratch.y,
+        false,
+        scratch.comp_bufs(),
+    );
     let ctx3 = Stage3Ctx::new(layer, &scratch.y, output.as_mut_ptr(), layer.opts.streaming_stores);
     let scratch_ref: &Scratch = scratch;
     let stage_start = crate::spans::span_start();
@@ -121,8 +131,8 @@ pub(crate) fn forward_pipelined(
                 for i in lo_rb..hi_rb {
                     // SAFETY: panel rows are owned by this task (the
                     // superblock partition), so (t, j, i) triples are
-                    // disjoint across tasks.
-                    unsafe { ctx2.panel(t, j, i) };
+                    // disjoint across tasks; `slot` is held by this task.
+                    unsafe { ctx2.panel(slot, t, j, i) };
                 }
             }
         }

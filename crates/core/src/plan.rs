@@ -23,6 +23,38 @@ use crate::layout::TileMajor;
 /// buffers; 6 covers any practical ConvNet with room to spare).
 pub const MAX_RANK: usize = 6;
 
+/// A target on the numerical quality of a plan: the worst relative
+/// error the caller is willing to accept from the Winograd evaluation,
+/// enforced a priori from the exact-rational conditioning of the
+/// transforms ([`wino_transforms::Conditioning`]).
+///
+/// The check is per dimension: a plan is admitted only if every
+/// dimension's amplification factor satisfies `γ(m_d, r_d) · ε ≤
+/// max_rel_error` (ε = [`f32::EPSILON`]). Because γ is strictly
+/// increasing over the practical even tile sizes, a budget induces a
+/// per-(r, point-schedule) *derived* maximum tile size — this is what
+/// replaced the old hard-coded `Purpose::max_m` table (the presets in
+/// [`crate::select::Purpose::budget`] reproduce it exactly for r = 3).
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct AccuracyBudget {
+    /// Target worst-case relative error (> 0).
+    pub max_rel_error: f64,
+}
+
+impl AccuracyBudget {
+    /// Budget admitting tiles whose per-dimension amplification fits
+    /// `max_rel_error`.
+    pub fn new(max_rel_error: f64) -> AccuracyBudget {
+        AccuracyBudget { max_rel_error }
+    }
+
+    /// Whether a 1-D transform with amplification factor `gamma`
+    /// fits this budget.
+    pub fn admits_gamma(self, gamma: f64) -> bool {
+        gamma * f64::from(f32::EPSILON) <= self.max_rel_error
+    }
+}
+
 /// Which engine executes stage 2's micro-kernels.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Stage2Backend {
@@ -95,6 +127,16 @@ pub struct ConvOptions {
     pub points: PointSchedule,
     /// Stage-2 kernel engine.
     pub stage2: Stage2Backend,
+    /// A-priori accuracy budget. `None` (the default) admits any tile;
+    /// `Some(b)` makes planning fail with [`PlanError::AccuracyBudget`]
+    /// when a dimension's predicted amplification exceeds the budget.
+    pub budget: Option<AccuracyBudget>,
+    /// Opt-in compensated (Kahan–Neumaier) channel reduction in stage 2
+    /// for high-accuracy plans: each `C_blk` reduction block is computed
+    /// separately and folded into the accumulator with an error-
+    /// compensation term instead of the plain β-accumulating
+    /// micro-kernel. Mono backend only.
+    pub compensated: bool,
 }
 
 impl Default for ConvOptions {
@@ -106,6 +148,8 @@ impl Default for ConvOptions {
             superblock: None,
             points: PointSchedule::default(),
             stage2: Stage2Backend::default(),
+            budget: None,
+            compensated: false,
         }
     }
 }
@@ -128,6 +172,10 @@ pub enum PlanError {
     /// JIT stage-2 backend requested but unavailable (no AVX-512F, or
     /// code emission failed).
     Jit { reason: &'static str },
+    /// The requested tile's a-priori error bound exceeds the plan's
+    /// [`AccuracyBudget`] in dimension `dim` — demote `m` (the planner's
+    /// `candidate_tiles` does this automatically).
+    AccuracyBudget { dim: usize, m: usize },
 }
 
 impl std::fmt::Display for PlanError {
@@ -142,6 +190,10 @@ impl std::fmt::Display for PlanError {
             }
             PlanError::BadBlocking { reason } => write!(f, "bad blocking: {reason}"),
             PlanError::Jit { reason } => write!(f, "jit backend unavailable: {reason}"),
+            PlanError::AccuracyBudget { dim, m } => write!(
+                f,
+                "tile size m={m} for dimension {dim} exceeds the accuracy budget"
+            ),
         }
     }
 }
@@ -212,7 +264,18 @@ impl WinogradLayer {
             if m[d] == 0 || m[d] + shape.kernel_dims[d] - 1 > wino_transforms::points::MAX_FINITE_POINTS + 1 {
                 return Err(PlanError::BadTileSize { dim: d, m: m[d] });
             }
-            plans.push(FmrPlan::with_schedule(m[d], shape.kernel_dims[d], opts.points));
+            let plan = FmrPlan::with_schedule(m[d], shape.kernel_dims[d], opts.points);
+            if let Some(budget) = opts.budget {
+                if !budget.admits_gamma(plan.conditioning().gamma) {
+                    return Err(PlanError::AccuracyBudget { dim: d, m: m[d] });
+                }
+            }
+            plans.push(plan);
+        }
+        if opts.compensated && opts.stage2 == Stage2Backend::Jit {
+            return Err(PlanError::Jit {
+                reason: "compensated accumulation requires the mono stage-2 backend",
+            });
         }
         let rows = grid.total_tiles() * shape.batch;
         let block = match opts.block {
@@ -385,12 +448,59 @@ impl WinogradLayer {
     pub fn direct_flops(&self) -> u128 {
         self.shape.direct_flops()
     }
+
+    /// A-priori worst-case bound on this layer's relative output error
+    /// against an exact evaluation:
+    ///
+    /// ```text
+    /// bound = ε · (∏_d γ(m_d, r_d)) · C · ∏_d r_d
+    /// ```
+    ///
+    /// where γ is the exact-rational amplification factor of each
+    /// dimension's transforms ([`wino_transforms::Conditioning`]) and
+    /// `C · ∏ r` counts the accumulation length of the channel/tap
+    /// reduction. Deliberately conservative (a guaranteed no-false-trip
+    /// threshold for the runtime accuracy sentinels, often orders of
+    /// magnitude above typical error) but strictly monotone in every
+    /// `m_d`, which is what bound-driven tile demotion needs.
+    pub fn predicted_bound(&self) -> f64 {
+        let gamma: f64 = self.plans.iter().map(|p| p.conditioning().gamma).product();
+        let taps: usize = self.shape.kernel_dims.iter().product();
+        let terms = (self.shape.in_channels * taps) as f64;
+        f64::from(f32::EPSILON) * gamma * terms
+    }
 }
 
 /// Per-thread ping-pong tile buffers (each `T·S` floats).
 pub(crate) struct ThreadBuf {
     pub a: AlignedVec,
     pub b: AlignedVec,
+}
+
+/// Per-thread buffers for the compensated stage-2 reduction
+/// ([`ConvOptions::compensated`]): one panel-sized product buffer and one
+/// panel-sized Kahan compensation buffer. Allocated only for compensated
+/// plans.
+pub(crate) struct CompBuf {
+    /// One reduction block's product `U_k · V_k` (β = 0 target).
+    pub tmp: AlignedVec,
+    /// Running Kahan–Neumaier compensation for the panel accumulator.
+    pub comp: AlignedVec,
+}
+
+/// One thread slot's [`CompBuf`], shareable across the executor's workers.
+pub(crate) struct CompBufCell(UnsafeCell<CompBuf>);
+
+// SAFETY: each executor thread slot accesses only its own cell (the
+// Executor slot contract); see `Scratch::thread_buf` for the same pattern.
+unsafe impl Sync for CompBufCell {}
+
+impl CompBufCell {
+    /// Raw pointer to the slot's buffers; the caller upholds the slot
+    /// exclusivity contract before dereferencing.
+    pub(crate) fn get(&self) -> *mut CompBuf {
+        self.0.get()
+    }
 }
 
 /// The paper's auxiliary memory: transformed inputs `I` (`u`), transformed
@@ -405,11 +515,14 @@ pub struct Scratch {
     pub x: BlockedMatrices,
     pub y: TileMajor,
     bufs: Vec<UnsafeCell<ThreadBuf>>,
+    /// Compensated-reduction panels, one per thread slot; empty unless
+    /// the layer was planned with [`ConvOptions::compensated`].
+    cbufs: Vec<CompBufCell>,
 }
 
 // SAFETY: each executor thread slot accesses only its own `bufs[slot]`
-// (guaranteed by the Executor contract), and the matrices are written at
-// disjoint offsets per task.
+// and `cbufs[slot]` (guaranteed by the Executor contract), and the
+// matrices are written at disjoint offsets per task.
 unsafe impl Sync for Scratch {}
 
 impl Scratch {
@@ -432,7 +545,20 @@ impl Scratch {
                 })
             })
             .collect();
-        Scratch { u, v, x, y, bufs }
+        let cbufs = if layer.opts.compensated {
+            let panel = b.n_blk * b.cp_blk;
+            (0..threads.max(1))
+                .map(|_| {
+                    CompBufCell(UnsafeCell::new(CompBuf {
+                        tmp: AlignedVec::zeroed(panel),
+                        comp: AlignedVec::zeroed(panel),
+                    }))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Scratch { u, v, x, y, bufs, cbufs }
     }
 
     /// Total auxiliary bytes (the paper's memory-overhead number).
@@ -456,6 +582,17 @@ impl Scratch {
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn thread_buf(&self, slot: usize) -> &mut ThreadBuf {
         &mut *self.bufs[slot].get()
+    }
+
+    /// The compensated-reduction buffers, or `None` for plans without
+    /// [`ConvOptions::compensated`]. Each slot's buffer is subject to the
+    /// same Executor slot-exclusivity contract as [`Scratch::thread_buf`].
+    pub(crate) fn comp_bufs(&self) -> Option<&[CompBufCell]> {
+        if self.cbufs.is_empty() {
+            None
+        } else {
+            Some(&self.cbufs)
+        }
     }
 }
 
@@ -583,6 +720,58 @@ mod tests {
         assert!(Schedule::Pipelined.fuses_scatter());
         let names: Vec<&str> = Schedule::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names, ["unfused", "fused-scatter", "pipelined"]);
+    }
+
+    #[test]
+    fn budget_admits_and_rejects_by_conditioning() {
+        // γ(4,3)·ε ≈ 5.72e-6, γ(6,3)·ε ≈ 8.07e-6, γ(8,3)·ε ≈ 1.07e-4
+        // (mixed points). A 6e-6 budget sits between m=4 and m=5.
+        let tight = ConvOptions {
+            budget: Some(AccuracyBudget::new(6e-6)),
+            ..Default::default()
+        };
+        let s = ConvShape::new(1, 32, 32, &[20, 20], &[3, 3], &[1, 1]).unwrap();
+        assert!(WinogradLayer::new(s.clone(), &[4, 4], tight).is_ok());
+        assert!(matches!(
+            WinogradLayer::new(s.clone(), &[8, 8], tight),
+            Err(PlanError::AccuracyBudget { dim: 0, m: 8 })
+        ));
+        // No budget (the default): any structurally valid tile plans.
+        assert!(WinogradLayer::new(s, &[8, 8], ConvOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn predicted_bound_is_monotone_in_tile_size() {
+        let mut last = 0.0;
+        for m in [2, 4, 6, 8] {
+            let s = ConvShape::new(1, 32, 32, &[20, 20], &[3, 3], &[1, 1]).unwrap();
+            let layer = WinogradLayer::new(s, &[m, m], ConvOptions::default()).unwrap();
+            let b = layer.predicted_bound();
+            assert!(b > last, "bound not monotone at m={m}: {b} ≤ {last}");
+            assert!(b.is_finite() && b > 0.0);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn compensated_plans_get_buffers_and_reject_jit() {
+        let opts = ConvOptions { compensated: true, ..Default::default() };
+        let layer = WinogradLayer::new(shape2d(), &[4, 4], opts).unwrap();
+        let scratch = Scratch::new(&layer, 2);
+        assert_eq!(scratch.comp_bufs().map(<[_]>::len), Some(2));
+        // Plain plans allocate none.
+        let plain = WinogradLayer::new(shape2d(), &[4, 4], ConvOptions::default()).unwrap();
+        assert!(Scratch::new(&plain, 2).comp_bufs().is_none());
+        // The JIT kernels hard-code β-accumulation; compensated requires mono.
+        let opts = ConvOptions {
+            compensated: true,
+            stage2: Stage2Backend::Jit,
+            ..Default::default()
+        };
+        assert!(matches!(
+            WinogradLayer::new(shape2d(), &[4, 4], opts),
+            Err(PlanError::Jit { .. })
+        ));
     }
 
     #[test]

@@ -18,9 +18,11 @@
 
 use wino_sched::Executor;
 use wino_tensor::{BlockedImage, BlockedKernels, ConvShape};
+use wino_transforms::Conditioning;
 
 use crate::error::WinoError;
-use crate::plan::{ConvOptions, PlanError, Scratch, Stage2Backend, WinogradLayer};
+use crate::plan::{AccuracyBudget, ConvOptions, PlanError, Scratch, Stage2Backend, WinogradLayer};
+use crate::sentinel::SentinelConfig;
 
 /// Which degradations the execution layer may apply instead of failing.
 ///
@@ -40,6 +42,13 @@ pub struct FallbackPolicy {
     /// If the numeric guard trips, re-execute the layer via im2col
     /// (requires `check_numerics`; without this, a trip is an error).
     pub im2col_on_numeric: bool,
+    /// Accuracy-sentinel sampling: re-verify a seeded random sample of
+    /// output tiles against the f64 oracle after each layer forward. A
+    /// trip (error above the a-priori bound) enters the degradation
+    /// ladder: tile demotion first (if `sentinel.demote_tile`), then
+    /// im2col. Disabled (`samples == 0`) by default — the spot check
+    /// costs an f64 direct convolution per sampled tile.
+    pub sentinel: SentinelConfig,
 }
 
 impl Default for FallbackPolicy {
@@ -50,6 +59,7 @@ impl Default for FallbackPolicy {
             im2col_on_plan_failure: true,
             check_numerics: true,
             im2col_on_numeric: true,
+            sentinel: SentinelConfig::off(),
         }
     }
 }
@@ -63,7 +73,14 @@ impl FallbackPolicy {
             im2col_on_plan_failure: false,
             check_numerics: false,
             im2col_on_numeric: false,
+            sentinel: SentinelConfig::off(),
         }
+    }
+
+    /// Default degradations plus sentinel sampling of `samples` tiles per
+    /// layer under `seed`.
+    pub fn with_sentinel(samples: u32, seed: u64) -> Self {
+        FallbackPolicy { sentinel: SentinelConfig::sampled(samples, seed), ..Default::default() }
     }
 }
 
@@ -90,39 +107,95 @@ pub fn plan_with_fallback(
     }
 }
 
-/// What the selected plan will be used for — bounds the largest tile per
-/// Table 3's accuracy limits.
+/// What the selected plan will be used for — a preset over
+/// [`AccuracyBudget`]s. The largest admissible tile per dimension is no
+/// longer a hard-coded table: it is *derived* from the exact transform
+/// conditioning (`γ(m, r) · ε ≤ budget`, see
+/// [`wino_transforms::Conditioning`]), which reproduces Table 3's f32
+/// limits (`m ≤ 6` for training, `m ≤ 8` for inference, at `r = 3`) and
+/// generalises them to every kernel size instead of assuming 3×3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Purpose {
-    /// Errors must stay training-safe (≲1e-2): `m ≤ 6`.
+    /// Error feeds back through gradients, so amplification must stay
+    /// near rounding level: budget 1e-5 (admits `γ·ε` up to 1e-5, i.e.
+    /// `m ≤ 6` for `r = 3` under the mixed point schedule).
     Training,
-    /// Inference tolerates an order of magnitude more: `m ≤ 8`.
+    /// A forward-only pass tolerates an order of magnitude more: budget
+    /// 2e-4 (`m ≤ 8` for `r = 3`).
     Inference,
 }
 
+/// The largest tile the search may try per dimension, whatever the
+/// budget admits — beyond `m = 8` the f32 transforms are useless even
+/// for inference (Table 3).
+const SEARCH_MAX_M: usize = 8;
+
 impl Purpose {
-    fn max_m(self) -> usize {
+    /// The accuracy budget this preset stands for.
+    pub fn budget(self) -> AccuracyBudget {
         match self {
-            Purpose::Training => 6,
-            Purpose::Inference => 8,
+            Purpose::Training => AccuracyBudget::new(1e-5),
+            Purpose::Inference => AccuracyBudget::new(2e-4),
         }
+    }
+
+    /// Largest `m ≤` [`SEARCH_MAX_M`] whose `F(m, r)` conditioning fits
+    /// the budget under `opts.points` (0 if even `m = 2` does not fit).
+    fn max_m(self, r: usize, opts: &ConvOptions) -> usize {
+        let budget = self.budget();
+        (2..=SEARCH_MAX_M)
+            .rev()
+            .find(|&m| budget.admits_gamma(Conditioning::for_schedule(m, r, opts.points).gamma))
+            .unwrap_or(0)
     }
 }
 
-/// Candidate tile vectors for a layer: uniform tiles `2..=max_m` per
+/// Candidate tile vectors for a layer: uniform tiles `2..=8` per
 /// dimension, clipped so no dimension's tile exceeds its output extent
-/// (larger would be pure padding).
-pub fn candidate_tiles(shape: &ConvShape, purpose: Purpose) -> Vec<Vec<usize>> {
+/// (larger would be pure padding) nor the purpose's budget-derived
+/// conditioning cap for that dimension's kernel size.
+pub fn candidate_tiles(shape: &ConvShape, purpose: Purpose, opts: &ConvOptions) -> Vec<Vec<usize>> {
     let out = shape.out_dims();
     let rank = shape.rank();
+    let caps: Vec<usize> =
+        shape.kernel_dims.iter().map(|&r| purpose.max_m(r, opts)).collect();
     let mut cands = Vec::new();
-    for m in 2..=purpose.max_m() {
-        let tile: Vec<usize> = (0..rank).map(|d| m.min(out[d])).collect();
+    for m in 2..=SEARCH_MAX_M {
+        let tile: Vec<usize> = (0..rank).map(|d| m.min(out[d]).min(caps[d])).collect();
+        if tile.contains(&0) {
+            // A conditioning cap of 0: no tile fits the budget at all.
+            continue;
+        }
         if !cands.contains(&tile) {
             cands.push(tile);
         }
     }
     cands
+}
+
+/// Demote a tile vector per dimension (steps of 2, floor 2) until every
+/// dimension's `F(m, r)` conditioning fits `budget`. Returns the fitted
+/// tile, which may equal `m`; a dimension already at 2 stays at 2 even
+/// when the budget is unreachable (the caller decides whether to plan it
+/// anyway or fall back to a different backend).
+pub fn fit_tile_to_budget(
+    shape: &ConvShape,
+    m: &[usize],
+    budget: AccuracyBudget,
+    opts: &ConvOptions,
+) -> Vec<usize> {
+    m.iter()
+        .zip(&shape.kernel_dims)
+        .map(|(&m0, &r)| {
+            let mut mm = m0;
+            while mm > 2
+                && !budget.admits_gamma(Conditioning::for_schedule(mm, r, opts.points).gamma)
+            {
+                mm -= 2.min(mm - 2);
+            }
+            mm
+        })
+        .collect()
 }
 
 /// Result of a tile-size search.
@@ -148,6 +221,11 @@ pub fn select_tile(
     exec: &dyn Executor,
     reps: usize,
 ) -> Result<Selection, WinoError> {
+    // The purpose's budget becomes a plan-time invariant: even if the
+    // candidate enumeration and the planner ever disagree, the planner's
+    // own conditioning check rejects an over-budget tile. An explicit
+    // (tighter or looser) budget in `opts` wins.
+    let opts = ConvOptions { budget: opts.budget.or(Some(purpose.budget())), ..opts };
     let mut input = BlockedImage::zeros(shape.batch, shape.in_channels, &shape.image_dims)?;
     for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
         *v = ((i * 2654435761) >> 22 & 0xff) as f32 / 1275.0 - 0.1;
@@ -160,7 +238,7 @@ pub fn select_tile(
 
     let mut trials: Vec<(Vec<usize>, f64)> = Vec::new();
     let mut last_err = None;
-    for m in candidate_tiles(shape, purpose) {
+    for m in candidate_tiles(shape, purpose, &opts) {
         let plan = match WinogradLayer::new(shape.clone(), &m, opts) {
             Ok(p) => p,
             Err(e) => {
@@ -197,18 +275,70 @@ mod tests {
 
     #[test]
     fn candidates_respect_purpose_and_extent() {
+        // The budget-derived caps must reproduce Table 3's hard-coded
+        // limits for r = 3: training m ≤ 6, inference m ≤ 8.
+        let opts = ConvOptions::default();
         let s = ConvShape::new(1, 16, 16, &[20, 20], &[3, 3], &[1, 1]).unwrap();
-        let train = candidate_tiles(&s, Purpose::Training);
+        let train = candidate_tiles(&s, Purpose::Training, &opts);
         assert!(train.iter().all(|m| m.iter().all(|&x| x <= 6)));
         assert_eq!(train.len(), 5); // m = 2..=6
-        let infer = candidate_tiles(&s, Purpose::Inference);
+        let infer = candidate_tiles(&s, Purpose::Inference, &opts);
         assert_eq!(infer.len(), 7); // m = 2..=8
 
         // Tiny output: tiles clipped to the output extent, deduplicated.
         let tiny = ConvShape::new(1, 16, 16, &[5, 5], &[3, 3], &[0, 0]).unwrap();
-        let c = candidate_tiles(&tiny, Purpose::Inference);
+        let c = candidate_tiles(&tiny, Purpose::Inference, &opts);
         assert!(c.iter().all(|m| m.iter().all(|&x| x <= 3)));
         assert_eq!(c.len(), 2); // [2,2] and [3,3]
+    }
+
+    #[test]
+    fn budget_caps_follow_conditioning_not_a_table() {
+        let opts = ConvOptions::default();
+        // r = 5 transforms are much worse conditioned: the training
+        // budget that allows m = 6 at r = 3 only admits m = 3 at r = 5
+        // (γ(4,5)·ε ≈ 1.03e-5 > 1e-5). A hard-coded "m ≤ 6" table would
+        // get this wrong.
+        let s5 = ConvShape::new(1, 16, 16, &[20, 20], &[5, 5], &[2, 2]).unwrap();
+        let train5 = candidate_tiles(&s5, Purpose::Training, &opts);
+        assert!(
+            train5.iter().all(|m| m.iter().all(|&x| x <= 3)),
+            "r=5 training candidates exceed the conditioning cap: {train5:?}"
+        );
+        assert!(!train5.is_empty());
+
+        // The integer point schedule conditions worse than the mixed one,
+        // so its caps are at most as large.
+        let int_opts = ConvOptions { points: wino_transforms::PointSchedule::Integer, ..opts };
+        let s3 = ConvShape::new(1, 16, 16, &[20, 20], &[3, 3], &[1, 1]).unwrap();
+        let mixed = candidate_tiles(&s3, Purpose::Inference, &opts);
+        let integer = candidate_tiles(&s3, Purpose::Inference, &int_opts);
+        let max_of = |c: &[Vec<usize>]| c.iter().flat_map(|m| m.iter().copied()).max().unwrap();
+        assert!(max_of(&integer) <= max_of(&mixed));
+    }
+
+    #[test]
+    fn tight_budget_demotes_m8_to_m4() {
+        // γ(4,3)·ε ≈ 5.7e-6 fits a 6e-6 budget; γ(6,3)·ε ≈ 8.1e-6 does
+        // not — so a planned F(8×8, 3×3) must demote two steps to 4.
+        let s = ConvShape::new(1, 16, 16, &[20, 20], &[3, 3], &[1, 1]).unwrap();
+        let opts = ConvOptions::default();
+        let tight = AccuracyBudget::new(6e-6);
+        assert_eq!(fit_tile_to_budget(&s, &[8, 8], tight, &opts), vec![4, 4]);
+        // Already-fitting tiles pass through unchanged.
+        assert_eq!(fit_tile_to_budget(&s, &[4, 2], tight, &opts), vec![4, 2]);
+        // An unreachable budget floors at 2 instead of looping.
+        let impossible = AccuracyBudget::new(1e-12);
+        assert_eq!(fit_tile_to_budget(&s, &[8, 8], impossible, &opts), vec![2, 2]);
+
+        // And the planner agrees end-to-end: m = 8 is rejected under the
+        // tight budget, the demoted tile plans cleanly.
+        let tight_opts = ConvOptions { budget: Some(tight), ..opts };
+        assert!(matches!(
+            WinogradLayer::new(s.clone(), &[8, 8], tight_opts),
+            Err(PlanError::AccuracyBudget { dim: 0, m: 8 })
+        ));
+        assert!(WinogradLayer::new(s, &[4, 4], tight_opts).is_ok());
     }
 
     #[test]

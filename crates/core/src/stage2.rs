@@ -14,6 +14,7 @@
 // Index-based loops are the idiom throughout: most walk several
 // arrays with derived offsets, where iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
+
 use wino_gemm::{microkernel, MicroArgs, Output};
 use wino_sched::Executor;
 use wino_simd::{F32x16, S};
@@ -21,7 +22,7 @@ use wino_tensor::BlockedMatrices;
 
 use crate::error::{ensure_eq, WinoError};
 use crate::layout::TileMajor;
-use crate::plan::{Scratch, WinogradLayer};
+use crate::plan::{CompBufCell, Scratch, WinogradLayer};
 use crate::stage1::MutPtr;
 
 /// The per-panel body of operations ⑤⑥ — one `(t, j, i)` panel's full
@@ -49,6 +50,9 @@ pub(crate) struct Stage2Ctx<'a> {
     /// this to [`crate::ConvOptions::streaming_stores`]; the pipeline
     /// passes `false` so `y` stays cache-resident for its own stage 3.
     scatter_streaming: bool,
+    /// Per-slot buffers for the compensated reduction, present exactly
+    /// when the plan opted into [`crate::ConvOptions::compensated`].
+    cbufs: Option<&'a [CompBufCell]>,
 }
 
 impl<'a> Stage2Ctx<'a> {
@@ -62,6 +66,7 @@ impl<'a> Stage2Ctx<'a> {
         y: *mut f32,
         y_meta: &'a TileMajor,
         scatter_streaming: bool,
+        cbufs: Option<&'a [CompBufCell]>,
     ) -> Stage2Ctx<'a> {
         Stage2Ctx {
             layer,
@@ -81,6 +86,7 @@ impl<'a> Stage2Ctx<'a> {
             cp_blk: layer.block.cp_blk,
             fused: layer.opts.schedule.fuses_scatter(),
             scatter_streaming,
+            cbufs,
         }
     }
 
@@ -90,8 +96,10 @@ impl<'a> Stage2Ctx<'a> {
     /// # Safety
     /// The caller must own panel `(t, j, i)` of `x` and the corresponding
     /// tile rows of `y` — tasks of one fork–join must cover disjoint
-    /// `(t, j, i)` triples.
-    pub(crate) unsafe fn panel(&self, t: usize, j: usize, i: usize) {
+    /// `(t, j, i)` triples — and must hold thread slot `slot` (the
+    /// Executor slot contract; only the compensated path touches the
+    /// per-slot buffers).
+    pub(crate) unsafe fn panel(&self, slot: usize, t: usize, j: usize, i: usize) {
         // Per-row scatter destinations for the fused final block.
         let mut row_ptrs = [std::ptr::null_mut::<f32>(); wino_gemm::MAX_N_BLK];
         if self.fused {
@@ -104,6 +112,15 @@ impl<'a> Stage2Ctx<'a> {
                     row_ptrs[jj] = self.y.get().add(self.y_meta.vec_offset(b, og0, n, t));
                 }
             }
+        }
+
+        // High-accuracy plans reduce with Kahan compensation instead of
+        // the plain β-accumulating micro-kernel chain.
+        if let Some(cbufs) = self.cbufs {
+            // SAFETY: same panel ownership as below; slot exclusivity is
+            // the caller's contract.
+            self.compensated_panel(cbufs, slot, t, j, i, &row_ptrs);
+            return;
         }
 
         // The paper's JIT backend: dispatch to pre-compiled machine code.
@@ -180,6 +197,86 @@ impl<'a> Stage2Ctx<'a> {
             microkernel(self.n_blk, &args);
         }
     }
+
+    /// The [`crate::ConvOptions::compensated`] reduction for panel
+    /// `(t, j, i)`: each `C_blk` reduction block is multiplied into a
+    /// per-slot product buffer (β = 0) and folded into the `x` panel with
+    /// a Kahan–Neumaier compensation term, so the channel reduction's
+    /// rounding error stays O(ε) instead of O(K·ε). The fused ⑥ scatter
+    /// is done scalar from the compensated panel (the micro-kernel's
+    /// in-register scatter would bypass the compensation).
+    ///
+    /// # Safety
+    /// Same panel-ownership contract as [`Stage2Ctx::panel`], plus
+    /// exclusive use of `cbufs[slot]` (the Executor slot contract).
+    unsafe fn compensated_panel(
+        &self,
+        cbufs: &[CompBufCell],
+        slot: usize,
+        t: usize,
+        j: usize,
+        i: usize,
+        row_ptrs: &[*mut f32],
+    ) {
+        // SAFETY: the caller holds `slot`, making this buffer exclusive.
+        let buf = &mut *cbufs[slot].get();
+        let panel_len = self.n_blk * self.cp_blk;
+        let tmp = buf.tmp.as_mut_ptr();
+        let comp = &mut buf.comp.as_mut_slice()[..panel_len];
+        // SAFETY: panel (t, j, i) of x is owned by this task.
+        let x_p = self.x.get().add(self.x_meta.block_offset(i, j, t));
+
+        for k in 0..self.k_blocks {
+            let args = MicroArgs {
+                // SAFETY: block offsets in bounds by panel metadata.
+                u: self.u.as_ptr().add(self.u.block_offset(i, k, t)),
+                v: self.v.as_ptr().add(self.v.block_offset(k, j, t)),
+                x: tmp,
+                c_blk: self.c_blk,
+                cp_blk: self.cp_blk,
+                beta: false,
+                next_u: std::ptr::null(),
+                next_x: std::ptr::null(),
+                output: Output::Block,
+            };
+            // SAFETY: tmp is an exclusive panel-sized aligned buffer.
+            microkernel(self.n_blk, &args);
+            if k == 0 {
+                // SAFETY: tmp and the x panel are panel_len floats each.
+                std::ptr::copy_nonoverlapping(tmp as *const f32, x_p, panel_len);
+                comp.fill(0.0);
+            } else {
+                for e in 0..panel_len {
+                    // Kahan: fold the block product into the accumulator,
+                    // carrying the rounding remainder in `comp`.
+                    // SAFETY: e < panel_len, in bounds of tmp and x panel.
+                    let y = *tmp.add(e) - comp[e];
+                    let s = *x_p.add(e);
+                    let sum = s + y;
+                    comp[e] = (sum - s) - y;
+                    *x_p.add(e) = sum;
+                }
+            }
+        }
+
+        if self.fused {
+            // Scalar operation ⑥ for the compensated panel: each panel
+            // row scatters as cp_blk/S channel-group vectors with
+            // `group_stride` between groups (same addressing as the
+            // micro-kernel's fused scatter, minus the NT stores).
+            for (jj, &rp) in row_ptrs.iter().enumerate().take(self.n_blk) {
+                if rp.is_null() {
+                    continue;
+                }
+                for c in 0..self.cp_blk {
+                    // SAFETY: same destination addressing as the fused
+                    // micro-kernel scatter; rp spans cp_blk/S groups.
+                    *rp.add((c / S) * self.group_stride + c % S) =
+                        *x_p.add(jj * self.cp_blk + c);
+                }
+            }
+        }
+    }
 }
 
 /// Operation ⑤(+⑥): multiply transformed inputs by transformed kernels.
@@ -231,16 +328,17 @@ pub fn multiply_with(
         y_ptr,
         &scratch.y,
         layer.opts.streaming_stores,
+        scratch.comp_bufs(),
     );
     let stage_start = crate::spans::span_start();
 
-    exec.run_grid(&dims, &|_slot, flat| {
+    exec.run_grid(&dims, &|slot, flat| {
         let i = flat % row_blocks;
         let j = (flat / row_blocks) % col_blocks;
         let t = flat / (row_blocks * col_blocks);
         // SAFETY: the grid enumerates each (t, j, i) exactly once, so
-        // tasks own disjoint panels.
-        unsafe { ctx.panel(t, j, i) };
+        // tasks own disjoint panels, and `slot` is held by this task.
+        unsafe { ctx.panel(slot, t, j, i) };
     })?;
     // The unfused copy pass is still operation ⑥ — part of this stage's
     // coordinator span, so fused/unfused ablations compare like for like.
@@ -252,7 +350,47 @@ pub fn multiply_with(
     if wino_sched::fault::take_poison_stage(2) {
         scratch.y.as_mut_slice()[0] = f32::NAN;
     }
+    #[cfg(feature = "fault-inject")]
+    if let Some(kind) = wino_sched::fault::take_corruption(2) {
+        corrupt_y(scratch.y.as_mut_slice(), kind);
+    }
     Ok(())
+}
+
+/// Apply one armed corruption to the transformed-output tensor `y` —
+/// the deterministic fault model for the accuracy-sentinel tests. All
+/// three kinds keep the data *finite*, so `check_finite` cannot see
+/// them: only output verification can.
+#[cfg(feature = "fault-inject")]
+fn corrupt_y(y: &mut [f32], kind: wino_sched::fault::CorruptKind) {
+    use wino_sched::fault::CorruptKind;
+    match kind {
+        // Flip a high mantissa/exponent bit of one element: a large but
+        // finite single-element excursion (bit 27 keeps the exponent
+        // below the infinity threshold for tensor-scale values).
+        CorruptKind::BitFlip => {
+            let i = y.len() / 3;
+            y[i] = f32::from_bits(y[i].to_bits() ^ (1 << 27));
+        }
+        // Overwrite a stretch with subnormals: numerically near-zero
+        // (silently wrong results) and a throughput hazard on cores
+        // that microcode-assist denormal arithmetic.
+        CorruptKind::DenormalStorm => {
+            let n = y.len();
+            for v in y[n / 4..n / 2].iter_mut() {
+                *v = 1.0e-40;
+            }
+        }
+        // Add a finite bias to a block of elements: the classic silent
+        // data corruption — no NaN, no Inf, plausible magnitudes
+        // elsewhere, wrong answer.
+        CorruptKind::SilentBias => {
+            let n = y.len();
+            for v in y[0..n / 8].iter_mut() {
+                *v += 64.0;
+            }
+        }
+    }
 }
 
 /// The unfused alternative to operation ⑥: copy `scratch.x` into the

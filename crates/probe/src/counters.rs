@@ -1,0 +1,104 @@
+//! Always-on monotonic counters for rare, discrete events.
+//!
+//! The span substrate ([`crate::Collector`]) measures *time* and compiles
+//! out without the `enabled` feature; the numerical-robustness subsystem
+//! additionally needs to *count* things that are cheap, rare and
+//! semantically load-bearing — how many output tiles the accuracy
+//! sentinels re-verified, how many tripped, how the degradation ladder
+//! resolved them. Tests assert on these (e.g. "sample rate 0 ⇒ zero
+//! tiles checked"), so unlike spans they are compiled unconditionally:
+//! one relaxed atomic add per *sampled tile*, nothing per output element.
+//!
+//! Counters are process-global and monotonic; [`reset_all`] exists for
+//! tests and report boundaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The counted event kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Output tiles re-verified against the f64 oracle by the sentinels.
+    SentinelTilesChecked,
+    /// Sampled tiles whose relative error exceeded the predicted bound.
+    SentinelTrips,
+    /// Layers demoted to a smaller tile size after a sentinel trip.
+    SentinelDemotions,
+    /// Layers rescued by the im2col baseline after demotion also failed.
+    SentinelRescues,
+}
+
+const N: usize = 4;
+
+static COUNTERS: [AtomicU64; N] =
+    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+impl Counter {
+    /// All counters, in reporting order.
+    pub const ALL: [Counter; N] = [
+        Counter::SentinelTilesChecked,
+        Counter::SentinelTrips,
+        Counter::SentinelDemotions,
+        Counter::SentinelRescues,
+    ];
+
+    /// Stable kebab-case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SentinelTilesChecked => "sentinel-tiles-checked",
+            Counter::SentinelTrips => "sentinel-trips",
+            Counter::SentinelDemotions => "sentinel-demotions",
+            Counter::SentinelRescues => "sentinel-rescues",
+        }
+    }
+
+    fn cell(self) -> &'static AtomicU64 {
+        &COUNTERS[self as usize]
+    }
+
+    /// Add `n` to the counter.
+    pub fn add(self, n: u64) {
+        // Monotonic tally: no ordering requirement beyond atomicity.
+        self.cell().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.cell().load(Ordering::Relaxed)
+    }
+}
+
+/// Zero every counter (test scaffolding / report boundaries).
+pub fn reset_all() {
+    for c in Counter::ALL {
+        c.cell().store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_tally_and_reset() {
+        reset_all();
+        Counter::SentinelTilesChecked.add(3);
+        Counter::SentinelTilesChecked.add(2);
+        Counter::SentinelTrips.add(1);
+        assert_eq!(Counter::SentinelTilesChecked.get(), 5);
+        assert_eq!(Counter::SentinelTrips.get(), 1);
+        assert_eq!(Counter::SentinelRescues.get(), 0);
+        reset_all();
+        for c in Counter::ALL {
+            assert_eq!(c.get(), 0, "{} not reset", c.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

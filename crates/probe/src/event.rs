@@ -36,6 +36,10 @@ pub enum SpanCategory {
     /// A degradation-chain rescue re-executing a layer (e.g. numeric
     /// guard → im2col; see `wino-conv`'s failure model).
     FallbackRescue,
+    /// Accuracy-sentinel re-verification: sampled output tiles recomputed
+    /// through the f64 direct oracle and compared against the layer's
+    /// a-priori error bound.
+    SentinelVerify,
     /// The im2col baseline's input/kernel lowering pass.
     Im2colLower,
     /// The vectorised direct-convolution baseline's whole kernel.
@@ -45,7 +49,7 @@ pub enum SpanCategory {
 }
 
 /// All categories, in the order stage reports list them.
-pub const ALL_CATEGORIES: [SpanCategory; 12] = [
+pub const ALL_CATEGORIES: [SpanCategory; 13] = [
     SpanCategory::InputTransform,
     SpanCategory::KernelTransform,
     SpanCategory::ElementwiseGemm,
@@ -55,6 +59,7 @@ pub const ALL_CATEGORIES: [SpanCategory; 12] = [
     SpanCategory::BarrierWait,
     SpanCategory::ForkJoin,
     SpanCategory::FallbackRescue,
+    SpanCategory::SentinelVerify,
     SpanCategory::Im2colLower,
     SpanCategory::DirectKernel,
     SpanCategory::Other,
@@ -74,6 +79,7 @@ impl SpanCategory {
             SpanCategory::BarrierWait => "barrier-wait",
             SpanCategory::ForkJoin => "fork-join",
             SpanCategory::FallbackRescue => "fallback-rescue",
+            SpanCategory::SentinelVerify => "sentinel-verify",
             SpanCategory::Im2colLower => "im2col-lower",
             SpanCategory::DirectKernel => "direct-kernel",
             SpanCategory::Other => "other",

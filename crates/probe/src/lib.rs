@@ -55,6 +55,7 @@
 
 pub mod clock;
 pub mod collector;
+pub mod counters;
 pub mod event;
 pub mod json;
 pub mod report;
@@ -62,6 +63,7 @@ pub mod schema;
 
 pub use clock::{cycles, now_ns, tick};
 pub use collector::Collector;
+pub use counters::Counter;
 pub use event::{SpanCategory, SpanEvent, ALL_CATEGORIES, COORDINATOR};
 pub use json::{parse as parse_json, Json, ParseError};
 pub use report::{fold, BarrierStats, MachineModel, StageReport, StageRow, StageWork, WorkModel};

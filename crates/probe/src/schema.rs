@@ -10,7 +10,14 @@ use crate::event::SpanCategory;
 use crate::json::Json;
 
 /// Current schema version of emitted perf reports.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: layer entries gained accuracy fields — `max_rel_error` (measured
+/// vs. the f64 direct oracle) and `predicted_bound` (the a-priori
+/// conditioning bound) — and documents may carry a top-level `counters`
+/// object (sentinel tallies). The fields are additive, but their
+/// *presence contract* (the smoke bench must emit `max_rel_error`)
+/// changed what consumers may rely on, hence the bump.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Validate a parsed `BENCH_*.json` document. Returns every problem
 /// found (empty = valid).
@@ -52,6 +59,23 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         }
     }
 
+    // v2: an optional top-level `counters` object (sentinel tallies).
+    // When present, every counter name must be known and numeric.
+    if let Some(counters) = doc.get("counters") {
+        match counters {
+            Json::Obj(fields) => {
+                for (name, v) in fields {
+                    if !crate::Counter::ALL.iter().any(|c| c.name() == name) {
+                        errs.push(format!("counters.{name} is not a known counter"));
+                    } else if v.as_f64().is_none() {
+                        errs.push(format!("counters.{name} is not a number"));
+                    }
+                }
+            }
+            _ => errs.push("'counters' is not an object".into()),
+        }
+    }
+
     if errs.is_empty() {
         Ok(())
     } else {
@@ -69,6 +93,14 @@ fn validate_layer(i: usize, layer: &Json, errs: &mut Vec<String>) {
     for key in ["best_ms", "mean_ms", "effective_gflops", "reps"] {
         if layer.get(key).and_then(Json::as_f64).is_none() {
             errs.push(format!("{} missing or not a number", ctx(key)));
+        }
+    }
+    // v2 accuracy fields: optional, but must be numeric when present.
+    for key in ["max_rel_error", "predicted_bound"] {
+        if let Some(v) = layer.get(key) {
+            if v.as_f64().is_none() {
+                errs.push(format!("{} is not a number", ctx(key)));
+            }
         }
     }
     match layer.get("barrier") {
@@ -129,7 +161,7 @@ mod tests {
 
     fn valid_doc() -> String {
         r#"{
-          "schema_version": 1,
+          "schema_version": 2,
           "generated_by": "wino-bench perf",
           "date": "2026-08-07",
           "machine": {"peak_gflops": 100.0, "mem_bw_gbps": 20.0, "threads": 4, "simd": "avx2"},
@@ -137,6 +169,7 @@ mod tests {
             {
               "layer": "VGG 3.2", "impl": "winograd F(4x4)",
               "best_ms": 1.5, "mean_ms": 1.6, "effective_gflops": 120.0, "reps": 3,
+              "max_rel_error": 1.3e-6, "predicted_bound": 2.9e-2,
               "stages": [
                 {"stage": "elementwise-gemm", "wall_ms": 0.7, "cpu_ms": 2.1, "spans": 1,
                  "gflops": 90.0, "arith_intensity": 3.5, "bytes": 1000, "roofline_gflops": 70.0}
@@ -156,9 +189,40 @@ mod tests {
 
     #[test]
     fn rejects_wrong_version() {
-        let doc = parse(&valid_doc().replace("\"schema_version\": 1", "\"schema_version\": 2")).unwrap();
+        // v1 documents lack the accuracy contract — reject, don't coerce.
+        let doc = parse(&valid_doc().replace("\"schema_version\": 2", "\"schema_version\": 1")).unwrap();
         let errs = validate(&doc).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("schema_version")));
+    }
+
+    #[test]
+    fn counters_optional_but_checked_when_present() {
+        // Absent: fine (the minimal document has none).
+        let doc = parse(&valid_doc()).unwrap();
+        assert!(validate(&doc).is_ok());
+        // Present and well-formed: fine.
+        let with = valid_doc().replace(
+            "\"layers\": [",
+            "\"counters\": {\"sentinel-trips\": 0, \"sentinel-tiles-checked\": 12},\n\"layers\": [",
+        );
+        assert!(validate(&parse(&with).unwrap()).is_ok());
+        // Unknown counter name or non-numeric tally: rejected.
+        let bad = valid_doc()
+            .replace("\"layers\": [", "\"counters\": {\"sentinel-typos\": 1},\n\"layers\": [");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("sentinel-typos")));
+        let bad = valid_doc()
+            .replace("\"layers\": [", "\"counters\": {\"sentinel-trips\": \"no\"},\n\"layers\": [");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("sentinel-trips")));
+    }
+
+    #[test]
+    fn rejects_non_numeric_accuracy_fields() {
+        let doc = parse(&valid_doc().replace("\"max_rel_error\": 1.3e-6", "\"max_rel_error\": \"tiny\""))
+            .unwrap();
+        let errs = validate(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("max_rel_error")));
     }
 
     #[test]
@@ -174,7 +238,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_layers_and_stages() {
-        let doc = parse(r#"{"schema_version": 1, "generated_by": "x", "date": "d",
+        let doc = parse(r#"{"schema_version": 2, "generated_by": "x", "date": "d",
             "machine": {"peak_gflops": 1, "mem_bw_gbps": 1, "threads": 1, "simd": "scalar"},
             "layers": []}"#)
         .unwrap();

@@ -13,7 +13,13 @@
 //!   [`crate::SpinBarrier`] watchdog and pool poisoning;
 //! * **Poison value in stage `s` output** — consumed by the convolution
 //!   stages (`wino-conv`), which overwrite one transformed value with a
-//!   NaN, exercising the numeric guard and the im2col fallback.
+//!   NaN, exercising the numeric guard and the im2col fallback;
+//! * **Silent corruption in stage `s` output** ([`arm_corrupt`]) — the
+//!   stage perturbs its output with *finite* wrong values (a flipped
+//!   mantissa bit, a run of denormals, or an additive bias), which the
+//!   NaN/Inf guard cannot see: only the accuracy sentinels can. Armed
+//!   with a shot count so a demoted re-run can be corrupted again,
+//!   forcing the degradation ladder all the way to the im2col rescue.
 //!
 //! Because the state is global, tests that inject faults must serialise
 //! themselves (see [`test_lock`]); the workspace's fault tests take that
@@ -41,15 +47,33 @@ impl When {
     }
 }
 
+/// The flavour of finite (guard-invisible) corruption [`arm_corrupt`]
+/// injects. The concrete perturbation is applied by the consuming stage
+/// (`wino-conv`); this is only the selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Flip a high mantissa bit of one element: large, finite, local.
+    BitFlip,
+    /// Overwrite a stretch of elements with subnormals.
+    DenormalStorm,
+    /// Add a finite bias to a block of elements.
+    SilentBias,
+}
+
 #[derive(Default)]
 struct State {
     panic_at: Option<(usize, When)>,
     stall_at: Option<(usize, When, Duration)>,
     poison_stage: Option<u8>,
+    corrupt: Option<(u8, CorruptKind, u32)>,
 }
 
-static STATE: Mutex<State> =
-    Mutex::new(State { panic_at: None, stall_at: None, poison_stage: None });
+static STATE: Mutex<State> = Mutex::new(State {
+    panic_at: None,
+    stall_at: None,
+    poison_stage: None,
+    corrupt: None,
+});
 
 fn state() -> MutexGuard<'static, State> {
     STATE.lock().unwrap_or_else(|e| e.into_inner())
@@ -137,6 +161,27 @@ pub fn take_poison_stage(stage: u8) -> bool {
     }
 }
 
+/// Arm: the convolution stage numbered `stage` silently corrupts its
+/// output with `kind` on each of its next `shots` executions. Multiple
+/// shots let a test corrupt both the original forward *and* the demoted
+/// re-verification run.
+pub fn arm_corrupt(stage: u8, kind: CorruptKind, shots: u32) {
+    state().corrupt = if shots == 0 { None } else { Some((stage, kind, shots)) };
+}
+
+/// Stage hook (consumed by `wino-conv`): returns the armed corruption for
+/// `stage`, decrementing its shot count; disarms when the shots run out.
+pub fn take_corruption(stage: u8) -> Option<CorruptKind> {
+    let mut s = state();
+    match s.corrupt {
+        Some((st, kind, shots)) if st == stage => {
+            s.corrupt = if shots > 1 { Some((st, kind, shots - 1)) } else { None };
+            Some(kind)
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +194,20 @@ mod tests {
         assert!(!take_poison_stage(1), "wrong stage must not consume");
         assert!(take_poison_stage(2));
         assert!(!take_poison_stage(2), "fault disarms after firing");
+        reset();
+    }
+
+    #[test]
+    fn corruption_shots_count_down() {
+        let _g = test_lock();
+        reset();
+        arm_corrupt(2, CorruptKind::SilentBias, 2);
+        assert_eq!(take_corruption(1), None, "wrong stage must not consume");
+        assert_eq!(take_corruption(2), Some(CorruptKind::SilentBias));
+        assert_eq!(take_corruption(2), Some(CorruptKind::SilentBias));
+        assert_eq!(take_corruption(2), None, "disarms when shots run out");
+        arm_corrupt(2, CorruptKind::BitFlip, 0);
+        assert_eq!(take_corruption(2), None, "0 shots arms nothing");
         reset();
     }
 

@@ -1,0 +1,166 @@
+//! Denormal (subnormal) control: FTZ/DAZ scoped guards.
+//!
+//! Subnormal f32 operands put x86 cores into microcode assists — each
+//! affected FMA can cost 50–100× its normal latency, so a single run of
+//! denormals in a transformed tensor (e.g. deep-layer activations
+//! underflowing) can silently destroy the throughput the whole pipeline
+//! is built for. The standard DNN practice is to set the SSE control
+//! register's **FTZ** (flush-to-zero, MXCSR bit 15) and **DAZ**
+//! (denormals-are-zero, bit 6) flags: subnormal results and operands are
+//! treated as 0.0. The numeric effect is confined to magnitudes below
+//! ~1.2e-38, far under any bound the accuracy subsystem tracks.
+//!
+//! [`FlushDenormals`] is an RAII scope: engaging saves the current MXCSR
+//! and sets FTZ|DAZ, dropping restores the saved word exactly, so nested
+//! or already-engaged states round-trip. **MXCSR is per-thread state**:
+//! the guard affects only the thread that created it (and is deliberately
+//! `!Send` so it cannot be dropped on a different thread). The execution
+//! layer engages it on the coordinating thread around layer execution;
+//! pool workers inherit whatever their OS thread has — a serial executor
+//! therefore gives full coverage, a pool covers the coordinator's own
+//! share.
+//!
+//! On non-x86-64 targets the guard is a no-op with the same API.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// FTZ (bit 15) | DAZ (bit 6) of MXCSR.
+#[cfg(target_arch = "x86_64")]
+const FTZ_DAZ: u32 = 0x8000 | 0x0040;
+
+/// How many times a guard has been engaged, process-wide (observability:
+/// surfaces in perf reports and lets tests prove the guard ran).
+static ENGAGED: AtomicU64 = AtomicU64::new(0);
+
+/// Read the calling thread's MXCSR. (`_mm_getcsr` is deprecated in favour
+/// of inline assembly, so this issues `stmxcsr` directly.)
+///
+/// # Safety
+/// Always safe on x86-64: `stmxcsr` stores the per-thread control word to
+/// the given stack slot and has no other effects.
+#[cfg(target_arch = "x86_64")]
+unsafe fn read_mxcsr() -> u32 {
+    let mut csr: u32 = 0;
+    std::arch::asm!("stmxcsr [{}]", in(reg) &mut csr, options(nostack, preserves_flags));
+    csr
+}
+
+/// Write the calling thread's MXCSR via `ldmxcsr`.
+///
+/// # Safety
+/// `csr` must be a value previously read from MXCSR, possibly with FTZ/DAZ
+/// bits added — reserved bits set by software would fault (#GP).
+#[cfg(target_arch = "x86_64")]
+unsafe fn write_mxcsr(csr: u32) {
+    std::arch::asm!("ldmxcsr [{}]", in(reg) &csr, options(nostack, readonly, preserves_flags));
+}
+
+/// Scoped flush-to-zero / denormals-are-zero mode for the current thread.
+/// See the module docs for semantics and the per-thread caveat.
+pub struct FlushDenormals {
+    #[cfg(target_arch = "x86_64")]
+    saved: u32,
+    /// MXCSR is per-thread: keep the guard `!Send`/`!Sync` so the restore
+    /// in `drop` runs on the thread that engaged it.
+    _thread_bound: PhantomData<*const ()>,
+}
+
+impl FlushDenormals {
+    /// Engage FTZ|DAZ on the calling thread, returning the guard that
+    /// restores the previous MXCSR state on drop.
+    pub fn engage() -> FlushDenormals {
+        ENGAGED.fetch_add(1, Ordering::Relaxed);
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: reads/writes only the calling thread's MXCSR.
+            // Setting FTZ|DAZ on a hardware-read word cannot fault and
+            // changes only how this thread's SSE/AVX ops treat
+            // subnormals; the saved word is restored verbatim on drop,
+            // and the guard is !Send so drop runs on this same thread.
+            let saved = unsafe { read_mxcsr() };
+            // SAFETY: as above — FTZ|DAZ are architected (non-reserved)
+            // bits of a value just read from MXCSR.
+            unsafe { write_mxcsr(saved | FTZ_DAZ) };
+            FlushDenormals { saved, _thread_bound: PhantomData }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            FlushDenormals { _thread_bound: PhantomData }
+        }
+    }
+
+    /// Whether the calling thread currently flushes denormals (always
+    /// `false` on targets without MXCSR).
+    pub fn active() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: reading the calling thread's MXCSR has no effects.
+            let csr = unsafe { read_mxcsr() };
+            csr & FTZ_DAZ == FTZ_DAZ
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+}
+
+impl Drop for FlushDenormals {
+    fn drop(&mut self) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: restores the MXCSR word saved by `engage` on this same
+        // thread (the guard is !Send); writing a previously read MXCSR
+        // value is always valid.
+        unsafe {
+            write_mxcsr(self.saved)
+        };
+    }
+}
+
+/// Process-wide count of [`FlushDenormals::engage`] calls.
+pub fn engaged_count() -> u64 {
+    ENGAGED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_engages_and_restores() {
+        let before = ENGAGED.load(Ordering::Relaxed);
+        {
+            let _g = FlushDenormals::engage();
+            assert_eq!(FlushDenormals::active(), cfg!(target_arch = "x86_64"));
+            assert!(engaged_count() > before);
+        }
+        // Restored: on x86 the test-runner thread starts with denormals
+        // enabled, so `active` must be false again after the scope.
+        #[cfg(target_arch = "x86_64")]
+        assert!(!FlushDenormals::active());
+    }
+
+    #[test]
+    fn nested_guards_round_trip() {
+        let _outer = FlushDenormals::engage();
+        {
+            let _inner = FlushDenormals::engage();
+            assert_eq!(FlushDenormals::active(), cfg!(target_arch = "x86_64"));
+        }
+        // The inner drop restores the *engaged* state the outer guard set.
+        assert_eq!(FlushDenormals::active(), cfg!(target_arch = "x86_64"));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn subnormal_arithmetic_flushes_to_zero() {
+        let tiny = std::hint::black_box(1.0e-40f32); // subnormal
+        let scale = std::hint::black_box(1.0f32);
+        let unflushed = tiny * scale;
+        assert!(unflushed != 0.0, "without FTZ the product stays subnormal");
+        let _g = FlushDenormals::engage();
+        let flushed = std::hint::black_box(tiny) * std::hint::black_box(scale);
+        assert_eq!(flushed, 0.0, "DAZ zeroes the subnormal operand");
+    }
+}

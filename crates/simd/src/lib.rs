@@ -29,6 +29,9 @@
 mod alloc;
 pub use alloc::AlignedVec;
 
+pub mod denormals;
+pub use denormals::FlushDenormals;
+
 /// The vector width in `f32` lanes. The paper's `S`: the number of
 /// single-precision floats in one 512-bit register.
 pub const S: usize = 16;

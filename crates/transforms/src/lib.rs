@@ -30,12 +30,14 @@
 //! assert_eq!(plan.transform.alpha, plan.m() + plan.r() - 1);
 //! ```
 
+pub mod conditioning;
 pub mod matgen;
 pub mod pairing;
 pub mod points;
 pub mod program;
 pub mod rational;
 
+pub use conditioning::Conditioning;
 pub use matgen::{direct_correlation, F32Matrix, RatMatrix, Transform1D};
 pub use pairing::{PairNode, PairedProgram};
 pub use points::{default_points, integer_points, PointSchedule};
@@ -89,6 +91,12 @@ impl FmrPlan {
     /// Tile size `α = m + r - 1`.
     pub fn alpha(&self) -> usize {
         self.transform.alpha
+    }
+
+    /// The a-priori conditioning (worst-case error amplification) of
+    /// this transform triple — see [`Conditioning`].
+    pub fn conditioning(&self) -> Conditioning {
+        Conditioning::of(&self.transform)
     }
 }
 

@@ -36,6 +36,22 @@ run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features
 run "$TEST_TIMEOUT" env WINO_SWEEP_SEED=3523158054 \
     cargo test --offline -q --test properties differential_schedule_sweep
 
+# Accuracy gate: (a) every practical F(m, r) under both interpolation
+# point schedules must measure within its exact a-priori conditioning
+# bound (the `accuracy` binary exits non-zero on a violation); (b) the
+# three smoke layers must come through budget-driven tile selection and a
+# sentinel-sampled forward with zero trips; (c) the sentinel sample and
+# verdicts must be schedule/executor-deterministic under the pinned CI
+# seed; (d) the denormal-storm and silent-corruption regressions must be
+# caught and rescued under fault injection.
+run "$TEST_TIMEOUT" cargo run --offline --release -q -p wino-bench --bin accuracy
+run "$TEST_TIMEOUT" cargo run --offline --release -q -p wino-bench --bin accuracy -- \
+    --sentinel-smoke
+run "$TEST_TIMEOUT" env WINO_SWEEP_SEED=3523158054 \
+    cargo test --offline -q --test sentinel
+run "$TEST_TIMEOUT" cargo test --offline -q --features fault-inject \
+    --test fault_injection -- denormal_storm silent_corruption
+
 # Documentation gate: rustdoc must build warning-free (broken intra-doc
 # links are the usual regression).
 RUSTDOCFLAGS="-D warnings" run "$BUILD_TIMEOUT" cargo doc --workspace --offline --no-deps

@@ -22,13 +22,16 @@
 //! * [`workloads`] (`wino-workloads`) — the Table 2 catalogue, data
 //!   generators and metrics;
 //! * [`rng`] (`wino-rng`) — seeded PRNG for data generation and
-//!   property-style tests (no registry access required).
+//!   property-style tests (no registry access required);
+//! * [`probe`] (`wino-probe`) — stage-level observability: spans,
+//!   counters, perf-report schema.
 
 pub use wino_baseline as baseline;
 pub use wino_conv as conv;
 pub use wino_fft as fft;
 pub use wino_gemm as gemm;
 pub use wino_jit as jit;
+pub use wino_probe as probe;
 pub use wino_rng as rng;
 pub use wino_sched as sched;
 pub use wino_simd as simd;

@@ -16,7 +16,8 @@ use winograd_nd_repro::conv::{
     Activation, ConvOptions, ExecutionReport, FallbackPolicy, FallbackReason, LayerBackend,
     LayerSpec, Network, WinoError,
 };
-use winograd_nd_repro::sched::fault::{self, When};
+use winograd_nd_repro::probe::Counter;
+use winograd_nd_repro::sched::fault::{self, CorruptKind, When};
 use winograd_nd_repro::sched::{BarrierError, PoolError, SerialExecutor, StaticExecutor};
 use winograd_nd_repro::tensor::{BlockedImage, BlockedKernels, SimpleImage, SimpleKernels};
 
@@ -265,6 +266,177 @@ fn run_net_reports_attribute_fallbacks_per_layer() {
     assert_eq!(reports[1].backend, LayerBackend::WinogradMono);
     assert_eq!(reports[1].fallback, None);
     assert_close(&got, &want, 1e-4, "two-layer rescue");
+
+    fault::reset();
+}
+
+// ---------------------------------------------------------------------------
+// Silent-corruption injection vs the accuracy sentinels. These corruptions
+// are all *finite* — `check_finite` provably cannot see them — so they
+// isolate the sentinel's sampled f64 re-verification as the only detector.
+// ---------------------------------------------------------------------------
+
+/// A sentinel policy that samples every output tile, so a corruption in
+/// *any* tile is guaranteed to be seen (catch-rate tests should not be
+/// probabilistic).
+fn sentinel_all() -> FallbackPolicy {
+    FallbackPolicy::with_sentinel(u32::MAX, 0x5e97)
+}
+
+/// Worst element-wise deviation between two images (to prove an
+/// *undetected* corruption actually corrupted the output).
+fn max_abs_diff(a: &BlockedImage, b: &BlockedImage) -> f32 {
+    a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// Silent data corruption (a finite bias over part of the transformed
+/// output) trips the sentinel, and the layer is re-executed to a correct
+/// result with the trip recorded in the report. `m = [2, 2]` cannot be
+/// demoted, so the ladder goes straight to im2col.
+#[test]
+fn silent_corruption_is_caught_and_rescued() {
+    let _guard = fault::test_lock();
+
+    let reference = clean_reference(&[2, 2]);
+    for kind in [CorruptKind::SilentBias, CorruptKind::BitFlip, CorruptKind::DenormalStorm] {
+        fault::reset();
+        let exec = StaticExecutor::new(THREADS);
+        let policy = sentinel_all();
+        let mut net = test_net(&[2, 2], &policy);
+        let (input, kernels) = test_data();
+
+        let trips_before = Counter::SentinelTrips.get();
+        fault::arm_corrupt(2, kind, 1);
+        let (out, report) = net
+            .run_layer(0, &input, &kernels, &exec, &policy)
+            .unwrap_or_else(|e| panic!("{kind:?} must be rescued, not an error: {e}"));
+        assert_eq!(report.backend, LayerBackend::Im2col, "{kind:?}");
+        match report.fallback {
+            Some(FallbackReason::SentinelTrip(e)) => {
+                assert!(e.rel_err > e.bound, "{kind:?}: trip must exceed the a-priori bound");
+            }
+            other => panic!("{kind:?}: expected SentinelTrip, got {other:?}"),
+        }
+        assert!(Counter::SentinelTrips.get() > trips_before, "{kind:?}: trip counter");
+        assert_close(&out, &reference, 1e-4, &format!("{kind:?} im2col rescue"));
+    }
+    fault::reset();
+}
+
+/// Negative control: with sampling disabled the same corruption sails
+/// through undetected — wrong output, clean report, zero sentinel work.
+/// (This is what makes the sentinel's catch rate a real claim.)
+#[test]
+fn corruption_with_sampling_disabled_goes_undetected() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    let reference = clean_reference(&[2, 2]);
+    let exec = StaticExecutor::new(THREADS);
+    let policy = FallbackPolicy::default(); // sentinel.samples == 0
+    let mut net = test_net(&[2, 2], &policy);
+    let (input, kernels) = test_data();
+
+    let checked_before = Counter::SentinelTilesChecked.get();
+    let trips_before = Counter::SentinelTrips.get();
+    fault::arm_corrupt(2, CorruptKind::SilentBias, 1);
+    let (out, report) = net
+        .run_layer(0, &input, &kernels, &exec, &policy)
+        .expect("finite corruption must not error without sentinels");
+    assert_eq!(report.backend, LayerBackend::WinogradMono);
+    assert_eq!(report.fallback, None, "no detector ran, so nothing to report");
+    assert!(
+        max_abs_diff(&out, &reference) > 1.0,
+        "the corruption must actually have landed in the output"
+    );
+    assert_eq!(Counter::SentinelTilesChecked.get(), checked_before, "samples=0 checks nothing");
+    assert_eq!(Counter::SentinelTrips.get(), trips_before);
+
+    fault::reset();
+}
+
+/// One corruption shot with a demotable tile: the ladder's first rung.
+/// The re-run at `m - 2` is clean (the shot is spent), re-verifies, and
+/// the report says `WinogradDemoted` with the original trip attached.
+#[test]
+fn sentinel_trip_demotes_the_tile_and_recovers() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    let reference = clean_reference(&[4, 4]);
+    let exec = StaticExecutor::new(THREADS);
+    let policy = sentinel_all();
+    let mut net = test_net(&[4, 4], &policy);
+    let (input, kernels) = test_data();
+
+    let demotions_before = Counter::SentinelDemotions.get();
+    fault::arm_corrupt(2, CorruptKind::SilentBias, 1);
+    let (out, report) = net
+        .run_layer(0, &input, &kernels, &exec, &policy)
+        .expect("demotion must recover the layer");
+    assert_eq!(report.backend, LayerBackend::WinogradDemoted);
+    assert!(matches!(report.fallback, Some(FallbackReason::SentinelTrip(_))));
+    assert!(Counter::SentinelDemotions.get() > demotions_before);
+    assert_close(&out, &reference, 1e-4, "demoted re-run");
+
+    fault::reset();
+}
+
+/// Two corruption shots: the demoted re-run is corrupted too, so the
+/// ladder falls through its last rung to im2col — which runs no Winograd
+/// stage 2 and therefore cannot be hit by the armed fault.
+#[test]
+fn persistent_corruption_falls_through_demotion_to_im2col() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    let reference = clean_reference(&[4, 4]);
+    let exec = StaticExecutor::new(THREADS);
+    let policy = sentinel_all();
+    let mut net = test_net(&[4, 4], &policy);
+    let (input, kernels) = test_data();
+
+    let rescues_before = Counter::SentinelRescues.get();
+    fault::arm_corrupt(2, CorruptKind::SilentBias, 2);
+    let (out, report) = net
+        .run_layer(0, &input, &kernels, &exec, &policy)
+        .expect("im2col must rescue persistent corruption");
+    assert_eq!(report.backend, LayerBackend::Im2col);
+    assert!(matches!(report.fallback, Some(FallbackReason::SentinelTrip(_))));
+    assert!(Counter::SentinelRescues.get() > rescues_before);
+    assert_close(&out, &reference, 1e-4, "im2col rescue after corrupt demotion");
+
+    fault::reset();
+}
+
+/// Denormal storm under the serial executor: the coordinator thread *is*
+/// the compute thread, so the FTZ/DAZ guard engaged by the execution
+/// layer covers all stage arithmetic. The storm's subnormals are still
+/// numerically wrong (the true values they overwrote were not ~0), so
+/// the sentinel must catch them — and the FTZ guard must demonstrably
+/// have been engaged for the layer.
+#[test]
+fn denormal_storm_is_caught_under_serial_executor_with_ftz_engaged() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    let reference = clean_reference(&[2, 2]);
+    let policy = sentinel_all();
+    let mut net = test_net(&[2, 2], &policy);
+    let (input, kernels) = test_data();
+
+    let engaged_before = winograd_nd_repro::simd::denormals::engaged_count();
+    fault::arm_corrupt(2, CorruptKind::DenormalStorm, 1);
+    let (out, report) = net
+        .run_layer(0, &input, &kernels, &SerialExecutor, &policy)
+        .expect("storm must be rescued");
+    assert_eq!(report.backend, LayerBackend::Im2col);
+    assert!(matches!(report.fallback, Some(FallbackReason::SentinelTrip(_))));
+    assert!(
+        winograd_nd_repro::simd::denormals::engaged_count() > engaged_before,
+        "the execution layer must engage the FTZ/DAZ guard around the layer"
+    );
+    assert_close(&out, &reference, 1e-4, "denormal-storm rescue");
 
     fault::reset();
 }
