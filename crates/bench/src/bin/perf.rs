@@ -20,14 +20,14 @@
 //! ```
 
 use wino_bench::perf::{
-    calibrate, layer_entry, perf_document, probe_direct, probe_im2col, probe_winograd, today_utc,
-    Accuracy,
+    calibrate, layer_entry, perf_document, probe_direct, probe_execution, probe_im2col,
+    probe_winograd, today_utc, Accuracy,
 };
 use wino_bench::{
     direct_output, im2col_output, layer_truth, make_executor, max_rel_error, run_direct,
     run_im2col, run_winograd, winograd_output, Args, Measurement,
 };
-use wino_conv::ConvOptions;
+use wino_conv::{ConvOptions, ExecutionReport, LayerBackend};
 use wino_probe::{parse_json, validate_schema, Json, StageReport, SCHEMA_VERSION};
 use wino_sched::Executor;
 use wino_workloads::{scaled_catalog, tile_sweep, Layer};
@@ -112,7 +112,10 @@ fn main() {
     );
 
     let mut entries: Vec<Json> = Vec::new();
-    let mut push = |meas: &Measurement, report: Option<StageReport>, accuracy: Accuracy| {
+    let mut push = |meas: &Measurement,
+                    report: Option<StageReport>,
+                    accuracy: Accuracy,
+                    execution: Option<ExecutionReport>| {
         let Some(report) = report else {
             eprintln!("warning: no events folded for {} / {}", meas.layer, meas.implementation);
             return;
@@ -128,7 +131,7 @@ fn main() {
                 .unwrap_or_default(),
             report.to_table()
         );
-        entries.push(layer_entry(meas, &report, accuracy));
+        entries.push(layer_entry(meas, &report, accuracy, execution.as_ref()));
     };
 
     for layer in &layers {
@@ -144,14 +147,21 @@ fn main() {
             max_rel_error: err_of(&direct_output(layer, exec.as_ref())),
             predicted_bound: None,
         };
-        push(&d, probe_direct(layer, exec.as_ref(), &machine), d_acc);
+        // The direct baseline sits outside the degradation ladder — no
+        // execution provenance to report.
+        push(&d, probe_direct(layer, exec.as_ref(), &machine), d_acc, None);
 
         let i = run_im2col(layer, exec.as_ref(), reps);
         let i_acc = Accuracy {
             max_rel_error: err_of(&im2col_output(layer, exec.as_ref())),
             predicted_bound: None,
         };
-        push(&i, probe_im2col(layer, exec.as_ref(), &machine), i_acc);
+        push(
+            &i,
+            probe_im2col(layer, exec.as_ref(), &machine),
+            i_acc,
+            Some(ExecutionReport { layer: 0, backend: LayerBackend::Im2col, fallback: None }),
+        );
 
         // The best tile (by default-schedule time) is then measured under
         // every schedule — the unfused / fused-scatter / pipelined axis
@@ -172,6 +182,7 @@ fn main() {
                                 &meas,
                                 probe_winograd(layer, &m, opts, exec.as_ref(), &machine),
                                 acc,
+                                probe_execution(layer, &m, opts, exec.as_ref()),
                             );
                         }
                         None => eprintln!(

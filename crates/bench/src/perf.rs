@@ -20,7 +20,10 @@
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use wino_baseline::{direct_conv, im2col_conv};
-use wino_conv::{ConvOptions, Scratch, WinogradLayer};
+use wino_conv::{
+    Activation, ConvOptions, ExecutionReport, FallbackPolicy, LayerSpec, Network, Scratch,
+    WinogradLayer,
+};
 use wino_probe::{
     fold, Json, MachineModel, SpanCategory, StageReport, StageWork, WorkModel, SCHEMA_VERSION,
 };
@@ -236,6 +239,50 @@ pub fn probe_im2col(layer: &Layer, exec: &dyn Executor, machine: &MachineModel) 
     Some(fold(&events, &im2col_work_model(&layer.shape), machine))
 }
 
+/// One uninstrumented pass through the `Network` execution path to learn
+/// what the degradation machinery actually did for this layer — the
+/// [`ExecutionReport`] behind the row's schema-v3 `execution` object.
+/// `None` if no plan exists even under the default fallback policy.
+pub fn probe_execution(
+    layer: &Layer,
+    m: &[usize],
+    opts: ConvOptions,
+    exec: &dyn Executor,
+) -> Option<ExecutionReport> {
+    let s = &layer.shape;
+    let spec = LayerSpec {
+        out_channels: s.out_channels,
+        kernel: s.kernel_dims.clone(),
+        padding: s.padding.clone(),
+        m: m.to_vec(),
+        activation: Activation::None,
+    };
+    let policy = FallbackPolicy::default();
+    let mut net = Network::with_policy(
+        s.batch,
+        s.in_channels,
+        &s.image_dims,
+        std::slice::from_ref(&spec),
+        opts,
+        exec.threads(),
+        &policy,
+    )
+    .ok()?;
+    let (input, kernels) = layer_data(layer, 42);
+    let (_, reports) = net.run_net(&input, std::slice::from_ref(&kernels), exec, &policy).ok()?;
+    reports.into_iter().next()
+}
+
+/// The schema-v3 `execution` object of one report row: which backend
+/// produced the output and (when degraded) why.
+pub fn execution_json(report: &ExecutionReport) -> Json {
+    let mut fields = vec![("backend".into(), Json::Str(report.backend.name().to_string()))];
+    if let Some(f) = &report.fallback {
+        fields.push(("fallback".into(), Json::Str(f.code().to_string())));
+    }
+    Json::Obj(fields)
+}
+
 /// Schema-v2 accuracy columns of one report row. Both fields are
 /// optional in the schema; `Accuracy::default()` emits neither (e.g.
 /// when the oracle pass failed).
@@ -250,9 +297,15 @@ pub struct Accuracy {
 }
 
 /// One `layers[]` element of the perf-report schema: the timed
-/// measurement plus the folded stage breakdown of an instrumented pass
-/// and (schema v2) the measured-vs-predicted accuracy columns.
-pub fn layer_entry(meas: &Measurement, report: &StageReport, accuracy: Accuracy) -> Json {
+/// measurement plus the folded stage breakdown of an instrumented pass,
+/// the (schema v2) measured-vs-predicted accuracy columns and the
+/// (schema v3) execution provenance.
+pub fn layer_entry(
+    meas: &Measurement,
+    report: &StageReport,
+    accuracy: Accuracy,
+    execution: Option<&ExecutionReport>,
+) -> Json {
     let mut fields = vec![
         ("layer".into(), Json::Str(meas.layer.clone())),
         ("impl".into(), Json::Str(meas.implementation.clone())),
@@ -266,6 +319,9 @@ pub fn layer_entry(meas: &Measurement, report: &StageReport, accuracy: Accuracy)
     }
     if let Some(b) = accuracy.predicted_bound {
         fields.push(("predicted_bound".into(), Json::Num(b)));
+    }
+    if let Some(e) = execution {
+        fields.push(("execution".into(), execution_json(e)));
     }
     fields.extend([
         ("total_stage_wall_ms".into(), Json::Num(report.total_wall_ms)),
@@ -385,6 +441,14 @@ mod tests {
             ("mean_ms".into(), Json::Num(1.1)),
             ("effective_gflops".into(), Json::Num(9.0)),
             ("reps".into(), Json::Num(3.0)),
+            (
+                "execution".into(),
+                execution_json(&ExecutionReport {
+                    layer: 0,
+                    backend: wino_conv::LayerBackend::Im2col,
+                    fallback: None,
+                }),
+            ),
             ("stages".into(), Json::Arr(vec![stage])),
             (
                 "barrier".into(),

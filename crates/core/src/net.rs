@@ -86,6 +86,20 @@ pub enum LayerBackend {
     Im2col,
 }
 
+impl LayerBackend {
+    /// Stable serialization name — one of
+    /// [`wino_probe::BACKEND_NAMES`], as emitted into
+    /// `layers[i].execution.backend` of a `BENCH_*.json` report.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayerBackend::WinogradJit => "winograd-jit",
+            LayerBackend::WinogradMono => "winograd-mono",
+            LayerBackend::WinogradDemoted => "winograd-demoted",
+            LayerBackend::Im2col => "im2col",
+        }
+    }
+}
+
 /// Why a layer ran on something other than what was asked for.
 /// (`PartialEq` only: [`SentinelError`] carries measured f64 errors.)
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -102,6 +116,22 @@ pub enum FallbackReason {
     /// the layer was re-executed demoted (or via im2col — see the
     /// [`ExecutionReport::backend`]).
     SentinelTrip(SentinelError),
+}
+
+impl FallbackReason {
+    /// Stable serialization code — one of
+    /// [`wino_probe::FALLBACK_CODES`], as emitted into
+    /// `layers[i].execution.fallback` of a `BENCH_*.json` report. The
+    /// inner error detail is for `Display`, not the machine-readable
+    /// shape.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FallbackReason::JitUnavailable(_) => "jit-unavailable",
+            FallbackReason::PlanFailed(_) => "plan-failed",
+            FallbackReason::NumericGuard(_) => "numeric-guard",
+            FallbackReason::SentinelTrip(_) => "sentinel-trip",
+        }
+    }
 }
 
 impl std::fmt::Display for FallbackReason {
@@ -580,6 +610,36 @@ mod tests {
     use super::*;
     use wino_sched::SerialExecutor;
     use wino_tensor::{SimpleImage, SimpleKernels};
+
+    #[test]
+    fn serialization_names_match_schema_sets() {
+        // The schema validator (wino-probe) pins the wire names; the
+        // producers here must stay inside those sets or reports fail
+        // validation at emit time.
+        for b in
+            [LayerBackend::WinogradJit, LayerBackend::WinogradMono, LayerBackend::WinogradDemoted, LayerBackend::Im2col]
+        {
+            assert!(
+                wino_probe::BACKEND_NAMES.contains(&b.name()),
+                "{:?} serializes to unknown name {}",
+                b,
+                b.name()
+            );
+        }
+        let reasons = [
+            FallbackReason::JitUnavailable(PlanError::RankTooHigh { rank: 9 }),
+            FallbackReason::PlanFailed(PlanError::RankTooHigh { rank: 9 }),
+            FallbackReason::NumericGuard(NumericError { stage: "output", index: 0 }),
+            FallbackReason::SentinelTrip(SentinelError { unit: 0, rel_err: 1.0, bound: 0.5 }),
+        ];
+        for r in &reasons {
+            assert!(
+                wino_probe::FALLBACK_CODES.contains(&r.code()),
+                "{r:?} serializes to unknown code {}",
+                r.code()
+            );
+        }
+    }
 
     fn kernels_for(net: &Network, seed: usize) -> Vec<BlockedKernels> {
         net.layers()

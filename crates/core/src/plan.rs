@@ -137,6 +137,15 @@ pub struct ConvOptions {
     /// compensation term instead of the plain β-accumulating
     /// micro-kernel. Mono backend only.
     pub compensated: bool,
+    /// Barrier watchdog deadline for fork–join pools built on behalf of
+    /// this configuration (e.g. by the serving layer's worker executor).
+    /// `None` (the default) defers to [`wino_sched::default_deadline`] —
+    /// the `WINO_WATCHDOG_MS` environment override, or the built-in
+    /// 30 s default — so soak tests on contended CI machines can widen
+    /// the watchdog without spurious timeouts. Plans themselves never
+    /// build pools; executors constructed by callers keep whatever
+    /// deadline they were given.
+    pub watchdog: Option<std::time::Duration>,
 }
 
 impl Default for ConvOptions {
@@ -150,6 +159,7 @@ impl Default for ConvOptions {
             stage2: Stage2Backend::default(),
             budget: None,
             compensated: false,
+            watchdog: None,
         }
     }
 }

@@ -10,7 +10,10 @@
 //! one relaxed atomic add per *sampled tile*, nothing per output element.
 //!
 //! Counters are process-global and monotonic; [`reset_all`] exists for
-//! tests and report boundaries.
+//! tests and report boundaries. The serving layer (`wino-serve`) adds
+//! its own family — admission/shed tallies, batch outcomes, breaker
+//! trips, pool rebuilds and a high-water queue depth — with the same
+//! compiled-unconditionally contract: the overload gates assert on them.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -25,12 +28,36 @@ pub enum Counter {
     SentinelDemotions,
     /// Layers rescued by the im2col baseline after demotion also failed.
     SentinelRescues,
+    /// Requests accepted into the serve queue.
+    ServeAdmitted,
+    /// Requests rejected at enqueue because the queue was full.
+    ServeShedOverload,
+    /// Requests rejected with an already-expired (or expired-in-queue)
+    /// deadline.
+    ServeShedDeadline,
+    /// Requests shed at admission because the roofline service-time
+    /// estimate predicted a deadline miss.
+    ServeShedPredicted,
+    /// Batches the serve executor dispatched.
+    ServeBatches,
+    /// Batch executions that failed with a typed error (before retry
+    /// accounting — each failed attempt counts once).
+    ServeBatchFailures,
+    /// Circuit-breaker trips (each one degrades the serving ladder).
+    ServeBreakerTrips,
+    /// Circuit-breaker recoveries (consecutive successes promoted the
+    /// ladder back up one level).
+    ServeBreakerRecoveries,
+    /// Fork–join pools rebuilt after poisoning.
+    ServePoolRebuilds,
+    /// High-water mark of the serve queue depth (recorded with
+    /// [`Counter::record_max`], not [`Counter::add`]).
+    ServeQueuePeakDepth,
 }
 
-const N: usize = 4;
+const N: usize = 14;
 
-static COUNTERS: [AtomicU64; N] =
-    [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+static COUNTERS: [AtomicU64; N] = [const { AtomicU64::new(0) }; N];
 
 impl Counter {
     /// All counters, in reporting order.
@@ -39,6 +66,16 @@ impl Counter {
         Counter::SentinelTrips,
         Counter::SentinelDemotions,
         Counter::SentinelRescues,
+        Counter::ServeAdmitted,
+        Counter::ServeShedOverload,
+        Counter::ServeShedDeadline,
+        Counter::ServeShedPredicted,
+        Counter::ServeBatches,
+        Counter::ServeBatchFailures,
+        Counter::ServeBreakerTrips,
+        Counter::ServeBreakerRecoveries,
+        Counter::ServePoolRebuilds,
+        Counter::ServeQueuePeakDepth,
     ];
 
     /// Stable kebab-case name used in JSON reports.
@@ -48,6 +85,16 @@ impl Counter {
             Counter::SentinelTrips => "sentinel-trips",
             Counter::SentinelDemotions => "sentinel-demotions",
             Counter::SentinelRescues => "sentinel-rescues",
+            Counter::ServeAdmitted => "serve-admitted",
+            Counter::ServeShedOverload => "serve-shed-overload",
+            Counter::ServeShedDeadline => "serve-shed-deadline",
+            Counter::ServeShedPredicted => "serve-shed-predicted",
+            Counter::ServeBatches => "serve-batches",
+            Counter::ServeBatchFailures => "serve-batch-failures",
+            Counter::ServeBreakerTrips => "serve-breaker-trips",
+            Counter::ServeBreakerRecoveries => "serve-breaker-recoveries",
+            Counter::ServePoolRebuilds => "serve-pool-rebuilds",
+            Counter::ServeQueuePeakDepth => "serve-queue-peak-depth",
         }
     }
 
@@ -59,6 +106,13 @@ impl Counter {
     pub fn add(self, n: u64) {
         // Monotonic tally: no ordering requirement beyond atomicity.
         self.cell().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise the counter to `v` if it is currently lower (high-water
+    /// marks such as [`Counter::ServeQueuePeakDepth`]).
+    pub fn record_max(self, v: u64) {
+        // Monotonic high-water mark: atomicity is all that matters.
+        self.cell().fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
@@ -78,8 +132,16 @@ pub fn reset_all() {
 mod tests {
     use super::*;
 
+    // Counters are process-global; tests that write them must not
+    // interleave (reset_all would erase a sibling's tallies mid-assert).
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn counters_tally_and_reset() {
+        let _g = lock();
         reset_all();
         Counter::SentinelTilesChecked.add(3);
         Counter::SentinelTilesChecked.add(2);
@@ -91,6 +153,18 @@ mod tests {
         for c in Counter::ALL {
             assert_eq!(c.get(), 0, "{} not reset", c.name());
         }
+    }
+
+    #[test]
+    fn record_max_keeps_high_water() {
+        let _g = lock();
+        reset_all();
+        Counter::ServeQueuePeakDepth.record_max(5);
+        Counter::ServeQueuePeakDepth.record_max(3);
+        assert_eq!(Counter::ServeQueuePeakDepth.get(), 5, "lower value must not shrink the mark");
+        Counter::ServeQueuePeakDepth.record_max(9);
+        assert_eq!(Counter::ServeQueuePeakDepth.get(), 9);
+        reset_all();
     }
 
     #[test]

@@ -17,7 +17,28 @@ use crate::json::Json;
 /// object (sentinel tallies). The fields are additive, but their
 /// *presence contract* (the smoke bench must emit `max_rel_error`)
 /// changed what consumers may rely on, hence the bump.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: serve reports and perf reports share one document shape. Layer
+/// entries may carry an `execution` object (the serialized
+/// `ExecutionReport`: which backend produced the output and why it fell
+/// back, names from [`BACKEND_NAMES`] / [`FALLBACK_CODES`]), and a
+/// document may instead carry a top-level `serve` object (overload-test
+/// results: latency percentiles, goodput, shed and breaker tallies) —
+/// the `layers` array, previously mandatory and non-empty, is required
+/// exactly when `serve` is absent. That relaxation changes what
+/// consumers may assume about `layers`, hence the bump.
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// The stable names of `wino_conv::LayerBackend` variants as serialized
+/// into `layers[i].execution.backend` and serve `backends` tallies. The
+/// producer crates assert their `name()` methods stay inside this set.
+pub const BACKEND_NAMES: [&str; 4] =
+    ["winograd-jit", "winograd-mono", "winograd-demoted", "im2col"];
+
+/// The stable reason codes of `wino_conv::FallbackReason` as serialized
+/// into `layers[i].execution.fallback` and serve `fallbacks` tallies.
+pub const FALLBACK_CODES: [&str; 4] =
+    ["jit-unavailable", "plan-failed", "numeric-guard", "sentinel-trip"];
 
 /// Validate a parsed `BENCH_*.json` document. Returns every problem
 /// found (empty = valid).
@@ -49,14 +70,23 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         None => err("missing 'machine' object".into()),
     }
 
+    // v3: `layers` is mandatory (and non-empty) exactly when the document
+    // has no `serve` section; a serve report has no per-layer stage
+    // breakdowns but may still include layer rows if it collected them.
+    let has_serve = doc.get("serve").is_some();
     match doc.get("layers").and_then(Json::as_arr) {
-        None => err("missing 'layers' array".into()),
-        Some([]) => err("'layers' is empty".into()),
+        None if !has_serve => err("missing 'layers' array".into()),
+        Some([]) if !has_serve => err("'layers' is empty".into()),
         Some(layers) => {
             for (i, layer) in layers.iter().enumerate() {
                 validate_layer(i, layer, &mut errs);
             }
         }
+        _ => {}
+    }
+
+    if let Some(serve) = doc.get("serve") {
+        validate_serve(serve, &mut errs);
     }
 
     // v2: an optional top-level `counters` object (sentinel tallies).
@@ -102,6 +132,10 @@ fn validate_layer(i: usize, layer: &Json, errs: &mut Vec<String>) {
                 errs.push(format!("{} is not a number", ctx(key)));
             }
         }
+    }
+    // v3: optional serialized ExecutionReport.
+    if let Some(exec) = layer.get("execution") {
+        validate_execution(&ctx("execution"), exec, errs);
     }
     match layer.get("barrier") {
         None => errs.push(format!("{} missing", ctx("barrier"))),
@@ -154,6 +188,85 @@ fn validate_layer(i: usize, layer: &Json, errs: &mut Vec<String>) {
     }
 }
 
+/// A serialized `ExecutionReport`: `{backend, fallback?}` with names
+/// pinned to [`BACKEND_NAMES`] / [`FALLBACK_CODES`].
+fn validate_execution(ctx: &str, exec: &Json, errs: &mut Vec<String>) {
+    match exec.get("backend").and_then(Json::as_str) {
+        Some(name) if BACKEND_NAMES.contains(&name) => {}
+        Some(name) => errs.push(format!("{ctx}.backend '{name}' is not a known backend")),
+        None => errs.push(format!("{ctx}.backend missing or not a string")),
+    }
+    if let Some(fb) = exec.get("fallback") {
+        match fb.as_str() {
+            Some(code) if FALLBACK_CODES.contains(&code) => {}
+            Some(code) => {
+                errs.push(format!("{ctx}.fallback '{code}' is not a known fallback code"));
+            }
+            None => errs.push(format!("{ctx}.fallback is not a string")),
+        }
+    }
+}
+
+/// The v3 `serve` section: whole-run overload-test results from the
+/// open-loop load generator.
+fn validate_serve(serve: &Json, errs: &mut Vec<String>) {
+    for key in [
+        "requests",
+        "admitted",
+        "completed",
+        "failed",
+        "shed_overload",
+        "shed_deadline",
+        "shed_predicted",
+        "p50_ms",
+        "p99_ms",
+        "goodput_rps",
+        "shed_rate",
+        "breaker_trips",
+    ] {
+        if serve.get(key).and_then(Json::as_f64).is_none() {
+            errs.push(format!("serve.{key} missing or not a number"));
+        }
+    }
+    // Optional numeric columns (run parameters and extra percentiles).
+    for key in [
+        "pool_rebuilds",
+        "offered_rps",
+        "sustainable_rps",
+        "duration_s",
+        "deadline_ms",
+        "max_batch",
+        "mean_ms",
+        "p95_ms",
+    ] {
+        if let Some(v) = serve.get(key) {
+            if v.as_f64().is_none() {
+                errs.push(format!("serve.{key} is not a number"));
+            }
+        }
+    }
+    // Optional per-backend / per-fallback tallies over completed
+    // requests' execution reports.
+    for (key, known) in
+        [("backends", &BACKEND_NAMES as &[&str]), ("fallbacks", &FALLBACK_CODES as &[&str])]
+    {
+        if let Some(tally) = serve.get(key) {
+            match tally {
+                Json::Obj(fields) => {
+                    for (name, v) in fields {
+                        if !known.contains(&name.as_str()) {
+                            errs.push(format!("serve.{key}.{name} is not a known name"));
+                        } else if v.as_f64().is_none() {
+                            errs.push(format!("serve.{key}.{name} is not a number"));
+                        }
+                    }
+                }
+                _ => errs.push(format!("serve.{key} is not an object")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,7 +274,7 @@ mod tests {
 
     fn valid_doc() -> String {
         r#"{
-          "schema_version": 2,
+          "schema_version": 3,
           "generated_by": "wino-bench perf",
           "date": "2026-08-07",
           "machine": {"peak_gflops": 100.0, "mem_bw_gbps": 20.0, "threads": 4, "simd": "avx2"},
@@ -170,6 +283,7 @@ mod tests {
               "layer": "VGG 3.2", "impl": "winograd F(4x4)",
               "best_ms": 1.5, "mean_ms": 1.6, "effective_gflops": 120.0, "reps": 3,
               "max_rel_error": 1.3e-6, "predicted_bound": 2.9e-2,
+              "execution": {"backend": "winograd-mono", "fallback": "jit-unavailable"},
               "stages": [
                 {"stage": "elementwise-gemm", "wall_ms": 0.7, "cpu_ms": 2.1, "spans": 1,
                  "gflops": 90.0, "arith_intensity": 3.5, "bytes": 1000, "roofline_gflops": 70.0}
@@ -177,6 +291,26 @@ mod tests {
               "barrier": {"fork_joins": 4, "max_skew_us": 11.0, "mean_skew_us": 5.0, "total_wait_ms": 0.02}
             }
           ]
+        }"#
+        .to_string()
+    }
+
+    fn valid_serve_doc() -> String {
+        r#"{
+          "schema_version": 3,
+          "generated_by": "wino-bench serve_load",
+          "date": "2026-08-07",
+          "machine": {"peak_gflops": 100.0, "mem_bw_gbps": 20.0, "threads": 4, "simd": "avx2"},
+          "serve": {
+            "requests": 10000, "admitted": 9100, "completed": 9050, "failed": 50,
+            "shed_overload": 500, "shed_deadline": 100, "shed_predicted": 300,
+            "p50_ms": 4.2, "p99_ms": 18.9, "goodput_rps": 830.0, "shed_rate": 0.09,
+            "breaker_trips": 3, "pool_rebuilds": 1, "offered_rps": 2000.0,
+            "duration_s": 5.0, "deadline_ms": 25.0, "max_batch": 8,
+            "backends": {"winograd-mono": 9000, "im2col": 50},
+            "fallbacks": {"numeric-guard": 2}
+          },
+          "counters": {"serve-admitted": 9100, "serve-breaker-trips": 3}
         }"#
         .to_string()
     }
@@ -189,10 +323,49 @@ mod tests {
 
     #[test]
     fn rejects_wrong_version() {
-        // v1 documents lack the accuracy contract — reject, don't coerce.
-        let doc = parse(&valid_doc().replace("\"schema_version\": 2", "\"schema_version\": 1")).unwrap();
+        // v2 documents lack the serve/layers contract — reject, don't coerce.
+        let doc = parse(&valid_doc().replace("\"schema_version\": 3", "\"schema_version\": 2")).unwrap();
         let errs = validate(&doc).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("schema_version")));
+    }
+
+    #[test]
+    fn serve_document_validates_without_layers() {
+        let doc = parse(&valid_serve_doc()).unwrap();
+        validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn serve_section_is_field_checked() {
+        // A required serve column missing.
+        let bad = valid_serve_doc().replace("\"p99_ms\": 18.9, ", "");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("serve.p99_ms")), "{errs:?}");
+        // Non-numeric required column.
+        let bad = valid_serve_doc().replace("\"shed_rate\": 0.09", "\"shed_rate\": \"low\"");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("serve.shed_rate")));
+        // Unknown backend tally name.
+        let bad = valid_serve_doc().replace("\"im2col\": 50", "\"abacus\": 50");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("serve.backends.abacus")));
+        // Unknown fallback tally name.
+        let bad = valid_serve_doc().replace("\"numeric-guard\": 2", "\"cosmic-rays\": 2");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("serve.fallbacks.cosmic-rays")));
+    }
+
+    #[test]
+    fn execution_object_is_name_checked() {
+        let bad = valid_doc().replace("winograd-mono", "winograd-warp");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not a known backend")), "{errs:?}");
+        let bad = valid_doc().replace("jit-unavailable", "jit-on-vacation");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not a known fallback code")));
+        // `fallback` is optional: an execution object without one is fine.
+        let ok = valid_doc().replace(", \"fallback\": \"jit-unavailable\"", "");
+        validate(&parse(&ok).unwrap()).unwrap();
     }
 
     #[test]
@@ -238,12 +411,18 @@ mod tests {
 
     #[test]
     fn rejects_empty_layers_and_stages() {
-        let doc = parse(r#"{"schema_version": 2, "generated_by": "x", "date": "d",
+        let doc = parse(r#"{"schema_version": 3, "generated_by": "x", "date": "d",
             "machine": {"peak_gflops": 1, "mem_bw_gbps": 1, "threads": 1, "simd": "scalar"},
             "layers": []}"#)
         .unwrap();
         let errs = validate(&doc).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("'layers' is empty")));
+        // And a document with neither layers nor serve is rejected.
+        let doc = parse(r#"{"schema_version": 3, "generated_by": "x", "date": "d",
+            "machine": {"peak_gflops": 1, "mem_bw_gbps": 1, "threads": 1, "simd": "scalar"}}"#)
+        .unwrap();
+        let errs = validate(&doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("missing 'layers'")));
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub use probed::ProbedExecutor;
 pub use barrier::{BarrierError, SpinBarrier, SpinBarrierIn};
 pub use grid::{GridPartition, TaskBox};
 pub use handoff::JobExitLatch;
-pub use pool::{PoolError, ThreadPool, DEFAULT_DEADLINE};
+pub use pool::{default_deadline, PoolError, ThreadPool, DEFAULT_DEADLINE};

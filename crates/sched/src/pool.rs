@@ -42,6 +42,23 @@ use crate::handoff::JobExitLatch;
 /// noise on an oversubscribed machine.
 pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
 
+/// The process-wide default watchdog deadline: `WINO_WATCHDOG_MS`
+/// (a positive integer, milliseconds) when set and parseable, otherwise
+/// [`DEFAULT_DEADLINE`]. Read on every call — pool construction is rare,
+/// and not caching keeps the override testable — and used by
+/// [`ThreadPool::new`] so long soaks on contended CI machines can widen
+/// the watchdog without code changes. An explicit
+/// [`ThreadPool::with_deadline`] always wins over the environment.
+pub fn default_deadline() -> Duration {
+    match std::env::var("WINO_WATCHDOG_MS") {
+        Ok(ms) => match ms.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Duration::from_millis(ms),
+            _ => DEFAULT_DEADLINE,
+        },
+        Err(_) => DEFAULT_DEADLINE,
+    }
+}
+
 /// Why a fork–join failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PoolError {
@@ -174,12 +191,13 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Create a pool of `n_threads` total participants (including the
     /// calling thread), so `n_threads - 1` OS threads are spawned, with
-    /// the default watchdog deadline.
+    /// the default watchdog deadline ([`default_deadline`] — the
+    /// `WINO_WATCHDOG_MS` environment override, or [`DEFAULT_DEADLINE`]).
     ///
     /// # Panics
     /// Panics if `n_threads == 0`.
     pub fn new(n_threads: usize) -> ThreadPool {
-        ThreadPool::with_deadline(n_threads, DEFAULT_DEADLINE)
+        ThreadPool::with_deadline(n_threads, default_deadline())
     }
 
     /// As [`ThreadPool::new`] with an explicit barrier watchdog deadline.
@@ -229,6 +247,18 @@ impl ThreadPool {
     /// Whether the pool has been disabled by a barrier failure.
     pub fn is_dead(&self) -> bool {
         self.dead.load(Ordering::Acquire)
+    }
+
+    /// Active liveness probe: one empty fork–join across every
+    /// participant. `Ok(())` proves each worker is parked at the start
+    /// barrier and able to complete a round trip within the watchdog
+    /// deadline; `Err` is the same typed failure [`ThreadPool::run`]
+    /// would report (`Unusable` for an already-dead pool, `Barrier` for a
+    /// participant that has silently died since the last job). Long-lived
+    /// servers call this after a pool-level failure to decide whether the
+    /// pool must be rebuilt.
+    pub fn health_check(&self) -> Result<(), PoolError> {
+        self.run(|_| {})
     }
 
     fn mark_dead(&self) {
@@ -655,6 +685,40 @@ mod tests {
         // Give the workers a moment to observe the poison and exit.
         std::thread::sleep(Duration::from_millis(50));
         drop(pool); // start.wait_deadline errors; handles are detached
+    }
+
+    #[test]
+    fn health_check_reports_liveness() {
+        let pool = ThreadPool::new(3);
+        pool.health_check().unwrap();
+        // Still usable for real work afterwards.
+        pool.run(|_| {}).unwrap();
+        // A dead pool fails the probe with the typed unusable error.
+        pool.mark_dead();
+        assert_eq!(pool.health_check(), Err(PoolError::Unusable));
+    }
+
+    #[test]
+    fn watchdog_env_override_and_default() {
+        // Serialised against other env-sensitive logic by using a value
+        // far above every deadline used in this suite: a concurrently
+        // constructed pool only ever gets a *longer* watchdog.
+        std::env::set_var("WINO_WATCHDOG_MS", "120000");
+        assert_eq!(default_deadline(), Duration::from_millis(120_000));
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.deadline(), Duration::from_millis(120_000));
+        pool.run(|_| {}).unwrap();
+        drop(pool);
+        // Unparseable and non-positive values fall back to the default.
+        std::env::set_var("WINO_WATCHDOG_MS", "not-a-number");
+        assert_eq!(default_deadline(), DEFAULT_DEADLINE);
+        std::env::set_var("WINO_WATCHDOG_MS", "0");
+        assert_eq!(default_deadline(), DEFAULT_DEADLINE);
+        // Unset: the default path (also what every other test exercises).
+        std::env::remove_var("WINO_WATCHDOG_MS");
+        assert_eq!(default_deadline(), DEFAULT_DEADLINE);
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.deadline(), DEFAULT_DEADLINE);
     }
 
     #[test]

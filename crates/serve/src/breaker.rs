@@ -1,0 +1,154 @@
+//! Circuit breaker over the serving degradation ladder.
+//!
+//! Classic breakers are open/closed: trip and reject everything until a
+//! probe succeeds. That is the wrong shape for this engine, because the
+//! engine *has* cheaper, more robust rungs to stand on — the
+//! monomorphised stage-2 kernels when the JIT misbehaves, and the im2col
+//! baseline when the Winograd pipeline itself is implicated. The breaker
+//! therefore walks [`DegradeLevel`] one rung at a time: consecutive
+//! batch failures demote, a run of consecutive successes promotes.
+//! Rejection only happens when even the bottom rung fails the batcher's
+//! bounded retries.
+
+use std::time::Duration;
+
+use crate::DegradeLevel;
+
+/// Tunables for the breaker and the batcher's in-batch retry loop.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive batch failures before demoting one rung.
+    pub trip_threshold: u32,
+    /// Consecutive batch successes before promoting one rung.
+    pub recovery_threshold: u32,
+    /// Bounded retries *within* one batch before its requests fail.
+    pub max_retries: u32,
+    /// Base backoff between in-batch retries (scaled linearly by the
+    /// attempt number).
+    pub backoff: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_threshold: 2,
+            recovery_threshold: 16,
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Failure-streak tracker owning the current [`DegradeLevel`]. Single
+/// writer (the batcher thread); snapshots are published separately.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    level: DegradeLevel,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            level: DegradeLevel::Full,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+        }
+    }
+
+    /// The rung the next batch should execute at.
+    pub fn level(&self) -> DegradeLevel {
+        self.level
+    }
+
+    /// Record a successful batch; `true` if the streak promoted the
+    /// ladder one rung (a recovery).
+    pub fn on_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        self.consecutive_successes += 1;
+        if self.consecutive_successes >= self.cfg.recovery_threshold {
+            if let Some(up) = self.level.promoted() {
+                self.level = up;
+                self.consecutive_successes = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Record a failed batch attempt; `true` if the streak tripped the
+    /// breaker (demoted the ladder one rung).
+    pub fn on_failure(&mut self) -> bool {
+        self.consecutive_successes = 0;
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.cfg.trip_threshold {
+            if let Some(down) = self.level.degraded() {
+                self.level = down;
+                self.consecutive_failures = 0;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(trip: u32, recover: u32) -> BreakerConfig {
+        BreakerConfig { trip_threshold: trip, recovery_threshold: recover, ..Default::default() }
+    }
+
+    #[test]
+    fn failure_streak_walks_the_ladder_down() {
+        let mut b = CircuitBreaker::new(cfg(2, 4));
+        assert_eq!(b.level(), DegradeLevel::Full);
+        assert!(!b.on_failure());
+        assert!(b.on_failure(), "second consecutive failure trips");
+        assert_eq!(b.level(), DegradeLevel::Mono);
+        assert!(!b.on_failure());
+        assert!(b.on_failure());
+        assert_eq!(b.level(), DegradeLevel::Im2col);
+        // At the bottom the streak keeps counting but never trips again.
+        assert!(!b.on_failure());
+        assert!(!b.on_failure());
+        assert_eq!(b.level(), DegradeLevel::Im2col);
+    }
+
+    #[test]
+    fn success_streak_recovers_one_rung_at_a_time() {
+        let mut b = CircuitBreaker::new(cfg(1, 3));
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.level(), DegradeLevel::Im2col);
+        assert!(!b.on_success());
+        assert!(!b.on_success());
+        assert!(b.on_success(), "third consecutive success recovers");
+        assert_eq!(b.level(), DegradeLevel::Mono);
+        // An intervening failure resets the success streak.
+        assert!(b.on_failure());
+        assert_eq!(b.level(), DegradeLevel::Im2col);
+        b.on_success();
+        b.on_success();
+        assert!(b.on_success());
+        b.on_success();
+        b.on_success();
+        assert!(b.on_success());
+        assert_eq!(b.level(), DegradeLevel::Full, "full recovery possible");
+        // At the top, success streaks never promote past Full.
+        assert!(!b.on_success());
+    }
+
+    #[test]
+    fn failure_resets_success_streak_and_vice_versa() {
+        let mut b = CircuitBreaker::new(cfg(2, 2));
+        b.on_failure();
+        assert!(!b.on_success(), "success clears the failure streak");
+        assert!(!b.on_failure(), "single failure after success does not trip");
+        assert_eq!(b.level(), DegradeLevel::Full);
+    }
+}

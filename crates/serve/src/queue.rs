@@ -1,0 +1,329 @@
+//! Bounded deadline queue and the per-request response slot.
+//!
+//! The queue is the back-pressure boundary: `DeadlineQueue::push`
+//! never blocks and never buffers beyond `capacity` — a full queue is an
+//! immediate typed rejection, which is the whole point of admission
+//! control (the alternative, an unbounded queue, converts overload into
+//! unbounded latency and memory growth).
+//!
+//! Each admitted request owns a `Slot`: a one-shot, idempotent
+//! rendezvous the batcher resolves exactly once. Resolution is
+//! *guaranteed* — `Pending`'s `Drop` resolves the slot with
+//! [`ServeError::ShutDown`] if nothing else did, so a request can never
+//! be leaked into an eternally-blocked [`Ticket::wait`], even if the
+//! batcher thread unwinds mid-batch.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use wino_tensor::BlockedImage;
+
+use crate::{DegradeLevel, ServeError, ServeReport, ServeResponse};
+
+/// One-shot response rendezvous between the batcher and a waiter.
+pub(crate) struct Slot {
+    state: Mutex<Option<ServeResponse>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    pub(crate) fn new() -> Arc<Slot> {
+        Arc::new(Slot { state: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    /// Resolve the slot if it is still empty (idempotent: the first
+    /// resolution wins; later ones are dropped).
+    pub(crate) fn resolve(&self, resp: ServeResponse) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.is_none() {
+            *st = Some(resp);
+            self.cv.notify_all();
+        }
+    }
+
+    fn take_blocking(&self) -> ServeResponse {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(resp) = st.take() {
+                return resp;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn take_timeout(&self, timeout: Duration) -> Option<ServeResponse> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(resp) = st.take() {
+                return Some(resp);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = g;
+        }
+    }
+}
+
+/// Handle to one submitted request. Obtained from
+/// [`crate::Server::submit`]; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    slot: Arc<Slot>,
+    request_id: u64,
+}
+
+impl Ticket {
+    pub(crate) fn new(slot: Arc<Slot>, request_id: u64) -> Ticket {
+        Ticket { slot, request_id }
+    }
+
+    /// The server-assigned request id (matches
+    /// [`ServeReport::request_id`]).
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// Block until the request resolves. Termination is guaranteed:
+    /// every admitted request is resolved by the batcher, the shutdown
+    /// drain, or the queue entry's own drop guard.
+    pub fn wait(self) -> ServeResponse {
+        self.slot.take_blocking()
+    }
+
+    /// As [`Ticket::wait`] with a timeout; `None` if the request has
+    /// not resolved yet (the ticket remains redeemable).
+    pub fn wait_for(&self, timeout: Duration) -> Option<ServeResponse> {
+        self.slot.take_timeout(timeout)
+    }
+}
+
+/// A queued request, owned by the queue and then by the batcher.
+pub(crate) struct Pending {
+    pub(crate) id: u64,
+    /// Single-image input (`batch == 1`, validated at submit).
+    pub(crate) input: BlockedImage,
+    pub(crate) enqueued: Instant,
+    pub(crate) deadline: Instant,
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl Pending {
+    /// Resolve with an explicit outcome (idempotent via the slot).
+    pub(crate) fn resolve(
+        &self,
+        output: Result<BlockedImage, ServeError>,
+        report: ServeReport,
+    ) {
+        self.slot.resolve(ServeResponse { output, report });
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        // Last-resort guarantee: a request dropped unresolved (batcher
+        // unwind, shutdown drain) still terminates its waiter with a
+        // typed error instead of leaking a forever-blocked Ticket.
+        self.slot.resolve(ServeResponse {
+            output: Err(ServeError::ShutDown),
+            report: ServeReport::unserved(self.id, DegradeLevel::Full),
+        });
+    }
+}
+
+struct Inner {
+    q: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+/// Bounded MPSC queue with batch-oriented consumption.
+pub(crate) struct DeadlineQueue {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+/// Why a push was rejected.
+pub(crate) enum PushReject {
+    /// Queue at capacity.
+    Full { depth: usize },
+    /// Shutdown already initiated.
+    ShutDown,
+}
+
+impl DeadlineQueue {
+    pub(crate) fn new(capacity: usize) -> DeadlineQueue {
+        DeadlineQueue {
+            inner: Mutex::new(Inner { q: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue; `Ok(depth after push)` or an immediate typed rejection.
+    pub(crate) fn push(&self, p: Pending) -> Result<usize, PushReject> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.shutdown {
+            return Err(PushReject::ShutDown);
+        }
+        if g.q.len() >= self.capacity {
+            return Err(PushReject::Full { depth: g.q.len() });
+        }
+        g.q.push_back(p);
+        let depth = g.q.len();
+        self.cv.notify_all();
+        Ok(depth)
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).q.len()
+    }
+
+    /// Flag shutdown and wake the batcher. Requests already queued are
+    /// still served (drain semantics); new pushes are rejected.
+    pub(crate) fn begin_shutdown(&self) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Remove everything still queued (post-join cleanup when the
+    /// batcher died early; dropping the entries resolves their slots).
+    pub(crate) fn drain_remaining(&self) -> Vec<Pending> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.q.drain(..).collect()
+    }
+
+    /// Collect the next batch: blocks until at least one request is
+    /// queued, then keeps the batch open for at most `max_age` (measured
+    /// from pickup) or until `max_batch` requests have been coalesced.
+    /// Returns `None` only at shutdown with an empty queue.
+    pub(crate) fn pop_batch(&self, max_batch: usize, max_age: Duration) -> Option<Vec<Pending>> {
+        let max_batch = max_batch.max(1);
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // Wait for the first request (or shutdown of an empty queue).
+        loop {
+            if !g.q.is_empty() {
+                break;
+            }
+            if g.shutdown {
+                return None;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        let mut batch = Vec::with_capacity(max_batch);
+        let opened = Instant::now();
+        let closes = opened + max_age;
+        loop {
+            while batch.len() < max_batch {
+                match g.q.pop_front() {
+                    Some(p) => batch.push(p),
+                    None => break,
+                }
+            }
+            if batch.len() >= max_batch || g.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= closes {
+                break;
+            }
+            let (g2, _) = self
+                .cv
+                .wait_timeout(g, closes - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = g2;
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(id: u64) -> Pending {
+        let now = Instant::now();
+        Pending {
+            id,
+            input: BlockedImage::zeros(1, 16, &[2, 2]).unwrap(),
+            enqueued: now,
+            deadline: now + Duration::from_secs(10),
+            slot: Slot::new(),
+        }
+    }
+
+    #[test]
+    fn capacity_zero_rejects_every_push() {
+        let q = DeadlineQueue::new(0);
+        match q.push(pending(1)) {
+            Err(PushReject::Full { depth }) => assert_eq!(depth, 0),
+            _ => panic!("capacity-0 queue must reject with Full"),
+        }
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn push_after_shutdown_is_rejected() {
+        let q = DeadlineQueue::new(4);
+        q.begin_shutdown();
+        assert!(matches!(q.push(pending(1)), Err(PushReject::ShutDown)));
+    }
+
+    #[test]
+    fn pop_batch_closes_on_size() {
+        let q = DeadlineQueue::new(8);
+        for i in 0..5 {
+            q.push(pending(i)).ok().unwrap();
+        }
+        // max_age of an hour: the size trigger must close the batch.
+        let b = q.pop_batch(3, Duration::from_secs(3600)).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(q.depth(), 2);
+        let b = q.pop_batch(3, Duration::ZERO).unwrap();
+        assert_eq!(b.len(), 2, "age 0 closes with whatever is queued");
+    }
+
+    #[test]
+    fn pop_batch_returns_none_only_when_drained_at_shutdown() {
+        let q = DeadlineQueue::new(8);
+        q.push(pending(1)).ok().unwrap();
+        q.begin_shutdown();
+        let b = q.pop_batch(4, Duration::ZERO).unwrap();
+        assert_eq!(b.len(), 1, "queued work is drained, not dropped");
+        assert!(q.pop_batch(4, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn dropped_pending_resolves_its_ticket_with_shutdown() {
+        let p = pending(7);
+        let ticket = Ticket::new(p.slot.clone(), 7);
+        drop(p);
+        let resp = ticket.wait();
+        assert!(matches!(resp.output, Err(ServeError::ShutDown)));
+        assert_eq!(resp.report.request_id, 7);
+    }
+
+    #[test]
+    fn slot_resolution_is_first_write_wins() {
+        let p = pending(3);
+        let ticket = Ticket::new(p.slot.clone(), 3);
+        p.resolve(
+            Err(ServeError::DeadlineExceeded { missed_by_ms: 1.0 }),
+            ServeReport::unserved(3, DegradeLevel::Full),
+        );
+        drop(p); // drop guard must NOT overwrite the explicit resolution
+        let resp = ticket.wait();
+        assert!(matches!(resp.output, Err(ServeError::DeadlineExceeded { .. })));
+    }
+}

@@ -1,0 +1,774 @@
+//! The serving core: submit-side admission control and the batcher
+//! thread.
+//!
+//! The core is deliberately synchronous — one batcher thread owns the
+//! executor, the plan cache and the breaker, so the failure domain is a
+//! single loop whose every exit path resolves the requests it holds.
+//! Concurrency lives at the edges: any number of producer threads call
+//! [`Server::submit`]; each gets back a [`Ticket`] it can block on.
+//!
+//! Fault containment layers, outermost first:
+//!
+//! 1. worker panics and barrier timeouts are absorbed by the fork–join
+//!    pool ([`wino_sched::PoolError`]) and surface as typed
+//!    [`WinoError::Pool`] batch failures;
+//! 2. a batch failure resolves *only that batch's* requests
+//!    ([`ServeError::Failed`]) after bounded in-batch retries;
+//! 3. the pool is health-checked after every failure and rebuilt if
+//!    poisoned;
+//! 4. failure streaks trip the [`CircuitBreaker`] down the
+//!    [`DegradeLevel`] ladder — and success streaks climb back up;
+//! 5. if the batcher itself unwinds, every queued request's drop guard
+//!    resolves its ticket with [`ServeError::ShutDown`] — no waiter is
+//!    ever leaked.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wino_conv::{
+    Activation, ExecutionReport, FallbackPolicy, LayerBackend, Network, Stage2Backend, WinoError,
+};
+use wino_probe::Counter;
+use wino_sched::{default_deadline, Executor, PoolError, SerialExecutor, StaticExecutor};
+use wino_tensor::{BlockedImage, BlockedKernels, ShapeError};
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::model::{suggested_max_batch, ModelSpec, ServiceModel};
+use crate::queue::{DeadlineQueue, Pending, PushReject, Slot, Ticket};
+use crate::{DegradeLevel, ServeError, ServeReport};
+
+/// Serving configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bounded queue capacity; a full queue sheds with
+    /// [`ServeError::Overloaded`]. Capacity 0 is legal and sheds every
+    /// request — useful for drain/maintenance modes.
+    pub queue_capacity: usize,
+    /// Batch ceiling; `0` derives it from the blocking model
+    /// ([`suggested_max_batch`]).
+    pub max_batch: usize,
+    /// How long the batcher holds an open batch waiting for co-riders.
+    pub max_batch_age: Duration,
+    /// Worker threads (1 ⇒ serial executor, no pool to poison).
+    pub threads: usize,
+    /// Admission-control oracle; `None` disables predictive shedding
+    /// (capacity and deadline shedding remain).
+    pub service: Option<ServiceModel>,
+    /// Breaker and retry tunables.
+    pub breaker: BreakerConfig,
+    /// Execution-time fallback policy threaded into the engine.
+    pub policy: FallbackPolicy,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            queue_capacity: 64,
+            max_batch: 0,
+            max_batch_age: Duration::from_millis(2),
+            threads: 1,
+            service: None,
+            breaker: BreakerConfig::default(),
+            policy: FallbackPolicy::default(),
+        }
+    }
+}
+
+/// Internal per-server tallies (monotonic atomics; also mirrored into
+/// the process-global [`Counter`] family for the probe reports).
+#[derive(Default)]
+struct Stats {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_predicted: AtomicU64,
+    batches: AtomicU64,
+    batch_failures: AtomicU64,
+    breaker_trips: AtomicU64,
+    breaker_recoveries: AtomicU64,
+    pool_rebuilds: AtomicU64,
+    peak_depth: AtomicU64,
+}
+
+impl Stats {
+    fn bump(&self, cell: &AtomicU64, counter: Counter) {
+        // Monotonic tallies: atomicity suffices.
+        cell.fetch_add(1, Ordering::Relaxed);
+        counter.add(1);
+    }
+}
+
+/// A point-in-time snapshot of a server's tallies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests offered to [`Server::submit`] (including rejected ones).
+    pub submitted: u64,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests resolved with an output.
+    pub completed: u64,
+    /// Requests resolved with [`ServeError::Failed`].
+    pub failed: u64,
+    /// Shed at enqueue: queue full.
+    pub shed_overload: u64,
+    /// Shed with an expired deadline (at enqueue or in the queue).
+    pub shed_deadline: u64,
+    /// Shed by predictive admission control.
+    pub shed_predicted: u64,
+    /// Batch execution attempts dispatched.
+    pub batches: u64,
+    /// Batch attempts that failed (before retry accounting).
+    pub batch_failures: u64,
+    /// Breaker trips (ladder demotions).
+    pub breaker_trips: u64,
+    /// Breaker recoveries (ladder promotions).
+    pub breaker_recoveries: u64,
+    /// Fork–join pools rebuilt after poisoning.
+    pub pool_rebuilds: u64,
+    /// High-water queue depth.
+    pub peak_depth: u64,
+    /// Ladder rung the breaker currently stands on.
+    pub level: DegradeLevel,
+}
+
+struct Shared {
+    queue: DeadlineQueue,
+    /// Images currently being executed by the batcher (admission
+    /// estimates count them as queue-ahead work).
+    in_flight: AtomicUsize,
+    /// Published breaker level (`DegradeLevel as u8`).
+    level: AtomicU8,
+    stats: Stats,
+}
+
+/// An inference server over one [`ModelSpec`]. See the crate docs for
+/// the pipeline; construct with [`Server::start`], stop with
+/// [`Server::shutdown`] (or drop, which shuts down without draining
+/// stats).
+pub struct Server {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+    next_id: AtomicU64,
+    service: Option<ServiceModel>,
+    max_batch: usize,
+    max_batch_age: Duration,
+    in_channels: usize,
+    image_dims: Vec<usize>,
+}
+
+impl Server {
+    /// Validate the spec (a batch-1 plan must exist under `opts.policy`),
+    /// then spawn the batcher thread.
+    pub fn start(
+        spec: ModelSpec,
+        kernels: Vec<BlockedKernels>,
+        opts: ServeOptions,
+    ) -> Result<Server, WinoError> {
+        if spec.layers.is_empty() {
+            return Err(WinoError::Unsupported("serving an empty layer stack"));
+        }
+        if kernels.len() != spec.layers.len() {
+            return Err(WinoError::LayerCount { expected: spec.layers.len(), got: kernels.len() });
+        }
+        let threads = opts.threads.max(1);
+        let max_batch = if opts.max_batch == 0 {
+            suggested_max_batch(&spec, threads).map_err(WinoError::Shape)?
+        } else {
+            opts.max_batch
+        };
+        // Fail fast on ill-formed geometry: if no batch-1 plan exists
+        // even under the fallback policy, serving can never succeed.
+        Network::with_policy(
+            1,
+            spec.in_channels,
+            &spec.image_dims,
+            &spec.layers,
+            spec.opts,
+            threads,
+            &opts.policy,
+        )
+        .map_err(WinoError::Plan)?;
+
+        let shared = Arc::new(Shared {
+            queue: DeadlineQueue::new(opts.queue_capacity),
+            in_flight: AtomicUsize::new(0),
+            level: AtomicU8::new(DegradeLevel::Full as u8),
+            stats: Stats::default(),
+        });
+        let in_channels = spec.in_channels;
+        let image_dims = spec.image_dims.clone();
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let policy = opts.policy;
+            let breaker = opts.breaker;
+            let age = opts.max_batch_age;
+            std::thread::Builder::new()
+                .name("wino-serve-batcher".into())
+                .spawn(move || {
+                    batcher_main(shared, spec, kernels, policy, breaker, threads, max_batch, age)
+                })
+                .expect("spawning the batcher thread")
+        };
+        Ok(Server {
+            shared,
+            worker: Some(worker),
+            next_id: AtomicU64::new(1),
+            service: opts.service,
+            max_batch,
+            max_batch_age: opts.max_batch_age,
+            in_channels,
+            image_dims,
+        })
+    }
+
+    /// Submit one image with a relative deadline.
+    pub fn submit(&self, input: BlockedImage, deadline: Duration) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(input, Instant::now() + deadline)
+    }
+
+    /// Submit one image with an absolute deadline. Sheds immediately —
+    /// with a typed error and no ticket — when the queue is full, the
+    /// deadline has already passed, or admission control predicts a
+    /// miss.
+    pub fn submit_with_deadline(
+        &self,
+        input: BlockedImage,
+        deadline: Instant,
+    ) -> Result<Ticket, ServeError> {
+        let stats = &self.shared.stats;
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.check_shape(&input)?;
+        let now = Instant::now();
+        if deadline <= now {
+            stats.bump(&stats.shed_deadline, Counter::ServeShedDeadline);
+            return Err(ServeError::DeadlineExceeded {
+                missed_by_ms: (now - deadline).as_secs_f64() * 1e3,
+            });
+        }
+        if let Some(svc) = &self.service {
+            let queued = self.shared.queue.depth() + self.shared.in_flight.load(Ordering::Relaxed);
+            let estimated_ms = svc.drain_ms(queued, self.max_batch)
+                + self.max_batch_age.as_secs_f64() * 1e3;
+            let budget_ms = (deadline - now).as_secs_f64() * 1e3;
+            if estimated_ms > budget_ms {
+                stats.bump(&stats.shed_predicted, Counter::ServeShedPredicted);
+                return Err(ServeError::PredictedMiss { estimated_ms, budget_ms });
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Slot::new();
+        let pending =
+            Pending { id, input, enqueued: now, deadline, slot: Arc::clone(&slot) };
+        match self.shared.queue.push(pending) {
+            Ok(depth) => {
+                stats.bump(&stats.admitted, Counter::ServeAdmitted);
+                stats.peak_depth.fetch_max(depth as u64, Ordering::Relaxed);
+                Counter::ServeQueuePeakDepth.record_max(depth as u64);
+                Ok(Ticket::new(slot, id))
+            }
+            Err(PushReject::Full { depth }) => {
+                stats.bump(&stats.shed_overload, Counter::ServeShedOverload);
+                Err(ServeError::Overloaded { depth, capacity: self.shared.queue.capacity() })
+            }
+            Err(PushReject::ShutDown) => Err(ServeError::ShutDown),
+        }
+    }
+
+    fn check_shape(&self, input: &BlockedImage) -> Result<(), ServeError> {
+        let fail = |e: ShapeError| Err(ServeError::Failed(Arc::new(WinoError::Shape(e))));
+        if input.batch != 1 {
+            return fail(ShapeError::Mismatch {
+                what: "request batch",
+                expected: 1,
+                got: input.batch,
+            });
+        }
+        if input.channels != self.in_channels {
+            return fail(ShapeError::Mismatch {
+                what: "request channels",
+                expected: self.in_channels,
+                got: input.channels,
+            });
+        }
+        if input.dims.len() != self.image_dims.len() {
+            return fail(ShapeError::RankMismatch {
+                expected: self.image_dims.len(),
+                got: input.dims.len(),
+            });
+        }
+        for (&want, &got) in self.image_dims.iter().zip(&input.dims) {
+            if want != got {
+                return fail(ShapeError::Mismatch {
+                    what: "request image extent",
+                    expected: want,
+                    got,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Current queue depth (requests waiting, not counting in-flight).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// The ladder rung the breaker currently stands on.
+    pub fn level(&self) -> DegradeLevel {
+        DegradeLevel::from_u8(self.shared.level.load(Ordering::Relaxed))
+    }
+
+    /// The resolved batch ceiling.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Snapshot the tallies.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared.stats;
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServeStats {
+            submitted: get(&s.submitted),
+            admitted: get(&s.admitted),
+            completed: get(&s.completed),
+            failed: get(&s.failed),
+            shed_overload: get(&s.shed_overload),
+            shed_deadline: get(&s.shed_deadline),
+            shed_predicted: get(&s.shed_predicted),
+            batches: get(&s.batches),
+            batch_failures: get(&s.batch_failures),
+            breaker_trips: get(&s.breaker_trips),
+            breaker_recoveries: get(&s.breaker_recoveries),
+            pool_rebuilds: get(&s.pool_rebuilds),
+            peak_depth: get(&s.peak_depth),
+            level: self.level(),
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, serve everything already
+    /// queued, join the batcher, and return the final tallies. Requests
+    /// left unresolved by an early batcher death resolve as
+    /// [`ServeError::ShutDown`].
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        self.shared.queue.begin_shutdown();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+        // If the batcher died before draining, dropping the leftovers
+        // resolves their tickets (drop guard).
+        drop(self.shared.queue.drain_remaining());
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The batcher's executor: serial when `threads == 1` (nothing to
+/// poison), otherwise a static fork–join pool that can be health-checked
+/// and rebuilt.
+enum WorkerExec {
+    Serial,
+    Pool { exec: StaticExecutor, threads: usize, watchdog: Duration },
+}
+
+impl WorkerExec {
+    fn new(threads: usize, watchdog: Duration) -> WorkerExec {
+        if threads <= 1 {
+            WorkerExec::Serial
+        } else {
+            WorkerExec::Pool {
+                exec: StaticExecutor::with_deadline(threads, watchdog),
+                threads,
+                watchdog,
+            }
+        }
+    }
+
+    fn executor(&self) -> &dyn Executor {
+        match self {
+            WorkerExec::Serial => &SerialExecutor,
+            WorkerExec::Pool { exec, .. } => exec,
+        }
+    }
+
+    /// Probe pool health after a failure; rebuild if poisoned. Returns
+    /// `true` when a rebuild happened.
+    fn heal(&mut self) -> bool {
+        match self {
+            WorkerExec::Serial => false,
+            WorkerExec::Pool { exec, threads, watchdog } => {
+                if exec.pool().is_dead() || exec.pool().health_check().is_err() {
+                    *exec = StaticExecutor::with_deadline(*threads, *watchdog);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Plan cache + degraded execution paths. Owned by the batcher thread.
+struct Engine {
+    spec: ModelSpec,
+    kernels: Vec<BlockedKernels>,
+    policy: FallbackPolicy,
+    threads: usize,
+    /// Cached network plans keyed by `(batch, ladder rung)`; the im2col
+    /// rung bypasses `Network` entirely.
+    plans: HashMap<(usize, u8), Network>,
+}
+
+impl Engine {
+    fn new(
+        spec: ModelSpec,
+        kernels: Vec<BlockedKernels>,
+        policy: FallbackPolicy,
+        threads: usize,
+    ) -> Engine {
+        Engine { spec, kernels, policy, threads, plans: HashMap::new() }
+    }
+
+    fn run(
+        &mut self,
+        input: &BlockedImage,
+        level: DegradeLevel,
+        exec: &dyn Executor,
+    ) -> Result<(BlockedImage, Vec<ExecutionReport>), WinoError> {
+        match level {
+            DegradeLevel::Full | DegradeLevel::Mono => {
+                let net = match self.plans.entry((input.batch, level as u8)) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let mut opts = self.spec.opts;
+                        if level == DegradeLevel::Mono {
+                            opts.stage2 = Stage2Backend::Mono;
+                        }
+                        v.insert(
+                            Network::with_policy(
+                                input.batch,
+                                self.spec.in_channels,
+                                &self.spec.image_dims,
+                                &self.spec.layers,
+                                opts,
+                                self.threads,
+                                &self.policy,
+                            )
+                            .map_err(WinoError::Plan)?,
+                        )
+                    }
+                };
+                net.run_net(input, &self.kernels, exec, &self.policy)
+            }
+            DegradeLevel::Im2col => self.run_im2col(input, exec),
+        }
+    }
+
+    /// The bottom rung: chain the layers through the im2col baseline,
+    /// applying activations by hand. No Winograd machinery at all.
+    fn run_im2col(
+        &self,
+        input: &BlockedImage,
+        exec: &dyn Executor,
+    ) -> Result<(BlockedImage, Vec<ExecutionReport>), WinoError> {
+        let shapes = self.spec.shapes(input.batch).map_err(WinoError::Shape)?;
+        let mut reports = Vec::with_capacity(shapes.len());
+        let mut cur = input.clone();
+        for (i, (shape, kern)) in shapes.iter().zip(&self.kernels).enumerate() {
+            let mut out = BlockedImage::zeros(input.batch, shape.out_channels, &shape.out_dims())
+                .map_err(WinoError::Shape)?;
+            wino_baseline::im2col_conv(&cur, kern, &shape.padding, &mut out, exec)
+                .map_err(WinoError::Pool)?;
+            if self.spec.layers[i].activation == Activation::Relu {
+                for v in out.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
+            }
+            reports.push(ExecutionReport {
+                layer: i,
+                backend: LayerBackend::Im2col,
+                fallback: None,
+            });
+            cur = out;
+        }
+        Ok((cur, reports))
+    }
+}
+
+/// Copy single-image requests into one contiguous batch (the blocked
+/// layout is batch-outermost, so each image is one contiguous chunk of
+/// `channels × spatial` floats).
+fn assemble(batch: &[Pending], channels: usize, dims: &[usize]) -> BlockedImage {
+    let mut img = BlockedImage::zeros(batch.len(), channels, dims)
+        .expect("geometry validated at submit");
+    let chunk = channels * img.spatial_volume();
+    let dst = img.as_mut_slice();
+    for (i, p) in batch.iter().enumerate() {
+        dst[i * chunk..(i + 1) * chunk].copy_from_slice(p.input.as_slice());
+    }
+    img
+}
+
+/// Slice image `i` back out of a batched output.
+fn split_one(out: &BlockedImage, i: usize) -> BlockedImage {
+    let mut img = BlockedImage::zeros(1, out.channels, &out.dims)
+        .expect("output geometry is valid by construction");
+    let chunk = out.channels * out.spatial_volume();
+    img.as_mut_slice().copy_from_slice(&out.as_slice()[i * chunk..(i + 1) * chunk]);
+    img
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[allow(clippy::too_many_arguments)] // spawn-boundary plumbing: every argument is distinct server state
+fn batcher_main(
+    shared: Arc<Shared>,
+    spec: ModelSpec,
+    kernels: Vec<BlockedKernels>,
+    policy: FallbackPolicy,
+    breaker_cfg: BreakerConfig,
+    threads: usize,
+    max_batch: usize,
+    max_age: Duration,
+) {
+    let watchdog = spec.opts.watchdog.unwrap_or_else(default_deadline);
+    let channels = spec.in_channels;
+    let dims = spec.image_dims.clone();
+    let mut exec = WorkerExec::new(threads, watchdog);
+    let mut engine = Engine::new(spec, kernels, policy, threads);
+    let mut breaker = CircuitBreaker::new(breaker_cfg);
+    let mut batch_id: u64 = 0;
+    let stats = &shared.stats;
+
+    while let Some(batch) = shared.queue.pop_batch(max_batch, max_age) {
+        // Shed requests whose deadline expired while they queued.
+        let now = Instant::now();
+        let (live, expired): (Vec<Pending>, Vec<Pending>) =
+            batch.into_iter().partition(|p| p.deadline > now);
+        for p in expired {
+            stats.bump(&stats.shed_deadline, Counter::ServeShedDeadline);
+            let mut report = ServeReport::unserved(p.id, breaker.level());
+            report.queue_wait_ms = ms(now - p.enqueued);
+            report.total_ms = report.queue_wait_ms;
+            p.resolve(
+                Err(ServeError::DeadlineExceeded { missed_by_ms: ms(now - p.deadline) }),
+                report,
+            );
+        }
+        if live.is_empty() {
+            continue;
+        }
+
+        shared.in_flight.store(live.len(), Ordering::Relaxed);
+        batch_id += 1;
+        let assembled = assemble(&live, channels, &dims);
+        let dispatch = Instant::now();
+        let mut retries: u32 = 0;
+        let outcome = loop {
+            let level = breaker.level();
+            stats.bump(&stats.batches, Counter::ServeBatches);
+            // The pool already converts worker panics into typed
+            // errors; this catch_unwind is the coordinator-side belt to
+            // that suspender — a panic on the batcher thread itself
+            // (e.g. from injected coordinator faults) must degrade into
+            // a typed batch failure, not an abandoned queue.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                engine.run(&assembled, level, exec.executor())
+            }))
+            .unwrap_or_else(|_| {
+                Err(WinoError::Pool(PoolError::Panicked {
+                    panics: vec![(0, "serve batcher panicked".into())],
+                }))
+            });
+            match attempt {
+                Ok((out, reports)) => {
+                    if breaker.on_success() {
+                        stats.bump(&stats.breaker_recoveries, Counter::ServeBreakerRecoveries);
+                    }
+                    break Ok((out, reports, level));
+                }
+                Err(e) => {
+                    stats.bump(&stats.batch_failures, Counter::ServeBatchFailures);
+                    if breaker.on_failure() {
+                        stats.bump(&stats.breaker_trips, Counter::ServeBreakerTrips);
+                    }
+                    shared.level.store(breaker.level() as u8, Ordering::Relaxed);
+                    if exec.heal() {
+                        stats.bump(&stats.pool_rebuilds, Counter::ServePoolRebuilds);
+                    }
+                    if retries >= breaker_cfg.max_retries {
+                        break Err((e, level));
+                    }
+                    retries += 1;
+                    std::thread::sleep(breaker_cfg.backoff * retries);
+                }
+            }
+        };
+        shared.level.store(breaker.level() as u8, Ordering::Relaxed);
+        let service_ms = ms(dispatch.elapsed());
+
+        let make_report = |p: &Pending, level: DegradeLevel, layers: Vec<ExecutionReport>| {
+            let finish = Instant::now();
+            ServeReport {
+                request_id: p.id,
+                batch_id: Some(batch_id),
+                batch_size: live.len(),
+                queue_wait_ms: ms(dispatch - p.enqueued),
+                service_ms,
+                total_ms: ms(finish - p.enqueued),
+                deadline_met: finish <= p.deadline && !layers.is_empty(),
+                level,
+                retries,
+                layers,
+            }
+        };
+        match outcome {
+            Ok((out, reports, level)) => {
+                for (i, p) in live.iter().enumerate() {
+                    stats.completed.fetch_add(1, Ordering::Relaxed);
+                    p.resolve(
+                        Ok(split_one(&out, i)),
+                        make_report(p, level, reports.clone()),
+                    );
+                }
+            }
+            Err((e, level)) => {
+                let e = Arc::new(e);
+                for p in live.iter() {
+                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                    p.resolve(
+                        Err(ServeError::Failed(Arc::clone(&e))),
+                        make_report(p, level, Vec::new()),
+                    );
+                }
+            }
+        }
+        shared.in_flight.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_conv::LayerSpec;
+    use wino_tensor::SimpleKernels;
+
+    fn spec_1layer() -> ModelSpec {
+        ModelSpec::new(16, vec![6, 6], vec![LayerSpec::same(16, 2, 3, 2)])
+    }
+
+    fn kernels_for(spec: &ModelSpec) -> Vec<BlockedKernels> {
+        spec.shapes(1)
+            .unwrap()
+            .iter()
+            .map(|s| {
+                let k = SimpleKernels::from_fn(
+                    s.out_channels,
+                    s.in_channels,
+                    &s.kernel_dims,
+                    |co, ci, xy| ((co * 7 + ci * 3 + xy.iter().sum::<usize>()) % 13) as f32 * 0.05,
+                );
+                BlockedKernels::from_simple(&k).unwrap()
+            })
+            .collect()
+    }
+
+    fn input() -> BlockedImage {
+        let mut img = BlockedImage::zeros(1, 16, &[6, 6]).unwrap();
+        for (i, v) in img.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i % 17) as f32 - 8.0) * 0.1;
+        }
+        img
+    }
+
+    #[test]
+    fn serves_one_request_end_to_end() {
+        let spec = spec_1layer();
+        let kernels = kernels_for(&spec);
+        let server = Server::start(spec, kernels, ServeOptions::default()).unwrap();
+        let t = server.submit(input(), Duration::from_secs(30)).unwrap();
+        let resp = t.wait();
+        let out = resp.output.expect("healthy server must serve");
+        assert_eq!((out.batch, out.channels, out.dims.as_slice()), (1, 16, &[6, 6][..]));
+        assert!(resp.report.deadline_met);
+        assert_eq!(resp.report.layers.len(), 1);
+        assert_eq!(resp.report.level, DegradeLevel::Full);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn im2col_rung_matches_winograd_rung() {
+        let spec = spec_1layer();
+        let kernels = kernels_for(&spec);
+        let mut engine = Engine::new(spec, kernels, FallbackPolicy::default(), 1);
+        let img = input();
+        let (full, _) = engine.run(&img, DegradeLevel::Full, &SerialExecutor).unwrap();
+        let (base, reports) = engine.run(&img, DegradeLevel::Im2col, &SerialExecutor).unwrap();
+        assert_eq!(reports[0].backend, LayerBackend::Im2col);
+        let max_err = full
+            .as_slice()
+            .iter()
+            .zip(base.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-3, "ladder rungs disagree: max abs err {max_err}");
+    }
+
+    #[test]
+    fn batch_assembly_round_trips() {
+        let mut a = BlockedImage::zeros(1, 16, &[2, 2]).unwrap();
+        let mut b = BlockedImage::zeros(1, 16, &[2, 2]).unwrap();
+        a.as_mut_slice().fill(1.0);
+        b.as_mut_slice().fill(2.0);
+        let now = Instant::now();
+        let mk = |img: BlockedImage, id| Pending {
+            id,
+            input: img,
+            enqueued: now,
+            deadline: now + Duration::from_secs(1),
+            slot: Slot::new(),
+        };
+        let batch = vec![mk(a, 1), mk(b, 2)];
+        let asm = assemble(&batch, 16, &[2, 2]);
+        assert_eq!(asm.batch, 2);
+        let back0 = split_one(&asm, 0);
+        let back1 = split_one(&asm, 1);
+        assert!(back0.as_slice().iter().all(|&v| v == 1.0));
+        assert!(back1.as_slice().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn rejects_mismatched_request_shapes() {
+        let spec = spec_1layer();
+        let kernels = kernels_for(&spec);
+        let server = Server::start(spec, kernels, ServeOptions::default()).unwrap();
+        let wrong = BlockedImage::zeros(1, 32, &[6, 6]).unwrap();
+        match server.submit(wrong, Duration::from_secs(1)) {
+            Err(ServeError::Failed(e)) => {
+                assert!(matches!(*e, WinoError::Shape(_)), "got {e}")
+            }
+            other => panic!("expected shape failure, got {other:?}", other = other.err()),
+        }
+        let wrong_rank = BlockedImage::zeros(1, 16, &[6, 6, 6]).unwrap();
+        assert!(server.submit(wrong_rank, Duration::from_secs(1)).is_err());
+    }
+}

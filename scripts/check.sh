@@ -68,4 +68,18 @@ run "$ANALYZE_TIMEOUT" cargo run --offline --release -q -p wino-analyze --bin wi
 # that validates against the versioned schema (docs/bench-schema.md).
 scripts/bench.sh --smoke
 
+# Serving gate: a fault-injected overload soak — ≥10k requests fired at
+# ~2× the measured sustainable rate, with worker panics, barrier stalls
+# and poisoned stages armed throughout the first half. The binary itself
+# asserts the robustness contract (zero escaped panics, every request
+# resolved to a typed outcome, conservation of tallies, breaker trips
+# AND full recovery, pool rebuilds, admitted p99 within deadline) and
+# exits non-zero on any violation; the emitted BENCH_serve.json must
+# then validate against the same versioned schema as the perf reports.
+run "$TEST_TIMEOUT" cargo run --offline --release -q -p wino-bench \
+    --features fault-inject --bin serve_load -- \
+    --soak --requests 10000 --out target/BENCH_serve.json
+run "$TEST_TIMEOUT" cargo run --offline --release -q -p wino-bench --bin perf -- \
+    --validate target/BENCH_serve.json
+
 echo "All checks passed."

@@ -24,7 +24,10 @@
 //! * [`rng`] (`wino-rng`) — seeded PRNG for data generation and
 //!   property-style tests (no registry access required);
 //! * [`probe`] (`wino-probe`) — stage-level observability: spans,
-//!   counters, perf-report schema.
+//!   counters, perf-report schema;
+//! * [`serve`] (`wino-serve`) — overload-safe inference serving:
+//!   deadline-aware batching, admission control, circuit-breaker
+//!   degradation.
 
 pub use wino_baseline as baseline;
 pub use wino_conv as conv;
@@ -34,6 +37,7 @@ pub use wino_jit as jit;
 pub use wino_probe as probe;
 pub use wino_rng as rng;
 pub use wino_sched as sched;
+pub use wino_serve as serve;
 pub use wino_simd as simd;
 pub use wino_tensor as tensor;
 pub use wino_transforms as transforms;
