@@ -41,7 +41,68 @@ fn seed_mxcsr(csr: u32) {
     unsafe { std::arch::asm!("ldmxcsr [{}]", in(reg) &csr) }
 }
 
+// seed 8: drop guard with an early return before the state write
+// (drop-guard-protocol)
+
+// PROTOCOL: drop-guard
+struct SeedGuard {
+    state: std::sync::atomic::AtomicUsize,
+    armed: bool,
+}
+impl Drop for SeedGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.state.store(1, std::sync::atomic::Ordering::Release);
+    }
+}
+
+// seed 9: tagged guard type with no Drop impl at all (drop-guard-protocol)
+
+// PROTOCOL: drop-guard
+struct SeedLeakyGuard {
+    state: std::sync::atomic::AtomicUsize,
+}
+
+// seed 10: blocking call while a spin-lock guard is live
+// (no-blocking-under-lock, when linted as crates/sched or crates/serve)
+fn seed_block_under_lock(q: &SomeQueue) {
+    let _g = q.acquire();
+    let _ = q.take_blocking();
+}
+
 // ---- decoys: none of these may fire ----
+
+// PROTOCOL: drop-guard
+struct DecoyGuard {
+    state: std::sync::atomic::AtomicUsize,
+}
+impl Drop for DecoyGuard {
+    fn drop(&mut self) {
+        // The state write dominates every exit: straight-line, first.
+        self.state.store(1, std::sync::atomic::Ordering::Release);
+    }
+}
+
+/// Decoy: mentions the PROTOCOL: drop-guard idiom in prose — a comment
+/// that does not *start* with the tag is not a tag.
+fn decoy_drop_guard_prose() {}
+
+fn decoy_lock_scoped(q: &SomeQueue) {
+    {
+        let _g = q.acquire();
+        q.len();
+    }
+    // Guard released with its block: blocking here is fine.
+    let _ = q.take_blocking();
+}
+
+fn decoy_blocking_justified(q: &SomeQueue) {
+    let _g = q.acquire();
+    // BLOCKING: bounded by the batch-age watchdog; single consumer.
+    let _ = q.take_timeout(std::time::Duration::from_millis(1));
+}
 
 fn decoy_annotated() {
     let p: *const u32 = std::ptr::null();

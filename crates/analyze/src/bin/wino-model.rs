@@ -1,12 +1,21 @@
-//! `wino-model` — deterministic model checker for the `wino-sched`
-//! synchronisation substrate. Runs every scenario in
-//! `wino_analyze::model::scenarios::all()` under bounded-exhaustive DFS
-//! plus a seeded-random sweep, and verifies that (a) every shipped
-//! algorithm holds its invariant across all explored interleavings and
-//! (b) both re-injected PR-1 bugs are caught.
+//! `wino-model` — deterministic model checker for the `wino-sched` and
+//! `wino-serve` synchronisation substrate. Runs scenarios from
+//! `wino_analyze::model::scenarios::all()` under bounded-exhaustive DFS,
+//! DPOR, and a seeded-random sweep, and verifies that (a) every shipped
+//! algorithm holds its invariant across all explored interleavings,
+//! (b) every re-injected bug is caught, and (c) DPOR never explores more
+//! interleavings than plain DFS.
 //!
 //! Usage:
 //!   wino-model [--execs N] [--random N] [--seed S] [--min-interleavings N]
+//!              [--scenario NAME]... [--list] [--json]
+//!
+//! `--scenario` may repeat; a scenario is selected if its name equals the
+//! argument or starts with it (`--scenario serve-` selects the serve
+//! suite). `--seed` defaults to `WINO_MODEL_SEED` (else 0x5EED), mirroring
+//! the `WINO_SWEEP_SEED` convention. `--json` emits one machine-readable
+//! verdict object per line (consumed by `scripts/analyze.sh`) instead of
+//! the human report.
 //!
 //! Exit status: 0 iff every expectation held.
 
@@ -18,8 +27,14 @@ use wino_analyze::model::{scenarios, Config};
 fn main() -> ExitCode {
     let mut max_execs: u64 = 20_000;
     let mut random_execs: u64 = 2_000;
-    let mut seed: u64 = 0x5EED;
+    let mut seed: u64 = std::env::var("WINO_MODEL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED);
     let mut min_interleavings: u64 = 0;
+    let mut filters: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut take = |name: &str| -> Option<u64> {
@@ -48,37 +63,104 @@ fn main() -> ExitCode {
                 Some(v) => min_interleavings = v,
                 None => return ExitCode::from(2),
             },
+            "--scenario" => match args.next() {
+                Some(v) => filters.push(v),
+                None => {
+                    eprintln!("wino-model: --scenario needs a name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => list = true,
+            "--json" => json = true,
             _ => {
                 eprintln!(
                     "usage: wino-model [--execs N] [--random N] [--seed S] \
-                     [--min-interleavings N]"
+                     [--min-interleavings N] [--scenario NAME]... [--list] [--json]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
 
+    let selected: Vec<_> = scenarios::all()
+        .into_iter()
+        .filter(|sc| {
+            filters.is_empty()
+                || filters.iter().any(|f| sc.name == f.as_str() || sc.name.starts_with(f.as_str()))
+        })
+        .collect();
+    if list {
+        for sc in &selected {
+            println!(
+                "{:28} {}",
+                sc.name,
+                if sc.expect_violation { "expect-violation" } else { "expect-clean" }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if selected.is_empty() {
+        eprintln!("wino-model: no scenario matches {filters:?} (try --list)");
+        return ExitCode::from(2);
+    }
+
     let t0 = Instant::now();
     let mut failed = false;
     let mut total_execs: u64 = 0;
-    for sc in scenarios::all() {
+    for sc in &selected {
         let t = Instant::now();
-        // Bounded-exhaustive first; for shipped-correct scenarios also do
-        // a seeded-random sweep (different schedules once the DFS bound
-        // truncates the tree).
-        let ex = (sc.run)(&Config::exhaustive(max_execs));
-        total_execs += ex.executions;
-        let mut verdicts = vec![report_line("dfs", &ex)];
-        let mut violated = !ex.ok();
-        if !violated && !sc.expect_violation && random_execs > 0 {
+        // Bounded-exhaustive DFS, then DPOR under the same bound (the
+        // reduction must agree on the verdict and never explore more);
+        // for shipped-correct scenarios also a seeded-random sweep
+        // (different schedules once the DFS bound truncates the tree).
+        let dfs = (sc.run)(&Config::exhaustive(max_execs));
+        let dpor = (sc.run)(&Config::dpor(max_execs));
+        total_execs += dfs.executions + dpor.executions;
+        let mut verdicts = vec![report_line("dfs", &dfs), report_line("dpor", &dpor)];
+        let dfs_violated = !dfs.ok();
+        let dpor_violated = !dpor.ok();
+        let mut why = Vec::new();
+        if dfs_violated != sc.expect_violation {
+            why.push("dfs verdict");
+        }
+        if dpor_violated != sc.expect_violation {
+            why.push("dpor verdict");
+        }
+        // DPOR ≤ DFS: only meaningful when both ran the invariant to the
+        // end — a violation stops exploration at an order-dependent point.
+        if !sc.expect_violation && dpor.executions > dfs.executions {
+            why.push("dpor explored more than dfs");
+        }
+        let mut rnd_execs = 0;
+        if !sc.expect_violation && !dfs_violated && random_execs > 0 {
             let rn = (sc.run)(&Config::random(seed, random_execs));
             total_execs += rn.executions;
-            violated = !rn.ok();
+            rnd_execs = rn.executions;
+            if !rn.ok() {
+                why.push("random sweep verdict");
+            }
             verdicts.push(report_line("rnd", &rn));
         }
-        let ok = violated == sc.expect_violation;
+        let ok = why.is_empty();
         if !ok {
             failed = true;
+        }
+        if json {
+            println!(
+                "{{\"scenario\":\"{}\",\"ok\":{},\"expect_violation\":{},\"dfs_execs\":{},\
+                 \"dfs_complete\":{},\"dpor_execs\":{},\"dpor_complete\":{},\
+                 \"random_execs\":{},\"why\":\"{}\"}}",
+                sc.name,
+                ok,
+                sc.expect_violation,
+                dfs.executions,
+                dfs.complete,
+                dpor.executions,
+                dpor.complete,
+                rnd_execs,
+                why.join("; "),
+            );
+            continue;
         }
         println!(
             "{} {:28} {} ({:?})",
@@ -88,24 +170,36 @@ fn main() -> ExitCode {
             t.elapsed()
         );
         if !ok {
+            println!("     failed checks: {}", why.join("; "));
             if sc.expect_violation {
                 println!("     expected the checker to find the re-injected bug, but it did not");
-            } else if let Some(v) = ex.violation.as_ref() {
+            } else if let Some(v) = dfs.violation.as_ref().or(dpor.violation.as_ref()) {
                 println!("     violation: {}", v.message);
                 println!("     schedule: {:?}", v.schedule);
             }
         }
     }
-    println!(
-        "wino-model: {total_execs} interleavings explored in {:?}",
-        t0.elapsed()
-    );
     if min_interleavings > 0 && total_execs < min_interleavings {
         eprintln!(
             "wino-model: only {total_execs} interleavings explored \
              (required >= {min_interleavings})"
         );
         failed = true;
+    }
+    if json {
+        println!(
+            "{{\"summary\":true,\"scenarios\":{},\"failed\":{},\"total_interleavings\":{},\
+             \"seed\":{}}}",
+            selected.len(),
+            failed,
+            total_execs,
+            seed,
+        );
+    } else {
+        println!(
+            "wino-model: {total_execs} interleavings explored in {:?}",
+            t0.elapsed()
+        );
     }
     if failed {
         ExitCode::FAILURE

@@ -155,12 +155,13 @@ mod tests {
         let vs = crate::rules::lint_file("crates/sched/src/violations.rs", &src);
         let rules_hit: std::collections::BTreeSet<&str> = vs.iter().map(|v| v.rule).collect();
         for r in ["unsafe-needs-safety", "relaxed-needs-ordering", "no-static-mut",
-                  "no-transmute-outside-simd-jit", "allow-needs-rationale"] {
+                  "no-transmute-outside-simd-jit", "allow-needs-rationale",
+                  "drop-guard-protocol", "no-blocking-under-lock"] {
             assert!(rules_hit.contains(r), "fixture did not trip {r}; hit: {rules_hit:?}");
         }
         // And the decoys (violating text inside strings/comments/idents)
         // must NOT fire: exactly one violation per seeded site.
-        assert_eq!(vs.len(), 7, "unexpected violation set:\n{}",
+        assert_eq!(vs.len(), 10, "unexpected violation set:\n{}",
             vs.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n"));
     }
 }

@@ -1,7 +1,26 @@
 //! The schedule explorer: cooperative execution of virtual threads with
-//! one-at-a-time scheduling, plus bounded-exhaustive (DFS + replay) and
-//! seeded-random enumeration of scheduling choices.
+//! one-at-a-time scheduling, plus three enumeration strategies over the
+//! scheduling choices —
+//!
+//! * **Exhaustive**: bounded-depth-first enumeration of every choice,
+//!   replaying a forced prefix per execution;
+//! * **Dpor**: the same DFS scaled by dynamic partial-order reduction
+//!   (persistent/backtrack sets computed from observed access
+//!   dependences, plus sleep sets to cut redundant branches) — visits at
+//!   least one interleaving per Mazurkiewicz trace class, so every
+//!   distinguishable final state, deadlock, and panic that plain DFS can
+//!   reach is still reached (see `docs/analyze.md` for the soundness
+//!   argument);
+//! * **Random**: seeded schedule sampling via `wino-rng`.
+//!
+//! Every shim-atomic access announces *what it is about to do* — the
+//! object (shim word address) and whether it writes — at its yield
+//! point. Because a yield happens **before** the access executes, the
+//! controller always knows the pending access of every runnable thread
+//! at choice time, which is exactly the information DPOR's dependence
+//! relation needs.
 
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -22,6 +41,11 @@ pub enum Mode {
     /// forced prefix per execution. Complete when the tree is exhausted
     /// within `max_execs`.
     Exhaustive,
+    /// DFS scaled by dynamic partial-order reduction: only schedules
+    /// that can differ in some access ordering are explored. Complete
+    /// coverage of distinguishable states with (usually far) fewer
+    /// executions than [`Mode::Exhaustive`].
+    Dpor,
     /// `max_execs` schedules with choices drawn from `wino-rng` seeded
     /// with `seed` (one derived stream per execution: reproducible).
     Random { seed: u64 },
@@ -30,6 +54,9 @@ pub enum Mode {
 impl Config {
     pub fn exhaustive(max_execs: u64) -> Config {
         Config { max_execs, max_steps: 100_000, mode: Mode::Exhaustive }
+    }
+    pub fn dpor(max_execs: u64) -> Config {
+        Config { max_execs, max_steps: 100_000, mode: Mode::Dpor }
     }
     pub fn random(seed: u64, execs: u64) -> Config {
         Config { max_execs: execs, max_steps: 100_000, mode: Mode::Random { seed } }
@@ -42,8 +69,8 @@ pub enum Outcome<T> {
     Done(T),
     /// The thread panicked inside scenario/substrate code.
     Panicked(String),
-    /// The execution was aborted (deadlock or step budget) while this
-    /// thread was still running.
+    /// The execution was aborted (deadlock, step budget, or DPOR
+    /// redundancy prune) while this thread was still running.
     Aborted,
 }
 
@@ -65,6 +92,9 @@ pub struct ExecResult<T> {
     pub deadlocked: bool,
     /// The per-execution step budget was exhausted.
     pub budget_exceeded: bool,
+    /// DPOR cut this execution as redundant (its maximal extensions are
+    /// covered by sibling branches); the scenario check is not applied.
+    pub pruned: bool,
     /// Scheduling decisions taken (yield points passed).
     pub steps: u64,
 }
@@ -80,12 +110,15 @@ pub struct Violation {
 /// Aggregate result of an exploration.
 #[derive(Debug)]
 pub struct Report {
-    /// Interleavings (schedules) actually executed.
+    /// Interleavings (schedules) actually executed — including, under
+    /// DPOR, partial executions cut by the sleep-set prune.
     pub executions: u64,
-    /// Exhaustive mode: the whole bounded tree was covered.
+    /// Exhaustive/DPOR mode: the whole bounded tree was covered.
     pub complete: bool,
     pub deadlocks: u64,
     pub budget_exceeded: u64,
+    /// DPOR: executions cut as redundant by the sleep-set prune.
+    pub pruned: u64,
     pub violation: Option<Violation>,
     /// Total scheduler steps across all executions (≈ atomic accesses).
     pub total_steps: u64,
@@ -94,6 +127,54 @@ pub struct Report {
 impl Report {
     pub fn ok(&self) -> bool {
         self.violation.is_none()
+    }
+}
+
+// ---- access announcements ----
+
+/// What kind of shared access a thread announces at a yield point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum AccessKind {
+    /// No shared access: thread prelude, a deadline-bounded spin step,
+    /// or the resumption code after a park. Commutes with everything.
+    Local,
+    /// Load of the object `obj`.
+    Read,
+    /// Store/RMW of the object `obj`.
+    Write,
+    /// Spin-park resume: the thread observes "some write happened".
+    /// Dependent with every write (the wake order is schedule-visible).
+    Park,
+}
+
+/// One announced access: the shim word's address plus the kind. The
+/// address is only meaningful *within* one execution (allocations move
+/// between executions), so the DPOR driver refreshes its per-depth
+/// snapshots on every replay.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Access {
+    pub obj: usize,
+    pub kind: AccessKind,
+}
+
+impl Access {
+    pub(crate) const LOCAL: Access = Access { obj: 0, kind: AccessKind::Local };
+
+    /// The DPOR dependence relation: can reordering two adjacent steps
+    /// with these accesses change the execution?
+    fn dependent(a: Access, b: Access) -> bool {
+        use AccessKind::*;
+        match (a.kind, b.kind) {
+            (Local, _) | (_, Local) => false,
+            // A park-resume races with every write: which write wakes
+            // the sleeper is schedule-visible (two parks commute).
+            (Park, Write) | (Write, Park) => true,
+            (Park, _) | (_, Park) => false,
+            // Two reads commute; anything involving a write conflicts
+            // iff it is the same object.
+            (Read, Read) => false,
+            _ => a.obj == b.obj,
+        }
     }
 }
 
@@ -118,6 +199,9 @@ enum Who {
 struct ExecState {
     current: Who,
     threads: Vec<TState>,
+    /// Per-thread announced access: what the thread will perform when it
+    /// is next scheduled (its yield happens *before* the operation).
+    pending: Vec<Access>,
     writes: u64,
     steps: u64,
     aborted: bool,
@@ -132,12 +216,32 @@ struct Exec {
 /// without tripping the panic hook (delivered via `resume_unwind`).
 struct AbortSignal;
 
+/// One scheduling decision offered to a chooser: the runnable threads
+/// and every thread's announced-but-not-yet-executed access.
+pub(crate) struct ChoicePoint<'a> {
+    pub depth: usize,
+    /// Runnable thread ids, ascending.
+    pub runnable: &'a [usize],
+    /// Pending access per thread id (length = thread count).
+    pub pending: &'a [Access],
+}
+
+/// A chooser's verdict at one decision point.
+pub(crate) enum Pick {
+    /// Run `runnable[i]`.
+    Run(u32),
+    /// DPOR: every runnable thread is in the sleep set — this branch is
+    /// redundant; abort the execution without checking it.
+    Prune,
+}
+
 impl Exec {
     fn new(n: usize) -> Exec {
         Exec {
             m: Mutex::new(ExecState {
                 current: Who::Controller,
                 threads: vec![TState::Ready; n],
+                pending: vec![Access::LOCAL; n],
                 writes: 0,
                 steps: 0,
                 aborted: false,
@@ -167,18 +271,29 @@ impl Exec {
         }
     }
 
-    /// One yield point: hand the baton to the controller, wait to be
-    /// rescheduled. `park` spin-parks until another thread writes;
-    /// `is_write` bumps the write counter on resume (just before the
-    /// caller performs its store/RMW).
-    fn yield_point(&self, tid: usize, park: bool, is_write: bool) {
+    /// One yield point: announce the access the caller is *about to*
+    /// perform, hand the baton to the controller, wait to be
+    /// rescheduled. `park` spin-parks until another thread writes; the
+    /// write counter itself is bumped by [`note_write`] *after* the
+    /// operation actually mutates (a failed CAS wakes nobody — counting
+    /// announcements instead would let two spinning CAS loops wake each
+    /// other forever and starve every other thread).
+    fn yield_point(&self, tid: usize, park: bool, access: Access) {
         let mut st = self.lock();
         st.threads[tid] = if park { TState::Parked { at_writes: st.writes } } else { TState::Ready };
+        st.pending[tid] = access;
         st.current = Who::Controller;
         self.cv.notify_all();
         loop {
             if st.aborted {
                 drop(st);
+                if std::thread::panicking() {
+                    // Already unwinding (e.g. a drop guard resolving a
+                    // slot on the way out): run to completion without
+                    // rescheduling — a second panic here would abort the
+                    // process ("panic in a destructor during cleanup").
+                    return;
+                }
                 std::panic::resume_unwind(Box::new(AbortSignal));
             }
             if st.current == Who::Thread(tid) {
@@ -187,9 +302,11 @@ impl Exec {
             st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         st.threads[tid] = TState::Ready;
-        if is_write {
-            st.writes += 1;
-        }
+    }
+
+    /// Record one materialised write (see [`Exec::yield_point`]).
+    fn note_write(&self) {
+        self.lock().writes += 1;
     }
 
     fn finish(&self, tid: usize) {
@@ -201,17 +318,18 @@ impl Exec {
         self.cv.notify_all();
     }
 
-    /// Drive one execution to completion, choosing runnable threads via
-    /// `choose(decision_index, n_options)`. Returns the decision list and
-    /// the (deadlocked, budget_exceeded) flags.
+    /// Drive one execution to completion, consulting `choose` at every
+    /// decision point. Returns the decision list (choice, k) and the
+    /// (deadlocked, budget_exceeded, pruned) flags.
     fn drive(
         &self,
         max_steps: u64,
-        mut choose: impl FnMut(usize, u32) -> u32,
-    ) -> (Vec<(u32, u32)>, bool, bool) {
+        mut choose: impl FnMut(&ChoicePoint) -> Pick,
+    ) -> (Vec<(u32, u32)>, bool, bool, bool) {
         let mut decisions: Vec<(u32, u32)> = Vec::new();
         let mut deadlocked = false;
         let mut budget_exceeded = false;
+        let mut pruned = false;
         let mut st = self.lock();
         loop {
             while st.current != Who::Controller {
@@ -249,13 +367,28 @@ impl Exec {
                 continue;
             }
             let k = runnable.len() as u32;
-            let choice = choose(decisions.len(), k).min(k - 1);
-            decisions.push((choice, k));
-            st.steps += 1;
-            st.current = Who::Thread(runnable[choice as usize]);
-            self.cv.notify_all();
+            let cp = ChoicePoint {
+                depth: decisions.len(),
+                runnable: &runnable,
+                pending: &st.pending,
+            };
+            match choose(&cp) {
+                Pick::Prune => {
+                    pruned = true;
+                    st.aborted = true;
+                    self.cv.notify_all();
+                    continue;
+                }
+                Pick::Run(choice) => {
+                    let choice = choice.min(k - 1);
+                    decisions.push((choice, k));
+                    st.steps += 1;
+                    st.current = Who::Thread(runnable[choice as usize]);
+                    self.cv.notify_all();
+                }
+            }
         }
-        (decisions, deadlocked, budget_exceeded)
+        (decisions, deadlocked, budget_exceeded, pruned)
     }
 }
 
@@ -277,18 +410,41 @@ fn with_ctx(f: impl FnOnce(&Exec, usize)) {
 }
 
 /// Yield point for a shim atomic access (no-op outside an exploration).
-pub(crate) fn yield_access(is_write: bool) {
-    with_ctx(|e, tid| e.yield_point(tid, false, is_write));
+/// `obj` identifies the accessed word (its address) for the DPOR
+/// dependence relation.
+pub(crate) fn yield_access(obj: usize, is_write: bool) {
+    let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+    with_ctx(|e, tid| e.yield_point(tid, false, Access { obj, kind }));
 }
 
-/// Yield point for one deadline-bounded spin step.
+/// Yield point for one deadline-bounded spin step (a local step: it
+/// touches no shared state, so DPOR treats it as independent of
+/// everything).
 pub(crate) fn yield_spin_step() {
-    with_ctx(|e, tid| e.yield_point(tid, false, false));
+    with_ctx(|e, tid| e.yield_point(tid, false, Access::LOCAL));
+}
+
+/// Report that the access announced by the preceding [`yield_access`]
+/// actually mutated its object (store/RMW, or a CAS that succeeded).
+/// Parked threads are woken by materialised writes only.
+pub(crate) fn note_write() {
+    with_ctx(|e, _tid| e.note_write());
 }
 
 /// Spin-park: deschedule until another thread performs a write.
 pub(crate) fn yield_spin_park() {
-    with_ctx(|e, tid| e.yield_point(tid, true, false));
+    with_ctx(|e, tid| {
+        e.yield_point(tid, true, Access { obj: 0, kind: AccessKind::Park })
+    });
+}
+
+/// The current virtual time in scheduler steps (0 outside an
+/// exploration). One step = one nanosecond of model time, matching
+/// `ModelAtomics::spin`'s deadline budget.
+pub(crate) fn virtual_now() -> u64 {
+    let mut now = 0;
+    with_ctx(|e, _tid| now = e.lock().steps);
+    now
 }
 
 // ---- exploration driver ----
@@ -300,7 +456,26 @@ pub(crate) fn yield_spin_park() {
 /// (including, unless the check accepts it, deadlock / budget overrun).
 pub fn explore<T, M, C>(cfg: &Config, make: M, check: C) -> Report
 where
-    T: Send + 'static,
+    T: Send + std::fmt::Debug + 'static,
+    M: Fn() -> Vec<Box<dyn FnOnce() -> T + Send>>,
+    C: Fn(&ExecResult<T>) -> Result<(), String>,
+{
+    explore_states(cfg, make, check).0
+}
+
+/// As [`explore`], additionally returning the set of distinguishable
+/// final states seen across all (non-pruned) executions. A state
+/// fingerprint is the `Debug` rendering of the per-thread outcomes plus
+/// the deadlock/budget flags — two executions with equal fingerprints
+/// are indistinguishable to any scenario check. This is the evidence the
+/// DFS-vs-DPOR equivalence harness compares.
+pub fn explore_states<T, M, C>(
+    cfg: &Config,
+    make: M,
+    check: C,
+) -> (Report, BTreeSet<String>)
+where
+    T: Send + std::fmt::Debug + 'static,
     M: Fn() -> Vec<Box<dyn FnOnce() -> T + Send>>,
     C: Fn(&ExecResult<T>) -> Result<(), String>,
 {
@@ -309,8 +484,25 @@ where
         complete: false,
         deadlocks: 0,
         budget_exceeded: 0,
+        pruned: 0,
         violation: None,
         total_steps: 0,
+    };
+    let mut states: BTreeSet<String> = BTreeSet::new();
+    let mut tally = |report: &mut Report, result: &ExecResult<T>| {
+        report.executions += 1;
+        report.total_steps += result.steps;
+        if result.deadlocked {
+            report.deadlocks += 1;
+        }
+        if result.budget_exceeded {
+            report.budget_exceeded += 1;
+        }
+        if result.pruned {
+            report.pruned += 1;
+        } else {
+            states.insert(fingerprint(result));
+        }
     };
     match cfg.mode {
         Mode::Exhaustive => {
@@ -320,17 +512,10 @@ where
                     break; // tree truncated: complete stays false
                 }
                 let f2 = forced.clone();
-                let (result, decisions) = run_once(cfg, make(), move |i, _k| {
-                    f2.get(i).copied().unwrap_or(0)
+                let (result, decisions) = run_once(cfg, make(), move |cp| {
+                    Pick::Run(f2.get(cp.depth).copied().unwrap_or(0))
                 });
-                report.executions += 1;
-                report.total_steps += result.steps;
-                if result.deadlocked {
-                    report.deadlocks += 1;
-                }
-                if result.budget_exceeded {
-                    report.budget_exceeded += 1;
-                }
+                tally(&mut report, &result);
                 if let Err(msg) = check(&result) {
                     report.violation = Some(Violation {
                         schedule: decisions.iter().map(|&(c, _)| c).collect(),
@@ -359,19 +544,16 @@ where
                 }
             }
         }
+        Mode::Dpor => {
+            explore_dpor(cfg, &make, &check, &mut report, &mut tally);
+        }
         Mode::Random { seed } => {
             for i in 0..cfg.max_execs {
                 let mut rng = wino_rng::Rng::seed_from_u64(seed.wrapping_add(i));
-                let (result, decisions) =
-                    run_once(cfg, make(), move |_i, k| rng.below(k as usize) as u32);
-                report.executions += 1;
-                report.total_steps += result.steps;
-                if result.deadlocked {
-                    report.deadlocks += 1;
-                }
-                if result.budget_exceeded {
-                    report.budget_exceeded += 1;
-                }
+                let (result, decisions) = run_once(cfg, make(), move |cp| {
+                    Pick::Run(rng.below(cp.runnable.len()) as u32)
+                });
+                tally(&mut report, &result);
                 if let Err(msg) = check(&result) {
                     report.violation = Some(Violation {
                         schedule: decisions.iter().map(|&(c, _)| c).collect(),
@@ -382,13 +564,191 @@ where
             }
         }
     }
-    report
+    (report, states)
+}
+
+fn fingerprint<T: std::fmt::Debug>(r: &ExecResult<T>) -> String {
+    format!(
+        "outcomes={:?} deadlocked={} budget_exceeded={}",
+        r.outcomes, r.deadlocked, r.budget_exceeded
+    )
+}
+
+// ---- DPOR ----
+
+/// One node of the persistent DPOR stack: the state reached by the
+/// current branch's prefix at this depth, the edge taken from it, and
+/// the exploration bookkeeping (backtrack/done/sleep sets, all thread-id
+/// sets — stable across replays, unlike the access snapshots which are
+/// refreshed every run because shim addresses move between executions).
+struct DNode {
+    /// Thread executed from this node on the current branch.
+    tid: usize,
+    /// The access that edge performs (= `pending[tid]` at this node).
+    access: Access,
+    /// Runnable (enabled) threads at this node.
+    runnable: Vec<usize>,
+    /// Announced access per thread at this node.
+    pending: Vec<Access>,
+    /// Threads whose exploration from this node is (or became) required.
+    backtrack: BTreeSet<usize>,
+    /// Threads already fully explored from this node.
+    done: BTreeSet<usize>,
+    /// Sleep set entering this node: threads whose next step is covered
+    /// by an already-explored sibling branch.
+    sleep: BTreeSet<usize>,
+}
+
+/// Flanagan–Godefroid DPOR over the replay-based DFS driver, with sleep
+/// sets. See `docs/analyze.md` for the design and soundness argument;
+/// in brief:
+///
+/// * each executed step announces its access **before** running, so the
+///   controller knows every runnable thread's next access at each node;
+/// * after every execution, for each step `j` the latest step `i` by a
+///   different thread with a dependent access marks a reversible race:
+///   `thread(j)` is added to `backtrack(i)` (or, if it was not enabled
+///   there, *all* threads enabled at `i` — the conservative fallback
+///   that keeps wake-up races sound without vector clocks);
+/// * sibling branches already explored from a node enter its sleep set;
+///   a sleeping thread is only released by a dependent step, and a node
+///   whose every runnable thread sleeps is pruned as redundant.
+fn explore_dpor<T, M, C>(
+    cfg: &Config,
+    make: &M,
+    check: &C,
+    report: &mut Report,
+    tally: &mut impl FnMut(&mut Report, &ExecResult<T>),
+) where
+    T: Send + std::fmt::Debug + 'static,
+    M: Fn() -> Vec<Box<dyn FnOnce() -> T + Send>>,
+    C: Fn(&ExecResult<T>) -> Result<(), String>,
+{
+    let mut stack: Vec<DNode> = Vec::new();
+    // Depths `[0, replay_len)` are fixed for the next run (their `tid`
+    // edges re-execute); deeper depths are chosen fresh.
+    let mut replay_len = 0usize;
+    loop {
+        if report.executions >= cfg.max_execs {
+            return; // tree truncated: complete stays false
+        }
+        let stack_cell = std::cell::RefCell::new(&mut stack);
+        let (result, decisions) = run_once(cfg, make(), |cp| {
+            let mut stack = stack_cell.borrow_mut();
+            let d = cp.depth;
+            if d < replay_len {
+                // Replay a fixed edge; refresh the snapshots (shim
+                // addresses differ between executions, and the race
+                // analysis must compare addresses of *this* run).
+                let tid = stack[d].tid;
+                let idx = cp
+                    .runnable
+                    .iter()
+                    .position(|&t| t == tid)
+                    .expect("replay determinism: forced thread must be runnable");
+                stack[d].runnable = cp.runnable.to_vec();
+                stack[d].pending = cp.pending.to_vec();
+                stack[d].access = cp.pending[tid];
+                return Pick::Run(idx as u32);
+            }
+            // Frontier: compute this node's sleep set from the parent,
+            // then pick the first runnable thread not asleep.
+            let sleep: BTreeSet<usize> = if d == 0 {
+                BTreeSet::new()
+            } else {
+                let p = &stack[d - 1];
+                p.sleep
+                    .iter()
+                    .chain(p.done.iter())
+                    .copied()
+                    .filter(|&r| !Access::dependent(p.pending[r], p.access))
+                    .collect()
+            };
+            let Some(&tid) = cp.runnable.iter().find(|t| !sleep.contains(t)) else {
+                return Pick::Prune;
+            };
+            let idx = cp.runnable.iter().position(|&t| t == tid).unwrap() as u32;
+            stack.push(DNode {
+                tid,
+                access: cp.pending[tid],
+                runnable: cp.runnable.to_vec(),
+                pending: cp.pending.to_vec(),
+                backtrack: BTreeSet::from([tid]),
+                done: BTreeSet::new(),
+                sleep,
+            });
+            Pick::Run(idx)
+        });
+        tally(report, &result);
+        if !result.pruned {
+            if let Err(msg) = check(&result) {
+                report.violation = Some(Violation {
+                    schedule: decisions.iter().map(|&(c, _)| c).collect(),
+                    message: msg,
+                });
+                return;
+            }
+        }
+
+        // Race analysis: for each step j, the latest dependent step i by
+        // another thread is a candidate reversal.
+        let mut additions: Vec<(usize, Vec<usize>)> = Vec::new();
+        for j in 1..stack.len() {
+            let (tj, aj) = (stack[j].tid, stack[j].access);
+            if aj.kind == AccessKind::Local {
+                continue;
+            }
+            if let Some(i) =
+                (0..j).rev().find(|&i| stack[i].tid != tj && Access::dependent(stack[i].access, aj))
+            {
+                if stack[i].runnable.contains(&tj) {
+                    additions.push((i, vec![tj]));
+                } else {
+                    // Conservative fallback: `thread(j)` was disabled at
+                    // `i` (e.g. still parked) — require every thread
+                    // enabled at `i` instead.
+                    additions.push((i, stack[i].runnable.clone()));
+                }
+            }
+        }
+        for (i, tids) in additions {
+            stack[i].backtrack.extend(tids);
+        }
+
+        // Backtrack: deepest node with an unexplored required edge.
+        let mut advanced = false;
+        for d in (0..stack.len()).rev() {
+            let finished_tid = stack[d].tid;
+            stack[d].done.insert(finished_tid);
+            let cand = stack[d]
+                .backtrack
+                .iter()
+                .copied()
+                .find(|t| {
+                    !stack[d].done.contains(t)
+                        && !stack[d].sleep.contains(t)
+                        && stack[d].runnable.contains(t)
+                });
+            if let Some(t) = cand {
+                stack[d].tid = t;
+                stack.truncate(d + 1);
+                replay_len = d + 1;
+                advanced = true;
+                break;
+            }
+            stack.truncate(d); // node exhausted: pop it
+        }
+        if !advanced {
+            report.complete = true;
+            return;
+        }
+    }
 }
 
 fn run_once<T: Send + 'static>(
     cfg: &Config,
     closures: Vec<Box<dyn FnOnce() -> T + Send>>,
-    choose: impl FnMut(usize, u32) -> u32,
+    choose: impl FnMut(&ChoicePoint) -> Pick,
 ) -> (ExecResult<T>, Vec<(u32, u32)>) {
     let n = closures.len();
     let exec = Arc::new(Exec::new(n));
@@ -416,13 +776,13 @@ fn run_once<T: Send + 'static>(
                 .expect("spawn model thread"),
         );
     }
-    let (decisions, deadlocked, budget_exceeded) = exec.drive(cfg.max_steps, choose);
+    let (decisions, deadlocked, budget_exceeded, pruned) = exec.drive(cfg.max_steps, choose);
     let outcomes: Vec<Outcome<T>> = handles
         .into_iter()
         .map(|h| h.join().unwrap_or(Outcome::Panicked("model thread died".into())))
         .collect();
     let steps = exec.lock().steps;
-    (ExecResult { outcomes, deadlocked, budget_exceeded, steps }, decisions)
+    (ExecResult { outcomes, deadlocked, budget_exceeded, pruned, steps }, decisions)
 }
 
 fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
@@ -440,34 +800,46 @@ mod tests {
     use super::*;
     use crate::model::MAtomicU32;
 
+    fn counter_scenario() -> Vec<Box<dyn FnOnce() -> u32 + Send>> {
+        let c = Arc::new(MAtomicU32::new(0));
+        (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                Box::new(move || {
+                    c.fetch_add(1);
+                    c.load()
+                }) as Box<dyn FnOnce() -> u32 + Send>
+            })
+            .collect()
+    }
+
+    fn racy_rmw_scenario(threads: usize) -> Vec<Box<dyn FnOnce() -> u32 + Send>> {
+        let c = Arc::new(MAtomicU32::new(0));
+        (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                Box::new(move || {
+                    let v = c.load(); // racy RMW, on purpose
+                    c.store(v + 1);
+                    c.load()
+                }) as Box<dyn FnOnce() -> u32 + Send>
+            })
+            .collect()
+    }
+
     /// Two threads increment a shared counter through the shim: every
     /// schedule must see both increments (fetch_add is atomic).
     #[test]
     fn exhaustive_counter_is_complete_and_correct() {
         let cfg = Config::exhaustive(10_000);
-        let report = explore(
-            &cfg,
-            || {
-                let c = Arc::new(MAtomicU32::new(0));
-                (0..2)
-                    .map(|_| {
-                        let c = Arc::clone(&c);
-                        Box::new(move || {
-                            c.fetch_add(1);
-                            c.load()
-                        }) as Box<dyn FnOnce() -> u32 + Send>
-                    })
-                    .collect()
-            },
-            |r| {
-                let max = r.outcomes.iter().filter_map(|o| o.done()).max().copied();
-                if max == Some(2) {
-                    Ok(())
-                } else {
-                    Err(format!("lost increment: outcomes {:?}", r.outcomes))
-                }
-            },
-        );
+        let report = explore(&cfg, counter_scenario, |r| {
+            let max = r.outcomes.iter().filter_map(|o| o.done()).max().copied();
+            if max == Some(2) {
+                Ok(())
+            } else {
+                Err(format!("lost increment: outcomes {:?}", r.outcomes))
+            }
+        });
         assert!(report.ok(), "{:?}", report.violation);
         assert!(report.complete, "tiny tree must be exhausted: {report:?}");
         assert!(report.executions >= 2, "must explore both orders: {report:?}");
@@ -479,33 +851,54 @@ mod tests {
     #[test]
     fn exhaustive_finds_lost_update_race() {
         let cfg = Config::exhaustive(10_000);
-        let report = explore(
-            &cfg,
-            || {
-                let c = Arc::new(MAtomicU32::new(0));
-                (0..2)
-                    .map(|_| {
-                        let c = Arc::clone(&c);
-                        Box::new(move || {
-                            let v = c.load(); // racy RMW, on purpose
-                            c.store(v + 1);
-                            c.load()
-                        }) as Box<dyn FnOnce() -> u32 + Send>
-                    })
-                    .collect()
-            },
-            |r| {
-                let max = r.outcomes.iter().filter_map(|o| o.done()).max().copied();
-                if max == Some(2) {
-                    Ok(())
-                } else {
-                    Err("lost update observed".to_string())
-                }
-            },
-        );
+        let report = explore(&cfg, || racy_rmw_scenario(2), |r| {
+            let max = r.outcomes.iter().filter_map(|o| o.done()).max().copied();
+            if max == Some(2) {
+                Ok(())
+            } else {
+                Err("lost update observed".to_string())
+            }
+        });
         assert!(!report.ok(), "the explorer failed to find a textbook race: {report:?}");
         let v = report.violation.unwrap();
         assert!(!v.schedule.is_empty(), "violating schedule must be replayable");
+    }
+
+    /// DPOR must also find the textbook race — reduction must never
+    /// drop a distinguishable outcome.
+    #[test]
+    fn dpor_finds_lost_update_race() {
+        let cfg = Config::dpor(10_000);
+        let report = explore(&cfg, || racy_rmw_scenario(2), |r| {
+            let max = r.outcomes.iter().filter_map(|o| o.done()).max().copied();
+            if max == Some(2) {
+                Ok(())
+            } else {
+                Err("lost update observed".to_string())
+            }
+        });
+        assert!(!report.ok(), "DPOR failed to find a textbook race: {report:?}");
+    }
+
+    /// The core DPOR equivalence property, on a scenario small enough to
+    /// brute-force: the set of distinguishable final states matches
+    /// plain DFS exactly, with no more (and in practice far fewer)
+    /// executions.
+    #[test]
+    fn dpor_matches_dfs_states_with_fewer_executions() {
+        let pass = |_: &ExecResult<u32>| Ok(());
+        let (dfs, dfs_states) =
+            explore_states(&Config::exhaustive(1_000_000), || racy_rmw_scenario(3), pass);
+        let (dpor, dpor_states) =
+            explore_states(&Config::dpor(1_000_000), || racy_rmw_scenario(3), pass);
+        assert!(dfs.complete && dpor.complete, "both trees must be exhausted");
+        assert_eq!(dfs_states, dpor_states, "DPOR lost or invented a distinguishable state");
+        assert!(
+            dpor.executions <= dfs.executions,
+            "DPOR explored more than DFS: {} > {}",
+            dpor.executions,
+            dfs.executions
+        );
     }
 
     /// Random mode is reproducible for a given seed.
@@ -513,23 +906,7 @@ mod tests {
     fn random_mode_is_deterministic_per_seed() {
         let run = || {
             let cfg = Config::random(42, 64);
-            explore(
-                &cfg,
-                || {
-                    let c = Arc::new(MAtomicU32::new(0));
-                    (0..3)
-                        .map(|_| {
-                            let c = Arc::clone(&c);
-                            Box::new(move || {
-                                let v = c.load();
-                                c.store(v + 1);
-                                0u32
-                            }) as Box<dyn FnOnce() -> u32 + Send>
-                        })
-                        .collect()
-                },
-                |_| Ok(()),
-            )
+            explore(&cfg, || racy_rmw_scenario(3), |_| Ok(()))
         };
         let (a, b) = (run(), run());
         assert_eq!(a.executions, b.executions);

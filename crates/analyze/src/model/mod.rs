@@ -8,10 +8,14 @@
 //! time. Every access through the shim atomic types ([`MAtomicUsize`],
 //! [`MAtomicU32`]) is a *yield point* that hands the baton back, so the
 //! controller chooses the interleaving one step at a time. Enumerating
-//! those choices — exhaustively (bounded DFS with replay) or randomly
-//! (seeded via `wino-rng`) — explores the schedule space of the *same
-//! barrier/latch source code that ships*, instantiated at
-//! `SpinBarrierIn<ModelAtomics>` through the [`wino_sched::Atomics`] seam.
+//! those choices — exhaustively (bounded DFS with replay), with dynamic
+//! partial-order reduction ([`Mode::Dpor`]: same distinguishable states,
+//! far fewer schedules), or randomly (seeded via `wino-rng`) — explores
+//! the schedule space of the *same synchronisation source code that
+//! ships*: `SpinBarrierIn<ModelAtomics>` through the
+//! [`wino_sched::Atomics`] seam, and the serve-layer primitives
+//! (`SlotIn`, `DeadlineQueueIn`, `CircuitBreakerIn`) through the same
+//! seam plus the [`wino_sched::atomics::Clock`] seam ([`ModelClock`]).
 //!
 //! Time is virtual: [`ModelAtomics::spin`] treats a watchdog deadline of
 //! `n` nanoseconds as a budget of `n` spin steps, so every watchdog path
@@ -32,18 +36,32 @@
 pub mod explore;
 pub mod reinject;
 pub mod scenarios;
+pub mod serve_scenarios;
 
-pub use explore::{explore, Config, ExecResult, Mode, Outcome, Report, Violation};
+pub use explore::{
+    explore, explore_states, Config, ExecResult, Mode, Outcome, Report, Violation,
+};
 
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
-use wino_sched::atomics::{AtomicUsizeOps, Atomics};
+use wino_sched::atomics::{AtomicUsizeOps, Atomics, Clock};
 
-/// Shim `AtomicUsize`: every operation is a scheduler yield point, then a
-/// sequentially-consistent access to the underlying word.
+/// Shim `AtomicUsize`: every operation is a scheduler yield point
+/// (announcing the word's address and the access kind, which is what
+/// DPOR's dependence relation keys on), then a sequentially-consistent
+/// access to the underlying word.
 pub struct MAtomicUsize {
     v: std::sync::atomic::AtomicUsize,
+}
+
+impl MAtomicUsize {
+    /// Object identity for the DPOR dependence relation: the address of
+    /// the underlying word. Stable within one execution (the explorer
+    /// refreshes its snapshots across replays).
+    fn obj(&self) -> usize {
+        &self.v as *const _ as usize
+    }
 }
 
 impl AtomicUsizeOps for MAtomicUsize {
@@ -51,22 +69,27 @@ impl AtomicUsizeOps for MAtomicUsize {
         MAtomicUsize { v: std::sync::atomic::AtomicUsize::new(v) }
     }
     fn load(&self, _order: Ordering) -> usize {
-        explore::yield_access(false);
+        explore::yield_access(self.obj(), false);
         // ORDERING: SeqCst — the model explores interleavings under
         // sequential consistency by construction.
         self.v.load(Ordering::SeqCst)
     }
     fn store(&self, v: usize, _order: Ordering) {
-        explore::yield_access(true);
-        self.v.store(v, Ordering::SeqCst)
+        explore::yield_access(self.obj(), true);
+        self.v.store(v, Ordering::SeqCst);
+        explore::note_write();
     }
     fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
-        explore::yield_access(true);
-        self.v.fetch_add(v, Ordering::SeqCst)
+        explore::yield_access(self.obj(), true);
+        let prev = self.v.fetch_add(v, Ordering::SeqCst);
+        explore::note_write();
+        prev
     }
     fn fetch_or(&self, v: usize, _order: Ordering) -> usize {
-        explore::yield_access(true);
-        self.v.fetch_or(v, Ordering::SeqCst)
+        explore::yield_access(self.obj(), true);
+        let prev = self.v.fetch_or(v, Ordering::SeqCst);
+        explore::note_write();
+        prev
     }
     fn compare_exchange(
         &self,
@@ -75,8 +98,16 @@ impl AtomicUsizeOps for MAtomicUsize {
         _success: Ordering,
         _failure: Ordering,
     ) -> Result<usize, usize> {
-        explore::yield_access(true);
-        self.v.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        // A failed CAS writes nothing, but announcing it as a write
+        // keeps the dependence relation sound without peeking at the
+        // outcome before the yield. Only a *successful* CAS reports a
+        // materialised write (wakes parked threads).
+        explore::yield_access(self.obj(), true);
+        let r = self.v.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+        if r.is_ok() {
+            explore::note_write();
+        }
+        r
     }
 }
 
@@ -87,20 +118,26 @@ pub struct MAtomicU32 {
 }
 
 impl MAtomicU32 {
+    fn obj(&self) -> usize {
+        &self.v as *const _ as usize
+    }
     pub fn new(v: u32) -> Self {
         MAtomicU32 { v: std::sync::atomic::AtomicU32::new(v) }
     }
     pub fn load(&self) -> u32 {
-        explore::yield_access(false);
+        explore::yield_access(self.obj(), false);
         self.v.load(Ordering::SeqCst)
     }
     pub fn store(&self, v: u32) {
-        explore::yield_access(true);
-        self.v.store(v, Ordering::SeqCst)
+        explore::yield_access(self.obj(), true);
+        self.v.store(v, Ordering::SeqCst);
+        explore::note_write();
     }
     pub fn fetch_add(&self, v: u32) -> u32 {
-        explore::yield_access(true);
-        self.v.fetch_add(v, Ordering::SeqCst)
+        explore::yield_access(self.obj(), true);
+        let prev = self.v.fetch_add(v, Ordering::SeqCst);
+        explore::note_write();
+        prev
     }
 }
 
@@ -138,5 +175,36 @@ impl Atomics for ModelAtomics {
                 None
             }
         }
+    }
+}
+
+/// Virtual clock pluggable into the [`wino_sched::atomics::Clock`] seam:
+/// an instant is the scheduler's step counter, and one step is one
+/// nanosecond of model time — the same exchange rate
+/// [`ModelAtomics::spin`] uses for deadline budgets, so "a deadline `n`
+/// ns away" and "a spin watchdog of `n` ns" expire on consistent scales.
+///
+/// Reading the clock is a *local* step for DPOR (it commutes with every
+/// other thread's accesses), so scenario invariants over clock-driven
+/// code must be insensitive to the exact time *values* observed —
+/// assert on protocol outcomes ("exactly one resolution"), not on which
+/// side of a deadline a particular schedule landed.
+pub struct ModelClock;
+
+impl Clock for ModelClock {
+    type Instant = u64;
+
+    fn now() -> u64 {
+        // Yield first so "read the clock" is a schedule point like any
+        // other shim access (otherwise back-to-back now() calls would
+        // observe frozen time).
+        explore::yield_spin_step();
+        explore::virtual_now()
+    }
+    fn add(t: u64, d: Duration) -> u64 {
+        t.saturating_add(d.as_nanos() as u64)
+    }
+    fn since(later: u64, earlier: u64) -> Duration {
+        Duration::from_nanos(later.saturating_sub(earlier))
     }
 }

@@ -14,6 +14,15 @@
 //!    without waiting for workers to leave the borrowed job closure,
 //!    freeing memory a straggler could still read. The fix gates the
 //!    error path on [`wino_sched::JobExitLatch::await_all`].
+//!
+//! 3. **Leaked waiter under batcher unwind** ([`leaky_unwind`]): the
+//!    serve layer's waiter guarantee relies on `PendingIn`'s drop guard
+//!    resolving the slot when the batcher unwinds mid-batch. The seeded
+//!    bug orders the guard *after* the unwind path's state store — the
+//!    early return runs before the guard arms, so the entry is never
+//!    dropped-with-resolution and the waiter parks forever. The model
+//!    checker reports that as a deadlock on every schedule reaching the
+//!    unwind.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -149,6 +158,29 @@ pub fn leaky_handoff(cfg: &Config) -> Report {
     job_handoff(cfg, leaky_publisher)
 }
 
+/// The seeded serve bug, batcher side: on the unwind path the "batch
+/// abandoned" state store ran *before* the drop guard was ordered to —
+/// so the early return leaks the owned entries without ever resolving
+/// their slots. `mem::forget` models exactly that: ownership leaves the
+/// unwind path with the guard never run.
+pub fn leaky_unwind(batch: Vec<super::serve_scenarios::MPending>) -> usize {
+    let n = batch.len();
+    for p in batch {
+        // BUG (seeded): guard ordered after the state store — the entry
+        // escapes the unwind without its Drop running, so the waiter's
+        // slot is never resolved.
+        std::mem::forget(p);
+    }
+    n
+}
+
+/// Scenario: the batcher-unwind protocol with the leaky guard ordering.
+/// The checker MUST find a schedule where the waiter is leaked (reported
+/// as a deadlock: the waiter parks with no writer left).
+pub fn leaked_waiter(cfg: &Config) -> Report {
+    super::serve_scenarios::batcher_unwind(cfg, leaky_unwind)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +216,30 @@ mod tests {
     fn poison_race_is_found_by_random_search_too() {
         let r = racy_poison_race(&Config::random(0xDEC0DE, 20_000));
         assert!(!r.ok(), "random search missed the race in {} executions", r.executions);
+    }
+
+    #[test]
+    fn leaked_waiter_is_found_exhaustively() {
+        let r = leaked_waiter(&Config::exhaustive(20_000));
+        assert!(
+            !r.ok(),
+            "model checker failed to find the seeded leaked-waiter bug \
+             ({} executions explored)",
+            r.executions
+        );
+        let v = r.violation.unwrap();
+        assert!(
+            v.message.contains("deadlock") || v.message.contains("leaked"),
+            "unexpected violation: {}",
+            v.message
+        );
+        assert!(!v.schedule.is_empty(), "violating schedule must be replayable");
+    }
+
+    #[test]
+    fn leaked_waiter_is_found_under_dpor_too() {
+        // Reduction must not hide the leak: DPOR preserves deadlocks.
+        let r = leaked_waiter(&Config::dpor(20_000));
+        assert!(!r.ok(), "DPOR missed the leaked waiter in {} executions", r.executions);
     }
 }

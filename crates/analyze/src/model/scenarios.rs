@@ -12,7 +12,9 @@ use std::time::Duration;
 
 use wino_sched::{BarrierError, JobExitLatch, SpinBarrierIn};
 
-use super::{explore, Config, ExecResult, MAtomicU32, ModelAtomics, Outcome, Report};
+use std::collections::BTreeSet;
+
+use super::{explore, explore_states, Config, ExecResult, MAtomicU32, ModelAtomics, Outcome, Report};
 
 /// Outcome of one `wait_deadline` call, flattened for invariant checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +34,7 @@ pub fn wait_outcome(r: Result<bool, BarrierError>) -> WaitOutcome {
     }
 }
 
-fn no_aborts<T: std::fmt::Debug>(r: &ExecResult<T>) -> Result<(), String> {
+pub(crate) fn no_aborts<T: std::fmt::Debug>(r: &ExecResult<T>) -> Result<(), String> {
     if r.deadlocked {
         return Err("deadlock: all live threads parked with no writer".into());
     }
@@ -78,7 +80,13 @@ pub fn check_all_or_nothing(outcomes: &[WaitOutcome]) -> Result<(), String> {
 /// returns, with exactly one leader. Uses the unbounded `wait()` path, so
 /// spinners park and the deadlock detector guards against lost wakeups.
 pub fn barrier_release(cfg: &Config, threads: usize) -> Report {
-    explore(
+    barrier_release_states(cfg, threads).0
+}
+
+/// As [`barrier_release`], also returning the distinguishable-state
+/// fingerprints — the DFS-vs-DPOR equivalence harness compares these.
+pub fn barrier_release_states(cfg: &Config, threads: usize) -> (Report, BTreeSet<String>) {
+    explore_states(
         cfg,
         || {
             let b = Arc::new(SpinBarrierIn::<ModelAtomics>::new(threads));
@@ -108,12 +116,15 @@ pub fn barrier_release(cfg: &Config, threads: usize) -> Report {
     )
 }
 
-/// Generation reuse: `rounds` consecutive crossings on one barrier, each
-/// with exactly one leader and everyone released (sense reversal works).
-pub fn barrier_generations(cfg: &Config, threads: usize, rounds: usize) -> Report {
-    explore(
+/// As [`barrier_generations`], also returning state fingerprints.
+pub fn barrier_generations_states(
+    cfg: &Config,
+    threads: usize,
+    rounds: usize,
+) -> (Report, BTreeSet<String>) {
+    explore_states(
         cfg,
-        || {
+        move || {
             let b = Arc::new(SpinBarrierIn::<ModelAtomics>::new(threads));
             (0..threads)
                 .map(|_| {
@@ -141,12 +152,23 @@ pub fn barrier_generations(cfg: &Config, threads: usize, rounds: usize) -> Repor
     )
 }
 
+/// Generation reuse: `rounds` consecutive crossings on one barrier, each
+/// with exactly one leader and everyone released (sense reversal works).
+pub fn barrier_generations(cfg: &Config, threads: usize, rounds: usize) -> Report {
+    barrier_generations_states(cfg, threads, rounds).0
+}
+
 /// Poison-vs-generation mutual exclusion on the shipped barrier: two
 /// participants, both with tight virtual watchdogs. Depending on the
 /// schedule a crossing may complete or a watchdog may fire first — but
 /// never both for the same generation.
 pub fn barrier_consistency(cfg: &Config) -> Report {
-    explore(
+    barrier_consistency_states(cfg).0
+}
+
+/// As [`barrier_consistency`], also returning state fingerprints.
+pub fn barrier_consistency_states(cfg: &Config) -> (Report, BTreeSet<String>) {
+    explore_states(
         cfg,
         || {
             let b = Arc::new(SpinBarrierIn::<ModelAtomics>::new(2));
@@ -337,6 +359,33 @@ pub fn all() -> Vec<Scenario> {
             run: |cfg| job_handoff(cfg, sound_publisher),
         },
         Scenario {
+            name: "serve-no-leaked-waiter",
+            expect_violation: false,
+            run: |cfg| {
+                super::serve_scenarios::batcher_unwind(cfg, super::serve_scenarios::sound_unwind)
+            },
+        },
+        Scenario {
+            name: "serve-slot-first-write-wins",
+            expect_violation: false,
+            run: super::serve_scenarios::slot_first_write_wins,
+        },
+        Scenario {
+            name: "serve-exactly-one-outcome",
+            expect_violation: false,
+            run: |cfg| super::serve_scenarios::exactly_one_outcome(cfg, 2),
+        },
+        Scenario {
+            name: "serve-expired-vs-drained",
+            expect_violation: false,
+            run: super::serve_scenarios::expired_vs_drained,
+        },
+        Scenario {
+            name: "serve-breaker-monotonic",
+            expect_violation: false,
+            run: super::serve_scenarios::breaker_monotonic,
+        },
+        Scenario {
             name: "reinject-poison-race",
             expect_violation: true,
             run: super::reinject::racy_poison_race,
@@ -345,6 +394,11 @@ pub fn all() -> Vec<Scenario> {
             name: "reinject-use-after-free",
             expect_violation: true,
             run: super::reinject::leaky_handoff,
+        },
+        Scenario {
+            name: "reinject-leaked-waiter",
+            expect_violation: true,
+            run: super::reinject::leaked_waiter,
         },
     ]
 }
@@ -403,6 +457,38 @@ mod tests {
         );
         assert!(r.ok(), "{:?}", r.violation);
         assert!(r.deadlocks > 0, "detector never fired: {r:?}");
+    }
+
+    #[test]
+    fn dpor_matches_dfs_states_on_legacy_scenarios() {
+        // The DPOR soundness harness over the legacy barrier suite:
+        // full-tree DFS and DPOR must agree on the exact set of
+        // distinguishable states, with DPOR exploring ≥5× fewer
+        // interleavings (measured: 31×, 31×, 598×).
+        type StatesRun = Box<dyn Fn(&Config) -> (Report, BTreeSet<String>)>;
+        let cases: Vec<(&str, StatesRun)> = vec![
+            ("barrier-release-2", Box::new(|c| barrier_release_states(c, 2))),
+            ("barrier-generations-2x1", Box::new(|c| barrier_generations_states(c, 2, 1))),
+            ("barrier-consistency", Box::new(barrier_consistency_states)),
+        ];
+        for (name, run) in cases {
+            let (dfs, dfs_states) = run(&Config::exhaustive(50_000));
+            assert!(dfs.complete, "{name}: DFS must exhaust the full tree: {dfs:?}");
+            assert!(dfs.ok(), "{name}: {:?}", dfs.violation);
+            let (dpor, dpor_states) = run(&Config::dpor(50_000));
+            assert!(dpor.complete, "{name}: DPOR must exhaust the full tree: {dpor:?}");
+            assert!(dpor.ok(), "{name}: {:?}", dpor.violation);
+            assert_eq!(
+                dfs_states, dpor_states,
+                "{name}: DPOR visited a different set of distinguishable states"
+            );
+            assert!(
+                dpor.executions * 5 <= dfs.executions,
+                "{name}: reduction below 5x: dpor {} vs dfs {}",
+                dpor.executions,
+                dfs.executions
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Model-checked scenarios over the **shipped** serving primitives:
+//! `SlotIn<ModelAtomics>`, `DeadlineQueueIn<ModelAtomics, ModelClock>`
+//! and `CircuitBreakerIn<ModelAtomics>` are the exact protocols
+//! `wino-serve` runs in production, instantiated over the model shims
+//! through the same [`wino_sched::Atomics`] / `Clock` seams.
+//!
+//! The five invariants here are the serve layer's whole concurrency
+//! contract:
+//!
+//! 1. **No leaked waiter** ([`batcher_unwind`]): a batcher that unwinds
+//!    after taking ownership of a request still terminates the waiter,
+//!    because `PendingIn`'s drop guard resolves the slot.
+//! 2. **First-write-wins** ([`slot_first_write_wins`]): concurrent slot
+//!    resolutions — exactly one wins, and the waiter observes the
+//!    winner's payload.
+//! 3. **Exactly-one-outcome conservation** ([`exactly_one_outcome`]):
+//!    across N producers, every request resolves exactly once and every
+//!    resolution is observed by exactly one waiter.
+//! 4. **Expired-vs-drained mutual exclusion** ([`expired_vs_drained`]):
+//!    the deadline-shed path and the shutdown drain race for the same
+//!    request; exactly one claims it, and the waiter sees that one.
+//! 5. **Breaker monotonicity** ([`breaker_monotonic`]): under a
+//!    concurrent reader, a failure streak moves the degradation ladder
+//!    at most one rung per full streak, and a snapshot never observes a
+//!    rung the writer has not published (no tearing, no regressions).
+//!
+//! Deadlines and batch ages are virtual (`from_nanos(n)` = `n` spin
+//! steps); clock instants come from [`ModelClock`] and are
+//! schedule-dependent, so every check here is insensitive to the exact
+//! time *values* — they assert protocol outcomes only.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wino_sched::atomics::Clock;
+use wino_serve::breaker::CircuitBreakerIn;
+use wino_serve::{BreakerConfig, DeadlineQueueIn, DegradeLevel, PendingIn, SlotIn};
+
+use super::scenarios::no_aborts;
+use super::{explore_states, Config, ModelAtomics, ModelClock, Report};
+use wino_serve::DropOutcome;
+
+/// Toy response payload for the model queue (the production `Resp` is
+/// `ServeResponse`; the protocol is payload-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestResp {
+    /// Resolved by the consumer (carries the request id it served).
+    Served(u64),
+    /// Resolved by the deadline-shed path.
+    Expired(u64),
+    /// Resolved by the drop guard (unwind / shutdown drain / rejection).
+    ShutDown(u64),
+}
+
+impl DropOutcome for TestResp {
+    fn shutdown_outcome(id: u64) -> TestResp {
+        TestResp::ShutDown(id)
+    }
+}
+
+/// The serve primitives instantiated over the model shims.
+pub type MSlot = SlotIn<ModelAtomics, TestResp>;
+pub type MPending = PendingIn<ModelAtomics, ModelClock, u64, TestResp>;
+pub type MQueue = DeadlineQueueIn<ModelAtomics, ModelClock, u64, TestResp>;
+
+/// Build a model pending with a deadline `ttl_ns` virtual nanoseconds
+/// out. Called from scenario `make` closures (outside the model
+/// context), where `ModelClock::now()` reads 0.
+fn mpending(id: u64, ttl_ns: u64) -> (MPending, Arc<MSlot>) {
+    let slot = MSlot::new();
+    let now = ModelClock::now();
+    let p = MPending {
+        id,
+        input: id,
+        enqueued: now,
+        deadline: ModelClock::add(now, Duration::from_nanos(ttl_ns)),
+        slot: Arc::clone(&slot),
+    };
+    (p, slot)
+}
+
+/// Events threads report back to the checker; one type shared by every
+/// serve scenario so they compose into one suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ev {
+    /// A waiter's terminal observation.
+    Waited(TestResp),
+    /// A resolver's verdict: did its write win, and what id it targeted.
+    Won(bool, u64),
+    /// The batcher's side: how many requests it took ownership of.
+    BatcherDone(usize),
+    /// Consumer accounting: (request id, resolution won) per entry.
+    Consumer(Vec<(u64, bool)>),
+    /// Shutdown drain: entries removed from the queue.
+    Drained(usize),
+    /// Breaker writer: `on_failure` trip verdicts, in order.
+    Failures(Vec<bool>),
+    /// Breaker reader: consecutive `level()` snapshots, in order.
+    Levels(Vec<DegradeLevel>),
+}
+
+type Threads = Vec<Box<dyn FnOnce() -> Ev + Send>>;
+
+/// Boxing helper: coerce a scenario thread closure to the trait object.
+fn bx(f: impl FnOnce() -> Ev + Send + 'static) -> Box<dyn FnOnce() -> Ev + Send> {
+    Box::new(f)
+}
+
+/// Scenario 1 + re-injection harness: one request is queued; the batcher
+/// pops it and then unwinds without resolving. `unwind` is the code the
+/// batcher runs with the owned batch — the shipped behaviour
+/// ([`sound_unwind`]) lets the entries drop so the `PROTOCOL: drop-guard`
+/// `Drop` fires; the re-injected bug (`reinject::leaky_unwind`) models
+/// the guard ordered after the unwind path's early return, so it never
+/// runs and the waiter is leaked (a detected deadlock).
+pub fn batcher_unwind(cfg: &Config, unwind: fn(Vec<MPending>) -> usize) -> Report {
+    explore_states(
+        cfg,
+        || {
+            let q = Arc::new(MQueue::new(2));
+            let (p, slot) = mpending(1, 10);
+            q.push(p).ok().expect("capacity-2 queue accepts the seed request");
+            let waiter = bx(move || Ev::Waited(slot.take_blocking()));
+            let batcher = bx(move || {
+                let batch = q.pop_batch(4, Duration::from_nanos(1)).expect("queue not shut down");
+                Ev::BatcherDone(unwind(batch))
+            });
+            vec![waiter, batcher]
+        },
+        |r| {
+            no_aborts(r)?;
+            match r.outcomes[0].done() {
+                Some(Ev::Waited(TestResp::ShutDown(1))) => {}
+                other => {
+                    return Err(format!(
+                        "leaked or mis-resolved waiter: expected ShutDown(1), got {other:?}"
+                    ))
+                }
+            }
+            match r.outcomes[1].done() {
+                Some(Ev::BatcherDone(1)) => Ok(()),
+                other => Err(format!("batcher owned {other:?} requests, expected 1")),
+            }
+        },
+    )
+    .0
+}
+
+/// The shipped unwind behaviour: the owned entries drop, each drop guard
+/// resolves its slot.
+pub fn sound_unwind(batch: Vec<MPending>) -> usize {
+    batch.len() // the Vec (and every entry's drop guard) drops here
+}
+
+/// Scenario 2: two resolvers race for one slot; exactly one write wins
+/// and the waiter observes exactly the winner's payload.
+pub fn slot_first_write_wins(cfg: &Config) -> Report {
+    explore_states(
+        cfg,
+        || {
+            let slot = MSlot::new();
+            let mk_resolver = |val: u64| {
+                let s = Arc::clone(&slot);
+                bx(move || Ev::Won(s.resolve(TestResp::Served(val)), val))
+            };
+            let (r1, r2) = (mk_resolver(1), mk_resolver(2));
+            let s = Arc::clone(&slot);
+            let waiter = bx(move || Ev::Waited(s.take_blocking()));
+            vec![r1, r2, waiter]
+        },
+        |r| {
+            no_aborts(r)?;
+            let mut winners = Vec::new();
+            let mut got = None;
+            for o in r.outcomes.iter().filter_map(|o| o.done()) {
+                match o {
+                    Ev::Won(true, v) => winners.push(*v),
+                    Ev::Won(false, _) => {}
+                    Ev::Waited(resp) => got = Some(*resp),
+                    other => return Err(format!("unexpected event {other:?}")),
+                }
+            }
+            if winners.len() != 1 {
+                return Err(format!("first-write-wins violated: winners {winners:?}"));
+            }
+            if got != Some(TestResp::Served(winners[0])) {
+                return Err(format!(
+                    "waiter saw {got:?}, but the winning resolution was Served({})",
+                    winners[0]
+                ));
+            }
+            Ok(())
+        },
+    )
+    .0
+}
+
+/// Scenario 3: `producers` threads each enqueue one request and wait on
+/// its slot; a single consumer pops batches and resolves each entry.
+/// Conservation: every producer observes `Served(its id)`, and the
+/// consumer's resolution won for every id exactly once (the drop guard
+/// never overwrites, the consumer never double-resolves).
+pub fn exactly_one_outcome(cfg: &Config, producers: u64) -> Report {
+    explore_states(
+        cfg,
+        || {
+            let q = Arc::new(MQueue::new(producers as usize));
+            let mut threads: Threads = (1..=producers)
+                .map(|id| {
+                    let q = Arc::clone(&q);
+                    bx(move || {
+                        let (p, slot) = mpending(id, 100);
+                        // A rejected push drops the entry, whose guard
+                        // resolves ShutDown — the capacity chosen here
+                        // admits everyone, and the check enforces it.
+                        let _ = q.push(p);
+                        Ev::Waited(slot.take_blocking())
+                    })
+                })
+                .collect();
+            let n = producers as usize;
+            threads.push(bx(move || {
+                let mut outs = Vec::new();
+                while outs.len() < n {
+                    let batch =
+                        q.pop_batch(n, Duration::from_nanos(1)).expect("queue not shut down");
+                    for p in batch {
+                        let won = p.resolve(TestResp::Served(p.id));
+                        outs.push((p.id, won));
+                    }
+                }
+                Ev::Consumer(outs)
+            }));
+            threads
+        },
+        move |r| {
+            no_aborts(r)?;
+            for (i, o) in r.outcomes.iter().take(producers as usize).enumerate() {
+                let id = i as u64 + 1;
+                match o.done() {
+                    Some(Ev::Waited(TestResp::Served(got))) if *got == id => {}
+                    other => {
+                        return Err(format!(
+                            "producer {id} observed {other:?}, expected Served({id})"
+                        ))
+                    }
+                }
+            }
+            match r.outcomes[producers as usize].done() {
+                Some(Ev::Consumer(outs)) => {
+                    let mut ids: Vec<u64> = outs.iter().map(|&(id, _)| id).collect();
+                    ids.sort_unstable();
+                    if ids != (1..=producers).collect::<Vec<_>>() {
+                        return Err(format!("consumer served ids {ids:?}"));
+                    }
+                    if let Some(&(id, _)) = outs.iter().find(|&&(_, won)| !won) {
+                        return Err(format!(
+                            "conservation violated: consumer's resolution of {id} lost \
+                             (someone else resolved an admitted, unshed request)"
+                        ));
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unexpected consumer outcome {other:?}")),
+            }
+        },
+    )
+    .0
+}
+
+/// Scenario 4: a queued request with an already-tight deadline is raced
+/// for by the shed path (resolve `Expired`) and the shutdown drain
+/// (drop guard resolves `ShutDown`). Exactly one claims it; the waiter
+/// observes whichever won and never hangs.
+pub fn expired_vs_drained(cfg: &Config) -> Report {
+    explore_states(
+        cfg,
+        || {
+            let q = Arc::new(MQueue::new(2));
+            let (p, slot) = mpending(9, 0); // deadline == enqueue instant
+            let deadline = p.deadline;
+            q.push(p).ok().expect("capacity-2 queue accepts the seed request");
+            let shed_slot = Arc::clone(&slot);
+            let shedder = bx(move || {
+                // The server's shed path: observe expiry, then resolve.
+                // Under ModelClock `now()` is the step counter, so the
+                // deadline is always reachable; the *outcome* race with
+                // the drain below is what the check pins down.
+                let mut now = ModelClock::now();
+                while now < deadline {
+                    now = ModelClock::now();
+                }
+                Ev::Won(shed_slot.resolve(TestResp::Expired(9)), 9)
+            });
+            let drainer = bx(move || {
+                q.begin_shutdown();
+                let drained = q.drain_remaining();
+                Ev::Drained(drained.len()) // entries (and guards) drop here
+            });
+            let waiter = bx(move || Ev::Waited(slot.take_blocking()));
+            vec![shedder, drainer, waiter]
+        },
+        |r| {
+            no_aborts(r)?;
+            let (mut shed_won, mut waited, mut drained) = (None, None, None);
+            for o in r.outcomes.iter().filter_map(|o| o.done()) {
+                match o {
+                    Ev::Won(w, 9) => shed_won = Some(*w),
+                    Ev::Waited(resp) => waited = Some(*resp),
+                    Ev::Drained(n) => drained = Some(*n),
+                    other => return Err(format!("unexpected event {other:?}")),
+                }
+            }
+            if drained != Some(1) {
+                return Err(format!("drain removed {drained:?} entries, expected 1"));
+            }
+            match (shed_won, waited) {
+                (Some(true), Some(TestResp::Expired(9))) => Ok(()),
+                (Some(false), Some(TestResp::ShutDown(9))) => Ok(()),
+                other => Err(format!(
+                    "expired/drained mutual exclusion violated: (shed_won, waited) = {other:?}"
+                )),
+            }
+        },
+    )
+    .0
+}
+
+/// Scenario 5: breaker trip monotonicity under a concurrent reader. A
+/// single writer records two consecutive failures (trip threshold 2):
+/// exactly the second one trips, and a reader's snapshots walk the
+/// ladder monotonically downward — `Full` then possibly `Mono`, never a
+/// rung skipped past `Mono`, never a spurious recovery.
+pub fn breaker_monotonic(cfg: &Config) -> Report {
+    explore_states(
+        cfg,
+        || {
+            let b = Arc::new(CircuitBreakerIn::<ModelAtomics>::new(BreakerConfig {
+                trip_threshold: 2,
+                recovery_threshold: 16,
+                ..BreakerConfig::default()
+            }));
+            let w = Arc::clone(&b);
+            let writer = bx(move || Ev::Failures(vec![w.on_failure(), w.on_failure()]));
+            let reader = bx(move || Ev::Levels(vec![b.level(), b.level()]));
+            vec![writer, reader]
+        },
+        |r| {
+            no_aborts(r)?;
+            match r.outcomes[0].done() {
+                Some(Ev::Failures(trips)) if trips == &[false, true] => {}
+                other => {
+                    return Err(format!(
+                        "trip accounting broken: {other:?}, expected [false, true] \
+                         (exactly the full streak trips, exactly once)"
+                    ))
+                }
+            }
+            match r.outcomes[1].done() {
+                Some(Ev::Levels(levels)) => {
+                    if levels.windows(2).any(|w| w[1] < w[0]) {
+                        return Err(format!("reader observed a spurious recovery: {levels:?}"));
+                    }
+                    if levels.iter().any(|l| *l > DegradeLevel::Mono) {
+                        return Err(format!(
+                            "reader observed a rung below Mono after one trip: {levels:?}"
+                        ));
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unexpected reader outcome {other:?}")),
+            }
+        },
+    )
+    .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batcher_unwind_never_leaks_the_waiter() {
+        let r = batcher_unwind(&Config::dpor(50_000), sound_unwind);
+        assert!(r.ok(), "{:?}", r.violation);
+        assert!(r.complete, "2-thread unwind tree must be exhaustible under DPOR: {r:?}");
+        assert_eq!(r.deadlocks, 0);
+    }
+
+    #[test]
+    fn slot_race_is_first_write_wins_everywhere() {
+        let r = slot_first_write_wins(&Config::dpor(100_000));
+        assert!(r.ok(), "{:?}", r.violation);
+        assert!(r.complete, "3-thread slot tree must be exhaustible under DPOR: {r:?}");
+    }
+
+    #[test]
+    fn two_producer_conservation_holds() {
+        // The full tree is too large to exhaust; bounded DPOR plus a
+        // seeded-random sweep must both stay clean.
+        let r = exactly_one_outcome(&Config::dpor(20_000), 2);
+        assert!(r.ok(), "{:?}", r.violation);
+        let r = exactly_one_outcome(&Config::random(0x5EED5, 3_000), 2);
+        assert!(r.ok(), "{:?}", r.violation);
+    }
+
+    #[test]
+    fn expired_and_drained_are_mutually_exclusive() {
+        let r = expired_vs_drained(&Config::dpor(20_000));
+        assert!(r.ok(), "{:?}", r.violation);
+        assert_eq!(r.deadlocks, 0);
+    }
+
+    #[test]
+    fn breaker_trips_monotonically_under_concurrent_reads() {
+        let r = breaker_monotonic(&Config::dpor(50_000));
+        assert!(r.ok(), "{:?}", r.violation);
+        assert!(r.complete, "breaker tree must be exhaustible under DPOR: {r:?}");
+    }
+
+    #[test]
+    fn seeded_random_sweep_over_serve_scenarios_is_clean() {
+        // Mirrors the `WINO_SWEEP_SEED` convention of the workspace
+        // differential sweeps: pinned default, overridable for CI
+        // shuffling. Driven off the scenario table so a new serve
+        // scenario is swept automatically.
+        let seed = std::env::var("WINO_MODEL_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_u64);
+        let mut swept = 0;
+        for sc in crate::model::scenarios::all() {
+            if !sc.name.starts_with("serve-") {
+                continue;
+            }
+            assert!(!sc.expect_violation, "{} should be a shipped-correct scenario", sc.name);
+            let r = (sc.run)(&Config::random(seed, 1_500));
+            assert!(r.ok(), "{} violated under WINO_MODEL_SEED={}: {:?}", sc.name, seed, r.violation);
+            swept += 1;
+        }
+        assert_eq!(swept, 5, "expected to sweep the five serve scenarios");
+    }
+}

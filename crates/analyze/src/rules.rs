@@ -294,6 +294,294 @@ fn check_allow_needs_rationale(f: &FileCtx) -> Vec<RawViolation> {
     out
 }
 
+/// State-word writes a drop guard may discharge its protocol with.
+const GUARD_WRITES: &[&str] = &[
+    "resolve",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_or",
+    "fetch_and",
+    "fetch_sub",
+    "compare_exchange",
+];
+
+/// Strip comment delimiters and leading whitespace so tag detection keys
+/// on how the comment *starts*, not what it mentions in prose.
+fn comment_body(text: &str) -> &str {
+    text.trim_start_matches(['/', '*', '!']).trim_start()
+}
+
+/// Find the `impl … Drop for <name>` item in `f`, returning the token
+/// range of the `fn drop` body (exclusive of its braces).
+fn find_drop_body(f: &FileCtx, name: &str) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i < f.toks.len() {
+        if f.toks[i].kind != TokKind::Ident || f.text(i) != "impl" {
+            i += 1;
+            continue;
+        }
+        // Scan the impl header (up to the body `{`) for `Drop`, `for`,
+        // and the type name — tolerant of generics in between.
+        let mut body_open = None;
+        let (mut saw_drop, mut saw_for, mut saw_name) = (false, false, false);
+        for j in i + 1..f.toks.len() {
+            if f.is_punct(j, '{') {
+                body_open = Some(j);
+                break;
+            }
+            if f.toks[j].kind == TokKind::Ident {
+                match f.text(j) {
+                    "Drop" => saw_drop = true,
+                    "for" => saw_for = true,
+                    t if t == name => saw_name = saw_for,
+                    _ => {}
+                }
+            }
+        }
+        let open = body_open?;
+        if !(saw_drop && saw_for && saw_name) {
+            i = open + 1;
+            continue;
+        }
+        // Inside the impl body, find `fn drop` and its body braces.
+        for j in open + 1..f.toks.len() {
+            if f.toks[j].kind == TokKind::Ident
+                && f.text(j) == "fn"
+                && f.next_code(j).is_some_and(|k| f.text(k) == "drop")
+            {
+                let fn_open = (j + 1..f.toks.len()).find(|&k| f.is_punct(k, '{'))?;
+                let mut depth = 0i32;
+                for k in fn_open..f.toks.len() {
+                    if f.is_punct(k, '{') {
+                        depth += 1;
+                    } else if f.is_punct(k, '}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((fn_open + 1, k));
+                        }
+                    }
+                }
+                return None;
+            }
+        }
+        return None;
+    }
+    None
+}
+
+fn check_drop_guard_protocol(f: &FileCtx) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    for (i, t) in f.toks.iter().enumerate() {
+        if !f.is_comment(i) || !comment_body(f.text(i)).starts_with("PROTOCOL: drop-guard") {
+            continue;
+        }
+        // The tag annotates the next item: `struct X` (Drop impl located
+        // by name) or the `impl … Drop for X` itself.
+        let mut j = match f.next_code(i) {
+            Some(j) => j,
+            None => continue,
+        };
+        // Skip `pub`, `pub(crate)`, and attributes.
+        loop {
+            if f.toks[j].kind == TokKind::Ident && f.text(j) == "pub" {
+                j = match f.next_code(j) {
+                    Some(n) if f.is_punct(n, '(') => {
+                        let close = (n..f.toks.len()).find(|&k| f.is_punct(k, ')'));
+                        match close.and_then(|c| f.next_code(c)) {
+                            Some(n2) => n2,
+                            None => break,
+                        }
+                    }
+                    Some(n) => n,
+                    None => break,
+                };
+            } else if f.is_punct(j, '#') {
+                let close = (j..f.toks.len()).find(|&k| f.is_punct(k, ']'));
+                j = match close.and_then(|c| f.next_code(c)) {
+                    Some(n) => n,
+                    None => break,
+                };
+            } else {
+                break;
+            }
+        }
+        let name = if f.toks[j].kind == TokKind::Ident && f.text(j) == "struct" {
+            f.next_code(j).map(|n| f.text(n).to_string())
+        } else if f.toks[j].kind == TokKind::Ident && f.text(j) == "impl" {
+            // Type name = first ident after `for` in the impl header.
+            let mut name = None;
+            for k in j + 1..f.toks.len() {
+                if f.is_punct(k, '{') {
+                    break;
+                }
+                if f.toks[k].kind == TokKind::Ident && f.text(k) == "for" {
+                    name = f.next_code(k).map(|n| f.text(n).to_string());
+                    break;
+                }
+            }
+            name
+        } else {
+            out.push(RawViolation {
+                line: t.line,
+                msg: "`// PROTOCOL: drop-guard` tag must annotate a struct or its `impl Drop`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let Some(name) = name else { continue };
+        let Some((body_start, body_end)) = find_drop_body(f, &name) else {
+            out.push(RawViolation {
+                line: t.line,
+                msg: format!(
+                    "type `{name}` is tagged `// PROTOCOL: drop-guard` but has no `impl Drop \
+                     for {name}` in this file"
+                ),
+            });
+            continue;
+        };
+        // The drop body must write the state word before any return path.
+        let first_write = (body_start..body_end).find(|&k| {
+            f.toks[k].kind == TokKind::Ident
+                && GUARD_WRITES.contains(&f.text(k))
+                && f.next_code(k).is_some_and(|n| f.is_punct(n, '('))
+        });
+        let Some(first_write) = first_write else {
+            out.push(RawViolation {
+                line: t.line,
+                msg: format!(
+                    "drop guard `{name}` never writes its state word (no \
+                     resolve/store/CAS call in `fn drop`)"
+                ),
+            });
+            continue;
+        };
+        for k in body_start..first_write {
+            if f.toks[k].kind == TokKind::Ident && f.text(k) == "return" {
+                out.push(RawViolation {
+                    line: f.toks[k].line,
+                    msg: format!(
+                        "drop guard `{name}` can return before writing its state word — the \
+                         protocol write must dominate every exit of `fn drop`"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Calls that can block (or spin unboundedly) and therefore must not run
+/// while a spin-lock guard is live.
+const BLOCKING_CALLS: &[&str] = &[
+    "spin",
+    "take_blocking",
+    "take_timeout",
+    "pop_batch",
+    "wait",
+    "join",
+    "sleep",
+    "recv",
+    "park",
+];
+
+fn check_no_blocking_under_lock(f: &FileCtx) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    // (guard name, brace depth its binding lives at)
+    let mut guards: Vec<(String, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < f.toks.len() {
+        if f.is_punct(i, '{') {
+            depth += 1;
+        } else if f.is_punct(i, '}') {
+            depth -= 1;
+            guards.retain(|(_, d)| *d <= depth);
+        } else if f.toks[i].kind == TokKind::Ident {
+            let t = f.text(i);
+            if t == "let" {
+                // Scan the statement (to its `;` at this depth) for a
+                // lock acquisition; bind the guard to this block depth.
+                let let_depth = depth;
+                let mut name = None;
+                let mut acquires = false;
+                let mut j = i + 1;
+                let mut d = depth;
+                while j < f.toks.len() {
+                    if f.is_punct(j, '{') {
+                        d += 1;
+                    } else if f.is_punct(j, '}') {
+                        d -= 1;
+                    } else if f.is_punct(j, ';') && d == let_depth {
+                        break;
+                    } else if f.toks[j].kind == TokKind::Ident {
+                        let tj = f.text(j);
+                        if name.is_none() && tj != "mut" {
+                            name = Some(tj.to_string());
+                        }
+                        if (tj == "acquire" || tj == "lock")
+                            && f.next_code(j).is_some_and(|n| f.is_punct(n, '('))
+                        {
+                            acquires = true;
+                        }
+                        // A blocking call in the initializer still runs
+                        // under any guard already live.
+                        if !guards.is_empty()
+                            && BLOCKING_CALLS.contains(&tj)
+                            && f.next_code(j).is_some_and(|n| f.is_punct(n, '('))
+                            && !f.annotated(j, &["BLOCKING:"])
+                        {
+                            out.push(RawViolation {
+                                line: f.toks[j].line,
+                                msg: format!(
+                                    "`{tj}(…)` while the lock guard `{}` is live — blocking \
+                                     under a spin-lock can deadlock the substrate; release \
+                                     the guard first (scope it or `drop` it) or justify with \
+                                     `// BLOCKING:`",
+                                    guards.last().map(|(g, _)| g.as_str()).unwrap_or("_")
+                                ),
+                            });
+                        }
+                    }
+                    j += 1;
+                }
+                if acquires {
+                    guards.push((name.unwrap_or_default(), let_depth));
+                }
+                i = j;
+                continue;
+            }
+            if t == "drop" {
+                // `drop(guard)` releases the named guard early.
+                if let Some(n) = f.next_code(i) {
+                    if f.is_punct(n, '(') {
+                        if let Some(a) = f.next_code(n) {
+                            let arg = f.text(a).to_string();
+                            guards.retain(|(g, _)| *g != arg);
+                        }
+                    }
+                }
+            } else if !guards.is_empty()
+                && BLOCKING_CALLS.contains(&t)
+                && f.next_code(i).is_some_and(|n| f.is_punct(n, '('))
+                && !f.annotated(i, &["BLOCKING:"])
+            {
+                out.push(RawViolation {
+                    line: f.toks[i].line,
+                    msg: format!(
+                        "`{t}(…)` while the lock guard `{}` is live — blocking under a \
+                         spin-lock can deadlock the substrate; release the guard first \
+                         (scope it or `drop` it) or justify with `// BLOCKING:`",
+                        guards.last().map(|(g, _)| g.as_str()).unwrap_or("_")
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 /// The workspace rule table. Order is the reporting order.
 pub static RULES: &[Rule] = &[
     Rule {
@@ -308,7 +596,7 @@ pub static RULES: &[Rule] = &[
         summary: "every `Ordering::Relaxed` in the concurrency substrate carries `// ORDERING:`",
         // The substrate crates where a missing happens-before is a
         // correctness bug rather than a style preference.
-        scope: Scope::Only(&["crates/sched", "crates/simd"]),
+        scope: Scope::Only(&["crates/sched", "crates/simd", "crates/serve"]),
         allow: &[AllowEntry {
             path: "crates/simd/src/denormals.rs",
             reason: "the ENGAGED guard counter is observability-only (read by tests and \
@@ -343,6 +631,23 @@ pub static RULES: &[Rule] = &[
         scope: Scope::All,
         allow: &[],
         check: check_allow_needs_rationale,
+    },
+    Rule {
+        id: "drop-guard-protocol",
+        summary: "`// PROTOCOL: drop-guard` types have a Drop whose state write dominates \
+                  every exit",
+        // Self-scoping: fires only where the tag appears, so it applies
+        // everywhere a guard type might live.
+        scope: Scope::All,
+        allow: &[],
+        check: check_drop_guard_protocol,
+    },
+    Rule {
+        id: "no-blocking-under-lock",
+        summary: "no blocking/spinning call while a spin-lock guard is live in serve/sched",
+        scope: Scope::Only(&["crates/serve", "crates/sched"]),
+        allow: &[],
+        check: check_no_blocking_under_lock,
     },
 ];
 
@@ -487,6 +792,68 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn drop_guard_with_dominating_write_passes() {
+        let src = "// PROTOCOL: drop-guard\nstruct G { s: AtomicUsize }\nimpl Drop for G {\n    fn drop(&mut self) {\n        self.s.store(1, Ordering::Release);\n        if self.s.load(Ordering::Acquire) > 9 { return; }\n    }\n}\n";
+        assert_eq!(ids("crates/serve/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn drop_guard_tag_on_impl_passes() {
+        let src = "struct G { s: AtomicUsize }\n// PROTOCOL: drop-guard — resolve is the state write\nimpl<A: Atomics> Drop for G {\n    fn drop(&mut self) { self.s.resolve(1); }\n}\n";
+        assert_eq!(ids("crates/serve/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn drop_guard_early_return_fails() {
+        let src = "// PROTOCOL: drop-guard\nstruct G { s: AtomicUsize, armed: bool }\nimpl Drop for G {\n    fn drop(&mut self) {\n        if !self.armed {\n            return;\n        }\n        self.s.store(1, Ordering::Release);\n    }\n}\n";
+        assert_eq!(ids("crates/serve/src/x.rs", src), vec![("drop-guard-protocol", 6)]);
+    }
+
+    #[test]
+    fn drop_guard_missing_drop_impl_fails() {
+        let src = "// PROTOCOL: drop-guard\npub struct G { s: AtomicUsize }\n";
+        assert_eq!(ids("crates/serve/src/x.rs", src), vec![("drop-guard-protocol", 1)]);
+    }
+
+    #[test]
+    fn drop_guard_without_state_write_fails() {
+        let src = "// PROTOCOL: drop-guard\nstruct G;\nimpl Drop for G {\n    fn drop(&mut self) { log(self); }\n}\n";
+        assert_eq!(ids("crates/serve/src/x.rs", src), vec![("drop-guard-protocol", 1)]);
+    }
+
+    #[test]
+    fn drop_guard_prose_mention_is_not_a_tag() {
+        let src = "/// Mentions the PROTOCOL: drop-guard idiom in prose only.\nfn f() {}\n";
+        assert_eq!(ids("crates/serve/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn blocking_under_live_guard_fails() {
+        let src = "fn f(q: &Q) {\n    let _g = q.acquire();\n    let _ = A::spin(&mut s, None);\n}\n";
+        assert_eq!(ids("crates/serve/src/x.rs", src), vec![("no-blocking-under-lock", 3)]);
+        // Out of scope: the same pattern elsewhere is not linted.
+        assert_eq!(ids("crates/gemm/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn blocking_after_guard_scope_closes_passes() {
+        let src = "fn f(q: &Q) {\n    {\n        let _g = q.acquire();\n        q.len();\n    }\n    q.take_blocking();\n}\n";
+        assert_eq!(ids("crates/serve/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "fn f(q: &Q) {\n    let g = q.acquire();\n    drop(g);\n    q.take_blocking();\n}\n";
+        assert_eq!(ids("crates/serve/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn blocking_annotation_escape_is_honoured() {
+        let src = "fn f(q: &Q) {\n    let _g = q.acquire();\n    // BLOCKING: bounded by the watchdog; holder is the only consumer\n    let _ = A::spin(&mut s, Some(age));\n}\n";
+        assert_eq!(ids("crates/serve/src/x.rs", src), vec![]);
     }
 
     #[test]

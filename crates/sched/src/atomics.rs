@@ -90,6 +90,51 @@ pub trait Atomics: 'static {
     fn spin(state: &mut Self::SpinState, deadline: Option<Duration>) -> Option<Duration>;
 }
 
+/// The clock seam: code that compares deadlines or measures queue ages
+/// names its timebase through this trait instead of calling
+/// `Instant::now()` directly, so the same source can run against the
+/// wall clock in production ([`StdClock`]) and against *virtual time*
+/// under the model checker (`ModelClock` in `wino-analyze`, where one
+/// tick is one scheduler step and "has the deadline passed?" becomes an
+/// explorable schedule choice rather than a wall-clock read).
+///
+/// The trait is deliberately minimal — an opaque, totally-ordered
+/// instant plus saturating arithmetic. Durations keep their `std`
+/// meaning; only the origin and rate of `now` are abstracted.
+pub trait Clock: 'static {
+    /// An opaque point in this clock's timebase.
+    type Instant: Copy + PartialOrd + Send + Sync + std::fmt::Debug;
+
+    /// The current instant.
+    fn now() -> Self::Instant;
+
+    /// `t + d` (saturating at the timebase's maximum).
+    fn add(t: Self::Instant, d: Duration) -> Self::Instant;
+
+    /// `later - earlier`, or `Duration::ZERO` if `later < earlier`.
+    fn since(later: Self::Instant, earlier: Self::Instant) -> Duration;
+}
+
+/// The production timebase: `std::time::Instant`.
+pub struct StdClock;
+
+impl Clock for StdClock {
+    type Instant = Instant;
+
+    #[inline]
+    fn now() -> Instant {
+        Instant::now()
+    }
+    #[inline]
+    fn add(t: Instant, d: Duration) -> Instant {
+        t.checked_add(d).unwrap_or(t)
+    }
+    #[inline]
+    fn since(later: Instant, earlier: Instant) -> Duration {
+        later.saturating_duration_since(earlier)
+    }
+}
+
 /// Pure spins before falling back to `yield_now` (tuned conservatively:
 /// real barrier crossings complete within tens of spins when cores are
 /// dedicated). Deadline checks also start only after this threshold, so

@@ -28,7 +28,7 @@ pub mod handoff;
 pub mod pool;
 pub mod probed;
 
-pub use atomics::{AtomicUsizeOps, Atomics, StdAtomics};
+pub use atomics::{AtomicUsizeOps, Atomics, Clock, StdAtomics, StdClock};
 pub use backend::{DynamicExecutor, Executor, SerialExecutor, StaticExecutor};
 pub use probed::ProbedExecutor;
 pub use barrier::{BarrierError, SpinBarrier, SpinBarrierIn};

@@ -9,8 +9,20 @@
 //! batch failures demote, a run of consecutive successes promotes.
 //! Rejection only happens when even the bottom rung fails the batcher's
 //! bounded retries.
+//!
+//! Like the queue primitives, the breaker is written generically over
+//! the [`Atomics`] seam ([`CircuitBreakerIn`]) so its trip/promote
+//! monotonicity — a single failure can move the ladder at most one rung,
+//! and only on a full streak — is model-checked over interleavings of
+//! the *shipped* source in `wino-analyze`. The state words are atomic so
+//! the submit path can read the current rung directly from the breaker
+//! (no separate published copy to fall out of sync); mutation remains
+//! single-writer (the batcher thread).
 
+use std::sync::atomic::Ordering;
 use std::time::Duration;
+
+use wino_sched::atomics::{AtomicUsizeOps, Atomics, StdAtomics};
 
 use crate::DegradeLevel;
 
@@ -40,39 +52,49 @@ impl Default for BreakerConfig {
 }
 
 /// Failure-streak tracker owning the current [`DegradeLevel`]. Single
-/// writer (the batcher thread); snapshots are published separately.
-#[derive(Debug)]
-pub struct CircuitBreaker {
+/// writer (the batcher thread) via `on_success`/`on_failure`; any thread
+/// may snapshot [`CircuitBreakerIn::level`] — the submit path reads it
+/// for admission-time shed decisions. `CircuitBreaker` is the production
+/// instantiation.
+pub struct CircuitBreakerIn<A: Atomics> {
     cfg: BreakerConfig,
-    level: DegradeLevel,
-    consecutive_failures: u32,
-    consecutive_successes: u32,
+    /// Current rung as `DegradeLevel as usize`; the one cross-thread word.
+    level: A::AtomicUsize,
+    consecutive_failures: A::AtomicUsize,
+    consecutive_successes: A::AtomicUsize,
 }
 
-impl CircuitBreaker {
-    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
-        CircuitBreaker {
+/// The production breaker.
+pub type CircuitBreaker = CircuitBreakerIn<StdAtomics>;
+
+impl<A: Atomics> CircuitBreakerIn<A> {
+    pub fn new(cfg: BreakerConfig) -> CircuitBreakerIn<A> {
+        CircuitBreakerIn {
             cfg,
-            level: DegradeLevel::Full,
-            consecutive_failures: 0,
-            consecutive_successes: 0,
+            level: A::AtomicUsize::new(DegradeLevel::Full as usize),
+            consecutive_failures: A::AtomicUsize::new(0),
+            consecutive_successes: A::AtomicUsize::new(0),
         }
     }
 
     /// The rung the next batch should execute at.
     pub fn level(&self) -> DegradeLevel {
-        self.level
+        DegradeLevel::from_u8(self.level.load(Ordering::Acquire) as u8)
     }
 
     /// Record a successful batch; `true` if the streak promoted the
-    /// ladder one rung (a recovery).
-    pub fn on_success(&mut self) -> bool {
-        self.consecutive_failures = 0;
-        self.consecutive_successes += 1;
-        if self.consecutive_successes >= self.cfg.recovery_threshold {
-            if let Some(up) = self.level.promoted() {
-                self.level = up;
-                self.consecutive_successes = 0;
+    /// ladder one rung (a recovery). Single-writer.
+    pub fn on_success(&self) -> bool {
+        // ORDERING: Relaxed — the streak counters are private to the
+        // single writer; only `level` is read cross-thread.
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        // ORDERING: Relaxed — single-writer counter, as above.
+        let streak = self.consecutive_successes.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.cfg.recovery_threshold as usize {
+            if let Some(up) = self.level().promoted() {
+                self.level.store(up as usize, Ordering::Release);
+                // ORDERING: Relaxed — single-writer counter, as above.
+                self.consecutive_successes.store(0, Ordering::Relaxed);
                 return true;
             }
         }
@@ -80,18 +102,30 @@ impl CircuitBreaker {
     }
 
     /// Record a failed batch attempt; `true` if the streak tripped the
-    /// breaker (demoted the ladder one rung).
-    pub fn on_failure(&mut self) -> bool {
-        self.consecutive_successes = 0;
-        self.consecutive_failures += 1;
-        if self.consecutive_failures >= self.cfg.trip_threshold {
-            if let Some(down) = self.level.degraded() {
-                self.level = down;
-                self.consecutive_failures = 0;
+    /// breaker (demoted the ladder one rung). Single-writer.
+    pub fn on_failure(&self) -> bool {
+        // ORDERING: Relaxed — single-writer counter (see `on_success`).
+        self.consecutive_successes.store(0, Ordering::Relaxed);
+        // ORDERING: Relaxed — single-writer counter (see `on_success`).
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.cfg.trip_threshold as usize {
+            if let Some(down) = self.level().degraded() {
+                self.level.store(down as usize, Ordering::Release);
+                // ORDERING: Relaxed — single-writer counter (see above).
+                self.consecutive_failures.store(0, Ordering::Relaxed);
                 return true;
             }
         }
         false
+    }
+}
+
+impl<A: Atomics> std::fmt::Debug for CircuitBreakerIn<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("level", &self.level())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
     }
 }
 
@@ -105,7 +139,7 @@ mod tests {
 
     #[test]
     fn failure_streak_walks_the_ladder_down() {
-        let mut b = CircuitBreaker::new(cfg(2, 4));
+        let b = CircuitBreaker::new(cfg(2, 4));
         assert_eq!(b.level(), DegradeLevel::Full);
         assert!(!b.on_failure());
         assert!(b.on_failure(), "second consecutive failure trips");
@@ -121,7 +155,7 @@ mod tests {
 
     #[test]
     fn success_streak_recovers_one_rung_at_a_time() {
-        let mut b = CircuitBreaker::new(cfg(1, 3));
+        let b = CircuitBreaker::new(cfg(1, 3));
         b.on_failure();
         b.on_failure();
         assert_eq!(b.level(), DegradeLevel::Im2col);
@@ -145,10 +179,19 @@ mod tests {
 
     #[test]
     fn failure_resets_success_streak_and_vice_versa() {
-        let mut b = CircuitBreaker::new(cfg(2, 2));
+        let b = CircuitBreaker::new(cfg(2, 2));
         b.on_failure();
         assert!(!b.on_success(), "success clears the failure streak");
         assert!(!b.on_failure(), "single failure after success does not trip");
         assert_eq!(b.level(), DegradeLevel::Full);
+    }
+
+    #[test]
+    fn level_snapshot_is_readable_through_a_shared_reference() {
+        let b = std::sync::Arc::new(CircuitBreaker::new(cfg(1, 1)));
+        let b2 = std::sync::Arc::clone(&b);
+        b.on_failure();
+        let h = std::thread::spawn(move || b2.level());
+        assert_eq!(h.join().unwrap(), DegradeLevel::Mono);
     }
 }

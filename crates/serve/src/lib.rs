@@ -57,9 +57,9 @@ pub mod model;
 pub mod queue;
 pub mod server;
 
-pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use breaker::{BreakerConfig, CircuitBreaker, CircuitBreakerIn};
 pub use model::{suggested_max_batch, ModelSpec, ServiceModel};
-pub use queue::Ticket;
+pub use queue::{DeadlineQueueIn, DropOutcome, PendingIn, PushReject, SlotIn, Ticket, TicketIn};
 pub use server::{ServeOptions, ServeStats, Server};
 
 /// Why a request was rejected or failed. Every variant is a *terminal*

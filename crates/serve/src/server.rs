@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,7 +39,7 @@ use wino_tensor::{BlockedImage, BlockedKernels, ShapeError};
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::model::{suggested_max_batch, ModelSpec, ServiceModel};
 use crate::queue::{DeadlineQueue, Pending, PushReject, Slot, Ticket};
-use crate::{DegradeLevel, ServeError, ServeReport};
+use crate::{DegradeLevel, ServeError, ServeReport, ServeResponse};
 
 /// Serving configuration.
 #[derive(Clone, Debug)]
@@ -99,7 +99,8 @@ struct Stats {
 
 impl Stats {
     fn bump(&self, cell: &AtomicU64, counter: Counter) {
-        // Monotonic tallies: atomicity suffices.
+        // ORDERING: Relaxed — monotonic tallies; atomicity suffices and
+        // nothing is published under them.
         cell.fetch_add(1, Ordering::Relaxed);
         counter.add(1);
     }
@@ -143,8 +144,10 @@ struct Shared {
     /// Images currently being executed by the batcher (admission
     /// estimates count them as queue-ahead work).
     in_flight: AtomicUsize,
-    /// Published breaker level (`DegradeLevel as u8`).
-    level: AtomicU8,
+    /// The breaker itself is the published level: its state words are
+    /// atomic, so the submit path reads the rung straight from the
+    /// source of truth instead of a separately-maintained copy.
+    breaker: CircuitBreaker,
     stats: Stats,
 }
 
@@ -199,7 +202,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: DeadlineQueue::new(opts.queue_capacity),
             in_flight: AtomicUsize::new(0),
-            level: AtomicU8::new(DegradeLevel::Full as u8),
+            breaker: CircuitBreaker::new(opts.breaker),
             stats: Stats::default(),
         });
         let in_channels = spec.in_channels;
@@ -243,6 +246,7 @@ impl Server {
         deadline: Instant,
     ) -> Result<Ticket, ServeError> {
         let stats = &self.shared.stats;
+        // ORDERING: Relaxed — monotonic tally, no ordering contract.
         stats.submitted.fetch_add(1, Ordering::Relaxed);
         self.check_shape(&input)?;
         let now = Instant::now();
@@ -253,6 +257,8 @@ impl Server {
             });
         }
         if let Some(svc) = &self.service {
+            // ORDERING: Relaxed — advisory load-estimate input; a stale
+            // value only skews the admission heuristic, never correctness.
             let queued = self.shared.queue.depth() + self.shared.in_flight.load(Ordering::Relaxed);
             let estimated_ms = svc.drain_ms(queued, self.max_batch)
                 + self.max_batch_age.as_secs_f64() * 1e3;
@@ -262,6 +268,8 @@ impl Server {
                 return Err(ServeError::PredictedMiss { estimated_ms, budget_ms });
             }
         }
+        // ORDERING: Relaxed — uniqueness needs atomicity only; ids carry
+        // no happens-before obligations.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = Slot::new();
         let pending =
@@ -269,6 +277,7 @@ impl Server {
         match self.shared.queue.push(pending) {
             Ok(depth) => {
                 stats.bump(&stats.admitted, Counter::ServeAdmitted);
+                // ORDERING: Relaxed — monotonic high-water mark, no ordering contract.
                 stats.peak_depth.fetch_max(depth as u64, Ordering::Relaxed);
                 Counter::ServeQueuePeakDepth.record_max(depth as u64);
                 Ok(Ticket::new(slot, id))
@@ -322,7 +331,7 @@ impl Server {
 
     /// The ladder rung the breaker currently stands on.
     pub fn level(&self) -> DegradeLevel {
-        DegradeLevel::from_u8(self.shared.level.load(Ordering::Relaxed))
+        self.shared.breaker.level()
     }
 
     /// The resolved batch ceiling.
@@ -333,6 +342,8 @@ impl Server {
     /// Snapshot the tallies.
     pub fn stats(&self) -> ServeStats {
         let s = &self.shared.stats;
+        // ORDERING: Relaxed — point-in-time tally snapshot; each cell is
+        // independently monotonic and nothing is published under them.
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ServeStats {
             submitted: get(&s.submitted),
@@ -553,7 +564,7 @@ fn batcher_main(
     let dims = spec.image_dims.clone();
     let mut exec = WorkerExec::new(threads, watchdog);
     let mut engine = Engine::new(spec, kernels, policy, threads);
-    let mut breaker = CircuitBreaker::new(breaker_cfg);
+    let breaker = &shared.breaker;
     let mut batch_id: u64 = 0;
     let stats = &shared.stats;
 
@@ -567,15 +578,17 @@ fn batcher_main(
             let mut report = ServeReport::unserved(p.id, breaker.level());
             report.queue_wait_ms = ms(now - p.enqueued);
             report.total_ms = report.queue_wait_ms;
-            p.resolve(
-                Err(ServeError::DeadlineExceeded { missed_by_ms: ms(now - p.deadline) }),
+            p.resolve(ServeResponse {
+                output: Err(ServeError::DeadlineExceeded { missed_by_ms: ms(now - p.deadline) }),
                 report,
-            );
+            });
         }
         if live.is_empty() {
             continue;
         }
 
+        // ORDERING: Relaxed — advisory load-estimate output read by the
+        // admission heuristic; staleness is tolerated by design.
         shared.in_flight.store(live.len(), Ordering::Relaxed);
         batch_id += 1;
         let assembled = assemble(&live, channels, &dims);
@@ -609,7 +622,6 @@ fn batcher_main(
                     if breaker.on_failure() {
                         stats.bump(&stats.breaker_trips, Counter::ServeBreakerTrips);
                     }
-                    shared.level.store(breaker.level() as u8, Ordering::Relaxed);
                     if exec.heal() {
                         stats.bump(&stats.pool_rebuilds, Counter::ServePoolRebuilds);
                     }
@@ -621,7 +633,6 @@ fn batcher_main(
                 }
             }
         };
-        shared.level.store(breaker.level() as u8, Ordering::Relaxed);
         let service_ms = ms(dispatch.elapsed());
 
         let make_report = |p: &Pending, level: DegradeLevel, layers: Vec<ExecutionReport>| {
@@ -642,24 +653,27 @@ fn batcher_main(
         match outcome {
             Ok((out, reports, level)) => {
                 for (i, p) in live.iter().enumerate() {
+                    // ORDERING: Relaxed — monotonic tally, no ordering contract.
                     stats.completed.fetch_add(1, Ordering::Relaxed);
-                    p.resolve(
-                        Ok(split_one(&out, i)),
-                        make_report(p, level, reports.clone()),
-                    );
+                    p.resolve(ServeResponse {
+                        output: Ok(split_one(&out, i)),
+                        report: make_report(p, level, reports.clone()),
+                    });
                 }
             }
             Err((e, level)) => {
                 let e = Arc::new(e);
                 for p in live.iter() {
+                    // ORDERING: Relaxed — monotonic tally, no ordering contract.
                     stats.failed.fetch_add(1, Ordering::Relaxed);
-                    p.resolve(
-                        Err(ServeError::Failed(Arc::clone(&e))),
-                        make_report(p, level, Vec::new()),
-                    );
+                    p.resolve(ServeResponse {
+                        output: Err(ServeError::Failed(Arc::clone(&e))),
+                        report: make_report(p, level, Vec::new()),
+                    });
                 }
             }
         }
+        // ORDERING: Relaxed — advisory load-estimate output, as above.
         shared.in_flight.store(0, Ordering::Relaxed);
     }
 }

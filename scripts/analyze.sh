@@ -4,10 +4,26 @@
 # audits: wider exhaustive bounds, a bigger random-schedule sweep, and
 # a self-test that the linter actually rejects seeded violations.
 # Run from the repo root: scripts/analyze.sh
+#
+#   scripts/analyze.sh          full deep pass (lint + all scenarios)
+#   scripts/analyze.sh --serve  serve-focused deep mode: soak the serve
+#                               scenarios + the leaked-waiter reinjection
+#                               and verify the machine-readable --json
+#                               verdict lines
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DEEP_TIMEOUT=${DEEP_TIMEOUT:-900}
+SERVE_ONLY=0
+for arg in "$@"; do
+    case "$arg" in
+        --serve) SERVE_ONLY=1 ;;
+        *)
+            echo "usage: scripts/analyze.sh [--serve]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 run() {
     echo "==> $*"
@@ -18,6 +34,31 @@ run "$DEEP_TIMEOUT" cargo build --offline --release -q -p wino-analyze
 
 LINT=target/release/wino-lint
 MODEL=target/release/wino-model
+
+if [ "$SERVE_ONLY" = 1 ]; then
+    # Serve deep mode: the five serve scenarios plus the re-injected
+    # leaked-waiter bug at soak bounds, consumed via the --json verdict
+    # lines (one object per scenario, then a summary object).
+    echo "==> $MODEL --scenario serve- --scenario reinject-leaked-waiter --json (deep)"
+    OUT=$(timeout --kill-after=30 "$DEEP_TIMEOUT" \
+        "$MODEL" --scenario serve- --scenario reinject-leaked-waiter \
+        --execs 50000 --random 20000 --min-interleavings 100000 --json)
+    echo "$OUT"
+    if echo "$OUT" | grep -q '"ok":false'; then
+        echo "error: a serve scenario verdict failed" >&2
+        exit 1
+    fi
+    if ! echo "$OUT" | grep -q '"summary":true,"scenarios":6,"failed":false'; then
+        echo "error: serve verdict summary missing or failed" >&2
+        exit 1
+    fi
+    if ! echo "$OUT" | grep -q '"scenario":"reinject-leaked-waiter","ok":true,"expect_violation":true'; then
+        echo "error: the re-injected leaked-waiter bug was not caught" >&2
+        exit 1
+    fi
+    echo "Serve deep analysis passed."
+    exit 0
+fi
 
 # 1. The linter's rule table, then the workspace itself (must be clean).
 run "$DEEP_TIMEOUT" "$LINT" --list-rules
@@ -37,8 +78,11 @@ echo "    fixture rejected, as intended"
 
 # 3. Deep model-checker enumeration: an order of magnitude beyond the
 #    check.sh gate, exhaustive where the schedule tree permits plus a
-#    large seeded-random sweep everywhere else.
-run "$DEEP_TIMEOUT" "$MODEL" --execs 200000 --random 50000 --seed 24301 \
+#    large seeded-random sweep everywhere else. Every scenario runs
+#    under both DFS and DPOR (the binary fails if they disagree or if
+#    DPOR explores more), so the effective schedule budget is ~2x the
+#    --execs bound per scenario.
+run "$DEEP_TIMEOUT" "$MODEL" --execs 100000 --random 30000 --seed 24301 \
     --min-interleavings 100000
 
 # 4. Second sweep under a different seed: schedule coverage in random

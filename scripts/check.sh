@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 # but nothing here should come close to these bounds.
 BUILD_TIMEOUT=${BUILD_TIMEOUT:-900}
 TEST_TIMEOUT=${TEST_TIMEOUT:-900}
-ANALYZE_TIMEOUT=${ANALYZE_TIMEOUT:-120}
+ANALYZE_TIMEOUT=${ANALYZE_TIMEOUT:-240}
 
 run() {
     echo "==> $*"
@@ -58,11 +58,22 @@ RUSTDOCFLAGS="-D warnings" run "$BUILD_TIMEOUT" cargo doc --workspace --offline 
 
 # Static analysis gate: the workspace must lint clean (100% SAFETY /
 # ORDERING coverage) and the model checker must clear its interleaving
-# floor on the release binary (well under a minute).
+# floor on the release binary. The binary runs every scenario under
+# bounded DFS *and* DPOR and fails on its own if the two disagree on a
+# verdict, a re-injected bug goes uncaught, or DPOR explores more
+# interleavings than DFS on any scenario.
 run "$ANALYZE_TIMEOUT" cargo run --offline --release -q -p wino-analyze --bin wino-lint
 run "$TEST_TIMEOUT" cargo test --offline -q -p wino-analyze
 run "$ANALYZE_TIMEOUT" cargo run --offline --release -q -p wino-analyze --bin wino-model -- \
     --min-interleavings 10000
+
+# Serve-model gate: the five serve-contract scenarios plus the
+# re-injected leaked-waiter bug (drop guard ordered after the state
+# store) — ≥10k interleavings across the serve suite, and the checker
+# must catch the seeded bug.
+run "$ANALYZE_TIMEOUT" cargo run --offline --release -q -p wino-analyze --bin wino-model -- \
+    --scenario serve- --scenario reinject-leaked-waiter \
+    --execs 10000 --random 2000 --min-interleavings 10000
 
 # Observability gate: an instrumented smoke run must emit a perf report
 # that validates against the versioned schema (docs/bench-schema.md).
