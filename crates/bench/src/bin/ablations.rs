@@ -175,10 +175,7 @@ fn main() {
         "fused-scatter" => schedules(exec.as_ref(), reps, json),
         "blocking-model" => blocking_model(reps, json),
         "scheduling" => {
-            let threads = args.usize_or(
-                "--threads",
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-            );
+            let threads = args.usize_or("--threads", wino_sched::configured_threads());
             scheduling(threads.max(2), reps, json)
         }
         "budden-net" => budden_net(exec.as_ref(), reps, args.usize_or("--image", 256), json),

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod perf;
+pub mod scaling;
 
 use wino_baseline::{direct_conv, im2col_conv};
 use wino_conv::{ConvOptions, Scratch, WinogradLayer};
@@ -324,13 +325,11 @@ impl Args {
     }
 }
 
-/// Build the requested executor (`--threads N`, default: available
-/// parallelism; `1` gives the serial executor).
+/// Build the requested executor (`--threads N`, default: the detected
+/// topology's CPU count via [`wino_sched::configured_threads`], which
+/// honours the `WINO_THREADS` override; `1` gives the serial executor).
 pub fn make_executor(args: &Args) -> Box<dyn Executor> {
-    let threads = args.usize_or(
-        "--threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-    );
+    let threads = args.usize_or("--threads", wino_sched::configured_threads());
     if threads <= 1 {
         Box::new(wino_sched::SerialExecutor)
     } else {

@@ -31,6 +31,27 @@ impl TileMajor {
         }
     }
 
+    /// As [`Self::new`], zeroed — and therefore NUMA-placed — through
+    /// `exec` (see `wino_tensor::first_touch`).
+    pub fn new_first_touch(
+        batch: usize,
+        out_channels: usize,
+        n_tiles: usize,
+        t_vol: usize,
+        exec: &dyn wino_sched::Executor,
+    ) -> TileMajor {
+        assert!(out_channels.is_multiple_of(S));
+        let channel_groups = out_channels / S;
+        let len = batch * channel_groups * n_tiles * t_vol * S;
+        TileMajor {
+            batch,
+            channel_groups,
+            n_tiles,
+            t_vol,
+            data: wino_tensor::zeroed_first_touch(len, exec),
+        }
+    }
+
     pub fn batch(&self) -> usize {
         self.batch
     }

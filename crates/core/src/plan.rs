@@ -539,14 +539,42 @@ impl Scratch {
     /// Allocate scratch for `layer`, usable with executors of up to
     /// `threads` thread slots.
     pub fn new(layer: &WinogradLayer, threads: usize) -> Scratch {
+        Scratch::build(layer, threads, None)
+    }
+
+    /// As [`Scratch::new`], but the four large transformed-data buffers
+    /// (`u`, `v`, `x`, `y`) are zeroed — and therefore NUMA-placed —
+    /// through `exec` (`wino_tensor::first_touch`): each executor thread
+    /// first-touches the region of scratch that the same executor's
+    /// partition will steer it at during the forward pass. Thread-slot
+    /// count is taken from `exec.threads()`.
+    pub fn new_first_touch(layer: &WinogradLayer, exec: &dyn wino_sched::Executor) -> Scratch {
+        Scratch::build(layer, exec.threads(), Some(exec))
+    }
+
+    fn build(
+        layer: &WinogradLayer,
+        threads: usize,
+        exec: Option<&dyn wino_sched::Executor>,
+    ) -> Scratch {
         let t = layer.t_vol();
         let rows = layer.rows();
         let (c, cp) = (layer.shape.in_channels, layer.shape.out_channels);
         let b = layer.block;
-        let u = BlockedMatrices::new(t, rows, c, b.n_blk, b.c_blk);
-        let v = BlockedMatrices::new(t, c, cp, b.c_blk, b.cp_blk);
-        let x = BlockedMatrices::new(t, rows, cp, b.n_blk, b.cp_blk);
-        let y = TileMajor::new(layer.shape.batch, cp, layer.n_tiles(), t);
+        let (u, v, x, y) = match exec {
+            Some(e) => (
+                BlockedMatrices::new_first_touch(t, rows, c, b.n_blk, b.c_blk, e),
+                BlockedMatrices::new_first_touch(t, c, cp, b.c_blk, b.cp_blk, e),
+                BlockedMatrices::new_first_touch(t, rows, cp, b.n_blk, b.cp_blk, e),
+                TileMajor::new_first_touch(layer.shape.batch, cp, layer.n_tiles(), t, e),
+            ),
+            None => (
+                BlockedMatrices::new(t, rows, c, b.n_blk, b.c_blk),
+                BlockedMatrices::new(t, c, cp, b.c_blk, b.cp_blk),
+                BlockedMatrices::new(t, rows, cp, b.n_blk, b.cp_blk),
+                TileMajor::new(layer.shape.batch, cp, layer.n_tiles(), t),
+            ),
+        };
         let bufs = (0..threads.max(1))
             .map(|_| {
                 UnsafeCell::new(ThreadBuf {
@@ -676,6 +704,20 @@ mod tests {
         assert_eq!(scratch.y.n_tiles(), 9);
         assert_eq!(scratch.thread_slots(), 4);
         assert!(scratch.bytes() > 0);
+    }
+
+    #[test]
+    fn scratch_first_touch_matches_plain_scratch() {
+        let layer = WinogradLayer::new(shape2d(), &[4, 4], ConvOptions::default()).unwrap();
+        let exec = wino_sched::StaticExecutor::new(3);
+        let ft = Scratch::new_first_touch(&layer, &exec);
+        let plain = Scratch::new(&layer, 3);
+        assert_eq!(ft.bytes(), plain.bytes());
+        assert_eq!(ft.thread_slots(), 3);
+        // First-touch zeroing must produce exactly the all-zero state the
+        // plain constructor guarantees.
+        assert!(ft.u.as_slice().iter().all(|&x| x == 0.0));
+        assert!(ft.x.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]

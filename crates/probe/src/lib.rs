@@ -67,7 +67,10 @@ pub use counters::Counter;
 pub use event::{SpanCategory, SpanEvent, ALL_CATEGORIES, COORDINATOR};
 pub use json::{parse as parse_json, Json, ParseError};
 pub use report::{fold, BarrierStats, MachineModel, StageReport, StageRow, StageWork, WorkModel};
-pub use schema::{validate as validate_schema, BACKEND_NAMES, FALLBACK_CODES, SCHEMA_VERSION};
+pub use schema::{
+    validate as validate_schema, BACKEND_NAMES, FALLBACK_CODES, SCALING_MODES, SCHEMA_VERSION,
+    SMOKE_SKEW_BUDGET_US,
+};
 
 /// Whether instrumentation is compiled in (the `enabled` cargo feature).
 /// A `const`, so `if ENABLED { … }` guards fold away in disabled builds.

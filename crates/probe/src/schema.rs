@@ -27,7 +27,30 @@ use crate::json::Json;
 /// the `layers` array, previously mandatory and non-empty, is required
 /// exactly when `serve` is absent. That relaxation changes what
 /// consumers may assume about `layers`, hence the bump.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: scaling reports. A document may carry a top-level `scaling`
+/// object (strong/weak-scaling sweep results: per-point speedup and
+/// parallel efficiency, optional barrier-skew columns, the detected
+/// topology, and Amdahl-fitted serial fractions) — and `layers` is now
+/// required exactly when *neither* `serve` nor `scaling` is present.
+/// That relaxation again changes what consumers may assume about
+/// `layers`, hence the bump.
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// Barrier-skew budget (µs) the `--scaling-smoke` gate holds smoke-layer
+/// sweeps to: the worst single fork–join skew a smoke-sized layer may
+/// exhibit before the run fails. Sized from the probe layer's own
+/// measurements — smoke layers complete a fork–join in hundreds of µs,
+/// so 25 ms of skew means a participant was descheduled for an entire
+/// timeslice (oversubscription), not load imbalance; CI hosts routinely
+/// show a handful of ms. Scaling reports echo the budget they were
+/// gated against in `scaling.skew_budget_us`.
+pub const SMOKE_SKEW_BUDGET_US: f64 = 25_000.0;
+
+/// The stable mode names of scaling sweep points
+/// (`scaling.points[i].mode`): `strong` = fixed problem, growing thread
+/// count; `weak` = problem grows proportionally with threads.
+pub const SCALING_MODES: [&str; 2] = ["strong", "weak"];
 
 /// The stable names of `wino_conv::LayerBackend` variants as serialized
 /// into `layers[i].execution.backend` and serve `backends` tallies. The
@@ -70,13 +93,13 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         None => err("missing 'machine' object".into()),
     }
 
-    // v3: `layers` is mandatory (and non-empty) exactly when the document
-    // has no `serve` section; a serve report has no per-layer stage
-    // breakdowns but may still include layer rows if it collected them.
-    let has_serve = doc.get("serve").is_some();
+    // v4: `layers` is mandatory (and non-empty) exactly when the document
+    // has neither a `serve` nor a `scaling` section; those reports have no
+    // per-layer stage breakdowns but may still include layer rows.
+    let has_alternate = doc.get("serve").is_some() || doc.get("scaling").is_some();
     match doc.get("layers").and_then(Json::as_arr) {
-        None if !has_serve => err("missing 'layers' array".into()),
-        Some([]) if !has_serve => err("'layers' is empty".into()),
+        None if !has_alternate => err("missing 'layers' array".into()),
+        Some([]) if !has_alternate => err("'layers' is empty".into()),
         Some(layers) => {
             for (i, layer) in layers.iter().enumerate() {
                 validate_layer(i, layer, &mut errs);
@@ -87,6 +110,10 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
 
     if let Some(serve) = doc.get("serve") {
         validate_serve(serve, &mut errs);
+    }
+
+    if let Some(scaling) = doc.get("scaling") {
+        validate_scaling(scaling, &mut errs);
     }
 
     // v2: an optional top-level `counters` object (sentinel tallies).
@@ -267,6 +294,90 @@ fn validate_serve(serve: &Json, errs: &mut Vec<String>) {
     }
 }
 
+/// The v4 `scaling` section: strong/weak-scaling sweep results from the
+/// `wino-bench` scaling binary.
+fn validate_scaling(scaling: &Json, errs: &mut Vec<String>) {
+    for key in ["host_threads", "efficiency_floor"] {
+        if scaling.get(key).and_then(Json::as_f64).is_none() {
+            errs.push(format!("scaling.{key} missing or not a number"));
+        }
+    }
+    if let Some(v) = scaling.get("skew_budget_us") {
+        if v.as_f64().is_none() {
+            errs.push("scaling.skew_budget_us is not a number".into());
+        }
+    }
+    // Optional topology provenance: how the sweep saw the machine.
+    if let Some(topo) = scaling.get("topology") {
+        for key in ["domains", "cpus", "smt"] {
+            if topo.get(key).and_then(Json::as_f64).is_none() {
+                errs.push(format!("scaling.topology.{key} missing or not a number"));
+            }
+        }
+        for key in ["source", "spec"] {
+            if topo.get(key).and_then(Json::as_str).is_none() {
+                errs.push(format!("scaling.topology.{key} missing or not a string"));
+            }
+        }
+    }
+    match scaling.get("points").and_then(Json::as_arr) {
+        None => errs.push("scaling.points missing or not an array".into()),
+        Some([]) => errs.push("scaling.points is empty".into()),
+        Some(points) => {
+            for (i, p) in points.iter().enumerate() {
+                let ctx = |f: &str| format!("scaling.points[{i}].{f}");
+                if p.get("layer").and_then(Json::as_str).is_none() {
+                    errs.push(format!("{} missing or not a string", ctx("layer")));
+                }
+                match p.get("mode").and_then(Json::as_str) {
+                    Some(m) if SCALING_MODES.contains(&m) => {}
+                    Some(m) => errs.push(format!("{} '{m}' is not a known mode", ctx("mode"))),
+                    None => errs.push(format!("{} missing or not a string", ctx("mode"))),
+                }
+                for key in ["threads", "best_ms", "speedup", "efficiency"] {
+                    if p.get(key).and_then(Json::as_f64).is_none() {
+                        errs.push(format!("{} missing or not a number", ctx(key)));
+                    }
+                }
+                for key in ["batch", "mean_ms", "max_skew_us", "mean_skew_us"] {
+                    if let Some(v) = p.get(key) {
+                        if v.as_f64().is_none() {
+                            errs.push(format!("{} is not a number", ctx(key)));
+                        }
+                    }
+                }
+                if let Some(v) = p.get("executor") {
+                    if v.as_str().is_none() {
+                        errs.push(format!("{} is not a string", ctx("executor")));
+                    }
+                }
+            }
+        }
+    }
+    // Optional Amdahl fits, one per strong-scaled layer.
+    if let Some(fits) = scaling.get("fits") {
+        match fits.as_arr() {
+            Some(fits) => {
+                for (i, fit) in fits.iter().enumerate() {
+                    if fit.get("layer").and_then(Json::as_str).is_none() {
+                        errs.push(format!("scaling.fits[{i}].layer missing or not a string"));
+                    }
+                    match fit.get("serial_fraction").and_then(Json::as_f64) {
+                        Some(s) if (0.0..=1.0).contains(&s) => {}
+                        Some(s) => errs.push(format!(
+                            "scaling.fits[{i}].serial_fraction {s} outside [0, 1]"
+                        )),
+                        None => errs.push(format!(
+                            "scaling.fits[{i}].serial_fraction missing or not a number"
+                        )),
+                    }
+                }
+            }
+            None => errs.push("scaling.fits is not an array".into()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,7 +385,7 @@ mod tests {
 
     fn valid_doc() -> String {
         r#"{
-          "schema_version": 3,
+          "schema_version": 4,
           "generated_by": "wino-bench perf",
           "date": "2026-08-07",
           "machine": {"peak_gflops": 100.0, "mem_bw_gbps": 20.0, "threads": 4, "simd": "avx2"},
@@ -297,7 +408,7 @@ mod tests {
 
     fn valid_serve_doc() -> String {
         r#"{
-          "schema_version": 3,
+          "schema_version": 4,
           "generated_by": "wino-bench serve_load",
           "date": "2026-08-07",
           "machine": {"peak_gflops": 100.0, "mem_bw_gbps": 20.0, "threads": 4, "simd": "avx2"},
@@ -315,6 +426,31 @@ mod tests {
         .to_string()
     }
 
+    fn valid_scaling_doc() -> String {
+        r#"{
+          "schema_version": 4,
+          "generated_by": "wino-bench scaling",
+          "date": "2026-08-09",
+          "machine": {"peak_gflops": 100.0, "mem_bw_gbps": 20.0, "threads": 4, "simd": "avx2"},
+          "scaling": {
+            "host_threads": 4, "efficiency_floor": 0.6, "skew_budget_us": 25000,
+            "topology": {"domains": 2, "cpus": 4, "smt": 1, "source": "env", "spec": "0-1;2-3"},
+            "points": [
+              {"layer": "VGG 3.2", "mode": "strong", "threads": 1, "executor": "sharded",
+               "best_ms": 4.0, "mean_ms": 4.2, "speedup": 1.0, "efficiency": 1.0,
+               "max_skew_us": 0.0, "mean_skew_us": 0.0},
+              {"layer": "VGG 3.2", "mode": "strong", "threads": 4,
+               "best_ms": 1.25, "speedup": 3.2, "efficiency": 0.8,
+               "max_skew_us": 40.0, "mean_skew_us": 11.0},
+              {"layer": "VGG 3.2", "mode": "weak", "threads": 4, "batch": 8,
+               "best_ms": 4.4, "speedup": 3.6, "efficiency": 0.91}
+            ],
+            "fits": [{"layer": "VGG 3.2", "serial_fraction": 0.083}]
+          }
+        }"#
+        .to_string()
+    }
+
     #[test]
     fn accepts_valid_document() {
         let doc = parse(&valid_doc()).unwrap();
@@ -322,9 +458,43 @@ mod tests {
     }
 
     #[test]
+    fn scaling_document_validates_without_layers() {
+        let doc = parse(&valid_scaling_doc()).unwrap();
+        validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn scaling_section_is_field_checked() {
+        // Required top-level number missing.
+        let bad = valid_scaling_doc().replace("\"efficiency_floor\": 0.6, ", "");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("scaling.efficiency_floor")), "{errs:?}");
+        // Unknown sweep mode.
+        let bad = valid_scaling_doc().replace("\"mode\": \"weak\"", "\"mode\": \"diagonal\"");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("not a known mode")), "{errs:?}");
+        // Point missing a required numeric column.
+        let bad = valid_scaling_doc().replace("\"speedup\": 3.6, ", "");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("speedup")), "{errs:?}");
+        // Serial fraction outside [0, 1].
+        let bad = valid_scaling_doc().replace("\"serial_fraction\": 0.083", "\"serial_fraction\": 1.5");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("outside [0, 1]")), "{errs:?}");
+        // Empty points array.
+        let bad = valid_scaling_doc().replace("\"points\": [", "\"pointz\": [");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("scaling.points missing")), "{errs:?}");
+        // Topology provenance is type-checked when present.
+        let bad = valid_scaling_doc().replace("\"source\": \"env\"", "\"source\": 3");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("scaling.topology.source")), "{errs:?}");
+    }
+
+    #[test]
     fn rejects_wrong_version() {
         // v2 documents lack the serve/layers contract — reject, don't coerce.
-        let doc = parse(&valid_doc().replace("\"schema_version\": 3", "\"schema_version\": 2")).unwrap();
+        let doc = parse(&valid_doc().replace("\"schema_version\": 4", "\"schema_version\": 3")).unwrap();
         let errs = validate(&doc).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("schema_version")));
     }
@@ -411,14 +581,14 @@ mod tests {
 
     #[test]
     fn rejects_empty_layers_and_stages() {
-        let doc = parse(r#"{"schema_version": 3, "generated_by": "x", "date": "d",
+        let doc = parse(r#"{"schema_version": 4, "generated_by": "x", "date": "d",
             "machine": {"peak_gflops": 1, "mem_bw_gbps": 1, "threads": 1, "simd": "scalar"},
             "layers": []}"#)
         .unwrap();
         let errs = validate(&doc).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("'layers' is empty")));
         // And a document with neither layers nor serve is rejected.
-        let doc = parse(r#"{"schema_version": 3, "generated_by": "x", "date": "d",
+        let doc = parse(r#"{"schema_version": 4, "generated_by": "x", "date": "d",
             "machine": {"peak_gflops": 1, "mem_bw_gbps": 1, "threads": 1, "simd": "scalar"}}"#)
         .unwrap();
         let errs = validate(&doc).unwrap_err();

@@ -197,9 +197,10 @@ impl DynamicExecutor {
         DynamicExecutor { threads }
     }
 
+    /// Executor sized by [`crate::topology::configured_threads`]
+    /// (`WINO_THREADS` override, else every online CPU).
     pub fn with_available_parallelism() -> DynamicExecutor {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        DynamicExecutor::new(n)
+        DynamicExecutor::new(crate::topology::configured_threads())
     }
 }
 

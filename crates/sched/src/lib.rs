@@ -7,6 +7,18 @@
 //! [`Executor`] backends (static / dynamic / serial) so the scheduling
 //! ablation can swap strategies without touching the convolution code.
 //!
+//! ## Topology awareness
+//!
+//! [`Topology`] describes the machine as cache-sharing CPU *domains*
+//! (detected from sysfs, overridden with `WINO_TOPOLOGY`, or flat), and
+//! [`configured_threads`] is the single sanctioned thread-count source
+//! (`WINO_THREADS` override included) — no caller should read
+//! `available_parallelism` directly. On multi-domain machines,
+//! [`ShardedPool`] runs one [`ThreadPool`] per domain so barrier traffic
+//! never crosses a cache boundary, with optional best-effort affinity
+//! pinning and per-domain failure isolation. See `DESIGN.md` §11 and
+//! `docs/scaling.md` for the policy and the measured scaling story.
+//!
 //! ## Failure model
 //!
 //! Panics inside parallel jobs are contained with `catch_unwind` on every
@@ -27,6 +39,8 @@ pub mod grid;
 pub mod handoff;
 pub mod pool;
 pub mod probed;
+pub mod shard;
+pub mod topology;
 
 pub use atomics::{AtomicUsizeOps, Atomics, Clock, StdAtomics, StdClock};
 pub use backend::{DynamicExecutor, Executor, SerialExecutor, StaticExecutor};
@@ -35,3 +49,8 @@ pub use barrier::{BarrierError, SpinBarrier, SpinBarrierIn};
 pub use grid::{GridPartition, TaskBox};
 pub use handoff::JobExitLatch;
 pub use pool::{default_deadline, PoolError, ThreadPool, DEFAULT_DEADLINE};
+pub use shard::ShardedPool;
+pub use topology::{
+    configured_threads, parse_cpulist, pin_current_thread, render_cpulist, Domain, Topology,
+    TopologySource,
+};

@@ -202,7 +202,24 @@ impl ThreadPool {
 
     /// As [`ThreadPool::new`] with an explicit barrier watchdog deadline.
     pub fn with_deadline(n_threads: usize, deadline: Duration) -> ThreadPool {
+        ThreadPool::with_deadline_pinned(n_threads, deadline, None)
+    }
+
+    /// As [`ThreadPool::with_deadline`], optionally pinning every spawned
+    /// worker to `pin_cpus` (a topology domain's CPU set) before it first
+    /// parks at the start barrier. Pinning is best effort: if the kernel
+    /// refuses (or the target has no affinity syscall) the worker runs
+    /// unpinned — locality is an optimisation, never a correctness
+    /// requirement. The calling thread (tid 0) is *not* pinned here; a
+    /// driver that wants matching affinity pins itself (see
+    /// [`crate::shard::ShardedPool`]).
+    pub fn with_deadline_pinned(
+        n_threads: usize,
+        deadline: Duration,
+        pin_cpus: Option<Vec<usize>>,
+    ) -> ThreadPool {
         assert!(n_threads > 0);
+        let pin_cpus = pin_cpus.map(Arc::<[usize]>::from);
         let shared = Arc::new(Shared {
             start: SpinBarrier::new(n_threads),
             end: SpinBarrier::new(n_threads),
@@ -215,19 +232,27 @@ impl ThreadPool {
         let workers = (1..n_threads)
             .map(|tid| {
                 let shared = Arc::clone(&shared);
+                let pin = pin_cpus.clone();
                 std::thread::Builder::new()
                     .name(format!("wino-worker-{tid}"))
-                    .spawn(move || worker_loop(&shared, tid))
+                    .spawn(move || {
+                        if let Some(cpus) = pin {
+                            let _ = crate::topology::pin_current_thread(&cpus);
+                        }
+                        worker_loop(&shared, tid)
+                    })
                     .expect("failed to spawn worker")
             })
             .collect();
         ThreadPool { shared, workers, n_threads, deadline, dead: AtomicBool::new(false) }
     }
 
-    /// Pool with one participant per available hardware thread.
+    /// Pool sized by the process-wide thread policy
+    /// ([`crate::topology::configured_threads`]): the `WINO_THREADS`
+    /// override when set, otherwise every online CPU of the detected
+    /// topology.
     pub fn with_available_parallelism() -> ThreadPool {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ThreadPool::new(n)
+        ThreadPool::new(crate::topology::configured_threads())
     }
 
     pub fn n_threads(&self) -> usize {
@@ -261,7 +286,7 @@ impl ThreadPool {
         self.run(|_| {})
     }
 
-    fn mark_dead(&self) {
+    pub(crate) fn mark_dead(&self) {
         self.dead.store(true, Ordering::Release);
         // Unwind every parked or spinning participant promptly.
         self.shared.start.poison();

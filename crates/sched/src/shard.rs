@@ -1,0 +1,465 @@
+//! Topology-aware pool sharding: one fork–join [`ThreadPool`] per
+//! last-level-cache domain.
+//!
+//! A single pool spanning sockets (or CCXes) makes every barrier crossing
+//! a cross-cache-domain round trip and lets the OS migrate workers across
+//! domains mid-layer, churning the L2/L3 working sets the paper's blocked
+//! layouts exist to protect. [`ShardedPool`] instead builds one
+//! [`ThreadPool`] per [`crate::topology::Domain`], optionally pinning each
+//! shard's workers to its domain's CPUs, and splits every grid across the
+//! shards with the same recursive-GCD partitioner that splits work within
+//! a shard: [`GridPartition::new(dims, total_threads)`](GridPartition)
+//! yields one contiguous hyper-rectangle per *thread*, in an order that
+//! keeps adjacent boxes adjacent in the grid, and each shard takes a
+//! contiguous run of those boxes. Barriers then only ever synchronise
+//! threads that share a last-level cache.
+//!
+//! # Failure model — per-shard degradation
+//!
+//! Each shard keeps the single-pool failure contract (see
+//! [`crate::pool`]): panics are contained per participant and the shard
+//! stays usable; a watchdog trip kills only that shard. A `run_grid` in
+//! which any shard fails returns `Err` (the grid may be partially
+//! executed, outputs are garbage — same contract as every
+//! [`Executor`]), but subsequent calls keep running on the surviving
+//! shards: dead shards are filtered out at entry and the whole grid is
+//! re-partitioned across the live ones. [`ShardedPool::degraded`] reports
+//! lost capacity and [`ShardedPool::rebuild`] respawns dead shards, the
+//! sharded analogue of the serve layer's pool-rebuild path.
+//!
+//! No new lock-free protocol is introduced: shard fan-out uses
+//! `std::thread::scope` (spawn/join are release/acquire pairs), results
+//! travel through a `Mutex`, and the only atomics involved are the ones
+//! already inside [`ThreadPool`] and its model-checked barrier.
+//!
+//! ```
+//! use wino_sched::{Executor, ShardedPool, Topology};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! // Two domains of two threads each (a fixture topology; real callers
+//! // use `ShardedPool::detect()`).
+//! let topo = Topology::from_spec("2x2").unwrap();
+//! let pool = ShardedPool::new(&topo);
+//! assert_eq!(pool.threads(), 4);
+//! assert_eq!(pool.shards(), 2);
+//!
+//! let hits = AtomicUsize::new(0);
+//! pool.run_grid(&[8, 8], &|slot, _idx| {
+//!     assert!(slot < 4);
+//!     hits.fetch_add(1, Ordering::Relaxed);
+//! })
+//! .unwrap();
+//! assert_eq!(hits.load(Ordering::Relaxed), 64);
+//! ```
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::backend::Executor;
+use crate::pool::{default_deadline, PoolError, ThreadPool};
+use crate::topology::{pin_current_thread, Topology};
+use crate::GridPartition;
+
+struct Shard {
+    pool: ThreadPool,
+    /// The domain's CPUs (pin target when pinning is on; also kept for
+    /// rebuilds). Empty when the shard was built from a thread count
+    /// rather than a real domain.
+    cpus: Vec<usize>,
+    /// First global slot of this shard; its slots are
+    /// `slot_base..slot_base + threads`.
+    slot_base: usize,
+    threads: usize,
+}
+
+/// One [`ThreadPool`] per topology domain, driven as a single
+/// [`Executor`]. See the [module docs](self) for the sharding and failure
+/// model.
+pub struct ShardedPool {
+    shards: Vec<Shard>,
+    deadline: Duration,
+    pin: bool,
+    /// Stable slot capacity: the sum of all shard sizes at construction,
+    /// including currently-dead shards. `threads()` reports this so
+    /// per-slot scratch sized once stays valid across degradation.
+    total_threads: usize,
+}
+
+impl ShardedPool {
+    /// One unpinned shard per domain of `topology`, watchdog deadline
+    /// from [`default_deadline`].
+    pub fn new(topology: &Topology) -> ShardedPool {
+        ShardedPool::with_options(topology, default_deadline(), false)
+    }
+
+    /// Shards for the detected host topology ([`Topology::detect`]),
+    /// pinned to their domains only when the topology came from sysfs —
+    /// an env-spec or flat fallback describes CPUs that may not exist,
+    /// and pinning to them would be meaningless at best.
+    pub fn detect() -> ShardedPool {
+        let topo = Topology::detect();
+        let pin = topo.source() == crate::topology::TopologySource::Sysfs;
+        ShardedPool::with_options(&topo, default_deadline(), pin)
+    }
+
+    /// Full control: one shard per domain, explicit watchdog `deadline`
+    /// per shard, and `pin` to request best-effort affinity of each
+    /// shard's workers (and its driver thread during `run_grid`) to the
+    /// domain's CPUs.
+    pub fn with_options(topology: &Topology, deadline: Duration, pin: bool) -> ShardedPool {
+        let mut shards = Vec::with_capacity(topology.domains().len());
+        let mut slot_base = 0;
+        for d in topology.domains() {
+            let threads = d.cpus.len();
+            let pin_cpus = pin.then(|| d.cpus.clone());
+            let pool = ThreadPool::with_deadline_pinned(threads, deadline, pin_cpus);
+            shards.push(Shard { pool, cpus: d.cpus.clone(), slot_base, threads });
+            slot_base += threads;
+        }
+        assert!(!shards.is_empty(), "a topology always has at least one domain");
+        ShardedPool { shards, deadline, pin, total_threads: slot_base }
+    }
+
+    /// Number of shards (topology domains), dead or alive.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shards currently able to run work.
+    pub fn live_shards(&self) -> usize {
+        self.shards.iter().filter(|s| !s.pool.is_dead()).count()
+    }
+
+    /// Whether any shard has been killed by a barrier failure. Work still
+    /// runs (on the survivors) until *every* shard is dead.
+    pub fn degraded(&self) -> bool {
+        self.live_shards() < self.shards.len()
+    }
+
+    /// Per-shard active liveness probe: one empty fork–join on every
+    /// shard (dead shards report [`PoolError::Unusable`] without being
+    /// probed). Index `i` is the shard over
+    /// `topology.domains()[i]`.
+    pub fn shard_health(&self) -> Vec<Result<(), PoolError>> {
+        self.shards.iter().map(|s| s.pool.health_check()).collect()
+    }
+
+    /// Respawn every dead shard with the same size, deadline and pinning;
+    /// returns how many shards were rebuilt. Healthy shards (and their
+    /// parked workers) are untouched.
+    pub fn rebuild(&mut self) -> usize {
+        let (deadline, pin) = (self.deadline, self.pin);
+        let mut rebuilt = 0;
+        for s in &mut self.shards {
+            if s.pool.is_dead() {
+                let pin_cpus = (pin && !s.cpus.is_empty()).then(|| s.cpus.clone());
+                s.pool = ThreadPool::with_deadline_pinned(s.threads, deadline, pin_cpus);
+                rebuilt += 1;
+            }
+        }
+        rebuilt
+    }
+
+    /// Kill shard `i` as if its watchdog had fired (test hook for the
+    /// fault battery; the shard reports `Unusable` until [`Self::rebuild`]).
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub fn kill_shard(&self, i: usize) {
+        self.shards[i].pool.mark_dead();
+    }
+
+    /// Run `job(global_slot)` once per participant of shard `shard_idx`
+    /// (used by the probes and tests; grid work goes through
+    /// [`Executor::run_grid`]).
+    fn run_shard(
+        &self,
+        shard_idx: usize,
+        job: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), PoolError> {
+        let s = &self.shards[shard_idx];
+        if self.pin && !s.cpus.is_empty() {
+            // Drivers are scoped threads that die at the end of run_grid,
+            // so pinning them cannot leak affinity onto caller threads.
+            let _ = pin_current_thread(&s.cpus);
+        }
+        s.pool.run(|tid| job(s.slot_base + tid)).map_err(|e| match e {
+            // The shard's pool reports shard-local tids; callers see
+            // shard-global slots everywhere else, so remap.
+            PoolError::Panicked { panics } => PoolError::Panicked {
+                panics: panics.into_iter().map(|(tid, m)| (s.slot_base + tid, m)).collect(),
+            },
+            other => other,
+        })
+    }
+
+    /// Merge per-shard results into the single `Executor` verdict.
+    /// Severity order: a barrier failure (a shard died this call) wins,
+    /// then `Unusable`, then panics merged across shards in slot order.
+    fn merge(results: Vec<Result<(), PoolError>>) -> Result<(), PoolError> {
+        let mut barrier = None;
+        let mut unusable = false;
+        let mut panics: Vec<(usize, String)> = Vec::new();
+        for r in results {
+            match r {
+                Ok(()) => {}
+                Err(PoolError::Barrier(e)) => barrier = Some(e),
+                Err(PoolError::Unusable) => unusable = true,
+                Err(PoolError::Panicked { panics: p }) => panics.extend(p),
+            }
+        }
+        if let Some(e) = barrier {
+            return Err(PoolError::Barrier(e));
+        }
+        if unusable {
+            return Err(PoolError::Unusable);
+        }
+        if panics.is_empty() {
+            Ok(())
+        } else {
+            panics.sort_by_key(|(slot, _)| *slot);
+            Err(PoolError::Panicked { panics })
+        }
+    }
+}
+
+impl Executor for ShardedPool {
+    /// Partition `dims` into one box per live *thread* with the
+    /// recursive-GCD partitioner, hand each live shard its contiguous run
+    /// of boxes, and drive all shards concurrently (one scoped driver per
+    /// shard; with a single live shard the caller drives it directly,
+    /// unless pinning is on — a pinned driver must not be the caller, or
+    /// the affinity would outlive the call). The `slot` passed to `task`
+    /// is the shard-global slot (`shard.slot_base + tid`), unique across
+    /// concurrently running tasks and `< self.threads()`.
+    ///
+    /// Panic slots in [`PoolError::Panicked`] are likewise shard-global.
+    /// A shard whose watchdog fires mid-grid is reported as
+    /// [`PoolError::Barrier`] and excluded from subsequent calls; the
+    /// error is returned only after every shard's driver has joined, so
+    /// the borrow of `task` is dead on return exactly as for
+    /// [`ThreadPool::run`].
+    fn run_grid(
+        &self,
+        dims: &[usize],
+        task: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<(), PoolError> {
+        let live: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| !self.shards[i].pool.is_dead())
+            .collect();
+        if live.is_empty() {
+            return Err(PoolError::Unusable);
+        }
+        let live_threads: usize = live.iter().map(|&i| self.shards[i].threads).sum();
+        let partition = GridPartition::new(dims, live_threads);
+        // boxes[box_base[k] .. box_base[k] + threads_k] belongs to the
+        // k-th live shard.
+        let mut box_base = Vec::with_capacity(live.len());
+        let mut acc = 0;
+        for &i in &live {
+            box_base.push(acc);
+            acc += self.shards[i].threads;
+        }
+
+        let drive = |k: usize| -> Result<(), PoolError> {
+            let shard_idx = live[k];
+            let base = box_base[k];
+            self.run_shard(shard_idx, &|slot| {
+                let local = slot - self.shards[shard_idx].slot_base;
+                partition.boxes[base + local].for_each_flat(dims, |idx| task(slot, idx));
+            })
+        };
+
+        if live.len() == 1 && !self.pin {
+            return drive(0);
+        }
+        let results = Mutex::new(Vec::with_capacity(live.len()));
+        std::thread::scope(|scope| {
+            let caller_drives = usize::from(!self.pin);
+            for k in caller_drives..live.len() {
+                let results = &results;
+                let drive = &drive;
+                scope.spawn(move || {
+                    let r = drive(k);
+                    results.lock().unwrap_or_else(|e| e.into_inner()).push(r);
+                });
+            }
+            if caller_drives == 1 {
+                let r = drive(0);
+                results.lock().unwrap_or_else(|e| e.into_inner()).push(r);
+            }
+        });
+        ShardedPool::merge(results.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn threads(&self) -> usize {
+        self.total_threads
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn topo(spec: &str) -> Topology {
+        Topology::from_spec(spec).unwrap()
+    }
+
+    fn check_covers(pool: &ShardedPool, dims: &[usize]) {
+        let total: usize = dims.iter().product();
+        let hits: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_grid(dims, &|slot, i| {
+            assert!(slot < pool.threads(), "slot {slot} out of range");
+            // ORDERING: Relaxed — test counter; run_grid's join orders it.
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        for (i, h) in hits.iter().enumerate() {
+            // ORDERING: Relaxed — all writers joined inside run_grid.
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn single_domain_behaves_like_one_pool() {
+        let pool = ShardedPool::new(&topo("4"));
+        assert_eq!(pool.shards(), 1);
+        assert_eq!(pool.threads(), 4);
+        assert_eq!(pool.name(), "sharded");
+        check_covers(&pool, &[8, 8]);
+        check_covers(&pool, &[7]);
+    }
+
+    #[test]
+    fn two_domains_cover_grids_exactly() {
+        let pool = ShardedPool::new(&topo("2x2"));
+        assert_eq!(pool.shards(), 2);
+        assert_eq!(pool.threads(), 4);
+        check_covers(&pool, &[8, 8]);
+        check_covers(&pool, &[3, 5, 7]);
+        check_covers(&pool, &[1]);
+        check_covers(&pool, &[64, 4]);
+    }
+
+    #[test]
+    fn uneven_domains_cover_grids_exactly() {
+        let pool = ShardedPool::new(&topo("0-2;3")); // 3 + 1 threads
+        assert_eq!(pool.threads(), 4);
+        check_covers(&pool, &[12]);
+        check_covers(&pool, &[5, 5]);
+    }
+
+    #[test]
+    fn slots_are_disjoint_across_shards() {
+        let pool = ShardedPool::new(&topo("2x2"));
+        let seen = Mutex::new(HashSet::new());
+        pool.run_grid(&[4], &|slot, _| {
+            seen.lock().unwrap().insert(slot);
+        })
+        .unwrap();
+        // Every slot observed is < threads(); with a 4-task grid over
+        // 4 threads every slot participates.
+        assert_eq!(seen.into_inner().unwrap(), HashSet::from([0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn panic_in_one_shard_reports_global_slot_and_pool_survives() {
+        let pool = ShardedPool::new(&topo("2x2"));
+        let err = pool
+            .run_grid(&[4], &|slot, _| {
+                if slot == 3 {
+                    panic!("slot 3 dies");
+                }
+            })
+            .expect_err("slot 3 panicked");
+        assert_eq!(err.panicking_tids(), vec![3], "global slot, not shard-local tid");
+        assert!(!pool.degraded(), "panics never kill a shard");
+        check_covers(&pool, &[8, 8]);
+    }
+
+    #[test]
+    fn panics_across_shards_are_merged_in_slot_order() {
+        let pool = ShardedPool::new(&topo("2x2"));
+        let err = pool
+            .run_grid(&[4], &|slot, _| {
+                if slot == 0 || slot == 2 {
+                    panic!("slot {slot}");
+                }
+            })
+            .expect_err("two shards panicked");
+        assert_eq!(err.panicking_tids(), vec![0, 2]);
+    }
+
+    #[test]
+    fn dead_shard_degrades_that_shard_only() {
+        let pool = ShardedPool::new(&topo("2x2"));
+        pool.kill_shard(0);
+        assert!(pool.degraded());
+        assert_eq!(pool.live_shards(), 1);
+        // Work still covers the full grid on the surviving shard.
+        check_covers(&pool, &[8, 8]);
+        let health = pool.shard_health();
+        assert_eq!(health[0], Err(PoolError::Unusable));
+        assert!(health[1].is_ok());
+    }
+
+    #[test]
+    fn all_shards_dead_is_unusable() {
+        let pool = ShardedPool::new(&topo("2x2"));
+        pool.kill_shard(0);
+        pool.kill_shard(1);
+        assert_eq!(pool.run_grid(&[4], &|_, _| {}), Err(PoolError::Unusable));
+        assert_eq!(pool.live_shards(), 0);
+    }
+
+    #[test]
+    fn rebuild_restores_dead_shards() {
+        let mut pool = ShardedPool::new(&topo("2x2"));
+        pool.kill_shard(1);
+        assert!(pool.degraded());
+        assert_eq!(pool.rebuild(), 1);
+        assert!(!pool.degraded());
+        assert!(pool.shard_health().into_iter().all(|r| r.is_ok()));
+        check_covers(&pool, &[8, 8]);
+        // Nothing to rebuild when healthy.
+        assert_eq!(pool.rebuild(), 0);
+    }
+
+    #[test]
+    fn threads_is_stable_across_degradation() {
+        let pool = ShardedPool::new(&topo("2x2"));
+        assert_eq!(pool.threads(), 4);
+        pool.kill_shard(0);
+        // Capacity (for scratch sizing) must not shrink under the caller.
+        assert_eq!(pool.threads(), 4);
+    }
+
+    #[test]
+    fn pinned_pool_still_covers_and_leaves_caller_affinity_alone() {
+        // Pin targets are CPUs 0..4, which may not all exist on the test
+        // host — pinning is best effort, coverage must hold regardless.
+        let pool = ShardedPool::with_options(&topo("2x2"), default_deadline(), true);
+        check_covers(&pool, &[8, 8]);
+        check_covers(&pool, &[5, 3]);
+    }
+
+    #[test]
+    fn detect_builds_a_working_pool() {
+        let pool = ShardedPool::detect();
+        assert!(pool.threads() >= 1);
+        assert!(pool.shards() >= 1);
+        check_covers(&pool, &[4, 4]);
+    }
+
+    #[test]
+    fn sequential_grids_do_not_deadlock() {
+        let pool = ShardedPool::new(&topo("2x2"));
+        for _ in 0..50 {
+            check_covers(&pool, &[4, 4]);
+        }
+    }
+}

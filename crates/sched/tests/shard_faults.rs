@@ -1,0 +1,116 @@
+//! Fault battery for [`wino_sched::ShardedPool`]: the ISSUE-8 contract is
+//! that a panic, stall or kill in one shard degrades *that shard only* —
+//! the other shards keep executing and the pool as a whole recovers
+//! through the same typed-error machinery as a single [`ThreadPool`].
+//!
+//! Armed faults are process-global one-shots keyed by shard-*local* tid
+//! (every shard's participants run `before_job`/`after_job` with their own
+//! pool's tids), so in a sharded run exactly ONE shard consumes the fault
+//! — which one is a race. The assertions below therefore check counts
+//! ("exactly one shard degraded", "exactly one slot panicked"), never
+//! identities.
+
+#![cfg(feature = "fault-inject")]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use wino_sched::fault;
+use wino_sched::{Executor, PoolError, ShardedPool, Topology};
+
+fn pool_2x2() -> ShardedPool {
+    ShardedPool::with_options(
+        &Topology::from_spec("2x2").unwrap(),
+        Duration::from_millis(300),
+        false,
+    )
+}
+
+fn assert_covers(pool: &ShardedPool, dims: &[usize]) {
+    let total: usize = dims.iter().product();
+    let hits: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+    pool.run_grid(dims, &|_, i| {
+        // ORDERING: Relaxed — test counter; run_grid's join orders it.
+        hits[i].fetch_add(1, Ordering::Relaxed);
+    })
+    .unwrap();
+    for (i, h) in hits.iter().enumerate() {
+        // ORDERING: Relaxed — all writers joined inside run_grid.
+        assert_eq!(h.load(Ordering::Relaxed), 1, "task {i}");
+    }
+}
+
+#[test]
+fn injected_panic_hits_one_shard_and_pool_stays_healthy() {
+    let _g = fault::test_lock();
+    fault::reset();
+    let pool = pool_2x2();
+    // Tid 1 exists in both shards; the one-shot fault fires in whichever
+    // shard's tid 1 reaches `before_job` first.
+    fault::arm_panic(1, fault::When::Next);
+    let err = pool.run_grid(&[8, 8], &|_, _| {}).expect_err("injected panic");
+    match &err {
+        PoolError::Panicked { panics } => {
+            assert_eq!(panics.len(), 1, "one-shot fault fires in exactly one shard: {panics:?}");
+            assert!(panics[0].1.contains("injected fault"), "{}", panics[0].1);
+        }
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    // Panics never kill a shard — full capacity, full coverage after.
+    assert!(!pool.degraded());
+    assert_eq!(pool.live_shards(), 2);
+    assert_covers(&pool, &[8, 8]);
+    fault::reset();
+}
+
+#[test]
+fn injected_stall_kills_one_shard_and_the_other_keeps_working() {
+    let _g = fault::test_lock();
+    fault::reset();
+    let pool = pool_2x2();
+    // A stall well past the 300 ms watchdog: the affected shard's end
+    // barrier times out and that shard is poisoned.
+    fault::arm_stall(1, fault::When::Next, Duration::from_millis(1500));
+    let err = pool.run_grid(&[8, 8], &|_, _| {}).expect_err("watchdog must fire");
+    assert!(matches!(err, PoolError::Barrier(_)), "{err:?}");
+    // Exactly one shard died; the survivor carries all subsequent work.
+    assert!(pool.degraded());
+    assert_eq!(pool.live_shards(), 1);
+    assert_covers(&pool, &[8, 8]);
+    assert_covers(&pool, &[3, 5]);
+    fault::reset();
+}
+
+#[test]
+fn stalled_shard_rebuilds_to_full_capacity() {
+    let _g = fault::test_lock();
+    fault::reset();
+    let mut pool = pool_2x2();
+    // Tid 1, not tid 0: a stall on the driving participant delays its own
+    // end-barrier wait rather than tripping it (same as a single pool).
+    fault::arm_stall(1, fault::When::Next, Duration::from_millis(1500));
+    let _ = pool.run_grid(&[4, 4], &|_, _| {}).expect_err("watchdog must fire");
+    assert_eq!(pool.live_shards(), 1);
+    assert_eq!(pool.rebuild(), 1);
+    assert_eq!(pool.live_shards(), 2);
+    assert!(pool.shard_health().into_iter().all(|r| r.is_ok()));
+    assert_covers(&pool, &[8, 8]);
+    fault::reset();
+}
+
+#[test]
+fn killed_shard_then_panic_in_survivor_still_contained() {
+    // Compound scenario: one shard already dead, then a panic fault lands
+    // in the survivor — the error is Panicked (not Unusable) and the
+    // survivor stays alive.
+    let _g = fault::test_lock();
+    fault::reset();
+    let pool = pool_2x2();
+    pool.kill_shard(0);
+    fault::arm_panic(0, fault::When::Next);
+    let err = pool.run_grid(&[8, 8], &|_, _| {}).expect_err("injected panic");
+    assert_eq!(err.panicking_tids().len(), 1);
+    assert_eq!(pool.live_shards(), 1);
+    assert_covers(&pool, &[8, 8]);
+    fault::reset();
+}

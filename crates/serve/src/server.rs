@@ -78,6 +78,16 @@ impl Default for ServeOptions {
     }
 }
 
+impl ServeOptions {
+    /// The defaults with `threads` sized by the detected topology
+    /// ([`wino_sched::configured_threads`] — honours the `WINO_THREADS`
+    /// and `WINO_TOPOLOGY` overrides), the one sanctioned way to build a
+    /// full-width server without an ad-hoc `available_parallelism` read.
+    pub fn with_detected_threads() -> Self {
+        ServeOptions { threads: wino_sched::configured_threads(), ..Default::default() }
+    }
+}
+
 /// Internal per-server tallies (monotonic atomics; also mirrored into
 /// the process-global [`Counter`] family for the probe reports).
 #[derive(Default)]

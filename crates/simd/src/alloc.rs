@@ -41,6 +41,31 @@ impl AlignedVec {
         AlignedVec { ptr, len }
     }
 
+    /// Allocate `len` floats, 64-byte aligned, **uninitialised** — the
+    /// building block for first-touch placement: `alloc_zeroed` hands back
+    /// copy-on-write zero pages whose physical frames are committed on the
+    /// *allocating* thread's NUMA node at first write, so a NUMA-aware
+    /// caller allocates uninitialised and zeroes each region from the
+    /// thread that will use it (see `wino-tensor`'s first-touch
+    /// constructors).
+    ///
+    /// # Safety
+    /// Every element must be written (e.g. zeroed) before the buffer is
+    /// read or exposed to safe code — the contents start out uninitialised
+    /// and reading them is undefined behaviour.
+    pub unsafe fn uninit(len: usize) -> AlignedVec {
+        if len == 0 {
+            return AlignedVec { ptr: std::ptr::NonNull::<f32>::dangling().as_ptr(), len: 0 };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size here.
+        let ptr = unsafe { std::alloc::alloc(layout) } as *mut f32;
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        AlignedVec { ptr, len }
+    }
+
     /// Allocate and fill from a slice.
     pub fn from_slice(data: &[f32]) -> AlignedVec {
         let mut v = Self::zeroed(data.len());

@@ -32,6 +32,30 @@ impl BlockedImage {
     /// Zero-filled blocked image batch. `channels` must be a multiple of
     /// `S` (asserted by the paper for all modern ConvNets).
     pub fn zeros(batch: usize, channels: usize, dims: &[usize]) -> Result<Self, ShapeError> {
+        Self::zeros_with(batch, channels, dims, AlignedVec::zeroed)
+    }
+
+    /// As [`Self::zeros`], but the buffer is zeroed — and therefore
+    /// NUMA-placed — through `exec` (see [`crate::first_touch`]): each
+    /// executor thread first-touches the region of the image the
+    /// partitioner will later steer it at.
+    pub fn zeros_first_touch(
+        batch: usize,
+        channels: usize,
+        dims: &[usize],
+        exec: &dyn wino_sched::Executor,
+    ) -> Result<Self, ShapeError> {
+        Self::zeros_with(batch, channels, dims, |len| {
+            crate::first_touch::zeroed_first_touch(len, exec)
+        })
+    }
+
+    fn zeros_with(
+        batch: usize,
+        channels: usize,
+        dims: &[usize],
+        alloc: impl FnOnce(usize) -> AlignedVec,
+    ) -> Result<Self, ShapeError> {
         if channels == 0 || !channels.is_multiple_of(S) {
             return Err(ShapeError::ChannelsNotVectorMultiple { channels });
         }
@@ -42,7 +66,7 @@ impl BlockedImage {
             batch,
             channels,
             dims: dims.to_vec(),
-            data: AlignedVec::zeroed(batch * channels * volume(dims)),
+            data: alloc(batch * channels * volume(dims)),
         })
     }
 

@@ -1,0 +1,122 @@
+//! First-touch buffer placement for sharded execution.
+//!
+//! Linux commits the physical page backing an allocation on the NUMA node
+//! of the thread that first *writes* it. `AlignedVec::zeroed` gets
+//! copy-on-write zero pages, so the commit happens lazily — and with a
+//! serial allocator every page lands on whichever node the allocating
+//! thread ran on, putting a remote-memory penalty on every other domain's
+//! accesses for the buffer's whole lifetime. [`zeroed_first_touch`]
+//! instead allocates uninitialised and zeroes the buffer *through the
+//! executor that will later work on it*: with a
+//! [`ShardedPool`](../../wino_sched/shard/index.html) each shard zeroes
+//! (and therefore places) the same contiguous region of the buffer that
+//! the GCD partitioner will hand it during execution, because both walk
+//! the identical `GridPartition` of the identical flat range.
+//!
+//! On a single-domain machine this degenerates to a parallel `memset` —
+//! harmless — and if the executor fails mid-zero (a panicked or degraded
+//! pool) the buffer is serially re-zeroed, so the result is always fully
+//! initialised regardless of executor health.
+
+use wino_sched::Executor;
+use wino_simd::AlignedVec;
+
+/// Floats per first-touch grid cell: 64 Ki floats = 256 KiB, a few pages
+/// past any huge-page boundary so placement tracks the partition at page
+/// granularity without making the fork–join per-task overhead visible.
+const CHUNK: usize = 1 << 16;
+
+/// Shared raw pointer for the disjoint-range zeroing tasks.
+struct MutPtr(*mut f32);
+// SAFETY: tasks write strictly disjoint [i*CHUNK, i*CHUNK+n) ranges (one
+// per flat grid index, each index executed exactly once per the Executor
+// contract), and the executor's join orders all writes before the return.
+unsafe impl Sync for MutPtr {}
+
+/// Allocate `len` zeroed floats, 64-byte aligned, with each region of the
+/// buffer first written — and therefore NUMA-placed — by the executor
+/// thread that the partitioner will steer at the same region during
+/// later `run_grid` calls over the same executor.
+pub fn zeroed_first_touch(len: usize, exec: &dyn Executor) -> AlignedVec {
+    if len == 0 || exec.threads() <= 1 {
+        return AlignedVec::zeroed(len);
+    }
+    // SAFETY: every element is written below before the buffer is
+    // returned: either by the grid tasks covering [0, len) exactly, or by
+    // the serial `fill_zero` fallback when the grid reports any failure.
+    let mut v = unsafe { AlignedVec::uninit(len) };
+    let ptr = MutPtr(v.as_mut_ptr());
+    // Borrow the Sync wrapper (not its raw-pointer field) so the closure's
+    // capture is `&MutPtr`, which is shareable across the pool's threads.
+    let ptr = &ptr;
+    let cells = len.div_ceil(CHUNK);
+    let complete = exec
+        .run_grid(&[cells], &|_slot, i| {
+            let lo = i * CHUNK;
+            let n = CHUNK.min(len - lo);
+            // SAFETY: `lo < len` (i < cells) and `lo + n <= len`; ranges
+            // of distinct flat indices are disjoint (see MutPtr).
+            unsafe { std::ptr::write_bytes(ptr.0.add(lo), 0, n) };
+        })
+        .is_ok();
+    if !complete {
+        // A panicked or degraded executor may have skipped regions;
+        // re-zero everything serially. Placement is lost, correctness not.
+        v.fill_zero();
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wino_sched::{SerialExecutor, StaticExecutor};
+
+    #[test]
+    fn first_touch_buffer_is_fully_zeroed_and_aligned() {
+        let exec = StaticExecutor::new(3);
+        for len in [0, 1, CHUNK - 1, CHUNK, CHUNK + 1, 3 * CHUNK + 17] {
+            let v = zeroed_first_touch(len, &exec);
+            assert_eq!(v.len(), len);
+            assert!(v.iter().all(|&x| x == 0.0), "len {len}");
+            if len > 0 {
+                assert_eq!(v.as_ptr() as usize % 64, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_executor_takes_the_plain_path() {
+        let v = zeroed_first_touch(1000, &SerialExecutor);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn failing_executor_still_yields_zeroed_buffer() {
+        // An executor whose tasks panic: run_grid errs, the serial
+        // fallback must still hand back a fully zeroed buffer.
+        struct Panicky(StaticExecutor);
+        impl Executor for Panicky {
+            fn run_grid(
+                &self,
+                dims: &[usize],
+                task: &(dyn Fn(usize, usize) + Sync),
+            ) -> Result<(), wino_sched::PoolError> {
+                self.0.run_grid(dims, &|slot, i| {
+                    if i == 0 {
+                        panic!("injected");
+                    }
+                    task(slot, i);
+                })
+            }
+            fn threads(&self) -> usize {
+                self.0.threads()
+            }
+            fn name(&self) -> &'static str {
+                "panicky"
+            }
+        }
+        let v = zeroed_first_touch(4 * CHUNK, &Panicky(StaticExecutor::new(2)));
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+}

@@ -42,6 +42,33 @@ impl BlockedMatrices {
     /// Allocate (zero-filled). `cols` must be divisible by `cb`, and `cb`
     /// by the vector width `S` so that column groups are vector-aligned.
     pub fn new(t_count: usize, rows: usize, cols: usize, rb: usize, cb: usize) -> Self {
+        Self::new_with(t_count, rows, cols, rb, cb, AlignedVec::zeroed)
+    }
+
+    /// As [`Self::new`], but the backing buffer is zeroed — and therefore
+    /// NUMA-placed — through `exec` (see [`crate::first_touch`]). Used for
+    /// the transformed-data scratch, the largest allocations of a plan.
+    pub fn new_first_touch(
+        t_count: usize,
+        rows: usize,
+        cols: usize,
+        rb: usize,
+        cb: usize,
+        exec: &dyn wino_sched::Executor,
+    ) -> Self {
+        Self::new_with(t_count, rows, cols, rb, cb, |len| {
+            crate::first_touch::zeroed_first_touch(len, exec)
+        })
+    }
+
+    fn new_with(
+        t_count: usize,
+        rows: usize,
+        cols: usize,
+        rb: usize,
+        cb: usize,
+        alloc: impl FnOnce(usize) -> AlignedVec,
+    ) -> Self {
         assert!(rb > 0 && cb > 0 && t_count > 0 && rows > 0 && cols > 0);
         assert_eq!(cols % cb, 0, "cols ({cols}) must be divisible by cb ({cb})");
         assert_eq!(cb % S, 0, "cb ({cb}) must be divisible by the vector width {S}");
@@ -56,7 +83,7 @@ impl BlockedMatrices {
             cb,
             row_blocks,
             col_blocks,
-            data: AlignedVec::zeroed(len),
+            data: alloc(len),
         }
     }
 

@@ -8,9 +8,17 @@
 #                                 im2col, best-Winograd})
 #   scripts/bench.sh --smoke    → target/BENCH_smoke.json (three pinned
 #                                 layers, 1 rep — the CI gate)
+#   scripts/bench.sh --scaling-smoke
+#                               → target/BENCH_scaling.json (strong/weak
+#                                 thread sweep over the smoke layers; the
+#                                 binary's --check gate asserts parallel
+#                                 efficiency ≥ 0.6 at the host thread
+#                                 count and barrier skew under the probe
+#                                 budget — see docs/scaling.md)
 #
-# Environment: THREADS (default: all cores), REPS (default 3; smoke: 1),
-# BENCH_TIMEOUT seconds (default 1800).
+# Environment: THREADS (default: all cores; scaling: the sweep's
+# --max-threads), REPS (default 3; smoke modes: 1–2), BENCH_TIMEOUT
+# seconds (default 1800).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,8 +28,9 @@ MODE=full
 for a in "$@"; do
     case "$a" in
         --smoke) MODE=smoke ;;
+        --scaling-smoke) MODE=scaling ;;
         *)
-            echo "usage: scripts/bench.sh [--smoke]" >&2
+            echo "usage: scripts/bench.sh [--smoke | --scaling-smoke]" >&2
             exit 2
             ;;
     esac
@@ -33,6 +42,16 @@ run() {
 }
 
 run cargo build --offline --release -p wino-bench --features probe
+
+if [ "$MODE" = scaling ]; then
+    out=target/BENCH_scaling.json
+    args=(--date "$(date -u +%F)" --reps "${REPS:-2}" --check)
+    [ -n "${THREADS:-}" ] && args+=(--max-threads "$THREADS")
+    run target/release/scaling "${args[@]}" --out "$out"
+    run target/release/scaling --validate "$out"
+    echo "OK: $out"
+    exit 0
+fi
 
 args=(--date "$(date -u +%F)")
 [ -n "${THREADS:-}" ] && args+=(--threads "$THREADS")

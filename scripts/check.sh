@@ -75,9 +75,20 @@ run "$ANALYZE_TIMEOUT" cargo run --offline --release -q -p wino-analyze --bin wi
     --scenario serve- --scenario reinject-leaked-waiter \
     --execs 10000 --random 2000 --min-interleavings 10000
 
+# Topology gate: the sysfs parser must round-trip the pinned fixture
+# trees (1-socket, 2-socket SMT, CCX) through the WINO_TOPOLOGY spec
+# grammar — the contract that lets CI pin any machine shape it wants.
+run "$TEST_TIMEOUT" cargo test --offline -q -p wino-sched topology
+
 # Observability gate: an instrumented smoke run must emit a perf report
 # that validates against the versioned schema (docs/bench-schema.md).
 scripts/bench.sh --smoke
+
+# Scaling gate: a strong/weak thread sweep over the smoke layers must
+# emit a valid schema-v4 scaling report, hold parallel efficiency ≥ 0.6
+# at the host thread count on at least one smoke layer, and keep barrier
+# skew under the probe budget (docs/scaling.md).
+scripts/bench.sh --scaling-smoke
 
 # Serving gate: a fault-injected overload soak — ≥10k requests fired at
 # ~2× the measured sustainable rate, with worker panics, barrier stalls
