@@ -10,17 +10,43 @@
 // Index-based loops are the idiom throughout: most walk several
 // arrays with derived offsets, where iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
-use wino_tensor::{unflatten, SimpleImage, SimpleKernels};
+use wino_tensor::{unflatten, ConvGeometry, SimpleImage, SimpleKernels};
 
 /// Direct N-D cross-correlation (the ConvNet "convolution" of Eqn. 6),
 /// accumulating every output in `f64`, rounding once at the end.
 pub fn direct_f64(img: &SimpleImage, ker: &SimpleKernels, padding: &[usize]) -> SimpleImage {
-    assert_eq!(img.channels, ker.in_channels, "channel mismatch");
-    assert_eq!(img.dims.len(), ker.dims.len(), "rank mismatch");
-    assert_eq!(img.dims.len(), padding.len(), "rank mismatch");
+    direct_f64_geo(img, ker, padding, &ConvGeometry::identity(img.dims.len()))
+}
+
+/// [`direct_f64`] generalised over the full (stride, dilation, groups)
+/// lattice — the ground truth every dispatch route is differentially
+/// verified against. Kernels follow the grouped convention:
+/// `ker.in_channels == img.channels / groups`, and output channel `co`
+/// (group `g = co / (C'/G)`) reads input channels
+/// `[g·C/G, (g+1)·C/G)`. With the identity geometry this is exactly the
+/// stride-1 oracle.
+pub fn direct_f64_geo(
+    img: &SimpleImage,
+    ker: &SimpleKernels,
+    padding: &[usize],
+    geo: &ConvGeometry,
+) -> SimpleImage {
     let rank = img.dims.len();
+    assert_eq!(rank, ker.dims.len(), "rank mismatch");
+    assert_eq!(rank, padding.len(), "rank mismatch");
+    assert_eq!(rank, geo.stride.len(), "rank mismatch");
+    assert_eq!(rank, geo.dilation.len(), "rank mismatch");
+    assert!(img.channels.is_multiple_of(geo.groups), "groups must divide C");
+    assert!(ker.out_channels.is_multiple_of(geo.groups), "groups must divide C'");
+    let c_per_group = img.channels / geo.groups;
+    let k_per_group = ker.out_channels / geo.groups;
+    assert_eq!(ker.in_channels, c_per_group, "grouped kernel channel mismatch");
+
     let out_dims: Vec<usize> = (0..rank)
-        .map(|d| img.dims[d] + 2 * padding[d] - ker.dims[d] + 1)
+        .map(|d| {
+            let r_eff = (ker.dims[d] - 1) * geo.dilation[d] + 1;
+            (img.dims[d] + 2 * padding[d] - r_eff) / geo.stride[d] + 1
+        })
         .collect();
     let mut out = SimpleImage::zeros(img.batch, ker.out_channels, &out_dims);
     let out_vol: usize = out_dims.iter().product();
@@ -31,16 +57,18 @@ pub fn direct_f64(img: &SimpleImage, ker: &SimpleKernels, padding: &[usize]) -> 
 
     for b in 0..img.batch {
         for co in 0..ker.out_channels {
+            let ci0 = (co / k_per_group) * c_per_group;
             for o in 0..out_vol {
                 let ocoords = unflatten(o, &out_dims);
                 let mut acc = 0.0f64;
-                for ci in 0..img.channels {
-                    let kbase = ker.kernel(co, ci);
+                for cl in 0..c_per_group {
+                    let kbase = ker.kernel(co, cl);
                     for (k, kc) in kcoords.iter().enumerate() {
                         let mut coords = [0isize; 8];
                         let mut inside = true;
                         for d in 0..rank {
-                            let x = (ocoords[d] + kc[d]) as isize - padding[d] as isize;
+                            let x = (ocoords[d] * geo.stride[d] + kc[d] * geo.dilation[d]) as isize
+                                - padding[d] as isize;
                             if x < 0 || x >= img.dims[d] as isize {
                                 inside = false;
                                 break;
@@ -52,7 +80,7 @@ pub fn direct_f64(img: &SimpleImage, ker: &SimpleKernels, padding: &[usize]) -> 
                             for d in 0..rank {
                                 flat = flat * img.dims[d] + coords[d] as usize;
                             }
-                            acc += img.channel(b, ci)[flat] as f64 * kbase[k] as f64;
+                            acc += img.channel(b, ci0 + cl)[flat] as f64 * kbase[k] as f64;
                         }
                     }
                 }
@@ -131,6 +159,87 @@ mod tests {
         let (max, avg) = element_errors(&b, &a);
         assert_eq!(max, 0.5);
         assert!((avg - 0.1875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_oracle_samples_the_sublattice() {
+        // Stride 2 must pick exactly every second stride-1 output.
+        let img = SimpleImage::from_fn(1, 2, &[7, 7], |_, c, xy| {
+            (c * 49 + xy[0] * 7 + xy[1]) as f32 * 0.1
+        });
+        let ker = SimpleKernels::from_fn(2, 2, &[3, 3], |co, ci, xy| {
+            (co + ci + xy[0] + xy[1]) as f32 * 0.25 - 0.5
+        });
+        let dense = direct_f64(&img, &ker, &[1, 1]);
+        let geo = ConvGeometry { stride: vec![2, 2], dilation: vec![1, 1], groups: 1 };
+        let strided = direct_f64_geo(&img, &ker, &[1, 1], &geo);
+        assert_eq!(strided.dims, vec![4, 4]);
+        for co in 0..2 {
+            for x in 0..4 {
+                for y in 0..4 {
+                    assert_eq!(strided.get(0, co, &[x, y]), dense.get(0, co, &[2 * x, 2 * y]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dilated_oracle_matches_spread_kernel() {
+        // A dilation-2 3-tap kernel equals a 5-tap kernel with zeros at the
+        // odd positions.
+        let img = SimpleImage::from_fn(1, 1, &[9], |_, _, x| (x[0] * x[0]) as f32 * 0.01);
+        let ker = SimpleKernels::from_fn(1, 1, &[3], |_, _, x| (x[0] + 1) as f32);
+        let mut spread = SimpleKernels::zeros(1, 1, &[5]);
+        spread.set(0, 0, &[0], 1.0);
+        spread.set(0, 0, &[2], 2.0);
+        spread.set(0, 0, &[4], 3.0);
+        let geo = ConvGeometry { stride: vec![1], dilation: vec![2], groups: 1 };
+        let dilated = direct_f64_geo(&img, &ker, &[1], &geo);
+        let reference = direct_f64(&img, &spread, &[1]);
+        assert_eq!(dilated.dims, reference.dims);
+        assert_eq!(dilated.data, reference.data);
+    }
+
+    #[test]
+    fn grouped_oracle_blocks_the_channels() {
+        // Two groups: the output of group 1 must be completely insensitive
+        // to group-0 input channels.
+        let ker = SimpleKernels::from_fn(4, 2, &[3, 3], |co, ci, xy| {
+            (co * 9 + ci * 3 + xy[0] + xy[1]) as f32 * 0.1
+        });
+        let geo = ConvGeometry { stride: vec![1, 1], dilation: vec![1, 1], groups: 2 };
+        let base = SimpleImage::from_fn(1, 4, &[5, 5], |_, c, xy| (c * 25 + xy[0] * 5 + xy[1]) as f32);
+        let mut poisoned = base.clone();
+        for c in 0..2 {
+            for x in 0..5 {
+                for y in 0..5 {
+                    poisoned.set(0, c, &[x, y], 999.0);
+                }
+            }
+        }
+        let a = direct_f64_geo(&base, &ker, &[1, 1], &geo);
+        let b = direct_f64_geo(&poisoned, &ker, &[1, 1], &geo);
+        let out_vol = 25;
+        // Output channels 2, 3 (group 1) agree; 0, 1 (group 0) differ.
+        for co in 2..4 {
+            for o in 0..out_vol {
+                assert_eq!(a.data[(co) * out_vol + o], b.data[(co) * out_vol + o]);
+            }
+        }
+        assert_ne!(a.data[..2 * out_vol], b.data[..2 * out_vol]);
+
+        // Depthwise (groups == C) equals C independent single-channel convs.
+        let dk = SimpleKernels::from_fn(4, 1, &[3, 3], |co, _, xy| (co + xy[0] * 3 + xy[1]) as f32 * 0.2);
+        let dgeo = ConvGeometry { stride: vec![1, 1], dilation: vec![1, 1], groups: 4 };
+        let dw = direct_f64_geo(&base, &dk, &[1, 1], &dgeo);
+        for c in 0..4 {
+            let one_img = SimpleImage::from_fn(1, 1, &[5, 5], |_, _, xy| base.get(0, c, xy));
+            let one_ker = SimpleKernels::from_fn(1, 1, &[3, 3], |_, _, xy| dk.get(c, 0, xy));
+            let one = direct_f64(&one_img, &one_ker, &[1, 1]);
+            for o in 0..out_vol {
+                assert_eq!(dw.data[c * out_vol + o], one.data[o], "channel {c} elem {o}");
+            }
+        }
     }
 
     #[test]

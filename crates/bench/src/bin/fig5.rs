@@ -22,7 +22,8 @@
 //! patience on few cores).
 
 use wino_bench::{
-    make_executor, run_direct, run_fft, run_im2col, run_winograd, Args, Measurement, Rows,
+    make_executor, run_direct, run_dispatch, run_fft, run_im2col, run_im2col_geo, run_winograd,
+    Args, Measurement, Rows,
 };
 use wino_conv::ConvOptions;
 use wino_workloads::{full_catalog, scaled_catalog, tile_sweep};
@@ -129,6 +130,36 @@ fn main() {
             let mut cells = m.csv_cells();
             cells.push(speedup);
             out.push(&cells);
+        }
+
+        // Dispatch-matrix rows: the same layer under stride 2 and under
+        // groups 2, our routed engine vs the geometry-aware im2col
+        // baseline. Each pair carries its own speedup denominator — a
+        // strided layer does ~1/∏s of the dense work, so the identity
+        // baselines above are not comparable.
+        for opts in [
+            ConvOptions::default().with_stride(&vec![2; layer.rank()]),
+            ConvOptions::default().with_groups(2),
+        ] {
+            let Some(base) = run_im2col_geo(layer, opts, exec.as_ref(), reps) else {
+                continue;
+            };
+            let denom = base.timing.best_ms;
+            let mut geo_rows = vec![base];
+            let m = vec![4usize; layer.rank()];
+            if let Some(meas) = run_dispatch(layer, &m, opts, exec.as_ref(), reps) {
+                geo_rows.push(meas);
+            }
+            for m in &geo_rows {
+                let speedup = if m.implementation.starts_with("winograd") {
+                    format!("{:.2}", denom / m.timing.best_ms)
+                } else {
+                    String::new()
+                };
+                let mut cells = m.csv_cells();
+                cells.push(speedup);
+                out.push(&cells);
+            }
         }
     }
     out.finish();

@@ -20,14 +20,15 @@
 //! ```
 
 use wino_bench::perf::{
-    calibrate, layer_entry, perf_document, probe_direct, probe_execution, probe_im2col,
-    probe_winograd, today_utc, Accuracy,
+    calibrate, layer_entry, perf_document, probe_direct, probe_dispatch, probe_execution,
+    probe_im2col, probe_im2col_geo, probe_winograd, today_utc, Accuracy,
 };
 use wino_bench::{
-    direct_output, im2col_output, layer_truth, make_executor, max_rel_error, run_direct,
-    run_im2col, run_winograd, winograd_output, Args, Measurement,
+    direct_output, dispatch_output, geo_layer_truth, im2col_geo_output, im2col_output,
+    layer_truth, make_executor, max_rel_error, run_direct, run_dispatch, run_im2col,
+    run_im2col_geo, run_winograd, winograd_output, Args, Measurement,
 };
-use wino_conv::{ConvOptions, ExecutionReport, LayerBackend};
+use wino_conv::{plan_dispatch, ConvOptions, ExecutionReport, FallbackPolicy, LayerBackend};
 use wino_probe::{parse_json, validate_schema, Json, StageReport, SCHEMA_VERSION};
 use wino_sched::Executor;
 use wino_workloads::{scaled_catalog, tile_sweep, Layer};
@@ -194,6 +195,80 @@ fn main() {
                 }
             }
             None => eprintln!("warning: no Winograd plan accepted for {}", layer.id()),
+        }
+    }
+
+    // Dispatch-matrix scenario rows: the first 2-D layer of the
+    // selection re-measured under a stride-2 and a grouped geometry —
+    // the routed Winograd engine (polyphase / grouped) against the
+    // geometry-aware im2col fallback it must beat. Each pair shares one
+    // f64 oracle; execution provenance is the dispatcher's own
+    // plan-time (backend, reason), which the net-report tests prove is
+    // what `Network` would report.
+    if let Some(layer) = layers.iter().find(|l| l.rank() == 2) {
+        let scenarios = [
+            ConvOptions::default().with_stride(&[2, 2]),
+            ConvOptions::default().with_groups(2),
+        ];
+        for opts in scenarios {
+            eprintln!("# {} geometry scenario …", layer.id());
+            let truth = geo_layer_truth(layer, opts);
+            let err_of = |out: &wino_tensor::BlockedImage| Some(max_rel_error(out, &truth));
+
+            // Best tile by measured dispatch time over the sweep.
+            let mut best: Option<(Vec<usize>, Measurement)> = None;
+            for m in tile_sweep(2) {
+                let Some(meas) = run_dispatch(layer, &m, opts, exec.as_ref(), reps) else {
+                    continue;
+                };
+                if best.as_ref().is_none_or(|(_, b)| meas.timing.best_ms < b.timing.best_ms) {
+                    best = Some((m, meas));
+                }
+            }
+            match best {
+                Some((m, meas)) => {
+                    let acc = Accuracy {
+                        max_rel_error: dispatch_output(layer, &m, opts, exec.as_ref())
+                            .as_ref()
+                            .and_then(&err_of),
+                        predicted_bound: None,
+                    };
+                    let execution = plan_dispatch(
+                        &layer.shape,
+                        &m,
+                        opts,
+                        &FallbackPolicy::default(),
+                    )
+                    .ok()
+                    .map(|(dp, fb)| ExecutionReport {
+                        layer: 0,
+                        backend: dp.backend(),
+                        fallback: fb,
+                    });
+                    push(
+                        &meas,
+                        probe_dispatch(layer, &m, opts, exec.as_ref(), &machine),
+                        acc,
+                        execution,
+                    );
+                }
+                None => eprintln!("warning: no dispatch plan accepted for {}", layer.id()),
+            }
+
+            if let Some(meas) = run_im2col_geo(layer, opts, exec.as_ref(), reps) {
+                let acc = Accuracy {
+                    max_rel_error: im2col_geo_output(layer, opts, exec.as_ref())
+                        .as_ref()
+                        .and_then(&err_of),
+                    predicted_bound: None,
+                };
+                push(
+                    &meas,
+                    probe_im2col_geo(layer, opts, exec.as_ref(), &machine),
+                    acc,
+                    Some(ExecutionReport { layer: 0, backend: LayerBackend::Im2col, fallback: None }),
+                );
+            }
         }
     }
 

@@ -29,10 +29,10 @@
 pub mod perf;
 pub mod scaling;
 
-use wino_baseline::{direct_conv, im2col_conv};
-use wino_conv::{ConvOptions, Scratch, WinogradLayer};
+use wino_baseline::{direct_conv, im2col_conv, im2col_conv_geo};
+use wino_conv::{plan_dispatch, ConvOptions, FallbackPolicy, Scratch, WinogradLayer};
 use wino_sched::Executor;
-use wino_tensor::{BlockedImage, BlockedKernels, ConvShape, SimpleImage};
+use wino_tensor::{BlockedImage, BlockedKernels, ConvGeometry, ConvShape, SimpleImage};
 use wino_workloads::{effective_gflops, time_best, uniform_input, xavier_kernels, Layer, Timing};
 
 /// One measured row of a Fig. 5-style report.
@@ -190,6 +190,156 @@ pub fn im2col_output(layer: &Layer, exec: &dyn Executor) -> BlockedImage {
     im2col_conv(&input, &kernels, &layer.shape.padding, &mut output, exec)
         .expect("accuracy im2col_conv failed");
     output
+}
+
+/// Row-name suffix encoding a non-identity geometry (`" s2x2"`,
+/// `" d2x2"`, `" g4"`); empty for the identity, so geometry rows never
+/// collide with the plain runners' labels.
+fn geo_suffix(geo: &ConvGeometry) -> String {
+    let join =
+        |v: &[usize]| v.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x");
+    let mut s = String::new();
+    if geo.stride.iter().any(|&x| x != 1) {
+        s.push_str(&format!(" s{}", join(&geo.stride)));
+    }
+    if geo.dilation.iter().any(|&x| x != 1) {
+        s.push_str(&format!(" d{}", join(&geo.dilation)));
+    }
+    if geo.groups > 1 {
+        s.push_str(&format!(" g{}", geo.groups));
+    }
+    s
+}
+
+/// Effective GFLOP/s under a geometry: the *geometry's* direct-conv FLOP
+/// count (strided layers do `1/∏s` of the dense work, grouped `1/G`)
+/// over the best time — the identity-geometry [`effective_gflops`]
+/// normaliser would overstate strided rows 4×.
+fn geo_gflops(direct_flops: u128, ms: f64) -> f64 {
+    direct_flops as f64 / (ms * 1e-3) / 1e9
+}
+
+/// Deterministic blocked input/kernels for a layer under the grouped
+/// kernel convention: `kernels.in_channels == C / groups` (identical to
+/// [`layer_data`] when `groups == 1`).
+pub fn geo_layer_data(layer: &Layer, groups: usize, seed: u64) -> (BlockedImage, BlockedKernels) {
+    let s = &layer.shape;
+    let img = uniform_input(s, seed);
+    let gshape = ConvShape::new(
+        s.batch,
+        s.in_channels / groups.max(1),
+        s.out_channels,
+        &s.image_dims,
+        &s.kernel_dims,
+        &s.padding,
+    )
+    .expect("per-group shape of a catalogue layer is valid");
+    let ker = xavier_kernels(&gshape, seed ^ 0xabcd);
+    (
+        BlockedImage::from_simple(&img).expect("catalogue layers are blockable"),
+        BlockedKernels::from_simple(&ker).expect("catalogue kernels are blockable"),
+    )
+}
+
+/// f64 ground truth for [`geo_layer_data`]'s seed-42 bench data under
+/// the geometry carried by `opts` — the oracle behind every geometry
+/// row's `max_rel_error` column.
+pub fn geo_layer_truth(layer: &Layer, opts: ConvOptions) -> SimpleImage {
+    let s = &layer.shape;
+    let geo = opts.geometry(s.rank());
+    let img = uniform_input(s, 42);
+    let gshape = ConvShape::new(
+        s.batch,
+        s.in_channels / geo.groups,
+        s.out_channels,
+        &s.image_dims,
+        &s.kernel_dims,
+        &s.padding,
+    )
+    .expect("per-group shape of a catalogue layer is valid");
+    let ker = xavier_kernels(&gshape, 42 ^ 0xabcd);
+    wino_baseline::direct_f64_geo(&img, &ker, &s.padding, &geo)
+}
+
+/// One untimed dispatched forward on the geometry bench data. `None` if
+/// the layer is unrepresentable under `opts` or the route fails.
+pub fn dispatch_output(
+    layer: &Layer,
+    m: &[usize],
+    opts: ConvOptions,
+    exec: &dyn Executor,
+) -> Option<BlockedImage> {
+    let (dp, _) = plan_dispatch(&layer.shape, m, opts, &FallbackPolicy::default()).ok()?;
+    let (input, kernels) = geo_layer_data(layer, dp.geo.groups, 42);
+    let mut output = dp.new_output().ok()?;
+    dp.forward(&input, &kernels, &mut output, exec).ok()?;
+    Some(output)
+}
+
+/// Time the dispatch layer's routed engine (polyphase / grouped Winograd
+/// or the designed im2col fallback) for one tile choice under the
+/// geometry carried by `opts`. The row is labelled by the route's
+/// reported backend plus the geometry suffix (`"winograd-poly F(4x4)
+/// s2x2"`); GFLOP/s use the geometry's own direct-FLOP normaliser.
+/// `None` if the layer is unrepresentable under `opts`.
+pub fn run_dispatch(
+    layer: &Layer,
+    m: &[usize],
+    opts: ConvOptions,
+    exec: &dyn Executor,
+    reps: usize,
+) -> Option<Measurement> {
+    let (dp, _) = plan_dispatch(&layer.shape, m, opts, &FallbackPolicy::default()).ok()?;
+    let (input, kernels) = geo_layer_data(layer, dp.geo.groups, 42);
+    let mut output = dp.new_output().ok()?;
+    let m_str: Vec<String> = m.iter().map(|x| x.to_string()).collect();
+    let name = format!("{} F({}){}", dp.backend().name(), m_str.join("x"), geo_suffix(&dp.geo));
+    let timing = time_best(reps, || {
+        dp.forward(&input, &kernels, &mut output, exec).expect("benchmark dispatch forward failed");
+    });
+    std::hint::black_box(output.as_slice().first());
+    let gflops = geo_gflops(dp.direct_flops(), timing.best_ms);
+    Some(Measurement { layer: layer.id(), implementation: name, timing, gflops })
+}
+
+/// One untimed geometry-aware im2col forward on the geometry bench data.
+pub fn im2col_geo_output(layer: &Layer, opts: ConvOptions, exec: &dyn Executor) -> Option<BlockedImage> {
+    let s = &layer.shape;
+    let geo = opts.geometry(s.rank());
+    let (input, kernels) = geo_layer_data(layer, geo.groups, 42);
+    let mut output =
+        BlockedImage::zeros(s.batch, s.out_channels, &geo.out_dims(s).ok()?).ok()?;
+    im2col_conv_geo(&input, &kernels, &s.padding, &geo, &mut output, exec).ok()?;
+    Some(output)
+}
+
+/// Time the geometry-aware im2col + GEMM baseline — the universal
+/// fallback every dispatch route is judged against. `None` if the layer
+/// is unrepresentable under `opts`.
+pub fn run_im2col_geo(
+    layer: &Layer,
+    opts: ConvOptions,
+    exec: &dyn Executor,
+    reps: usize,
+) -> Option<Measurement> {
+    let s = &layer.shape;
+    let geo = opts.geometry(s.rank());
+    geo.validate(s).ok()?;
+    let (input, kernels) = geo_layer_data(layer, geo.groups, 42);
+    let mut output =
+        BlockedImage::zeros(s.batch, s.out_channels, &geo.out_dims(s).ok()?).ok()?;
+    let timing = time_best(reps, || {
+        im2col_conv_geo(&input, &kernels, &s.padding, &geo, &mut output, exec)
+            .expect("benchmark im2col_conv_geo failed");
+    });
+    std::hint::black_box(output.as_slice().first());
+    let gflops = geo_gflops(2 * geo.direct_macs(s).ok()?, timing.best_ms);
+    Some(Measurement {
+        layer: layer.id(),
+        implementation: format!("im2col-gemm{}", geo_suffix(&geo)),
+        timing,
+        gflops,
+    })
 }
 
 /// Time our Winograd implementation for one tile choice. Returns `None`

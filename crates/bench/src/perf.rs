@@ -19,10 +19,10 @@
 
 use std::time::{SystemTime, UNIX_EPOCH};
 
-use wino_baseline::{direct_conv, im2col_conv};
+use wino_baseline::{direct_conv, im2col_conv, im2col_conv_geo};
 use wino_conv::{
-    Activation, ConvOptions, ExecutionReport, FallbackPolicy, LayerSpec, Network, Scratch,
-    WinogradLayer,
+    plan_dispatch, Activation, ConvOptions, ExecutionReport, FallbackPolicy, LayerSpec, Network,
+    Scratch, WinogradLayer,
 };
 use wino_probe::{
     fold, Json, MachineModel, SpanCategory, StageReport, StageWork, WorkModel, SCHEMA_VERSION,
@@ -31,7 +31,7 @@ use wino_sched::{Executor, ProbedExecutor};
 use wino_tensor::{BlockedImage, BlockedMatrices, ConvShape};
 use wino_workloads::{time_best, Layer};
 
-use crate::{layer_data, Measurement};
+use crate::{geo_layer_data, layer_data, Measurement};
 
 /// Today's UTC date as `YYYY-MM-DD` (no external time crates: civil date
 /// from the days-since-epoch count, Gregorian calendar).
@@ -237,6 +237,59 @@ pub fn probe_im2col(layer: &Layer, exec: &dyn Executor, machine: &MachineModel) 
         return None;
     }
     Some(fold(&events, &im2col_work_model(&layer.shape), machine))
+}
+
+/// One instrumented pass through the dispatch layer's routed engine
+/// (polyphase / grouped Winograd or the designed im2col fallback),
+/// folded against [`wino_conv::DispatchPlan::work_model`]. `None` if the
+/// layer is unrepresentable under `opts`' geometry or probing is
+/// compiled out.
+pub fn probe_dispatch(
+    layer: &Layer,
+    m: &[usize],
+    opts: ConvOptions,
+    exec: &dyn Executor,
+    machine: &MachineModel,
+) -> Option<StageReport> {
+    let (dp, _) = plan_dispatch(&layer.shape, m, opts, &FallbackPolicy::default()).ok()?;
+    let (input, kernels) = geo_layer_data(layer, dp.geo.groups, 42);
+    let mut output = dp.new_output().ok()?;
+    let mut probed = ProbedExecutor::new(exec);
+    dp.forward(&input, &kernels, &mut output, &probed).ok()?;
+    std::hint::black_box(output.as_slice().first());
+    let events = probed.take_events();
+    if events.is_empty() {
+        return None;
+    }
+    Some(fold(&events, &dp.work_model(), machine))
+}
+
+/// One instrumented geometry-aware im2col pass, folded against the same
+/// geometry's [`wino_conv::DispatchPlan::im2col_work_model`] — the
+/// baseline side of every dispatch comparison row. `None` when probing
+/// is compiled out.
+pub fn probe_im2col_geo(
+    layer: &Layer,
+    opts: ConvOptions,
+    exec: &dyn Executor,
+    machine: &MachineModel,
+) -> Option<StageReport> {
+    // The dispatch plan is only borrowed for its geometry-normalised
+    // shape/out-dims/work-model bookkeeping; the timed engine below is
+    // the plain im2col baseline, whatever route the plan would take.
+    let (dp, _) =
+        plan_dispatch(&layer.shape, &vec![2; layer.rank()], opts, &FallbackPolicy::default())
+            .ok()?;
+    let (input, kernels) = geo_layer_data(layer, dp.geo.groups, 42);
+    let mut output = dp.new_output().ok()?;
+    let mut probed = ProbedExecutor::new(exec);
+    im2col_conv_geo(&input, &kernels, &layer.shape.padding, &dp.geo, &mut output, &probed).ok()?;
+    std::hint::black_box(output.as_slice().first());
+    let events = probed.take_events();
+    if events.is_empty() {
+        return None;
+    }
+    Some(fold(&events, &dp.im2col_work_model(), machine))
 }
 
 /// One uninstrumented pass through the `Network` execution path to learn

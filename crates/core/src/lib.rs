@@ -30,6 +30,7 @@
 //! ```
 
 pub mod conv;
+pub mod dispatch;
 pub mod error;
 pub mod layout;
 pub mod net;
@@ -46,6 +47,7 @@ pub mod vecprog;
 pub mod work;
 
 pub use conv::{convolve_simple, TransformedKernels};
+pub use dispatch::{plan_dispatch, DispatchPlan, Phase, Route};
 pub use error::{check_finite, NumericError, WinoError};
 pub use layout::TileMajor;
 pub use net::{

@@ -22,6 +22,7 @@ use wino_sched::Executor;
 use wino_tensor::{BlockedImage, BlockedKernels, BlockedMatrices, ConvShape};
 
 use crate::conv::TransformedKernels;
+use crate::dispatch::{plan_dispatch, DispatchPlan, Route};
 use crate::error::{check_finite, NumericError, WinoError};
 use crate::plan::{ConvOptions, PlanError, Scratch, Stage2Backend, WinogradLayer};
 use crate::select::{plan_with_fallback, FallbackPolicy};
@@ -55,6 +56,10 @@ pub enum LayerPlan {
     /// degradation chain, planned when no Winograd plan exists and the
     /// policy allows absorbing that.
     Im2col { shape: ConvShape },
+    /// A non-identity (stride/dilation/groups) geometry routed through
+    /// [`crate::dispatch`]: polyphase Winograd, grouped Winograd, or the
+    /// geometry-aware im2col fallback.
+    Dispatch(DispatchPlan),
 }
 
 impl LayerPlan {
@@ -63,6 +68,7 @@ impl LayerPlan {
         match self {
             LayerPlan::Winograd(p) => &p.shape,
             LayerPlan::Im2col { shape } => shape,
+            LayerPlan::Dispatch(p) => &p.shape,
         }
     }
 
@@ -70,7 +76,24 @@ impl LayerPlan {
     pub fn winograd(&self) -> Option<&WinogradLayer> {
         match self {
             LayerPlan::Winograd(p) => Some(p),
-            LayerPlan::Im2col { .. } => None,
+            LayerPlan::Im2col { .. } | LayerPlan::Dispatch(_) => None,
+        }
+    }
+
+    /// The dispatch route, for layers with a non-identity geometry.
+    pub fn dispatch(&self) -> Option<&DispatchPlan> {
+        match self {
+            LayerPlan::Dispatch(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Output extent per dimension — geometry-aware, unlike
+    /// `shape().out_dims()`.
+    pub fn out_dims(&self) -> Vec<usize> {
+        match self {
+            LayerPlan::Dispatch(p) => p.out_dims().to_vec(),
+            other => other.shape().out_dims(),
         }
     }
 }
@@ -83,6 +106,12 @@ pub enum LayerBackend {
     /// Winograd re-run with every tile dimension demoted by 2 after an
     /// accuracy-sentinel trip (better-conditioned transforms).
     WinogradDemoted,
+    /// Stride ≥ 2 executed as a sum of per-phase stride-1 Winograd
+    /// convolutions (the sub-lattice / polyphase decomposition).
+    WinogradPoly,
+    /// Grouped convolution executed by blocking the C/C' loops around a
+    /// shared per-group Winograd plan.
+    WinogradGrouped,
     Im2col,
 }
 
@@ -95,6 +124,8 @@ impl LayerBackend {
             LayerBackend::WinogradJit => "winograd-jit",
             LayerBackend::WinogradMono => "winograd-mono",
             LayerBackend::WinogradDemoted => "winograd-demoted",
+            LayerBackend::WinogradPoly => "winograd-poly",
+            LayerBackend::WinogradGrouped => "winograd-grouped",
             LayerBackend::Im2col => "im2col",
         }
     }
@@ -116,6 +147,14 @@ pub enum FallbackReason {
     /// the layer was re-executed demoted (or via im2col — see the
     /// [`ExecutionReport::backend`]).
     SentinelTrip(SentinelError),
+    /// The layer is dilated, which the Winograd transform stencils cannot
+    /// express; it runs via the geometry-aware im2col baseline. A
+    /// designed route, reported under every policy.
+    Dilated,
+    /// The layer's per-group channel width is narrower than the vector
+    /// width (depthwise included), so the blocked Winograd layout cannot
+    /// carry it; it runs via the geometry-aware im2col baseline.
+    GroupTooNarrow { c_per_group: usize },
 }
 
 impl FallbackReason {
@@ -130,6 +169,8 @@ impl FallbackReason {
             FallbackReason::PlanFailed(_) => "plan-failed",
             FallbackReason::NumericGuard(_) => "numeric-guard",
             FallbackReason::SentinelTrip(_) => "sentinel-trip",
+            FallbackReason::Dilated => "dilated",
+            FallbackReason::GroupTooNarrow { .. } => "group-narrow",
         }
     }
 }
@@ -141,6 +182,12 @@ impl std::fmt::Display for FallbackReason {
             FallbackReason::PlanFailed(e) => write!(f, "no winograd plan ({e}); using im2col"),
             FallbackReason::NumericGuard(e) => write!(f, "numeric guard tripped ({e}); using im2col"),
             FallbackReason::SentinelTrip(e) => write!(f, "accuracy {e}; re-executed"),
+            FallbackReason::Dilated => {
+                write!(f, "dilated layer outside the Winograd stencils; using im2col")
+            }
+            FallbackReason::GroupTooNarrow { c_per_group } => {
+                write!(f, "per-group channel width {c_per_group} below the vector width; using im2col")
+            }
         }
     }
 }
@@ -223,21 +270,38 @@ impl Network {
         let mut layers = Vec::with_capacity(specs.len());
         let mut c = in_channels;
         let mut dims = image_dims.to_vec();
+        let identity = opts.has_identity_geometry(image_dims.len());
         for spec in specs {
             let shape =
                 ConvShape::new(batch, c, spec.out_channels, &dims, &spec.kernel, &spec.padding)?;
             c = spec.out_channels;
-            dims = shape.out_dims();
-            let (plan, planned_fallback) = match plan_with_fallback(&shape, &spec.m, opts, policy) {
-                Ok((p, None)) => (LayerPlan::Winograd(p), None),
-                Ok((p, Some(e))) => {
-                    (LayerPlan::Winograd(p), Some(FallbackReason::JitUnavailable(e)))
+            let (plan, planned_fallback) = if identity {
+                dims = shape.out_dims();
+                match plan_with_fallback(&shape, &spec.m, opts, policy) {
+                    Ok((p, None)) => (LayerPlan::Winograd(p), None),
+                    Ok((p, Some(e))) => {
+                        (LayerPlan::Winograd(p), Some(FallbackReason::JitUnavailable(e)))
+                    }
+                    Err(e @ PlanError::Shape(_)) => return Err(e),
+                    Err(e) if policy.im2col_on_plan_failure => {
+                        (LayerPlan::Im2col { shape }, Some(FallbackReason::PlanFailed(e)))
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e @ PlanError::Shape(_)) => return Err(e),
-                Err(e) if policy.im2col_on_plan_failure => {
-                    (LayerPlan::Im2col { shape }, Some(FallbackReason::PlanFailed(e)))
+            } else {
+                // Non-identity geometry: route through the dispatch
+                // layer. Chaining uses the geometry's output extents.
+                let (dp, fb) = plan_dispatch(&shape, &spec.m, opts, policy)?;
+                dims = dp.out_dims().to_vec();
+                match dp {
+                    // An identity-geometry route can't reach here, but a
+                    // Direct plan still executes through the ordinary
+                    // Winograd machinery (scratch reuse, sentinels).
+                    DispatchPlan { route: Route::Direct(p), .. } => {
+                        (LayerPlan::Winograd(*p), fb)
+                    }
+                    dp => (LayerPlan::Dispatch(dp), fb),
                 }
-                Err(e) => return Err(e),
             };
             layers.push(NetLayer { plan, activation: spec.activation, planned_fallback });
         }
@@ -486,6 +550,45 @@ impl Network {
                 }
             }
             LayerPlan::Im2col { shape } => Self::im2col_layer(shape, input, kernels, exec)?,
+            LayerPlan::Dispatch(dp) => {
+                report.backend = dp.backend();
+                let mut out = dp.new_output()?;
+                dp.forward(input, kernels, &mut out, exec)?;
+                let guard = if policy.check_numerics {
+                    check_finite("output", out.as_slice())
+                } else {
+                    Ok(())
+                };
+                match guard {
+                    Ok(()) => out,
+                    Err(e)
+                        if policy.im2col_on_numeric && !matches!(dp.route, Route::Im2col) =>
+                    {
+                        report.backend = LayerBackend::Im2col;
+                        report.fallback = Some(FallbackReason::NumericGuard(e));
+                        let rescue_start = crate::spans::span_start();
+                        let mut rescued = dp.new_output()?;
+                        wino_baseline::im2col_conv_geo(
+                            input,
+                            kernels,
+                            &dp.shape.padding,
+                            &dp.geo,
+                            &mut rescued,
+                            exec,
+                        )?;
+                        crate::spans::record_coord(
+                            exec,
+                            wino_probe::SpanCategory::FallbackRescue,
+                            rescue_start,
+                        );
+                        // As with the identity path: a second trip means
+                        // the corruption is not Winograd-specific.
+                        check_finite("im2col rescue output", rescued.as_slice())?;
+                        rescued
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
         };
         layer.activation.apply(&mut out);
         Ok((out, report))
@@ -616,9 +719,14 @@ mod tests {
         // The schema validator (wino-probe) pins the wire names; the
         // producers here must stay inside those sets or reports fail
         // validation at emit time.
-        for b in
-            [LayerBackend::WinogradJit, LayerBackend::WinogradMono, LayerBackend::WinogradDemoted, LayerBackend::Im2col]
-        {
+        for b in [
+            LayerBackend::WinogradJit,
+            LayerBackend::WinogradMono,
+            LayerBackend::WinogradDemoted,
+            LayerBackend::WinogradPoly,
+            LayerBackend::WinogradGrouped,
+            LayerBackend::Im2col,
+        ] {
             assert!(
                 wino_probe::BACKEND_NAMES.contains(&b.name()),
                 "{:?} serializes to unknown name {}",
@@ -631,6 +739,8 @@ mod tests {
             FallbackReason::PlanFailed(PlanError::RankTooHigh { rank: 9 }),
             FallbackReason::NumericGuard(NumericError { stage: "output", index: 0 }),
             FallbackReason::SentinelTrip(SentinelError { unit: 0, rel_err: 1.0, bound: 0.5 }),
+            FallbackReason::Dilated,
+            FallbackReason::GroupTooNarrow { c_per_group: 1 },
         ];
         for r in &reasons {
             assert!(
@@ -924,5 +1034,169 @@ mod tests {
         assert_eq!(a2.as_slice(), full.as_slice());
         // Out-of-range index is a typed error, not a panic.
         assert!(net.run_layer(9, &input, &kernels[0], &SerialExecutor, &policy).is_err());
+    }
+
+    /// One oracle layer: f64 direct conv over the full geometry, then
+    /// (optionally) ReLU — the ground truth the dispatch-backed network
+    /// paths are compared against.
+    fn oracle_layer(
+        img: &SimpleImage,
+        ker: &BlockedKernels,
+        padding: &[usize],
+        geo: &wino_tensor::ConvGeometry,
+        relu: bool,
+    ) -> SimpleImage {
+        let mut out = wino_baseline::direct_f64_geo(img, &ker.to_simple(), padding, geo);
+        if relu {
+            for v in &mut out.data {
+                *v = v.max(0.0);
+            }
+        }
+        out
+    }
+
+    fn assert_close(got: &BlockedImage, want: &SimpleImage, tol: f32, what: &str) {
+        let got = got.to_simple();
+        assert_eq!(got.dims, want.dims, "{what}: dims");
+        assert_eq!(got.channels, want.channels, "{what}: channels");
+        for (i, (a, b)) in got.data.iter().zip(&want.data).enumerate() {
+            assert!((a - b).abs() <= tol, "{what}: [{i}] {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn strided_network_chains_geometry_and_reports_polyphase() {
+        // Two stride-2 layers: 12×12 → 6×6 → 3×3, every layer executed by
+        // the polyphase route and reported as such.
+        let specs = vec![LayerSpec::same(16, 2, 3, 2), LayerSpec::same(16, 2, 3, 2)];
+        let opts = ConvOptions::default().with_stride(&[2, 2]);
+        let mut net =
+            Network::with_policy(1, 16, &[12, 12], &specs, opts, 1, &FallbackPolicy::default())
+                .unwrap();
+        assert_eq!(net.layers()[0].plan.out_dims(), vec![6, 6]);
+        assert_eq!(net.layers()[1].plan.out_dims(), vec![3, 3]);
+
+        let img = SimpleImage::from_fn(1, 16, &[12, 12], |_, c, xy| {
+            ((c + xy[0] * 3 + xy[1]) % 11) as f32 * 0.1 - 0.5
+        });
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 7);
+        let (out, reports) =
+            net.run_net(&input, &kernels, &SerialExecutor, &FallbackPolicy::default()).unwrap();
+        for r in &reports {
+            assert_eq!(r.backend, LayerBackend::WinogradPoly);
+            assert!(r.fallback.is_none(), "polyphase is a first-class route, not a fallback");
+        }
+        assert_eq!(out.dims, vec![3, 3]);
+
+        let geo = opts.geometry(2);
+        let a1 = oracle_layer(&img, &kernels[0], &[1, 1], &geo, true);
+        let want = oracle_layer(&a1, &kernels[1], &[1, 1], &geo, true);
+        assert_close(&out, &want, 1e-3, "strided net");
+    }
+
+    #[test]
+    fn grouped_network_reports_grouped_backend() {
+        // C = C' = 32, groups = 2: each group is a 16→16 sub-conv — wide
+        // enough for the blocked layouts, so the grouped Winograd route
+        // runs (and reports) rather than falling back.
+        let specs = vec![LayerSpec::same(32, 2, 3, 2)];
+        let opts = ConvOptions::default().with_groups(2);
+        let mut net =
+            Network::with_policy(1, 32, &[10, 10], &specs, opts, 1, &FallbackPolicy::default())
+                .unwrap();
+        let dp = net.layers()[0].plan.dispatch().expect("grouped layer routes via dispatch");
+        assert!(matches!(dp.route, crate::dispatch::Route::Grouped { .. }));
+        assert_eq!(dp.kernel_in_channels(), 16);
+
+        let img = SimpleImage::from_fn(1, 32, &[10, 10], |_, c, xy| {
+            ((c * 2 + xy[0] + xy[1] * 3) % 13) as f32 * 0.06 - 0.4
+        });
+        let input = BlockedImage::from_simple(&img).unwrap();
+        // Grouped kernels carry C/G input channels; the dense helper
+        // above would build the wrong shape.
+        let k = SimpleKernels::from_fn(32, 16, &[3, 3], |co, ci, xy| {
+            ((co * 5 + ci * 3 + xy[0] + xy[1]) % 11) as f32 * 0.05 - 0.25
+        });
+        let kernels = vec![BlockedKernels::from_simple(&k).unwrap()];
+        let (out, reports) =
+            net.run_net(&input, &kernels, &SerialExecutor, &FallbackPolicy::default()).unwrap();
+        assert_eq!(reports[0].backend, LayerBackend::WinogradGrouped);
+        assert!(reports[0].fallback.is_none());
+
+        let want = oracle_layer(&img, &kernels[0], &[1, 1], &opts.geometry(2), true);
+        assert_close(&out, &want, 1e-3, "grouped net");
+
+        // Memoised kernel transforms are a dense-Winograd feature; a
+        // dispatch-planned layer declines them with a typed error.
+        assert!(matches!(
+            net.prepare_kernels(&kernels, &SerialExecutor),
+            Err(WinoError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn dilated_network_takes_the_designed_im2col_route() {
+        // Dilation 2 with "same" padding (effective kernel 5, pad 2).
+        // The designed route is im2col with a typed provenance — even
+        // under the strict policy `Network::new` uses, because this is
+        // routing, not degradation.
+        let specs = vec![LayerSpec {
+            out_channels: 16,
+            kernel: vec![3, 3],
+            padding: vec![2, 2],
+            m: vec![2, 2],
+            activation: Activation::Relu,
+        }];
+        let opts = ConvOptions::default().with_dilation(&[2, 2]);
+        let mut net = Network::new(1, 16, &[12, 12], &specs, opts, 1).unwrap();
+        assert_eq!(net.layers()[0].plan.out_dims(), vec![12, 12]);
+        assert!(matches!(net.layers()[0].planned_fallback, Some(FallbackReason::Dilated)));
+
+        let img = SimpleImage::from_fn(1, 16, &[12, 12], |_, c, xy| {
+            ((c + xy[0] * 2 + xy[1]) % 9) as f32 * 0.08 - 0.3
+        });
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 11);
+        let (out, reports) =
+            net.run_net(&input, &kernels, &SerialExecutor, &FallbackPolicy::strict()).unwrap();
+        assert_eq!(reports[0].backend, LayerBackend::Im2col);
+        assert!(matches!(reports[0].fallback, Some(FallbackReason::Dilated)));
+
+        let want = oracle_layer(&img, &kernels[0], &[2, 2], &opts.geometry(2), true);
+        assert_close(&out, &want, 1e-4, "dilated net");
+    }
+
+    #[test]
+    fn depthwise_network_reports_group_too_narrow() {
+        // groups == C: one input channel per group — far below the S=16
+        // channel block, so the dispatch layer routes to im2col and says
+        // exactly why.
+        let specs = vec![LayerSpec::same(16, 2, 3, 2)];
+        let opts = ConvOptions::default().with_groups(16);
+        let mut net = Network::new(1, 16, &[10, 10], &specs, opts, 1).unwrap();
+        assert!(matches!(
+            net.layers()[0].planned_fallback,
+            Some(FallbackReason::GroupTooNarrow { c_per_group: 1 })
+        ));
+
+        let img = SimpleImage::from_fn(1, 16, &[10, 10], |_, c, xy| {
+            ((c * 3 + xy[0] + xy[1]) % 7) as f32 * 0.09 - 0.3
+        });
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let k = SimpleKernels::from_fn(16, 1, &[3, 3], |co, _, xy| {
+            ((co + xy[0] * 2 + xy[1]) % 5) as f32 * 0.1 - 0.2
+        });
+        let kernels = vec![BlockedKernels::from_simple(&k).unwrap()];
+        let (out, reports) =
+            net.run_net(&input, &kernels, &SerialExecutor, &FallbackPolicy::strict()).unwrap();
+        assert_eq!(reports[0].backend, LayerBackend::Im2col);
+        assert!(matches!(
+            reports[0].fallback,
+            Some(FallbackReason::GroupTooNarrow { c_per_group: 1 })
+        ));
+
+        let want = oracle_layer(&img, &kernels[0], &[1, 1], &opts.geometry(2), true);
+        assert_close(&out, &want, 1e-4, "depthwise net");
     }
 }

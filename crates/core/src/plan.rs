@@ -146,6 +146,89 @@ pub struct ConvOptions {
     /// build pools; executors constructed by callers keep whatever
     /// deadline they were given.
     pub watchdog: Option<std::time::Duration>,
+    /// Output sampling step per spatial dimension (entries beyond the
+    /// layer's rank are ignored; all 1s by default). Stride-2 layers
+    /// still run Winograd, via the sub-lattice (polyphase) decomposition
+    /// in [`crate::dispatch`]; [`WinogradLayer::new`] itself only accepts
+    /// the identity geometry.
+    ///
+    /// ```
+    /// use wino_conv::ConvOptions;
+    /// let opts = ConvOptions::default().with_stride(&[2, 2]);
+    /// assert_eq!(opts.stride[..2], [2, 2]);
+    /// assert_eq!(opts.stride[2..], [1, 1, 1, 1]); // beyond-rank entries stay 1
+    /// assert!(!opts.geometry(2).is_identity());
+    /// ```
+    pub stride: [usize; MAX_RANK],
+    /// Kernel tap spacing per spatial dimension (entries beyond the
+    /// layer's rank are ignored; all 1s by default). Dilation is outside
+    /// what the Winograd transform stencils can express, so dilated
+    /// layers dispatch to the im2col baseline with typed provenance.
+    ///
+    /// ```
+    /// use wino_conv::ConvOptions;
+    /// let opts = ConvOptions::default().with_dilation(&[2]);
+    /// assert_eq!(opts.geometry(1).dilation, vec![2]);
+    /// ```
+    pub dilation: [usize; MAX_RANK],
+    /// Channel group count (1 = dense). Input channels `[g·C/G, (g+1)·C/G)`
+    /// feed only output channels `[g·C'/G, (g+1)·C'/G)`; `groups == C` is
+    /// depthwise. Groups whose per-group channel width is a multiple of
+    /// the vector width still run Winograd (blocked C/C' loops); narrower
+    /// groups dispatch to im2col.
+    ///
+    /// ```
+    /// use wino_conv::ConvOptions;
+    /// let opts = ConvOptions::default().with_groups(4);
+    /// assert_eq!(opts.geometry(2).groups, 4);
+    /// assert!(ConvOptions::default().geometry(3).is_identity());
+    /// ```
+    pub groups: usize,
+}
+
+impl ConvOptions {
+    /// Builder-style stride override (remaining dimensions keep 1).
+    pub fn with_stride(mut self, stride: &[usize]) -> ConvOptions {
+        self.stride[..stride.len()].copy_from_slice(stride);
+        self
+    }
+
+    /// Builder-style dilation override (remaining dimensions keep 1).
+    pub fn with_dilation(mut self, dilation: &[usize]) -> ConvOptions {
+        self.dilation[..dilation.len()].copy_from_slice(dilation);
+        self
+    }
+
+    /// Builder-style group-count override.
+    pub fn with_groups(mut self, groups: usize) -> ConvOptions {
+        self.groups = groups;
+        self
+    }
+
+    /// The geometry these options describe for a layer of the given rank.
+    pub fn geometry(&self, rank: usize) -> wino_tensor::ConvGeometry {
+        let rank = rank.min(MAX_RANK);
+        wino_tensor::ConvGeometry {
+            stride: self.stride[..rank].to_vec(),
+            dilation: self.dilation[..rank].to_vec(),
+            groups: self.groups,
+        }
+    }
+
+    /// True when stride/dilation/groups are all 1 over the first `rank`
+    /// dimensions — the only geometry the monolithic planner accepts.
+    pub fn has_identity_geometry(&self, rank: usize) -> bool {
+        self.geometry(rank).is_identity()
+    }
+
+    /// These options with the geometry fields reset to the identity — the
+    /// form the dispatch layer hands to stride-1 sub-plans.
+    pub fn with_identity_geometry(mut self) -> ConvOptions {
+        self.stride = [1; MAX_RANK];
+        self.dilation = [1; MAX_RANK];
+        self.groups = 1;
+        self
+    }
 }
 
 impl Default for ConvOptions {
@@ -160,6 +243,9 @@ impl Default for ConvOptions {
             budget: None,
             compensated: false,
             watchdog: None,
+            stride: [1; MAX_RANK],
+            dilation: [1; MAX_RANK],
+            groups: 1,
         }
     }
 }
@@ -186,6 +272,10 @@ pub enum PlanError {
     /// [`AccuracyBudget`] in dimension `dim` — demote `m` (the planner's
     /// `candidate_tiles` does this automatically).
     AccuracyBudget { dim: usize, m: usize },
+    /// The options carry a non-identity stride/dilation/groups geometry,
+    /// which the monolithic planner does not execute — route the layer
+    /// through [`crate::dispatch`] instead.
+    Geometry { reason: &'static str },
 }
 
 impl std::fmt::Display for PlanError {
@@ -204,6 +294,9 @@ impl std::fmt::Display for PlanError {
                 f,
                 "tile size m={m} for dimension {dim} exceeds the accuracy budget"
             ),
+            PlanError::Geometry { reason } => {
+                write!(f, "non-identity conv geometry: {reason}")
+            }
         }
     }
 }
@@ -259,6 +352,13 @@ impl WinogradLayer {
         let rank = shape.rank();
         if rank > MAX_RANK {
             return Err(PlanError::RankTooHigh { rank });
+        }
+        if !opts.has_identity_geometry(rank) {
+            // Stride/dilation/groups are the dispatch layer's job: the
+            // monolithic three-stage pipeline is a stride-1 algorithm.
+            return Err(PlanError::Geometry {
+                reason: "WinogradLayer is stride-1/dense; use dispatch::plan_dispatch",
+            });
         }
         if !shape.in_channels.is_multiple_of(S) {
             return Err(ShapeError::ChannelsNotVectorMultiple { channels: shape.in_channels }.into());

@@ -47,6 +47,37 @@ impl Wisdom {
         format!("r{rows}_c{c}_cp{cp}_t{t}_th{threads}")
     }
 
+    /// As [`Wisdom::key`], extended with a conv-geometry scenario suffix
+    /// (`_s2x2_d1x1_g4`). The identity geometry (all strides and
+    /// dilations 1, one group) produces exactly [`Wisdom::key`]'s output,
+    /// so wisdom files written before the dispatch layer existed keep
+    /// resolving, and files written now load under old readers (the
+    /// suffix only ever changes the key, never the value-line format). A
+    /// corrupted suffix degrades to a lookup miss — the analytic model
+    /// fallback — never an error.
+    #[allow(clippy::too_many_arguments)] // one argument per key component
+    pub fn scenario_key(
+        rows: usize,
+        c: usize,
+        cp: usize,
+        t: usize,
+        threads: usize,
+        stride: &[usize],
+        dilation: &[usize],
+        groups: usize,
+    ) -> String {
+        let mut key = Self::key(rows, c, cp, t, threads);
+        let identity =
+            stride.iter().all(|&s| s == 1) && dilation.iter().all(|&d| d == 1) && groups == 1;
+        if !identity {
+            let join = |v: &[usize]| {
+                v.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+            };
+            key.push_str(&format!("_s{}_d{}_g{}", join(stride), join(dilation), groups));
+        }
+        key
+    }
+
     pub fn get(&self, key: &str) -> Option<BlockShape> {
         self.map.lock().unwrap().get(key).map(|e| e.shape)
     }
@@ -245,5 +276,107 @@ mod tests {
     fn keys_distinguish_problems() {
         assert_ne!(Wisdom::key(1, 2, 3, 4, 5), Wisdom::key(1, 2, 3, 4, 6));
         assert_ne!(Wisdom::key(10, 2, 3, 4, 5), Wisdom::key(1, 2, 3, 4, 5));
+    }
+
+    #[test]
+    fn identity_scenario_key_is_the_v1_key() {
+        // Lossless backward compatibility: a stride-1, dense layer keys
+        // exactly as it did before the dispatch layer existed, so old
+        // wisdom files keep resolving for the layers they were tuned on.
+        assert_eq!(
+            Wisdom::scenario_key(784, 256, 256, 36, 64, &[1, 1], &[1, 1], 1),
+            Wisdom::key(784, 256, 256, 36, 64)
+        );
+        assert_eq!(
+            Wisdom::scenario_key(100, 64, 64, 16, 4, &[1, 1, 1], &[1, 1, 1], 1),
+            Wisdom::key(100, 64, 64, 16, 4)
+        );
+    }
+
+    #[test]
+    fn scenario_keys_distinguish_geometries() {
+        let base = Wisdom::scenario_key(784, 256, 256, 36, 64, &[1, 1], &[1, 1], 1);
+        let strided = Wisdom::scenario_key(784, 256, 256, 36, 64, &[2, 2], &[1, 1], 1);
+        let dilated = Wisdom::scenario_key(784, 256, 256, 36, 64, &[1, 1], &[2, 2], 1);
+        let grouped = Wisdom::scenario_key(784, 256, 256, 36, 64, &[1, 1], &[1, 1], 4);
+        assert_eq!(strided, format!("{base}_s2x2_d1x1_g1"));
+        assert_eq!(dilated, format!("{base}_s1x1_d2x2_g1"));
+        assert_eq!(grouped, format!("{base}_s1x1_d1x1_g4"));
+        let all = [&base, &strided, &dilated, &grouped];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn v1_files_resolve_scenario_lookups_and_vice_versa() {
+        let dir =
+            std::env::temp_dir().join(format!("wino-wisdom-scen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.txt");
+
+        // A pre-dispatch ("v1") file knows nothing of geometry suffixes.
+        std::fs::write(&path, "# wino-gemm wisdom v1\nr784_c256_cp256_t36_th64 = 14 128 128\n")
+            .unwrap();
+        let w = Wisdom::load(&path).unwrap();
+        // Identity-geometry lookups hit the old entry losslessly…
+        assert_eq!(
+            w.get(&Wisdom::scenario_key(784, 256, 256, 36, 64, &[1, 1], &[1, 1], 1)),
+            Some(BlockShape { n_blk: 14, c_blk: 128, cp_blk: 128 })
+        );
+        // …while strided/grouped lookups miss (analytic-model fallback),
+        // rather than silently reusing a blocking tuned for a different
+        // effective problem.
+        assert_eq!(
+            w.get(&Wisdom::scenario_key(784, 256, 256, 36, 64, &[2, 2], &[1, 1], 1)),
+            None
+        );
+
+        // The converse: a store holding both identity and scenario
+        // entries round-trips through the unchanged v1 line format, and
+        // an old reader (same loader) sees every entry.
+        w.insert(
+            Wisdom::scenario_key(784, 256, 256, 36, 64, &[2, 2], &[1, 1], 4),
+            BlockShape { n_blk: 7, c_blk: 64, cp_blk: 64 },
+        );
+        w.save(&path).unwrap();
+        let reloaded = Wisdom::load(&path).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(
+            reloaded.get(&Wisdom::scenario_key(784, 256, 256, 36, 64, &[2, 2], &[1, 1], 4)),
+            Some(BlockShape { n_blk: 7, c_blk: 64, cp_blk: 64 })
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_scenario_suffixes_degrade_to_misses() {
+        let dir =
+            std::env::temp_dir().join(format!("wino-wisdom-scor-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.txt");
+
+        // Mangled geometry suffixes: the loader keeps the lines (the key
+        // is opaque to it, the values are well-formed), but no canonical
+        // scenario_key ever reproduces them, so lookups miss and the
+        // planner falls back to the analytic model. Nothing panics.
+        std::fs::write(
+            &path,
+            "r784_c256_cp256_t36_th64_s2xbogus_d1x1_g4 = 14 128 128\n\
+             r784_c256_cp256_t36_th64_sNaN_dNaN_g-1 = 14 128 128\n\
+             r784_c256_cp256_t36_th64_s2x2 = 14 128 128\n",
+        )
+        .unwrap();
+        let w = Wisdom::load(&path).unwrap();
+        for stride in [&[1usize, 1][..], &[2, 2]] {
+            for groups in [1usize, 4] {
+                let key = Wisdom::scenario_key(784, 256, 256, 36, 64, stride, &[1, 1], groups);
+                assert_eq!(w.get(&key), None, "corrupt suffix resolved for {key}");
+                assert_eq!(w.superblock_hint(&key), None);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

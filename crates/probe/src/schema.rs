@@ -55,13 +55,25 @@ pub const SCALING_MODES: [&str; 2] = ["strong", "weak"];
 /// The stable names of `wino_conv::LayerBackend` variants as serialized
 /// into `layers[i].execution.backend` and serve `backends` tallies. The
 /// producer crates assert their `name()` methods stay inside this set.
-pub const BACKEND_NAMES: [&str; 4] =
-    ["winograd-jit", "winograd-mono", "winograd-demoted", "im2col"];
+pub const BACKEND_NAMES: [&str; 6] = [
+    "winograd-jit",
+    "winograd-mono",
+    "winograd-demoted",
+    "winograd-poly",
+    "winograd-grouped",
+    "im2col",
+];
 
 /// The stable reason codes of `wino_conv::FallbackReason` as serialized
 /// into `layers[i].execution.fallback` and serve `fallbacks` tallies.
-pub const FALLBACK_CODES: [&str; 4] =
-    ["jit-unavailable", "plan-failed", "numeric-guard", "sentinel-trip"];
+pub const FALLBACK_CODES: [&str; 6] = [
+    "jit-unavailable",
+    "plan-failed",
+    "numeric-guard",
+    "sentinel-trip",
+    "dilated",
+    "group-narrow",
+];
 
 /// Validate a parsed `BENCH_*.json` document. Returns every problem
 /// found (empty = valid).

@@ -39,32 +39,51 @@ impl ModelSpec {
         ModelSpec { in_channels, image_dims, layers, opts: ConvOptions::default() }
     }
 
-    /// Per-layer convolution shapes at the given batch size.
-    pub fn shapes(&self, batch: usize) -> Result<Vec<ConvShape>, ShapeError> {
+    /// Per-layer `(shape, output dims)` at the given batch size, chained
+    /// through `opts`' conv geometry — with a stride each layer's input
+    /// is the *decimated* output of the previous one, not the identity
+    /// extent [`ConvShape::out_dims`] reports.
+    pub fn chained_shapes(
+        &self,
+        batch: usize,
+    ) -> Result<Vec<(ConvShape, Vec<usize>)>, ShapeError> {
+        let geo = self.opts.geometry(self.image_dims.len());
         let mut out = Vec::with_capacity(self.layers.len());
         let mut c = self.in_channels;
         let mut dims = self.image_dims.clone();
         for l in &self.layers {
             let s = ConvShape::new(batch, c, l.out_channels, &dims, &l.kernel, &l.padding)?;
             c = l.out_channels;
-            dims = s.out_dims();
-            out.push(s);
+            dims = geo.out_dims(&s)?;
+            out.push((s, dims.clone()));
         }
         Ok(out)
     }
 
+    /// Per-layer convolution shapes at the given batch size.
+    pub fn shapes(&self, batch: usize) -> Result<Vec<ConvShape>, ShapeError> {
+        Ok(self.chained_shapes(batch)?.into_iter().map(|(s, _)| s).collect())
+    }
+
     /// `(channels, spatial dims)` of the network's output.
     pub fn output_geometry(&self) -> Result<(usize, Vec<usize>), ShapeError> {
-        let shapes = self.shapes(1)?;
-        let last = shapes.last().expect("Server::start rejects empty layer stacks");
-        Ok((last.out_channels, last.out_dims()))
+        let chained = self.chained_shapes(1)?;
+        let (last, dims) = chained.last().expect("Server::start rejects empty layer stacks");
+        Ok((last.out_channels, dims.clone()))
     }
 
     /// Direct-convolution FLOPs for one batch of `batch` images — the
     /// roofline work estimate (an upper bound on Winograd's arithmetic,
     /// which is the conservative direction for admission control).
+    /// Geometry-aware: a stride-2 layer does a quarter of the stride-1
+    /// work, and grouping divides the channel product by `G`.
     pub fn direct_flops(&self, batch: usize) -> Result<u128, ShapeError> {
-        Ok(self.shapes(batch)?.iter().map(|s| s.direct_flops()).sum())
+        let geo = self.opts.geometry(self.image_dims.len());
+        let mut total = 0u128;
+        for (s, _) in self.chained_shapes(batch)? {
+            total += 2 * geo.direct_macs(&s)?;
+        }
+        Ok(total)
     }
 }
 
@@ -75,19 +94,13 @@ impl ModelSpec {
 /// so batching never trades unbounded latency for throughput.
 pub fn suggested_max_batch(spec: &ModelSpec, threads: usize) -> Result<usize, ShapeError> {
     let mut min_tiles = usize::MAX;
-    let mut c = spec.in_channels;
-    let mut dims = spec.image_dims.clone();
-    for l in &spec.layers {
-        let s = ConvShape::new(1, c, l.out_channels, &dims, &l.kernel, &l.padding)?;
-        let out = s.out_dims();
+    for ((_, out), l) in spec.chained_shapes(1)?.iter().zip(&spec.layers) {
         let tiles: usize = out
             .iter()
             .zip(&l.m)
             .map(|(&e, &m)| e.div_ceil(m.max(1)))
             .product();
         min_tiles = min_tiles.min(tiles.max(1));
-        c = l.out_channels;
-        dims = out;
     }
     let want = 4 * threads.max(1);
     Ok(want.div_ceil(min_tiles).clamp(1, 16))
@@ -119,9 +132,9 @@ impl ServiceModel {
         // Memory floor: every layer streams its input and output at
         // least once.
         let mut bytes = 0u128;
-        for s in spec.shapes(1)? {
+        for (s, out) in spec.chained_shapes(1)? {
             let in_vol: usize = s.image_dims.iter().product();
-            let out_vol: usize = s.out_dims().iter().product();
+            let out_vol: usize = out.iter().product();
             bytes += 4 * (s.in_channels * in_vol + s.out_channels * out_vol) as u128;
         }
         let mem_s = bytes as f64 / (machine.mem_bw_gbps.max(1e-3) * 1e9);
@@ -198,6 +211,28 @@ mod tests {
         let slow = MachineModel { peak_gflops: 1.0, mem_bw_gbps: 1.0, threads: 1 };
         let ms = ServiceModel::from_roofline(&slow, &spec(), 0.5).unwrap();
         assert!(ms.per_image_ms > m.per_image_ms);
+    }
+
+    #[test]
+    fn strided_spec_chains_decimated_dims() {
+        let mut sp = spec();
+        sp.opts = sp.opts.with_stride(&[2, 2]);
+        // 8×8 → 4×4 → 2×2: each layer's input is the previous layer's
+        // *decimated* output.
+        let chained = sp.chained_shapes(1).unwrap();
+        assert_eq!(chained[0].1, vec![4, 4]);
+        assert_eq!(chained[1].0.image_dims, vec![4, 4]);
+        assert_eq!(chained[1].1, vec![2, 2]);
+        assert_eq!(sp.output_geometry().unwrap(), (16, vec![2, 2]));
+        // Stride-2 work is far below the stride-1 estimate; admission
+        // control must not over-charge strided models 4× per layer.
+        let dense = spec().direct_flops(1).unwrap();
+        let strided = sp.direct_flops(1).unwrap();
+        assert!(strided < dense / 3, "strided {strided} vs dense {dense}");
+        // Fewer tiles per layer → larger batches needed to saturate.
+        assert!(
+            suggested_max_batch(&sp, 16).unwrap() > suggested_max_batch(&spec(), 16).unwrap()
+        );
     }
 
     #[test]

@@ -501,19 +501,22 @@ impl Engine {
     }
 
     /// The bottom rung: chain the layers through the im2col baseline,
-    /// applying activations by hand. No Winograd machinery at all.
+    /// applying activations by hand. No Winograd machinery at all. The
+    /// baseline is geometry-aware, so strided/dilated/grouped specs run
+    /// on this rung exactly like the dispatch-planned ones above it.
     fn run_im2col(
         &self,
         input: &BlockedImage,
         exec: &dyn Executor,
     ) -> Result<(BlockedImage, Vec<ExecutionReport>), WinoError> {
-        let shapes = self.spec.shapes(input.batch).map_err(WinoError::Shape)?;
+        let geo = self.spec.opts.geometry(self.spec.image_dims.len());
+        let shapes = self.spec.chained_shapes(input.batch).map_err(WinoError::Shape)?;
         let mut reports = Vec::with_capacity(shapes.len());
         let mut cur = input.clone();
-        for (i, (shape, kern)) in shapes.iter().zip(&self.kernels).enumerate() {
-            let mut out = BlockedImage::zeros(input.batch, shape.out_channels, &shape.out_dims())
+        for (i, ((shape, out_dims), kern)) in shapes.iter().zip(&self.kernels).enumerate() {
+            let mut out = BlockedImage::zeros(input.batch, shape.out_channels, out_dims)
                 .map_err(WinoError::Shape)?;
-            wino_baseline::im2col_conv(&cur, kern, &shape.padding, &mut out, exec)
+            wino_baseline::im2col_conv_geo(&cur, kern, &shape.padding, &geo, &mut out, exec)
                 .map_err(WinoError::Pool)?;
             if self.spec.layers[i].activation == Activation::Relu {
                 for v in out.as_mut_slice() {
@@ -755,6 +758,31 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
         assert!(max_err < 1e-3, "ladder rungs disagree: max abs err {max_err}");
+    }
+
+    #[test]
+    fn strided_spec_ladder_rungs_agree() {
+        // A stride-2 spec: the Full rung runs the polyphase dispatcher,
+        // the bottom rung the geometry-aware im2col baseline — same
+        // decimated output, same convolution.
+        let mut spec = spec_1layer();
+        spec.opts = spec.opts.with_stride(&[2, 2]);
+        let kernels = kernels_for(&spec);
+        let mut engine = Engine::new(spec, kernels, FallbackPolicy::default(), 1);
+        let img = input();
+        let (full, reports_full) = engine.run(&img, DegradeLevel::Full, &SerialExecutor).unwrap();
+        assert_eq!(full.dims, vec![3, 3]); // (6 + 2 − 3)/2 + 1
+        assert_eq!(reports_full[0].backend, LayerBackend::WinogradPoly);
+        let (base, reports) = engine.run(&img, DegradeLevel::Im2col, &SerialExecutor).unwrap();
+        assert_eq!(base.dims, vec![3, 3]);
+        assert_eq!(reports[0].backend, LayerBackend::Im2col);
+        let max_err = full
+            .as_slice()
+            .iter()
+            .zip(base.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-3, "strided ladder rungs disagree: max abs err {max_err}");
     }
 
     #[test]

@@ -128,6 +128,82 @@ impl BlockedImage {
         self.data.fill_zero();
     }
 
+    /// Copy out the channel block `[c0, c0 + count)` as its own image —
+    /// the C-loop blocking of grouped convolution. Both bounds must be
+    /// multiples of `S` so the slice is whole channel groups: per batch
+    /// item the block is then one contiguous run of the backing buffer.
+    pub fn channel_block(&self, c0: usize, count: usize) -> Result<BlockedImage, ShapeError> {
+        if !c0.is_multiple_of(S) || count == 0 || !count.is_multiple_of(S) {
+            return Err(ShapeError::ChannelsNotVectorMultiple { channels: count.max(c0) });
+        }
+        if c0 + count > self.channels {
+            return Err(ShapeError::Mismatch {
+                what: "channel block end",
+                expected: self.channels,
+                got: c0 + count,
+            });
+        }
+        let mut out = BlockedImage::zeros(self.batch, count, &self.dims)?;
+        let vol = self.spatial_volume();
+        let run = (count / S) * vol * S;
+        for b in 0..self.batch {
+            let src = (b * self.channel_groups() + c0 / S) * vol * S;
+            let dst = b * run;
+            out.data[dst..dst + run].copy_from_slice(&self.data[src..src + run]);
+        }
+        Ok(out)
+    }
+
+    /// Inverse of [`Self::channel_block`]: write `src` into channels
+    /// `[c0, c0 + src.channels)` of `self`.
+    pub fn write_channel_block(&mut self, c0: usize, src: &BlockedImage) -> Result<(), ShapeError> {
+        if !c0.is_multiple_of(S) {
+            return Err(ShapeError::ChannelsNotVectorMultiple { channels: c0 });
+        }
+        if src.batch != self.batch {
+            return Err(ShapeError::Mismatch {
+                what: "batch",
+                expected: self.batch,
+                got: src.batch,
+            });
+        }
+        if src.dims != self.dims {
+            return Err(ShapeError::RankMismatch { expected: self.dims.len(), got: src.dims.len() });
+        }
+        if c0 + src.channels > self.channels {
+            return Err(ShapeError::Mismatch {
+                what: "channel block end",
+                expected: self.channels,
+                got: c0 + src.channels,
+            });
+        }
+        let vol = self.spatial_volume();
+        let run = src.channel_groups() * vol * S;
+        for b in 0..self.batch {
+            let dst = (b * self.channel_groups() + c0 / S) * vol * S;
+            let s0 = b * run;
+            self.data[dst..dst + run].copy_from_slice(&src.data[s0..s0 + run]);
+        }
+        Ok(())
+    }
+
+    /// Elementwise `self += other` — the accumulation step of the
+    /// polyphase (sub-lattice) stride decomposition, where every phase
+    /// contributes a full-size partial output in the same blocked layout.
+    pub fn accumulate(&mut self, other: &BlockedImage) -> Result<(), ShapeError> {
+        if other.batch != self.batch || other.channels != self.channels || other.dims != self.dims {
+            return Err(ShapeError::Mismatch {
+                what: "accumulate operand length",
+                expected: self.data.len(),
+                got: other.data.len(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+        Ok(())
+    }
+
     /// Convert from the interchange layout.
     pub fn from_simple(img: &SimpleImage) -> Result<Self, ShapeError> {
         let mut out = Self::zeros(img.batch, img.channels, &img.dims)?;
@@ -243,6 +319,39 @@ impl BlockedKernels {
         self.data.as_ptr()
     }
 
+    /// Copy out the kernel block feeding input channels
+    /// `[ci0, ci0 + ci_count)` and output channels `[co0, co0 + co_count)`
+    /// — the C/C' blocking of grouped convolution. `co0` and `co_count`
+    /// must be multiples of `S` (the vector runs over output channels);
+    /// input channels are the outer dimension and slice freely.
+    pub fn group_block(
+        &self,
+        ci0: usize,
+        ci_count: usize,
+        co0: usize,
+        co_count: usize,
+    ) -> Result<BlockedKernels, ShapeError> {
+        if !co0.is_multiple_of(S) || co_count == 0 || !co_count.is_multiple_of(S) {
+            return Err(ShapeError::ChannelsNotVectorMultiple { channels: co_count.max(co0) });
+        }
+        if ci0 + ci_count > self.in_channels || co0 + co_count > self.out_channels {
+            return Err(ShapeError::Mismatch {
+                what: "kernel group block end",
+                expected: self.in_channels.max(self.out_channels),
+                got: (ci0 + ci_count).max(co0 + co_count),
+            });
+        }
+        let mut out = BlockedKernels::zeros(ci_count, co_count, &self.dims)?;
+        let vol = self.spatial_volume();
+        let run = (co_count / S) * vol * S;
+        for ci in 0..ci_count {
+            let src = ((ci0 + ci) * self.out_channel_groups() + co0 / S) * vol * S;
+            let dst = ci * run;
+            out.data[dst..dst + run].copy_from_slice(&self.data[src..src + run]);
+        }
+        Ok(out)
+    }
+
     pub fn from_simple(k: &SimpleKernels) -> Result<Self, ShapeError> {
         let mut out = Self::zeros(k.in_channels, k.out_channels, &k.dims)?;
         let vol = out.spatial_volume();
@@ -349,6 +458,64 @@ mod tests {
         assert_eq!(img.as_ptr() as usize % 64, 0);
         let k = BlockedKernels::zeros(16, 16, &[3]).unwrap();
         assert_eq!(k.as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn channel_block_roundtrip() {
+        let img = SimpleImage::from_fn(2, 48, &[3, 3], |b, c, xy| {
+            (b * 10000 + c * 100 + xy[0] * 10 + xy[1]) as f32
+        });
+        let blocked = BlockedImage::from_simple(&img).unwrap();
+        let mid = blocked.channel_block(16, 16).unwrap();
+        assert_eq!(mid.channels, 16);
+        for b in 0..2 {
+            for c in 0..16 {
+                for x in 0..3 {
+                    for y in 0..3 {
+                        assert_eq!(mid.get(b, c, &[x, y]), img.get(b, 16 + c, &[x, y]));
+                    }
+                }
+            }
+        }
+        // Write it back shifted into a fresh image and check placement.
+        let mut dst = BlockedImage::zeros(2, 48, &[3, 3]).unwrap();
+        dst.write_channel_block(32, &mid).unwrap();
+        assert_eq!(dst.get(1, 32, &[2, 2]), img.get(1, 16, &[2, 2]));
+        assert_eq!(dst.get(0, 0, &[0, 0]), 0.0);
+        // Misaligned or out-of-range blocks are typed errors.
+        assert!(blocked.channel_block(8, 16).is_err());
+        assert!(blocked.channel_block(32, 32).is_err());
+    }
+
+    #[test]
+    fn accumulate_adds_elementwise() {
+        let a0 = SimpleImage::from_fn(1, 16, &[2, 2], |_, c, xy| (c + xy[0]) as f32);
+        let b0 = SimpleImage::from_fn(1, 16, &[2, 2], |_, _, xy| (xy[1] * 10) as f32);
+        let mut a = BlockedImage::from_simple(&a0).unwrap();
+        let b = BlockedImage::from_simple(&b0).unwrap();
+        a.accumulate(&b).unwrap();
+        assert_eq!(a.get(0, 3, &[1, 1]), (3 + 1) as f32 + 10.0);
+        let wrong = BlockedImage::zeros(1, 16, &[3, 3]).unwrap();
+        assert!(a.accumulate(&wrong).is_err());
+    }
+
+    #[test]
+    fn kernel_group_block_roundtrip() {
+        let k = SimpleKernels::from_fn(32, 8, &[3], |co, ci, xy| {
+            (co * 100 + ci * 10 + xy[0]) as f32
+        });
+        let blocked = BlockedKernels::from_simple(&k).unwrap();
+        let block = blocked.group_block(2, 4, 16, 16).unwrap();
+        assert_eq!((block.in_channels, block.out_channels), (4, 16));
+        for co in 0..16 {
+            for ci in 0..4 {
+                for x in 0..3 {
+                    assert_eq!(block.get(co, ci, &[x]), k.get(16 + co, 2 + ci, &[x]));
+                }
+            }
+        }
+        assert!(blocked.group_block(0, 8, 8, 16).is_err());
+        assert!(blocked.group_block(4, 8, 0, 16).is_err());
     }
 
     #[test]

@@ -89,6 +89,117 @@ impl ConvShape {
     }
 }
 
+/// Per-dimension stride and dilation plus a channel group count — the
+/// scenario axes of a general convolution on top of a stride-1
+/// [`ConvShape`]. The identity geometry (all ones) is the plain Winograd
+/// case; everything else is routed by the dispatch layer in `wino-conv`:
+/// stride 2 through the sub-lattice (polyphase) decomposition, groups by
+/// blocking the C/C' loops, dilation through the im2col baseline.
+///
+/// Output extents under a geometry follow the standard formula
+///
+/// ```text
+/// out_d = ⌊(in_d + 2·pad_d − ((r_d − 1)·dilation_d + 1)) / stride_d⌋ + 1
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Output sampling step per dimension (≥ 1).
+    pub stride: Vec<usize>,
+    /// Kernel tap spacing per dimension (≥ 1).
+    pub dilation: Vec<usize>,
+    /// Channel groups: input channels `[g·C/G, (g+1)·C/G)` feed only
+    /// output channels `[g·C'/G, (g+1)·C'/G)`. `groups == C` is depthwise.
+    pub groups: usize,
+}
+
+impl ConvGeometry {
+    /// The stride-1/dilation-1/ungrouped geometry of the given rank.
+    pub fn identity(rank: usize) -> ConvGeometry {
+        ConvGeometry { stride: vec![1; rank], dilation: vec![1; rank], groups: 1 }
+    }
+
+    /// True when this is the plain stride-1/dilation-1/ungrouped case.
+    pub fn is_identity(&self) -> bool {
+        self.groups == 1
+            && self.stride.iter().all(|&s| s == 1)
+            && self.dilation.iter().all(|&d| d == 1)
+    }
+
+    /// Dilated kernel extent along dimension `d`: `(r − 1)·dilation + 1`.
+    pub fn effective_kernel(&self, kernel_dims: &[usize], d: usize) -> usize {
+        (kernel_dims[d] - 1) * self.dilation[d] + 1
+    }
+
+    /// Check this geometry against a layer shape. Failures here mean the
+    /// layer is *unrepresentable* (no backend could run it), as opposed to
+    /// merely outside what Winograd supports:
+    /// zero stride/dilation/groups, a rank mismatch, a group count that
+    /// does not divide C or C', or a dilated kernel wider than the padded
+    /// image.
+    pub fn validate(&self, shape: &ConvShape) -> Result<(), ShapeError> {
+        let rank = shape.rank();
+        if self.stride.len() != rank {
+            return Err(ShapeError::RankMismatch { expected: rank, got: self.stride.len() });
+        }
+        if self.dilation.len() != rank {
+            return Err(ShapeError::RankMismatch { expected: rank, got: self.dilation.len() });
+        }
+        if self.stride.contains(&0) {
+            return Err(ShapeError::BadGeometry { what: "stride must be at least 1" });
+        }
+        if self.dilation.contains(&0) {
+            return Err(ShapeError::BadGeometry { what: "dilation must be at least 1" });
+        }
+        if self.groups == 0 {
+            return Err(ShapeError::BadGeometry { what: "groups must be at least 1" });
+        }
+        if !shape.in_channels.is_multiple_of(self.groups) {
+            return Err(ShapeError::BadGroups { channels: shape.in_channels, groups: self.groups });
+        }
+        if !shape.out_channels.is_multiple_of(self.groups) {
+            return Err(ShapeError::BadGroups {
+                channels: shape.out_channels,
+                groups: self.groups,
+            });
+        }
+        for d in 0..rank {
+            if self.effective_kernel(&shape.kernel_dims, d)
+                > shape.image_dims[d] + 2 * shape.padding[d]
+            {
+                return Err(ShapeError::BadGeometry {
+                    what: "dilated kernel exceeds padded image extent",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Output extent per dimension under this geometry (validates first).
+    pub fn out_dims(&self, shape: &ConvShape) -> Result<Vec<usize>, ShapeError> {
+        self.validate(shape)?;
+        Ok((0..shape.rank())
+            .map(|d| {
+                let span = shape.image_dims[d] + 2 * shape.padding[d]
+                    - self.effective_kernel(&shape.kernel_dims, d);
+                span / self.stride[d] + 1
+            })
+            .collect())
+    }
+
+    /// Multiply–add count of the direct method under this geometry:
+    /// `B · (C/G) · C' · ∏out · ∏r` (each output channel sees only its
+    /// group's input channels).
+    pub fn direct_macs(&self, shape: &ConvShape) -> Result<u128, ShapeError> {
+        let out: u128 = self.out_dims(shape)?.iter().map(|&d| d as u128).product();
+        let ker: u128 = shape.kernel_dims.iter().map(|&d| d as u128).product();
+        Ok(shape.batch as u128
+            * (shape.in_channels / self.groups) as u128
+            * shape.out_channels as u128
+            * out
+            * ker)
+    }
+}
+
 /// The overlap-add tile decomposition for one layer and one choice of
 /// output-tile sizes `m` (§3.2): input tiles of size
 /// `T_d = m_d + r_d − 1` overlapping by `r_d − 1`, `N_d = ⌈out_d/m_d⌉`
@@ -267,6 +378,54 @@ mod tests {
         assert_eq!(g.tile_volume(), 216);
         let c = g.tile_coords(97);
         assert_eq!(c, vec![1, 6, 6]);
+    }
+
+    #[test]
+    fn geometry_identity_matches_conv_shape() {
+        let s = vgg22();
+        let g = ConvGeometry::identity(2);
+        assert!(g.is_identity());
+        assert_eq!(g.out_dims(&s).unwrap(), s.out_dims());
+        assert_eq!(g.direct_macs(&s).unwrap(), s.direct_macs());
+    }
+
+    #[test]
+    fn geometry_strided_and_dilated_out_dims() {
+        let s = ConvShape::new(1, 16, 16, &[13, 13], &[3, 3], &[1, 1]).unwrap();
+        let g = ConvGeometry { stride: vec![2, 2], dilation: vec![1, 1], groups: 1 };
+        // (13 + 2 − 3)/2 + 1 = 7.
+        assert_eq!(g.out_dims(&s).unwrap(), vec![7, 7]);
+        let d = ConvGeometry { stride: vec![1, 1], dilation: vec![2, 2], groups: 1 };
+        // Effective kernel 5: 13 + 2 − 5 + 1 = 11.
+        assert_eq!(d.out_dims(&s).unwrap(), vec![11, 11]);
+        // Stride larger than the extent still yields one output.
+        let huge = ConvGeometry { stride: vec![40, 40], dilation: vec![1, 1], groups: 1 };
+        assert_eq!(huge.out_dims(&s).unwrap(), vec![1, 1]);
+    }
+
+    #[test]
+    fn geometry_rejects_unrepresentable() {
+        let s = ConvShape::new(1, 16, 32, &[8, 8], &[3, 3], &[1, 1]).unwrap();
+        let bad_groups = ConvGeometry { stride: vec![1, 1], dilation: vec![1, 1], groups: 3 };
+        assert!(matches!(
+            bad_groups.validate(&s),
+            Err(ShapeError::BadGroups { channels: 16, groups: 3 })
+        ));
+        // 5 divides neither 16 nor 32; the input-channel check fires first.
+        let zero_stride = ConvGeometry { stride: vec![0, 1], dilation: vec![1, 1], groups: 1 };
+        assert!(matches!(zero_stride.validate(&s), Err(ShapeError::BadGeometry { .. })));
+        // Dilation 8 → effective kernel 17 > 8 + 2.
+        let wide = ConvGeometry { stride: vec![1, 1], dilation: vec![8, 8], groups: 1 };
+        assert!(matches!(wide.validate(&s), Err(ShapeError::BadGeometry { .. })));
+        let short = ConvGeometry { stride: vec![1], dilation: vec![1], groups: 1 };
+        assert!(matches!(short.validate(&s), Err(ShapeError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn grouped_macs_scale_down() {
+        let s = ConvShape::new(1, 32, 32, &[8, 8], &[3, 3], &[1, 1]).unwrap();
+        let g2 = ConvGeometry { stride: vec![1, 1], dilation: vec![1, 1], groups: 2 };
+        assert_eq!(g2.direct_macs(&s).unwrap() * 2, s.direct_macs());
     }
 
     #[test]

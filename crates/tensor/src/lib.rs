@@ -28,7 +28,7 @@ pub mod simple;
 
 pub use blocked::{BlockedImage, BlockedKernels};
 pub use first_touch::zeroed_first_touch;
-pub use geometry::{ConvShape, TileGrid};
+pub use geometry::{ConvGeometry, ConvShape, TileGrid};
 pub use matrices::BlockedMatrices;
 pub use simple::{SimpleImage, SimpleKernels};
 
@@ -49,6 +49,13 @@ pub enum ShapeError {
     /// Two connected buffers disagree on one extent (batch, channel count,
     /// spatial dimension, …) — `what` names the quantity.
     Mismatch { what: &'static str, expected: usize, got: usize },
+    /// A channel count that the requested group count does not divide —
+    /// such a layer is unrepresentable, not merely unsupported.
+    BadGroups { channels: usize, groups: usize },
+    /// A stride/dilation/groups field outside the representable range
+    /// (zero stride, zero dilation, zero groups, or a dilated receptive
+    /// field wider than the padded image) — `what` names the field.
+    BadGeometry { what: &'static str },
 }
 
 impl std::fmt::Display for ShapeError {
@@ -67,6 +74,10 @@ impl std::fmt::Display for ShapeError {
             ShapeError::Mismatch { what, expected, got } => {
                 write!(f, "{what} mismatch: expected {expected}, got {got}")
             }
+            ShapeError::BadGroups { channels, groups } => {
+                write!(f, "group count {groups} does not divide channel count {channels}")
+            }
+            ShapeError::BadGeometry { what } => write!(f, "bad conv geometry: {what}"),
         }
     }
 }

@@ -29,12 +29,22 @@ run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features
 run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features probe -- -D warnings
 run "$BUILD_TIMEOUT" cargo clippy --workspace --offline --all-targets --features probe,fault-inject -- -D warnings
 
-# Differential gate: ≥200 random layers through all three stage schedules
-# (unfused / fused-scatter / pipelined) against the f64 oracle. The seed
-# is pinned (0xd1ff2026, the test's default) so CI failures reproduce
-# locally byte-for-byte; the minimal-shrink reporter names the offender.
+# Differential gate: ≥300 random layers through all three stage schedules
+# (unfused / fused-scatter / pipelined) across the full (stride, dilation,
+# groups) lattice against the f64 geometry oracle. The seed is pinned
+# (0xd1ff2026, the test's default) so CI failures reproduce locally
+# byte-for-byte; the minimal-shrink reporter names the offender.
 run "$TEST_TIMEOUT" env WINO_SWEEP_SEED=3523158054 \
     cargo test --offline -q --test properties differential_schedule_sweep
+
+# Dispatch-matrix gate: the exhaustive (rank, stride, dilation, groups)
+# grid must route every representable combination to its specified engine
+# (direct / polyphase / grouped Winograd or the designed im2col fallback
+# with the right typed reason), match the oracle, and surface the same
+# provenance through `Network` reports; the geometry edge cases (stride >
+# extent, dilation past the padding, depthwise, non-divisible groups)
+# ride in the same gate.
+run "$TEST_TIMEOUT" cargo test --offline -q --test dispatch_matrix --test tile_edge_cases
 
 # Accuracy gate: (a) every practical F(m, r) under both interpolation
 # point schedules must measure within its exact a-priori conditioning

@@ -157,14 +157,15 @@ fn blocked_kernel_roundtrip() {
 // direct oracle, with a greedy minimal-shrink report on failure.
 // ---------------------------------------------------------------------------
 
-use winograd_nd_repro::conv::{ConvOptions, Schedule, Scratch, WinogradLayer};
+use winograd_nd_repro::baseline::direct_f64_geo;
+use winograd_nd_repro::conv::{plan_dispatch, ConvOptions, FallbackPolicy, Schedule};
 use winograd_nd_repro::sched::SerialExecutor;
 use winograd_nd_repro::tensor::ConvShape;
 
 /// Pinned default seed for the sweep; override with `WINO_SWEEP_SEED=<u64>`
 /// to explore a different region of the case space.
 const SWEEP_SEED: u64 = 0xd1ff_2026;
-const SWEEP_CASES: usize = 200;
+const SWEEP_CASES: usize = 320;
 
 #[derive(Clone, Debug, PartialEq)]
 struct SweepCase {
@@ -175,39 +176,64 @@ struct SweepCase {
     kd: Vec<usize>,
     m: Vec<usize>,
     pad: Vec<usize>,
+    stride: Vec<usize>,
+    dilation: Vec<usize>,
+    groups: usize,
     seed: usize,
 }
 
 impl SweepCase {
-    /// Geometry the planner is expected to accept: the padded image
-    /// covers the kernel in every dimension.
+    /// Geometry the dispatcher is expected to accept: the padded image
+    /// covers the *effective* (dilated) kernel in every dimension, and
+    /// the group count divides both channel counts. Stride never affects
+    /// representability — it only decimates the output.
     fn valid(&self) -> bool {
-        self.dims
+        let spatial = self
+            .dims
             .iter()
             .zip(&self.kd)
             .zip(&self.pad)
-            .all(|((&d, &r), &p)| d + 2 * p >= r)
+            .zip(&self.dilation)
+            .all(|(((&d, &r), &p), &dil)| {
+                let effective_kernel = (r - 1) * dil + 1;
+                d + 2 * p >= effective_kernel
+            });
+        spatial
+            && self.c.is_multiple_of(self.groups)
+            && self.cp.is_multiple_of(self.groups)
     }
 }
 
 fn draw_case(rng: &mut Rng) -> SweepCase {
     let rank = rng.range_usize(1, 3);
     let hi = if rank == 3 { 7 } else { 12 };
+    let c = rng.range_usize(1, 2) * 16;
     SweepCase {
         batch: rng.range_usize(1, 2),
-        c: rng.range_usize(1, 2) * 16,
+        c,
         cp: rng.range_usize(1, 2) * 16,
         dims: (0..rank).map(|_| rng.range_usize(3, hi)).collect(),
         kd: (0..rank).map(|_| rng.range_usize(1, 3)).collect(),
         m: (0..rank).map(|_| rng.range_usize(1, 4)).collect(),
         pad: (0..rank).map(|_| rng.range_usize(0, 1)).collect(),
+        stride: (0..rank).map(|_| rng.range_usize(1, 2)).collect(),
+        dilation: (0..rank).map(|_| rng.range_usize(1, 2)).collect(),
+        // The issue's group lattice: dense, half-width, depthwise.
+        groups: match rng.range_usize(0, 2) {
+            0 => 1,
+            1 => c / 2,
+            _ => c,
+        },
         seed: rng.range_usize(0, 999),
     }
 }
 
-/// Run one case under every schedule. `None` means it passed; `Some`
-/// carries the failure description.
+/// Run one case through the dispatch layer under every schedule. `None`
+/// means it passed; `Some` carries the failure description. Every route
+/// — direct Winograd, polyphase, grouped, im2col — is judged against the
+/// same f64 oracle, and all schedules must agree bitwise.
 fn sweep_failure(case: &SweepCase) -> Option<String> {
+    let cg = case.c / case.groups;
     let img = SimpleImage::from_fn(case.batch, case.c, &case.dims, |b, ch, xy| {
         let mut h = b.wrapping_mul(131).wrapping_add(ch.wrapping_mul(17)).wrapping_add(case.seed);
         for &x in xy {
@@ -215,7 +241,8 @@ fn sweep_failure(case: &SweepCase) -> Option<String> {
         }
         (h % 211) as f32 / 211.0 * 0.2 - 0.1
     });
-    let ker = SimpleKernels::from_fn(case.cp, case.c, &case.kd, |co, ci, xy| {
+    // Grouped convention: kernels carry C/G input channels.
+    let ker = SimpleKernels::from_fn(case.cp, cg, &case.kd, |co, ci, xy| {
         let mut h = co.wrapping_mul(19).wrapping_add(ci.wrapping_mul(5)).wrapping_add(case.seed);
         for &x in xy {
             h = h.wrapping_mul(13).wrapping_add(x);
@@ -227,7 +254,12 @@ fn sweep_failure(case: &SweepCase) -> Option<String> {
         Ok(s) => s,
         Err(e) => return Some(format!("shape rejected: {e:?}")),
     };
-    let truth = direct_f64(&img, &ker, &case.pad);
+    let base_opts = ConvOptions::default()
+        .with_stride(&case.stride)
+        .with_dilation(&case.dilation)
+        .with_groups(case.groups);
+    let geo = base_opts.geometry(case.dims.len());
+    let truth = direct_f64_geo(&img, &ker, &case.pad, &geo);
     let bi = match BlockedImage::from_simple(&img) {
         Ok(b) => b,
         Err(e) => return Some(format!("blocking rejected: {e:?}")),
@@ -237,19 +269,19 @@ fn sweep_failure(case: &SweepCase) -> Option<String> {
         Err(e) => return Some(format!("kernel blocking rejected: {e:?}")),
     };
 
+    let policy = FallbackPolicy::default();
     let mut outputs: Vec<(Schedule, Vec<f32>)> = Vec::new();
     for schedule in Schedule::ALL {
-        let opts = ConvOptions { schedule, ..Default::default() };
-        let plan = match WinogradLayer::new(shape.clone(), &case.m, opts) {
-            Ok(p) => p,
-            Err(e) => return Some(format!("plan rejected [{}]: {e:?}", schedule.name())),
+        let opts = ConvOptions { schedule, ..base_opts };
+        let (dp, _fb) = match plan_dispatch(&shape, &case.m, opts, &policy) {
+            Ok(v) => v,
+            Err(e) => return Some(format!("dispatch rejected [{}]: {e:?}", schedule.name())),
         };
-        let mut scratch = Scratch::new(&plan, 1);
-        let mut out = match plan.new_output() {
+        let mut out = match dp.new_output() {
             Ok(o) => o,
             Err(e) => return Some(format!("output alloc [{}]: {e:?}", schedule.name())),
         };
-        if let Err(e) = plan.forward(&bi, &bk, &mut out, &mut scratch, &SerialExecutor) {
+        if let Err(e) = dp.forward(&bi, &bk, &mut out, &SerialExecutor) {
             return Some(format!("forward failed [{}]: {e:?}", schedule.name()));
         }
         let (max_err, _) = element_errors(&out.to_simple(), &truth);
@@ -290,7 +322,24 @@ fn shrink_case(start: SweepCase, fails: &dyn Fn(&SweepCase) -> bool) -> SweepCas
         if cur.seed != 0 {
             cands.push(SweepCase { seed: 0, ..cur.clone() });
         }
+        if cur.groups > 1 {
+            cands.push(SweepCase { groups: 1, ..cur.clone() });
+            // Half-way step for cases that only fail when grouped at all.
+            if cur.groups.is_multiple_of(2) {
+                cands.push(SweepCase { groups: cur.groups / 2, ..cur.clone() });
+            }
+        }
         for d in 0..cur.dims.len() {
+            if cur.stride[d] > 1 {
+                let mut c = cur.clone();
+                c.stride[d] = 1;
+                cands.push(c);
+            }
+            if cur.dilation[d] > 1 {
+                let mut c = cur.clone();
+                c.dilation[d] = 1;
+                cands.push(c);
+            }
             if cur.dims[d] > 1 {
                 let mut c = cur.clone();
                 c.dims[d] -= 1;
@@ -364,6 +413,9 @@ fn sweep_shrinker_finds_a_minimal_case() {
         kd: vec![3, 3],
         m: vec![2, 2],
         pad: vec![1, 1],
+        stride: vec![2, 2],
+        dilation: vec![2, 2],
+        groups: 2,
         seed: 42,
     };
     let fails = |c: &SweepCase| c.dims[0] >= 5 && c.c >= 32;
@@ -378,4 +430,35 @@ fn sweep_shrinker_finds_a_minimal_case() {
     assert_eq!(min.kd, vec![1, 1]);
     assert_eq!(min.m, vec![1, 1]);
     assert_eq!(min.pad, vec![0, 0]);
+    // The geometry fields shrink back to the identity too.
+    assert_eq!(min.stride, vec![1, 1]);
+    assert_eq!(min.dilation, vec![1, 1]);
+    assert_eq!(min.groups, 1);
+}
+
+#[test]
+fn sweep_case_validity_covers_the_geometry_lattice() {
+    // The generator's rejection rules, pinned: dilation pushing the
+    // effective kernel past the padded extent is invalid; stride never
+    // is; group counts must divide both channel counts.
+    let base = SweepCase {
+        batch: 1,
+        c: 32,
+        cp: 32,
+        dims: vec![4, 4],
+        kd: vec![3, 3],
+        m: vec![2, 2],
+        pad: vec![0, 0],
+        stride: vec![1, 1],
+        dilation: vec![1, 1],
+        groups: 1,
+        seed: 0,
+    };
+    assert!(base.valid());
+    assert!(!SweepCase { dilation: vec![2, 2], ..base.clone() }.valid(), "r_eff 5 > 4");
+    assert!(SweepCase { dilation: vec![2, 2], pad: vec![1, 1], ..base.clone() }.valid());
+    assert!(SweepCase { stride: vec![5, 5], ..base.clone() }.valid(), "stride can exceed extent");
+    assert!(!SweepCase { groups: 3, ..base.clone() }.valid());
+    assert!(!SweepCase { cp: 16, groups: 32, ..base.clone() }.valid(), "G must divide C'");
+    assert!(SweepCase { groups: 32, ..base }.valid());
 }

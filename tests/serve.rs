@@ -7,9 +7,10 @@
 
 use std::time::Duration;
 
-use winograd_nd_repro::conv::LayerSpec;
+use winograd_nd_repro::baseline::direct_f64_geo;
+use winograd_nd_repro::conv::{ConvOptions, LayerBackend, LayerSpec};
 use winograd_nd_repro::serve::{ModelSpec, ServeError, ServeOptions, Server, ServiceModel};
-use winograd_nd_repro::tensor::{BlockedImage, BlockedKernels, SimpleKernels};
+use winograd_nd_repro::tensor::{BlockedImage, BlockedKernels, SimpleImage, SimpleKernels};
 
 fn model() -> (ModelSpec, Vec<BlockedKernels>) {
     let spec = ModelSpec::new(16, vec![6, 6], vec![LayerSpec::same(16, 2, 3, 2)]);
@@ -156,6 +157,75 @@ fn requests_coalesce_into_one_batch() {
     let stats = server.shutdown();
     assert_eq!(stats.completed, 4);
     assert!(stats.batches <= 3, "coalescing must not dispatch one batch per request");
+}
+
+/// Batched serving of a *strided* model: stride-2 layers route through
+/// the polyphase Winograd dispatcher, requests still coalesce into
+/// batches, every response carries the decimated output geometry, and
+/// each de-batched output matches the f64 geometry oracle.
+#[test]
+fn strided_model_serves_batched_requests() {
+    let mut spec = ModelSpec::new(16, vec![8, 8], vec![LayerSpec::same(16, 2, 3, 2)]);
+    spec.opts = ConvOptions::default().with_stride(&[2, 2]);
+    assert_eq!(spec.output_geometry().unwrap(), (16, vec![4, 4]));
+
+    let ker_simple = SimpleKernels::from_fn(16, 16, &[3, 3], |co, ci, xy| {
+        ((co * 7 + ci * 3 + xy.iter().sum::<usize>()) % 13) as f32 * 0.05 - 0.2
+    });
+    let kernels = vec![BlockedKernels::from_simple(&ker_simple).unwrap()];
+    let geo = spec.opts.geometry(2);
+
+    let opts = ServeOptions {
+        max_batch: 4,
+        max_batch_age: Duration::from_millis(300),
+        ..Default::default()
+    };
+    let server = Server::start(spec, kernels, opts).unwrap();
+
+    let images: Vec<SimpleImage> = (0..4)
+        .map(|i| {
+            SimpleImage::from_fn(1, 16, &[8, 8], move |_, c, xy| {
+                ((c * 5 + xy[0] * 3 + xy[1] + i * 31) % 17) as f32 * 0.06 - 0.4
+            })
+        })
+        .collect();
+    let tickets: Vec<_> = images
+        .iter()
+        .map(|img| {
+            let input = BlockedImage::from_simple(img).unwrap();
+            server.submit(input, Duration::from_secs(30)).unwrap()
+        })
+        .collect();
+    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let max_size = responses.iter().map(|r| r.report.batch_size).max().unwrap();
+    assert!(max_size >= 2, "strided requests must still coalesce, got max batch {max_size}");
+
+    for (img, resp) in images.iter().zip(&responses) {
+        let out = resp.output.as_ref().expect("healthy server must serve strided layers");
+        assert_eq!((out.batch, out.channels, out.dims.as_slice()), (1, 16, &[4, 4][..]));
+        assert_eq!(resp.report.layers.len(), 1);
+        assert_eq!(
+            resp.report.layers[0].backend,
+            LayerBackend::WinogradPoly,
+            "full rung must execute the polyphase route"
+        );
+        // De-batched output vs the f64 oracle (ReLU applied, as the
+        // layer spec asks for).
+        let mut truth = direct_f64_geo(img, &ker_simple, &[1, 1], &geo);
+        for v in &mut truth.data {
+            *v = v.max(0.0);
+        }
+        let got = out.to_simple();
+        let max_err = got
+            .data
+            .iter()
+            .zip(&truth.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 1e-3, "served strided output diverged: max err {max_err}");
+    }
+    let stats = server.shutdown();
+    assert_eq!((stats.completed, stats.failed), (4, 0));
 }
 
 /// Conservation under concurrent producers and a tight queue: every

@@ -120,3 +120,113 @@ fn single_pixel_output() {
     // Valid convolution consuming the whole image: out = 1×1.
     check_case(&[3, 3], &[3, 3], &[0, 0], &[2, 2], "single-pixel output");
 }
+
+// ---------------------------------------------------------------------------
+// Geometry edge cases: the dispatch layer's corners — strides larger than
+// the image, dilations that push the receptive field entirely into the
+// zero padding, depthwise groups, and the typed rejection of group
+// counts that divide nothing.
+// ---------------------------------------------------------------------------
+
+use winograd_nd_repro::baseline::direct_f64_geo;
+use winograd_nd_repro::conv::{plan_dispatch, FallbackPolicy, PlanError};
+use winograd_nd_repro::tensor::ShapeError;
+
+/// As [`check_case`], but through the dispatch layer with a full
+/// (stride, dilation, groups) geometry. The per-path tolerance is loose
+/// enough for Winograd routes and tight for im2col ones; all schedules
+/// must agree bitwise regardless of route.
+#[allow(clippy::too_many_arguments)]
+fn check_geo_case(
+    dims: &[usize],
+    kd: &[usize],
+    pad: &[usize],
+    m: &[usize],
+    stride: &[usize],
+    dilation: &[usize],
+    groups: usize,
+    label: &str,
+) {
+    let (c, cp) = (16, 16);
+    let img = image(1, c, dims, 7);
+    let ker = kernels(cp, c / groups, kd, 11);
+    let shape = ConvShape::new(1, c, cp, dims, kd, pad).unwrap();
+    let base = ConvOptions::default()
+        .with_stride(stride)
+        .with_dilation(dilation)
+        .with_groups(groups);
+    let truth = direct_f64_geo(&img, &ker, pad, &base.geometry(dims.len()));
+    let bi = BlockedImage::from_simple(&img).unwrap();
+    let bk = BlockedKernels::from_simple(&ker).unwrap();
+
+    let mut reference: Option<Vec<f32>> = None;
+    for schedule in Schedule::ALL {
+        let opts = ConvOptions { schedule, ..base };
+        let (dp, _fb) = plan_dispatch(&shape, m, opts, &FallbackPolicy::default())
+            .unwrap_or_else(|e| panic!("{label} [{}]: rejected: {e:?}", schedule.name()));
+        let mut out = dp.new_output().unwrap();
+        dp.forward(&bi, &bk, &mut out, &SerialExecutor)
+            .unwrap_or_else(|e| panic!("{label} [{}]: forward failed: {e:?}", schedule.name()));
+        assert_eq!(out.dims, truth.dims, "{label} [{}]", schedule.name());
+        let (e, _) = element_errors(&out.to_simple(), &truth);
+        assert!(e < 2e-3, "{label} [{}]: max err {e}", schedule.name());
+        match &reference {
+            None => reference = Some(out.as_slice().to_vec()),
+            Some(r) => assert_eq!(
+                out.as_slice(),
+                &r[..],
+                "{label} [{}]: diverged from first schedule",
+                schedule.name()
+            ),
+        }
+    }
+}
+
+#[test]
+fn stride_larger_than_spatial_extent() {
+    // Stride 5 on a 9-point image with a 3-point kernel: two output
+    // points per dimension, sampled 5 apart — the polyphase
+    // decomposition degenerates to nearly one point per phase.
+    check_geo_case(&[9, 9], &[3, 3], &[1, 1], &[2, 2], &[5, 5], &[1, 1], 1, "stride 5 on 9");
+    // Stride 8 leaves exactly one output point: the entire image
+    // collapses into a single sample per phase.
+    check_geo_case(&[9], &[3], &[1], &[2], &[8], &[1], 1, "stride 8, single output");
+}
+
+#[test]
+fn dilation_reaching_past_the_padding() {
+    // Dilation 3 on a 3-point kernel: r_eff = 7 against a 7-point image
+    // with pad 0 — the receptive field spans the whole image, and with
+    // pad 3 the border outputs read *only* zero padding on one side.
+    check_geo_case(&[7, 7], &[3, 3], &[0, 0], &[1, 1], &[1, 1], &[3, 3], 1, "dilation 3, pad 0");
+    check_geo_case(&[7], &[3], &[3], &[2], &[1], &[3], 1, "dilation 3, pad 3");
+}
+
+#[test]
+fn depthwise_is_routed_not_rejected() {
+    // groups == C == 16: one channel per group. No Winograd layout can
+    // block that, so it must land in im2col — and still be the right
+    // convolution, including with a stride on top.
+    check_geo_case(&[8, 8], &[3, 3], &[1, 1], &[2, 2], &[1, 1], &[1, 1], 16, "depthwise");
+    check_geo_case(&[8, 8], &[3, 3], &[1, 1], &[2, 2], &[2, 2], &[1, 1], 16, "strided depthwise");
+}
+
+#[test]
+fn non_divisible_groups_are_rejected_with_a_typed_error() {
+    // groups = 5 divides neither C = 16 nor C' = 16: unrepresentable,
+    // so the dispatcher must fail with the typed shape error (no route
+    // may guess at fractional channel groups).
+    let shape = ConvShape::new(1, 16, 16, &[8, 8], &[3, 3], &[1, 1]).unwrap();
+    let opts = ConvOptions::default().with_groups(5);
+    assert!(matches!(
+        plan_dispatch(&shape, &[2, 2], opts, &FallbackPolicy::default()),
+        Err(PlanError::Shape(ShapeError::BadGroups { channels: 16, groups: 5 }))
+    ));
+    // A permissive policy changes nothing: this is not a plan failure to
+    // degrade from, the layer itself is ill-formed.
+    let strict = FallbackPolicy::strict();
+    assert!(matches!(
+        plan_dispatch(&shape, &[2, 2], opts, &strict),
+        Err(PlanError::Shape(ShapeError::BadGroups { .. }))
+    ));
+}
