@@ -72,7 +72,34 @@ fn seed_block_under_lock(q: &SomeQueue) {
     let _ = q.take_blocking();
 }
 
+// seed 11: raw infallible allocation in a memory-accounted crate
+// (alloc-needs-accounting, when linted as crates/core — out of scope under
+// the crates/sched lint above, so it adds nothing to that count)
+fn seed_raw_alloc(len: usize) -> AlignedVec {
+    AlignedVec::zeroed(len)
+}
+
+// seed 12: first-touch seam call without accounting rationale
+// (alloc-needs-accounting, when linted as crates/core)
+fn seed_first_touch(len: usize, exec: &dyn Executor) -> AlignedVec {
+    wino_tensor::zeroed_first_touch(len, exec)
+}
+
 // ---- decoys: none of these may fire ----
+
+fn decoy_fallible_alloc(len: usize) -> Result<AlignedVec, AllocError> {
+    AlignedVec::try_zeroed(len)
+}
+
+fn decoy_annotated_alloc(len: usize) -> AlignedVec {
+    // ALLOC: fixture decoy — the rationale comment is the escape hatch.
+    AlignedVec::zeroed(len)
+}
+
+fn decoy_other_zeroed(m: &Mask) -> Mask {
+    // Unqualified or differently-typed `zeroed` is not an allocation seam.
+    Mask::zeroed(3)
+}
 
 // PROTOCOL: drop-guard
 struct DecoyGuard {

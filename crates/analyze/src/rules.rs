@@ -582,6 +582,49 @@ fn check_no_blocking_under_lock(f: &FileCtx) -> Vec<RawViolation> {
     out
 }
 
+/// The raw infallible [`AlignedVec`] constructors. Their `try_*`
+/// siblings return a typed `AllocError` and are always clean; these
+/// abort the process when the allocator refuses.
+const RAW_ALLOC_CALLS: &[&str] = &["zeroed", "uninit", "from_slice"];
+
+fn check_alloc_needs_accounting(f: &FileCtx) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    for (i, t) in f.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = f.text(i);
+        let raw = if name == "zeroed_first_touch" {
+            // Free function: any call site counts, but not the `fn`
+            // definition itself (the seam module is allowlisted anyway).
+            f.prev_code(i).is_none_or(|p| f.text(p) != "fn")
+        } else if RAW_ALLOC_CALLS.contains(&name) {
+            // Must be `AlignedVec::<name>` — plain `zeroed`/`uninit`
+            // methods on other types are not allocation seams.
+            let Some(c1) = f.prev_code(i) else { continue };
+            let Some(c2) = f.prev_code(c1) else { continue };
+            let Some(c3) = f.prev_code(c2) else { continue };
+            f.is_punct(c1, ':') && f.is_punct(c2, ':') && f.text(c3) == "AlignedVec"
+        } else {
+            continue;
+        };
+        if !raw || f.next_code(i).is_none_or(|n| !f.is_punct(n, '(')) {
+            continue;
+        }
+        if !f.annotated(i, &["ALLOC:"]) {
+            out.push(RawViolation {
+                line: t.line,
+                msg: format!(
+                    "infallible allocation `{name}(…)` in a memory-accounted crate — use the \
+                     `try_*` constructor (typed AllocError) or justify the abort-on-OOM path \
+                     with an adjacent `// ALLOC:` comment"
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// The workspace rule table. Order is the reporting order.
 pub static RULES: &[Rule] = &[
     Rule {
@@ -641,6 +684,24 @@ pub static RULES: &[Rule] = &[
         scope: Scope::All,
         allow: &[],
         check: check_drop_guard_protocol,
+    },
+    Rule {
+        id: "alloc-needs-accounting",
+        summary: "raw infallible allocations in the accounted crates use `try_*` or carry \
+                  `// ALLOC:`",
+        // The crates whose buffers the memory-footprint model accounts
+        // for: an unannotated infallible allocation there can abort the
+        // process under memory pressure, bypassing the degradation
+        // ladder and the byte-budget admission that the serving layer
+        // relies on.
+        scope: Scope::Only(&["crates/core", "crates/serve", "crates/tensor"]),
+        allow: &[AllowEntry {
+            path: "crates/tensor/src/first_touch.rs",
+            reason: "this module IS the first-touch allocation seam: its body wraps the raw \
+                     constructors into the fallible/infallible pair every caller routes \
+                     through, and its tests must drive the raw path directly",
+        }],
+        check: check_alloc_needs_accounting,
     },
     Rule {
         id: "no-blocking-under-lock",
@@ -854,6 +915,46 @@ mod tests {
     fn blocking_annotation_escape_is_honoured() {
         let src = "fn f(q: &Q) {\n    let _g = q.acquire();\n    // BLOCKING: bounded by the watchdog; holder is the only consumer\n    let _ = A::spin(&mut s, Some(age));\n}\n";
         assert_eq!(ids("crates/serve/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn raw_alloc_in_accounted_crates_fails() {
+        let src = "fn f(len: usize) -> AlignedVec { AlignedVec::zeroed(len) }\n";
+        assert_eq!(ids("crates/core/src/x.rs", src), vec![("alloc-needs-accounting", 1)]);
+        assert_eq!(ids("crates/tensor/src/x.rs", src), vec![("alloc-needs-accounting", 1)]);
+        // Out of scope: the substrate and bench crates allocate freely.
+        assert_eq!(ids("crates/simd/src/x.rs", src), vec![]);
+        assert_eq!(ids("crates/bench/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn try_constructors_and_alloc_annotations_pass() {
+        let src = "fn f(len: usize) -> Result<AlignedVec, AllocError> {\n    AlignedVec::try_zeroed(len)\n}\n";
+        assert_eq!(ids("crates/core/src/x.rs", src), vec![]);
+        let src = "fn f(len: usize) -> AlignedVec {\n    // ALLOC: plan-time constructor; callers size-check against the budget first\n    AlignedVec::zeroed(len)\n}\n";
+        assert_eq!(ids("crates/core/src/x.rs", src), vec![]);
+        let src = "fn f(len: usize) -> AlignedVec { AlignedVec::zeroed(len) } // ALLOC: test helper\n";
+        assert_eq!(ids("crates/core/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn first_touch_calls_are_seams_too() {
+        let src = "fn f(len: usize, e: &dyn Executor) {\n    let v = wino_tensor::zeroed_first_touch(len, e);\n}\n";
+        assert_eq!(ids("crates/core/src/x.rs", src), vec![("alloc-needs-accounting", 2)]);
+        // The definition site (`fn zeroed_first_touch(…)`) is not a call.
+        let src = "pub fn zeroed_first_touch(len: usize) -> AlignedVec { loop {} }\n";
+        assert_eq!(ids("crates/core/src/x.rs", src), vec![]);
+        // The seam module itself is allowlisted.
+        let src = "fn f(len: usize) -> AlignedVec { AlignedVec::zeroed(len) }\n";
+        assert_eq!(ids("crates/tensor/src/first_touch.rs", src), vec![]);
+    }
+
+    #[test]
+    fn unqualified_zeroed_methods_are_not_allocations() {
+        // `.zeroed()` on some other type, `Mask::zeroed`, or prose in a
+        // comment must not fire; only the AlignedVec seam counts.
+        let src = "fn f(m: &Mask) { let _ = Mask::zeroed(3); let _ = m.uninit(); }\n// AlignedVec::zeroed in prose\nfn g() {}\n";
+        assert_eq!(ids("crates/core/src/x.rs", src), vec![]);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use std::time::{Duration, Instant};
 
-use wino_bench::perf::{calibrate, today_utc};
+use wino_bench::perf::{calibrate, memory_json, today_utc};
 use wino_bench::{make_executor, Args};
 use wino_conv::{ConvOptions, FallbackPolicy, LayerSpec, Network};
 use wino_probe::{parse_json, validate_schema, Counter, Json, MachineModel, SCHEMA_VERSION};
@@ -142,6 +142,7 @@ struct Tally {
     shed_overload: u64,
     shed_deadline: u64,
     shed_predicted: u64,
+    shed_memory: u64,
     shut_down: u64,
     latencies_ms: Vec<f64>,
     backends: std::collections::BTreeMap<&'static str, u64>,
@@ -154,6 +155,7 @@ impl Tally {
             ServeError::Overloaded { .. } => self.shed_overload += 1,
             ServeError::DeadlineExceeded { .. } => self.shed_deadline += 1,
             ServeError::PredictedMiss { .. } => self.shed_predicted += 1,
+            ServeError::MemoryPressure { .. } => self.shed_memory += 1,
             ServeError::ShutDown => self.shut_down += 1,
             ServeError::Failed(_) => self.failed += 1,
         }
@@ -207,9 +209,12 @@ fn serve_document(
     duration_s: f64,
     deadline_ms: f64,
     max_batch: usize,
+    modeled_bytes: usize,
+    memory_ceiling: Option<usize>,
 ) -> Json {
-    let shed = stats.shed_overload + stats.shed_deadline + stats.shed_predicted;
-    let serve = vec![
+    let shed =
+        stats.shed_overload + stats.shed_deadline + stats.shed_predicted + stats.shed_memory;
+    let mut serve = vec![
         ("requests".into(), Json::Num(stats.submitted as f64)),
         ("admitted".into(), Json::Num(stats.admitted as f64)),
         ("completed".into(), Json::Num(stats.completed as f64)),
@@ -217,6 +222,7 @@ fn serve_document(
         ("shed_overload".into(), Json::Num(stats.shed_overload as f64)),
         ("shed_deadline".into(), Json::Num(stats.shed_deadline as f64)),
         ("shed_predicted".into(), Json::Num(stats.shed_predicted as f64)),
+        ("shed_memory".into(), Json::Num(stats.shed_memory as f64)),
         ("p50_ms".into(), Json::Num(tally.percentile(0.50))),
         ("p95_ms".into(), Json::Num(tally.percentile(0.95))),
         ("p99_ms".into(), Json::Num(tally.percentile(0.99))),
@@ -257,6 +263,9 @@ fn serve_document(
             ),
         ),
     ];
+    if let Some(c) = memory_ceiling {
+        serve.push(("memory_ceiling_bytes".into(), Json::Num(c as f64)));
+    }
     Json::Obj(vec![
         ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
         ("generated_by".into(), Json::Str("wino-bench serve_load".into())),
@@ -271,6 +280,7 @@ fn serve_document(
             ]),
         ),
         ("serve".into(), Json::Obj(serve)),
+        ("memory".into(), memory_json(modeled_bytes, memory_ceiling)),
         (
             "counters".into(),
             Json::Obj(
@@ -298,6 +308,9 @@ fn main() {
         args.value("--load").and_then(|v| v.parse().ok()).filter(|f: &f64| *f > 0.0).unwrap_or(2.0);
     let queue_capacity = args.usize_or("--queue", 64);
     let watchdog_ms = args.usize_or("--watchdog-ms", 150) as u64;
+    // Byte-budget admission: 0 (the default) leaves admission off.
+    let memory_ceiling_mib = args.usize_or("--memory-ceiling-mib", 0);
+    let memory_ceiling = (memory_ceiling_mib > 0).then_some(memory_ceiling_mib << 20);
     // Pool faults need a pool: the soak forces at least two workers.
     let requested_threads = make_executor(&args).threads();
     let threads = if soak { requested_threads.max(2) } else { requested_threads };
@@ -357,10 +370,26 @@ fn main() {
             recovery_threshold: if soak { 8 } else { 16 },
             ..Default::default()
         },
+        memory_ceiling,
         ..Default::default()
     };
+    let fp_spec = spec.clone();
     let server = Server::start(spec, kernels, opts).expect("server must start");
     let max_batch = server.max_batch();
+    // The analytic footprint of the largest batch the server will build —
+    // `check.sh` parses this line to size its address-space rlimit.
+    let modeled_bytes = Network::with_policy(
+        max_batch.max(1),
+        fp_spec.in_channels,
+        &fp_spec.image_dims,
+        &fp_spec.layers,
+        ConvOptions { watchdog: None, ..fp_spec.opts },
+        threads,
+        &FallbackPolicy::default(),
+    )
+    .map(|net| net.footprint(threads).total())
+    .unwrap_or(0);
+    eprintln!("# modeled_footprint_bytes {modeled_bytes}");
     eprintln!("# queue {queue_capacity}, max batch {max_batch}, deadline {deadline_ms} ms");
 
     let interval = Duration::from_secs_f64(1.0 / offered_rps);
@@ -411,7 +440,8 @@ fn main() {
 
     eprintln!(
         "# {} submitted / {} admitted / {} completed / {} failed; shed {} overload + {} deadline \
-         + {} predicted; {} breaker trips, {} recoveries, {} pool rebuilds; final level {}",
+         + {} predicted + {} memory; {} breaker trips, {} recoveries, {} pool rebuilds; final \
+         level {}",
         stats.submitted,
         stats.admitted,
         stats.completed,
@@ -419,6 +449,7 @@ fn main() {
         stats.shed_overload,
         stats.shed_deadline,
         stats.shed_predicted,
+        stats.shed_memory,
         stats.breaker_trips,
         stats.breaker_recoveries,
         stats.pool_rebuilds,
@@ -442,6 +473,8 @@ fn main() {
         duration_s,
         deadline_ms,
         max_batch,
+        modeled_bytes,
+        memory_ceiling,
     );
     let rendered = doc.render_pretty();
     let reparsed = parse_json(&rendered).expect("emitted JSON must re-parse");
@@ -473,6 +506,7 @@ fn main() {
             + tally.shed_overload
             + tally.shed_deadline
             + tally.shed_predicted
+            + tally.shed_memory
             + tally.shut_down;
         if outcomes != stats.submitted {
             failures.push(format!(
@@ -486,6 +520,7 @@ fn main() {
             ("shed_overload", tally.shed_overload, stats.shed_overload),
             ("shed_deadline", tally.shed_deadline, stats.shed_deadline),
             ("shed_predicted", tally.shed_predicted, stats.shed_predicted),
+            ("shed_memory", tally.shed_memory, stats.shed_memory),
         ] {
             if client != server_side {
                 failures.push(format!("{what}: client saw {client}, server tallied {server_side}"));

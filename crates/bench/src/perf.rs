@@ -384,6 +384,30 @@ pub fn layer_entry(
     Json::Obj(fields)
 }
 
+/// The schema-v5 top-level `memory` object: the analytic footprint model
+/// next to the observed allocator tallies, so a report reader can judge
+/// the model against what the process actually did. `budget_bytes` is
+/// the configured admission ceiling, when one was set.
+pub fn memory_json(modeled_bytes: usize, budget_bytes: Option<usize>) -> Json {
+    use wino_probe::Counter;
+    let mut fields = vec![
+        ("modeled_bytes".into(), Json::Num(modeled_bytes as f64)),
+        ("alloc_bytes_peak".into(), Json::Num(Counter::AllocBytesPeak.get() as f64)),
+        ("alloc_calls".into(), Json::Num(Counter::AllocCalls.get() as f64)),
+        ("demotions".into(), Json::Num(Counter::MemoryDemotions.get() as f64)),
+        ("rescues".into(), Json::Num(Counter::MemoryRescues.get() as f64)),
+    ];
+    if let Some(b) = budget_bytes {
+        fields.push(("budget_bytes".into(), Json::Num(b as f64)));
+    }
+    #[cfg(feature = "fault-inject")]
+    fields.push((
+        "injected_failures".into(),
+        Json::Num(wino_simd::fault::injected_failures() as f64),
+    ));
+    Json::Obj(fields)
+}
+
 /// Assemble a complete schema-version-[`SCHEMA_VERSION`] document.
 pub fn perf_document(
     generated_by: &str,

@@ -41,7 +41,7 @@ impl WinogradLayer {
             stage1::transform_kernels(self, kernels, scratch, exec)?;
             // Move `v` out so the pipeline can borrow the rest of the
             // scratch mutably; restored below.
-            let v = std::mem::replace(&mut scratch.v, BlockedMatrices::new(1, 1, 16, 1, 16));
+            let v = std::mem::replace(&mut scratch.v, BlockedMatrices::placeholder());
             let r = pipeline::forward_pipelined(self, input, &v, output, scratch, exec);
             scratch.v = v;
             return r;

@@ -269,6 +269,77 @@ impl DispatchPlan {
         }
     }
 
+    /// Analytic memory footprint of executing this route at `threads`
+    /// thread slots. [`Route::Direct`] is byte-exact (it delegates to
+    /// [`WinogradLayer::footprint`]). The other routes are documented
+    /// approximations covering the dominant allocations:
+    ///
+    /// * **Grouped** — the shared per-group scratch is exact; the output
+    ///   component counts the full output plus one per-group transient
+    ///   (`out_g` is assembled per group, then copied).
+    /// * **Polyphase** — phases run sequentially, each allocating its own
+    ///   scratch; the scratch components are the *maximum* over phases,
+    ///   the output component adds the full output, the per-phase
+    ///   accumulator image, and the largest decimated phase input. Phase
+    ///   kernel copies (`C·C'·r_φ` floats) are omitted as second-order.
+    /// * **Im2col** — the lowering matrices (`A`, packed `W`, `X`) from
+    ///   [`Self::im2col_work_model`] are reported as scratch, plus the
+    ///   output.
+    pub fn footprint(&self, threads: usize) -> crate::MemoryFootprint {
+        let out_bytes =
+            BlockedImage::bytes_for(self.shape.batch, self.shape.out_channels, &self.out_dims);
+        match &self.route {
+            Route::Direct(p) => p.footprint(threads),
+            Route::Grouped { plan } => {
+                let mut fp = plan.footprint(threads);
+                // Full output plus the per-group transient the loop holds.
+                fp.output_bytes += out_bytes;
+                fp
+            }
+            Route::Polyphase { phases } => {
+                let mut fp = crate::MemoryFootprint {
+                    scratch_bytes: 0,
+                    tile_major_bytes: 0,
+                    transformed_kernel_bytes: 0,
+                    per_thread_bytes: 0,
+                    output_bytes: 0,
+                    threads,
+                };
+                let mut max_phase_in = 0;
+                for ph in phases {
+                    let p = ph.plan.footprint(threads);
+                    fp.scratch_bytes = fp.scratch_bytes.max(p.scratch_bytes);
+                    fp.tile_major_bytes = fp.tile_major_bytes.max(p.tile_major_bytes);
+                    fp.transformed_kernel_bytes =
+                        fp.transformed_kernel_bytes.max(p.transformed_kernel_bytes);
+                    fp.per_thread_bytes = fp.per_thread_bytes.max(p.per_thread_bytes);
+                    max_phase_in = max_phase_in.max(BlockedImage::bytes_for(
+                        self.shape.batch,
+                        self.shape.in_channels,
+                        &ph.plan.shape.image_dims,
+                    ));
+                }
+                // Output + the per-phase accumulator + the decimated copy.
+                fp.output_bytes = 2 * out_bytes + max_phase_in;
+                fp
+            }
+            Route::Im2col => {
+                let wm = self.im2col_work_model();
+                let lowering = wm
+                    .get(SpanCategory::ElementwiseGemm)
+                    .map_or(0, |w| w.bytes as usize);
+                crate::MemoryFootprint {
+                    scratch_bytes: lowering,
+                    tile_major_bytes: 0,
+                    transformed_kernel_bytes: 0,
+                    per_thread_bytes: 0,
+                    output_bytes: out_bytes,
+                    threads,
+                }
+            }
+        }
+    }
+
     /// FLOPs of the equivalent direct convolution under this geometry —
     /// the effective-GFLOP/s normaliser (grouped layers do `1/G` of the
     /// dense work).

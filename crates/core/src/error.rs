@@ -7,7 +7,8 @@
 //! `Result` end-to-end instead of panicking inside worker threads.
 
 use wino_sched::PoolError;
-use wino_tensor::ShapeError;
+use wino_simd::AllocError;
+use wino_tensor::{ShapeError, TensorError};
 
 use crate::plan::PlanError;
 use crate::sentinel::SentinelError;
@@ -53,6 +54,11 @@ pub enum WinoError {
     /// error above the plan's a-priori bound) in a context with no
     /// degradation ladder to absorb it (e.g. a guarded training step).
     Sentinel(SentinelError),
+    /// The allocator (or the fault injector) refused a buffer — the
+    /// run-time entry into the memory degradation ladder: `exec_layer`
+    /// retries with demoted tiles, then the im2col rescue, before this
+    /// surfaces as a failure.
+    Alloc(AllocError),
     /// Kernel list length does not match the network's layer count.
     LayerCount { expected: usize, got: usize },
     /// The requested operation is not available for this plan (e.g.
@@ -68,6 +74,7 @@ impl std::fmt::Display for WinoError {
             WinoError::Pool(e) => write!(f, "parallel execution failed: {e}"),
             WinoError::Numeric(e) => write!(f, "numeric guard: {e}"),
             WinoError::Sentinel(e) => write!(f, "accuracy sentinel: {e}"),
+            WinoError::Alloc(e) => write!(f, "allocation failed: {e}"),
             WinoError::LayerCount { expected, got } => {
                 write!(f, "network has {expected} layers but {got} kernel banks were supplied")
             }
@@ -84,6 +91,7 @@ impl std::error::Error for WinoError {
             WinoError::Pool(e) => Some(e),
             WinoError::Numeric(e) => Some(e),
             WinoError::Sentinel(e) => Some(e),
+            WinoError::Alloc(e) => Some(e),
             _ => None,
         }
     }
@@ -116,6 +124,21 @@ impl From<NumericError> for WinoError {
 impl From<SentinelError> for WinoError {
     fn from(e: SentinelError) -> Self {
         WinoError::Sentinel(e)
+    }
+}
+
+impl From<AllocError> for WinoError {
+    fn from(e: AllocError) -> Self {
+        WinoError::Alloc(e)
+    }
+}
+
+impl From<TensorError> for WinoError {
+    fn from(e: TensorError) -> Self {
+        match e {
+            TensorError::Shape(s) => WinoError::Shape(s),
+            TensorError::Alloc(a) => WinoError::Alloc(a),
+        }
     }
 }
 

@@ -1,0 +1,184 @@
+//! Analytic memory accounting for planned layers.
+//!
+//! A [`MemoryFootprint`] states, without allocating anything, exactly how
+//! many bytes a plan will ask the allocator for: the four transformed-data
+//! scratch buffers ([`Scratch`](crate::Scratch)), the per-thread codelet
+//! buffers, the memoised kernel-transform clone
+//! ([`TransformedKernels`](crate::TransformedKernels)) and the output
+//! image. Each component reuses the container's own `bytes_for` helper
+//! with the same parameters the real constructor receives, so the model
+//! cannot drift from the allocation code — a property the footprint unit
+//! tests pin by comparing predictions against observed allocation tallies
+//! ([`wino_simd::thread_alloc_bytes`]).
+//!
+//! Consumers:
+//!
+//! * plan-time admission — [`ConvOptions::memory`](crate::ConvOptions)
+//!   rejects plans whose `total()` exceeds the budget, steering the
+//!   selector towards smaller tiles;
+//! * serve-time admission — `wino-serve` prices a concurrent batch in
+//!   bytes before accepting it;
+//! * the BENCH schema's `memory` section.
+
+use wino_simd::S;
+use wino_tensor::{BlockedImage, BlockedMatrices};
+
+use crate::layout::TileMajor;
+use crate::plan::WinogradLayer;
+
+/// Byte-exact breakdown of a plan's allocations at a given thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// The four large transformed-data buffers: `u` + `v` + `x`
+    /// ([`BlockedMatrices`]) and `y` ([`TileMajor`]).
+    pub scratch_bytes: usize,
+    /// The tile-major transformed-output buffer `y` alone (also counted
+    /// in `scratch_bytes`; broken out because serving sizes it per batch).
+    pub tile_major_bytes: usize,
+    /// The memoised kernel-transform clone (`TransformedKernels`) — the
+    /// same shape as scratch `v`.
+    pub transformed_kernel_bytes: usize,
+    /// Per-thread codelet buffers, totalled across all `threads` slots:
+    /// two `T·S` ping-pong tile buffers each, plus two panel-sized
+    /// compensation buffers when the plan is compensated.
+    pub per_thread_bytes: usize,
+    /// The blocked output image.
+    pub output_bytes: usize,
+    /// Thread-slot count the per-thread component was priced at.
+    pub threads: usize,
+}
+
+impl MemoryFootprint {
+    /// Footprint of `layer` executed with `threads` thread slots.
+    ///
+    /// Mirrors `Scratch::build`, `WinogradLayer::new_output` and
+    /// `Network::prepare` parameter-for-parameter.
+    pub fn of_layer(layer: &WinogradLayer, threads: usize) -> MemoryFootprint {
+        let t = layer.t_vol();
+        let rows = layer.rows();
+        let (c, cp) = (layer.shape.in_channels, layer.shape.out_channels);
+        let b = layer.block;
+        let u = BlockedMatrices::bytes_for(t, rows, c, b.n_blk, b.c_blk);
+        let v = BlockedMatrices::bytes_for(t, c, cp, b.c_blk, b.cp_blk);
+        let x = BlockedMatrices::bytes_for(t, rows, cp, b.n_blk, b.cp_blk);
+        let y = TileMajor::bytes_for(layer.shape.batch, cp, layer.n_tiles(), t);
+
+        let slots = threads.max(1);
+        let mut per_slot = 2 * t * S * 4;
+        if layer.opts.compensated {
+            per_slot += 2 * b.n_blk * b.cp_blk * 4;
+        }
+
+        MemoryFootprint {
+            scratch_bytes: u + v + x + y,
+            tile_major_bytes: y,
+            transformed_kernel_bytes: v,
+            per_thread_bytes: slots * per_slot,
+            output_bytes: BlockedImage::bytes_for(
+                layer.shape.batch,
+                cp,
+                &layer.shape.out_dims(),
+            ),
+            threads,
+        }
+    }
+
+    /// All components summed — what a fresh `prepare` + forward pass asks
+    /// the allocator for (scratch, memoised kernels, per-thread buffers,
+    /// output).
+    pub fn total(&self) -> usize {
+        self.scratch_bytes
+            + self.transformed_kernel_bytes
+            + self.per_thread_bytes
+            + self.output_bytes
+    }
+
+    /// The per-inference marginal cost once a plan's scratch and kernels
+    /// are resident: the output image alone. Serving uses this to price
+    /// additional in-flight requests against the byte ceiling.
+    pub fn marginal_bytes(&self) -> usize {
+        self.output_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ConvOptions, Scratch};
+    use wino_tensor::ConvShape;
+
+    fn layer(batch: usize, c: usize, cp: usize, dims: &[usize]) -> WinogradLayer {
+        let shape = ConvShape::new(batch, c, cp, dims, &[3, 3], &[1, 1]).unwrap();
+        WinogradLayer::new(shape, &[2, 2], ConvOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn scratch_component_matches_observed_allocation() {
+        let l = layer(1, 16, 16, &[8, 8]);
+        for threads in [1usize, 4] {
+            let fp = l.footprint(threads);
+            let before = wino_simd::thread_alloc_bytes();
+            let s = Scratch::new(&l, threads);
+            let observed = wino_simd::thread_alloc_bytes() - before;
+            assert_eq!(
+                fp.scratch_bytes + fp.per_thread_bytes,
+                observed as usize,
+                "threads={threads}"
+            );
+            assert_eq!(fp.tile_major_bytes, s.y.bytes());
+            assert_eq!(fp.transformed_kernel_bytes, s.v.bytes());
+            assert_eq!(fp.scratch_bytes, s.bytes());
+        }
+    }
+
+    #[test]
+    fn compensated_plans_price_the_panel_buffers() {
+        let shape = ConvShape::new(1, 16, 16, &[8, 8], &[3, 3], &[1, 1]).unwrap();
+        let opts = ConvOptions { compensated: true, ..ConvOptions::default() };
+        let l = WinogradLayer::new(shape, &[2, 2], opts).unwrap();
+        let fp = l.footprint(2);
+        let before = wino_simd::thread_alloc_bytes();
+        let _s = Scratch::new(&l, 2);
+        let observed = (wino_simd::thread_alloc_bytes() - before) as usize;
+        assert_eq!(fp.scratch_bytes + fp.per_thread_bytes, observed);
+    }
+
+    #[test]
+    fn output_component_matches_observed_allocation() {
+        let l = layer(2, 16, 32, &[9, 7]);
+        let fp = l.footprint(1);
+        let before = wino_simd::thread_alloc_bytes();
+        let out = l.new_output().unwrap();
+        let observed = (wino_simd::thread_alloc_bytes() - before) as usize;
+        assert_eq!(fp.output_bytes, observed);
+        assert_eq!(fp.output_bytes, out.as_slice().len() * 4);
+    }
+
+    #[test]
+    fn total_sums_components() {
+        let fp = layer(1, 16, 16, &[10, 10]).footprint(3);
+        assert_eq!(
+            fp.total(),
+            fp.scratch_bytes + fp.transformed_kernel_bytes + fp.per_thread_bytes + fp.output_bytes
+        );
+        assert_eq!(fp.marginal_bytes(), fp.output_bytes);
+        assert_eq!(fp.threads, 3);
+    }
+
+    /// The memory ladder moves towards *larger* tiles — opposite of the
+    /// accuracy ladder. The transformed-data inflation factor is
+    /// `((m+r−1)/m)^d` per dimension, which shrinks as `m` grows, and the
+    /// big scratch buffers dominate the per-thread `T·S` buffers that
+    /// grow with `m`.
+    #[test]
+    fn larger_tiles_shrink_the_footprint() {
+        let shape = ConvShape::new(1, 16, 16, &[16, 16], &[3, 3], &[1, 1]).unwrap();
+        let m4 = WinogradLayer::new(shape.clone(), &[4, 4], ConvOptions::default()).unwrap();
+        let m2 = WinogradLayer::new(shape, &[2, 2], ConvOptions::default()).unwrap();
+        assert!(
+            m4.footprint(1).scratch_bytes < m2.footprint(1).scratch_bytes,
+            "F(4,3) must need less transformed-data scratch than F(2,3)"
+        );
+        assert!(m4.footprint(1).total() < m2.footprint(1).total());
+    }
+}

@@ -20,15 +20,10 @@ pub struct TileMajor {
 
 impl TileMajor {
     pub fn new(batch: usize, out_channels: usize, n_tiles: usize, t_vol: usize) -> TileMajor {
-        assert!(out_channels.is_multiple_of(S));
-        let channel_groups = out_channels / S;
-        TileMajor {
-            batch,
-            channel_groups,
-            n_tiles,
-            t_vol,
-            data: AlignedVec::zeroed(batch * channel_groups * n_tiles * t_vol * S),
-        }
+        let len = Self::elems(batch, out_channels, n_tiles, t_vol);
+        // ALLOC: the infallible half of the constructor pair; memory-aware
+        // callers route through `try_new` below.
+        Self::assemble(batch, out_channels, n_tiles, t_vol, AlignedVec::zeroed(len))
     }
 
     /// As [`Self::new`], zeroed — and therefore NUMA-placed — through
@@ -40,16 +35,57 @@ impl TileMajor {
         t_vol: usize,
         exec: &dyn wino_sched::Executor,
     ) -> TileMajor {
+        let len = Self::elems(batch, out_channels, n_tiles, t_vol);
+        // ALLOC: infallible first-touch half; `try_new_first_touch` is the
+        // accounted path.
+        let data = wino_tensor::zeroed_first_touch(len, exec);
+        Self::assemble(batch, out_channels, n_tiles, t_vol, data)
+    }
+
+    /// Fallible [`Self::new`]: a typed [`wino_simd::AllocError`] instead
+    /// of an abort when the allocator refuses the buffer.
+    pub fn try_new(
+        batch: usize,
+        out_channels: usize,
+        n_tiles: usize,
+        t_vol: usize,
+    ) -> Result<TileMajor, wino_simd::AllocError> {
+        let len = Self::elems(batch, out_channels, n_tiles, t_vol);
+        Ok(Self::assemble(batch, out_channels, n_tiles, t_vol, AlignedVec::try_zeroed(len)?))
+    }
+
+    /// Fallible [`Self::new_first_touch`].
+    pub fn try_new_first_touch(
+        batch: usize,
+        out_channels: usize,
+        n_tiles: usize,
+        t_vol: usize,
+        exec: &dyn wino_sched::Executor,
+    ) -> Result<TileMajor, wino_simd::AllocError> {
+        let len = Self::elems(batch, out_channels, n_tiles, t_vol);
+        let data = wino_tensor::try_zeroed_first_touch(len, exec)?;
+        Ok(Self::assemble(batch, out_channels, n_tiles, t_vol, data))
+    }
+
+    /// Bytes a `new(batch, out_channels, n_tiles, t_vol)` instance
+    /// allocates — the analytic side of the memory-footprint model.
+    pub fn bytes_for(batch: usize, out_channels: usize, n_tiles: usize, t_vol: usize) -> usize {
+        Self::elems(batch, out_channels, n_tiles, t_vol) * std::mem::size_of::<f32>()
+    }
+
+    fn elems(batch: usize, out_channels: usize, n_tiles: usize, t_vol: usize) -> usize {
         assert!(out_channels.is_multiple_of(S));
-        let channel_groups = out_channels / S;
-        let len = batch * channel_groups * n_tiles * t_vol * S;
-        TileMajor {
-            batch,
-            channel_groups,
-            n_tiles,
-            t_vol,
-            data: wino_tensor::zeroed_first_touch(len, exec),
-        }
+        batch * (out_channels / S) * n_tiles * t_vol * S
+    }
+
+    fn assemble(
+        batch: usize,
+        out_channels: usize,
+        n_tiles: usize,
+        t_vol: usize,
+        data: AlignedVec,
+    ) -> TileMajor {
+        TileMajor { batch, channel_groups: out_channels / S, n_tiles, t_vol, data }
     }
 
     pub fn batch(&self) -> usize {

@@ -32,6 +32,7 @@
 pub mod conv;
 pub mod dispatch;
 pub mod error;
+pub mod footprint;
 pub mod layout;
 pub mod net;
 pub(crate) mod pipeline;
@@ -49,14 +50,15 @@ pub mod work;
 pub use conv::{convolve_simple, TransformedKernels};
 pub use dispatch::{plan_dispatch, DispatchPlan, Phase, Route};
 pub use error::{check_finite, NumericError, WinoError};
+pub use footprint::MemoryFootprint;
 pub use layout::TileMajor;
 pub use net::{
     Activation, ExecutionReport, FallbackReason, LayerBackend, LayerPlan, LayerSpec, NetLayer,
     Network,
 };
 pub use plan::{
-    AccuracyBudget, ConvOptions, PlanError, Schedule, Scratch, Stage2Backend, WinogradLayer,
-    MAX_RANK,
+    AccuracyBudget, ConvOptions, MemoryBudget, PlanError, Schedule, Scratch, Stage2Backend,
+    WinogradLayer, MAX_RANK,
 };
 pub use select::{candidate_tiles, plan_with_fallback, select_tile, FallbackPolicy, Purpose, Selection};
 pub use sentinel::{sample_units, verify_sample, SentinelConfig, SentinelError};

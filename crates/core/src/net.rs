@@ -103,8 +103,11 @@ impl LayerPlan {
 pub enum LayerBackend {
     WinogradJit,
     WinogradMono,
-    /// Winograd re-run with every tile dimension demoted by 2 after an
-    /// accuracy-sentinel trip (better-conditioned transforms).
+    /// Winograd re-run with a re-tiled plan: every tile dimension demoted
+    /// by 2 after an accuracy-sentinel trip (better-conditioned
+    /// transforms), or grown by 2 after a refused allocation (smaller
+    /// transformed-data scratch). The paired [`FallbackReason`] says
+    /// which ladder ran.
     WinogradDemoted,
     /// Stride ≥ 2 executed as a sum of per-phase stride-1 Winograd
     /// convolutions (the sub-lattice / polyphase decomposition).
@@ -155,6 +158,13 @@ pub enum FallbackReason {
     /// width (depthwise included), so the blocked Winograd layout cannot
     /// carry it; it runs via the geometry-aware im2col baseline.
     GroupTooNarrow { c_per_group: usize },
+    /// The layer could not be executed (or planned) within available
+    /// memory: the plan exceeded a [`crate::MemoryBudget`] or the
+    /// allocator refused a buffer at run time. `bytes` is the offending
+    /// request — the plan footprint at plan time, the refused allocation
+    /// at run time. The memory ladder re-tiled the layer or rescued it
+    /// through im2col (see [`ExecutionReport::backend`]).
+    Memory { bytes: usize },
 }
 
 impl FallbackReason {
@@ -171,6 +181,7 @@ impl FallbackReason {
             FallbackReason::SentinelTrip(_) => "sentinel-trip",
             FallbackReason::Dilated => "dilated",
             FallbackReason::GroupTooNarrow { .. } => "group-narrow",
+            FallbackReason::Memory { .. } => "memory",
         }
     }
 }
@@ -187,6 +198,9 @@ impl std::fmt::Display for FallbackReason {
             }
             FallbackReason::GroupTooNarrow { c_per_group } => {
                 write!(f, "per-group channel width {c_per_group} below the vector width; using im2col")
+            }
+            FallbackReason::Memory { bytes } => {
+                write!(f, "memory pressure ({bytes} B refused); degraded")
             }
         }
     }
@@ -212,15 +226,18 @@ pub struct NetLayer {
     pub planned_fallback: Option<FallbackReason>,
 }
 
-/// A sequential stack of convolution layers sharing one scratch
-/// allocation.
+/// A sequential stack of convolution layers with per-layer resident
+/// scratch.
 pub struct Network {
     layers: Vec<NetLayer>,
-    /// One scratch sized to the maximum over all Winograd layers
-    /// (re-created only when a layer's geometry requires different buffer
-    /// shapes — the paper's single-arena reuse, expressed with typed
-    /// buffers). `None` when every layer is planned as im2col.
-    scratch: Option<Scratch>,
+    /// One scratch slot per layer, built once at plan time and reused on
+    /// every pass. Per-layer slots (rather than one shared arena rebuilt
+    /// per transition) keep repeat forwards allocation-free — the serving
+    /// hot path's invariant — at the cost of summing, not maxing, the
+    /// scratch footprint. A slot is `None` when the layer has no Winograd
+    /// plan or its seeding allocation was refused (the execution-time
+    /// ladder then deals with it when the layer runs).
+    scratch: Vec<Option<Scratch>>,
 }
 
 impl Network {
@@ -279,10 +296,20 @@ impl Network {
                 dims = shape.out_dims();
                 match plan_with_fallback(&shape, &spec.m, opts, policy) {
                     Ok((p, None)) => (LayerPlan::Winograd(p), None),
+                    Ok((p, Some(PlanError::MemoryBudget { need_bytes, .. }))) => {
+                        (LayerPlan::Winograd(p), Some(FallbackReason::Memory { bytes: need_bytes }))
+                    }
                     Ok((p, Some(e))) => {
                         (LayerPlan::Winograd(p), Some(FallbackReason::JitUnavailable(e)))
                     }
                     Err(e @ PlanError::Shape(_)) => return Err(e),
+                    Err(PlanError::MemoryBudget { need_bytes, .. })
+                        if policy.im2col_on_plan_failure =>
+                    {
+                        // No supported tile fits the budget: the im2col
+                        // rescue ends the plan-time memory ladder.
+                        (LayerPlan::Im2col { shape }, Some(FallbackReason::Memory { bytes: need_bytes }))
+                    }
                     Err(e) if policy.im2col_on_plan_failure => {
                         (LayerPlan::Im2col { shape }, Some(FallbackReason::PlanFailed(e)))
                     }
@@ -306,27 +333,64 @@ impl Network {
             layers.push(NetLayer { plan, activation: spec.activation, planned_fallback });
         }
 
-        // One scratch seeded with the largest Winograd layer's requirement.
-        let scratch = Self::max_scratch(&layers, threads);
+        // One resident scratch per layer, so repeat passes never rebuild.
+        let scratch = Self::seed_scratches(&layers, threads);
         Ok(Network { layers, scratch })
     }
 
-    fn max_scratch(layers: &[NetLayer], threads: usize) -> Option<Scratch> {
-        // Build per-layer scratches and keep the largest. The
-        // per-component shapes differ between layers, so Scratch is
-        // re-created per layer during execution when shapes mismatch; the
-        // winner seeds the reuse. (The paper's artifact does the same: one
-        // arena, per-layer views.)
-        let mut best: Option<Scratch> = None;
-        for l in layers {
-            if let LayerPlan::Winograd(p) = &l.plan {
-                let s = Scratch::new(p, threads);
-                if best.as_ref().is_none_or(|b| s.bytes() > b.bytes()) {
-                    best = Some(s);
-                }
-            }
+    fn seed_scratches(layers: &[NetLayer], threads: usize) -> Vec<Option<Scratch>> {
+        // Pre-seeding is an optimisation, not a requirement: a refused
+        // allocation leaves the slot empty and the execution-time ladder
+        // (`ensure_scratch` + `exec_layer`) deals with memory pressure
+        // when the layer actually runs.
+        layers
+            .iter()
+            .map(|l| match &l.plan {
+                LayerPlan::Winograd(p) => Scratch::try_new(p, threads).ok(),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The network's analytic memory footprint at `threads` thread slots:
+    /// every component is a *sum* over the layers — each layer holds its
+    /// own resident scratch slot (the price of allocation-free repeat
+    /// forwards), its own memoised kernels and its own output. Layers
+    /// without a Winograd plan contribute their output (and, for dispatch
+    /// routes, the route's own model — see [`DispatchPlan::footprint`]).
+    pub fn footprint(&self, threads: usize) -> crate::MemoryFootprint {
+        let mut acc = crate::MemoryFootprint {
+            scratch_bytes: 0,
+            tile_major_bytes: 0,
+            transformed_kernel_bytes: 0,
+            per_thread_bytes: 0,
+            output_bytes: 0,
+            threads,
+        };
+        for l in &self.layers {
+            let fp = match &l.plan {
+                LayerPlan::Winograd(p) => p.footprint(threads),
+                LayerPlan::Dispatch(dp) => dp.footprint(threads),
+                LayerPlan::Im2col { shape } => crate::MemoryFootprint {
+                    scratch_bytes: 0,
+                    tile_major_bytes: 0,
+                    transformed_kernel_bytes: 0,
+                    per_thread_bytes: 0,
+                    output_bytes: BlockedImage::bytes_for(
+                        shape.batch,
+                        shape.out_channels,
+                        &shape.out_dims(),
+                    ),
+                    threads,
+                },
+            };
+            acc.scratch_bytes += fp.scratch_bytes;
+            acc.tile_major_bytes += fp.tile_major_bytes;
+            acc.per_thread_bytes += fp.per_thread_bytes;
+            acc.transformed_kernel_bytes += fp.transformed_kernel_bytes;
+            acc.output_bytes += fp.output_bytes;
         }
-        best
+        acc
     }
 
     pub fn num_layers(&self) -> usize {
@@ -337,9 +401,9 @@ impl Network {
         &self.layers
     }
 
-    /// Auxiliary bytes currently held.
+    /// Auxiliary bytes currently held across all layer slots.
     pub fn scratch_bytes(&self) -> usize {
-        self.scratch.as_ref().map_or(0, |s| s.bytes())
+        self.scratch.iter().flatten().map(Scratch::bytes).sum()
     }
 
     /// Memoise all kernel transforms for inference (§4.2 "Inference
@@ -355,20 +419,24 @@ impl Network {
             return Err(WinoError::LayerCount { expected: self.layers.len(), got: kernels.len() });
         }
         let mut out = Vec::with_capacity(kernels.len());
-        for (layer, kernel) in self.layers.iter().zip(kernels) {
+        for (i, (layer, kernel)) in self.layers.iter().zip(kernels).enumerate() {
             let Some(plan) = layer.plan.winograd() else {
                 return Err(WinoError::Unsupported(
                     "kernel transforms for an im2col-planned layer",
                 ));
             };
-            Self::ensure_scratch(&mut self.scratch, plan, exec.threads());
-            let sc = self.scratch.as_mut().expect("scratch ensured above");
+            Self::ensure_scratch(&mut self.scratch[i], plan, exec.threads())?;
+            let sc = self.scratch[i].as_mut().expect("scratch ensured above");
             out.push(plan.prepare_kernels(kernel, sc, exec)?);
         }
         Ok(out)
     }
 
-    fn ensure_scratch(scratch: &mut Option<Scratch>, p: &WinogradLayer, threads: usize) {
+    fn ensure_scratch(
+        scratch: &mut Option<Scratch>,
+        p: &WinogradLayer,
+        threads: usize,
+    ) -> Result<(), WinoError> {
         let need_u = |m: &BlockedMatrices, t, rows, cols, rb, cb| -> bool {
             m.t_count() == t && m.rows() == rows && m.cols() == cols && m.rb() == rb && m.cb() == cb
         };
@@ -390,8 +458,13 @@ impl Network {
                 && sc.thread_slots() >= threads
         });
         if !ok {
-            *scratch = Some(Scratch::new(p, threads));
+            // Release the mismatched scratch before allocating the new
+            // one: under memory pressure holding both arenas at once is
+            // exactly what pushes the allocator over the edge.
+            *scratch = None;
+            *scratch = Some(Scratch::try_new(p, threads)?);
         }
+        Ok(())
     }
 
     /// Execute one layer: Winograd forward plus the policy's
@@ -412,7 +485,7 @@ impl Network {
             .layers
             .get(index)
             .ok_or(WinoError::Unsupported("layer index out of range"))?;
-        Self::exec_layer(&mut self.scratch, layer, index, input, kernels, exec, policy)
+        Self::exec_layer(&mut self.scratch[index], layer, index, input, kernels, exec, policy)
     }
 
     /// Run the whole network (training mode: kernels transformed every
@@ -433,7 +506,7 @@ impl Network {
         for (i, (layer, kernel)) in self.layers.iter().zip(kernels).enumerate() {
             let inp = current.as_ref().unwrap_or(input);
             let (out, report) =
-                Self::exec_layer(&mut self.scratch, layer, i, inp, kernel, exec, policy)?;
+                Self::exec_layer(&mut self.scratch[i], layer, i, inp, kernel, exec, policy)?;
             reports.push(report);
             current = Some(out);
         }
@@ -462,15 +535,15 @@ impl Network {
             return Err(WinoError::LayerCount { expected: self.layers.len(), got: kernels.len() });
         }
         let mut current: Option<BlockedImage> = None;
-        for (layer, kernel) in self.layers.iter().zip(kernels) {
+        for (i, (layer, kernel)) in self.layers.iter().zip(kernels).enumerate() {
             let Some(plan) = layer.plan.winograd() else {
                 return Err(WinoError::Unsupported(
                     "memoised kernel transforms for an im2col-planned layer",
                 ));
             };
-            Self::ensure_scratch(&mut self.scratch, plan, exec.threads());
-            let sc = self.scratch.as_mut().expect("scratch ensured above");
-            let mut out = plan.new_output()?;
+            Self::ensure_scratch(&mut self.scratch[i], plan, exec.threads())?;
+            let sc = self.scratch[i].as_mut().expect("scratch ensured above");
+            let mut out = plan.try_new_output()?;
             {
                 let inp = current.as_ref().unwrap_or(input);
                 plan.forward_fx(inp, kernel, &mut out, sc, exec)?;
@@ -504,10 +577,23 @@ impl Network {
                     Stage2Backend::Jit => LayerBackend::WinogradJit,
                     Stage2Backend::Mono => LayerBackend::WinogradMono,
                 };
-                Self::ensure_scratch(scratch, plan, exec.threads());
-                let sc = scratch.as_mut().expect("scratch ensured above");
-                let mut out = plan.new_output()?;
-                plan.forward(input, kernels, &mut out, sc, exec)?;
+                let out = match Self::winograd_attempt(scratch, plan, input, kernels, exec) {
+                    Ok(out) => out,
+                    Err(WinoError::Alloc(cause)) => {
+                        // Run-time memory ladder: re-tile, then im2col,
+                        // then the typed failure. The replacement output
+                        // is already guarded; skip the normal guard flow.
+                        let (out, backend, reason) = Self::memory_ladder(
+                            scratch, plan, cause, input, kernels, exec, policy,
+                        )?;
+                        report.backend = backend;
+                        report.fallback = Some(reason);
+                        let mut out = out;
+                        layer.activation.apply(&mut out);
+                        return Ok((out, report));
+                    }
+                    Err(e) => return Err(e),
+                };
                 // The guard must run BEFORE the activation: ReLU computes
                 // `f32::max(x, 0.0)`, which maps NaN to 0.0 and would hide
                 // the corruption.
@@ -672,13 +758,110 @@ impl Network {
         Ok(Some((rescued, LayerBackend::Im2col, reason)))
     }
 
+    /// One Winograd forward through the fallible allocation seams: any
+    /// refused buffer (scratch regrow, output image) surfaces as
+    /// [`WinoError::Alloc`] for the memory ladder instead of aborting.
+    fn winograd_attempt(
+        scratch: &mut Option<Scratch>,
+        plan: &WinogradLayer,
+        input: &BlockedImage,
+        kernels: &BlockedKernels,
+        exec: &dyn Executor,
+    ) -> Result<BlockedImage, WinoError> {
+        Self::ensure_scratch(scratch, plan, exec.threads())?;
+        let sc = scratch.as_mut().expect("scratch ensured above");
+        let mut out = plan.try_new_output()?;
+        plan.forward(input, kernels, &mut out, sc, exec)?;
+        Ok(out)
+    }
+
+    /// The run-time memory degradation ladder, entered when an allocation
+    /// is refused mid-execution: (1) drop the resident scratch and re-tile
+    /// towards larger `m` — the memory-cheap direction, see
+    /// [`crate::select::fit_tile_to_memory`] — retrying each supported
+    /// tile through the fallible seams; (2) rescue through im2col, whose
+    /// footprint has no transformed-data scratch; (3) surface the typed
+    /// [`WinoError::Alloc`]. Non-allocation errors (pool failures) always
+    /// propagate. The returned output is numeric-guarded here because the
+    /// caller's guard flow is bypassed.
+    #[allow(clippy::too_many_arguments)] // mirrors exec_layer's context
+    fn memory_ladder(
+        scratch: &mut Option<Scratch>,
+        plan: &WinogradLayer,
+        cause: wino_simd::AllocError,
+        input: &BlockedImage,
+        kernels: &BlockedKernels,
+        exec: &dyn Executor,
+        policy: &FallbackPolicy,
+    ) -> Result<(BlockedImage, LayerBackend, FallbackReason), WinoError> {
+        let reason = FallbackReason::Memory { bytes: cause.bytes };
+        // The resident arena may be most of the pressure; release it
+        // before any retry.
+        *scratch = None;
+        if policy.retile_on_memory {
+            let out_dims = plan.shape.out_dims();
+            let mut mm = plan.grid.m.clone();
+            loop {
+                let mut grew = false;
+                for (d, v) in mm.iter_mut().enumerate() {
+                    if *v + 2 <= crate::select::SEARCH_MAX_M.min(out_dims[d]) {
+                        *v += 2;
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    break;
+                }
+                let Ok(retiled) = WinogradLayer::new(plan.shape.clone(), &mm, plan.opts) else {
+                    continue;
+                };
+                let Ok(mut sc) = Scratch::try_new(&retiled, exec.threads()) else {
+                    continue;
+                };
+                let mut out = match retiled.try_new_output() {
+                    Ok(out) => out,
+                    Err(_) => continue,
+                };
+                match retiled.forward(input, kernels, &mut out, &mut sc, exec) {
+                    Ok(()) => {
+                        if policy.check_numerics {
+                            check_finite("output", out.as_slice())?;
+                        }
+                        wino_probe::Counter::MemoryDemotions.add(1);
+                        return Ok((out, LayerBackend::WinogradDemoted, reason));
+                    }
+                    Err(WinoError::Alloc(_)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if policy.im2col_on_plan_failure {
+            let rescue_start = crate::spans::span_start();
+            let rescued = Self::im2col_layer(&plan.shape, input, kernels, exec)?;
+            crate::spans::record_coord(
+                exec,
+                wino_probe::SpanCategory::FallbackRescue,
+                rescue_start,
+            );
+            if policy.check_numerics {
+                check_finite("im2col rescue output", rescued.as_slice())?;
+            }
+            wino_probe::Counter::MemoryRescues.add(1);
+            return Ok((rescued, LayerBackend::Im2col, reason));
+        }
+        Err(WinoError::Alloc(cause))
+    }
+
     fn im2col_layer(
         shape: &ConvShape,
         input: &BlockedImage,
         kernels: &BlockedKernels,
         exec: &dyn Executor,
     ) -> Result<BlockedImage, WinoError> {
-        let mut out = BlockedImage::zeros(shape.batch, shape.out_channels, &shape.out_dims())?;
+        // `try_zeros`: the im2col rescue is the second rung of the memory
+        // ladder, so its own output allocation must stay fallible too.
+        let mut out =
+            BlockedImage::try_zeros(shape.batch, shape.out_channels, &shape.out_dims())?;
         wino_baseline::im2col_conv(input, kernels, &shape.padding, &mut out, exec)?;
         Ok(out)
     }
@@ -741,6 +924,7 @@ mod tests {
             FallbackReason::SentinelTrip(SentinelError { unit: 0, rel_err: 1.0, bound: 0.5 }),
             FallbackReason::Dilated,
             FallbackReason::GroupTooNarrow { c_per_group: 1 },
+            FallbackReason::Memory { bytes: 4096 },
         ];
         for r in &reasons {
             assert!(
@@ -762,6 +946,63 @@ mod tests {
                 BlockedKernels::from_simple(&k).unwrap()
             })
             .collect()
+    }
+
+    #[test]
+    fn steady_state_run_allocates_one_output_per_layer() {
+        // The serving hot path relies on this: once the scratch arena
+        // and memoised transforms are resident, a repeat forward pass
+        // allocates exactly the per-layer output images and nothing
+        // else (no scratch regrow, no hidden temporaries).
+        let specs = vec![LayerSpec::same(32, 2, 3, 2), LayerSpec::same(16, 2, 3, 2)];
+        let mut net = Network::new(1, 16, &[12, 12], &specs, ConvOptions::default(), 1).unwrap();
+        let img = SimpleImage::from_fn(1, 16, &[12, 12], |_, c, xy| {
+            ((c + xy[0] * 3 + xy[1]) % 11) as f32 * 0.1 - 0.5
+        });
+        let input = BlockedImage::from_simple(&img).unwrap();
+        let kernels = kernels_for(&net, 0);
+        let policy = FallbackPolicy::default();
+        net.run_net(&input, &kernels, &SerialExecutor, &policy).unwrap();
+        for round in 0..3 {
+            let before = wino_simd::thread_alloc_calls();
+            net.run_net(&input, &kernels, &SerialExecutor, &policy).unwrap();
+            let delta = wino_simd::thread_alloc_calls() - before;
+            assert_eq!(delta, 2, "round {round}: expected one output per layer");
+        }
+    }
+
+    #[test]
+    fn footprint_predicts_observed_bytes_within_ten_percent() {
+        // The end-to-end accounting gate: the analytic model must price
+        // a whole cold start — plan (scratch seeding), kernel
+        // memoisation, one forward (per-layer outputs) — within 10% of
+        // what the allocator actually handed out. Everything runs on
+        // this thread (serial executor), so the per-thread byte tally
+        // is exact and immune to concurrent tests.
+        let specs = vec![LayerSpec::same(32, 2, 3, 2), LayerSpec::same(16, 2, 3, 4)];
+        let img = SimpleImage::from_fn(1, 16, &[12, 12], |_, c, xy| {
+            ((c + xy[0] * 3 + xy[1]) % 11) as f32 * 0.1 - 0.5
+        });
+        let input = BlockedImage::from_simple(&img).unwrap();
+
+        let before = wino_simd::thread_alloc_bytes();
+        let mut net =
+            Network::new(1, 16, &[12, 12], &specs, ConvOptions::default(), 1).unwrap();
+        let kernels = kernels_for(&net, 3);
+        let kernel_bytes: usize = kernels.iter().map(|k| k.as_slice().len() * 4).sum();
+        let fx = net.prepare_kernels(&kernels, &SerialExecutor).unwrap();
+        let _out = net.forward_fx(&input, &fx, &SerialExecutor).unwrap();
+        // The raw kernel tensors are inputs, not part of the plan's
+        // footprint — subtract them from the observation.
+        let observed =
+            (wino_simd::thread_alloc_bytes() - before) as usize - kernel_bytes;
+
+        let modeled = net.footprint(1).total();
+        let ratio = observed as f64 / modeled as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "modeled {modeled} vs observed {observed} bytes (ratio {ratio:.3})"
+        );
     }
 
     #[test]

@@ -55,6 +55,43 @@ impl AccuracyBudget {
     }
 }
 
+/// A ceiling on the bytes a plan may allocate — the memory twin of
+/// [`AccuracyBudget`]. Enforced at plan time from the analytic
+/// [`crate::MemoryFootprint`]: a plan whose footprint (scratch,
+/// tile-major, per-thread and output buffers, at [`MemoryBudget::threads`]
+/// thread slots) exceeds `max_bytes` fails with
+/// [`PlanError::MemoryBudget`]; [`crate::select::plan_with_fallback`]
+/// then re-tiles towards *larger* `m` until the plan fits — the
+/// transformed-data inflation factor `∏((m_d+r_d−1)/m_d)` shrinks as the
+/// tile grows, so larger tiles are the memory-cheap direction (the
+/// opposite of the accuracy ladder).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Largest admissible plan footprint in bytes.
+    pub max_bytes: usize,
+    /// Thread-slot count the footprint is evaluated at (per-thread
+    /// codelet buffers scale with it). Defaults to 1.
+    pub threads: usize,
+}
+
+impl MemoryBudget {
+    /// A budget of `max_bytes`, evaluated at one thread slot.
+    pub fn new(max_bytes: usize) -> MemoryBudget {
+        MemoryBudget { max_bytes, threads: 1 }
+    }
+
+    /// The same budget evaluated at `threads` thread slots.
+    pub fn with_threads(mut self, threads: usize) -> MemoryBudget {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Whether a plan needing `bytes` fits this budget.
+    pub fn admits(self, bytes: usize) -> bool {
+        bytes <= self.max_bytes
+    }
+}
+
 /// Which engine executes stage 2's micro-kernels.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Stage2Backend {
@@ -131,6 +168,11 @@ pub struct ConvOptions {
     /// `Some(b)` makes planning fail with [`PlanError::AccuracyBudget`]
     /// when a dimension's predicted amplification exceeds the budget.
     pub budget: Option<AccuracyBudget>,
+    /// Memory budget. `None` (the default) admits any footprint;
+    /// `Some(b)` makes planning fail with [`PlanError::MemoryBudget`]
+    /// when the plan's analytic [`crate::MemoryFootprint`] exceeds it
+    /// (`plan_with_fallback` re-tiles until the plan fits).
+    pub memory: Option<MemoryBudget>,
     /// Opt-in compensated (Kahan–Neumaier) channel reduction in stage 2
     /// for high-accuracy plans: each `C_blk` reduction block is computed
     /// separately and folded into the accumulator with an error-
@@ -241,6 +283,7 @@ impl Default for ConvOptions {
             points: PointSchedule::default(),
             stage2: Stage2Backend::default(),
             budget: None,
+            memory: None,
             compensated: false,
             watchdog: None,
             stride: [1; MAX_RANK],
@@ -272,6 +315,10 @@ pub enum PlanError {
     /// [`AccuracyBudget`] in dimension `dim` — demote `m` (the planner's
     /// `candidate_tiles` does this automatically).
     AccuracyBudget { dim: usize, m: usize },
+    /// The plan's analytic footprint exceeds its [`MemoryBudget`] —
+    /// demote `m` ([`crate::select::plan_with_fallback`] does this
+    /// automatically).
+    MemoryBudget { need_bytes: usize, budget_bytes: usize },
     /// The options carry a non-identity stride/dilation/groups geometry,
     /// which the monolithic planner does not execute — route the layer
     /// through [`crate::dispatch`] instead.
@@ -293,6 +340,10 @@ impl std::fmt::Display for PlanError {
             PlanError::AccuracyBudget { dim, m } => write!(
                 f,
                 "tile size m={m} for dimension {dim} exceeds the accuracy budget"
+            ),
+            PlanError::MemoryBudget { need_bytes, budget_bytes } => write!(
+                f,
+                "plan footprint {need_bytes} B exceeds the memory budget {budget_bytes} B"
             ),
             PlanError::Geometry { reason } => {
                 write!(f, "non-identity conv geometry: {reason}")
@@ -442,7 +493,14 @@ impl WinogradLayer {
                 wino_gemm::SUPERBLOCK_L2_BYTES,
             ),
         };
-        Ok(WinogradLayer { shape, grid, plans, block, superblock, opts, jit })
+        let layer = WinogradLayer { shape, grid, plans, block, superblock, opts, jit };
+        if let Some(mb) = opts.memory {
+            let need_bytes = layer.footprint(mb.threads).total();
+            if !mb.admits(need_bytes) {
+                return Err(PlanError::MemoryBudget { need_bytes, budget_bytes: mb.max_bytes });
+            }
+        }
+        Ok(layer)
     }
 
     /// Compile the stage-2 machine-code kernels (the paper generates them
@@ -553,6 +611,24 @@ impl WinogradLayer {
         wino_tensor::BlockedImage::zeros(self.shape.batch, self.shape.out_channels, &self.shape.out_dims())
     }
 
+    /// Fallible [`Self::new_output`]: a typed allocation failure instead
+    /// of an abort when the allocator refuses the buffer.
+    pub fn try_new_output(&self) -> Result<wino_tensor::BlockedImage, wino_tensor::TensorError> {
+        wino_tensor::BlockedImage::try_zeros(
+            self.shape.batch,
+            self.shape.out_channels,
+            &self.shape.out_dims(),
+        )
+    }
+
+    /// The plan's analytic memory footprint at `threads` thread slots —
+    /// exactly the bytes [`Scratch::new`], [`Self::new_output`] and the
+    /// memoised kernel transform would allocate, computed without
+    /// allocating anything. See [`crate::MemoryFootprint`].
+    pub fn footprint(&self, threads: usize) -> crate::MemoryFootprint {
+        crate::MemoryFootprint::of_layer(self, threads)
+    }
+
     /// FLOPs the equivalent direct convolution would perform (the
     /// normaliser for effective-GFLOP/s reporting, as in Fig. 5).
     pub fn direct_flops(&self) -> u128 {
@@ -652,6 +728,65 @@ impl Scratch {
         Scratch::build(layer, exec.threads(), Some(exec))
     }
 
+    /// Fallible [`Scratch::new`]: a typed [`wino_simd::AllocError`]
+    /// instead of an abort when any of the scratch buffers is refused.
+    /// The run-time memory degradation ladder (`Network::ensure_scratch`)
+    /// allocates through this seam.
+    pub fn try_new(layer: &WinogradLayer, threads: usize) -> Result<Scratch, wino_simd::AllocError> {
+        Scratch::try_build(layer, threads, None)
+    }
+
+    /// Fallible [`Scratch::new_first_touch`].
+    pub fn try_new_first_touch(
+        layer: &WinogradLayer,
+        exec: &dyn wino_sched::Executor,
+    ) -> Result<Scratch, wino_simd::AllocError> {
+        Scratch::try_build(layer, exec.threads(), Some(exec))
+    }
+
+    fn try_build(
+        layer: &WinogradLayer,
+        threads: usize,
+        exec: Option<&dyn wino_sched::Executor>,
+    ) -> Result<Scratch, wino_simd::AllocError> {
+        let t = layer.t_vol();
+        let rows = layer.rows();
+        let (c, cp) = (layer.shape.in_channels, layer.shape.out_channels);
+        let b = layer.block;
+        let (u, v, x, y) = match exec {
+            Some(e) => (
+                BlockedMatrices::try_new_first_touch(t, rows, c, b.n_blk, b.c_blk, e)?,
+                BlockedMatrices::try_new_first_touch(t, c, cp, b.c_blk, b.cp_blk, e)?,
+                BlockedMatrices::try_new_first_touch(t, rows, cp, b.n_blk, b.cp_blk, e)?,
+                TileMajor::try_new_first_touch(layer.shape.batch, cp, layer.n_tiles(), t, e)?,
+            ),
+            None => (
+                BlockedMatrices::try_new(t, rows, c, b.n_blk, b.c_blk)?,
+                BlockedMatrices::try_new(t, c, cp, b.c_blk, b.cp_blk)?,
+                BlockedMatrices::try_new(t, rows, cp, b.n_blk, b.cp_blk)?,
+                TileMajor::try_new(layer.shape.batch, cp, layer.n_tiles(), t)?,
+            ),
+        };
+        let mut bufs = Vec::with_capacity(threads.max(1));
+        for _ in 0..threads.max(1) {
+            bufs.push(UnsafeCell::new(ThreadBuf {
+                a: AlignedVec::try_zeroed(t * S)?,
+                b: AlignedVec::try_zeroed(t * S)?,
+            }));
+        }
+        let mut cbufs = Vec::new();
+        if layer.opts.compensated {
+            let panel = b.n_blk * b.cp_blk;
+            for _ in 0..threads.max(1) {
+                cbufs.push(CompBufCell(UnsafeCell::new(CompBuf {
+                    tmp: AlignedVec::try_zeroed(panel)?,
+                    comp: AlignedVec::try_zeroed(panel)?,
+                })));
+            }
+        }
+        Ok(Scratch { u, v, x, y, bufs, cbufs })
+    }
+
     fn build(
         layer: &WinogradLayer,
         threads: usize,
@@ -678,8 +813,10 @@ impl Scratch {
         let bufs = (0..threads.max(1))
             .map(|_| {
                 UnsafeCell::new(ThreadBuf {
+                    // ALLOC: `build` is the infallible Scratch half;
+                    // `try_build` below is the accounted path.
                     a: AlignedVec::zeroed(t * S),
-                    b: AlignedVec::zeroed(t * S),
+                    b: AlignedVec::zeroed(t * S), // ALLOC: as above
                 })
             })
             .collect();
@@ -688,8 +825,8 @@ impl Scratch {
             (0..threads.max(1))
                 .map(|_| {
                     CompBufCell(UnsafeCell::new(CompBuf {
-                        tmp: AlignedVec::zeroed(panel),
-                        comp: AlignedVec::zeroed(panel),
+                        tmp: AlignedVec::zeroed(panel), // ALLOC: as above
+                        comp: AlignedVec::zeroed(panel), // ALLOC: as above
                     }))
                 })
                 .collect()

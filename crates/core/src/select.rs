@@ -37,6 +37,14 @@ pub struct FallbackPolicy {
     /// If no Winograd plan exists at all, run the layer via the
     /// `wino-baseline` im2col convolution.
     pub im2col_on_plan_failure: bool,
+    /// On [`PlanError::MemoryBudget`], re-plan with a smaller-footprint
+    /// tile. Note the direction: memory re-tiling *grows* `m` (the
+    /// transformed-data inflation `∏((m_d+r_d−1)/m_d)` shrinks as the
+    /// tile grows), the opposite of the accuracy ladder. If no supported
+    /// tile fits the budget the error stands (and, under
+    /// `im2col_on_plan_failure`, the layer falls back to im2col, whose
+    /// footprint is not scratch-bound).
+    pub retile_on_memory: bool,
     /// Scan each layer's output for NaN/Inf after execution.
     pub check_numerics: bool,
     /// If the numeric guard trips, re-execute the layer via im2col
@@ -57,6 +65,7 @@ impl Default for FallbackPolicy {
         FallbackPolicy {
             jit_to_mono: true,
             im2col_on_plan_failure: true,
+            retile_on_memory: true,
             check_numerics: true,
             im2col_on_numeric: true,
             sentinel: SentinelConfig::off(),
@@ -71,6 +80,7 @@ impl FallbackPolicy {
         FallbackPolicy {
             jit_to_mono: false,
             im2col_on_plan_failure: false,
+            retile_on_memory: false,
             check_numerics: false,
             im2col_on_numeric: false,
             sentinel: SentinelConfig::off(),
@@ -84,12 +94,14 @@ impl FallbackPolicy {
     }
 }
 
-/// Plan a layer, applying the policy's Jit → Mono downgrade.
+/// Plan a layer, applying the policy's plan-time degradations.
 ///
-/// `Ok((plan, Some(e)))` means the requested JIT backend failed with `e`
-/// and the returned plan uses [`Stage2Backend::Mono`] instead. Failures
-/// the policy does not cover (or a Mono retry that also fails) are
-/// returned as `Err` — the caller decides whether im2col absorbs them.
+/// `Ok((plan, Some(e)))` means the requested plan failed with `e` and the
+/// returned plan carries a downgrade: [`Stage2Backend::Mono`] after a JIT
+/// failure, or a re-tiled `m` after a [`PlanError::MemoryBudget`]
+/// rejection. Failures the policy does not cover (or a retry that also
+/// fails) are returned as `Err` — the caller decides whether im2col
+/// absorbs them.
 pub fn plan_with_fallback(
     shape: &ConvShape,
     m: &[usize],
@@ -103,7 +115,52 @@ pub fn plan_with_fallback(
             let plan = WinogradLayer::new(shape.clone(), m, mono)?;
             Ok((plan, Some(e)))
         }
+        Err(e @ PlanError::MemoryBudget { .. }) if policy.retile_on_memory => {
+            match fit_tile_to_memory(shape, m, &opts) {
+                Some(mm) => {
+                    let plan = WinogradLayer::new(shape.clone(), &mm, opts)?;
+                    Ok((plan, Some(e)))
+                }
+                None => Err(e),
+            }
+        }
         Err(e) => Err(e),
+    }
+}
+
+/// Find a tile that fits `opts.memory` by growing `m` from the rejected
+/// tile (steps of 2 per dimension, capped by `SEARCH_MAX_M` and the
+/// output extent). Growing is the memory-cheap direction: the
+/// transformed-data scratch scales with `∏((m_d+r_d−1)/m_d)`, which
+/// shrinks as the tile grows. Candidates that fail to plan for other
+/// reasons (no codelet, accuracy budget) are skipped. `None` when
+/// `opts.memory` is unset or no supported tile fits.
+pub fn fit_tile_to_memory(
+    shape: &ConvShape,
+    m: &[usize],
+    opts: &ConvOptions,
+) -> Option<Vec<usize>> {
+    let mb = opts.memory?;
+    // Probe plans without the budget so the footprint can be evaluated.
+    let probe = ConvOptions { memory: None, ..*opts };
+    let out = shape.out_dims();
+    let mut mm: Vec<usize> = m.to_vec();
+    loop {
+        let mut grew = false;
+        for (d, v) in mm.iter_mut().enumerate() {
+            if *v + 2 <= SEARCH_MAX_M.min(out[d]) {
+                *v += 2;
+                grew = true;
+            }
+        }
+        if !grew {
+            return None;
+        }
+        if let Ok(layer) = WinogradLayer::new(shape.clone(), &mm, probe) {
+            if mb.admits(layer.footprint(mb.threads).total()) {
+                return Some(mm);
+            }
+        }
     }
 }
 
@@ -128,7 +185,7 @@ pub enum Purpose {
 /// The largest tile the search may try per dimension, whatever the
 /// budget admits — beyond `m = 8` the f32 transforms are useless even
 /// for inference (Table 3).
-const SEARCH_MAX_M: usize = 8;
+pub(crate) const SEARCH_MAX_M: usize = 8;
 
 impl Purpose {
     /// The accuracy budget this preset stands for.
@@ -368,8 +425,51 @@ mod tests {
     fn policy_defaults_and_strict() {
         let p = FallbackPolicy::default();
         assert!(p.jit_to_mono && p.im2col_on_plan_failure && p.check_numerics && p.im2col_on_numeric);
+        assert!(p.retile_on_memory);
         let s = FallbackPolicy::strict();
         assert!(!s.jit_to_mono && !s.im2col_on_plan_failure && !s.check_numerics && !s.im2col_on_numeric);
+        assert!(!s.retile_on_memory);
+    }
+
+    #[test]
+    fn memory_budget_retiles_to_a_smaller_footprint() {
+        use crate::plan::MemoryBudget;
+        let s = ConvShape::new(1, 16, 16, &[20, 20], &[3, 3], &[1, 1]).unwrap();
+        let base = ConvOptions::default();
+        let need2 = WinogradLayer::new(s.clone(), &[2, 2], base).unwrap().footprint(1).total();
+        let need4 = WinogradLayer::new(s.clone(), &[4, 4], base).unwrap().footprint(1).total();
+        assert!(need4 < need2, "larger tiles must be the memory-cheap direction");
+
+        // A budget that admits F(4,3) but not F(2,3): planning [2,2] is
+        // rejected, the fallback re-tiles to [4,4].
+        let opts = ConvOptions { memory: Some(MemoryBudget::new(need4)), ..base };
+        assert!(matches!(
+            WinogradLayer::new(s.clone(), &[2, 2], opts),
+            Err(PlanError::MemoryBudget { budget_bytes, .. }) if budget_bytes == need4
+        ));
+        let (plan, fb) =
+            plan_with_fallback(&s, &[2, 2], opts, &FallbackPolicy::default()).unwrap();
+        assert_eq!(plan.grid.m, vec![4, 4]);
+        assert!(matches!(fb, Some(PlanError::MemoryBudget { .. })));
+        assert!(plan.footprint(1).total() <= need4);
+
+        // The strict policy surfaces the rejection instead.
+        assert!(matches!(
+            plan_with_fallback(&s, &[2, 2], opts, &FallbackPolicy::strict()),
+            Err(PlanError::MemoryBudget { .. })
+        ));
+
+        // An unreachable budget exhausts the ladder: the original error
+        // stands (net-level code then decides whether im2col absorbs it).
+        let tiny = ConvOptions { memory: Some(MemoryBudget::new(1024)), ..base };
+        assert!(matches!(
+            plan_with_fallback(&s, &[2, 2], tiny, &FallbackPolicy::default()),
+            Err(PlanError::MemoryBudget { .. })
+        ));
+        assert_eq!(fit_tile_to_memory(&s, &[2, 2], &tiny), None);
+
+        // No memory budget configured: nothing to fit against.
+        assert_eq!(fit_tile_to_memory(&s, &[2, 2], &base), None);
     }
 
     #[test]

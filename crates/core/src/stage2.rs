@@ -288,10 +288,9 @@ pub fn multiply(
     scratch: &mut Scratch,
     exec: &dyn Executor,
 ) -> Result<(), WinoError> {
-    let v = std::mem::replace(
-        &mut scratch.v,
-        wino_tensor::BlockedMatrices::new(1, 1, 16, 1, 16),
-    );
+    // Zero-sized placeholder: swapping `v` out must not allocate — the
+    // serving hot path counts on repeat forwards being allocation-free.
+    let v = std::mem::replace(&mut scratch.v, wino_tensor::BlockedMatrices::placeholder());
     let result = multiply_with(layer, scratch, &v, exec);
     scratch.v = v;
     result

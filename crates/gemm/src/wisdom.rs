@@ -141,21 +141,42 @@ impl Wisdom {
     }
 
     /// Persist to a text file (sorted keys, stable diffs).
+    ///
+    /// The write is atomic: the document is staged in a sibling temp file
+    /// and renamed over `path` only once fully flushed, so a process
+    /// killed mid-save (OOM killer, rlimit abort, plain SIGKILL) leaves
+    /// either the previous wisdom intact or the complete new file — never
+    /// a truncated one that would silently shed entries on the next load.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let map = self.map.lock().unwrap();
         let mut keys: Vec<&String> = map.keys().collect();
         keys.sort();
-        let mut f = std::fs::File::create(path)?;
-        writeln!(f, "# wino-gemm wisdom v1")?;
+        let mut text = String::from("# wino-gemm wisdom v1\n");
         for k in keys {
             let e = map[k];
             let s = e.shape;
             match e.superblock {
-                Some(sb) => writeln!(f, "{k} = {} {} {} {sb}", s.n_blk, s.c_blk, s.cp_blk)?,
-                None => writeln!(f, "{k} = {} {} {}", s.n_blk, s.c_blk, s.cp_blk)?,
+                Some(sb) => {
+                    text.push_str(&format!("{k} = {} {} {} {sb}\n", s.n_blk, s.c_blk, s.cp_blk));
+                }
+                None => text.push_str(&format!("{k} = {} {} {}\n", s.n_blk, s.c_blk, s.cp_blk)),
             }
         }
-        Ok(())
+        // Same directory as the target so the rename cannot cross a
+        // filesystem boundary (rename(2) is only atomic within one).
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            // Data must be durable before the rename publishes the name,
+            // or a crash could expose a complete-looking empty file.
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
     }
 }
 
@@ -264,6 +285,82 @@ mod tests {
         // analytic model — must still produce a legal plan.
         let shape = default_shape(64, 64, 784);
         assert!(shape.superblock_row_blocks(36, 64, 64, SUPERBLOCK_L2_BYTES) >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_save_never_corrupts_existing_wisdom() {
+        // Simulate a process killed mid-save: the victim's staging file
+        // sits in the directory with partial content (exactly what a
+        // SIGKILL between create and rename leaves behind). The published
+        // wisdom must be untouched, and a later save must still succeed.
+        let dir = std::env::temp_dir().join(format!("wino-wisdom-kill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.txt");
+
+        let w = Wisdom::new();
+        let key = Wisdom::key(784, 256, 256, 36, 64);
+        w.insert(key.clone(), BlockShape { n_blk: 14, c_blk: 128, cp_blk: 128 });
+        w.save(&path).unwrap();
+
+        // The dead process's half-written staging file (note: a *different*
+        // pid than ours, as it would be in practice).
+        std::fs::write(dir.join("wisdom.tmp.99999"), "# wino-gemm wisdom v1\nr784_c2").unwrap();
+
+        let loaded = Wisdom::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.get(&key), Some(BlockShape { n_blk: 14, c_blk: 128, cp_blk: 128 }));
+
+        // A survivor process saving over the same path is unaffected.
+        w.insert(Wisdom::key(1, 2, 3, 4, 5), BlockShape { n_blk: 1, c_blk: 16, cp_blk: 16 });
+        w.save(&path).unwrap();
+        assert_eq!(Wisdom::load(&path).unwrap().len(), 2);
+        // Our own staging file must not survive a successful save.
+        assert!(!path.with_extension(format!("tmp.{}", std::process::id())).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_loads_see_whole_files_only() {
+        // The atomicity claim, exercised live: one thread rewrites the
+        // file in a loop alternating between a 1-entry and a 30-entry
+        // store while readers hammer `load`. Every load must observe one
+        // of the two complete documents — any other entry count means a
+        // torn write was published.
+        let dir = std::env::temp_dir().join(format!("wino-wisdom-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.txt");
+
+        let small = Wisdom::new();
+        small.insert(Wisdom::key(1, 2, 3, 4, 5), BlockShape { n_blk: 1, c_blk: 16, cp_blk: 16 });
+        let big = Wisdom::new();
+        for i in 0..30 {
+            big.insert(
+                Wisdom::key(i, 2, 3, 4, 5),
+                BlockShape { n_blk: 8, c_blk: 64, cp_blk: 64 },
+            );
+        }
+        small.save(&path).unwrap();
+
+        std::thread::scope(|s| {
+            let writer_path = path.clone();
+            let small = &small;
+            let big = &big;
+            s.spawn(move || {
+                for i in 0..40 {
+                    if i % 2 == 0 { big } else { small }.save(&writer_path).unwrap();
+                }
+            });
+            for _ in 0..3 {
+                let reader_path = path.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let n = Wisdom::load(&reader_path).unwrap().len();
+                        assert!(n == 1 || n == 30, "torn wisdom file observed: {n} entries");
+                    }
+                });
+            }
+        });
         std::fs::remove_dir_all(&dir).ok();
     }
 

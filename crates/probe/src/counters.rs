@@ -53,9 +53,24 @@ pub enum Counter {
     /// High-water mark of the serve queue depth (recorded with
     /// [`Counter::record_max`], not [`Counter::add`]).
     ServeQueuePeakDepth,
+    /// High-water mark of live `AlignedVec` bytes (recorded with
+    /// [`Counter::record_max`] by `wino-simd` at every allocation).
+    AllocBytesPeak,
+    /// Aligned-buffer allocations performed (every `AlignedVec`
+    /// constructed, fallible or not; zero-length buffers excluded).
+    AllocCalls,
+    /// Layers replanned with smaller tiles because an allocation failed
+    /// or a memory budget was exceeded.
+    MemoryDemotions,
+    /// Layers rescued by the im2col baseline after a memory demotion
+    /// also failed to allocate.
+    MemoryRescues,
+    /// Requests shed at admission because the modeled concurrent-batch
+    /// footprint would exceed the configured memory ceiling.
+    ServeShedMemory,
 }
 
-const N: usize = 14;
+const N: usize = 19;
 
 static COUNTERS: [AtomicU64; N] = [const { AtomicU64::new(0) }; N];
 
@@ -76,6 +91,11 @@ impl Counter {
         Counter::ServeBreakerRecoveries,
         Counter::ServePoolRebuilds,
         Counter::ServeQueuePeakDepth,
+        Counter::AllocBytesPeak,
+        Counter::AllocCalls,
+        Counter::MemoryDemotions,
+        Counter::MemoryRescues,
+        Counter::ServeShedMemory,
     ];
 
     /// Stable kebab-case name used in JSON reports.
@@ -95,6 +115,11 @@ impl Counter {
             Counter::ServeBreakerRecoveries => "serve-breaker-recoveries",
             Counter::ServePoolRebuilds => "serve-pool-rebuilds",
             Counter::ServeQueuePeakDepth => "serve-queue-peak-depth",
+            Counter::AllocBytesPeak => "alloc-bytes-peak",
+            Counter::AllocCalls => "alloc-calls",
+            Counter::MemoryDemotions => "memory-demotions",
+            Counter::MemoryRescues => "memory-rescues",
+            Counter::ServeShedMemory => "serve-shed-memory",
         }
     }
 

@@ -35,7 +35,16 @@ use crate::json::Json;
 /// required exactly when *neither* `serve` nor `scaling` is present.
 /// That relaxation again changes what consumers may assume about
 /// `layers`, hence the bump.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: memory accounting. A document may carry a top-level `memory`
+/// object (the analytic footprint model's prediction next to observed
+/// allocator tallies, plus degradation-ladder counts), the `serve`
+/// section gains an optional `shed_memory` column (requests refused by
+/// the byte-budget admission gate), and [`FALLBACK_CODES`] gains
+/// `memory` (a layer degraded because an allocation was refused). The
+/// new fallback code widens an enumerated set consumers may have
+/// treated as closed, hence the bump.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Barrier-skew budget (µs) the `--scaling-smoke` gate holds smoke-layer
 /// sweeps to: the worst single fork–join skew a smoke-sized layer may
@@ -66,13 +75,14 @@ pub const BACKEND_NAMES: [&str; 6] = [
 
 /// The stable reason codes of `wino_conv::FallbackReason` as serialized
 /// into `layers[i].execution.fallback` and serve `fallbacks` tallies.
-pub const FALLBACK_CODES: [&str; 6] = [
+pub const FALLBACK_CODES: [&str; 7] = [
     "jit-unavailable",
     "plan-failed",
     "numeric-guard",
     "sentinel-trip",
     "dilated",
     "group-narrow",
+    "memory",
 ];
 
 /// Validate a parsed `BENCH_*.json` document. Returns every problem
@@ -126,6 +136,12 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
 
     if let Some(scaling) = doc.get("scaling") {
         validate_scaling(scaling, &mut errs);
+    }
+
+    // v5: an optional top-level `memory` object (analytic footprint
+    // prediction next to observed allocator tallies).
+    if let Some(memory) = doc.get("memory") {
+        validate_memory(memory, &mut errs);
     }
 
     // v2: an optional top-level `counters` object (sentinel tallies).
@@ -268,6 +284,8 @@ fn validate_serve(serve: &Json, errs: &mut Vec<String>) {
         }
     }
     // Optional numeric columns (run parameters and extra percentiles).
+    // v5: `shed_memory` — requests refused by the byte-budget admission
+    // gate; optional so pre-memory-ceiling runs stay valid.
     for key in [
         "pool_rebuilds",
         "offered_rps",
@@ -277,6 +295,8 @@ fn validate_serve(serve: &Json, errs: &mut Vec<String>) {
         "max_batch",
         "mean_ms",
         "p95_ms",
+        "shed_memory",
+        "memory_ceiling_bytes",
     ] {
         if let Some(v) = serve.get(key) {
             if v.as_f64().is_none() {
@@ -301,6 +321,27 @@ fn validate_serve(serve: &Json, errs: &mut Vec<String>) {
                     }
                 }
                 _ => errs.push(format!("serve.{key} is not an object")),
+            }
+        }
+    }
+}
+
+/// The v5 `memory` section: the analytic footprint model's prediction
+/// for the run next to what the allocator actually tallied, plus the
+/// memory-degradation-ladder counts. Modeled vs. observed side by side
+/// is the point — the footprint unit gate holds them within 10%.
+fn validate_memory(memory: &Json, errs: &mut Vec<String>) {
+    for key in ["modeled_bytes", "alloc_bytes_peak", "alloc_calls"] {
+        if memory.get(key).and_then(Json::as_f64).is_none() {
+            errs.push(format!("memory.{key} missing or not a number"));
+        }
+    }
+    // Optional columns: the configured budget (absent = unbudgeted run)
+    // and ladder tallies.
+    for key in ["budget_bytes", "demotions", "rescues", "injected_failures"] {
+        if let Some(v) = memory.get(key) {
+            if v.as_f64().is_none() {
+                errs.push(format!("memory.{key} is not a number"));
             }
         }
     }
@@ -397,7 +438,7 @@ mod tests {
 
     fn valid_doc() -> String {
         r#"{
-          "schema_version": 4,
+          "schema_version": 5,
           "generated_by": "wino-bench perf",
           "date": "2026-08-07",
           "machine": {"peak_gflops": 100.0, "mem_bw_gbps": 20.0, "threads": 4, "simd": "avx2"},
@@ -420,7 +461,7 @@ mod tests {
 
     fn valid_serve_doc() -> String {
         r#"{
-          "schema_version": 4,
+          "schema_version": 5,
           "generated_by": "wino-bench serve_load",
           "date": "2026-08-07",
           "machine": {"peak_gflops": 100.0, "mem_bw_gbps": 20.0, "threads": 4, "simd": "avx2"},
@@ -440,7 +481,7 @@ mod tests {
 
     fn valid_scaling_doc() -> String {
         r#"{
-          "schema_version": 4,
+          "schema_version": 5,
           "generated_by": "wino-bench scaling",
           "date": "2026-08-09",
           "machine": {"peak_gflops": 100.0, "mem_bw_gbps": 20.0, "threads": 4, "simd": "avx2"},
@@ -505,10 +546,41 @@ mod tests {
 
     #[test]
     fn rejects_wrong_version() {
-        // v2 documents lack the serve/layers contract — reject, don't coerce.
-        let doc = parse(&valid_doc().replace("\"schema_version\": 4", "\"schema_version\": 3")).unwrap();
+        // v4 documents lack the memory fallback code — reject, don't coerce.
+        let doc = parse(&valid_doc().replace("\"schema_version\": 5", "\"schema_version\": 4")).unwrap();
         let errs = validate(&doc).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("schema_version")));
+    }
+
+    #[test]
+    fn memory_section_optional_but_checked_when_present() {
+        // Well-formed: modeled vs observed plus ladder tallies.
+        let with = valid_doc().replace(
+            "\"layers\": [",
+            "\"memory\": {\"modeled_bytes\": 524288, \"alloc_bytes_peak\": 530000,
+              \"alloc_calls\": 12, \"budget_bytes\": 1048576, \"demotions\": 1,
+              \"rescues\": 0, \"injected_failures\": 0},\n\"layers\": [",
+        );
+        validate(&parse(&with).unwrap()).unwrap();
+        // Required column missing.
+        let bad = with.replace("\"alloc_calls\": 12, ", "");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("memory.alloc_calls")), "{errs:?}");
+        // Non-numeric optional column.
+        let bad = with.replace("\"demotions\": 1", "\"demotions\": \"one\"");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("memory.demotions")), "{errs:?}");
+        // The memory fallback code is a known name (v5).
+        let ok = valid_doc().replace("\"fallback\": \"jit-unavailable\"", "\"fallback\": \"memory\"");
+        validate(&parse(&ok).unwrap()).unwrap();
+        // And serve's shed_memory column is numeric when present.
+        let serve = valid_serve_doc()
+            .replace("\"breaker_trips\": 3,", "\"breaker_trips\": 3, \"shed_memory\": 41,");
+        validate(&parse(&serve).unwrap()).unwrap();
+        let bad = valid_serve_doc()
+            .replace("\"breaker_trips\": 3,", "\"breaker_trips\": 3, \"shed_memory\": \"some\",");
+        let errs = validate(&parse(&bad).unwrap()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("serve.shed_memory")), "{errs:?}");
     }
 
     #[test]
@@ -593,14 +665,14 @@ mod tests {
 
     #[test]
     fn rejects_empty_layers_and_stages() {
-        let doc = parse(r#"{"schema_version": 4, "generated_by": "x", "date": "d",
+        let doc = parse(r#"{"schema_version": 5, "generated_by": "x", "date": "d",
             "machine": {"peak_gflops": 1, "mem_bw_gbps": 1, "threads": 1, "simd": "scalar"},
             "layers": []}"#)
         .unwrap();
         let errs = validate(&doc).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("'layers' is empty")));
         // And a document with neither layers nor serve is rejected.
-        let doc = parse(r#"{"schema_version": 4, "generated_by": "x", "date": "d",
+        let doc = parse(r#"{"schema_version": 5, "generated_by": "x", "date": "d",
             "machine": {"peak_gflops": 1, "mem_bw_gbps": 1, "threads": 1, "simd": "scalar"}}"#)
         .unwrap();
         let errs = validate(&doc).unwrap_err();

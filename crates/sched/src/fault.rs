@@ -28,6 +28,14 @@
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
+// The allocation-failure injector lives next to the allocator it arms
+// (`wino-simd`); re-exported here so fault batteries have one façade —
+// and one [`test_lock`] — for every injectable failure in the engine.
+pub use wino_simd::fault::{
+    arm_fail_after_bytes, arm_fail_every, arm_fail_random, injected_failures,
+    reset as reset_alloc,
+};
+
 /// Which fork–join (pool epoch) a fault targets. Pools count fork–joins
 /// from 0; [`crate::ThreadPool::forkjoins`] reports the next epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,9 +114,11 @@ pub fn arm_poison_stage(stage: u8) {
     state().poison_stage = Some(stage);
 }
 
-/// Disarm everything (call between scenarios).
+/// Disarm everything (call between scenarios), the allocation injector
+/// included.
 pub fn reset() {
     *state() = State::default();
+    wino_simd::fault::reset();
 }
 
 /// Pool hook: runs inside the `catch_unwind` envelope, immediately before

@@ -58,6 +58,13 @@ pub struct ServeOptions {
     /// Admission-control oracle; `None` disables predictive shedding
     /// (capacity and deadline shedding remain).
     pub service: Option<ServiceModel>,
+    /// Byte ceiling for the server's modeled concurrent footprint
+    /// (plans + scratch + one output per queued and in-flight image,
+    /// priced by the analytic [`wino_conv::MemoryFootprint`] at start).
+    /// `None` disables byte-budget admission. A ceiling below the
+    /// resident base sheds every request — like `queue_capacity: 0`, a
+    /// legal drain configuration, not a start-time error.
+    pub memory_ceiling: Option<usize>,
     /// Breaker and retry tunables.
     pub breaker: BreakerConfig,
     /// Execution-time fallback policy threaded into the engine.
@@ -72,9 +79,36 @@ impl Default for ServeOptions {
             max_batch_age: Duration::from_millis(2),
             threads: 1,
             service: None,
+            memory_ceiling: None,
             breaker: BreakerConfig::default(),
             policy: FallbackPolicy::default(),
         }
+    }
+}
+
+/// The linear byte-pricing model behind [`ServeOptions::memory_ceiling`],
+/// fitted at [`Server::start`] from the analytic footprint of batch-1
+/// and batch-2 plans: admitting `n` concurrent images is priced at
+/// `base_bytes + n · per_image_bytes`.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryAdmission {
+    /// The configured ceiling the model is compared against.
+    pub ceiling_bytes: usize,
+    /// Batch-independent resident bytes (plans, kernels, scratch).
+    pub base_bytes: usize,
+    /// Marginal bytes per queued or in-flight image.
+    pub per_image_bytes: usize,
+}
+
+impl MemoryAdmission {
+    /// Modeled footprint with `images` concurrent requests.
+    pub fn need_bytes(&self, images: usize) -> usize {
+        self.base_bytes.saturating_add(self.per_image_bytes.saturating_mul(images))
+    }
+
+    /// Whether `images` concurrent requests fit under the ceiling.
+    pub fn admits(&self, images: usize) -> bool {
+        self.need_bytes(images) <= self.ceiling_bytes
     }
 }
 
@@ -99,12 +133,17 @@ struct Stats {
     shed_overload: AtomicU64,
     shed_deadline: AtomicU64,
     shed_predicted: AtomicU64,
+    shed_memory: AtomicU64,
     batches: AtomicU64,
     batch_failures: AtomicU64,
     breaker_trips: AtomicU64,
     breaker_recoveries: AtomicU64,
     pool_rebuilds: AtomicU64,
     peak_depth: AtomicU64,
+    /// The batcher thread's own monotonic `wino_simd::thread_alloc_calls`
+    /// tally, republished after every batch — the zero-steady-state-
+    /// allocation proof reads its deltas.
+    batcher_alloc_calls: AtomicU64,
 }
 
 impl Stats {
@@ -133,6 +172,8 @@ pub struct ServeStats {
     pub shed_deadline: u64,
     /// Shed by predictive admission control.
     pub shed_predicted: u64,
+    /// Shed by byte-budget admission control.
+    pub shed_memory: u64,
     /// Batch execution attempts dispatched.
     pub batches: u64,
     /// Batch attempts that failed (before retry accounting).
@@ -145,6 +186,12 @@ pub struct ServeStats {
     pub pool_rebuilds: u64,
     /// High-water queue depth.
     pub peak_depth: u64,
+    /// Aligned-buffer allocation calls made by the batcher thread so
+    /// far (monotonic; republished after every batch). In steady state
+    /// the per-batch delta is exactly the unavoidable output buffers —
+    /// one per layer plus one per request — because the assembly buffer
+    /// and engine scratch are reused.
+    pub batcher_alloc_calls: u64,
     /// Ladder rung the breaker currently stands on.
     pub level: DegradeLevel,
 }
@@ -170,6 +217,7 @@ pub struct Server {
     worker: Option<JoinHandle<()>>,
     next_id: AtomicU64,
     service: Option<ServiceModel>,
+    memory: Option<MemoryAdmission>,
     max_batch: usize,
     max_batch_age: Duration,
     in_channels: usize,
@@ -198,7 +246,7 @@ impl Server {
         };
         // Fail fast on ill-formed geometry: if no batch-1 plan exists
         // even under the fallback policy, serving can never succeed.
-        Network::with_policy(
+        let probe_net = Network::with_policy(
             1,
             spec.in_channels,
             &spec.image_dims,
@@ -208,6 +256,33 @@ impl Server {
             &opts.policy,
         )
         .map_err(WinoError::Plan)?;
+        // Fit the linear byte-pricing model for memory admission: the
+        // analytic footprint of the batch-1 plan anchors the line, and
+        // a batch-2 plan gives the marginal per-image slope. If no
+        // batch-2 plan exists the whole batch-1 footprint is charged
+        // per image — the conservative direction for admission.
+        let memory = opts.memory_ceiling.map(|ceiling_bytes| {
+            let fp1 = probe_net.footprint(threads).total();
+            let per_image_bytes = Network::with_policy(
+                2,
+                spec.in_channels,
+                &spec.image_dims,
+                &spec.layers,
+                spec.opts,
+                threads,
+                &opts.policy,
+            )
+            .ok()
+            .map(|net2| net2.footprint(threads).total().saturating_sub(fp1))
+            .filter(|&d| d > 0)
+            .unwrap_or(fp1);
+            MemoryAdmission {
+                ceiling_bytes,
+                base_bytes: fp1.saturating_sub(per_image_bytes),
+                per_image_bytes,
+            }
+        });
+        drop(probe_net);
 
         let shared = Arc::new(Shared {
             queue: DeadlineQueue::new(opts.queue_capacity),
@@ -234,6 +309,7 @@ impl Server {
             worker: Some(worker),
             next_id: AtomicU64::new(1),
             service: opts.service,
+            memory,
             max_batch,
             max_batch_age: opts.max_batch_age,
             in_channels,
@@ -276,6 +352,21 @@ impl Server {
             if estimated_ms > budget_ms {
                 stats.bump(&stats.shed_predicted, Counter::ServeShedPredicted);
                 return Err(ServeError::PredictedMiss { estimated_ms, budget_ms });
+            }
+        }
+        if let Some(mem) = &self.memory {
+            // ORDERING: Relaxed — advisory load-estimate input, exactly
+            // like the deadline oracle above; a stale depth only skews
+            // the byte estimate, never correctness.
+            let images = self.shared.queue.depth()
+                + self.shared.in_flight.load(Ordering::Relaxed)
+                + 1;
+            if !mem.admits(images) {
+                stats.bump(&stats.shed_memory, Counter::ServeShedMemory);
+                return Err(ServeError::MemoryPressure {
+                    need_bytes: mem.need_bytes(images),
+                    ceiling_bytes: mem.ceiling_bytes,
+                });
             }
         }
         // ORDERING: Relaxed — uniqueness needs atomicity only; ids carry
@@ -349,6 +440,12 @@ impl Server {
         self.max_batch
     }
 
+    /// The fitted byte-pricing model, when a
+    /// [`ServeOptions::memory_ceiling`] is configured.
+    pub fn memory_model(&self) -> Option<MemoryAdmission> {
+        self.memory
+    }
+
     /// Snapshot the tallies.
     pub fn stats(&self) -> ServeStats {
         let s = &self.shared.stats;
@@ -363,12 +460,14 @@ impl Server {
             shed_overload: get(&s.shed_overload),
             shed_deadline: get(&s.shed_deadline),
             shed_predicted: get(&s.shed_predicted),
+            shed_memory: get(&s.shed_memory),
             batches: get(&s.batches),
             batch_failures: get(&s.batch_failures),
             breaker_trips: get(&s.breaker_trips),
             breaker_recoveries: get(&s.breaker_recoveries),
             pool_rebuilds: get(&s.pool_rebuilds),
             peak_depth: get(&s.peak_depth),
+            batcher_alloc_calls: get(&s.batcher_alloc_calls),
             level: self.level(),
         }
     }
@@ -537,14 +636,38 @@ impl Engine {
 /// Copy single-image requests into one contiguous batch (the blocked
 /// layout is batch-outermost, so each image is one contiguous chunk of
 /// `channels × spatial` floats).
+#[cfg(test)]
 fn assemble(batch: &[Pending], channels: usize, dims: &[usize]) -> BlockedImage {
     let mut img = BlockedImage::zeros(batch.len(), channels, dims)
         .expect("geometry validated at submit");
+    fill_batch(&mut img, batch, channels);
+    img
+}
+
+/// Copy requests into an already-allocated batch buffer. Every image
+/// slot is fully overwritten, so a reused buffer carries no stale data.
+fn fill_batch(img: &mut BlockedImage, batch: &[Pending], channels: usize) {
     let chunk = channels * img.spatial_volume();
     let dst = img.as_mut_slice();
     for (i, p) in batch.iter().enumerate() {
         dst[i * chunk..(i + 1) * chunk].copy_from_slice(p.input.as_slice());
     }
+}
+
+/// The batcher's per-batch-size assembly buffers: allocated once per
+/// batch size ever seen (bounded by `max_batch`), reused for every
+/// subsequent batch of that size so steady-state assembly allocates
+/// nothing.
+fn assemble_cached<'a>(
+    cache: &'a mut HashMap<usize, BlockedImage>,
+    batch: &[Pending],
+    channels: usize,
+    dims: &[usize],
+) -> &'a BlockedImage {
+    let img = cache.entry(batch.len()).or_insert_with(|| {
+        BlockedImage::zeros(batch.len(), channels, dims).expect("geometry validated at submit")
+    });
+    fill_batch(img, batch, channels);
     img
 }
 
@@ -580,6 +703,7 @@ fn batcher_main(
     let breaker = &shared.breaker;
     let mut batch_id: u64 = 0;
     let stats = &shared.stats;
+    let mut assembly: HashMap<usize, BlockedImage> = HashMap::new();
 
     while let Some(batch) = shared.queue.pop_batch(max_batch, max_age) {
         // Shed requests whose deadline expired while they queued.
@@ -604,7 +728,7 @@ fn batcher_main(
         // admission heuristic; staleness is tolerated by design.
         shared.in_flight.store(live.len(), Ordering::Relaxed);
         batch_id += 1;
-        let assembled = assemble(&live, channels, &dims);
+        let assembled = assemble_cached(&mut assembly, &live, channels, &dims);
         let dispatch = Instant::now();
         let mut retries: u32 = 0;
         let outcome = loop {
@@ -616,7 +740,7 @@ fn batcher_main(
             // (e.g. from injected coordinator faults) must degrade into
             // a typed batch failure, not an abandoned queue.
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                engine.run(&assembled, level, exec.executor())
+                engine.run(assembled, level, exec.executor())
             }))
             .unwrap_or_else(|_| {
                 Err(WinoError::Pool(PoolError::Panicked {
@@ -688,6 +812,11 @@ fn batcher_main(
         }
         // ORDERING: Relaxed — advisory load-estimate output, as above.
         shared.in_flight.store(0, Ordering::Relaxed);
+        // Republish this thread's monotonic allocation tally so tests
+        // and reports can prove the hot path stopped allocating scratch.
+        // ORDERING: Relaxed — single-writer statistics; readers only
+        // compare successive values.
+        stats.batcher_alloc_calls.store(wino_simd::thread_alloc_calls(), Ordering::Relaxed);
     }
 }
 
@@ -806,6 +935,61 @@ mod tests {
         let back1 = split_one(&asm, 1);
         assert!(back0.as_slice().iter().all(|&v| v == 1.0));
         assert!(back1.as_slice().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn memory_ceiling_sheds_with_typed_pressure() {
+        let spec = spec_1layer();
+        let kernels = kernels_for(&spec);
+        // A 1-byte ceiling sheds every request before it is enqueued.
+        let opts = ServeOptions { memory_ceiling: Some(1), ..ServeOptions::default() };
+        let server = Server::start(spec.clone(), kernels.clone(), opts).unwrap();
+        let mem = server.memory_model().expect("ceiling configured");
+        assert!(mem.per_image_bytes > 0);
+        assert!(!mem.admits(1));
+        match server.submit(input(), Duration::from_secs(30)) {
+            Err(e @ ServeError::MemoryPressure { .. }) => {
+                assert!(e.is_shed(), "memory pressure is load shedding, not failure")
+            }
+            other => panic!("expected MemoryPressure, got {other:?}", other = other.err()),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.shed_memory, 1);
+        assert_eq!(stats.admitted, 0);
+
+        // A generous ceiling admits and serves normally.
+        let opts =
+            ServeOptions { memory_ceiling: Some(usize::MAX), ..ServeOptions::default() };
+        let server = Server::start(spec, kernels, opts).unwrap();
+        let resp = server.submit(input(), Duration::from_secs(30)).unwrap().wait();
+        assert!(resp.output.is_ok());
+        let stats = server.shutdown();
+        assert_eq!(stats.shed_memory, 0);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn steady_state_hot_path_allocates_outputs_only() {
+        let spec = spec_1layer();
+        let kernels = kernels_for(&spec);
+        let server = Server::start(spec, kernels, ServeOptions::default()).unwrap();
+        // Warm-up: the first request plans the network, allocates its
+        // scratch arena, memoises the kernel transforms and builds the
+        // assembly buffer.
+        server.submit(input(), Duration::from_secs(30)).unwrap().wait().output.unwrap();
+        let mut last = server.stats().batcher_alloc_calls;
+        assert!(last > 0, "warm-up must have allocated");
+        // Steady state: every round costs exactly the unavoidable
+        // output buffers — one engine output (single layer) plus one
+        // per-request split — and nothing else. A reallocating scratch
+        // arena or assembly buffer would show up as a larger delta.
+        for round in 0..6 {
+            server.submit(input(), Duration::from_secs(30)).unwrap().wait().output.unwrap();
+            let now = server.stats().batcher_alloc_calls;
+            assert_eq!(now - last, 2, "round {round} allocated scratch on the hot path");
+            last = now;
+        }
+        server.shutdown();
     }
 
     #[test]

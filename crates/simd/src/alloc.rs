@@ -1,14 +1,90 @@
-//! 64-byte aligned `f32` buffers.
+//! 64-byte aligned `f32` buffers with accounted, fallible allocation.
 //!
 //! Every array in the paper's data layout (§4.1) is 64-byte aligned "so as
 //! to facilitate the consecutive and aligned memory operations" — and the
 //! streaming stores *require* it. `Vec<f32>` only guarantees 4-byte
 //! alignment, so hot buffers use this type instead.
+//!
+//! Allocation here is the memory-robustness seam for the whole engine:
+//!
+//! * the `try_*` constructors return a typed [`AllocError`] instead of
+//!   aborting, so planners and the serving layer can degrade (smaller
+//!   tiles, im2col, shedding) instead of dying;
+//! * every allocation is tallied — a process-global live-byte gauge feeds
+//!   the `alloc-bytes-peak` probe counter and `alloc-calls` counts every
+//!   buffer ever created, so footprint models can be validated against
+//!   what was actually allocated;
+//! * under the `fault-inject` feature the `try_*` path consults the
+//!   [`crate::fault`] injector, which can deterministically fail the
+//!   k-th allocation or the first allocation past a byte budget. The
+//!   infallible wrappers never consult the injector: arming a fault can
+//!   make a `try_*` call fail, never abort the process.
 
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wino_probe::Counter;
 
 use crate::CACHE_LINE;
+
+/// Bytes of [`AlignedVec`] storage currently live, process-wide.
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Per-thread allocation tallies: deterministic even while unrelated
+    // test threads allocate, which the process-global counters are not.
+    static THREAD_ALLOC_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static THREAD_ALLOC_BYTES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Bytes of [`AlignedVec`] storage currently live across the process —
+/// the gauge behind the `alloc-bytes-peak` counter.
+pub fn live_alloc_bytes() -> u64 {
+    // ORDERING: Relaxed — a monitoring gauge; readers tolerate staleness.
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// [`AlignedVec`] allocations made *by the calling thread* since it
+/// started. Monotonic; diff two readings to count allocations in a
+/// region. Unlike the process-global `alloc-calls` counter this is
+/// immune to concurrent threads, so tests can assert exact deltas.
+pub fn thread_alloc_calls() -> u64 {
+    THREAD_ALLOC_CALLS.with(|c| c.get())
+}
+
+/// Bytes allocated by the calling thread since it started (monotonic —
+/// frees are not subtracted; diff two readings around a region).
+pub fn thread_alloc_bytes() -> u64 {
+    THREAD_ALLOC_BYTES.with(|c| c.get())
+}
+
+/// A typed allocation failure: the allocator refused `bytes` (or the
+/// fault injector simulated the refusal — `injected` says which).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocError {
+    /// Requested length in `f32` elements.
+    pub len: usize,
+    /// Requested size in bytes.
+    pub bytes: usize,
+    /// True when the failure came from the fault injector rather than
+    /// the system allocator.
+    pub injected: bool,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "allocation of {} bytes ({} f32) failed{}",
+            self.bytes,
+            self.len,
+            if self.injected { " (injected)" } else { "" }
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
 
 /// A fixed-length, zero-initialised, 64-byte aligned buffer of `f32`.
 ///
@@ -26,19 +102,79 @@ unsafe impl Send for AlignedVec {}
 // SAFETY: as above — mutation requires &mut, so shared access is read-only.
 unsafe impl Sync for AlignedVec {}
 
+/// Record a successful allocation of `bytes` in the process gauge, the
+/// probe counters and the per-thread tallies.
+fn account(bytes: usize) {
+    Counter::AllocCalls.add(1);
+    // ORDERING: Relaxed — a statistics gauge; each RMW is atomic and the
+    // peak estimate needs no cross-variable ordering.
+    let live = LIVE_BYTES.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    Counter::AllocBytesPeak.record_max(live);
+    THREAD_ALLOC_CALLS.with(|c| c.set(c.get() + 1));
+    THREAD_ALLOC_BYTES.with(|c| c.set(c.get() + bytes as u64));
+}
+
+/// One fallible allocation. `injectable` is true only on the `try_*`
+/// path: the infallible wrappers skip the fault injector so arming a
+/// fault can never abort the process through them.
+fn try_alloc(len: usize, zeroed: bool, injectable: bool) -> Result<AlignedVec, AllocError> {
+    if len == 0 {
+        return Ok(AlignedVec { ptr: std::ptr::NonNull::<f32>::dangling().as_ptr(), len: 0 });
+    }
+    let layout = AlignedVec::layout(len);
+    let bytes = layout.size();
+    #[cfg(feature = "fault-inject")]
+    if injectable && crate::fault::should_fail(bytes) {
+        return Err(AllocError { len, bytes, injected: true });
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = injectable;
+    // SAFETY: layout has non-zero size here.
+    let ptr = unsafe { if zeroed { alloc_zeroed(layout) } else { std::alloc::alloc(layout) } }
+        as *mut f32;
+    if ptr.is_null() {
+        return Err(AllocError { len, bytes, injected: false });
+    }
+    account(bytes);
+    Ok(AlignedVec { ptr, len })
+}
+
 impl AlignedVec {
+    /// Allocate `len` floats, zero-filled and 64-byte aligned, or return
+    /// a typed [`AllocError`] — never aborts. Does not consult the fault
+    /// injector's byte/call budget beyond... it *is* the injectable seam:
+    /// an armed injector fails this call with `injected: true`.
+    pub fn try_zeroed(len: usize) -> Result<AlignedVec, AllocError> {
+        try_alloc(len, true, true)
+    }
+
+    /// Fallible variant of [`AlignedVec::uninit`].
+    ///
+    /// # Safety
+    /// Every element must be written (e.g. zeroed) before the buffer is
+    /// read or exposed to safe code.
+    pub unsafe fn try_uninit(len: usize) -> Result<AlignedVec, AllocError> {
+        try_alloc(len, false, true)
+    }
+
+    /// Allocate `len` floats (zeroed), then run `init` on the fresh
+    /// slice — the fallible generalisation of [`AlignedVec::from_slice`].
+    pub fn try_with(
+        len: usize,
+        init: impl FnOnce(&mut [f32]),
+    ) -> Result<AlignedVec, AllocError> {
+        let mut v = Self::try_zeroed(len)?;
+        init(v.as_mut_slice());
+        Ok(v)
+    }
+
     /// Allocate `len` floats, zero-filled and 64-byte aligned.
+    ///
+    /// Thin wrapper over [`AlignedVec::try_zeroed`] that aborts on a real
+    /// OOM (the historical behaviour). It never consults the fault
+    /// injector, so armed faults cannot abort through it.
     pub fn zeroed(len: usize) -> AlignedVec {
-        if len == 0 {
-            return AlignedVec { ptr: std::ptr::NonNull::<f32>::dangling().as_ptr(), len: 0 };
-        }
-        let layout = Self::layout(len);
-        // SAFETY: layout has non-zero size here.
-        let ptr = unsafe { alloc_zeroed(layout) } as *mut f32;
-        if ptr.is_null() {
-            handle_alloc_error(layout);
-        }
-        AlignedVec { ptr, len }
+        try_alloc(len, true, false).unwrap_or_else(|_| handle_alloc_error(Self::layout(len)))
     }
 
     /// Allocate `len` floats, 64-byte aligned, **uninitialised** — the
@@ -54,16 +190,7 @@ impl AlignedVec {
     /// read or exposed to safe code — the contents start out uninitialised
     /// and reading them is undefined behaviour.
     pub unsafe fn uninit(len: usize) -> AlignedVec {
-        if len == 0 {
-            return AlignedVec { ptr: std::ptr::NonNull::<f32>::dangling().as_ptr(), len: 0 };
-        }
-        let layout = Self::layout(len);
-        // SAFETY: layout has non-zero size here.
-        let ptr = unsafe { std::alloc::alloc(layout) } as *mut f32;
-        if ptr.is_null() {
-            handle_alloc_error(layout);
-        }
-        AlignedVec { ptr, len }
+        try_alloc(len, false, false).unwrap_or_else(|_| handle_alloc_error(Self::layout(len)))
     }
 
     /// Allocate and fill from a slice.
@@ -76,6 +203,11 @@ impl AlignedVec {
     fn layout(len: usize) -> Layout {
         Layout::from_size_align(len * std::mem::size_of::<f32>(), CACHE_LINE)
             .expect("buffer too large")
+    }
+
+    /// Size of the backing allocation in bytes.
+    pub fn bytes(&self) -> usize {
+        self.len * std::mem::size_of::<f32>()
     }
 
     pub fn len(&self) -> usize {
@@ -113,7 +245,9 @@ impl AlignedVec {
 impl Drop for AlignedVec {
     fn drop(&mut self) {
         if self.len != 0 {
-            // SAFETY: allocated with the identical layout in `zeroed`.
+            // ORDERING: Relaxed — statistics gauge decrement, as in `account`.
+            LIVE_BYTES.fetch_sub(self.bytes() as u64, Ordering::Relaxed);
+            // SAFETY: allocated with the identical layout in `try_alloc`.
             unsafe { dealloc(self.ptr as *mut u8, Self::layout(self.len)) };
         }
     }
@@ -191,5 +325,47 @@ mod tests {
             let v = AlignedVec::zeroed(4096);
             std::hint::black_box(&v);
         }
+    }
+
+    #[test]
+    fn try_constructors_match_infallible_ones() {
+        let v = AlignedVec::try_zeroed(64).unwrap();
+        assert_eq!(v.len(), 64);
+        assert_eq!(v.as_ptr() as usize % 64, 0);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.bytes(), 256);
+
+        let w = AlignedVec::try_with(8, |s| {
+            for (i, x) in s.iter_mut().enumerate() {
+                *x = i as f32;
+            }
+        })
+        .unwrap();
+        assert_eq!(w.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+
+        // SAFETY: fully overwritten before any read below.
+        let mut u = unsafe { AlignedVec::try_uninit(16) }.unwrap();
+        u.fill_zero();
+        assert!(u.iter().all(|&x| x == 0.0));
+
+        assert!(AlignedVec::try_zeroed(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn allocations_are_tallied() {
+        let calls0 = thread_alloc_calls();
+        let bytes0 = thread_alloc_bytes();
+        let v = AlignedVec::try_zeroed(1024); // 4096 bytes
+        assert_eq!(thread_alloc_calls(), calls0 + 1);
+        assert_eq!(thread_alloc_bytes(), bytes0 + 4096);
+        // The process-wide gauge counts our buffer (plus whatever sibling
+        // test threads hold — it can only be checked as a lower bound).
+        assert!(live_alloc_bytes() >= 4096);
+        drop(v);
+        // Zero-length buffers are free and uncounted.
+        let _e = AlignedVec::try_zeroed(0).unwrap();
+        assert_eq!(thread_alloc_calls(), calls0 + 1);
+        // The process-global counter moved too (≥, because of siblings).
+        assert!(wino_probe::Counter::AllocCalls.get() >= 1);
     }
 }

@@ -27,7 +27,12 @@
 //!   (§4.1).
 
 mod alloc;
-pub use alloc::AlignedVec;
+pub use alloc::{
+    live_alloc_bytes, thread_alloc_bytes, thread_alloc_calls, AlignedVec, AllocError,
+};
+
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 
 pub mod denormals;
 pub use denormals::FlushDenormals;

@@ -17,7 +17,7 @@
 #![allow(clippy::needless_range_loop)]
 use wino_simd::{AlignedVec, S};
 
-use crate::{flat_index, volume, ShapeError, SimpleImage, SimpleKernels};
+use crate::{flat_index, volume, ShapeError, SimpleImage, SimpleKernels, TensorError};
 
 /// A batch of images in blocked layout `[B][C/S][spatial…][S]`.
 #[derive(Clone, Debug)]
@@ -32,7 +32,10 @@ impl BlockedImage {
     /// Zero-filled blocked image batch. `channels` must be a multiple of
     /// `S` (asserted by the paper for all modern ConvNets).
     pub fn zeros(batch: usize, channels: usize, dims: &[usize]) -> Result<Self, ShapeError> {
-        Self::zeros_with(batch, channels, dims, AlignedVec::zeroed)
+        let len = Self::validate(batch, channels, dims)?;
+        // ALLOC: the infallible half of the constructor pair;
+        // memory-accounted callers route through `try_zeros` below.
+        Ok(Self::assemble(batch, channels, dims, AlignedVec::zeroed(len)))
     }
 
     /// As [`Self::zeros`], but the buffer is zeroed — and therefore
@@ -45,29 +48,55 @@ impl BlockedImage {
         dims: &[usize],
         exec: &dyn wino_sched::Executor,
     ) -> Result<Self, ShapeError> {
-        Self::zeros_with(batch, channels, dims, |len| {
-            crate::first_touch::zeroed_first_touch(len, exec)
-        })
+        let len = Self::validate(batch, channels, dims)?;
+        // ALLOC: infallible first-touch half; `try_zeros_first_touch` is
+        // the accounted path.
+        let data = crate::first_touch::zeroed_first_touch(len, exec);
+        Ok(Self::assemble(batch, channels, dims, data))
     }
 
-    fn zeros_with(
+    /// Fallible [`Self::zeros`]: a typed [`TensorError::Alloc`] instead of
+    /// an abort when the allocator refuses the buffer.
+    pub fn try_zeros(
         batch: usize,
         channels: usize,
         dims: &[usize],
-        alloc: impl FnOnce(usize) -> AlignedVec,
-    ) -> Result<Self, ShapeError> {
+    ) -> Result<Self, TensorError> {
+        let len = Self::validate(batch, channels, dims)?;
+        let data = AlignedVec::try_zeroed(len)?;
+        Ok(Self::assemble(batch, channels, dims, data))
+    }
+
+    /// Fallible [`Self::zeros_first_touch`].
+    pub fn try_zeros_first_touch(
+        batch: usize,
+        channels: usize,
+        dims: &[usize],
+        exec: &dyn wino_sched::Executor,
+    ) -> Result<Self, TensorError> {
+        let len = Self::validate(batch, channels, dims)?;
+        let data = crate::first_touch::try_zeroed_first_touch(len, exec)?;
+        Ok(Self::assemble(batch, channels, dims, data))
+    }
+
+    /// Bytes a `zeros(batch, channels, dims)` image allocates — the
+    /// analytic side of the memory-footprint model.
+    pub fn bytes_for(batch: usize, channels: usize, dims: &[usize]) -> usize {
+        batch * channels * volume(dims) * std::mem::size_of::<f32>()
+    }
+
+    fn validate(batch: usize, channels: usize, dims: &[usize]) -> Result<usize, ShapeError> {
         if channels == 0 || !channels.is_multiple_of(S) {
             return Err(ShapeError::ChannelsNotVectorMultiple { channels });
         }
         if batch == 0 || dims.contains(&0) {
             return Err(ShapeError::ZeroDim);
         }
-        Ok(BlockedImage {
-            batch,
-            channels,
-            dims: dims.to_vec(),
-            data: alloc(batch * channels * volume(dims)),
-        })
+        Ok(batch * channels * volume(dims))
+    }
+
+    fn assemble(batch: usize, channels: usize, dims: &[usize], data: AlignedVec) -> Self {
+        BlockedImage { batch, channels, dims: dims.to_vec(), data }
     }
 
     #[inline]
@@ -254,18 +283,45 @@ impl BlockedKernels {
         out_channels: usize,
         dims: &[usize],
     ) -> Result<Self, ShapeError> {
+        let len = Self::validate(in_channels, out_channels, dims)?;
+        Ok(BlockedKernels {
+            in_channels,
+            out_channels,
+            dims: dims.to_vec(),
+            // ALLOC: infallible constructor half; `try_zeros` below is
+            // the accounted path.
+            data: AlignedVec::zeroed(len),
+        })
+    }
+
+    /// Fallible [`Self::zeros`]: a typed [`TensorError::Alloc`] instead of
+    /// an abort when the allocator refuses the buffer.
+    pub fn try_zeros(
+        in_channels: usize,
+        out_channels: usize,
+        dims: &[usize],
+    ) -> Result<Self, TensorError> {
+        let len = Self::validate(in_channels, out_channels, dims)?;
+        Ok(BlockedKernels {
+            in_channels,
+            out_channels,
+            dims: dims.to_vec(),
+            data: AlignedVec::try_zeroed(len)?,
+        })
+    }
+
+    fn validate(
+        in_channels: usize,
+        out_channels: usize,
+        dims: &[usize],
+    ) -> Result<usize, ShapeError> {
         if out_channels == 0 || !out_channels.is_multiple_of(S) {
             return Err(ShapeError::ChannelsNotVectorMultiple { channels: out_channels });
         }
         if in_channels == 0 || dims.contains(&0) {
             return Err(ShapeError::ZeroDim);
         }
-        Ok(BlockedKernels {
-            in_channels,
-            out_channels,
-            dims: dims.to_vec(),
-            data: AlignedVec::zeroed(in_channels * out_channels * volume(dims)),
-        })
+        Ok(in_channels * out_channels * volume(dims))
     }
 
     #[inline]

@@ -19,7 +19,7 @@
 //! initialised regardless of executor health.
 
 use wino_sched::Executor;
-use wino_simd::AlignedVec;
+use wino_simd::{AlignedVec, AllocError};
 
 /// Floats per first-touch grid cell: 64 Ki floats = 256 KiB, a few pages
 /// past any huge-page boundary so placement tracks the partition at page
@@ -44,7 +44,25 @@ pub fn zeroed_first_touch(len: usize, exec: &dyn Executor) -> AlignedVec {
     // SAFETY: every element is written below before the buffer is
     // returned: either by the grid tasks covering [0, len) exactly, or by
     // the serial `fill_zero` fallback when the grid reports any failure.
-    let mut v = unsafe { AlignedVec::uninit(len) };
+    let v = unsafe { AlignedVec::uninit(len) };
+    touch(v, len, exec)
+}
+
+/// Fallible [`zeroed_first_touch`]: a typed [`AllocError`] instead of an
+/// abort when the allocator refuses the buffer.
+pub fn try_zeroed_first_touch(len: usize, exec: &dyn Executor) -> Result<AlignedVec, AllocError> {
+    if len == 0 || exec.threads() <= 1 {
+        return AlignedVec::try_zeroed(len);
+    }
+    // SAFETY: `touch` writes every element (grid tasks covering [0, len)
+    // exactly, or the serial re-zero fallback) before returning.
+    let v = unsafe { AlignedVec::try_uninit(len) }?;
+    Ok(touch(v, len, exec))
+}
+
+/// Zero `v` through `exec` so each region is first written by the thread
+/// the partitioner will steer at it; serial re-zero on executor failure.
+fn touch(mut v: AlignedVec, len: usize, exec: &dyn Executor) -> AlignedVec {
     let ptr = MutPtr(v.as_mut_ptr());
     // Borrow the Sync wrapper (not its raw-pointer field) so the closure's
     // capture is `&MutPtr`, which is shareable across the pool's threads.

@@ -27,13 +27,16 @@ pub mod matrices;
 pub mod simple;
 
 pub use blocked::{BlockedImage, BlockedKernels};
-pub use first_touch::zeroed_first_touch;
+pub use first_touch::{try_zeroed_first_touch, zeroed_first_touch};
 pub use geometry::{ConvGeometry, ConvShape, TileGrid};
 pub use matrices::BlockedMatrices;
 pub use simple::{SimpleImage, SimpleKernels};
 
 /// The channel-block width: one vector register of `f32` (paper's `S`).
 pub use wino_simd::S;
+/// Re-exported so tensor consumers can match allocation failures without
+/// depending on `wino-simd` directly.
+pub use wino_simd::AllocError;
 
 /// Errors for shape construction and conversion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +86,48 @@ impl std::fmt::Display for ShapeError {
 }
 
 impl std::error::Error for ShapeError {}
+
+/// A fallible-constructor failure: either the requested shape is invalid
+/// or the allocator refused the backing buffer. Only the `try_*`
+/// constructors return this — the infallible ones keep [`ShapeError`]
+/// and abort on OOM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TensorError {
+    /// The requested shape is unrepresentable.
+    Shape(ShapeError),
+    /// The allocator (or the fault injector) refused the backing buffer.
+    Alloc(AllocError),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::Shape(e) => write!(f, "{e}"),
+            TensorError::Alloc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TensorError::Shape(e) => Some(e),
+            TensorError::Alloc(e) => Some(e),
+        }
+    }
+}
+
+impl From<ShapeError> for TensorError {
+    fn from(e: ShapeError) -> Self {
+        TensorError::Shape(e)
+    }
+}
+
+impl From<AllocError> for TensorError {
+    fn from(e: AllocError) -> Self {
+        TensorError::Alloc(e)
+    }
+}
 
 /// Product of a dimension list.
 #[inline]

@@ -42,7 +42,10 @@ impl BlockedMatrices {
     /// Allocate (zero-filled). `cols` must be divisible by `cb`, and `cb`
     /// by the vector width `S` so that column groups are vector-aligned.
     pub fn new(t_count: usize, rows: usize, cols: usize, rb: usize, cb: usize) -> Self {
-        Self::new_with(t_count, rows, cols, rb, cb, AlignedVec::zeroed)
+        let len = Self::validate(t_count, rows, cols, rb, cb);
+        // ALLOC: the infallible half of the constructor pair;
+        // memory-accounted callers route through `try_new` below.
+        Self::assemble(t_count, rows, cols, rb, cb, AlignedVec::zeroed(len))
     }
 
     /// As [`Self::new`], but the backing buffer is zeroed — and therefore
@@ -56,34 +59,82 @@ impl BlockedMatrices {
         cb: usize,
         exec: &dyn wino_sched::Executor,
     ) -> Self {
-        Self::new_with(t_count, rows, cols, rb, cb, |len| {
-            crate::first_touch::zeroed_first_touch(len, exec)
-        })
+        let len = Self::validate(t_count, rows, cols, rb, cb);
+        // ALLOC: infallible first-touch half; `try_new_first_touch` is the
+        // accounted path.
+        let data = crate::first_touch::zeroed_first_touch(len, exec);
+        Self::assemble(t_count, rows, cols, rb, cb, data)
     }
 
-    fn new_with(
+    /// Fallible [`Self::new`]: a typed [`wino_simd::AllocError`] instead
+    /// of an abort when the allocator refuses the buffer. Shape
+    /// constraints remain assertions — they are planner invariants, not
+    /// runtime conditions.
+    pub fn try_new(
         t_count: usize,
         rows: usize,
         cols: usize,
         rb: usize,
         cb: usize,
-        alloc: impl FnOnce(usize) -> AlignedVec,
-    ) -> Self {
+    ) -> Result<Self, wino_simd::AllocError> {
+        let len = Self::validate(t_count, rows, cols, rb, cb);
+        Ok(Self::assemble(t_count, rows, cols, rb, cb, AlignedVec::try_zeroed(len)?))
+    }
+
+    /// Fallible [`Self::new_first_touch`].
+    pub fn try_new_first_touch(
+        t_count: usize,
+        rows: usize,
+        cols: usize,
+        rb: usize,
+        cb: usize,
+        exec: &dyn wino_sched::Executor,
+    ) -> Result<Self, wino_simd::AllocError> {
+        let len = Self::validate(t_count, rows, cols, rb, cb);
+        let data = crate::first_touch::try_zeroed_first_touch(len, exec)?;
+        Ok(Self::assemble(t_count, rows, cols, rb, cb, data))
+    }
+
+    /// A zero-sized stand-in for temporarily moving a real buffer out of
+    /// a struct field (`std::mem::replace`). Allocates nothing — a
+    /// zero-length [`AlignedVec`] is a dangling pointer, never touched.
+    /// Any attempt to index it panics, so accidental use is loud.
+    pub fn placeholder() -> Self {
+        // ALLOC: zero-length — a dangling aligned pointer, no allocator
+        // call, nothing to account.
+        Self::assemble(0, 0, 0, 1, 16, AlignedVec::zeroed(0))
+    }
+
+    /// Bytes a `new(t_count, rows, cols, rb, cb)` instance allocates —
+    /// the analytic side of the memory-footprint model.
+    pub fn bytes_for(t_count: usize, rows: usize, cols: usize, rb: usize, cb: usize) -> usize {
+        div_ceil(rows, rb) * (cols / cb) * t_count * rb * cb * std::mem::size_of::<f32>()
+    }
+
+    fn validate(t_count: usize, rows: usize, cols: usize, rb: usize, cb: usize) -> usize {
         assert!(rb > 0 && cb > 0 && t_count > 0 && rows > 0 && cols > 0);
         assert_eq!(cols % cb, 0, "cols ({cols}) must be divisible by cb ({cb})");
         assert_eq!(cb % S, 0, "cb ({cb}) must be divisible by the vector width {S}");
-        let row_blocks = div_ceil(rows, rb);
-        let col_blocks = cols / cb;
-        let len = row_blocks * col_blocks * t_count * rb * cb;
+        div_ceil(rows, rb) * (cols / cb) * t_count * rb * cb
+    }
+
+    fn assemble(
+        t_count: usize,
+        rows: usize,
+        cols: usize,
+        rb: usize,
+        cb: usize,
+        data: AlignedVec,
+    ) -> Self {
         BlockedMatrices {
             t_count,
             rows,
             cols,
             rb,
             cb,
-            row_blocks,
-            col_blocks,
-            data: alloc(len),
+            row_blocks: div_ceil(rows, rb),
+            col_blocks: cols / cb,
+            data,
         }
     }
 

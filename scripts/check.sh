@@ -100,6 +100,12 @@ scripts/bench.sh --smoke
 # skew under the probe budget (docs/scaling.md).
 scripts/bench.sh --scaling-smoke
 
+# Memory-accounting gate: the analytic `MemoryFootprint` model must
+# price the allocator's real traffic within 10% — the per-component
+# exact-match unit tests plus the end-to-end cold-start prediction test
+# (plan + kernel memoisation + forward) in wino-conv.
+run "$TEST_TIMEOUT" cargo test --offline -q -p wino-conv footprint
+
 # Serving gate: a fault-injected overload soak — ≥10k requests fired at
 # ~2× the measured sustainable rate, with worker panics, barrier stalls
 # and poisoned stages armed throughout the first half. The binary itself
@@ -108,10 +114,34 @@ scripts/bench.sh --scaling-smoke
 # AND full recovery, pool rebuilds, admitted p99 within deadline) and
 # exits non-zero on any violation; the emitted BENCH_serve.json must
 # then validate against the same versioned schema as the perf reports.
+# stderr is captured (and replayed) so the rlimit gate below can parse
+# the `# modeled_footprint_bytes` line.
 run "$TEST_TIMEOUT" cargo run --offline --release -q -p wino-bench \
     --features fault-inject --bin serve_load -- \
-    --soak --requests 10000 --out target/BENCH_serve.json
+    --soak --requests 10000 --out target/BENCH_serve.json \
+    2> target/serve_load.stderr \
+    || { cat target/serve_load.stderr >&2; exit 1; }
+cat target/serve_load.stderr >&2
 run "$TEST_TIMEOUT" cargo run --offline --release -q -p wino-bench --bin perf -- \
     --validate target/BENCH_serve.json
+
+# Rlimit gate: replay the soak under a hard address-space cap sized from
+# the modeled footprint — 1.5× modeled plus a fixed 1 GiB of headroom
+# for the process image, thread stacks and allocator arenas
+# (MALLOC_ARENA_MAX bounds glibc's per-arena VA reservations) — with
+# byte-budget admission engaged. The contract: zero aborts under the
+# cap (any allocation refusal must surface as a typed outcome, walked
+# through the memory ladder), and the report must still validate. The
+# serve_load binary was just built with fault-inject by the soak above.
+modeled=$(awk '/^# modeled_footprint_bytes /{print $3}' target/serve_load.stderr | tail -n 1)
+[ -n "$modeled" ] && [ "$modeled" -gt 0 ]
+cap_kib=$(( (modeled * 3 / 2 + 1073741824) / 1024 ))
+echo "==> rlimit soak: modeled ${modeled} B, ulimit -v ${cap_kib} KiB"
+run "$TEST_TIMEOUT" env MALLOC_ARENA_MAX=2 bash -c \
+    "ulimit -v $cap_kib; exec target/release/serve_load \
+     --soak --requests 10000 --memory-ceiling-mib 64 \
+     --out target/BENCH_serve_rlimit.json"
+run "$TEST_TIMEOUT" cargo run --offline --release -q -p wino-bench --bin perf -- \
+    --validate target/BENCH_serve_rlimit.json
 
 echo "All checks passed."

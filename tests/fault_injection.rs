@@ -409,6 +409,204 @@ fn persistent_corruption_falls_through_demotion_to_im2col() {
     fault::reset();
 }
 
+// ---------------------------------------------------------------------------
+// OOM battery: injected allocation refusals (`wino_simd::fault`) against
+// every layer of the resource-exhaustion story — plan-time accounting,
+// the run-time memory ladder, and the serving hot path. The memory
+// injector is process-global like the worker-fault hooks, so these tests
+// share [`fault::test_lock`].
+// ---------------------------------------------------------------------------
+
+use winograd_nd_repro::conv::{MemoryBudget, PlanError};
+use winograd_nd_repro::simd::fault as mem_fault;
+
+/// Plan-time memory accounting: a budget no tile can meet degrades the
+/// layer to im2col under the permissive policy (with the pressure visible
+/// as `FallbackReason::Memory`), and is a typed `PlanError::MemoryBudget`
+/// under the strict one. No injector involved — this is the analytic
+/// model refusing, not the allocator.
+#[test]
+fn oom_at_plan_time_degrades_or_fails_typed() {
+    let _guard = fault::test_lock();
+    fault::reset();
+    mem_fault::reset();
+
+    let opts = ConvOptions {
+        memory: Some(MemoryBudget::new(1).with_threads(THREADS)),
+        ..ConvOptions::default()
+    };
+
+    // Strict: the budget miss is a typed plan failure.
+    let err = match Network::with_policy(
+        1, 16, &[8, 8], &[spec(&[2, 2])], opts, THREADS, &FallbackPolicy::strict(),
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("1-byte budget must not plan strictly"),
+    };
+    assert!(
+        matches!(err, PlanError::MemoryBudget { need_bytes, budget_bytes }
+            if need_bytes > budget_bytes && budget_bytes == 1),
+        "expected MemoryBudget, got {err:?}"
+    );
+
+    // Permissive: planned as im2col, pressure recorded, output correct.
+    let mut net = Network::with_policy(
+        1, 16, &[8, 8], &[spec(&[2, 2])], opts, THREADS, &FallbackPolicy::default(),
+    )
+    .expect("permissive policy must absorb the budget miss");
+    let (input, kernels) = test_data();
+    let (out, report) = net
+        .run_layer(0, &input, &kernels, &SerialExecutor, &FallbackPolicy::default())
+        .expect("im2col-planned layer must run");
+    assert_eq!(report.backend, LayerBackend::Im2col);
+    assert!(
+        matches!(report.fallback, Some(FallbackReason::Memory { bytes }) if bytes > 1),
+        "report must carry the memory reason, got {:?}",
+        report.fallback
+    );
+    assert_close(&out, &clean_reference(&[2, 2]), 1e-4, "budget-degraded layer");
+}
+
+/// Refused allocations during network construction hit only the scratch
+/// pre-seeding, which is an optimisation: planning succeeds, the slots
+/// stay empty, and the first forward after pressure lifts rebuilds them
+/// and runs clean.
+#[test]
+fn oom_during_plan_seeding_is_deferred_not_fatal() {
+    let _guard = fault::test_lock();
+    fault::reset();
+    mem_fault::reset();
+
+    mem_fault::arm_fail_every(1, u32::MAX);
+    let mut net = test_net(&[2, 2], &FallbackPolicy::default());
+    let refused = mem_fault::injected_failures();
+    assert!(refused > 0, "seeding must have consulted the armed injector");
+    mem_fault::reset();
+
+    let (input, kernels) = test_data();
+    let (out, report) = net
+        .run_layer(0, &input, &kernels, &SerialExecutor, &FallbackPolicy::default())
+        .expect("pressure lifted: the unseeded net must run");
+    assert_eq!(report.backend, LayerBackend::WinogradMono);
+    assert_eq!(report.fallback, None);
+    assert_close(&out, &clean_reference(&[2, 2]), 1e-5, "post-seeding-refusal run");
+}
+
+/// The run-time degradation ladder, rung by rung: each additional
+/// injected failure pushes the outcome one step further down — larger-`m`
+/// re-tile (`WinogradDemoted`), then the im2col rescue, then the typed
+/// `WinoError::Alloc`. The outcome class must be monotone in the shot
+/// count, every rung must be reachable, and each successful rescue must
+/// still be numerically correct.
+#[test]
+fn oom_ladder_depth_tracks_shot_count() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    let reference = clean_reference(&[2, 2]);
+    let policy = FallbackPolicy::default();
+    // 0 = demoted re-tile, 1 = im2col rescue, 2 = typed failure.
+    let mut classes = Vec::new();
+    for shots in 1..=8u32 {
+        mem_fault::reset();
+        let mut net = test_net(&[2, 2], &policy);
+        let (input, kernels) = test_data();
+        let demotions = Counter::MemoryDemotions.get();
+        let rescues = Counter::MemoryRescues.get();
+        mem_fault::arm_fail_every(1, shots);
+        let class = match net.run_layer(0, &input, &kernels, &SerialExecutor, &policy) {
+            Ok((out, report)) => {
+                assert!(
+                    matches!(report.fallback, Some(FallbackReason::Memory { .. })),
+                    "shots={shots}: survivors must report the memory reason, got {:?}",
+                    report.fallback
+                );
+                match report.backend {
+                    LayerBackend::WinogradDemoted => {
+                        assert!(
+                            Counter::MemoryDemotions.get() > demotions,
+                            "shots={shots}: demotion must be counted"
+                        );
+                        // Looser than the other rescues: the memory
+                        // ladder re-tiles towards *larger* m (up to
+                        // F(8,3)), whose transforms are markedly less
+                        // accurate than the m=2 reference.
+                        assert_close(&out, &reference, 1e-2, "demoted re-tile");
+                        0
+                    }
+                    LayerBackend::Im2col => {
+                        assert!(
+                            Counter::MemoryRescues.get() > rescues,
+                            "shots={shots}: rescue must be counted"
+                        );
+                        assert_close(&out, &reference, 1e-4, "im2col rescue");
+                        1
+                    }
+                    other => panic!("shots={shots}: unexpected backend {other:?}"),
+                }
+            }
+            Err(WinoError::Alloc(cause)) => {
+                assert!(cause.injected, "shots={shots}: failure must be the injected one");
+                2
+            }
+            Err(other) => panic!("shots={shots}: expected Alloc, got {other:?}"),
+        };
+        assert_eq!(
+            mem_fault::injected_failures().min(1),
+            1,
+            "shots={shots}: at least one shot must have landed"
+        );
+        classes.push(class);
+        mem_fault::reset();
+    }
+    assert_eq!(classes[0], 0, "one refusal must be absorbed by a re-tile: {classes:?}");
+    assert!(classes.contains(&1), "the im2col rung must be reachable: {classes:?}");
+    assert_eq!(*classes.last().unwrap(), 2, "total pressure must fail typed: {classes:?}");
+    assert!(
+        classes.windows(2).all(|w| w[0] <= w[1]),
+        "ladder depth must be monotone in shot count: {classes:?}"
+    );
+
+    // Under total pressure with every rescue disabled, the very first
+    // refusal is the typed error — no ladder, no abort.
+    mem_fault::reset();
+    let strict = FallbackPolicy::strict();
+    let mut net = test_net(&[2, 2], &strict);
+    let (input, kernels) = test_data();
+    mem_fault::arm_fail_every(1, u32::MAX);
+    let err = net
+        .run_layer(0, &input, &kernels, &SerialExecutor, &strict)
+        .expect_err("strict policy must surface the refusal");
+    assert!(matches!(err, WinoError::Alloc(c) if c.injected), "got {err:?}");
+    assert_eq!(mem_fault::injected_failures(), 1, "strict path stops at the first shot");
+    mem_fault::reset();
+}
+
+/// Negative control: with the injector disarmed the identical layer runs
+/// clean — no fallback, no ladder counters, zero injected failures. This
+/// is what makes the battery's positive results attributable to the
+/// injector rather than ambient allocator behaviour.
+#[test]
+fn oom_injection_disarmed_is_a_clean_run() {
+    let _guard = fault::test_lock();
+    fault::reset();
+    mem_fault::reset();
+
+    let demotions = Counter::MemoryDemotions.get();
+    let rescues = Counter::MemoryRescues.get();
+    let mut net = test_net(&[2, 2], &FallbackPolicy::default());
+    let (input, kernels) = test_data();
+    let (out, report) = net
+        .run_layer(0, &input, &kernels, &SerialExecutor, &FallbackPolicy::default())
+        .expect("clean run");
+    assert_eq!(report.backend, LayerBackend::WinogradMono);
+    assert_eq!(report.fallback, None);
+    assert_eq!(mem_fault::injected_failures(), 0);
+    assert_eq!(Counter::MemoryDemotions.get(), demotions);
+    assert_eq!(Counter::MemoryRescues.get(), rescues);
+    assert_close(&out, &clean_reference(&[2, 2]), 1e-5, "disarmed control");
+}
+
 /// Denormal storm under the serial executor: the coordinator thread *is*
 /// the compute thread, so the FTZ/DAZ guard engaged by the execution
 /// layer covers all stage arithmetic. The storm's subnormals are still

@@ -294,6 +294,120 @@ mod faults {
         ServeOptions { threads: THREADS, ..Default::default() }
     }
 
+    /// Multi-producer conservation under byte-budget pressure: a ceiling
+    /// admitting only a few concurrent images, four producers hoarding
+    /// tickets. Every submission still resolves to exactly one typed
+    /// outcome, the client-side `MemoryPressure` tally reconciles with
+    /// the server's `shed_memory`, and the server keeps completing work
+    /// throughout — pressure sheds load, it never wedges the pipeline.
+    #[test]
+    fn memory_pressure_conserves_outcomes_across_producers() {
+        let _guard = fault::test_lock();
+        fault::reset();
+        winograd_nd_repro::simd::fault::reset();
+
+        // Fit the byte-pricing model once (uncapped throwaway server),
+        // then cap the real server at three concurrent images.
+        let (spec, kernels) = model();
+        let probe_opts =
+            ServeOptions { memory_ceiling: Some(usize::MAX), ..ServeOptions::default() };
+        let probe = Server::start(spec.clone(), kernels.clone(), probe_opts).unwrap();
+        let ceiling = probe.memory_model().expect("model fitted").need_bytes(3);
+        probe.shutdown();
+
+        let opts = ServeOptions { memory_ceiling: Some(ceiling), ..ServeOptions::default() };
+        let server = std::sync::Arc::new(Server::start(spec, kernels, opts).unwrap());
+
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 64;
+        let mut handles = Vec::new();
+        for _ in 0..PRODUCERS {
+            let server = std::sync::Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                // Hoard tickets: submit the whole burst before waiting, so
+                // queued work keeps the modeled footprint above the line.
+                let (mut tickets, mut mem_shed, mut other_shed) = (Vec::new(), 0u64, 0u64);
+                for _ in 0..PER_PRODUCER {
+                    match server.submit(request(), Duration::from_secs(30)) {
+                        Ok(t) => tickets.push(t),
+                        Err(ServeError::MemoryPressure { need_bytes, ceiling_bytes }) => {
+                            assert!(need_bytes > ceiling_bytes);
+                            mem_shed += 1;
+                        }
+                        Err(e) => {
+                            assert!(e.is_shed(), "only load shedding is acceptable: {e}");
+                            other_shed += 1;
+                        }
+                    }
+                }
+                let mut ok = 0u64;
+                for t in tickets {
+                    let resp = t.wait();
+                    assert!(resp.output.is_ok(), "admitted ⇒ served: {:?}", resp.output.err());
+                    ok += 1;
+                }
+                (ok, mem_shed, other_shed)
+            }));
+        }
+        let (mut ok, mut mem_shed, mut other_shed) = (0u64, 0u64, 0u64);
+        for h in handles {
+            let (o, m, s) = h.join().unwrap();
+            ok += o;
+            mem_shed += m;
+            other_shed += s;
+        }
+        let server = std::sync::Arc::into_inner(server).expect("all producers joined");
+        let stats = server.shutdown();
+        assert_eq!(ok + mem_shed + other_shed, (PRODUCERS * PER_PRODUCER) as u64);
+        assert_eq!(stats.submitted, ok + mem_shed + other_shed);
+        assert_eq!(stats.completed, ok);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.shed_memory, mem_shed, "client and server tallies must reconcile");
+        assert!(mem_shed > 0, "a 3-image ceiling under a 256-request burst must shed");
+        assert!(ok > 0, "pressure must shed load, not wedge the server");
+    }
+
+    /// Allocation refusals injected into the live batcher thread: the
+    /// engine's memory ladder absorbs them (re-tile, then im2col), so
+    /// requests keep completing, nothing aborts, and every outcome is
+    /// still conserved.
+    #[test]
+    fn injected_allocator_failures_mid_serve_do_not_abort() {
+        use winograd_nd_repro::simd::fault as mem_fault;
+
+        let _guard = fault::test_lock();
+        fault::reset();
+        mem_fault::reset();
+
+        let (spec, kernels) = model();
+        let server = Server::start(spec, kernels, ServeOptions::default()).unwrap();
+        // Fail every 5th batcher allocation, enough shots to straddle
+        // many batches. Waiting each ticket keeps the schedule
+        // deterministic enough that shots land across distinct batches.
+        mem_fault::arm_fail_every(5, 16);
+        const REQUESTS: usize = 32;
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        for _ in 0..REQUESTS {
+            let resp = server.submit(request(), Duration::from_secs(30)).unwrap().wait();
+            match resp.output {
+                Ok(_) => completed += 1,
+                Err(ServeError::Failed(_)) => failed += 1,
+                Err(e) => panic!("admitted requests resolve served or Failed, got {e}"),
+            }
+        }
+        let landed = mem_fault::injected_failures();
+        mem_fault::reset();
+        let stats = server.shutdown();
+        assert!(landed > 0, "the armed injector must have hit the batcher");
+        assert_eq!(completed + failed, REQUESTS as u64, "every ticket resolves exactly once");
+        assert_eq!(stats.completed, completed);
+        assert_eq!(stats.failed, failed);
+        assert!(completed > 0, "the ladder must keep the server serving under pressure");
+
+        fault::reset();
+    }
+
     /// An injected worker panic fails one batch attempt; the bounded
     /// in-batch retry serves the request anyway. The caller sees a clean
     /// result — the fault is visible only in the failure tallies.
